@@ -1,0 +1,26 @@
+//! End-to-end pipeline benchmark: from a generated Internet to union alias
+//! sets, on the tiny preset (the full experiment pipeline at miniature
+//! scale), plus an ECDF-construction micro-benchmark.
+
+use alias_bench::{figure3, table3, Experiment};
+use alias_core::ecdf::Ecdf;
+use alias_netsim::ScalePreset;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("experiment_pipeline_tiny", |b| {
+        b.iter(|| Experiment::run(ScalePreset::Tiny, 5))
+    });
+
+    let experiment = Experiment::run(ScalePreset::Tiny, 5);
+    c.bench_function("table3_rendering_tiny", |b| b.iter(|| table3(black_box(&experiment))));
+    c.bench_function("figure3_rendering_tiny", |b| b.iter(|| figure3(black_box(&experiment))));
+
+    let sizes: Vec<usize> = (0..5_000).map(|i| (i % 97) + 2).collect();
+    c.bench_function("ecdf_construction_5k", |b| {
+        b.iter(|| Ecdf::from_counts(black_box(&sizes).iter().copied()))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates figure4 of the paper (see DESIGN.md for the experiment index).
+//! Scale is controlled by the `ALIAS_SCALE` environment variable
+//! (`tiny`, `small`, or the default `paper` shape).
+
+fn main() {
+    let experiment = alias_bench::Experiment::from_env();
+    println!("{}", alias_bench::figure4(&experiment));
+}

@@ -1,0 +1,246 @@
+//! Alias sets: groups of addresses sharing a protocol identifier.
+
+use crate::extract::IdentifierExtractor;
+use crate::identifier::ProtocolIdentifier;
+use alias_scan::ServiceObservation;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::net::IpAddr;
+
+/// One alias set: the identifier and every address observed with it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AliasSet {
+    /// The shared identifier.
+    pub identifier: ProtocolIdentifier,
+    /// All addresses (IPv4 and IPv6) observed with the identifier.
+    pub addrs: BTreeSet<IpAddr>,
+}
+
+impl AliasSet {
+    /// IPv4 members.
+    pub fn ipv4_addrs(&self) -> BTreeSet<IpAddr> {
+        self.addrs.iter().copied().filter(IpAddr::is_ipv4).collect()
+    }
+
+    /// IPv6 members.
+    pub fn ipv6_addrs(&self) -> BTreeSet<IpAddr> {
+        self.addrs.iter().copied().filter(IpAddr::is_ipv6).collect()
+    }
+
+    /// Total number of member addresses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the set is empty (never the case for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// All alias sets produced from a batch of observations, together with the
+/// per-address AS annotation needed by the AS-level analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AliasSetCollection {
+    sets: Vec<AliasSet>,
+    /// Address → origin AS annotation carried over from the observations.
+    asn_of: HashMap<IpAddr, u32>,
+}
+
+impl AliasSetCollection {
+    /// Group `observations` by extracted identifier.
+    ///
+    /// Observations the extractor cannot identify are dropped, exactly as
+    /// the paper drops hosts whose scan did not yield the required material.
+    /// Grouping is identifier-based, so observations of the same address
+    /// from several sources collapse naturally.
+    pub fn from_observations<'a, I>(observations: I, extractor: &IdentifierExtractor) -> Self
+    where
+        I: IntoIterator<Item = &'a ServiceObservation>,
+    {
+        let mut by_identifier: HashMap<ProtocolIdentifier, BTreeSet<IpAddr>> = HashMap::new();
+        let mut asn_of = HashMap::new();
+        for obs in observations {
+            let Some(identifier) = extractor.extract(obs) else { continue };
+            by_identifier.entry(identifier).or_default().insert(obs.addr);
+            if let Some(asn) = obs.asn {
+                asn_of.insert(obs.addr, asn);
+            }
+        }
+        let mut sets: Vec<AliasSet> = by_identifier
+            .into_iter()
+            .map(|(identifier, addrs)| AliasSet { identifier, addrs })
+            .collect();
+        // Deterministic order: biggest sets first, ties broken by members.
+        sets.sort_by(|a, b| {
+            b.len().cmp(&a.len()).then_with(|| a.addrs.iter().next().cmp(&b.addrs.iter().next()))
+        });
+        AliasSetCollection { sets, asn_of }
+    }
+
+    /// All sets (including singletons).
+    pub fn sets(&self) -> &[AliasSet] {
+        &self.sets
+    }
+
+    /// The AS annotation map carried over from the observations.
+    pub fn asn_of(&self) -> &HashMap<IpAddr, u32> {
+        &self.asn_of
+    }
+
+    /// Origin AS of one address, if known.
+    pub fn asn(&self, addr: IpAddr) -> Option<u32> {
+        self.asn_of.get(&addr).copied()
+    }
+
+    /// Sets with at least two members — what the paper calls alias sets.
+    pub fn non_singleton_sets(&self) -> Vec<&AliasSet> {
+        self.sets.iter().filter(|s| s.len() >= 2).collect()
+    }
+
+    /// Sets restricted to one address family, keeping only those that remain
+    /// non-singleton after the restriction (used for the per-family tables).
+    pub fn family_sets(&self, ipv6: bool) -> Vec<BTreeSet<IpAddr>> {
+        self.sets
+            .iter()
+            .map(|s| if ipv6 { s.ipv6_addrs() } else { s.ipv4_addrs() })
+            .filter(|members| members.len() >= 2)
+            .collect()
+    }
+
+    /// Non-singleton IPv4 alias sets.
+    pub fn ipv4_sets(&self) -> Vec<BTreeSet<IpAddr>> {
+        self.family_sets(false)
+    }
+
+    /// Non-singleton IPv6 alias sets.
+    pub fn ipv6_sets(&self) -> Vec<BTreeSet<IpAddr>> {
+        self.family_sets(true)
+    }
+
+    /// Number of distinct addresses covered by the non-singleton sets of one
+    /// address family.
+    pub fn covered_addresses(&self, ipv6: bool) -> usize {
+        self.family_sets(ipv6).iter().map(BTreeSet::len).sum()
+    }
+
+    /// All distinct addresses in the collection (any family, any set size).
+    pub fn all_addresses(&self) -> BTreeSet<IpAddr> {
+        self.sets.iter().flat_map(|s| s.addrs.iter().copied()).collect()
+    }
+
+    /// Set sizes of one address family (input for the ECDF figures).
+    pub fn set_sizes(&self, ipv6: bool) -> Vec<usize> {
+        self.family_sets(ipv6).iter().map(BTreeSet::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::ExtractionConfig;
+    use alias_netsim::SimTime;
+    use alias_scan::{DataSource, ServicePayload};
+    use alias_wire::ssh::{Banner, HostKey, HostKeyAlgorithm, KexInit, SshObservation};
+    use std::net::Ipv4Addr;
+
+    /// An SSH observation for `addr` from a device identified by `key_byte`.
+    fn ssh_obs(addr: &str, key_byte: u8, source: DataSource) -> ServiceObservation {
+        ServiceObservation {
+            addr: addr.parse().unwrap(),
+            port: 22,
+            source,
+            timestamp: SimTime::ZERO,
+            asn: Some(100 + key_byte as u32),
+            payload: ServicePayload::Ssh(SshObservation {
+                banner: Banner::new("OpenSSH_8.9p1", None).unwrap(),
+                kex_init: Some(KexInit::typical_openssh()),
+                host_key: Some(HostKey::new(HostKeyAlgorithm::Ed25519, vec![key_byte; 32])),
+            }),
+        }
+    }
+
+    fn collection(observations: &[ServiceObservation]) -> AliasSetCollection {
+        let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+        AliasSetCollection::from_observations(observations.iter(), &extractor)
+    }
+
+    #[test]
+    fn grouping_by_identifier() {
+        let obs = vec![
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("10.0.0.2", 1, DataSource::Active),
+            ssh_obs("10.0.0.3", 1, DataSource::Active),
+            ssh_obs("10.1.0.1", 2, DataSource::Active),
+            ssh_obs("10.2.0.1", 3, DataSource::Active),
+            ssh_obs("10.2.0.2", 3, DataSource::Active),
+        ];
+        let collection = collection(&obs);
+        assert_eq!(collection.sets().len(), 3);
+        let non_singleton = collection.non_singleton_sets();
+        assert_eq!(non_singleton.len(), 2);
+        // Largest set first.
+        assert_eq!(collection.sets()[0].len(), 3);
+        assert_eq!(collection.covered_addresses(false), 5);
+        assert_eq!(collection.set_sizes(false), vec![3, 2]);
+        assert_eq!(collection.asn("10.0.0.1".parse().unwrap()), Some(101));
+    }
+
+    #[test]
+    fn duplicate_observations_collapse() {
+        // The same address observed by the active scan and by Censys (union
+        // of data sources) must not inflate the set.
+        let obs = vec![
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("10.0.0.1", 1, DataSource::Censys),
+            ssh_obs("10.0.0.2", 1, DataSource::Censys),
+        ];
+        let collection = collection(&obs);
+        assert_eq!(collection.sets().len(), 1);
+        assert_eq!(collection.sets()[0].len(), 2);
+    }
+
+    #[test]
+    fn family_projection_drops_degenerate_sets() {
+        let obs = vec![
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("2001:db8::1", 1, DataSource::Active),
+            ssh_obs("10.0.0.9", 2, DataSource::Active),
+            ssh_obs("10.0.0.10", 2, DataSource::Active),
+        ];
+        let collection = collection(&obs);
+        // Device 1 is dual-stack but has only one address per family: it is
+        // not an alias set within either family.
+        assert_eq!(collection.ipv4_sets().len(), 1);
+        assert!(collection.ipv6_sets().is_empty());
+        // It still counts as two addresses overall.
+        assert_eq!(collection.all_addresses().len(), 4);
+    }
+
+    #[test]
+    fn singleton_only_input_produces_no_alias_sets() {
+        let obs = vec![
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("10.0.0.2", 2, DataSource::Active),
+        ];
+        let collection = collection(&obs);
+        assert!(collection.non_singleton_sets().is_empty());
+        assert_eq!(collection.sets().len(), 2);
+        assert_eq!(collection.covered_addresses(false), 0);
+    }
+
+    #[test]
+    fn alias_set_family_accessors() {
+        let obs = vec![
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("2001:db8::5", 1, DataSource::Active),
+        ];
+        let collection = collection(&obs);
+        let set = &collection.sets()[0];
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.ipv4_addrs().len(), 1);
+        assert_eq!(set.ipv6_addrs().len(), 1);
+        assert!(set.ipv4_addrs().contains(&IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1))));
+    }
+}

@@ -1,0 +1,139 @@
+//! AS-level analysis (Tables 5–6, Figures 5–6).
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::IpAddr;
+
+/// Number of distinct origin ASes per set (Figure 5).
+///
+/// Addresses without an AS annotation are ignored; sets with no annotated
+/// address contribute a count of zero.
+pub fn asns_per_set(
+    sets: &[BTreeSet<IpAddr>],
+    asn_of: &HashMap<IpAddr, u32>,
+) -> Vec<usize> {
+    sets.iter()
+        .map(|set| {
+            set.iter()
+                .filter_map(|addr| asn_of.get(addr))
+                .collect::<BTreeSet<_>>()
+                .len()
+        })
+        .collect()
+}
+
+/// Attribute each set to one AS (the plurality AS of its members; ties break
+/// towards the numerically smallest ASN) and count sets per AS.
+pub fn sets_per_as(
+    sets: &[BTreeSet<IpAddr>],
+    asn_of: &HashMap<IpAddr, u32>,
+) -> HashMap<u32, usize> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for set in sets {
+        if let Some(asn) = plurality_as(set, asn_of) {
+            *counts.entry(asn).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// The plurality AS of a set's members.
+pub fn plurality_as(set: &BTreeSet<IpAddr>, asn_of: &HashMap<IpAddr, u32>) -> Option<u32> {
+    let mut votes: HashMap<u32, usize> = HashMap::new();
+    for addr in set {
+        if let Some(&asn) = asn_of.get(addr) {
+            *votes.entry(asn).or_insert(0) += 1;
+        }
+    }
+    votes
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(asn, _)| asn)
+}
+
+/// The `n` ASes with the most sets, as `(asn, set count)` sorted descending.
+pub fn top_ases(
+    sets: &[BTreeSet<IpAddr>],
+    asn_of: &HashMap<IpAddr, u32>,
+    n: usize,
+) -> Vec<(u32, usize)> {
+    let mut counts: Vec<(u32, usize)> = sets_per_as(sets, asn_of).into_iter().collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts.truncate(n);
+    counts
+}
+
+/// Number of ASes with at least one set.
+pub fn ases_with_sets(sets: &[BTreeSet<IpAddr>], asn_of: &HashMap<IpAddr, u32>) -> usize {
+    sets_per_as(sets, asn_of).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
+        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    }
+
+    fn asn_map(entries: &[(&str, u32)]) -> HashMap<IpAddr, u32> {
+        entries.iter().map(|(a, asn)| (a.parse().unwrap(), *asn)).collect()
+    }
+
+    #[test]
+    fn asns_per_set_counts_distinct_ases() {
+        let sets = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),
+            set(&["10.0.0.3", "10.1.0.1", "10.2.0.1"]),
+        ];
+        let asns = asn_map(&[
+            ("10.0.0.1", 100),
+            ("10.0.0.2", 100),
+            ("10.0.0.3", 100),
+            ("10.1.0.1", 200),
+            ("10.2.0.1", 300),
+        ]);
+        assert_eq!(asns_per_set(&sets, &asns), vec![1, 3]);
+    }
+
+    #[test]
+    fn plurality_attribution_breaks_ties_to_smallest_asn() {
+        let s = set(&["10.0.0.1", "10.1.0.1"]);
+        let asns = asn_map(&[("10.0.0.1", 300), ("10.1.0.1", 100)]);
+        assert_eq!(plurality_as(&s, &asns), Some(100));
+        let s2 = set(&["10.0.0.1", "10.0.0.2", "10.1.0.1"]);
+        let asns2 = asn_map(&[("10.0.0.1", 300), ("10.0.0.2", 300), ("10.1.0.1", 100)]);
+        assert_eq!(plurality_as(&s2, &asns2), Some(300));
+        assert_eq!(plurality_as(&set(&["10.9.9.9"]), &asns), None);
+    }
+
+    #[test]
+    fn sets_per_as_and_top_ases() {
+        let sets = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),
+            set(&["10.0.1.1", "10.0.1.2"]),
+            set(&["10.1.0.1", "10.1.0.2"]),
+        ];
+        let asns = asn_map(&[
+            ("10.0.0.1", 14_061),
+            ("10.0.0.2", 14_061),
+            ("10.0.1.1", 14_061),
+            ("10.0.1.2", 14_061),
+            ("10.1.0.1", 701),
+            ("10.1.0.2", 701),
+        ]);
+        let per_as = sets_per_as(&sets, &asns);
+        assert_eq!(per_as[&14_061], 2);
+        assert_eq!(per_as[&701], 1);
+        assert_eq!(top_ases(&sets, &asns, 1), vec![(14_061, 2)]);
+        assert_eq!(ases_with_sets(&sets, &asns), 2);
+    }
+
+    #[test]
+    fn unannotated_addresses_are_ignored() {
+        let sets = vec![set(&["10.0.0.1", "10.0.0.2"])];
+        let asns = HashMap::new();
+        assert_eq!(asns_per_set(&sets, &asns), vec![0]);
+        assert!(sets_per_as(&sets, &asns).is_empty());
+        assert!(top_ases(&sets, &asns, 5).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 3–6 of the paper are ECDFs (addresses per alias set, ASes per
+//! set, sets per AS).  This module provides the small numeric helper the
+//! experiment binaries use to regenerate those series.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// Sorted samples.
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from any collection of samples (NaNs are dropped).
+    pub fn from_values<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        Ecdf { sorted }
+    }
+
+    /// Build from integer counts (the common case: set sizes).
+    pub fn from_counts<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        Self::from_values(values.into_iter().map(|v| v as f64))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x).
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (q in `[0, 1]`), `None` for an empty ECDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// The step points of the ECDF as `(x, P(X ≤ x))`, one per distinct value.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut points = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            let mut j = i;
+            while j < self.sorted.len() && self.sorted[j] == x {
+                j += 1;
+            }
+            points.push((x, j as f64 / n));
+            i = j;
+        }
+        points
+    }
+
+    /// Sample the ECDF at the given x values (useful for fixed plotting grids).
+    pub fn sample_at(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_le(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_fractions() {
+        let ecdf = Ecdf::from_counts([2usize, 2, 2, 3, 10, 100]);
+        assert_eq!(ecdf.len(), 6);
+        assert!(!ecdf.is_empty());
+        assert!((ecdf.fraction_le(2.0) - 0.5).abs() < 1e-9);
+        assert!((ecdf.fraction_le(9.9) - 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(ecdf.fraction_le(100.0), 1.0);
+        assert_eq!(ecdf.fraction_le(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let ecdf = Ecdf::from_counts(1..=100usize);
+        assert_eq!(ecdf.quantile(0.0), Some(1.0));
+        assert_eq!(ecdf.quantile(1.0), Some(100.0));
+        let median = ecdf.quantile(0.5).unwrap();
+        assert!((49.0..=51.0).contains(&median));
+        assert!(Ecdf::from_values([]).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let ecdf = Ecdf::from_counts([5usize, 1, 1, 7, 7, 7, 2]);
+        let points = ecdf.points();
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(points.last().unwrap().1, 1.0);
+        // Distinct x values only.
+        assert_eq!(points.len(), 4);
+    }
+
+    #[test]
+    fn sample_at_grid() {
+        let ecdf = Ecdf::from_counts([1usize, 2, 3, 4]);
+        let sampled = ecdf.sample_at(&[0.0, 2.0, 10.0]);
+        assert_eq!(sampled[0].1, 0.0);
+        assert_eq!(sampled[1].1, 0.5);
+        assert_eq!(sampled[2].1, 1.0);
+    }
+
+    #[test]
+    fn nan_values_are_dropped() {
+        let ecdf = Ecdf::from_values([1.0, f64::NAN, 2.0]);
+        assert_eq!(ecdf.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn ecdf_is_a_valid_cdf(values in prop::collection::vec(0u32..10_000, 1..200)) {
+            let ecdf = Ecdf::from_counts(values.iter().map(|&v| v as usize));
+            // Monotone non-decreasing over a grid, bounded by [0, 1].
+            let mut last = 0.0;
+            for x in (0..=10_000u32).step_by(97) {
+                let p = ecdf.fraction_le(x as f64);
+                prop_assert!((0.0..=1.0).contains(&p));
+                prop_assert!(p >= last);
+                last = p;
+            }
+            prop_assert_eq!(ecdf.fraction_le(10_000.0), 1.0);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Union analysis: combining alias sets across protocols and data sources.
+//!
+//! The paper's headline numbers come from consolidating the three protocols:
+//! alias sets from SSH, BGP and SNMPv3 are merged whenever they share an
+//! address, addresses are classified by how many services they answer, and
+//! each merged set is attributed to the protocols able to identify it
+//! ("40% can only be identified with SNMPv3 and 60% with SSH or BGP").
+
+use crate::union_find::UnionFind;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::IpAddr;
+
+/// A merged set with the labels (protocols / sources) that contributed to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergedSet {
+    /// Member addresses.
+    pub addrs: BTreeSet<IpAddr>,
+    /// Labels of every input list that contributed at least one input set.
+    pub labels: BTreeSet<String>,
+}
+
+impl MergedSet {
+    /// Whether only the given label contributed to this set.
+    pub fn only_from(&self, label: &str) -> bool {
+        self.labels.len() == 1 && self.labels.contains(label)
+    }
+}
+
+/// Merge labelled collections of sets: sets sharing at least one address end
+/// up in the same merged set.
+pub fn merge_labeled_sets(inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<MergedSet> {
+    // Index all addresses.
+    let mut index: HashMap<IpAddr, usize> = HashMap::new();
+    for (_, sets) in inputs {
+        for set in sets {
+            for &addr in set {
+                let next = index.len();
+                index.entry(addr).or_insert(next);
+            }
+        }
+    }
+    let mut uf = UnionFind::new(index.len());
+    for (_, sets) in inputs {
+        for set in sets {
+            let mut iter = set.iter();
+            if let Some(first) = iter.next() {
+                let first_idx = index[first];
+                for addr in iter {
+                    uf.union(first_idx, index[addr]);
+                }
+            }
+        }
+    }
+    // Build merged membership.
+    let mut members: BTreeMap<usize, BTreeSet<IpAddr>> = BTreeMap::new();
+    for (&addr, &idx) in &index {
+        members.entry(uf.find(idx)).or_default().insert(addr);
+    }
+    // Attribute labels: an input set contributes its label to the merged set
+    // containing its members.
+    let mut labels: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (label, sets) in inputs {
+        for set in sets {
+            if let Some(first) = set.iter().next() {
+                let root = uf.find(index[first]);
+                labels.entry(root).or_default().insert((*label).to_owned());
+            }
+        }
+    }
+    members
+        .into_iter()
+        .map(|(root, addrs)| MergedSet {
+            addrs,
+            labels: labels.remove(&root).unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// Convenience: merge unlabelled set lists.
+pub fn merge_sets(inputs: &[Vec<BTreeSet<IpAddr>>]) -> Vec<BTreeSet<IpAddr>> {
+    let labelled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> =
+        inputs.iter().map(|sets| ("", sets.clone())).collect();
+    merge_labeled_sets(&labelled).into_iter().map(|m| m.addrs).collect()
+}
+
+/// How many services each address answers (the 97% / 3% split of §4.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiServiceStats {
+    /// Addresses answering exactly one protocol.
+    pub single_service: usize,
+    /// Addresses answering exactly two protocols.
+    pub two_services: usize,
+    /// Addresses answering all three protocols.
+    pub three_services: usize,
+}
+
+impl MultiServiceStats {
+    /// Compute the split from per-protocol responsive address sets.
+    pub fn compute(per_protocol: &[BTreeSet<IpAddr>]) -> Self {
+        let mut counts: HashMap<IpAddr, usize> = HashMap::new();
+        for addrs in per_protocol {
+            for &addr in addrs {
+                *counts.entry(addr).or_insert(0) += 1;
+            }
+        }
+        let mut stats = MultiServiceStats::default();
+        for (_, n) in counts {
+            match n {
+                1 => stats.single_service += 1,
+                2 => stats.two_services += 1,
+                _ => stats.three_services += 1,
+            }
+        }
+        stats
+    }
+
+    /// Total addresses counted.
+    pub fn total(&self) -> usize {
+        self.single_service + self.two_services + self.three_services
+    }
+
+    /// Fraction answering a single service.
+    pub fn single_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.single_service as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Attribution of merged sets to the protocols able to identify them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolAttribution {
+    /// Merged sets identifiable only via SNMPv3.
+    pub snmpv3_only: usize,
+    /// Merged sets identifiable via SSH or BGP (possibly also SNMPv3).
+    pub ssh_or_bgp: usize,
+    /// Total merged sets.
+    pub total: usize,
+}
+
+impl ProtocolAttribution {
+    /// Compute the attribution from labelled merged sets, where the labels
+    /// are protocol names (`"ssh"`, `"bgp"`, `"snmpv3"`).
+    pub fn compute(merged: &[MergedSet]) -> Self {
+        let mut attribution = ProtocolAttribution { total: merged.len(), ..Default::default() };
+        for set in merged {
+            if set.only_from("snmpv3") {
+                attribution.snmpv3_only += 1;
+            } else {
+                attribution.ssh_or_bgp += 1;
+            }
+        }
+        attribution
+    }
+
+    /// Fraction of sets only SNMPv3 can identify.
+    pub fn snmpv3_only_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.snmpv3_only as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
+        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn disjoint_sets_stay_separate() {
+        let merged = merge_labeled_sets(&[
+            ("ssh", vec![set(&["10.0.0.1", "10.0.0.2"])]),
+            ("snmpv3", vec![set(&["10.1.0.1", "10.1.0.2"])]),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.iter().any(|m| m.only_from("ssh")));
+        assert!(merged.iter().any(|m| m.only_from("snmpv3")));
+    }
+
+    #[test]
+    fn overlapping_sets_merge_and_carry_both_labels() {
+        let merged = merge_labeled_sets(&[
+            ("ssh", vec![set(&["10.0.0.1", "10.0.0.2"])]),
+            ("bgp", vec![set(&["10.0.0.2", "10.0.0.3"])]),
+        ]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].addrs.len(), 3);
+        assert_eq!(merged[0].labels.len(), 2);
+        assert!(!merged[0].only_from("ssh"));
+    }
+
+    #[test]
+    fn transitive_merging_through_a_chain() {
+        let merged = merge_sets(&[
+            vec![set(&["10.0.0.1", "10.0.0.2"])],
+            vec![set(&["10.0.0.2", "10.0.0.3"])],
+            vec![set(&["10.0.0.3", "10.0.0.4"])],
+        ]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].len(), 4);
+    }
+
+    #[test]
+    fn multi_service_stats_split() {
+        let ssh = set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"]);
+        let bgp = set(&["10.0.0.3", "10.0.0.4"]);
+        let snmp = set(&["10.0.0.3", "10.0.0.4", "10.0.0.5"]);
+        let stats = MultiServiceStats::compute(&[ssh, bgp, snmp]);
+        assert_eq!(stats.total(), 5);
+        assert_eq!(stats.single_service, 3); // .1, .2, .5
+        assert_eq!(stats.two_services, 1); // .4
+        assert_eq!(stats.three_services, 1); // .3
+        assert!((stats.single_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribution_counts_snmp_only_sets() {
+        let merged = merge_labeled_sets(&[
+            ("ssh", vec![set(&["10.0.0.1", "10.0.0.2"])]),
+            ("snmpv3", vec![set(&["10.1.0.1", "10.1.0.2"]), set(&["10.0.0.1", "10.0.0.9"])]),
+        ]);
+        let attribution = ProtocolAttribution::compute(&merged);
+        assert_eq!(attribution.total, 2);
+        assert_eq!(attribution.snmpv3_only, 1);
+        assert_eq!(attribution.ssh_or_bgp, 1);
+        assert!((attribution.snmpv3_only_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_sets(&[]).is_empty());
+        assert!(merge_labeled_sets(&[("ssh", vec![])]).is_empty());
+        let stats = MultiServiceStats::compute(&[]);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.single_fraction(), 0.0);
+        let attribution = ProtocolAttribution::compute(&[]);
+        assert_eq!(attribution.snmpv3_only_fraction(), 0.0);
+    }
+}

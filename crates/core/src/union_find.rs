@@ -1,0 +1,131 @@
+//! A small disjoint-set (union–find) structure used when merging alias sets
+//! across protocols and data sources.
+
+/// Disjoint-set forest over `usize` elements with path compression and union
+/// by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Create a forest of `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Find the representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cursor = x;
+        while self.parent[cursor] != root {
+            let next = self.parent[cursor];
+            self.parent[cursor] = root;
+            cursor = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group all elements by representative, returning the groups.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::HashMap;
+        let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
+        for element in 0..self.len() {
+            let root = self.find(element);
+            map.entry(root).or_default().push(element);
+        }
+        let mut groups: Vec<Vec<usize>> = map.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert!(!uf.connected(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(2, 3));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn groups_partition_all_elements() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(2, 4);
+        uf.union(1, 5);
+        let groups = uf.groups();
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 6);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().any(|g| g.len() == 3 && g.contains(&4)));
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_transitive_and_total(n in 2usize..60, pairs in prop::collection::vec((0usize..60, 0usize..60), 0..80)) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in pairs.iter().map(|&(a, b)| (a % n, b % n)) {
+                uf.union(a, b);
+            }
+            // groups() partitions [0, n) exactly.
+            let groups = uf.groups();
+            let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            // Elements of one group are mutually connected.
+            for group in &groups {
+                for window in group.windows(2) {
+                    prop_assert!(uf.connected(window[0], window[1]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Cross-technique validation (the paper's Table 2).
+//!
+//! Lacking ground truth, the paper validates its alias sets by comparing the
+//! partitions produced by different techniques over the addresses responsive
+//! to *both*: a set "agrees" when the other technique groups exactly the
+//! same addresses together.  The same machinery compares against MIDAR.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// Outcome of one pairwise validation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationResult {
+    /// Number of sets (from technique A) that could be tested.
+    pub sample_size: usize,
+    /// Sets whose membership exactly matches a set of technique B.
+    pub agree: usize,
+    /// Sets with mismatching membership.
+    pub disagree: usize,
+}
+
+impl ValidationResult {
+    /// Agreement rate in `[0, 1]`; 1.0 when nothing could be tested.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.sample_size == 0 {
+            1.0
+        } else {
+            self.agree as f64 / self.sample_size as f64
+        }
+    }
+}
+
+/// Addresses present in both collections of responsive addresses.
+pub fn common_addresses(a: &BTreeSet<IpAddr>, b: &BTreeSet<IpAddr>) -> BTreeSet<IpAddr> {
+    a.intersection(b).copied().collect()
+}
+
+/// Restrict `sets` to `universe`, dropping sets that no longer have at least
+/// two members.
+pub fn project_sets(
+    sets: &[BTreeSet<IpAddr>],
+    universe: &BTreeSet<IpAddr>,
+) -> Vec<BTreeSet<IpAddr>> {
+    sets.iter()
+        .map(|s| s.intersection(universe).copied().collect::<BTreeSet<IpAddr>>())
+        .filter(|s| s.len() >= 2)
+        .collect()
+}
+
+/// Compare technique A's sets against technique B's sets over the addresses
+/// responsive to both techniques.
+///
+/// Both set lists are first projected onto `common`; every projected A set
+/// is then checked for an exact membership match among the projected B sets.
+pub fn cross_validate(
+    sets_a: &[BTreeSet<IpAddr>],
+    sets_b: &[BTreeSet<IpAddr>],
+    common: &BTreeSet<IpAddr>,
+) -> ValidationResult {
+    let projected_a = project_sets(sets_a, common);
+    let projected_b = project_sets(sets_b, common);
+    let b_lookup: std::collections::HashSet<&BTreeSet<IpAddr>> = projected_b.iter().collect();
+    let mut result = ValidationResult { sample_size: projected_a.len(), ..Default::default() };
+    for set in &projected_a {
+        if b_lookup.contains(set) {
+            result.agree += 1;
+        } else {
+            result.disagree += 1;
+        }
+    }
+    result
+}
+
+/// Validation against an IPID-based technique such as MIDAR.
+///
+/// MIDAR can only test addresses with a usable (monotonic, sampleable) IPID
+/// counter, so most sampled sets cannot be verified at all.  `testable`
+/// is the set of addresses for which MIDAR produced usable measurements;
+/// sampled sets whose projection onto `testable` retains fewer than two
+/// addresses are reported as `unverifiable`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MidarValidation {
+    /// Sets in the sample.
+    pub sampled: usize,
+    /// Sets MIDAR could not test (insufficient usable addresses).
+    pub unverifiable: usize,
+    /// The pairwise comparison over the verifiable sets.
+    pub result: ValidationResult,
+}
+
+impl MidarValidation {
+    /// Fraction of sampled sets MIDAR could verify at all.
+    pub fn coverage(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            self.result.sample_size as f64 / self.sampled as f64
+        }
+    }
+}
+
+/// Compare sampled alias sets against a MIDAR-style partition.
+pub fn validate_against_midar(
+    sampled_sets: &[BTreeSet<IpAddr>],
+    midar_sets: &[BTreeSet<IpAddr>],
+    testable: &BTreeSet<IpAddr>,
+) -> MidarValidation {
+    let projected = project_sets(sampled_sets, testable);
+    let unverifiable = sampled_sets.len() - projected.len();
+    let result = cross_validate(sampled_sets, midar_sets, testable);
+    MidarValidation { sampled: sampled_sets.len(), unverifiable, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
+        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn identical_partitions_agree_fully() {
+        let a = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.1.0.1", "10.1.0.2"])];
+        let common: BTreeSet<IpAddr> = a.iter().flatten().copied().collect();
+        let result = cross_validate(&a, &a, &common);
+        assert_eq!(result.sample_size, 2);
+        assert_eq!(result.agree, 2);
+        assert_eq!(result.disagree, 0);
+        assert_eq!(result.agreement_rate(), 1.0);
+    }
+
+    #[test]
+    fn split_sets_disagree() {
+        let a = vec![set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"])];
+        // Technique B splits the set in two.
+        let b = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.0.0.3", "10.0.0.4"])];
+        let common = set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"]);
+        let result = cross_validate(&a, &b, &common);
+        assert_eq!(result.sample_size, 1);
+        assert_eq!(result.disagree, 1);
+        assert_eq!(result.agreement_rate(), 0.0);
+    }
+
+    #[test]
+    fn projection_respects_the_common_universe() {
+        // A's set contains an address B never saw; after projection onto the
+        // common universe they agree.
+        let a = vec![set(&["10.0.0.1", "10.0.0.2", "10.0.0.9"])];
+        let b = vec![set(&["10.0.0.1", "10.0.0.2"])];
+        let common = set(&["10.0.0.1", "10.0.0.2"]);
+        let result = cross_validate(&a, &b, &common);
+        assert_eq!(result.agree, 1);
+    }
+
+    #[test]
+    fn sets_that_vanish_after_projection_are_not_counted() {
+        let a = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.5.0.1", "10.5.0.2"])];
+        let b = vec![set(&["10.0.0.1", "10.0.0.2"])];
+        // Only the first set intersects the common universe with ≥2 addrs.
+        let common = set(&["10.0.0.1", "10.0.0.2", "10.5.0.1"]);
+        let result = cross_validate(&a, &b, &common);
+        assert_eq!(result.sample_size, 1);
+        assert_eq!(result.agree, 1);
+    }
+
+    #[test]
+    fn empty_sample_has_full_agreement_by_convention() {
+        let result = cross_validate(&[], &[], &BTreeSet::new());
+        assert_eq!(result.sample_size, 0);
+        assert_eq!(result.agreement_rate(), 1.0);
+    }
+
+    #[test]
+    fn midar_validation_reports_coverage() {
+        let sampled = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),     // testable, agrees
+            set(&["10.1.0.1", "10.1.0.2"]),     // untestable (random IPIDs)
+            set(&["10.2.0.1", "10.2.0.2"]),     // testable, MIDAR splits it
+        ];
+        let midar = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.2.0.1", "10.9.0.9"])];
+        let testable = set(&["10.0.0.1", "10.0.0.2", "10.2.0.1", "10.2.0.2"]);
+        let validation = validate_against_midar(&sampled, &midar, &testable);
+        assert_eq!(validation.sampled, 3);
+        assert_eq!(validation.unverifiable, 1);
+        assert_eq!(validation.result.sample_size, 2);
+        assert_eq!(validation.result.agree, 1);
+        assert!((validation.coverage() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn common_addresses_is_an_intersection() {
+        let a = set(&["10.0.0.1", "10.0.0.2"]);
+        let b = set(&["10.0.0.2", "10.0.0.3"]);
+        assert_eq!(common_addresses(&a, &b), set(&["10.0.0.2"]));
+    }
+}

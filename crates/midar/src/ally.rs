@@ -1,0 +1,134 @@
+//! The Ally pairwise test (Rocketfuel).
+//!
+//! Ally probes two candidate addresses in tight alternation and accepts them
+//! as aliases when the interleaved IPID sequence is in order and the values
+//! stay close together — the behaviour of one shared counter.
+
+use alias_netsim::{Internet, SimTime, VantageKind};
+use alias_scan::ipid_probe::{IpidProber, IpidProberConfig};
+use std::net::IpAddr;
+
+/// Verdict of an Ally test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllyVerdict {
+    /// The pair behaves like one shared counter.
+    Alias,
+    /// The pair cannot share a counter.
+    NotAlias,
+    /// One or both addresses did not answer enough probes.
+    Unresponsive,
+}
+
+/// Run an Ally test against the simulated Internet.
+pub fn ally_test(
+    internet: &Internet,
+    a: IpAddr,
+    b: IpAddr,
+    vantage: VantageKind,
+    start: SimTime,
+) -> AllyVerdict {
+    let prober = IpidProber::new(IpidProberConfig {
+        rounds: 1,
+        round_spacing: SimTime::ZERO,
+        rate_pps: 20.0,
+    });
+    let probes_per_addr = 6;
+    let (series_a, series_b, merged) =
+        prober.collect_interleaved_pair(internet, a, b, probes_per_addr, vantage, start);
+    if series_a.samples.len() < probes_per_addr || series_b.samples.len() < probes_per_addr {
+        return AllyVerdict::Unresponsive;
+    }
+    // In-order check with a tolerance on the gap between consecutive values
+    // (Ally's classic "within 200, in order" heuristic, scaled for the probe
+    // spacing used here).
+    const MAX_GAP: u16 = 1_000;
+    let values: Vec<u16> = merged.iter().map(|(_, s)| s.ipid).collect();
+    let in_order_and_close = values.windows(2).all(|w| {
+        let delta = w[1].wrapping_sub(w[0]);
+        delta > 0 && delta < MAX_GAP
+    });
+    if in_order_and_close {
+        AllyVerdict::Alias
+    } else {
+        AllyVerdict::NotAlias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias_netsim::ipid::IpidModel;
+    use alias_netsim::{DeviceKind, InternetBuilder, InternetConfig};
+
+    fn internet() -> Internet {
+        InternetBuilder::new(InternetConfig::tiny(909)).build()
+    }
+
+    /// Find a pingable multi-address device with the requested counter model.
+    fn device_pair(internet: &Internet, want_shared: bool) -> Option<(IpAddr, IpAddr)> {
+        internet
+            .devices()
+            .iter()
+            .find(|d| {
+                d.responds_to_ping
+                    && d.ipv4_addrs().len() >= 2
+                    && d.ipid.lock().model().is_shared_monotonic() == want_shared
+                    && d.ipid.lock().model().velocity().map(|v| v < 500.0).unwrap_or(!want_shared)
+            })
+            .map(|d| {
+                let addrs = d.ipv4_addrs();
+                (IpAddr::V4(addrs[0]), IpAddr::V4(addrs[1]))
+            })
+    }
+
+    #[test]
+    fn shared_counter_pair_is_alias() {
+        let internet = internet();
+        if let Some((a, b)) = device_pair(&internet, true) {
+            assert_eq!(
+                ally_test(&internet, a, b, VantageKind::Distributed, SimTime::ZERO),
+                AllyVerdict::Alias
+            );
+        }
+    }
+
+    #[test]
+    fn addresses_of_different_devices_are_not_aliases() {
+        let internet = internet();
+        // Take first addresses of two different pingable routers with
+        // shared counters; their bases almost surely differ.
+        let routers: Vec<&alias_netsim::Device> = internet
+            .devices()
+            .iter()
+            .filter(|d| {
+                d.responds_to_ping
+                    && matches!(d.kind, DeviceKind::IspRouter | DeviceKind::BorderRouter)
+                    && !d.ipv4_addrs().is_empty()
+                    && matches!(d.ipid.lock().model(), IpidModel::SharedMonotonic { .. } | IpidModel::Random)
+            })
+            .take(2)
+            .collect();
+        if routers.len() == 2 {
+            let a = IpAddr::V4(routers[0].ipv4_addrs()[0]);
+            let b = IpAddr::V4(routers[1].ipv4_addrs()[0]);
+            let verdict = ally_test(&internet, a, b, VantageKind::Distributed, SimTime::ZERO);
+            assert_ne!(verdict, AllyVerdict::Alias);
+        }
+    }
+
+    #[test]
+    fn unresponsive_target_yields_unresponsive() {
+        let internet = internet();
+        let dead: IpAddr = "198.18.0.1".parse().unwrap();
+        let live = internet
+            .devices()
+            .iter()
+            .find(|d| d.responds_to_ping && !d.ipv4_addrs().is_empty())
+            .map(|d| IpAddr::V4(d.ipv4_addrs()[0]))
+            .unwrap();
+        assert_eq!(
+            ally_test(&internet, live, dead, VantageKind::Distributed, SimTime::ZERO),
+            AllyVerdict::Unresponsive
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! The Monotonic Bounds Test (MBT).
+//!
+//! MIDAR's core insight: if two addresses share one IPID counter, then the
+//! time-ordered merge of their samples must itself be a monotonically
+//! increasing sequence (modulo 16-bit wrap-around).  The test tolerates a
+//! bounded number of wraps, inferred from the counter velocity.
+
+use alias_scan::ipid_probe::IpidSample;
+
+/// Verdict of a monotonic bounds test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbtVerdict {
+    /// The merged sequence is consistent with a single shared counter.
+    Consistent,
+    /// The merged sequence cannot come from a single monotonic counter.
+    Inconsistent,
+    /// Not enough samples to decide.
+    Insufficient,
+}
+
+impl MbtVerdict {
+    /// Whether the verdict supports aliasing.
+    pub fn is_consistent(self) -> bool {
+        self == MbtVerdict::Consistent
+    }
+}
+
+/// Merge several per-address sample series by time and test whether the
+/// result is a single monotonic (mod 2^16) sequence.
+///
+/// `max_velocity` is the highest counter velocity (increments per second)
+/// considered testable; between consecutive samples the counter is allowed
+/// to advance by at most `max_velocity * Δt + slack`, and never to go
+/// backwards.
+pub fn monotonic_bounds_test(series: &[&[IpidSample]], max_velocity: f64) -> MbtVerdict {
+    let mut merged: Vec<IpidSample> = series.iter().flat_map(|s| s.iter().copied()).collect();
+    if merged.len() < 4 || series.iter().any(|s| s.len() < 2) {
+        return MbtVerdict::Insufficient;
+    }
+    merged.sort_by_key(|s| s.time);
+
+    let slack = 64.0;
+    for window in merged.windows(2) {
+        let dt = window[1].time.since(window[0].time).as_secs_f64();
+        let delta = window[1].ipid.wrapping_sub(window[0].ipid) as f64;
+        let allowed = max_velocity * dt + slack;
+        // A shared counter can only move forward; `delta` is the forward
+        // distance mod 2^16.  If the counter moved further than the velocity
+        // bound allows, the samples cannot be explained by one counter
+        // (either they are unrelated, or the counter wrapped because it is
+        // too fast to be testable — MIDAR rejects both).
+        if delta == 0.0 && dt > 0.0 {
+            return MbtVerdict::Inconsistent;
+        }
+        if delta > allowed {
+            return MbtVerdict::Inconsistent;
+        }
+    }
+    MbtVerdict::Consistent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias_netsim::SimTime;
+
+    fn series(samples: &[(u64, u16)]) -> Vec<IpidSample> {
+        samples
+            .iter()
+            .map(|&(ms, ipid)| IpidSample { time: SimTime(ms), ipid })
+            .collect()
+    }
+
+    #[test]
+    fn shared_counter_is_consistent() {
+        let a = series(&[(0, 100), (2_000, 110), (4_000, 122)]);
+        let b = series(&[(1_000, 105), (3_000, 117), (5_000, 130)]);
+        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Consistent);
+    }
+
+    #[test]
+    fn independent_counters_are_inconsistent() {
+        // Two counters with far-apart bases: the interleaved sequence jumps
+        // backwards (i.e. forward by an enormous amount mod 2^16).
+        let a = series(&[(0, 100), (2_000, 110), (4_000, 122)]);
+        let b = series(&[(1_000, 40_000), (3_000, 40_010), (5_000, 40_025)]);
+        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Inconsistent);
+    }
+
+    #[test]
+    fn wraparound_within_velocity_bound_is_tolerated() {
+        // Counter near the top of the range wraps; deltas stay small.
+        let a = series(&[(0, 65_500), (2_000, 65_530), (4_000, 20)]);
+        let b = series(&[(1_000, 65_515), (3_000, 5), (5_000, 40)]);
+        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Consistent);
+    }
+
+    #[test]
+    fn high_velocity_counter_is_rejected() {
+        // The counter advances ~30k per second: between 1-second samples the
+        // allowed bound (velocity cap 1000/s) is exceeded.
+        let a = series(&[(0, 0), (2_000, 60_000), (4_000, 54_464)]);
+        let b = series(&[(1_000, 30_000), (3_000, 24_464), (5_000, 18_928)]);
+        assert_eq!(monotonic_bounds_test(&[&a, &b], 1_000.0), MbtVerdict::Inconsistent);
+    }
+
+    #[test]
+    fn constant_ipids_are_inconsistent() {
+        let a = series(&[(0, 0), (2_000, 0), (4_000, 0)]);
+        let b = series(&[(1_000, 0), (3_000, 0), (5_000, 0)]);
+        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Inconsistent);
+    }
+
+    #[test]
+    fn too_few_samples_is_insufficient() {
+        let a = series(&[(0, 1)]);
+        let b = series(&[(1_000, 2), (2_000, 3), (3_000, 4)]);
+        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Insufficient);
+        assert!(!MbtVerdict::Insufficient.is_consistent());
+        assert!(MbtVerdict::Consistent.is_consistent());
+    }
+}

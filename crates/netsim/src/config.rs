@@ -1,0 +1,511 @@
+//! Generation parameters for the synthetic Internet.
+//!
+//! Every knob that shapes the paper's numbers is an explicit parameter here,
+//! so the experiment binaries (and the ablation benches) can vary them and
+//! the defaults can be tuned against the paper's reported shapes.
+//!
+//! Scaling note: the paper measures ~24M SSH hosts; the default
+//! [`ScalePreset::PaperShape`] population is roughly 1/400 of that for SSH
+//! and SNMPv3.  Because the paper's BGP population is two orders of
+//! magnitude smaller than its SSH population, uniform scaling would leave
+//! too few BGP speakers to compute meaningful distributions, so BGP is
+//! scaled by only 1/40.  This preserves every qualitative comparison (SSH
+//! dominates, BGP sets are larger and more multi-AS) and is documented in
+//! EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// How many ASes of each kind to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsCounts {
+    /// Cloud / hosting providers.
+    pub cloud: usize,
+    /// ISPs / telcos.
+    pub isp: usize,
+    /// Enterprise / stub networks.
+    pub enterprise: usize,
+}
+
+/// How many devices of each archetype to generate (totals across all ASes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCounts {
+    /// Single-address cloud VMs (SSH).
+    pub cloud_vms: usize,
+    /// Multi-address cloud servers / load balancers (SSH).
+    pub cloud_servers: usize,
+    /// Enterprise servers (SSH, mostly single address).
+    pub enterprise_servers: usize,
+    /// ISP aggregation/access routers (SNMPv3, some SSH).
+    pub isp_routers: usize,
+    /// Border routers (BGP speakers that answer with an OPEN).
+    pub border_routers: usize,
+    /// Customer-premises equipment (SNMPv3 / dropbear SSH singletons).
+    pub cpe_devices: usize,
+}
+
+/// Parameters for cloud-provider devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudParams {
+    /// Probability that a single-address VM also has one IPv6 address.
+    pub vm_dual_stack_prob: f64,
+    /// Probability that a VM is IPv6-only (no IPv4 interface).
+    pub vm_ipv6_only_prob: f64,
+    /// Minimum and maximum IPv4 addresses on a multi-address cloud server.
+    pub server_v4_range: (usize, usize),
+    /// Fraction of cloud servers that are large load-balancer clusters.
+    pub server_lb_fraction: f64,
+    /// Maximum IPv4 addresses on a load-balancer cluster.
+    pub server_lb_max: usize,
+    /// Probability that a cloud server is dual-stack.
+    pub server_dual_stack_prob: f64,
+    /// Minimum and maximum IPv6 addresses on a dual-stack cloud server.
+    pub server_v6_range: (usize, usize),
+    /// Probability that a cloud server also runs SNMPv3.
+    pub server_snmp_prob: f64,
+}
+
+/// Parameters for ISP devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IspParams {
+    /// Probability that an ISP router runs SNMPv3.
+    pub router_snmp_prob: f64,
+    /// Probability that an ISP router also answers SSH.
+    pub router_ssh_prob: f64,
+    /// Mean number of IPv4 interfaces on an ISP router (geometric-ish tail).
+    pub router_ifaces_mean: f64,
+    /// Hard cap on ISP-router interfaces.
+    pub router_ifaces_max: usize,
+    /// Probability that an ISP router is dual-stack.
+    pub router_dual_stack_prob: f64,
+    /// Maximum IPv6 interfaces on a dual-stack router.
+    pub router_v6_max: usize,
+    /// Probability that an ISP router has TCP/179 open but closes silently
+    /// (contributes to the "5.8M close immediately" population).
+    pub router_silent_bgp_prob: f64,
+    /// Probability that a CPE device runs SNMPv3.
+    pub cpe_snmp_prob: f64,
+    /// Probability that a CPE device runs SSH (dropbear-style).
+    pub cpe_ssh_prob: f64,
+    /// Probability that a CPE device has a second IPv4 address.
+    pub cpe_two_addr_prob: f64,
+    /// Probability that a CPE device is dual-stack.
+    pub cpe_dual_stack_prob: f64,
+    /// Probability that a CPE device sits in a dynamic (churning) pool.
+    pub cpe_dynamic_prob: f64,
+}
+
+/// Parameters for border routers (the BGP population).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BorderParams {
+    /// Mean number of IPv4 interfaces.
+    pub ifaces_mean: f64,
+    /// Hard cap on interfaces.
+    pub ifaces_max: usize,
+    /// Probability that each additional interface is numbered from a
+    /// neighbouring (foreign) AS — drives the multi-AS alias sets of Fig. 5.
+    pub foreign_as_prob: f64,
+    /// Probability that a border router also runs SNMPv3.
+    pub snmp_prob: f64,
+    /// Probability that a border router also answers SSH.
+    pub ssh_prob: f64,
+    /// Probability that a border router is dual-stack.
+    pub dual_stack_prob: f64,
+    /// Maximum IPv6 interfaces on a dual-stack border router.
+    pub v6_max: usize,
+}
+
+/// Access-control coverage: the probability that a deployed service answers
+/// on any given interface (firewalls and ACLs limit alias discovery).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AclParams {
+    /// Interface coverage for SSH.
+    pub ssh_coverage: f64,
+    /// Interface coverage for BGP.
+    pub bgp_coverage: f64,
+    /// Interface coverage for SNMPv3.
+    pub snmp_coverage: f64,
+}
+
+/// Pathologies that stress the identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyParams {
+    /// Fraction of SSH devices shipping a factory-default (shared) host key.
+    pub default_key_fraction: f64,
+    /// Fraction of multi-interface SSH devices whose interfaces advertise
+    /// diverging algorithm capabilities (the paper measures 0.4%).
+    pub capability_divergence_fraction: f64,
+    /// Fraction of BGP speakers with a misconfigured, non-unique BGP
+    /// identifier.
+    pub duplicate_bgp_identifier_fraction: f64,
+}
+
+/// What each measurement channel can see.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VisibilityParams {
+    /// Fraction of devices that do not answer the single-VP active scan
+    /// (rate limiting / IDS filtering) but do answer distributed scans.
+    pub single_vp_invisible_fraction: f64,
+    /// Fraction of devices covered by the Censys-like snapshot.
+    pub censys_coverage: f64,
+    /// Fraction of Censys-covered SSH devices additionally listed on a
+    /// non-standard port (excluded from the default-port analysis).
+    pub censys_nonstandard_port_fraction: f64,
+    /// Fraction of active IPv6 service addresses present in the IPv6 hitlist.
+    pub hitlist_coverage: f64,
+}
+
+/// Mixture of IPID counter behaviours for a device class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpidMix {
+    /// Probability of a shared monotonic counter (the MIDAR-friendly case).
+    pub shared_monotonic: f64,
+    /// Probability of per-interface counters.
+    pub per_interface: f64,
+    /// Probability of random IPIDs.
+    pub random: f64,
+    /// Probability of a constant (usually zero) IPID.
+    pub constant: f64,
+    /// Given a shared monotonic counter, probability that its velocity is
+    /// too high for reliable sampling.
+    pub high_velocity_given_shared: f64,
+}
+
+impl IpidMix {
+    /// A router-like mix: some shared counters, many alternatives.
+    pub fn router() -> Self {
+        IpidMix {
+            shared_monotonic: 0.35,
+            per_interface: 0.25,
+            random: 0.25,
+            constant: 0.15,
+            high_velocity_given_shared: 0.35,
+        }
+    }
+
+    /// A server-like mix: shared counters are rare on modern server stacks.
+    pub fn server() -> Self {
+        IpidMix {
+            shared_monotonic: 0.12,
+            per_interface: 0.08,
+            random: 0.55,
+            constant: 0.25,
+            high_velocity_given_shared: 0.25,
+        }
+    }
+}
+
+/// Address churn parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnParams {
+    /// Probability per simulated day that a dynamic device's addresses are
+    /// reassigned within its pool.
+    pub daily_reassign_prob: f64,
+}
+
+/// ICMP behaviour parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PingParams {
+    /// Probability that a router answers echo probes.
+    pub router_prob: f64,
+    /// Probability that a server answers echo probes.
+    pub server_prob: f64,
+    /// Probability that a device sources ICMP errors from a fixed interface
+    /// (making the iffinder common-source-address technique applicable).
+    pub common_source_prob: f64,
+}
+
+/// Named size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalePreset {
+    /// A few hundred devices — unit/integration tests.
+    Tiny,
+    /// A few thousand devices — fast examples and criterion benches.
+    Small,
+    /// The default experiment population (~90k devices) reproducing the
+    /// paper's shapes at reduced scale.
+    PaperShape,
+}
+
+/// Complete generation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InternetConfig {
+    /// RNG seed; every derived structure is deterministic in this seed.
+    pub seed: u64,
+    /// AS population.
+    pub as_counts: AsCounts,
+    /// Device population.
+    pub devices: DeviceCounts,
+    /// Cloud archetype parameters.
+    pub cloud: CloudParams,
+    /// ISP archetype parameters.
+    pub isp: IspParams,
+    /// Border-router archetype parameters.
+    pub border: BorderParams,
+    /// Enterprise-server SSH probability (they are otherwise single-address).
+    pub enterprise_ssh_prob: f64,
+    /// Probability that an enterprise server has a second address.
+    pub enterprise_two_addr_prob: f64,
+    /// ACL coverage.
+    pub acl: AclParams,
+    /// Identifier pathologies.
+    pub anomalies: AnomalyParams,
+    /// Measurement-channel visibility.
+    pub visibility: VisibilityParams,
+    /// IPID behaviour of router-like devices.
+    pub ipid_routers: IpidMix,
+    /// IPID behaviour of server-like devices.
+    pub ipid_servers: IpidMix,
+    /// Churn behaviour.
+    pub churn: ChurnParams,
+    /// ICMP behaviour.
+    pub ping: PingParams,
+}
+
+impl InternetConfig {
+    /// Build the configuration for a named preset with the given seed.
+    pub fn preset(preset: ScalePreset, seed: u64) -> Self {
+        let devices = match preset {
+            ScalePreset::Tiny => DeviceCounts {
+                cloud_vms: 120,
+                cloud_servers: 40,
+                enterprise_servers: 30,
+                isp_routers: 40,
+                border_routers: 25,
+                cpe_devices: 100,
+            },
+            ScalePreset::Small => DeviceCounts {
+                cloud_vms: 2_500,
+                cloud_servers: 300,
+                enterprise_servers: 400,
+                isp_routers: 250,
+                border_routers: 120,
+                cpe_devices: 2_500,
+            },
+            ScalePreset::PaperShape => DeviceCounts {
+                cloud_vms: 40_000,
+                cloud_servers: 2_400,
+                enterprise_servers: 6_000,
+                isp_routers: 2_000,
+                border_routers: 900,
+                cpe_devices: 42_000,
+            },
+        };
+        let as_counts = match preset {
+            ScalePreset::Tiny => AsCounts { cloud: 4, isp: 6, enterprise: 5 },
+            ScalePreset::Small => AsCounts { cloud: 12, isp: 25, enterprise: 20 },
+            ScalePreset::PaperShape => AsCounts { cloud: 40, isp: 220, enterprise: 120 },
+        };
+        InternetConfig {
+            seed,
+            as_counts,
+            devices,
+            cloud: CloudParams {
+                vm_dual_stack_prob: 0.035,
+                vm_ipv6_only_prob: 0.012,
+                server_v4_range: (2, 6),
+                server_lb_fraction: 0.03,
+                server_lb_max: 220,
+                server_dual_stack_prob: 0.22,
+                server_v6_range: (2, 8),
+                server_snmp_prob: 0.04,
+            },
+            isp: IspParams {
+                router_snmp_prob: 0.88,
+                router_ssh_prob: 0.14,
+                router_ifaces_mean: 9.0,
+                router_ifaces_max: 400,
+                router_dual_stack_prob: 0.06,
+                router_v6_max: 6,
+                router_silent_bgp_prob: 0.55,
+                cpe_snmp_prob: 0.62,
+                cpe_ssh_prob: 0.22,
+                cpe_two_addr_prob: 0.04,
+                cpe_dual_stack_prob: 0.015,
+                cpe_dynamic_prob: 0.5,
+            },
+            border: BorderParams {
+                ifaces_mean: 11.0,
+                ifaces_max: 500,
+                foreign_as_prob: 0.28,
+                snmp_prob: 0.45,
+                ssh_prob: 0.12,
+                dual_stack_prob: 0.14,
+                v6_max: 8,
+            },
+            enterprise_ssh_prob: 0.92,
+            enterprise_two_addr_prob: 0.08,
+            acl: AclParams { ssh_coverage: 0.9, bgp_coverage: 0.75, snmp_coverage: 0.85 },
+            anomalies: AnomalyParams {
+                default_key_fraction: 0.003,
+                capability_divergence_fraction: 0.004,
+                duplicate_bgp_identifier_fraction: 0.01,
+            },
+            visibility: VisibilityParams {
+                single_vp_invisible_fraction: 0.27,
+                censys_coverage: 0.88,
+                censys_nonstandard_port_fraction: 0.2,
+                hitlist_coverage: 0.72,
+            },
+            ipid_routers: IpidMix::router(),
+            ipid_servers: IpidMix::server(),
+            // Roughly 6% of dynamic pools are reassigned over the three weeks
+            // separating the Censys snapshot from the active scan — enough to
+            // reproduce the churn-driven validation disagreements the paper
+            // discusses without letting churn dominate them.
+            churn: ChurnParams { daily_reassign_prob: 0.003 },
+            ping: PingParams { router_prob: 0.85, server_prob: 0.6, common_source_prob: 0.3 },
+        }
+    }
+
+    /// The tiny preset used by unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self::preset(ScalePreset::Tiny, seed)
+    }
+
+    /// The small preset used by examples and benches.
+    pub fn small(seed: u64) -> Self {
+        Self::preset(ScalePreset::Small, seed)
+    }
+
+    /// The default experiment preset.
+    pub fn paper_shape(seed: u64) -> Self {
+        Self::preset(ScalePreset::PaperShape, seed)
+    }
+
+    /// Total number of devices that will be generated.
+    pub fn total_devices(&self) -> usize {
+        let d = &self.devices;
+        d.cloud_vms
+            + d.cloud_servers
+            + d.enterprise_servers
+            + d.isp_routers
+            + d.border_routers
+            + d.cpe_devices
+    }
+
+    /// Sanity-check probability parameters; returns a list of offending
+    /// field names (empty when the configuration is valid).
+    pub fn validate(&self) -> Vec<&'static str> {
+        let mut bad = Vec::new();
+        let mut check = |name: &'static str, value: f64| {
+            if !(0.0..=1.0).contains(&value) {
+                bad.push(name);
+            }
+        };
+        check("cloud.vm_dual_stack_prob", self.cloud.vm_dual_stack_prob);
+        check("cloud.vm_ipv6_only_prob", self.cloud.vm_ipv6_only_prob);
+        check("cloud.server_lb_fraction", self.cloud.server_lb_fraction);
+        check("cloud.server_dual_stack_prob", self.cloud.server_dual_stack_prob);
+        check("cloud.server_snmp_prob", self.cloud.server_snmp_prob);
+        check("isp.router_snmp_prob", self.isp.router_snmp_prob);
+        check("isp.router_ssh_prob", self.isp.router_ssh_prob);
+        check("isp.router_dual_stack_prob", self.isp.router_dual_stack_prob);
+        check("isp.router_silent_bgp_prob", self.isp.router_silent_bgp_prob);
+        check("isp.cpe_snmp_prob", self.isp.cpe_snmp_prob);
+        check("isp.cpe_ssh_prob", self.isp.cpe_ssh_prob);
+        check("isp.cpe_two_addr_prob", self.isp.cpe_two_addr_prob);
+        check("isp.cpe_dual_stack_prob", self.isp.cpe_dual_stack_prob);
+        check("isp.cpe_dynamic_prob", self.isp.cpe_dynamic_prob);
+        check("border.foreign_as_prob", self.border.foreign_as_prob);
+        check("border.snmp_prob", self.border.snmp_prob);
+        check("border.ssh_prob", self.border.ssh_prob);
+        check("border.dual_stack_prob", self.border.dual_stack_prob);
+        check("enterprise_ssh_prob", self.enterprise_ssh_prob);
+        check("enterprise_two_addr_prob", self.enterprise_two_addr_prob);
+        check("acl.ssh_coverage", self.acl.ssh_coverage);
+        check("acl.bgp_coverage", self.acl.bgp_coverage);
+        check("acl.snmp_coverage", self.acl.snmp_coverage);
+        check("anomalies.default_key_fraction", self.anomalies.default_key_fraction);
+        check(
+            "anomalies.capability_divergence_fraction",
+            self.anomalies.capability_divergence_fraction,
+        );
+        check(
+            "anomalies.duplicate_bgp_identifier_fraction",
+            self.anomalies.duplicate_bgp_identifier_fraction,
+        );
+        check("visibility.single_vp_invisible_fraction", self.visibility.single_vp_invisible_fraction);
+        check("visibility.censys_coverage", self.visibility.censys_coverage);
+        check(
+            "visibility.censys_nonstandard_port_fraction",
+            self.visibility.censys_nonstandard_port_fraction,
+        );
+        check("visibility.hitlist_coverage", self.visibility.hitlist_coverage);
+        check("churn.daily_reassign_prob", self.churn.daily_reassign_prob);
+        check("ping.router_prob", self.ping.router_prob);
+        check("ping.server_prob", self.ping.server_prob);
+        check("ping.common_source_prob", self.ping.common_source_prob);
+        for (name, mix) in [("ipid_routers", self.ipid_routers), ("ipid_servers", self.ipid_servers)]
+        {
+            let total =
+                mix.shared_monotonic + mix.per_interface + mix.random + mix.constant;
+            if (total - 1.0).abs() > 1e-6 {
+                bad.push(match name {
+                    "ipid_routers" => "ipid_routers (mix does not sum to 1)",
+                    _ => "ipid_servers (mix does not sum to 1)",
+                });
+            }
+        }
+        if self.as_counts.cloud == 0 || self.as_counts.isp == 0 {
+            bad.push("as_counts");
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for preset in [ScalePreset::Tiny, ScalePreset::Small, ScalePreset::PaperShape] {
+            let config = InternetConfig::preset(preset, 1);
+            assert!(config.validate().is_empty(), "{preset:?}: {:?}", config.validate());
+            assert!(config.total_devices() > 0);
+        }
+    }
+
+    #[test]
+    fn preset_sizes_are_ordered() {
+        let tiny = InternetConfig::tiny(1).total_devices();
+        let small = InternetConfig::small(1).total_devices();
+        let paper = InternetConfig::paper_shape(1).total_devices();
+        assert!(tiny < small && small < paper);
+    }
+
+    #[test]
+    fn validation_catches_bad_probabilities() {
+        let mut config = InternetConfig::tiny(1);
+        config.acl.ssh_coverage = 1.5;
+        config.isp.cpe_snmp_prob = -0.1;
+        let bad = config.validate();
+        assert!(bad.contains(&"acl.ssh_coverage"));
+        assert!(bad.contains(&"isp.cpe_snmp_prob"));
+    }
+
+    #[test]
+    fn validation_catches_bad_ipid_mix() {
+        let mut config = InternetConfig::tiny(1);
+        config.ipid_routers.random += 0.5;
+        assert!(!config.validate().is_empty());
+    }
+
+    #[test]
+    fn ipid_mixes_sum_to_one() {
+        for mix in [IpidMix::router(), IpidMix::server()] {
+            let total = mix.shared_monotonic + mix.per_interface + mix.random + mix.constant;
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clone_and_compare() {
+        let config = InternetConfig::tiny(7);
+        let copy = config.clone();
+        assert_eq!(config, copy);
+        let mut other = config.clone();
+        other.seed = 8;
+        assert_ne!(config, other);
+    }
+}

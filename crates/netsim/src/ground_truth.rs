@@ -1,0 +1,217 @@
+//! Ground truth: the device-to-address mapping the real Internet never
+//! reveals.
+//!
+//! Because the substrate is simulated, every inference made by the toolkit
+//! can be scored against the true aliasing relation.  The paper can only
+//! cross-validate techniques against each other (Table 2); here we can also
+//! compute precision and recall directly, which the evaluation harness
+//! reports alongside the paper-style agreement numbers.
+
+use crate::ids::DeviceId;
+use std::collections::{BTreeSet, HashMap};
+use std::net::IpAddr;
+
+/// The true aliasing relation of a simulated Internet.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Address → owning device.
+    pub owner: HashMap<IpAddr, DeviceId>,
+    /// Device → all of its addresses (IPv4 and IPv6).
+    pub addresses: HashMap<DeviceId, BTreeSet<IpAddr>>,
+}
+
+impl GroundTruth {
+    /// Record that `addr` belongs to `device`.
+    pub fn insert(&mut self, device: DeviceId, addr: IpAddr) {
+        self.owner.insert(addr, device);
+        self.addresses.entry(device).or_default().insert(addr);
+    }
+
+    /// The device owning `addr`, if it exists.
+    pub fn device_of(&self, addr: IpAddr) -> Option<DeviceId> {
+        self.owner.get(&addr).copied()
+    }
+
+    /// Whether two addresses are true aliases (same device).
+    pub fn are_aliases(&self, a: IpAddr, b: IpAddr) -> bool {
+        match (self.device_of(a), self.device_of(b)) {
+            (Some(da), Some(db)) => da == db,
+            _ => false,
+        }
+    }
+
+    /// Number of known addresses.
+    pub fn address_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Score a collection of inferred alias sets against the ground truth.
+    ///
+    /// Returns pairwise precision and recall restricted to the addresses
+    /// that appear in the inferred sets (an inference technique cannot be
+    /// penalised for addresses it never probed).
+    pub fn score_sets<'a, I, S>(&self, sets: I) -> PairwiseScore
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = &'a IpAddr>,
+    {
+        let mut true_positive_pairs: u64 = 0;
+        let mut inferred_pairs: u64 = 0;
+        let mut addresses_seen: BTreeSet<IpAddr> = BTreeSet::new();
+        let mut inferred_partition: HashMap<IpAddr, usize> = HashMap::new();
+
+        for (set_idx, set) in sets.into_iter().enumerate() {
+            let members: Vec<IpAddr> = set.into_iter().copied().collect();
+            for addr in &members {
+                addresses_seen.insert(*addr);
+                inferred_partition.insert(*addr, set_idx);
+            }
+            for i in 0..members.len() {
+                for j in i + 1..members.len() {
+                    inferred_pairs += 1;
+                    if self.are_aliases(members[i], members[j]) {
+                        true_positive_pairs += 1;
+                    }
+                }
+            }
+        }
+
+        // Recall denominator: true alias pairs among the addresses the
+        // technique produced output for.
+        let mut true_pairs: u64 = 0;
+        let mut per_device: HashMap<DeviceId, u64> = HashMap::new();
+        for addr in &addresses_seen {
+            if let Some(dev) = self.device_of(*addr) {
+                *per_device.entry(dev).or_insert(0) += 1;
+            }
+        }
+        for count in per_device.values() {
+            true_pairs += count * (count - 1) / 2;
+        }
+
+        PairwiseScore {
+            inferred_pairs,
+            true_positive_pairs,
+            true_pairs,
+        }
+    }
+}
+
+/// Pairwise precision/recall of an inferred alias partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseScore {
+    /// Number of address pairs placed in the same inferred set.
+    pub inferred_pairs: u64,
+    /// Of those, the pairs that really share a device.
+    pub true_positive_pairs: u64,
+    /// True alias pairs among all addresses covered by the inference.
+    pub true_pairs: u64,
+}
+
+impl PairwiseScore {
+    /// Pairwise precision (1.0 when no pairs were inferred).
+    pub fn precision(&self) -> f64 {
+        if self.inferred_pairs == 0 {
+            1.0
+        } else {
+            self.true_positive_pairs as f64 / self.inferred_pairs as f64
+        }
+    }
+
+    /// Pairwise recall (1.0 when there were no true pairs to find).
+    pub fn recall(&self) -> f64 {
+        if self.true_pairs == 0 {
+            1.0
+        } else {
+            self.true_positive_pairs as f64 / self.true_pairs as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn sample_truth() -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        gt.insert(DeviceId(0), ip("10.0.0.1"));
+        gt.insert(DeviceId(0), ip("10.0.0.2"));
+        gt.insert(DeviceId(0), ip("10.0.0.3"));
+        gt.insert(DeviceId(1), ip("10.0.1.1"));
+        gt.insert(DeviceId(1), ip("10.0.1.2"));
+        gt.insert(DeviceId(2), ip("10.0.2.1"));
+        gt
+    }
+
+    #[test]
+    fn alias_lookup() {
+        let gt = sample_truth();
+        assert!(gt.are_aliases(ip("10.0.0.1"), ip("10.0.0.3")));
+        assert!(!gt.are_aliases(ip("10.0.0.1"), ip("10.0.1.1")));
+        assert!(!gt.are_aliases(ip("10.0.0.1"), ip("192.0.2.1")));
+        assert_eq!(gt.device_of(ip("10.0.1.2")), Some(DeviceId(1)));
+        assert_eq!(gt.address_count(), 6);
+    }
+
+    #[test]
+    fn perfect_inference_scores_one() {
+        let gt = sample_truth();
+        let sets: Vec<Vec<IpAddr>> = vec![
+            vec![ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.0.3")],
+            vec![ip("10.0.1.1"), ip("10.0.1.2")],
+        ];
+        let score = gt.score_sets(sets.iter().map(|s| s.iter()));
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(score.f1(), 1.0);
+    }
+
+    #[test]
+    fn over_merging_hurts_precision() {
+        let gt = sample_truth();
+        let sets: Vec<Vec<IpAddr>> =
+            vec![vec![ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.1.1")]];
+        let score = gt.score_sets(sets.iter().map(|s| s.iter()));
+        assert!(score.precision() < 1.0);
+        // 1 true pair inferred of 3 inferred pairs.
+        assert_eq!(score.true_positive_pairs, 1);
+        assert_eq!(score.inferred_pairs, 3);
+    }
+
+    #[test]
+    fn splitting_hurts_recall() {
+        let gt = sample_truth();
+        let sets: Vec<Vec<IpAddr>> = vec![
+            vec![ip("10.0.0.1"), ip("10.0.0.2")],
+            vec![ip("10.0.0.3")],
+        ];
+        let score = gt.score_sets(sets.iter().map(|s| s.iter()));
+        assert_eq!(score.precision(), 1.0);
+        // The three addresses of device 0 form 3 true pairs; only 1 inferred.
+        assert!((score.recall() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inference_scores_trivially() {
+        let gt = sample_truth();
+        let sets: Vec<Vec<IpAddr>> = Vec::new();
+        let score = gt.score_sets(sets.iter().map(|s| s.iter()));
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+    }
+}

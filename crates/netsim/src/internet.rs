@@ -1,0 +1,642 @@
+//! The simulated Internet and its probe API.
+//!
+//! Scanners interact with the simulated Internet exactly the way ZMap,
+//! ZGrab2, an SNMP prober or MIDAR interact with the real one: stateless
+//! TCP SYN probes, stateful application-layer sessions, UDP datagrams and
+//! ICMP echo probes.  Each probe is answered (or not) according to the
+//! target device's configuration, its ACLs, the probing vantage point and
+//! the current simulated time.
+
+use crate::clock::SimTime;
+use crate::config::InternetConfig;
+use crate::device::{Device, DeviceKind};
+use crate::ground_truth::GroundTruth;
+use crate::ids::{Asn, DeviceId};
+use crate::profiles::{BgpProfile, SshProfile};
+use crate::services;
+use crate::topology::{AutonomousSystem, Ipv4Prefix};
+use crate::vantage::VantageKind;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv6Addr};
+
+/// Default TCP port of the SSH service.
+pub const SSH_PORT: u16 = 22;
+/// Default TCP port of BGP.
+pub const BGP_PORT: u16 = 179;
+/// Default UDP port of SNMP.
+pub const SNMP_PORT: u16 = 161;
+
+/// Application protocols the toolkit scans for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ServiceProtocol {
+    /// SSH on TCP/22.
+    Ssh,
+    /// BGP on TCP/179.
+    Bgp,
+    /// SNMPv3 on UDP/161.
+    Snmpv3,
+}
+
+impl ServiceProtocol {
+    /// The protocol's default port.
+    pub fn default_port(self) -> u16 {
+        match self {
+            ServiceProtocol::Ssh => SSH_PORT,
+            ServiceProtocol::Bgp => BGP_PORT,
+            ServiceProtocol::Snmpv3 => SNMP_PORT,
+        }
+    }
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceProtocol::Ssh => "ssh",
+            ServiceProtocol::Bgp => "bgp",
+            ServiceProtocol::Snmpv3 => "snmpv3",
+        }
+    }
+}
+
+/// Context attached to every probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeContext {
+    /// Which measurement infrastructure emitted the probe.
+    pub vantage: VantageKind,
+    /// Simulated time of the probe.
+    pub time: SimTime,
+}
+
+impl ProbeContext {
+    /// A single-VP probe at the given time.
+    pub fn single(time: SimTime) -> Self {
+        ProbeContext { vantage: VantageKind::SingleVp, time }
+    }
+
+    /// A distributed-fleet probe at the given time.
+    pub fn distributed(time: SimTime) -> Self {
+        ProbeContext { vantage: VantageKind::Distributed, time }
+    }
+}
+
+/// Outcome of a TCP SYN probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynResult {
+    /// The port is open: the target answered SYN-ACK.
+    SynAck,
+    /// The target answered with RST (host up, port closed).
+    Rst,
+    /// No answer (no such host, filtered, or rate limited).
+    Timeout,
+}
+
+/// What an ICMP echo probe observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EchoObservation {
+    /// The IPID of the echo reply's IPv4 header.
+    pub ipid: u16,
+    /// Simulated time the reply was received.
+    pub time: SimTime,
+}
+
+/// The simulated Internet.
+pub struct Internet {
+    config: InternetConfig,
+    devices: Vec<Device>,
+    ases: Vec<AutonomousSystem>,
+    ip_index: HashMap<IpAddr, (DeviceId, usize)>,
+    ssh_profiles: Vec<SshProfile>,
+    bgp_profiles: Vec<BgpProfile>,
+    /// Simulated time each device last (re)booted, for SNMP engine time.
+    boot_time: SimTime,
+}
+
+impl Internet {
+    /// Assemble an Internet from generated parts (used by the builder).
+    pub(crate) fn from_parts(
+        config: InternetConfig,
+        devices: Vec<Device>,
+        ases: Vec<AutonomousSystem>,
+        ssh_profiles: Vec<SshProfile>,
+        bgp_profiles: Vec<BgpProfile>,
+    ) -> Self {
+        let mut ip_index = HashMap::new();
+        for device in &devices {
+            for (iface_idx, iface) in device.interfaces.iter().enumerate() {
+                ip_index.insert(iface.addr, (device.id, iface_idx));
+            }
+        }
+        Internet {
+            config,
+            devices,
+            ases,
+            ip_index,
+            ssh_profiles,
+            bgp_profiles,
+            boot_time: SimTime::ZERO,
+        }
+    }
+
+    /// The configuration the Internet was generated from.
+    pub fn config(&self) -> &InternetConfig {
+        &self.config
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// A device by id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// All autonomous systems.
+    pub fn ases(&self) -> &[AutonomousSystem] {
+        &self.ases
+    }
+
+    /// Number of addresses in the index.
+    pub fn address_count(&self) -> usize {
+        self.ip_index.len()
+    }
+
+    /// The device and interface index owning `addr`.
+    pub fn lookup(&self, addr: IpAddr) -> Option<(DeviceId, usize)> {
+        self.ip_index.get(&addr).copied()
+    }
+
+    /// The AS announcing `addr`, mirroring what a scanner would learn from a
+    /// BGP routing table / IP-to-ASN database.
+    pub fn ip_to_asn(&self, addr: IpAddr) -> Option<Asn> {
+        let (device_id, iface_idx) = self.lookup(addr)?;
+        Some(self.device(device_id).interfaces[iface_idx].asn)
+    }
+
+    /// The routed IPv4 prefixes (what a ZMap-like scanner sweeps).
+    pub fn routed_v4_prefixes(&self) -> Vec<Ipv4Prefix> {
+        self.ases.iter().map(|a| a.ipv4_prefix).collect()
+    }
+
+    /// Every IPv6 address on which at least one service answers — the
+    /// population an ideal IPv6 hitlist would contain.
+    pub fn active_ipv6_service_addrs(&self) -> Vec<Ipv6Addr> {
+        let mut out = Vec::new();
+        for device in &self.devices {
+            for addr in device
+                .ssh_responding_addrs()
+                .into_iter()
+                .chain(device.bgp_responding_addrs())
+                .chain(device.snmp_responding_addrs())
+            {
+                if let IpAddr::V6(v6) = addr {
+                    out.push(v6);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The SSH profile table.
+    pub fn ssh_profiles(&self) -> &[SshProfile] {
+        &self.ssh_profiles
+    }
+
+    /// The BGP profile table.
+    pub fn bgp_profiles(&self) -> &[BgpProfile] {
+        &self.bgp_profiles
+    }
+
+    fn device_visible(&self, device: &Device, ctx: &ProbeContext) -> bool {
+        match ctx.vantage {
+            VantageKind::SingleVp => device.visible_to_single_vp,
+            VantageKind::Distributed => true,
+        }
+    }
+
+    /// Send a TCP SYN to `dst:port`.
+    pub fn syn_probe(&self, dst: IpAddr, port: u16, ctx: &ProbeContext) -> SynResult {
+        let Some((device_id, iface_idx)) = self.lookup(dst) else {
+            return SynResult::Timeout;
+        };
+        let device = self.device(device_id);
+        if !self.device_visible(device, ctx) {
+            return SynResult::Timeout;
+        }
+        let open = match port {
+            SSH_PORT => device.ssh_responds_on(iface_idx),
+            BGP_PORT => device.bgp_responds_on(iface_idx),
+            _ => false,
+        };
+        if open {
+            SynResult::SynAck
+        } else {
+            SynResult::Rst
+        }
+    }
+
+    /// Complete the TCP handshake on `dst:port` and capture the unsolicited
+    /// (or banner-exchange) bytes the server sends.
+    ///
+    /// Returns `None` if no service answers at all, and `Some(Vec::new())`
+    /// for services that accept the connection but close without sending
+    /// data (the silent BGP majority).
+    pub fn service_session(&self, dst: IpAddr, port: u16, ctx: &ProbeContext) -> Option<Vec<u8>> {
+        let (device_id, iface_idx) = self.lookup(dst)?;
+        let device = self.device(device_id);
+        if !self.device_visible(device, ctx) {
+            return None;
+        }
+        match port {
+            SSH_PORT if device.ssh_responds_on(iface_idx) => {
+                let ssh = device.ssh.as_ref().expect("responds implies configured");
+                let profile = &self.ssh_profiles[ssh.profile.0 as usize];
+                let divergent = if ssh.divergent_capability_ifaces.contains(&iface_idx) {
+                    ssh.divergent_profile.map(|p| &self.ssh_profiles[p.0 as usize])
+                } else {
+                    None
+                };
+                let cookie_seed = (device_id.0 as u64) << 32
+                    | (iface_idx as u64) << 16
+                    | (ctx.time.as_millis() & 0xffff);
+                Some(services::ssh_session_bytes(profile, divergent, &ssh.host_key, cookie_seed))
+            }
+            BGP_PORT if device.bgp_responds_on(iface_idx) => {
+                let bgp = device.bgp.as_ref().expect("responds implies configured");
+                let profile = &self.bgp_profiles[bgp.profile.0 as usize];
+                Some(services::bgp_session_bytes(profile, bgp.bgp_identifier, bgp.asn))
+            }
+            _ => None,
+        }
+    }
+
+    /// Send an SNMPv3 datagram to `dst` and capture the response.
+    pub fn snmp_probe(&self, dst: IpAddr, request: &[u8], ctx: &ProbeContext) -> Option<Vec<u8>> {
+        let (device_id, iface_idx) = self.lookup(dst)?;
+        let device = self.device(device_id);
+        if !self.device_visible(device, ctx) || !device.snmp_responds_on(iface_idx) {
+            return None;
+        }
+        let snmp = device.snmp.as_ref().expect("responds implies configured");
+        services::snmp_report_bytes(
+            &snmp.engine_id,
+            snmp.engine_boots,
+            self.boot_time,
+            ctx.time,
+            request,
+        )
+    }
+
+    /// Send an ICMP echo request to `dst` (IPv4 only) and observe the reply's
+    /// IPID, advancing the device's IPID counter.
+    pub fn icmp_echo(&self, dst: IpAddr, ctx: &ProbeContext) -> Option<EchoObservation> {
+        if !dst.is_ipv4() {
+            return None;
+        }
+        let (device_id, iface_idx) = self.lookup(dst)?;
+        let device = self.device(device_id);
+        if !self.device_visible(device, ctx) || !device.responds_to_ping {
+            return None;
+        }
+        let ipid = device.ipid.lock().next_ipid(ctx.time, iface_idx);
+        Some(EchoObservation { ipid, time: ctx.time })
+    }
+
+    /// Send a UDP datagram to a closed port on `dst` and observe the source
+    /// address of the resulting ICMP port-unreachable (the iffinder /
+    /// common-source-address technique).  `None` means no error was returned.
+    pub fn udp_closed_port_probe(&self, dst: IpAddr, ctx: &ProbeContext) -> Option<IpAddr> {
+        let (device_id, _) = self.lookup(dst)?;
+        let device = self.device(device_id);
+        if !self.device_visible(device, ctx) || !device.responds_to_ping {
+            return None;
+        }
+        match device.icmp_error_source {
+            Some(iface_idx) => Some(device.interfaces[iface_idx].addr),
+            None => Some(dst),
+        }
+    }
+
+    /// Reassign addresses of dynamic devices to model address churn over the
+    /// interval `[from, to]`.
+    ///
+    /// Dynamic devices in the same AS pool swap IPv4 addresses with a
+    /// probability derived from [`crate::config::ChurnParams`]; this is what
+    /// breaks long-running measurements (the paper attributes part of the
+    /// MIDAR disagreement to churn over its three-week run).
+    pub fn apply_churn(&mut self, from: SimTime, to: SimTime) -> usize {
+        let elapsed_days = (to.since(from).as_secs() as f64) / 86_400.0;
+        let prob = (self.config.churn.daily_reassign_prob * elapsed_days).min(1.0);
+        if prob <= 0.0 {
+            return 0;
+        }
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.config.seed ^ to.as_millis().rotate_left(17));
+
+        // Collect dynamic single-v4 devices per AS.
+        let mut pools: HashMap<Asn, Vec<DeviceId>> = HashMap::new();
+        for device in &self.devices {
+            if device.dynamic_addresses {
+                if let Some(iface) = device.interfaces.first() {
+                    if iface.addr.is_ipv4() {
+                        pools.entry(iface.asn).or_default().push(device.id);
+                    }
+                }
+            }
+        }
+
+        let mut swapped = 0;
+        for (_, pool) in pools {
+            if pool.len() < 2 {
+                continue;
+            }
+            let mut shuffled = pool.clone();
+            shuffled.shuffle(&mut rng);
+            for pair in shuffled.chunks_exact(2) {
+                if rand::Rng::gen_bool(&mut rng, prob) {
+                    self.swap_first_v4(pair[0], pair[1]);
+                    swapped += 1;
+                }
+            }
+        }
+        swapped
+    }
+
+    fn swap_first_v4(&mut self, a: DeviceId, b: DeviceId) {
+        let addr_a = self.devices[a.index()].interfaces[0].addr;
+        let addr_b = self.devices[b.index()].interfaces[0].addr;
+        self.devices[a.index()].interfaces[0].addr = addr_b;
+        self.devices[b.index()].interfaces[0].addr = addr_a;
+        self.ip_index.insert(addr_b, (a, 0));
+        self.ip_index.insert(addr_a, (b, 0));
+    }
+
+    /// The true aliasing relation.
+    pub fn ground_truth(&self) -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        for device in &self.devices {
+            for iface in &device.interfaces {
+                gt.insert(device.id, iface.addr);
+            }
+        }
+        gt
+    }
+
+    /// Summary statistics about the generated population (used by the
+    /// `stats` experiment binary and in tests).
+    pub fn population_stats(&self) -> PopulationStats {
+        let mut stats = PopulationStats::default();
+        for device in &self.devices {
+            stats.devices += 1;
+            match device.kind {
+                DeviceKind::CloudVm => stats.cloud_vms += 1,
+                DeviceKind::CloudServer => stats.cloud_servers += 1,
+                DeviceKind::IspRouter => stats.isp_routers += 1,
+                DeviceKind::BorderRouter => stats.border_routers += 1,
+                DeviceKind::Cpe => stats.cpe_devices += 1,
+                DeviceKind::EnterpriseServer => stats.enterprise_servers += 1,
+            }
+            if device.is_dual_stack() {
+                stats.dual_stack_devices += 1;
+            }
+            stats.ssh_responding_addrs += device.ssh_responding_addrs().len();
+            stats.bgp_responding_addrs += device.bgp_responding_addrs().len();
+            stats.snmp_responding_addrs += device.snmp_responding_addrs().len();
+            if device.bgp.is_some() {
+                let profile =
+                    &self.bgp_profiles[device.bgp.as_ref().unwrap().profile.0 as usize];
+                if profile.sends_open {
+                    stats.bgp_open_senders += 1;
+                } else {
+                    stats.bgp_silent_closers += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Aggregate counts describing the generated population.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopulationStats {
+    /// Total devices.
+    pub devices: usize,
+    /// Single-address cloud VMs.
+    pub cloud_vms: usize,
+    /// Multi-address cloud servers.
+    pub cloud_servers: usize,
+    /// ISP routers.
+    pub isp_routers: usize,
+    /// Border routers.
+    pub border_routers: usize,
+    /// CPE devices.
+    pub cpe_devices: usize,
+    /// Enterprise servers.
+    pub enterprise_servers: usize,
+    /// Devices with both IPv4 and IPv6 interfaces.
+    pub dual_stack_devices: usize,
+    /// Interface addresses answering SSH.
+    pub ssh_responding_addrs: usize,
+    /// Interface addresses answering BGP.
+    pub bgp_responding_addrs: usize,
+    /// Interface addresses answering SNMPv3.
+    pub snmp_responding_addrs: usize,
+    /// BGP speakers that send an OPEN to unsolicited peers.
+    pub bgp_open_senders: usize,
+    /// BGP speakers that close silently.
+    pub bgp_silent_closers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::InternetBuilder;
+    use crate::config::InternetConfig;
+    use alias_wire::snmp::Snmpv3Message;
+
+    fn tiny_internet() -> Internet {
+        InternetBuilder::new(InternetConfig::tiny(42)).build()
+    }
+
+    #[test]
+    fn lookup_and_asn_mapping_are_consistent() {
+        let internet = tiny_internet();
+        let device = internet
+            .devices()
+            .iter()
+            .find(|d| !d.interfaces.is_empty())
+            .expect("devices exist");
+        let iface = device.interfaces[0];
+        assert_eq!(internet.lookup(iface.addr), Some((device.id, 0)));
+        assert_eq!(internet.ip_to_asn(iface.addr), Some(iface.asn));
+        assert_eq!(internet.ip_to_asn("203.0.113.7".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn syn_probe_matches_service_configuration() {
+        let internet = tiny_internet();
+        let ctx = ProbeContext::distributed(SimTime::from_secs(1));
+        let mut saw_ssh = false;
+        for device in internet.devices() {
+            for addr in device.ssh_responding_addrs() {
+                assert_eq!(internet.syn_probe(addr, SSH_PORT, &ctx), SynResult::SynAck);
+                saw_ssh = true;
+            }
+        }
+        assert!(saw_ssh, "the tiny preset should include SSH hosts");
+        // An address that exists but has no BGP service answers RST.
+        let non_bgp = internet
+            .devices()
+            .iter()
+            .find(|d| d.bgp.is_none() && !d.interfaces.is_empty())
+            .unwrap();
+        assert_eq!(
+            internet.syn_probe(non_bgp.interfaces[0].addr, BGP_PORT, &ctx),
+            SynResult::Rst
+        );
+        // A hole in the address space times out.
+        assert_eq!(
+            internet.syn_probe("250.250.250.250".parse().unwrap(), SSH_PORT, &ctx),
+            SynResult::Timeout
+        );
+    }
+
+    #[test]
+    fn single_vp_sees_fewer_hosts_than_distributed() {
+        let internet = tiny_internet();
+        let time = SimTime::from_secs(1);
+        let single = ProbeContext::single(time);
+        let distributed = ProbeContext::distributed(time);
+        let mut single_count = 0;
+        let mut distributed_count = 0;
+        for device in internet.devices() {
+            for addr in device.ssh_responding_addrs() {
+                if internet.syn_probe(addr, SSH_PORT, &single) == SynResult::SynAck {
+                    single_count += 1;
+                }
+                if internet.syn_probe(addr, SSH_PORT, &distributed) == SynResult::SynAck {
+                    distributed_count += 1;
+                }
+            }
+        }
+        assert!(single_count < distributed_count);
+        assert!(single_count > 0);
+    }
+
+    #[test]
+    fn service_session_produces_parseable_ssh() {
+        let internet = tiny_internet();
+        let ctx = ProbeContext::distributed(SimTime::from_secs(5));
+        let device = internet
+            .devices()
+            .iter()
+            .find(|d| !d.ssh_responding_addrs().is_empty())
+            .unwrap();
+        let addr = device.ssh_responding_addrs()[0];
+        let bytes = internet.service_session(addr, SSH_PORT, &ctx).unwrap();
+        let (banner, _) = alias_wire::ssh::Banner::parse(&bytes).unwrap();
+        assert!(banner.is_v2() || !banner.software.is_empty());
+    }
+
+    #[test]
+    fn snmp_probe_answers_discovery_only_on_configured_interfaces() {
+        let internet = tiny_internet();
+        let ctx = ProbeContext::distributed(SimTime::from_secs(9));
+        let request = Snmpv3Message::DiscoveryRequest { msg_id: 5 }.to_bytes();
+        let device = internet
+            .devices()
+            .iter()
+            .find(|d| !d.snmp_responding_addrs().is_empty())
+            .expect("tiny preset has SNMP devices");
+        let addr = device.snmp_responding_addrs()[0];
+        let reply = internet.snmp_probe(addr, &request, &ctx).unwrap();
+        assert!(matches!(
+            Snmpv3Message::parse(&reply).unwrap(),
+            Snmpv3Message::Report { msg_id: 5, .. }
+        ));
+        // Garbage requests are ignored.
+        assert!(internet.snmp_probe(addr, b"not-snmp", &ctx).is_none());
+    }
+
+    #[test]
+    fn icmp_echo_advances_ipid() {
+        let internet = tiny_internet();
+        let device = internet
+            .devices()
+            .iter()
+            .find(|d| d.responds_to_ping && !d.ipv4_addrs().is_empty())
+            .unwrap();
+        let addr = IpAddr::V4(device.ipv4_addrs()[0]);
+        let a = internet
+            .icmp_echo(addr, &ProbeContext::distributed(SimTime::from_secs(1)))
+            .unwrap();
+        let b = internet
+            .icmp_echo(addr, &ProbeContext::distributed(SimTime::from_secs(2)))
+            .unwrap();
+        // For every model except Constant the two samples differ with
+        // overwhelming probability; accept equality only for constant models.
+        let model = device.ipid.lock().model();
+        if !matches!(model, crate::ipid::IpidModel::Constant(_)) {
+            assert_ne!((a.ipid, a.time), (b.ipid, b.time));
+        }
+    }
+
+    #[test]
+    fn churn_swaps_dynamic_addresses_and_keeps_index_consistent() {
+        let mut config = InternetConfig::tiny(7);
+        config.churn.daily_reassign_prob = 1.0;
+        config.isp.cpe_dynamic_prob = 1.0;
+        let mut internet = InternetBuilder::new(config).build();
+        let before: Vec<(DeviceId, IpAddr)> = internet
+            .devices()
+            .iter()
+            .filter(|d| d.dynamic_addresses)
+            .map(|d| (d.id, d.interfaces[0].addr))
+            .collect();
+        assert!(before.len() >= 2);
+        let swapped = internet.apply_churn(SimTime::ZERO, SimTime::from_days(21));
+        assert!(swapped > 0, "three weeks at probability 1.0 must swap something");
+        // The index still maps every address to the device now holding it.
+        for device in internet.devices() {
+            for (idx, iface) in device.interfaces.iter().enumerate() {
+                assert_eq!(internet.lookup(iface.addr), Some((device.id, idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_covers_every_interface() {
+        let internet = tiny_internet();
+        let gt = internet.ground_truth();
+        assert_eq!(gt.address_count(), internet.address_count());
+        for device in internet.devices() {
+            for iface in &device.interfaces {
+                assert_eq!(gt.device_of(iface.addr), Some(device.id));
+            }
+        }
+    }
+
+    #[test]
+    fn population_stats_add_up() {
+        let internet = tiny_internet();
+        let stats = internet.population_stats();
+        assert_eq!(stats.devices, internet.devices().len());
+        assert_eq!(
+            stats.devices,
+            stats.cloud_vms
+                + stats.cloud_servers
+                + stats.isp_routers
+                + stats.border_routers
+                + stats.cpe_devices
+                + stats.enterprise_servers
+        );
+        assert!(stats.ssh_responding_addrs > 0);
+        assert!(stats.snmp_responding_addrs > 0);
+        assert!(stats.bgp_open_senders > 0);
+    }
+}

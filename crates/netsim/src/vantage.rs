@@ -1,0 +1,53 @@
+//! Vantage points.
+//!
+//! The paper's active measurements originate from a single vantage point in
+//! a German data centre, while the Censys snapshot is collected from a
+//! distributed scanning infrastructure.  The distinction matters: single-VP
+//! scans are more likely to trip rate limiting and intrusion-detection
+//! filters, which is one of the reasons Censys observes ~6M more SSH hosts
+//! (Table 1).  Probes therefore carry the kind of vantage point that emitted
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of measurement infrastructure a probe originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VantageKind {
+    /// A single scanning host (the paper's own active measurements).
+    SingleVp,
+    /// A distributed scanning fleet (Censys-like).
+    Distributed,
+}
+
+/// A vantage point description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VantagePoint {
+    /// Human-readable label, e.g. `"de-fra-dc1"`.
+    pub label: String,
+    /// The infrastructure kind.
+    pub kind: VantageKind,
+}
+
+impl VantagePoint {
+    /// The single vantage point used by the active measurements.
+    pub fn active_default() -> Self {
+        VantagePoint { label: "de-datacenter-vp1".to_owned(), kind: VantageKind::SingleVp }
+    }
+
+    /// The distributed vantage used for Censys-like snapshots.
+    pub fn distributed() -> Self {
+        VantagePoint { label: "distributed-fleet".to_owned(), kind: VantageKind::Distributed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_vantages() {
+        assert_eq!(VantagePoint::active_default().kind, VantageKind::SingleVp);
+        assert_eq!(VantagePoint::distributed().kind, VantageKind::Distributed);
+        assert!(!VantagePoint::active_default().label.is_empty());
+    }
+}

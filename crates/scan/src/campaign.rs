@@ -1,0 +1,239 @@
+//! The full active-measurement campaign.
+//!
+//! This module reproduces the paper's data-collection pipeline end to end:
+//!
+//! 1. ZMap SYN scan of the routed IPv4 space on ports 22 and 179,
+//! 2. ZGrab2 service scans of the responsive addresses (SSH and BGP),
+//! 3. an Internet-wide SNMPv3 engine-discovery scan,
+//! 4. an IPv6 hitlist, SYN-scanned and service-scanned the same way,
+//!
+//! all from a single vantage point at a fixed simulated date, producing one
+//! [`CampaignData`] bundle of [`ServiceObservation`] records.
+
+use crate::hitlist::Ipv6Hitlist;
+use crate::records::{DataSource, ServiceObservation};
+use crate::snmp::{SnmpScanConfig, SnmpScanner};
+use crate::zgrab::{ZgrabConfig, ZgrabScanner};
+use crate::zmap::{ZmapConfig, ZmapScanner};
+use alias_netsim::{Internet, ServiceProtocol, SimTime, VantageKind};
+use std::net::IpAddr;
+
+/// Configuration of a measurement campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The vantage point kind (the paper's own scans are single-VP).
+    pub vantage: VantageKind,
+    /// Campaign start (simulated time).
+    pub start: SimTime,
+    /// SYN scan rate in packets per second.
+    pub syn_rate_pps: f64,
+    /// Application-layer scan rate in connections per second.
+    pub grab_rate_pps: f64,
+    /// IPv6 hitlist coverage of truly active addresses.
+    pub hitlist_coverage: f64,
+    /// Fraction of stale entries added to the hitlist.
+    pub hitlist_stale_fraction: f64,
+    /// Seed for permutations and the hitlist sample.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            vantage: VantageKind::SingleVp,
+            start: SimTime::ZERO,
+            syn_rate_pps: 200_000.0,
+            grab_rate_pps: 50_000.0,
+            hitlist_coverage: 0.72,
+            hitlist_stale_fraction: 0.15,
+            seed: 0xa11a5,
+        }
+    }
+}
+
+/// The output of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignData {
+    /// All observations (SSH, BGP, SNMPv3; IPv4 and IPv6).
+    pub observations: Vec<ServiceObservation>,
+    /// The IPv6 hitlist used.
+    pub hitlist: Ipv6Hitlist,
+    /// Simulated time the campaign finished.
+    pub finished_at: SimTime,
+    /// Total SYN probes sent during discovery.
+    pub syn_probes_sent: u64,
+}
+
+impl CampaignData {
+    /// Observations for one protocol.
+    pub fn for_protocol(&self, protocol: ServiceProtocol) -> Vec<&ServiceObservation> {
+        self.observations.iter().filter(|o| o.protocol() == protocol).collect()
+    }
+
+    /// Number of distinct responsive addresses for a protocol.
+    pub fn address_count(&self, protocol: ServiceProtocol) -> usize {
+        let mut addrs: Vec<IpAddr> = self
+            .observations
+            .iter()
+            .filter(|o| o.protocol() == protocol)
+            .map(|o| o.addr)
+            .collect();
+        addrs.sort();
+        addrs.dedup();
+        addrs.len()
+    }
+}
+
+/// Runs the paper's active-measurement pipeline against a simulated Internet.
+#[derive(Debug, Clone)]
+pub struct ActiveCampaign {
+    config: CampaignConfig,
+}
+
+impl ActiveCampaign {
+    /// Create a campaign with the given configuration.
+    pub fn new(config: CampaignConfig) -> Self {
+        ActiveCampaign { config }
+    }
+
+    /// Create a campaign with default settings, taking the hitlist coverage
+    /// from the Internet's own configuration.
+    pub fn with_defaults(internet: &Internet) -> Self {
+        let mut config = CampaignConfig::default();
+        config.hitlist_coverage = internet.config().visibility.hitlist_coverage;
+        Self::new(config)
+    }
+
+    /// Run the campaign.
+    pub fn run(&self, internet: &Internet) -> CampaignData {
+        let cfg = &self.config;
+        let vantage = cfg.vantage;
+        let mut observations = Vec::new();
+
+        // Phase 1: IPv4 SYN discovery on ports 22 and 179.
+        let zmap = ZmapScanner::new(ZmapConfig {
+            ports: vec![22, 179],
+            rate_pps: cfg.syn_rate_pps,
+            seed: cfg.seed,
+        });
+        let syn = zmap.scan_ipv4(internet, vantage, cfg.start);
+        let mut now = syn.finished_at;
+
+        // Phase 2: service scans of the responsive addresses.
+        let zgrab = ZgrabScanner::new(ZgrabConfig {
+            rate_pps: cfg.grab_rate_pps,
+            source: DataSource::Active,
+        });
+        let ssh_obs =
+            zgrab.grab(internet, syn.on_port(22), 22, ServiceProtocol::Ssh, vantage, now);
+        now = ssh_obs.last().map(|o| o.timestamp).unwrap_or(now);
+        observations.extend(ssh_obs);
+        let bgp_obs =
+            zgrab.grab(internet, syn.on_port(179), 179, ServiceProtocol::Bgp, vantage, now);
+        now = bgp_obs.last().map(|o| o.timestamp).unwrap_or(now);
+        observations.extend(bgp_obs);
+
+        // Phase 3: Internet-wide SNMPv3 engine discovery.
+        let snmp = SnmpScanner::new(SnmpScanConfig {
+            rate_pps: cfg.syn_rate_pps,
+            source: DataSource::Active,
+        });
+        let snmp_obs = snmp.scan_routed_space(internet, vantage, now);
+        now = snmp_obs.last().map(|o| o.timestamp).unwrap_or(now);
+        observations.extend(snmp_obs);
+
+        // Phase 4: IPv6 — hitlist-driven discovery and service scans.
+        let hitlist = Ipv6Hitlist::generate(
+            internet,
+            cfg.hitlist_coverage,
+            cfg.hitlist_stale_fraction,
+            cfg.seed,
+        );
+        let v6_syn = zmap.scan_ipv6_list(internet, &hitlist.addrs, vantage, now);
+        now = v6_syn.finished_at;
+        let v6_ssh =
+            zgrab.grab(internet, v6_syn.on_port(22), 22, ServiceProtocol::Ssh, vantage, now);
+        now = v6_ssh.last().map(|o| o.timestamp).unwrap_or(now);
+        observations.extend(v6_ssh);
+        let v6_bgp =
+            zgrab.grab(internet, v6_syn.on_port(179), 179, ServiceProtocol::Bgp, vantage, now);
+        now = v6_bgp.last().map(|o| o.timestamp).unwrap_or(now);
+        observations.extend(v6_bgp);
+        let v6_targets: Vec<IpAddr> = hitlist.addrs.iter().map(|&a| IpAddr::V6(a)).collect();
+        let v6_snmp = snmp.scan(internet, &v6_targets, vantage, now);
+        now = v6_snmp.last().map(|o| o.timestamp).unwrap_or(now);
+        observations.extend(v6_snmp);
+
+        CampaignData {
+            observations,
+            hitlist,
+            finished_at: now,
+            syn_probes_sent: syn.probes_sent + v6_syn.probes_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias_netsim::{InternetBuilder, InternetConfig};
+
+    fn campaign_data() -> (Internet, CampaignData) {
+        let internet = InternetBuilder::new(InternetConfig::tiny(404)).build();
+        let campaign = ActiveCampaign::with_defaults(&internet);
+        let data = campaign.run(&internet);
+        (internet, data)
+    }
+
+    #[test]
+    fn campaign_covers_all_three_protocols_and_both_families() {
+        let (_, data) = campaign_data();
+        assert!(!data.for_protocol(ServiceProtocol::Ssh).is_empty());
+        assert!(!data.for_protocol(ServiceProtocol::Bgp).is_empty());
+        assert!(!data.for_protocol(ServiceProtocol::Snmpv3).is_empty());
+        assert!(data.observations.iter().any(|o| o.is_ipv6()));
+        assert!(data.observations.iter().any(|o| !o.is_ipv6()));
+        assert!(data.syn_probes_sent > 0);
+        assert!(data.finished_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn every_observation_is_from_the_active_source_with_asn() {
+        let (_, data) = campaign_data();
+        for obs in &data.observations {
+            assert_eq!(obs.source, DataSource::Active);
+            assert!(obs.asn.is_some(), "missing ASN annotation for {obs:?}");
+            assert!(obs.is_default_port());
+        }
+    }
+
+    #[test]
+    fn single_vp_campaign_misses_invisible_devices() {
+        let internet = InternetBuilder::new(InternetConfig::tiny(404)).build();
+        let single = ActiveCampaign::new(CampaignConfig::default()).run(&internet);
+        let distributed = ActiveCampaign::new(CampaignConfig {
+            vantage: VantageKind::Distributed,
+            ..Default::default()
+        })
+        .run(&internet);
+        assert!(
+            single.address_count(ServiceProtocol::Ssh)
+                < distributed.address_count(ServiceProtocol::Ssh)
+        );
+    }
+
+    #[test]
+    fn observation_addresses_are_really_responsive_in_ground_truth() {
+        let (internet, data) = campaign_data();
+        for obs in &data.observations {
+            let (device_id, _) = internet.lookup(obs.addr).expect("observed address must exist");
+            let device = internet.device(device_id);
+            let responding = match obs.protocol() {
+                ServiceProtocol::Ssh => device.ssh_responding_addrs(),
+                ServiceProtocol::Bgp => device.bgp_responding_addrs(),
+                ServiceProtocol::Snmpv3 => device.snmp_responding_addrs(),
+            };
+            assert!(responding.contains(&obs.addr));
+        }
+    }
+}

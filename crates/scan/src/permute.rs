@@ -1,0 +1,116 @@
+//! Pseudorandom address permutation.
+//!
+//! ZMap famously iterates the IPv4 space in a pseudorandom order generated
+//! by a cyclic group, so probes to adjacent addresses are spread out in time
+//! and no per-address state is needed.  The simulator's address space is a
+//! list of routed prefixes rather than the whole 2^32 space, so we permute
+//! the index range `[0, n)` instead, using a full-period linear congruential
+//! generator over the next power of two and skipping out-of-range values —
+//! the same stateless-iteration property with a much simpler construction.
+
+/// A bijective pseudorandom permutation of `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct IndexPermutation {
+    n: u64,
+    modulus: u64,
+    multiplier: u64,
+    increment: u64,
+}
+
+impl IndexPermutation {
+    /// Create a permutation of `[0, n)` seeded with `seed`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        let modulus = n.max(2).next_power_of_two();
+        // Full-period LCG over a power-of-two modulus requires:
+        //   increment odd, multiplier ≡ 1 (mod 4).
+        let multiplier = ((seed | 1).wrapping_mul(4)).wrapping_add(1) % modulus;
+        let increment = (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1) % modulus;
+        IndexPermutation { n, modulus, multiplier: multiplier.max(5), increment }
+    }
+
+    /// Number of elements in the permutation.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterate over all indices exactly once in pseudorandom order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut state: u64 = self.increment % self.modulus;
+        let mut emitted = 0u64;
+        std::iter::from_fn(move || {
+            while emitted < self.n {
+                let value = state;
+                state = state
+                    .wrapping_mul(self.multiplier)
+                    .wrapping_add(self.increment)
+                    % self.modulus;
+                if value < self.n {
+                    emitted += 1;
+                    return Some(value);
+                }
+            }
+            None
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for n in [1u64, 2, 3, 10, 255, 256, 1000, 4096] {
+            let perm = IndexPermutation::new(n, 42);
+            let mut seen = vec![false; n as usize];
+            let mut count = 0u64;
+            for idx in perm.iter() {
+                assert!(!seen[idx as usize], "index {idx} emitted twice for n={n}");
+                seen[idx as usize] = true;
+                count += 1;
+            }
+            assert_eq!(count, n);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a: Vec<u64> = IndexPermutation::new(1000, 1).iter().collect();
+        let b: Vec<u64> = IndexPermutation::new(1000, 2).iter().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn order_is_not_sequential() {
+        let order: Vec<u64> = IndexPermutation::new(10_000, 7).iter().take(100).collect();
+        let sequential = order.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(sequential < 10, "order looks sequential: {order:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(IndexPermutation::new(0, 3).iter().count(), 0);
+        assert!(IndexPermutation::new(0, 3).is_empty());
+        assert_eq!(IndexPermutation::new(1, 3).iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    proptest! {
+        #[test]
+        fn proptest_bijection(n in 1u64..3000, seed in any::<u64>()) {
+            let perm = IndexPermutation::new(n, seed);
+            let mut values: Vec<u64> = perm.iter().collect();
+            prop_assert_eq!(values.len() as u64, n);
+            values.sort_unstable();
+            values.dedup();
+            prop_assert_eq!(values.len() as u64, n);
+            prop_assert_eq!(values[0], 0);
+            prop_assert_eq!(values[values.len() - 1], n - 1);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! ZGrab2-style application-layer scanning.
+//!
+//! Phase two of the paper's methodology: for every address that answered the
+//! SYN scan, complete the TCP handshake and record the protocol exchange —
+//! for SSH the banner, `SSH_MSG_KEXINIT` and the host key from the
+//! key-exchange reply; for BGP the unsolicited OPEN (and the NOTIFICATION
+//! that usually follows).  The captured bytes are parsed with `alias-wire`
+//! and emitted as [`ServiceObservation`] records.
+
+use crate::rate::TokenBucket;
+use crate::records::{DataSource, ServiceObservation, ServicePayload};
+use alias_netsim::{Internet, ProbeContext, ServiceProtocol, SimTime, VantageKind};
+use alias_wire::bgp::BgpMessage;
+use alias_wire::ssh::hostkey::KexReply;
+use alias_wire::ssh::{Banner, KexInit, SshObservation, SshPacket};
+use std::net::IpAddr;
+
+/// Configuration of the application-layer scanner.
+#[derive(Debug, Clone)]
+pub struct ZgrabConfig {
+    /// Connection attempts per second.
+    pub rate_pps: f64,
+    /// Data source label stamped on produced records.
+    pub source: DataSource,
+}
+
+impl Default for ZgrabConfig {
+    fn default() -> Self {
+        ZgrabConfig { rate_pps: 20_000.0, source: DataSource::Active }
+    }
+}
+
+/// The application-layer scanner.
+#[derive(Debug, Clone)]
+pub struct ZgrabScanner {
+    config: ZgrabConfig,
+}
+
+impl ZgrabScanner {
+    /// Create a scanner with the given configuration.
+    pub fn new(config: ZgrabConfig) -> Self {
+        ZgrabScanner { config }
+    }
+
+    /// Grab banners from `targets` on `port`, interpreting responses as
+    /// `protocol`.  Unresponsive targets and unparsable responses are
+    /// silently skipped, exactly as a large-scale scan tolerates them.
+    pub fn grab(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        port: u16,
+        protocol: ServiceProtocol,
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> Vec<ServiceObservation> {
+        let mut bucket = TokenBucket::new(self.config.rate_pps, 32.0, start);
+        let mut now = start;
+        let mut observations = Vec::new();
+        for &addr in targets {
+            now = bucket.acquire(now);
+            let ctx = ProbeContext { vantage, time: now };
+            let Some(bytes) = internet.service_session(addr, port, &ctx) else {
+                continue;
+            };
+            let Some(payload) = parse_payload(protocol, &bytes) else {
+                continue;
+            };
+            observations.push(ServiceObservation {
+                addr,
+                port,
+                source: self.config.source,
+                timestamp: now,
+                asn: internet.ip_to_asn(addr).map(|a| a.0),
+                payload,
+            });
+        }
+        observations
+    }
+}
+
+/// Parse a captured server→client byte stream into a payload.
+///
+/// Returns `None` when the server sent nothing useful (e.g. the silent BGP
+/// majority) or the bytes do not parse as the expected protocol.
+pub fn parse_payload(protocol: ServiceProtocol, bytes: &[u8]) -> Option<ServicePayload> {
+    match protocol {
+        ServiceProtocol::Ssh => parse_ssh(bytes).map(ServicePayload::Ssh),
+        ServiceProtocol::Bgp => parse_bgp(bytes),
+        ServiceProtocol::Snmpv3 => None,
+    }
+}
+
+fn parse_ssh(bytes: &[u8]) -> Option<SshObservation> {
+    let (banner, consumed) = Banner::parse(bytes).ok()?;
+    let packets = SshPacket::parse_stream(&bytes[consumed..]);
+    let mut kex_init = None;
+    let mut host_key = None;
+    for packet in &packets {
+        if kex_init.is_none() {
+            if let Ok(kex) = KexInit::parse_packet(packet) {
+                kex_init = Some(kex);
+                continue;
+            }
+        }
+        if host_key.is_none() {
+            if let Ok(reply) = KexReply::parse_packet(packet) {
+                host_key = Some(reply.host_key);
+            }
+        }
+    }
+    Some(SshObservation { banner, kex_init, host_key })
+}
+
+fn parse_bgp(bytes: &[u8]) -> Option<ServicePayload> {
+    let messages = BgpMessage::parse_stream(bytes);
+    let mut open = None;
+    let mut notification_seen = false;
+    for message in messages {
+        match message {
+            BgpMessage::Open(o) if open.is_none() => open = Some(o),
+            BgpMessage::Notification(_) => notification_seen = true,
+            _ => {}
+        }
+    }
+    open.map(|open| ServicePayload::Bgp { open, notification_seen })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zmap::{ZmapConfig, ZmapScanner};
+    use alias_netsim::{InternetBuilder, InternetConfig};
+
+    fn internet() -> Internet {
+        InternetBuilder::new(InternetConfig::tiny(123)).build()
+    }
+
+    fn ssh_targets(internet: &Internet) -> Vec<IpAddr> {
+        ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() })
+            .scan_ipv4(internet, VantageKind::Distributed, SimTime::ZERO)
+            .on_port(22)
+            .to_vec()
+    }
+
+    #[test]
+    fn ssh_grab_yields_complete_observations() {
+        let internet = internet();
+        let targets = ssh_targets(&internet);
+        assert!(!targets.is_empty());
+        let scanner = ZgrabScanner::new(ZgrabConfig::default());
+        let observations = scanner.grab(
+            &internet,
+            &targets,
+            22,
+            ServiceProtocol::Ssh,
+            VantageKind::Distributed,
+            SimTime::ZERO,
+        );
+        assert_eq!(observations.len(), targets.len());
+        for obs in &observations {
+            assert_eq!(obs.protocol(), ServiceProtocol::Ssh);
+            assert!(obs.asn.is_some());
+            match &obs.payload {
+                ServicePayload::Ssh(ssh) => assert!(ssh.is_complete()),
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bgp_grab_skips_silent_speakers() {
+        let internet = internet();
+        let targets: Vec<IpAddr> = ZmapScanner::new(ZmapConfig { ports: vec![179], ..Default::default() })
+            .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO)
+            .on_port(179)
+            .to_vec();
+        assert!(!targets.is_empty());
+        let scanner = ZgrabScanner::new(ZgrabConfig::default());
+        let observations = scanner.grab(
+            &internet,
+            &targets,
+            179,
+            ServiceProtocol::Bgp,
+            VantageKind::Distributed,
+            SimTime::ZERO,
+        );
+        // Some speakers send an OPEN, the silent ones are dropped.
+        assert!(!observations.is_empty());
+        assert!(observations.len() < targets.len());
+        for obs in &observations {
+            match &obs.payload {
+                ServicePayload::Bgp { open, notification_seen } => {
+                    assert_eq!(open.version, 4);
+                    assert!(*notification_seen);
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unresponsive_targets_are_skipped() {
+        let internet = internet();
+        let scanner = ZgrabScanner::new(ZgrabConfig::default());
+        let bogus: Vec<IpAddr> = vec!["203.0.113.99".parse().unwrap()];
+        let observations = scanner.grab(
+            &internet,
+            &bogus,
+            22,
+            ServiceProtocol::Ssh,
+            VantageKind::Distributed,
+            SimTime::ZERO,
+        );
+        assert!(observations.is_empty());
+    }
+
+    #[test]
+    fn parse_payload_rejects_garbage() {
+        assert!(parse_payload(ServiceProtocol::Ssh, b"not ssh at all").is_none());
+        assert!(parse_payload(ServiceProtocol::Bgp, &[0xff; 10]).is_none());
+        assert!(parse_payload(ServiceProtocol::Bgp, &[]).is_none());
+        assert!(parse_payload(ServiceProtocol::Snmpv3, &[]).is_none());
+    }
+
+    #[test]
+    fn censys_source_is_stamped_on_records() {
+        let internet = internet();
+        let targets = ssh_targets(&internet);
+        let scanner =
+            ZgrabScanner::new(ZgrabConfig { source: DataSource::Censys, rate_pps: 50_000.0 });
+        let observations = scanner.grab(
+            &internet,
+            &targets[..1],
+            22,
+            ServiceProtocol::Ssh,
+            VantageKind::Distributed,
+            SimTime::ZERO,
+        );
+        assert_eq!(observations[0].source, DataSource::Censys);
+    }
+}

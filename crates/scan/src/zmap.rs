@@ -1,0 +1,238 @@
+//! ZMap-style stateless SYN scanning.
+//!
+//! Phase one of the paper's methodology: "an Internet-wide TCP scan sending
+//! a single SYN packet on port 22 and 179 using ZMap".  The scanner sweeps
+//! every routed IPv4 prefix of the simulated Internet in a pseudorandom
+//! order (so consecutive probes do not hammer one network), paced by a token
+//! bucket, and records which addresses answered SYN-ACK on which port.
+
+use crate::permute::IndexPermutation;
+use crate::rate::TokenBucket;
+use alias_netsim::{Internet, ProbeContext, SimTime, SynResult, VantageKind};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Configuration of a SYN scan.
+#[derive(Debug, Clone)]
+pub struct ZmapConfig {
+    /// Ports to probe (one SYN per port per address).
+    pub ports: Vec<u16>,
+    /// Probe rate in packets per second.
+    pub rate_pps: f64,
+    /// Permutation seed.
+    pub seed: u64,
+}
+
+impl Default for ZmapConfig {
+    fn default() -> Self {
+        ZmapConfig { ports: vec![22, 179], rate_pps: 100_000.0, seed: 0x5eed }
+    }
+}
+
+/// Results of a SYN scan.
+#[derive(Debug, Clone, Default)]
+pub struct ZmapResults {
+    /// Responsive addresses per port, in the order they were discovered.
+    pub responsive: HashMap<u16, Vec<IpAddr>>,
+    /// Total SYN probes sent.
+    pub probes_sent: u64,
+    /// Simulated time the scan finished.
+    pub finished_at: SimTime,
+}
+
+impl ZmapResults {
+    /// Responsive addresses on `port` (empty slice if the port was not scanned).
+    pub fn on_port(&self, port: u16) -> &[IpAddr] {
+        self.responsive.get(&port).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// The stateless SYN scanner.
+#[derive(Debug, Clone)]
+pub struct ZmapScanner {
+    config: ZmapConfig,
+}
+
+impl ZmapScanner {
+    /// Create a scanner with the given configuration.
+    pub fn new(config: ZmapConfig) -> Self {
+        ZmapScanner { config }
+    }
+
+    /// Sweep every routed IPv4 prefix of `internet`.
+    pub fn scan_ipv4(
+        &self,
+        internet: &Internet,
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> ZmapResults {
+        // Flatten the routed prefixes into a single index space so the
+        // permutation spreads probes across all networks.
+        let prefixes = internet.routed_v4_prefixes();
+        let mut offsets = Vec::with_capacity(prefixes.len());
+        let mut total: u64 = 0;
+        for prefix in &prefixes {
+            offsets.push(total);
+            total += prefix.size();
+        }
+        let index_to_addr = |index: u64| -> Ipv4Addr {
+            // Binary search for the prefix containing this index.
+            let slot = match offsets.binary_search(&index) {
+                Ok(exact) => exact,
+                Err(insert) => insert - 1,
+            };
+            let prefix = prefixes[slot];
+            Ipv4Addr::from(u32::from(prefix.base) + (index - offsets[slot]) as u32)
+        };
+
+        let mut results = ZmapResults::default();
+        for &port in &self.config.ports {
+            results.responsive.insert(port, Vec::new());
+        }
+        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
+        let permutation = IndexPermutation::new(total, self.config.seed);
+        let mut now = start;
+        for index in permutation.iter() {
+            let addr = IpAddr::V4(index_to_addr(index));
+            for &port in &self.config.ports {
+                now = bucket.acquire(now);
+                results.probes_sent += 1;
+                let ctx = ProbeContext { vantage, time: now };
+                if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
+                    results.responsive.get_mut(&port).expect("port pre-registered").push(addr);
+                }
+            }
+        }
+        results.finished_at = now;
+        results
+    }
+
+    /// Probe an explicit IPv6 target list (hitlist-driven, since sweeping
+    /// the IPv6 space is impossible).
+    pub fn scan_ipv6_list(
+        &self,
+        internet: &Internet,
+        targets: &[Ipv6Addr],
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> ZmapResults {
+        let mut results = ZmapResults::default();
+        for &port in &self.config.ports {
+            results.responsive.insert(port, Vec::new());
+        }
+        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
+        let mut now = start;
+        for &addr in targets {
+            let addr = IpAddr::V6(addr);
+            for &port in &self.config.ports {
+                now = bucket.acquire(now);
+                results.probes_sent += 1;
+                let ctx = ProbeContext { vantage, time: now };
+                if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
+                    results.responsive.get_mut(&port).expect("port pre-registered").push(addr);
+                }
+            }
+        }
+        results.finished_at = now;
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias_netsim::{InternetBuilder, InternetConfig};
+    use std::collections::HashSet;
+
+    fn internet() -> Internet {
+        InternetBuilder::new(InternetConfig::tiny(77)).build()
+    }
+
+    fn expected_ssh_addrs(internet: &Internet, vantage: VantageKind) -> HashSet<IpAddr> {
+        internet
+            .devices()
+            .iter()
+            .filter(|d| vantage == VantageKind::Distributed || d.visible_to_single_vp)
+            .flat_map(|d| d.ssh_responding_addrs())
+            .filter(|a| a.is_ipv4())
+            .collect()
+    }
+
+    #[test]
+    fn finds_exactly_the_responsive_ssh_addresses() {
+        let internet = internet();
+        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() });
+        let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        let found: HashSet<IpAddr> = results.on_port(22).iter().copied().collect();
+        assert_eq!(found, expected_ssh_addrs(&internet, VantageKind::Distributed));
+        assert!(results.probes_sent > found.len() as u64);
+        assert!(results.finished_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_vp_misses_filtered_hosts() {
+        let internet = internet();
+        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() });
+        let single = scanner.scan_ipv4(&internet, VantageKind::SingleVp, SimTime::ZERO);
+        let distributed = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        assert!(single.on_port(22).len() < distributed.on_port(22).len());
+        assert_eq!(
+            single.on_port(22).iter().copied().collect::<HashSet<_>>(),
+            expected_ssh_addrs(&internet, VantageKind::SingleVp)
+        );
+    }
+
+    #[test]
+    fn responsive_lists_contain_no_duplicates() {
+        let internet = internet();
+        let scanner = ZmapScanner::new(ZmapConfig::default());
+        let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        for port in [22u16, 179] {
+            let list = results.on_port(port);
+            let unique: HashSet<&IpAddr> = list.iter().collect();
+            assert_eq!(unique.len(), list.len(), "duplicates on port {port}");
+        }
+    }
+
+    #[test]
+    fn bgp_scan_finds_both_open_senders_and_silent_speakers() {
+        let internet = internet();
+        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![179], ..Default::default() });
+        let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        let expected: HashSet<IpAddr> = internet
+            .devices()
+            .iter()
+            .flat_map(|d| d.bgp_responding_addrs())
+            .filter(|a| a.is_ipv4())
+            .collect();
+        assert_eq!(results.on_port(179).iter().copied().collect::<HashSet<_>>(), expected);
+    }
+
+    #[test]
+    fn ipv6_list_scan_only_probes_the_list() {
+        let internet = internet();
+        let all_v6 = internet.active_ipv6_service_addrs();
+        assert!(!all_v6.is_empty());
+        let subset = &all_v6[..all_v6.len() / 2];
+        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() });
+        let results =
+            scanner.scan_ipv6_list(&internet, subset, VantageKind::Distributed, SimTime::ZERO);
+        assert_eq!(results.probes_sent, subset.len() as u64);
+        for addr in results.on_port(22) {
+            match addr {
+                IpAddr::V6(v6) => assert!(subset.contains(v6)),
+                IpAddr::V4(_) => panic!("IPv6 scan returned an IPv4 address"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_duration_scales_with_rate() {
+        let internet = internet();
+        let fast = ZmapScanner::new(ZmapConfig { rate_pps: 1_000_000.0, ..Default::default() })
+            .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        let slow = ZmapScanner::new(ZmapConfig { rate_pps: 50_000.0, ..Default::default() })
+            .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        assert!(slow.finished_at > fast.finished_at);
+    }
+}

@@ -1,0 +1,312 @@
+//! Minimal ASN.1 BER encoding/decoding, just enough for SNMPv3 messages.
+//!
+//! SNMP uses a small subset of BER: SEQUENCE, INTEGER, OCTET STRING, NULL,
+//! OBJECT IDENTIFIER and a handful of context-specific constructed tags for
+//! PDUs.  The codec here is deliberately small and strict about lengths —
+//! exactly what an Internet scanner parsing unsolicited reports needs.
+
+use crate::error::check_len;
+use crate::{Result, WireError};
+
+/// Universal tag: INTEGER.
+pub const TAG_INTEGER: u8 = 0x02;
+/// Universal tag: OCTET STRING.
+pub const TAG_OCTET_STRING: u8 = 0x04;
+/// Universal tag: NULL.
+pub const TAG_NULL: u8 = 0x05;
+/// Universal tag: OBJECT IDENTIFIER.
+pub const TAG_OID: u8 = 0x06;
+/// Universal constructed tag: SEQUENCE.
+pub const TAG_SEQUENCE: u8 = 0x30;
+/// Application tag: Counter32 (SNMP).
+pub const TAG_COUNTER32: u8 = 0x41;
+/// Context constructed tag 8: SNMPv3 Report PDU.
+pub const TAG_REPORT_PDU: u8 = 0xa8;
+/// Context constructed tag 0: SNMP GetRequest PDU.
+pub const TAG_GET_REQUEST_PDU: u8 = 0xa0;
+
+/// A BER element: tag plus raw contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// The tag octet (short-form tags only, which is all SNMP uses).
+    pub tag: u8,
+    /// The raw content octets.
+    pub content: Vec<u8>,
+}
+
+impl Element {
+    /// Construct an element from tag and content.
+    pub fn new(tag: u8, content: Vec<u8>) -> Self {
+        Element { tag, content }
+    }
+
+    /// An INTEGER element (two's-complement, minimal length).
+    pub fn integer(value: i64) -> Self {
+        Element::new(TAG_INTEGER, encode_integer(value))
+    }
+
+    /// An OCTET STRING element.
+    pub fn octet_string(data: &[u8]) -> Self {
+        Element::new(TAG_OCTET_STRING, data.to_vec())
+    }
+
+    /// A NULL element.
+    pub fn null() -> Self {
+        Element::new(TAG_NULL, Vec::new())
+    }
+
+    /// A SEQUENCE of child elements.
+    pub fn sequence(children: &[Element]) -> Self {
+        Element::constructed(TAG_SEQUENCE, children)
+    }
+
+    /// A constructed element with an arbitrary tag.
+    pub fn constructed(tag: u8, children: &[Element]) -> Self {
+        let mut content = Vec::new();
+        for child in children {
+            child.encode_into(&mut content);
+        }
+        Element::new(tag, content)
+    }
+
+    /// An OBJECT IDENTIFIER from its numeric components.
+    pub fn oid(components: &[u32]) -> Self {
+        Element::new(TAG_OID, encode_oid(components))
+    }
+
+    /// Interpret this element as an INTEGER.
+    pub fn as_integer(&self) -> Result<i64> {
+        if self.tag != TAG_INTEGER && self.tag != TAG_COUNTER32 {
+            return Err(WireError::UnknownType { tag: self.tag as u16 });
+        }
+        decode_integer(&self.content)
+    }
+
+    /// Interpret this element as an OCTET STRING, returning the raw bytes.
+    pub fn as_octet_string(&self) -> Result<&[u8]> {
+        if self.tag != TAG_OCTET_STRING {
+            return Err(WireError::UnknownType { tag: self.tag as u16 });
+        }
+        Ok(&self.content)
+    }
+
+    /// Decode the children of a constructed element.
+    pub fn children(&self) -> Result<Vec<Element>> {
+        decode_all(&self.content)
+    }
+
+    /// Encode this element, appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.tag);
+        encode_length(self.content.len(), out);
+        out.extend_from_slice(&self.content);
+    }
+
+    /// Encode this element to a new vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.content.len() + 4);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode one element from the front of `buf`; returns the element and
+    /// the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Element, usize)> {
+        check_len(buf, 2)?;
+        let tag = buf[0];
+        let (length, header_len) = decode_length(&buf[1..])?;
+        let total = 1 + header_len + length;
+        check_len(buf, total)?;
+        Ok((Element::new(tag, buf[1 + header_len..total].to_vec()), total))
+    }
+}
+
+/// Decode a run of elements covering the whole buffer.
+pub fn decode_all(mut buf: &[u8]) -> Result<Vec<Element>> {
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        let (element, consumed) = Element::decode(buf)?;
+        out.push(element);
+        buf = &buf[consumed..];
+    }
+    Ok(out)
+}
+
+fn encode_length(len: usize, out: &mut Vec<u8>) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = (len as u32).to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        out.push(0x80 | (4 - skip) as u8);
+        out.extend_from_slice(&bytes[skip..]);
+    }
+}
+
+fn decode_length(buf: &[u8]) -> Result<(usize, usize)> {
+    check_len(buf, 1)?;
+    let first = buf[0];
+    if first < 0x80 {
+        return Ok((first as usize, 1));
+    }
+    let num_octets = (first & 0x7f) as usize;
+    if num_octets == 0 || num_octets > 4 {
+        return Err(WireError::BadLength { field: "ber.length" });
+    }
+    check_len(buf, 1 + num_octets)?;
+    let mut value = 0usize;
+    for &b in &buf[1..1 + num_octets] {
+        value = (value << 8) | b as usize;
+    }
+    Ok((value, 1 + num_octets))
+}
+
+fn encode_integer(value: i64) -> Vec<u8> {
+    let bytes = value.to_be_bytes();
+    let mut start = 0;
+    while start < 7 {
+        let cur = bytes[start];
+        let next = bytes[start + 1];
+        // Strip redundant leading 0x00 / 0xff octets while keeping the sign.
+        if (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0) {
+            start += 1;
+        } else {
+            break;
+        }
+    }
+    bytes[start..].to_vec()
+}
+
+fn decode_integer(content: &[u8]) -> Result<i64> {
+    if content.is_empty() || content.len() > 8 {
+        return Err(WireError::BadLength { field: "ber.integer" });
+    }
+    let negative = content[0] & 0x80 != 0;
+    let mut value: i64 = if negative { -1 } else { 0 };
+    for &b in content {
+        value = (value << 8) | b as i64;
+    }
+    Ok(value)
+}
+
+fn encode_oid(components: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    if components.len() >= 2 {
+        out.push((components[0] * 40 + components[1]) as u8);
+        for &c in &components[2..] {
+            encode_base128(c, &mut out);
+        }
+    }
+    out
+}
+
+fn encode_base128(mut value: u32, out: &mut Vec<u8>) {
+    let mut stack = Vec::new();
+    loop {
+        stack.push((value & 0x7f) as u8);
+        value >>= 7;
+        if value == 0 {
+            break;
+        }
+    }
+    while let Some(byte) = stack.pop() {
+        if stack.is_empty() {
+            out.push(byte);
+        } else {
+            out.push(byte | 0x80);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrip() {
+        for value in [0i64, 1, 127, 128, 255, 256, -1, -128, -129, 65_535, i64::MAX, i64::MIN] {
+            let element = Element::integer(value);
+            let encoded = element.encode();
+            let (decoded, consumed) = Element::decode(&encoded).unwrap();
+            assert_eq!(consumed, encoded.len());
+            assert_eq!(decoded.as_integer().unwrap(), value, "value {value}");
+        }
+    }
+
+    #[test]
+    fn integer_minimal_encoding() {
+        assert_eq!(Element::integer(0).content, vec![0]);
+        assert_eq!(Element::integer(127).content, vec![127]);
+        assert_eq!(Element::integer(128).content, vec![0, 128]);
+        assert_eq!(Element::integer(-1).content, vec![0xff]);
+    }
+
+    #[test]
+    fn octet_string_roundtrip() {
+        let element = Element::octet_string(b"\x80\x00\x1f\x88\x80engine");
+        let (decoded, _) = Element::decode(&element.encode()).unwrap();
+        assert_eq!(decoded.as_octet_string().unwrap(), b"\x80\x00\x1f\x88\x80engine");
+    }
+
+    #[test]
+    fn sequence_roundtrip() {
+        let seq = Element::sequence(&[
+            Element::integer(3),
+            Element::octet_string(b"abc"),
+            Element::null(),
+        ]);
+        let (decoded, _) = Element::decode(&seq.encode()).unwrap();
+        let children = decoded.children().unwrap();
+        assert_eq!(children.len(), 3);
+        assert_eq!(children[0].as_integer().unwrap(), 3);
+        assert_eq!(children[1].as_octet_string().unwrap(), b"abc");
+        assert_eq!(children[2].tag, TAG_NULL);
+    }
+
+    #[test]
+    fn long_form_length() {
+        let big = vec![0xabu8; 300];
+        let element = Element::octet_string(&big);
+        let encoded = element.encode();
+        // 0x82 marks a two-octet length.
+        assert_eq!(encoded[1], 0x82);
+        let (decoded, consumed) = Element::decode(&encoded).unwrap();
+        assert_eq!(consumed, encoded.len());
+        assert_eq!(decoded.content.len(), 300);
+    }
+
+    #[test]
+    fn truncated_element_is_rejected() {
+        let encoded = Element::octet_string(b"hello").encode();
+        assert!(matches!(Element::decode(&encoded[..3]), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn wrong_type_access_is_rejected() {
+        let element = Element::octet_string(b"x");
+        assert!(element.as_integer().is_err());
+        assert!(Element::integer(4).as_octet_string().is_err());
+    }
+
+    #[test]
+    fn oid_encoding_matches_known_value() {
+        // 1.3.6.1.6.3.15.1.1.4.0 (usmStatsUnknownEngineIDs.0)
+        let oid = Element::oid(&[1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0]);
+        assert_eq!(oid.content, vec![0x2b, 6, 1, 6, 3, 15, 1, 1, 4, 0]);
+    }
+
+    #[test]
+    fn oid_multibyte_component() {
+        // Component 840 encodes as 0x86 0x48.
+        let oid = Element::oid(&[1, 2, 840]);
+        assert_eq!(oid.content, vec![0x2a, 0x86, 0x48]);
+    }
+
+    #[test]
+    fn decode_all_handles_back_to_back_elements() {
+        let mut buf = Element::integer(1).encode();
+        buf.extend_from_slice(&Element::integer(2).encode());
+        let elements = decode_all(&buf).unwrap();
+        assert_eq!(elements.len(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! BGP OPEN optional parameters and the capabilities parameter (RFC 5492).
+//!
+//! The set of capabilities a speaker advertises is host-wide configuration
+//! state and therefore part of the BGP identifier the paper groups on.
+
+use crate::error::check_len;
+use crate::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// Optional-parameter type code for capabilities (RFC 5492).
+const PARAM_TYPE_CAPABILITY: u8 = 2;
+
+/// A single capability advertised inside the capabilities optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capability {
+    /// Multiprotocol extensions (code 1) with AFI/SAFI.
+    Multiprotocol {
+        /// Address family identifier (1 = IPv4, 2 = IPv6).
+        afi: u16,
+        /// Subsequent address family identifier (1 = unicast).
+        safi: u8,
+    },
+    /// Route refresh (code 2).
+    RouteRefresh,
+    /// Four-octet AS number support (code 65) carrying the real ASN.
+    FourOctetAs {
+        /// The speaker's four-octet AS number.
+        asn: u32,
+    },
+    /// Cisco pre-standard route refresh (code 128).
+    RouteRefreshCisco,
+    /// Any capability we do not model further; code and raw value retained
+    /// because unknown capabilities still contribute to the identifier.
+    Other {
+        /// Capability code.
+        code: u8,
+        /// Raw capability value bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl Capability {
+    /// Capability code on the wire.
+    pub fn code(&self) -> u8 {
+        match self {
+            Capability::Multiprotocol { .. } => 1,
+            Capability::RouteRefresh => 2,
+            Capability::FourOctetAs { .. } => 65,
+            Capability::RouteRefreshCisco => 128,
+            Capability::Other { code, .. } => *code,
+        }
+    }
+
+    /// Capability value bytes on the wire (without the code/length header).
+    pub fn value_bytes(&self) -> Vec<u8> {
+        match self {
+            Capability::Multiprotocol { afi, safi } => {
+                let mut v = Vec::with_capacity(4);
+                v.extend_from_slice(&afi.to_be_bytes());
+                v.push(0);
+                v.push(*safi);
+                v
+            }
+            Capability::RouteRefresh | Capability::RouteRefreshCisco => Vec::new(),
+            Capability::FourOctetAs { asn } => asn.to_be_bytes().to_vec(),
+            Capability::Other { value, .. } => value.clone(),
+        }
+    }
+
+    /// Parse one capability from `buf`; returns the capability and bytes consumed.
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, 2)?;
+        let code = buf[0];
+        let len = buf[1] as usize;
+        check_len(buf, 2 + len)?;
+        let value = &buf[2..2 + len];
+        let cap = match code {
+            1 => {
+                if len != 4 {
+                    return Err(WireError::BadLength { field: "capability.multiprotocol" });
+                }
+                Capability::Multiprotocol {
+                    afi: u16::from_be_bytes([value[0], value[1]]),
+                    safi: value[3],
+                }
+            }
+            2 => {
+                if len != 0 {
+                    return Err(WireError::BadLength { field: "capability.route_refresh" });
+                }
+                Capability::RouteRefresh
+            }
+            65 => {
+                if len != 4 {
+                    return Err(WireError::BadLength { field: "capability.four_octet_as" });
+                }
+                Capability::FourOctetAs {
+                    asn: u32::from_be_bytes([value[0], value[1], value[2], value[3]]),
+                }
+            }
+            128 => {
+                if len != 0 {
+                    return Err(WireError::BadLength { field: "capability.route_refresh_cisco" });
+                }
+                Capability::RouteRefreshCisco
+            }
+            other => Capability::Other { code: other, value: value.to_vec() },
+        };
+        Ok((cap, 2 + len))
+    }
+
+    /// Emit the capability (code, length, value) to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        let value = self.value_bytes();
+        out.push(self.code());
+        out.push(value.len() as u8);
+        out.extend_from_slice(&value);
+    }
+}
+
+/// One optional parameter inside a BGP OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptionalParameter {
+    /// A capabilities parameter holding exactly one capability.
+    ///
+    /// Real-world speakers commonly emit one capability per parameter (the
+    /// layout shown in the paper's Figure 2); speakers that pack several
+    /// capabilities into a single parameter are represented as multiple
+    /// `Capability` entries by the parser.
+    Capability(Capability),
+    /// A parameter of a type we do not interpret.
+    Other {
+        /// Parameter type code.
+        param_type: u8,
+        /// Raw parameter value.
+        value: Vec<u8>,
+    },
+}
+
+impl OptionalParameter {
+    /// Parse the optional-parameters block of an OPEN message.
+    pub fn parse_all(mut buf: &[u8]) -> Result<Vec<OptionalParameter>> {
+        let mut params = Vec::new();
+        while !buf.is_empty() {
+            check_len(buf, 2)?;
+            let param_type = buf[0];
+            let len = buf[1] as usize;
+            check_len(buf, 2 + len)?;
+            let value = &buf[2..2 + len];
+            if param_type == PARAM_TYPE_CAPABILITY {
+                let mut inner = value;
+                while !inner.is_empty() {
+                    let (cap, consumed) = Capability::parse(inner)?;
+                    params.push(OptionalParameter::Capability(cap));
+                    inner = &inner[consumed..];
+                }
+            } else {
+                params.push(OptionalParameter::Other { param_type, value: value.to_vec() });
+            }
+            buf = &buf[2 + len..];
+        }
+        Ok(params)
+    }
+
+    /// Emit the parameter to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        match self {
+            OptionalParameter::Capability(cap) => {
+                let mut inner = Vec::new();
+                cap.emit(&mut inner);
+                out.push(PARAM_TYPE_CAPABILITY);
+                out.push(inner.len() as u8);
+                out.extend_from_slice(&inner);
+            }
+            OptionalParameter::Other { param_type, value } => {
+                out.push(*param_type);
+                out.push(value.len() as u8);
+                out.extend_from_slice(value);
+            }
+        }
+    }
+
+    /// Emit a whole list of parameters, returning the encoded block.
+    pub fn emit_all(params: &[OptionalParameter]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in params {
+            p.emit(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_roundtrip() {
+        let caps = [
+            Capability::Multiprotocol { afi: 2, safi: 1 },
+            Capability::RouteRefresh,
+            Capability::RouteRefreshCisco,
+            Capability::FourOctetAs { asn: 4_200_000_001 },
+            Capability::Other { code: 70, value: vec![1, 2, 3] },
+        ];
+        for cap in caps {
+            let mut buf = Vec::new();
+            cap.emit(&mut buf);
+            let (parsed, consumed) = Capability::parse(&buf).unwrap();
+            assert_eq!(consumed, buf.len());
+            assert_eq!(parsed, cap);
+        }
+    }
+
+    #[test]
+    fn capability_rejects_bad_lengths() {
+        // Route refresh with a non-empty value.
+        let buf = [2u8, 1, 0];
+        assert!(matches!(Capability::parse(&buf), Err(WireError::BadLength { .. })));
+        // Four-octet AS with only two bytes.
+        let buf = [65u8, 2, 0, 1];
+        assert!(matches!(Capability::parse(&buf), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn parameters_roundtrip_figure2_layout() {
+        // Figure 2 of the paper: two capability parameters, each carrying a
+        // single route-refresh flavour, 8 bytes of optional parameters total.
+        let params = vec![
+            OptionalParameter::Capability(Capability::RouteRefreshCisco),
+            OptionalParameter::Capability(Capability::RouteRefresh),
+        ];
+        let encoded = OptionalParameter::emit_all(&params);
+        assert_eq!(encoded.len(), 8);
+        let parsed = OptionalParameter::parse_all(&encoded).unwrap();
+        assert_eq!(parsed, params);
+    }
+
+    #[test]
+    fn packed_capabilities_are_flattened() {
+        // One capabilities parameter carrying two capabilities back to back.
+        let mut inner = Vec::new();
+        Capability::RouteRefresh.emit(&mut inner);
+        Capability::Multiprotocol { afi: 1, safi: 1 }.emit(&mut inner);
+        let mut block = vec![2u8, inner.len() as u8];
+        block.extend_from_slice(&inner);
+        let parsed = OptionalParameter::parse_all(&block).unwrap();
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn unknown_parameter_preserved() {
+        let params =
+            vec![OptionalParameter::Other { param_type: 1, value: vec![0xde, 0xad] }];
+        let encoded = OptionalParameter::emit_all(&params);
+        assert_eq!(OptionalParameter::parse_all(&encoded).unwrap(), params);
+    }
+
+    #[test]
+    fn truncated_parameter_block_is_rejected() {
+        let block = [2u8, 10, 0, 0];
+        assert!(OptionalParameter::parse_all(&block).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by all wire-format codecs.
+
+use core::fmt;
+
+/// Errors produced when parsing or emitting wire-format messages.
+///
+/// The scanner treats any parse error as "the target spoke something we do
+/// not understand"; it never aborts a measurement run, so the error type is
+/// deliberately small and cheap to construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header of the message.
+    Truncated {
+        /// Number of bytes required.
+        needed: usize,
+        /// Number of bytes available.
+        available: usize,
+    },
+    /// A length field inside the message points outside the buffer.
+    BadLength {
+        /// Human-readable field name.
+        field: &'static str,
+    },
+    /// A field holds a value that the specification does not allow.
+    BadValue {
+        /// Human-readable field name.
+        field: &'static str,
+    },
+    /// The message type / tag is not one we understand.
+    UnknownType {
+        /// The unexpected tag value.
+        tag: u16,
+    },
+    /// A string field is not valid UTF-8 / US-ASCII where the RFC requires it.
+    BadEncoding {
+        /// Human-readable field name.
+        field: &'static str,
+    },
+    /// The output buffer is too small to emit the message.
+    BufferTooSmall {
+        /// Number of bytes required.
+        needed: usize,
+        /// Number of bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated message: need {needed} bytes, have {available}")
+            }
+            WireError::BadLength { field } => write!(f, "inconsistent length field: {field}"),
+            WireError::BadValue { field } => write!(f, "illegal value in field: {field}"),
+            WireError::UnknownType { tag } => write!(f, "unknown message type/tag: {tag}"),
+            WireError::BadEncoding { field } => write!(f, "invalid text encoding in field: {field}"),
+            WireError::BufferTooSmall { needed, available } => {
+                write!(f, "output buffer too small: need {needed} bytes, have {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Ensure `buf` holds at least `needed` bytes, returning `Truncated` otherwise.
+pub(crate) fn check_len(buf: &[u8], needed: usize) -> crate::Result<()> {
+    if buf.len() < needed {
+        Err(WireError::Truncated { needed, available: buf.len() })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = WireError::Truncated { needed: 19, available: 4 };
+        assert_eq!(e.to_string(), "truncated message: need 19 bytes, have 4");
+        let e = WireError::BadLength { field: "open.length" };
+        assert!(e.to_string().contains("open.length"));
+        let e = WireError::UnknownType { tag: 99 };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn check_len_accepts_exact_and_longer() {
+        assert!(check_len(&[0u8; 4], 4).is_ok());
+        assert!(check_len(&[0u8; 8], 4).is_ok());
+        assert_eq!(
+            check_len(&[0u8; 3], 4),
+            Err(WireError::Truncated { needed: 4, available: 3 })
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! ICMP / ICMPv6 messages used by classic alias-resolution baselines.
+//!
+//! Two message families matter for this toolkit:
+//!
+//! * **Echo request / reply** — MIDAR and Ally elicit responses carrying a
+//!   fresh IPID value; echo probes are one of the probe methods.
+//! * **Destination unreachable (port unreachable)** — the *common source
+//!   address* technique (iffinder) sends a UDP datagram to a closed port and
+//!   inspects the source address of the resulting ICMP error: if it differs
+//!   from the probed address the two addresses are aliases.
+
+use crate::error::check_len;
+use crate::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// Minimum length of the ICMP messages we emit (header + 4 bytes of body).
+pub const ICMP_MIN_LEN: usize = 8;
+
+/// The subset of ICMP messages modelled by the toolkit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IcmpRepr {
+    /// Echo request with identifier/sequence and opaque payload.
+    EchoRequest {
+        /// Echo identifier (typically the prober's PID).
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Opaque payload echoed back by the target.
+        payload: Vec<u8>,
+    },
+    /// Echo reply mirroring the request.
+    EchoReply {
+        /// Echo identifier copied from the request.
+        ident: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+        /// Payload copied from the request.
+        payload: Vec<u8>,
+    },
+    /// Destination unreachable / port unreachable, quoting the offending
+    /// datagram's first bytes.
+    PortUnreachable {
+        /// Leading bytes of the original datagram (IP header + 8 bytes).
+        quoted: Vec<u8>,
+    },
+}
+
+impl IcmpRepr {
+    const TYPE_ECHO_REPLY: u8 = 0;
+    const TYPE_DEST_UNREACH: u8 = 3;
+    const TYPE_ECHO_REQUEST: u8 = 8;
+    const CODE_PORT_UNREACH: u8 = 3;
+
+    /// Parse an ICMP message (IPv4 numbering) from `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        check_len(buf, ICMP_MIN_LEN)?;
+        let ty = buf[0];
+        let code = buf[1];
+        match (ty, code) {
+            (Self::TYPE_ECHO_REQUEST, 0) | (Self::TYPE_ECHO_REPLY, 0) => {
+                let ident = u16::from_be_bytes([buf[4], buf[5]]);
+                let seq = u16::from_be_bytes([buf[6], buf[7]]);
+                let payload = buf[8..].to_vec();
+                if ty == Self::TYPE_ECHO_REQUEST {
+                    Ok(IcmpRepr::EchoRequest { ident, seq, payload })
+                } else {
+                    Ok(IcmpRepr::EchoReply { ident, seq, payload })
+                }
+            }
+            (Self::TYPE_DEST_UNREACH, Self::CODE_PORT_UNREACH) => {
+                Ok(IcmpRepr::PortUnreachable { quoted: buf[8..].to_vec() })
+            }
+            _ => Err(WireError::UnknownType { tag: ((ty as u16) << 8) | code as u16 }),
+        }
+    }
+
+    /// Emit the message to a freshly allocated vector (IPv4 numbering).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ICMP_MIN_LEN + 16);
+        match self {
+            IcmpRepr::EchoRequest { ident, seq, payload } => {
+                buf.extend_from_slice(&[Self::TYPE_ECHO_REQUEST, 0, 0, 0]);
+                buf.extend_from_slice(&ident.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(payload);
+            }
+            IcmpRepr::EchoReply { ident, seq, payload } => {
+                buf.extend_from_slice(&[Self::TYPE_ECHO_REPLY, 0, 0, 0]);
+                buf.extend_from_slice(&ident.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(payload);
+            }
+            IcmpRepr::PortUnreachable { quoted } => {
+                buf.extend_from_slice(&[Self::TYPE_DEST_UNREACH, Self::CODE_PORT_UNREACH, 0, 0]);
+                buf.extend_from_slice(&[0, 0, 0, 0]);
+                buf.extend_from_slice(quoted);
+            }
+        }
+        let csum = checksum(&buf);
+        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        buf
+    }
+
+    /// Build the echo reply answering this request; `None` for non-requests.
+    pub fn reply_to(&self) -> Option<IcmpRepr> {
+        match self {
+            IcmpRepr::EchoRequest { ident, seq, payload } => Some(IcmpRepr::EchoReply {
+                ident: *ident,
+                seq: *seq,
+                payload: payload.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Standard Internet checksum over `data` with the checksum field zeroed by
+/// the caller.
+fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut i = 0;
+    while i + 1 < data.len() {
+        if i != 2 {
+            sum += u16::from_be_bytes([data[i], data[i + 1]]) as u32;
+        }
+        i += 2;
+    }
+    if i < data.len() {
+        sum += (data[i] as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let req = IcmpRepr::EchoRequest { ident: 0x1234, seq: 7, payload: b"midar".to_vec() };
+        let parsed = IcmpRepr::parse(&req.to_bytes()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpRepr::EchoRequest { ident: 1, seq: 2, payload: vec![9, 9] };
+        let reply = req.reply_to().unwrap();
+        match reply {
+            IcmpRepr::EchoReply { ident, seq, payload } => {
+                assert_eq!((ident, seq), (1, 2));
+                assert_eq!(payload, vec![9, 9]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(IcmpRepr::PortUnreachable { quoted: vec![] }.reply_to().is_none());
+    }
+
+    #[test]
+    fn port_unreachable_roundtrip() {
+        let msg = IcmpRepr::PortUnreachable { quoted: vec![0x45, 0, 0, 28] };
+        let parsed = IcmpRepr::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let bytes = [13u8, 0, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(IcmpRepr::parse(&bytes), Err(WireError::UnknownType { .. })));
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        assert!(matches!(IcmpRepr::parse(&[8, 0, 0]), Err(WireError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,426 @@
+//! Simplified IPv4 / IPv6 header representations.
+//!
+//! The scanning substrate does not need a full IP stack — it needs the
+//! fields that matter for alias resolution research:
+//!
+//! * source / destination addresses,
+//! * the IPv4 **Identification** field (the "IPID") that IPID-based alias
+//!   resolvers such as Ally and MIDAR sample,
+//! * TTL / hop limit (useful for sanity checks on responses), and
+//! * the upper-layer protocol number.
+//!
+//! Both headers can be parsed from and emitted to their on-the-wire layout,
+//! and the IPv4 header checksum is computed and validated.
+
+use crate::error::check_len;
+use crate::{Result, WireError};
+use serde::{Deserialize, Serialize};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Upper-layer protocol numbers used by the toolkit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpProtocol {
+    /// ICMP (1) / ICMPv6 (58).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, carried verbatim.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// Protocol number as used in the IPv4 `protocol` field.
+    pub fn number_v4(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(n) => n,
+        }
+    }
+
+    /// Next-header number as used in the IPv6 header.
+    pub fn number_v6(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 58,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(n) => n,
+        }
+    }
+
+    /// Interpret an IPv4 protocol number.
+    pub fn from_number_v4(n: u8) -> Self {
+        match n {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+
+    /// Interpret an IPv6 next-header number.
+    pub fn from_number_v6(n: u8) -> Self {
+        match n {
+            58 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+/// Length of the fixed IPv6 header.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// Parsed IPv4 header (options are not supported and rejected on parse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// The Identification field, sampled by IPID-based alias resolvers.
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Upper-layer protocol.
+    pub protocol: IpProtocol,
+    /// Length of the payload carried after the header, in bytes.
+    pub payload_len: usize,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+}
+
+impl Ipv4Repr {
+    /// Total length of the emitted packet (header + payload).
+    pub fn total_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload_len
+    }
+
+    /// Parse an IPv4 header from the front of `buf`.
+    ///
+    /// Returns the representation and the number of header bytes consumed.
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, IPV4_HEADER_LEN)?;
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(WireError::BadValue { field: "ipv4.version" });
+        }
+        let ihl = (buf[0] & 0x0f) as usize * 4;
+        if ihl < IPV4_HEADER_LEN {
+            return Err(WireError::BadLength { field: "ipv4.ihl" });
+        }
+        check_len(buf, ihl)?;
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if total_len < ihl {
+            return Err(WireError::BadLength { field: "ipv4.total_length" });
+        }
+        let ident = u16::from_be_bytes([buf[4], buf[5]]);
+        let flags = buf[6] >> 5;
+        let ttl = buf[8];
+        let protocol = IpProtocol::from_number_v4(buf[9]);
+        let checksum = u16::from_be_bytes([buf[10], buf[11]]);
+        let computed = header_checksum(&buf[..ihl], 10);
+        if checksum != 0 && checksum != computed {
+            return Err(WireError::BadValue { field: "ipv4.checksum" });
+        }
+        let src = Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]);
+        let dst = Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]);
+        Ok((
+            Ipv4Repr {
+                src,
+                dst,
+                ident,
+                ttl,
+                protocol,
+                payload_len: total_len - ihl,
+                dont_frag: flags & 0b010 != 0,
+            },
+            ihl,
+        ))
+    }
+
+    /// Emit the header into `buf`, which must hold at least
+    /// [`IPV4_HEADER_LEN`] bytes. Returns the number of bytes written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return Err(WireError::BufferTooSmall { needed: IPV4_HEADER_LEN, available: buf.len() });
+        }
+        let total_len = self.total_len();
+        if total_len > u16::MAX as usize {
+            return Err(WireError::BadValue { field: "ipv4.total_length" });
+        }
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = 0; // DSCP/ECN
+        buf[2..4].copy_from_slice(&(total_len as u16).to_be_bytes());
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        let flags: u16 = if self.dont_frag { 0b010 << 13 } else { 0 };
+        buf[6..8].copy_from_slice(&flags.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.number_v4();
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        let csum = header_checksum(&buf[..IPV4_HEADER_LEN], 10);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+        Ok(IPV4_HEADER_LEN)
+    }
+
+    /// Emit the header to a freshly allocated vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; IPV4_HEADER_LEN];
+        self.emit(&mut buf).expect("buffer sized exactly");
+        buf
+    }
+}
+
+/// Parsed fixed IPv6 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv6Repr {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Upper-layer protocol (next header).
+    pub next_header: IpProtocol,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Ipv6Repr {
+    /// Total length of the emitted packet (header + payload).
+    pub fn total_len(&self) -> usize {
+        IPV6_HEADER_LEN + self.payload_len
+    }
+
+    /// Parse an IPv6 fixed header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, IPV6_HEADER_LEN)?;
+        let version = buf[0] >> 4;
+        if version != 6 {
+            return Err(WireError::BadValue { field: "ipv6.version" });
+        }
+        let payload_len = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        let next_header = IpProtocol::from_number_v6(buf[6]);
+        let hop_limit = buf[7];
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&buf[24..40]);
+        Ok((
+            Ipv6Repr {
+                src: Ipv6Addr::from(src),
+                dst: Ipv6Addr::from(dst),
+                hop_limit,
+                next_header,
+                payload_len,
+            },
+            IPV6_HEADER_LEN,
+        ))
+    }
+
+    /// Emit the fixed header into `buf`. Returns the number of bytes written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.len() < IPV6_HEADER_LEN {
+            return Err(WireError::BufferTooSmall { needed: IPV6_HEADER_LEN, available: buf.len() });
+        }
+        if self.payload_len > u16::MAX as usize {
+            return Err(WireError::BadValue { field: "ipv6.payload_length" });
+        }
+        buf[0] = 6 << 4;
+        buf[1] = 0;
+        buf[2] = 0;
+        buf[3] = 0;
+        buf[4..6].copy_from_slice(&(self.payload_len as u16).to_be_bytes());
+        buf[6] = self.next_header.number_v6();
+        buf[7] = self.hop_limit;
+        buf[8..24].copy_from_slice(&self.src.octets());
+        buf[24..40].copy_from_slice(&self.dst.octets());
+        Ok(IPV6_HEADER_LEN)
+    }
+
+    /// Emit the header to a freshly allocated vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; IPV6_HEADER_LEN];
+        self.emit(&mut buf).expect("buffer sized exactly");
+        buf
+    }
+}
+
+/// Either an IPv4 or an IPv6 header, as carried by the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IpRepr {
+    /// IPv4 header.
+    V4(Ipv4Repr),
+    /// IPv6 header.
+    V6(Ipv6Repr),
+}
+
+impl IpRepr {
+    /// Source address of the packet.
+    pub fn src(&self) -> IpAddr {
+        match self {
+            IpRepr::V4(r) => IpAddr::V4(r.src),
+            IpRepr::V6(r) => IpAddr::V6(r.src),
+        }
+    }
+
+    /// Destination address of the packet.
+    pub fn dst(&self) -> IpAddr {
+        match self {
+            IpRepr::V4(r) => IpAddr::V4(r.dst),
+            IpRepr::V6(r) => IpAddr::V6(r.dst),
+        }
+    }
+
+    /// Upper-layer protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        match self {
+            IpRepr::V4(r) => r.protocol,
+            IpRepr::V6(r) => r.next_header,
+        }
+    }
+
+    /// The IPv4 Identification field, if this is an IPv4 header.
+    pub fn ipid(&self) -> Option<u16> {
+        match self {
+            IpRepr::V4(r) => Some(r.ident),
+            IpRepr::V6(_) => None,
+        }
+    }
+}
+
+/// Compute the IPv4 header checksum over `header`, treating the two bytes at
+/// `checksum_offset` as zero.
+fn header_checksum(header: &[u8], checksum_offset: usize) -> u16 {
+    let mut sum: u32 = 0;
+    let mut i = 0;
+    while i + 1 < header.len() {
+        let word = if i == checksum_offset {
+            0
+        } else {
+            u16::from_be_bytes([header[i], header[i + 1]]) as u32
+        };
+        sum += word;
+        i += 2;
+    }
+    if i < header.len() {
+        sum += (header[i] as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_v4() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(198, 51, 100, 7),
+            ident: 0xbeef,
+            ttl: 64,
+            protocol: IpProtocol::Tcp,
+            payload_len: 20,
+            dont_frag: true,
+        }
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let repr = sample_v4();
+        let bytes = repr.to_bytes();
+        let (parsed, consumed) = Ipv4Repr::parse(&bytes).unwrap();
+        assert_eq!(consumed, IPV4_HEADER_LEN);
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn ipv4_checksum_is_validated() {
+        let mut bytes = sample_v4().to_bytes();
+        bytes[10] ^= 0xff;
+        assert_eq!(
+            Ipv4Repr::parse(&bytes).unwrap_err(),
+            WireError::BadValue { field: "ipv4.checksum" }
+        );
+    }
+
+    #[test]
+    fn ipv4_rejects_wrong_version() {
+        let mut bytes = sample_v4().to_bytes();
+        bytes[0] = 0x65;
+        assert!(matches!(Ipv4Repr::parse(&bytes), Err(WireError::BadValue { .. })));
+    }
+
+    #[test]
+    fn ipv4_rejects_truncated() {
+        let bytes = sample_v4().to_bytes();
+        assert!(matches!(Ipv4Repr::parse(&bytes[..10]), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn ipv6_roundtrip() {
+        let repr = Ipv6Repr {
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8:ffff::2".parse().unwrap(),
+            hop_limit: 64,
+            next_header: IpProtocol::Tcp,
+            payload_len: 123,
+        };
+        let bytes = repr.to_bytes();
+        let (parsed, consumed) = Ipv6Repr::parse(&bytes).unwrap();
+        assert_eq!(consumed, IPV6_HEADER_LEN);
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn ipv6_rejects_wrong_version() {
+        let repr = Ipv6Repr {
+            src: Ipv6Addr::LOCALHOST,
+            dst: Ipv6Addr::LOCALHOST,
+            hop_limit: 1,
+            next_header: IpProtocol::Udp,
+            payload_len: 0,
+        };
+        let mut bytes = repr.to_bytes();
+        bytes[0] = 0x45;
+        assert!(matches!(Ipv6Repr::parse(&bytes), Err(WireError::BadValue { .. })));
+    }
+
+    #[test]
+    fn ip_repr_accessors() {
+        let v4 = IpRepr::V4(sample_v4());
+        assert_eq!(v4.ipid(), Some(0xbeef));
+        assert_eq!(v4.protocol(), IpProtocol::Tcp);
+        assert_eq!(v4.src(), IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1)));
+
+        let v6 = IpRepr::V6(Ipv6Repr {
+            src: Ipv6Addr::LOCALHOST,
+            dst: Ipv6Addr::UNSPECIFIED,
+            hop_limit: 64,
+            next_header: IpProtocol::Icmp,
+            payload_len: 8,
+        });
+        assert_eq!(v6.ipid(), None);
+        assert_eq!(v6.protocol(), IpProtocol::Icmp);
+    }
+
+    #[test]
+    fn protocol_number_mapping() {
+        assert_eq!(IpProtocol::from_number_v4(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from_number_v6(58), IpProtocol::Icmp);
+        assert_eq!(IpProtocol::Other(42).number_v4(), 42);
+        assert_eq!(IpProtocol::Icmp.number_v4(), 1);
+        assert_eq!(IpProtocol::Icmp.number_v6(), 58);
+    }
+}

@@ -1,0 +1,333 @@
+//! SNMPv3 engine discovery messages (RFC 3412, RFC 3414).
+//!
+//! The prior protocol-centric alias-resolution technique (Albakour et al.,
+//! IMC 2021) sends an unauthenticated SNMPv3 GET with an empty engine ID;
+//! the agent answers with a *Report* PDU whose USM security parameters carry
+//! the agent's **msgAuthoritativeEngineID** together with the engine boots
+//! and engine time counters.  The engine ID is device-wide and therefore
+//! groups aliases exactly like the SSH/BGP identifiers introduced by the
+//! paper.  This module implements just those two messages on top of the
+//! [`crate::ber`] codec.
+
+use crate::ber::{self, Element, TAG_GET_REQUEST_PDU, TAG_REPORT_PDU};
+use crate::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// SNMP version number for SNMPv3 as carried on the wire.
+pub const SNMP_VERSION_3: i64 = 3;
+/// The USM security model number.
+pub const SECURITY_MODEL_USM: i64 = 3;
+/// OID of `usmStatsUnknownEngineIDs.0`, reported during engine discovery.
+pub const USM_STATS_UNKNOWN_ENGINE_IDS: [u32; 11] = [1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0];
+
+/// An SNMPv3 engine identifier (5–32 octets per RFC 3411).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EngineId(pub Vec<u8>);
+
+impl EngineId {
+    /// Build an engine ID, enforcing the RFC 3411 length bounds (the empty
+    /// engine ID used for discovery requests is also allowed).
+    pub fn new(bytes: Vec<u8>) -> Result<Self> {
+        if bytes.is_empty() || (5..=32).contains(&bytes.len()) {
+            Ok(EngineId(bytes))
+        } else {
+            Err(WireError::BadValue { field: "snmp.engine_id" })
+        }
+    }
+
+    /// The conventional enterprise-format engine ID: enterprise number with
+    /// the high bit set, format octet 3 (MAC), followed by six octets.
+    pub fn from_enterprise_mac(enterprise: u32, mac: [u8; 6]) -> Self {
+        let mut bytes = Vec::with_capacity(11);
+        bytes.extend_from_slice(&(enterprise | 0x8000_0000).to_be_bytes());
+        bytes.push(3);
+        bytes.extend_from_slice(&mac);
+        EngineId(bytes)
+    }
+
+    /// Whether this is the empty (discovery) engine ID.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Lowercase-hex rendering, used in identifiers and reports.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+/// The USM security parameters carried as a nested OCTET STRING.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UsmSecurityParameters {
+    /// The authoritative engine ID (empty in discovery requests).
+    pub engine_id: EngineId,
+    /// Number of times the engine rebooted.
+    pub engine_boots: i64,
+    /// Seconds since the last reboot.
+    pub engine_time: i64,
+    /// Security user name (empty for discovery).
+    pub user_name: Vec<u8>,
+}
+
+impl UsmSecurityParameters {
+    /// Discovery parameters: everything empty/zero.
+    pub fn discovery() -> Self {
+        UsmSecurityParameters {
+            engine_id: EngineId(Vec::new()),
+            engine_boots: 0,
+            engine_time: 0,
+            user_name: Vec::new(),
+        }
+    }
+
+    fn to_element(&self) -> Element {
+        Element::octet_string(
+            &Element::sequence(&[
+                Element::octet_string(&self.engine_id.0),
+                Element::integer(self.engine_boots),
+                Element::integer(self.engine_time),
+                Element::octet_string(&self.user_name),
+                Element::octet_string(&[]), // authentication parameters
+                Element::octet_string(&[]), // privacy parameters
+            ])
+            .encode(),
+        )
+    }
+
+    fn from_element(element: &Element) -> Result<Self> {
+        let raw = element.as_octet_string()?;
+        let (seq, _) = Element::decode(raw)?;
+        let children = seq.children()?;
+        if children.len() < 6 {
+            return Err(WireError::BadLength { field: "usm.parameters" });
+        }
+        Ok(UsmSecurityParameters {
+            engine_id: EngineId::new(children[0].as_octet_string()?.to_vec())?,
+            engine_boots: children[1].as_integer()?,
+            engine_time: children[2].as_integer()?,
+            user_name: children[3].as_octet_string()?.to_vec(),
+        })
+    }
+}
+
+/// The SNMPv3 messages the toolkit exchanges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Snmpv3Message {
+    /// The unauthenticated discovery GET sent by the scanner.
+    DiscoveryRequest {
+        /// Message ID chosen by the scanner.
+        msg_id: i64,
+    },
+    /// The Report the agent answers with, revealing its engine.
+    Report {
+        /// Message ID echoed from the request.
+        msg_id: i64,
+        /// The agent's USM parameters, including the engine ID.
+        usm: UsmSecurityParameters,
+        /// Value of `usmStatsUnknownEngineIDs`.
+        unknown_engine_ids: i64,
+    },
+}
+
+impl Snmpv3Message {
+    /// Maximum message size we advertise.
+    const MAX_SIZE: i64 = 65_507;
+    /// msgFlags: reportable, no auth, no priv.
+    const FLAGS_REPORTABLE: u8 = 0x04;
+    /// msgFlags for the report: no auth, no priv, not reportable.
+    const FLAGS_NONE: u8 = 0x00;
+
+    /// The message ID.
+    pub fn msg_id(&self) -> i64 {
+        match self {
+            Snmpv3Message::DiscoveryRequest { msg_id } => *msg_id,
+            Snmpv3Message::Report { msg_id, .. } => *msg_id,
+        }
+    }
+
+    /// Build the Report answering a discovery request.
+    pub fn report_for(request_msg_id: i64, usm: UsmSecurityParameters, counter: i64) -> Self {
+        Snmpv3Message::Report { msg_id: request_msg_id, usm, unknown_engine_ids: counter }
+    }
+
+    /// Encode the message to its BER byte representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Snmpv3Message::DiscoveryRequest { msg_id } => {
+                let header = Element::sequence(&[
+                    Element::integer(*msg_id),
+                    Element::integer(Self::MAX_SIZE),
+                    Element::octet_string(&[Self::FLAGS_REPORTABLE]),
+                    Element::integer(SECURITY_MODEL_USM),
+                ]);
+                let usm = UsmSecurityParameters::discovery().to_element();
+                let pdu = Element::constructed(
+                    TAG_GET_REQUEST_PDU,
+                    &[
+                        Element::integer(*msg_id), // request-id
+                        Element::integer(0),       // error-status
+                        Element::integer(0),       // error-index
+                        Element::sequence(&[]),    // empty varbind list
+                    ],
+                );
+                let scoped_pdu = Element::sequence(&[
+                    Element::octet_string(&[]), // contextEngineID
+                    Element::octet_string(&[]), // contextName
+                    pdu,
+                ]);
+                Element::sequence(&[Element::integer(SNMP_VERSION_3), header, usm, scoped_pdu])
+                    .encode()
+            }
+            Snmpv3Message::Report { msg_id, usm, unknown_engine_ids } => {
+                let header = Element::sequence(&[
+                    Element::integer(*msg_id),
+                    Element::integer(Self::MAX_SIZE),
+                    Element::octet_string(&[Self::FLAGS_NONE]),
+                    Element::integer(SECURITY_MODEL_USM),
+                ]);
+                let varbind = Element::sequence(&[
+                    Element::oid(&USM_STATS_UNKNOWN_ENGINE_IDS),
+                    Element::new(ber::TAG_COUNTER32, Element::integer(*unknown_engine_ids).content),
+                ]);
+                let pdu = Element::constructed(
+                    TAG_REPORT_PDU,
+                    &[
+                        Element::integer(*msg_id),
+                        Element::integer(0),
+                        Element::integer(0),
+                        Element::sequence(&[varbind]),
+                    ],
+                );
+                let scoped_pdu = Element::sequence(&[
+                    Element::octet_string(&usm.engine_id.0),
+                    Element::octet_string(&[]),
+                    pdu,
+                ]);
+                Element::sequence(&[
+                    Element::integer(SNMP_VERSION_3),
+                    header,
+                    usm.to_element(),
+                    scoped_pdu,
+                ])
+                .encode()
+            }
+        }
+    }
+
+    /// Parse an SNMPv3 message.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        let (root, _) = Element::decode(buf)?;
+        let children = root.children()?;
+        if children.len() < 4 {
+            return Err(WireError::BadLength { field: "snmpv3.message" });
+        }
+        let version = children[0].as_integer()?;
+        if version != SNMP_VERSION_3 {
+            return Err(WireError::BadValue { field: "snmpv3.version" });
+        }
+        let header = children[1].children()?;
+        if header.len() < 4 {
+            return Err(WireError::BadLength { field: "snmpv3.header" });
+        }
+        let msg_id = header[0].as_integer()?;
+        let usm = UsmSecurityParameters::from_element(&children[2])?;
+        let scoped = children[3].children()?;
+        if scoped.len() < 3 {
+            return Err(WireError::BadLength { field: "snmpv3.scoped_pdu" });
+        }
+        match scoped[2].tag {
+            TAG_GET_REQUEST_PDU => Ok(Snmpv3Message::DiscoveryRequest { msg_id }),
+            TAG_REPORT_PDU => {
+                let pdu = scoped[2].children()?;
+                let mut counter = 0;
+                if pdu.len() >= 4 {
+                    if let Ok(varbinds) = pdu[3].children() {
+                        if let Some(first) = varbinds.first() {
+                            if let Ok(vb) = first.children() {
+                                if vb.len() == 2 {
+                                    counter = vb[1].as_integer().unwrap_or(0);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(Snmpv3Message::Report { msg_id, usm, unknown_engine_ids: counter })
+            }
+            other => Err(WireError::UnknownType { tag: other as u16 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_usm() -> UsmSecurityParameters {
+        UsmSecurityParameters {
+            engine_id: EngineId::from_enterprise_mac(9, [0, 0x1b, 0x54, 0xaa, 0xbb, 0xcc]),
+            engine_boots: 17,
+            engine_time: 123_456,
+            user_name: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn engine_id_length_bounds() {
+        assert!(EngineId::new(vec![]).is_ok());
+        assert!(EngineId::new(vec![1, 2, 3, 4]).is_err());
+        assert!(EngineId::new(vec![0; 5]).is_ok());
+        assert!(EngineId::new(vec![0; 32]).is_ok());
+        assert!(EngineId::new(vec![0; 33]).is_err());
+    }
+
+    #[test]
+    fn enterprise_mac_engine_id_layout() {
+        let id = EngineId::from_enterprise_mac(9, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(id.0.len(), 11);
+        assert_eq!(id.0[0], 0x80); // enterprise high bit
+        assert_eq!(id.0[3], 9);
+        assert_eq!(id.0[4], 3); // MAC format
+        assert_eq!(id.to_hex(), "800000090301020304050 6".replace(' ', ""));
+    }
+
+    #[test]
+    fn discovery_request_roundtrip() {
+        let msg = Snmpv3Message::DiscoveryRequest { msg_id: 0x1337 };
+        let parsed = Snmpv3Message::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed, msg);
+        assert_eq!(parsed.msg_id(), 0x1337);
+    }
+
+    #[test]
+    fn report_roundtrip_preserves_engine() {
+        let msg = Snmpv3Message::report_for(42, sample_usm(), 7);
+        let parsed = Snmpv3Message::parse(&msg.to_bytes()).unwrap();
+        match parsed {
+            Snmpv3Message::Report { msg_id, usm, unknown_engine_ids } => {
+                assert_eq!(msg_id, 42);
+                assert_eq!(usm, sample_usm());
+                assert_eq!(unknown_engine_ids, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_v3_messages_are_rejected() {
+        // An SNMPv2c-looking message: version 1.
+        let bytes = Element::sequence(&[
+            Element::integer(1),
+            Element::octet_string(b"public"),
+            Element::null(),
+            Element::null(),
+        ])
+        .encode();
+        assert!(Snmpv3Message::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        assert!(Snmpv3Message::parse(&[0xff, 0x00, 0x01]).is_err());
+        assert!(Snmpv3Message::parse(&[]).is_err());
+    }
+}

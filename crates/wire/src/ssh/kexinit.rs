@@ -1,0 +1,252 @@
+//! The `SSH_MSG_KEXINIT` message (RFC 4253 §7.1).
+//!
+//! The message carries ten name-lists describing every algorithm the sender
+//! supports, **in preference order**.  The server-to-client halves of those
+//! lists are the "algorithmic capabilities" component of the paper's SSH
+//! identifier: combined with the host key they disambiguate hosts that share
+//! a key (e.g. factory-default keys) but run different software or
+//! configurations.
+
+use super::names::NameList;
+use super::packet::{SshPacket, SSH_MSG_KEXINIT};
+use crate::error::check_len;
+use crate::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// A parsed `SSH_MSG_KEXINIT`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KexInit {
+    /// 16 random bytes; not part of any identifier.
+    pub cookie: [u8; 16],
+    /// Key-exchange algorithms.
+    pub kex_algorithms: NameList,
+    /// Host-key algorithms the server can prove ownership of.
+    pub server_host_key_algorithms: NameList,
+    /// Ciphers, client to server.
+    pub encryption_client_to_server: NameList,
+    /// Ciphers, server to client.
+    pub encryption_server_to_client: NameList,
+    /// MACs, client to server.
+    pub mac_client_to_server: NameList,
+    /// MACs, server to client.
+    pub mac_server_to_client: NameList,
+    /// Compression, client to server.
+    pub compression_client_to_server: NameList,
+    /// Compression, server to client.
+    pub compression_server_to_client: NameList,
+    /// Languages, client to server (virtually always empty).
+    pub languages_client_to_server: NameList,
+    /// Languages, server to client (virtually always empty).
+    pub languages_server_to_client: NameList,
+    /// Whether a guessed key-exchange packet follows.
+    pub first_kex_packet_follows: bool,
+}
+
+impl KexInit {
+    /// The algorithm lists that describe the *server's* capabilities, in the
+    /// order the paper's identifier concatenates them: key-exchange, host
+    /// key, then the server-to-client cipher/MAC/compression preferences.
+    pub fn server_capability_lists(&self) -> [&NameList; 5] {
+        [
+            &self.kex_algorithms,
+            &self.server_host_key_algorithms,
+            &self.encryption_server_to_client,
+            &self.mac_server_to_client,
+            &self.compression_server_to_client,
+        ]
+    }
+
+    /// A canonical textual fingerprint of the server capability lists
+    /// (semicolon-joined comma-lists).  Two servers with identical
+    /// configurations produce identical fingerprints regardless of the
+    /// random cookie.
+    pub fn capability_fingerprint(&self) -> String {
+        self.server_capability_lists()
+            .iter()
+            .map(|l| l.joined())
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// A typical OpenSSH server KEXINIT, useful for tests and simulation
+    /// defaults.
+    pub fn typical_openssh() -> Self {
+        KexInit {
+            cookie: [0u8; 16],
+            kex_algorithms: NameList::new([
+                "curve25519-sha256",
+                "curve25519-sha256@libssh.org",
+                "ecdh-sha2-nistp256",
+                "diffie-hellman-group16-sha512",
+            ]),
+            server_host_key_algorithms: NameList::new([
+                "rsa-sha2-512",
+                "rsa-sha2-256",
+                "ecdsa-sha2-nistp256",
+                "ssh-ed25519",
+            ]),
+            encryption_client_to_server: NameList::new([
+                "chacha20-poly1305@openssh.com",
+                "aes128-ctr",
+                "aes256-gcm@openssh.com",
+            ]),
+            encryption_server_to_client: NameList::new([
+                "chacha20-poly1305@openssh.com",
+                "aes128-ctr",
+                "aes256-gcm@openssh.com",
+            ]),
+            mac_client_to_server: NameList::new([
+                "umac-64-etm@openssh.com",
+                "hmac-sha2-256-etm@openssh.com",
+                "hmac-sha2-512",
+            ]),
+            mac_server_to_client: NameList::new([
+                "umac-64-etm@openssh.com",
+                "hmac-sha2-256-etm@openssh.com",
+                "hmac-sha2-512",
+            ]),
+            compression_client_to_server: NameList::new(["none", "zlib@openssh.com"]),
+            compression_server_to_client: NameList::new(["none", "zlib@openssh.com"]),
+            languages_client_to_server: NameList::default(),
+            languages_server_to_client: NameList::default(),
+            first_kex_packet_follows: false,
+        }
+    }
+
+    /// Parse a KEXINIT payload (starting at the message-number byte).
+    pub fn parse_payload(payload: &[u8]) -> Result<Self> {
+        check_len(payload, 1 + 16)?;
+        if payload[0] != SSH_MSG_KEXINIT {
+            return Err(WireError::UnknownType { tag: payload[0] as u16 });
+        }
+        let mut cookie = [0u8; 16];
+        cookie.copy_from_slice(&payload[1..17]);
+        let mut offset = 17;
+        let mut lists = Vec::with_capacity(10);
+        for _ in 0..10 {
+            let (list, consumed) = NameList::parse(&payload[offset..])?;
+            lists.push(list);
+            offset += consumed;
+        }
+        check_len(payload, offset + 1 + 4)?;
+        let first_kex_packet_follows = payload[offset] != 0;
+        // Remaining 4 bytes are the reserved uint32, ignored.
+        let mut it = lists.into_iter();
+        Ok(KexInit {
+            cookie,
+            kex_algorithms: it.next().expect("10 lists"),
+            server_host_key_algorithms: it.next().expect("10 lists"),
+            encryption_client_to_server: it.next().expect("10 lists"),
+            encryption_server_to_client: it.next().expect("10 lists"),
+            mac_client_to_server: it.next().expect("10 lists"),
+            mac_server_to_client: it.next().expect("10 lists"),
+            compression_client_to_server: it.next().expect("10 lists"),
+            compression_server_to_client: it.next().expect("10 lists"),
+            languages_client_to_server: it.next().expect("10 lists"),
+            languages_server_to_client: it.next().expect("10 lists"),
+            first_kex_packet_follows,
+        })
+    }
+
+    /// Parse a KEXINIT from a binary packet.
+    pub fn parse_packet(packet: &SshPacket) -> Result<Self> {
+        Self::parse_payload(&packet.payload)
+    }
+
+    /// Emit the KEXINIT payload (message number included).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(512);
+        out.push(SSH_MSG_KEXINIT);
+        out.extend_from_slice(&self.cookie);
+        for list in [
+            &self.kex_algorithms,
+            &self.server_host_key_algorithms,
+            &self.encryption_client_to_server,
+            &self.encryption_server_to_client,
+            &self.mac_client_to_server,
+            &self.mac_server_to_client,
+            &self.compression_client_to_server,
+            &self.compression_server_to_client,
+            &self.languages_client_to_server,
+            &self.languages_server_to_client,
+        ] {
+            list.emit(&mut out);
+        }
+        out.push(u8::from(self.first_kex_packet_follows));
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out
+    }
+
+    /// Wrap the KEXINIT in a binary packet.
+    pub fn to_packet(&self) -> SshPacket {
+        SshPacket::new(self.to_payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_packet() {
+        let kex = KexInit::typical_openssh();
+        let packet = kex.to_packet();
+        let bytes = packet.to_bytes();
+        let (reparsed_packet, _) = SshPacket::parse(&bytes).unwrap();
+        let parsed = KexInit::parse_packet(&reparsed_packet).unwrap();
+        assert_eq!(parsed, kex);
+    }
+
+    #[test]
+    fn fingerprint_ignores_cookie() {
+        let mut a = KexInit::typical_openssh();
+        let mut b = KexInit::typical_openssh();
+        a.cookie = [1u8; 16];
+        b.cookie = [2u8; 16];
+        assert_eq!(a.capability_fingerprint(), b.capability_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_preference_order() {
+        let a = KexInit::typical_openssh();
+        let mut b = KexInit::typical_openssh();
+        b.encryption_server_to_client = NameList::new([
+            "aes128-ctr",
+            "chacha20-poly1305@openssh.com",
+            "aes256-gcm@openssh.com",
+        ]);
+        assert_ne!(a.capability_fingerprint(), b.capability_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_client_to_server_lists() {
+        // Only the server-to-client direction describes the server.
+        let a = KexInit::typical_openssh();
+        let mut b = KexInit::typical_openssh();
+        b.mac_client_to_server = NameList::new(["hmac-md5"]);
+        assert_eq!(a.capability_fingerprint(), b.capability_fingerprint());
+    }
+
+    #[test]
+    fn wrong_message_number_is_rejected() {
+        let mut payload = KexInit::typical_openssh().to_payload();
+        payload[0] = 21;
+        assert!(matches!(KexInit::parse_payload(&payload), Err(WireError::UnknownType { .. })));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let payload = KexInit::typical_openssh().to_payload();
+        for cut in [0, 5, 17, 40, payload.len() - 1] {
+            assert!(KexInit::parse_payload(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn first_kex_packet_follows_roundtrips() {
+        let mut kex = KexInit::typical_openssh();
+        kex.first_kex_packet_follows = true;
+        let parsed = KexInit::parse_payload(&kex.to_payload()).unwrap();
+        assert!(parsed.first_kex_packet_follows);
+    }
+}

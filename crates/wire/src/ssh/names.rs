@@ -1,0 +1,155 @@
+//! SSH `name-list` encoding (RFC 4251 §5).
+//!
+//! A name-list is a comma-separated list of US-ASCII names prefixed with a
+//! 32-bit length.  `SSH_MSG_KEXINIT` consists almost entirely of name-lists,
+//! and RFC 4253 requires every algorithm list to be ordered by preference —
+//! which is why the lists fingerprint the implementation and form part of
+//! the paper's SSH identifier.
+
+use crate::error::check_len;
+use crate::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of algorithm names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NameList(pub Vec<String>);
+
+impl NameList {
+    /// Build a name-list from a slice of names.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        NameList(names.into_iter().map(Into::into).collect())
+    }
+
+    /// The comma-joined textual form (what appears on the wire after the
+    /// length prefix).
+    pub fn joined(&self) -> String {
+        self.0.join(",")
+    }
+
+    /// Number of names in the list.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The first (most preferred) name, if any.
+    pub fn preferred(&self) -> Option<&str> {
+        self.0.first().map(String::as_str)
+    }
+
+    /// Whether the list contains `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.0.iter().any(|n| n == name)
+    }
+
+    /// Parse a name-list from the front of `buf`; returns the list and bytes
+    /// consumed (4 + string length).
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, 4)?;
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        check_len(buf, 4 + len)?;
+        let text = std::str::from_utf8(&buf[4..4 + len])
+            .map_err(|_| WireError::BadEncoding { field: "name-list" })?;
+        if !text.is_ascii() {
+            return Err(WireError::BadEncoding { field: "name-list" });
+        }
+        let names = if text.is_empty() {
+            Vec::new()
+        } else {
+            if text.starts_with(',') || text.ends_with(',') || text.contains(",,") {
+                return Err(WireError::BadValue { field: "name-list" });
+            }
+            text.split(',').map(str::to_owned).collect()
+        };
+        Ok((NameList(names), 4 + len))
+    }
+
+    /// Emit the name-list to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        let joined = self.joined();
+        out.extend_from_slice(&(joined.len() as u32).to_be_bytes());
+        out.extend_from_slice(joined.as_bytes());
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for NameList {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        NameList::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let list = NameList::new(["curve25519-sha256", "ecdh-sha2-nistp256"]);
+        let mut buf = Vec::new();
+        list.emit(&mut buf);
+        let (parsed, consumed) = NameList::parse(&buf).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(parsed, list);
+        assert_eq!(parsed.preferred(), Some("curve25519-sha256"));
+        assert!(parsed.contains("ecdh-sha2-nistp256"));
+        assert!(!parsed.contains("diffie-hellman-group1-sha1"));
+    }
+
+    #[test]
+    fn empty_list_roundtrip() {
+        let list = NameList::default();
+        let mut buf = Vec::new();
+        list.emit(&mut buf);
+        assert_eq!(buf, [0, 0, 0, 0]);
+        let (parsed, consumed) = NameList::parse(&buf).unwrap();
+        assert_eq!(consumed, 4);
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.preferred(), None);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        // Preference order matters: two servers supporting the same set of
+        // algorithms in a different order have different fingerprints.
+        let a = NameList::new(["aes128-ctr", "aes256-ctr"]);
+        let b = NameList::new(["aes256-ctr", "aes128-ctr"]);
+        assert_ne!(a, b);
+        assert_eq!(a.joined(), "aes128-ctr,aes256-ctr");
+    }
+
+    #[test]
+    fn malformed_lists_are_rejected() {
+        // Leading comma.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b",ab");
+        assert!(NameList::parse(&buf).is_err());
+
+        // Length pointing past the end.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(matches!(NameList::parse(&buf), Err(WireError::Truncated { .. })));
+
+        // Non-ASCII.
+        let mut buf = Vec::new();
+        let s = "é".as_bytes();
+        buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
+        buf.extend_from_slice(s);
+        assert!(matches!(NameList::parse(&buf), Err(WireError::BadEncoding { .. })));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let list: NameList = ["a", "b"].into_iter().collect();
+        assert_eq!(list.len(), 2);
+    }
+}

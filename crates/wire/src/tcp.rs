@@ -1,0 +1,252 @@
+//! Simplified TCP segment representation.
+//!
+//! The ZMap-like SYN scanner and the ZGrab-like service scanner exchange TCP
+//! segments with the simulated Internet.  Only the header fields the
+//! scanners act on are modelled: ports, sequence/acknowledgement numbers and
+//! the flag bits.  Checksums over the pseudo-header are intentionally not
+//! modelled — the simulated network never corrupts segments, and the paper's
+//! techniques do not depend on them.
+
+use crate::error::check_len;
+use crate::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// Length of a TCP header without options.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// A tiny, dependency-free stand-in for the `bitflags` crate providing only
+/// what [`TcpFlags`] needs.
+macro_rules! bitflags_like {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $(
+                $(#[$flag_meta:meta])*
+                const $flag:ident = $value:expr;
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $(
+                $(#[$flag_meta])*
+                pub const $flag: Self = Self($value);
+            )*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self {
+                Self(0)
+            }
+
+            /// Whether all bits in `other` are set in `self`.
+            pub const fn contains(self, other: Self) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Union of two flag sets.
+            pub const fn union(self, other: Self) -> Self {
+                Self(self.0 | other.0)
+            }
+
+            /// Raw bits.
+            pub const fn bits(self) -> $ty {
+                self.0
+            }
+
+            /// Build from raw bits, keeping unknown bits.
+            pub const fn from_bits_retain(bits: $ty) -> Self {
+                Self(bits)
+            }
+        }
+
+        impl core::ops::BitOr for $name {
+            type Output = Self;
+            fn bitor(self, rhs: Self) -> Self {
+                self.union(rhs)
+            }
+        }
+    };
+}
+
+bitflags_like! {
+    /// TCP flag bits relevant to scanning.
+    pub struct TcpFlags: u8 {
+        /// FIN: sender has finished sending.
+        const FIN = 0x01;
+        /// SYN: synchronise sequence numbers.
+        const SYN = 0x02;
+        /// RST: reset the connection.
+        const RST = 0x04;
+        /// PSH: push buffered data to the application.
+        const PSH = 0x08;
+        /// ACK: acknowledgement field is significant.
+        const ACK = 0x10;
+    }
+}
+
+/// Parsed TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number (meaningful when ACK is set).
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+}
+
+impl TcpRepr {
+    /// A SYN segment from `src_port` to `dst_port` with initial sequence `seq`.
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        TcpRepr { src_port, dst_port, seq, ack: 0, flags: TcpFlags::SYN, window: 65_535 }
+    }
+
+    /// The SYN-ACK answering `syn`, with server initial sequence `server_seq`.
+    pub fn syn_ack_to(syn: &TcpRepr, server_seq: u32) -> Self {
+        TcpRepr {
+            src_port: syn.dst_port,
+            dst_port: syn.src_port,
+            seq: server_seq,
+            ack: syn.seq.wrapping_add(1),
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            window: 65_535,
+        }
+    }
+
+    /// A RST answering `segment` (used for closed ports).
+    pub fn rst_to(segment: &TcpRepr) -> Self {
+        TcpRepr {
+            src_port: segment.dst_port,
+            dst_port: segment.src_port,
+            seq: 0,
+            ack: segment.seq.wrapping_add(1),
+            flags: TcpFlags::RST | TcpFlags::ACK,
+            window: 0,
+        }
+    }
+
+    /// Whether this segment is a SYN-ACK (connection accepted).
+    pub fn is_syn_ack(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN) && self.flags.contains(TcpFlags::ACK)
+    }
+
+    /// Whether this segment resets the connection.
+    pub fn is_rst(&self) -> bool {
+        self.flags.contains(TcpFlags::RST)
+    }
+
+    /// Parse a TCP header from the front of `buf`.
+    ///
+    /// Returns the representation and the header length (including options,
+    /// which are skipped).
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, TCP_HEADER_LEN)?;
+        let data_offset = (buf[12] >> 4) as usize * 4;
+        if data_offset < TCP_HEADER_LEN {
+            return Err(WireError::BadLength { field: "tcp.data_offset" });
+        }
+        check_len(buf, data_offset)?;
+        Ok((
+            TcpRepr {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+                ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+                flags: TcpFlags::from_bits_retain(buf[13] & 0x1f),
+                window: u16::from_be_bytes([buf[14], buf[15]]),
+            },
+            data_offset,
+        ))
+    }
+
+    /// Emit the header (without options) into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.len() < TCP_HEADER_LEN {
+            return Err(WireError::BufferTooSmall { needed: TCP_HEADER_LEN, available: buf.len() });
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        buf[12] = (TCP_HEADER_LEN as u8 / 4) << 4;
+        buf[13] = self.flags.bits();
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..20].copy_from_slice(&[0, 0, 0, 0]); // checksum + urgent pointer
+        Ok(TCP_HEADER_LEN)
+    }
+
+    /// Emit the header to a freshly allocated vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; TCP_HEADER_LEN];
+        self.emit(&mut buf).expect("buffer sized exactly");
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syn_roundtrip() {
+        let syn = TcpRepr::syn(54_321, 22, 0xdead_beef);
+        let bytes = syn.to_bytes();
+        let (parsed, consumed) = TcpRepr::parse(&bytes).unwrap();
+        assert_eq!(consumed, TCP_HEADER_LEN);
+        assert_eq!(parsed, syn);
+        assert!(parsed.flags.contains(TcpFlags::SYN));
+        assert!(!parsed.is_syn_ack());
+    }
+
+    #[test]
+    fn syn_ack_matches_handshake_rules() {
+        let syn = TcpRepr::syn(40_000, 179, 1000);
+        let syn_ack = TcpRepr::syn_ack_to(&syn, 777);
+        assert!(syn_ack.is_syn_ack());
+        assert_eq!(syn_ack.ack, 1001);
+        assert_eq!(syn_ack.src_port, 179);
+        assert_eq!(syn_ack.dst_port, 40_000);
+    }
+
+    #[test]
+    fn rst_answers_closed_port() {
+        let syn = TcpRepr::syn(40_000, 161, u32::MAX);
+        let rst = TcpRepr::rst_to(&syn);
+        assert!(rst.is_rst());
+        assert_eq!(rst.ack, 0); // wrapping add
+        assert_eq!(rst.src_port, 161);
+    }
+
+    #[test]
+    fn parse_rejects_bad_data_offset() {
+        let mut bytes = TcpRepr::syn(1, 2, 3).to_bytes();
+        bytes[12] = 0x10; // data offset 4 * 4 = 16 < 20
+        assert!(matches!(TcpRepr::parse(&bytes), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn parse_skips_options() {
+        let repr = TcpRepr::syn(1, 2, 3);
+        let mut bytes = repr.to_bytes();
+        bytes[12] = 0x60; // claim a 24-byte header
+        bytes.extend_from_slice(&[1, 1, 1, 1]); // 4 bytes of NOP options
+        let (parsed, consumed) = TcpRepr::parse(&bytes).unwrap();
+        assert_eq!(consumed, 24);
+        assert_eq!(parsed.src_port, 1);
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let bytes = TcpRepr::syn(1, 2, 3).to_bytes();
+        assert!(matches!(TcpRepr::parse(&bytes[..8]), Err(WireError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,51 @@
+//! Dual-stack census: pair IPv4 and IPv6 addresses of the same device via
+//! shared protocol identifiers (the paper's Table 4 / §4.2), using an IPv6
+//! hitlist because the IPv6 space cannot be swept.
+//!
+//! Run with: `cargo run --release --example dual_stack_census`
+
+use alias_resolution::prelude::*;
+
+fn main() {
+    let internet = InternetBuilder::new(InternetConfig::small(777)).build();
+
+    // IPv6 targets come from a hitlist with imperfect coverage — exactly the
+    // limitation the paper inherits from public IPv6 hitlists.
+    let hitlist = Ipv6Hitlist::generate(&internet, 0.7, 0.2, 99);
+    println!("IPv6 hitlist carries {} candidate addresses", hitlist.len());
+
+    let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+    let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+
+    let mut total_sets = 0usize;
+    for protocol in [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3] {
+        let collection = AliasSetCollection::from_observations(
+            data.observations.iter().filter(|o| o.protocol() == protocol),
+            &extractor,
+        );
+        let report = DualStackReport::from_collection(&collection);
+        let (simple, medium, large) = report.size_split();
+        println!(
+            "{:>7}: {} dual-stack sets ({} IPv4 / {} IPv6 addresses); \
+             {:.0}% are one-v4-one-v6 pairs, {:.0}% have 3-10 addresses, {:.0}% more",
+            protocol.name(),
+            report.set_count(),
+            report.ipv4_addresses(),
+            report.ipv6_addresses(),
+            simple * 100.0,
+            medium * 100.0,
+            large * 100.0,
+        );
+        total_sets += report.set_count();
+    }
+
+    // Sanity check against ground truth: how many devices really are
+    // dual-stack?
+    let truly_dual = internet.devices().iter().filter(|d| d.is_dual_stack()).count();
+    println!(
+        "\nAcross the three protocols {} dual-stack sets were inferred; \
+         the ground truth holds {} dual-stack devices (the gap is hitlist coverage, ACLs and\n\
+         devices running none of the scanned services on one of the families).",
+        total_sets, truly_dual
+    );
+}

@@ -1,0 +1,56 @@
+//! Internet survey: combine the single-VP active scan with a Censys-like
+//! distributed snapshot (the paper's Table 1 / Table 3 story) and show how
+//! much each data source contributes.
+//!
+//! Run with: `cargo run --release --example internet_survey`
+
+use alias_resolution::prelude::*;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+fn main() {
+    let internet = InternetBuilder::new(InternetConfig::small(2023)).build();
+
+    // Censys crawls from a distributed fleet and is therefore not subject to
+    // the single-VP rate limiting; it also lists some SSH hosts on
+    // non-standard ports, which we exclude like the paper does.
+    let snapshot = CensysSnapshot::collect(&internet, CensysConfig::default());
+    let censys = snapshot.default_port_observations();
+
+    // Our own active measurement from a single vantage point.
+    let active = ActiveCampaign::with_defaults(&internet).run(&internet).observations;
+
+    let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+    let count = |observations: &[ServiceObservation]| {
+        let ssh: BTreeSet<IpAddr> = observations
+            .iter()
+            .filter(|o| o.protocol() == ServiceProtocol::Ssh && !o.is_ipv6())
+            .map(|o| o.addr)
+            .collect();
+        let collection = AliasSetCollection::from_observations(
+            observations.iter().filter(|o| o.protocol() == ServiceProtocol::Ssh),
+            &extractor,
+        );
+        (ssh.len(), collection.ipv4_sets().len())
+    };
+
+    let (active_ips, active_sets) = count(&active);
+    let (censys_ips, censys_sets) = count(&censys);
+    let mut union = active.clone();
+    union.extend(censys.iter().cloned());
+    let (union_ips, union_sets) = count(&union);
+
+    println!("SSH IPv4 coverage by data source");
+    println!("  active measurements : {active_ips:>7} IPs, {active_sets:>6} alias sets");
+    println!("  censys snapshot     : {censys_ips:>7} IPs, {censys_sets:>6} alias sets");
+    println!("  union               : {union_ips:>7} IPs, {union_sets:>6} alias sets");
+    println!(
+        "  censys found {} SSH records on non-standard ports (excluded from the analysis)",
+        snapshot.nonstandard_port_observations().len()
+    );
+    println!(
+        "\nThe distributed snapshot sees {:.0}% more SSH hosts than the single vantage point,\n\
+         and the union improves on either source alone — the same qualitative result as the paper's Table 1/3.",
+        (censys_ips as f64 / active_ips.max(1) as f64 - 1.0) * 100.0
+    );
+}

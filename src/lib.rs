@@ -1,0 +1,67 @@
+//! # alias-resolution
+//!
+//! A Rust reproduction of *"Pushing Alias Resolution to the Limit"*
+//! (Albakour, Gasser, Smaragdakis — ACM IMC 2023): multi-protocol IP alias
+//! resolution and dual-stack inference from application-layer identifiers,
+//! together with the measurement substrate, scanners and IPID baselines the
+//! paper relies on.
+//!
+//! This facade crate re-exports the workspace crates so applications can
+//! depend on a single crate:
+//!
+//! * [`wire`] — BGP / SSH / SNMPv3 / TCP-IP wire formats,
+//! * [`netsim`] — the synthetic Internet used as the measurement substrate,
+//! * [`scan`] — ZMap/ZGrab2-style scanners, IPv6 hitlists, IPID probing,
+//! * [`censys`] — Censys-like distributed snapshots,
+//! * [`midar`] — Ally / MIDAR / Speedtrap / iffinder baselines,
+//! * [`core`] — identifiers, alias sets, dual-stack inference, validation
+//!   and AS-level analysis (the paper's contribution).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use alias_resolution::prelude::*;
+//!
+//! // A small synthetic Internet, scanned end to end.
+//! let internet = InternetBuilder::new(InternetConfig::tiny(7)).build();
+//! let campaign = ActiveCampaign::with_defaults(&internet);
+//! let data = campaign.run(&internet);
+//!
+//! // Group SSH observations into alias sets with the paper's identifier.
+//! let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+//! let ssh = AliasSetCollection::from_observations(
+//!     data.observations.iter().filter(|o| o.protocol() == ServiceProtocol::Ssh),
+//!     &extractor,
+//! );
+//! assert!(!ssh.sets().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use alias_censys as censys;
+pub use alias_core as core;
+pub use alias_midar as midar;
+pub use alias_netsim as netsim;
+pub use alias_scan as scan;
+pub use alias_wire as wire;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use alias_censys::{CensysConfig, CensysSnapshot};
+    pub use alias_core::alias_set::{AliasSet, AliasSetCollection};
+    pub use alias_core::dual_stack::{DualStackReport, DualStackSet};
+    pub use alias_core::ecdf::Ecdf;
+    pub use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
+    pub use alias_core::identifier::{
+        BgpIdentifier, BgpIdentifierPolicy, ProtocolIdentifier, SshIdentifier, SshIdentifierPolicy,
+    };
+    pub use alias_midar::{Midar, MidarConfig};
+    pub use alias_netsim::{
+        Internet, InternetBuilder, InternetConfig, ScalePreset, ServiceProtocol, SimTime,
+        VantageKind,
+    };
+    pub use alias_scan::{
+        ActiveCampaign, CampaignData, DataSource, Ipv6Hitlist, ServiceObservation, ServicePayload,
+        ZgrabScanner, ZmapScanner,
+    };
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: the full pipeline from a generated
+//! Internet through scanning, identifier extraction, alias/dual-stack
+//! grouping, validation and baselines — checked against ground truth.
+
+use alias_resolution::core::dual_stack::DualStackReport;
+use alias_resolution::core::merge::{merge_labeled_sets, ProtocolAttribution};
+use alias_resolution::core::validation::{common_addresses, cross_validate};
+use alias_resolution::prelude::*;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+fn build_and_scan(seed: u64) -> (Internet, Vec<ServiceObservation>) {
+    let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
+    let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+    (internet, data.observations)
+}
+
+fn collection(
+    observations: &[ServiceObservation],
+    protocol: ServiceProtocol,
+) -> AliasSetCollection {
+    let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+    AliasSetCollection::from_observations(
+        observations.iter().filter(|o| o.protocol() == protocol),
+        &extractor,
+    )
+}
+
+#[test]
+fn protocol_identifiers_group_addresses_of_the_same_device() {
+    let (internet, observations) = build_and_scan(101);
+    let truth = internet.ground_truth();
+    for protocol in [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3] {
+        let sets = collection(&observations, protocol).ipv4_sets();
+        // Precision: in the absence of heavy churn and with the full
+        // identifiers, nearly every inferred pair is a true alias pair.
+        let score = truth.score_sets(sets.iter().map(|s| s.iter()));
+        assert!(
+            score.precision() > 0.95,
+            "{} precision {:.3} too low",
+            protocol.name(),
+            score.precision()
+        );
+    }
+}
+
+#[test]
+fn ssh_recall_covers_most_reachable_alias_pairs() {
+    let (internet, observations) = build_and_scan(102);
+    let truth = internet.ground_truth();
+    let ssh = collection(&observations, ServiceProtocol::Ssh);
+    let sets = ssh.ipv4_sets();
+    let score = truth.score_sets(sets.iter().map(|s| s.iter()));
+    // Recall over the addresses SSH produced output for: the identifier is
+    // device-wide, so recall should be near-perfect.
+    assert!(score.recall() > 0.9, "ssh recall {:.3}", score.recall());
+}
+
+#[test]
+fn dual_stack_sets_pair_true_dual_stack_devices() {
+    let (internet, observations) = build_and_scan(103);
+    let truth = internet.ground_truth();
+    let ssh = collection(&observations, ServiceProtocol::Ssh);
+    let report = DualStackReport::from_collection(&ssh);
+    assert!(report.set_count() > 0, "tiny preset should contain dual-stack SSH devices");
+    for set in &report.sets {
+        let mut devices = BTreeSet::new();
+        for addr in set.ipv4.iter().chain(set.ipv6.iter()) {
+            devices.insert(truth.device_of(*addr).expect("observed addresses exist"));
+        }
+        assert_eq!(devices.len(), 1, "dual-stack set spans several devices: {set:?}");
+    }
+}
+
+#[test]
+fn union_analysis_attributes_sets_to_protocols() {
+    let (_, observations) = build_and_scan(104);
+    let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> =
+        [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3]
+            .iter()
+            .map(|&p| (p.name(), collection(&observations, p).ipv4_sets()))
+            .collect();
+    let merged = merge_labeled_sets(&labeled);
+    assert!(!merged.is_empty());
+    let attribution = ProtocolAttribution::compute(&merged);
+    assert_eq!(attribution.total, merged.len());
+    // SSH/BGP must identify sets SNMPv3 alone cannot — the paper's headline.
+    assert!(attribution.ssh_or_bgp > attribution.snmpv3_only);
+}
+
+#[test]
+fn cross_protocol_validation_agrees_on_shared_devices() {
+    let (_, observations) = build_and_scan(105);
+    let ssh = collection(&observations, ServiceProtocol::Ssh);
+    let snmp = collection(&observations, ServiceProtocol::Snmpv3);
+    let ssh_addrs: BTreeSet<IpAddr> = observations
+        .iter()
+        .filter(|o| o.protocol() == ServiceProtocol::Ssh && !o.is_ipv6())
+        .map(|o| o.addr)
+        .collect();
+    let snmp_addrs: BTreeSet<IpAddr> = observations
+        .iter()
+        .filter(|o| o.protocol() == ServiceProtocol::Snmpv3 && !o.is_ipv6())
+        .map(|o| o.addr)
+        .collect();
+    let common = common_addresses(&ssh_addrs, &snmp_addrs);
+    let result = cross_validate(&ssh.ipv4_sets(), &snmp.ipv4_sets(), &common);
+    // With a single-snapshot scan (no churn between sources) the two exact
+    // techniques must agree on essentially every comparable set.
+    assert!(
+        result.agreement_rate() > 0.9,
+        "agreement {:.2} (sample {})",
+        result.agreement_rate(),
+        result.sample_size
+    );
+}
+
+#[test]
+fn midar_baseline_confirms_a_subset_of_ssh_sets_without_false_merges() {
+    let (internet, observations) = build_and_scan(106);
+    let truth = internet.ground_truth();
+    let ssh = collection(&observations, ServiceProtocol::Ssh);
+    let sample: Vec<BTreeSet<IpAddr>> =
+        ssh.ipv4_sets().into_iter().filter(|s| s.len() <= 10).collect();
+    let targets: Vec<IpAddr> = sample.iter().flatten().copied().collect();
+    let outcome = Midar::new(MidarConfig::default()).resolve(&internet, &targets, SimTime::ZERO);
+    // MIDAR cannot test every address...
+    assert!(outcome.testable.len() <= targets.len());
+    // ...but what it does confirm is correct.
+    for set in &outcome.alias_sets {
+        let members: Vec<IpAddr> = set.iter().copied().collect();
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                assert!(truth.are_aliases(members[i], members[j]));
+            }
+        }
+    }
+}
+
+#[test]
+fn censys_snapshot_extends_single_vp_coverage() {
+    let internet = InternetBuilder::new(InternetConfig::tiny(107)).build();
+    let active = ActiveCampaign::with_defaults(&internet).run(&internet).observations;
+    let snapshot = CensysSnapshot::collect(&internet, CensysConfig::default());
+    let censys = snapshot.default_port_observations();
+
+    let count_ssh = |observations: &[ServiceObservation]| {
+        observations
+            .iter()
+            .filter(|o| o.protocol() == ServiceProtocol::Ssh && !o.is_ipv6())
+            .map(|o| o.addr)
+            .collect::<BTreeSet<IpAddr>>()
+            .len()
+    };
+    let mut union = active.clone();
+    union.extend(censys.iter().cloned());
+    let active_ips = count_ssh(&active);
+    let union_ips = count_ssh(&union);
+    assert!(union_ips > active_ips, "union {union_ips} vs active {active_ips}");
+}
+
+#[test]
+fn identifier_policy_ablation_shows_why_the_full_identifier_is_used() {
+    let (_, observations) = build_and_scan(108);
+    let ssh_observations: Vec<&ServiceObservation> = observations
+        .iter()
+        .filter(|o| o.protocol() == ServiceProtocol::Ssh)
+        .collect();
+    let full = AliasSetCollection::from_observations(
+        ssh_observations.iter().copied(),
+        &IdentifierExtractor::new(ExtractionConfig::paper()),
+    );
+    let key_only = AliasSetCollection::from_observations(
+        ssh_observations.iter().copied(),
+        &IdentifierExtractor::new(ExtractionConfig {
+            ssh: SshIdentifierPolicy::KeyOnly,
+            ..ExtractionConfig::paper()
+        }),
+    );
+    // Key-only grouping can only be coarser (or equal): it merges devices
+    // that share factory-default keys.
+    assert!(key_only.non_singleton_sets().len() <= full.non_singleton_sets().len()
+        || key_only.all_addresses().len() == full.all_addresses().len());
+    assert_eq!(key_only.all_addresses(), full.all_addresses());
+}
