@@ -11,7 +11,9 @@ fn synthetic_series(base: u16, velocity: f64, samples: usize) -> Vec<IpidSample>
     (0..samples)
         .map(|i| IpidSample {
             time: SimTime(i as u64 * 1_000),
-            ipid: base.wrapping_add((velocity * i as f64) as u16).wrapping_add(i as u16),
+            ipid: base
+                .wrapping_add((velocity * i as f64) as u16)
+                .wrapping_add(i as u16),
         })
         .collect()
 }
@@ -27,7 +29,10 @@ fn bench_mbt(c: &mut Criterion) {
         bench.iter(|| monotonic_bounds_test(black_box(&[&a, &unrelated]), 1_500.0))
     });
 
-    let series = IpidTimeSeries { addr: "192.0.2.1".parse().unwrap(), samples: a.clone() };
+    let series = IpidTimeSeries {
+        addr: "192.0.2.1".parse().unwrap(),
+        samples: a.clone(),
+    };
     c.bench_function("velocity_estimation", |bench| {
         bench.iter(|| estimate_velocity(black_box(&series), 1_500.0))
     });

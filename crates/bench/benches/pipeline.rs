@@ -13,8 +13,12 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     let experiment = Experiment::run(ScalePreset::Tiny, 5);
-    c.bench_function("table3_rendering_tiny", |b| b.iter(|| table3(black_box(&experiment))));
-    c.bench_function("figure3_rendering_tiny", |b| b.iter(|| figure3(black_box(&experiment))));
+    c.bench_function("table3_rendering_tiny", |b| {
+        b.iter(|| table3(black_box(&experiment)))
+    });
+    c.bench_function("figure3_rendering_tiny", |b| {
+        b.iter(|| figure3(black_box(&experiment)))
+    });
 
     let sizes: Vec<usize> = (0..5_000).map(|i| (i % 97) + 2).collect();
     c.bench_function("ecdf_construction_5k", |b| {

@@ -21,7 +21,9 @@ fn bench_bgp(c: &mut Criterion) {
     };
     let bytes = open.to_bytes();
     c.bench_function("bgp_open_emit", |b| b.iter(|| black_box(&open).to_bytes()));
-    c.bench_function("bgp_open_parse", |b| b.iter(|| BgpMessage::parse(black_box(&bytes)).unwrap()));
+    c.bench_function("bgp_open_parse", |b| {
+        b.iter(|| BgpMessage::parse(black_box(&bytes)).unwrap())
+    });
 }
 
 fn bench_ssh(c: &mut Criterion) {
@@ -39,9 +41,13 @@ fn bench_ssh(c: &mut Criterion) {
     c.bench_function("ssh_kexinit_fingerprint", |b| {
         b.iter(|| black_box(&kex).capability_fingerprint())
     });
-    c.bench_function("ssh_banner_parse", |b| b.iter(|| Banner::parse(black_box(&banner_bytes)).unwrap()));
+    c.bench_function("ssh_banner_parse", |b| {
+        b.iter(|| Banner::parse(black_box(&banner_bytes)).unwrap())
+    });
     let key = HostKey::new(HostKeyAlgorithm::Ed25519, vec![7u8; 32]);
-    c.bench_function("ssh_hostkey_fingerprint", |b| b.iter(|| black_box(&key).fingerprint()));
+    c.bench_function("ssh_hostkey_fingerprint", |b| {
+        b.iter(|| black_box(&key).fingerprint())
+    });
 }
 
 fn bench_snmp(c: &mut Criterion) {
@@ -53,7 +59,9 @@ fn bench_snmp(c: &mut Criterion) {
     };
     let report = Snmpv3Message::report_for(99, usm, 1);
     let bytes = report.to_bytes();
-    c.bench_function("snmpv3_report_emit", |b| b.iter(|| black_box(&report).to_bytes()));
+    c.bench_function("snmpv3_report_emit", |b| {
+        b.iter(|| black_box(&report).to_bytes())
+    });
     c.bench_function("snmpv3_report_parse", |b| {
         b.iter(|| Snmpv3Message::parse(black_box(&bytes)).unwrap())
     });

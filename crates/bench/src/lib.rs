@@ -32,7 +32,11 @@ use std::net::IpAddr;
 /// Which population size to run the experiments on (`ALIAS_SCALE` env var:
 /// `tiny`, `small` or `paper`).
 pub fn scale_from_env() -> ScalePreset {
-    match std::env::var("ALIAS_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("ALIAS_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => ScalePreset::Tiny,
         "small" => ScalePreset::Small,
         _ => ScalePreset::PaperShape,
@@ -69,7 +73,11 @@ impl Experiment {
         // Censys snapshot at day 0.
         let snapshot = CensysSnapshot::collect(
             &internet,
-            CensysConfig { snapshot_time: SimTime::ZERO, seed, ..Default::default() },
+            CensysConfig {
+                snapshot_time: SimTime::ZERO,
+                seed,
+                ..Default::default()
+            },
         );
         let censys = snapshot.default_port_observations();
         let censys_nonstandard = snapshot.nonstandard_port_observations().len();
@@ -140,23 +148,38 @@ impl Experiment {
 
     /// Address → ASN map for the union data.
     pub fn asn_map(&self) -> HashMap<IpAddr, u32> {
-        self.union.iter().filter_map(|o| o.asn.map(|asn| (o.addr, asn))).collect()
+        self.union
+            .iter()
+            .filter_map(|o| o.asn.map(|asn| (o.addr, asn)))
+            .collect()
     }
 }
 
-const PROTOCOLS: [ServiceProtocol; 3] =
-    [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3];
+const PROTOCOLS: [ServiceProtocol; 3] = [
+    ServiceProtocol::Ssh,
+    ServiceProtocol::Bgp,
+    ServiceProtocol::Snmpv3,
+];
 
 /// Table 1: service scanning dataset overview.
 pub fn table1(exp: &Experiment) -> String {
     let mut table = TextTable::new([
-        "Protocol", "Active #IPs", "Active #ASN", "Censys #IPs", "Censys #ASN", "Union #IPs",
+        "Protocol",
+        "Active #IPs",
+        "Active #ASN",
+        "Censys #IPs",
+        "Censys #ASN",
+        "Union #IPs",
         "Union #ASN",
     ]);
     let cell = |observations: &[ServiceObservation], protocol, source, ipv6| {
         let summary = DatasetSummary::compute(
             observations.iter(),
-            DatasetFilter { protocol, source, ipv6 },
+            DatasetFilter {
+                protocol,
+                source,
+                ipv6,
+            },
         );
         (format_count(summary.ips), format_count(summary.asns))
     };
@@ -240,8 +263,7 @@ pub fn table2(exp: &Experiment) -> String {
     // Addresses whose counters were individually sampleable but never
     // corroborated into a set (per-interface counters, high velocity) leave
     // the sampled set unverified rather than contradicted.
-    let positively_grouped: BTreeSet<IpAddr> =
-        midar.alias_sets.iter().flatten().copied().collect();
+    let positively_grouped: BTreeSet<IpAddr> = midar.alias_sets.iter().flatten().copied().collect();
     let validation = validate_against_midar(&sample, &midar.alias_sets, &positively_grouped);
     table.row([
         "SSH-MIDAR".to_owned(),
@@ -276,20 +298,30 @@ pub fn table3(exp: &Experiment) -> String {
             let mut labeled = Vec::new();
             for protocol in PROTOCOLS {
                 // SNMPv3 only exists in the active measurements.
-                let effective_source =
-                    if protocol == ServiceProtocol::Snmpv3 { Some(DataSource::Active) } else { source };
+                let effective_source = if protocol == ServiceProtocol::Snmpv3 {
+                    Some(DataSource::Active)
+                } else {
+                    source
+                };
                 let collection = exp.collection(protocol, effective_source);
                 let sets = collection.family_sets(ipv6);
                 let addrs: usize = sets.iter().map(BTreeSet::len).sum();
                 if protocol == ServiceProtocol::Snmpv3 && source == Some(DataSource::Censys) {
                     cells.push("n.a.".to_owned());
                 } else {
-                    cells.push(format!("{} ({})", format_count(sets.len()), format_count(addrs)));
+                    cells.push(format!(
+                        "{} ({})",
+                        format_count(sets.len()),
+                        format_count(addrs)
+                    ));
                 }
                 labeled.push((protocol.name(), sets));
             }
             let merged = merge_labeled_sets(
-                &labeled.iter().map(|(l, s)| (*l, s.clone())).collect::<Vec<_>>(),
+                &labeled
+                    .iter()
+                    .map(|(l, s)| (*l, s.clone()))
+                    .collect::<Vec<_>>(),
             );
             let union_addrs: usize = merged.iter().map(|m| m.addrs.len()).sum();
             let source_label = match source {
@@ -303,7 +335,11 @@ pub fn table3(exp: &Experiment) -> String {
                 cells[0].clone(),
                 cells[1].clone(),
                 cells[2].clone(),
-                format!("{} ({})", format_count(merged.len()), format_count(union_addrs)),
+                format!(
+                    "{} ({})",
+                    format_count(merged.len()),
+                    format_count(union_addrs)
+                ),
             ]);
         }
     }
@@ -327,12 +363,27 @@ pub fn table4(exp: &Experiment) -> String {
         ]);
         labeled.push((
             protocol.name(),
-            report.sets.iter().map(|s| s.ipv4.union(&s.ipv6).copied().collect()).collect(),
+            report
+                .sets
+                .iter()
+                .map(|s| s.ipv4.union(&s.ipv6).copied().collect())
+                .collect(),
         ));
     }
-    let merged = merge_labeled_sets(&labeled.iter().map(|(l, s)| (*l, s.clone())).collect::<Vec<_>>());
-    let v4: usize = merged.iter().map(|m| m.addrs.iter().filter(|a| a.is_ipv4()).count()).sum();
-    let v6: usize = merged.iter().map(|m| m.addrs.iter().filter(|a| a.is_ipv6()).count()).sum();
+    let merged = merge_labeled_sets(
+        &labeled
+            .iter()
+            .map(|(l, s)| (*l, s.clone()))
+            .collect::<Vec<_>>(),
+    );
+    let v4: usize = merged
+        .iter()
+        .map(|m| m.addrs.iter().filter(|a| a.is_ipv4()).count())
+        .sum();
+    let v6: usize = merged
+        .iter()
+        .map(|m| m.addrs.iter().filter(|a| a.is_ipv6()).count())
+        .sum();
     table.row([
         "Union".to_owned(),
         format_count(v4),
@@ -387,7 +438,10 @@ pub fn table5(exp: &Experiment) -> String {
         labeled.push((protocol.name(), sets));
     }
     let merged: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
-        &labeled.iter().map(|(l, s)| (*l, s.clone())).collect::<Vec<_>>(),
+        &labeled
+            .iter()
+            .map(|(l, s)| (*l, s.clone()))
+            .collect::<Vec<_>>(),
     )
     .into_iter()
     .map(|m| m.addrs)
@@ -433,16 +487,24 @@ pub fn table6(exp: &Experiment) -> String {
                 .collect::<Vec<_>>(),
         ));
     }
-    let v6_union: Vec<BTreeSet<IpAddr>> =
-        merge_labeled_sets(&v6_labeled.iter().map(|(l, s)| (*l, s.clone())).collect::<Vec<_>>())
-            .into_iter()
-            .map(|m| m.addrs)
-            .collect();
-    let ds_union: Vec<BTreeSet<IpAddr>> =
-        merge_labeled_sets(&ds_labeled.iter().map(|(l, s)| (*l, s.clone())).collect::<Vec<_>>())
-            .into_iter()
-            .map(|m| m.addrs)
-            .collect();
+    let v6_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
+        &v6_labeled
+            .iter()
+            .map(|(l, s)| (*l, s.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .into_iter()
+    .map(|m| m.addrs)
+    .collect();
+    let ds_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
+        &ds_labeled
+            .iter()
+            .map(|(l, s)| (*l, s.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .into_iter()
+    .map(|m| m.addrs)
+    .collect();
     let v6_top = analysis::top_ases(&v6_union, &asn_map, 10);
     let ds_top = analysis::top_ases(&ds_union, &asn_map, 10);
 
@@ -485,23 +547,38 @@ pub fn figure3(exp: &Experiment) -> String {
     let series = vec![
         (
             "Censys BGP",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Bgp, Some(DataSource::Censys)).set_sizes(false)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Bgp, Some(DataSource::Censys))
+                    .set_sizes(false),
+            ),
         ),
         (
             "Active BGP",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Bgp, Some(DataSource::Active)).set_sizes(false)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Bgp, Some(DataSource::Active))
+                    .set_sizes(false),
+            ),
         ),
         (
             "Censys SSH",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Ssh, Some(DataSource::Censys)).set_sizes(false)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Ssh, Some(DataSource::Censys))
+                    .set_sizes(false),
+            ),
         ),
         (
             "Active SSH",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Ssh, Some(DataSource::Active)).set_sizes(false)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Ssh, Some(DataSource::Active))
+                    .set_sizes(false),
+            ),
         ),
         (
             "Active SNMPv3",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Snmpv3, Some(DataSource::Active)).set_sizes(false)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Snmpv3, Some(DataSource::Active))
+                    .set_sizes(false),
+            ),
         ),
     ];
     ecdf_series("Figure 3: IPv4 addresses per alias set (ECDF)", series)
@@ -512,15 +589,24 @@ pub fn figure4(exp: &Experiment) -> String {
     let series = vec![
         (
             "Active SSH",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Ssh, Some(DataSource::Active)).set_sizes(true)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Ssh, Some(DataSource::Active))
+                    .set_sizes(true),
+            ),
         ),
         (
             "Active BGP",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Bgp, Some(DataSource::Active)).set_sizes(true)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Bgp, Some(DataSource::Active))
+                    .set_sizes(true),
+            ),
         ),
         (
             "Active SNMPv3",
-            Ecdf::from_counts(exp.collection(ServiceProtocol::Snmpv3, Some(DataSource::Active)).set_sizes(true)),
+            Ecdf::from_counts(
+                exp.collection(ServiceProtocol::Snmpv3, Some(DataSource::Active))
+                    .set_sizes(true),
+            ),
         ),
     ];
     ecdf_series("Figure 4: IPv6 addresses per alias set (ECDF)", series)
@@ -569,20 +655,30 @@ pub fn figure6(exp: &Experiment) -> String {
                 .collect::<Vec<_>>(),
         ));
     }
-    let alias_union: Vec<BTreeSet<IpAddr>> =
-        merge_labeled_sets(&labeled.iter().map(|(l, s)| (*l, s.clone())).collect::<Vec<_>>())
-            .into_iter()
-            .map(|m| m.addrs)
-            .collect();
-    let ds_union: Vec<BTreeSet<IpAddr>> =
-        merge_labeled_sets(&ds_labeled.iter().map(|(l, s)| (*l, s.clone())).collect::<Vec<_>>())
-            .into_iter()
-            .map(|m| m.addrs)
-            .collect();
-    let alias_counts: Vec<usize> =
-        analysis::sets_per_as(&alias_union, &asn_map).into_values().collect();
-    let ds_counts: Vec<usize> =
-        analysis::sets_per_as(&ds_union, &asn_map).into_values().collect();
+    let alias_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
+        &labeled
+            .iter()
+            .map(|(l, s)| (*l, s.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .into_iter()
+    .map(|m| m.addrs)
+    .collect();
+    let ds_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
+        &ds_labeled
+            .iter()
+            .map(|(l, s)| (*l, s.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .into_iter()
+    .map(|m| m.addrs)
+    .collect();
+    let alias_counts: Vec<usize> = analysis::sets_per_as(&alias_union, &asn_map)
+        .into_values()
+        .collect();
+    let ds_counts: Vec<usize> = analysis::sets_per_as(&ds_union, &asn_map)
+        .into_values()
+        .collect();
     let ases_with_alias = alias_counts.len();
     let over_100 = alias_counts.iter().filter(|&&c| c > 100).count();
     let mut out = ecdf_series(
@@ -619,7 +715,9 @@ pub fn stats(exp: &Experiment) -> String {
         ..ExtractionConfig::paper()
     });
     let ssh_by_key = AliasSetCollection::from_observations(
-        exp.union.iter().filter(|o| o.protocol() == ServiceProtocol::Ssh),
+        exp.union
+            .iter()
+            .filter(|o| o.protocol() == ServiceProtocol::Ssh),
         &key_only,
     );
     // The full identifier splits a key-grouped set whenever interfaces of
@@ -636,8 +734,10 @@ pub fn stats(exp: &Experiment) -> String {
 
     // §4.1: single- vs multi-service addresses (IPv4 and IPv6).
     for ipv6 in [false, true] {
-        let per_protocol: Vec<BTreeSet<IpAddr>> =
-            PROTOCOLS.iter().map(|&p| exp.responsive_addrs(p, ipv6)).collect();
+        let per_protocol: Vec<BTreeSet<IpAddr>> = PROTOCOLS
+            .iter()
+            .map(|&p| exp.responsive_addrs(p, ipv6))
+            .collect();
         let stats = MultiServiceStats::compute(&per_protocol);
         out.push_str(&format!(
             "{}: {} of addresses answer a single service; {} answer two or three\n",

@@ -70,30 +70,40 @@ impl CensysSnapshot {
     /// Crawl the simulated Internet the way the Censys fleet would.
     pub fn collect(internet: &Internet, config: CensysConfig) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let ctx = ProbeContext { vantage: VantageKind::Distributed, time: config.snapshot_time };
-        let nonstandard_fraction =
-            internet.config().visibility.censys_nonstandard_port_fraction;
+        let ctx = ProbeContext {
+            vantage: VantageKind::Distributed,
+            time: config.snapshot_time,
+        };
+        let nonstandard_fraction = internet
+            .config()
+            .visibility
+            .censys_nonstandard_port_fraction;
         let mut observations = Vec::new();
 
         for device in internet.devices() {
             if !device.censys_covered {
                 continue;
             }
-            for addr in device.ssh_responding_addrs().into_iter().chain(device.bgp_responding_addrs())
+            let per_protocol = [
+                (ServiceProtocol::Ssh, 22, device.ssh_responding_addrs()),
+                (ServiceProtocol::Bgp, 179, device.bgp_responding_addrs()),
+            ];
+            for (protocol, port, addr) in
+                per_protocol
+                    .into_iter()
+                    .flat_map(|(protocol, port, addrs)| {
+                        addrs.into_iter().map(move |addr| (protocol, port, addr))
+                    })
             {
                 if addr.is_ipv6() && !config.include_ipv6 {
                     continue;
                 }
-                let (protocol, port) = if device
-                    .ssh_responding_addrs()
-                    .contains(&addr)
-                {
-                    (ServiceProtocol::Ssh, 22)
-                } else {
-                    (ServiceProtocol::Bgp, 179)
+                let Some(bytes) = internet.service_session(addr, port, &ctx) else {
+                    continue;
                 };
-                let Some(bytes) = internet.service_session(addr, port, &ctx) else { continue };
-                let Some(payload) = parse_payload(protocol, &bytes) else { continue };
+                let Some(payload) = parse_payload(protocol, &bytes) else {
+                    continue;
+                };
                 let base = ServiceObservation {
                     addr,
                     port,
@@ -107,8 +117,8 @@ impl CensysSnapshot {
                     && !config.extra_ssh_ports.is_empty()
                     && rng.gen_bool(nonstandard_fraction)
                 {
-                    let extra_port = config.extra_ssh_ports
-                        [rng.gen_range(0..config.extra_ssh_ports.len())];
+                    let extra_port =
+                        config.extra_ssh_ports[rng.gen_range(0..config.extra_ssh_ports.len())];
                     let mut extra = base.clone();
                     extra.port = extra_port;
                     observations.push(extra);
@@ -116,20 +126,30 @@ impl CensysSnapshot {
                 observations.push(base);
             }
         }
-        CensysSnapshot { config, observations }
+        CensysSnapshot {
+            config,
+            observations,
+        }
     }
 
     /// Observations restricted to the protocols' default ports — the view
     /// the paper uses ("we only consider hosts that are running SSH and BGP
     /// on the default ports").
     pub fn default_port_observations(&self) -> Vec<ServiceObservation> {
-        self.observations.iter().filter(|o| o.is_default_port()).cloned().collect()
+        self.observations
+            .iter()
+            .filter(|o| o.is_default_port())
+            .cloned()
+            .collect()
     }
 
     /// Observations on non-standard ports (excluded from the analysis but
     /// reported in the dataset overview).
     pub fn nonstandard_port_observations(&self) -> Vec<&ServiceObservation> {
-        self.observations.iter().filter(|o| !o.is_default_port()).collect()
+        self.observations
+            .iter()
+            .filter(|o| !o.is_default_port())
+            .collect()
     }
 
     /// Distinct addresses present in the snapshot.
@@ -191,7 +211,10 @@ mod tests {
             let (device_id, _) = internet.lookup(obs.addr).unwrap();
             !internet.device(device_id).visible_to_single_vp
         });
-        assert!(invisible_but_seen, "distributed scanning must see rate-limited hosts");
+        assert!(
+            invisible_but_seen,
+            "distributed scanning must see rate-limited hosts"
+        );
     }
 
     #[test]

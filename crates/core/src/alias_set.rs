@@ -61,8 +61,13 @@ impl AliasSetCollection {
         let mut by_identifier: HashMap<ProtocolIdentifier, BTreeSet<IpAddr>> = HashMap::new();
         let mut asn_of = HashMap::new();
         for obs in observations {
-            let Some(identifier) = extractor.extract(obs) else { continue };
-            by_identifier.entry(identifier).or_default().insert(obs.addr);
+            let Some(identifier) = extractor.extract(obs) else {
+                continue;
+            };
+            by_identifier
+                .entry(identifier)
+                .or_default()
+                .insert(obs.addr);
             if let Some(asn) = obs.asn {
                 asn_of.insert(obs.addr, asn);
             }
@@ -73,7 +78,9 @@ impl AliasSetCollection {
             .collect();
         // Deterministic order: biggest sets first, ties broken by members.
         sets.sort_by(|a, b| {
-            b.len().cmp(&a.len()).then_with(|| a.addrs.iter().next().cmp(&b.addrs.iter().next()))
+            b.len()
+                .cmp(&a.len())
+                .then_with(|| a.addrs.iter().next().cmp(&b.addrs.iter().next()))
         });
         AliasSetCollection { sets, asn_of }
     }
@@ -126,7 +133,10 @@ impl AliasSetCollection {
 
     /// All distinct addresses in the collection (any family, any set size).
     pub fn all_addresses(&self) -> BTreeSet<IpAddr> {
-        self.sets.iter().flat_map(|s| s.addrs.iter().copied()).collect()
+        self.sets
+            .iter()
+            .flat_map(|s| s.addrs.iter().copied())
+            .collect()
     }
 
     /// Set sizes of one address family (input for the ECDF figures).
@@ -241,6 +251,8 @@ mod tests {
         assert!(!set.is_empty());
         assert_eq!(set.ipv4_addrs().len(), 1);
         assert_eq!(set.ipv6_addrs().len(), 1);
-        assert!(set.ipv4_addrs().contains(&IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1))));
+        assert!(set
+            .ipv4_addrs()
+            .contains(&IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1))));
     }
 }

@@ -7,10 +7,7 @@ use std::net::IpAddr;
 ///
 /// Addresses without an AS annotation are ignored; sets with no annotated
 /// address contribute a count of zero.
-pub fn asns_per_set(
-    sets: &[BTreeSet<IpAddr>],
-    asn_of: &HashMap<IpAddr, u32>,
-) -> Vec<usize> {
+pub fn asns_per_set(sets: &[BTreeSet<IpAddr>], asn_of: &HashMap<IpAddr, u32>) -> Vec<usize> {
     sets.iter()
         .map(|set| {
             set.iter()
@@ -76,7 +73,10 @@ mod tests {
     }
 
     fn asn_map(entries: &[(&str, u32)]) -> HashMap<IpAddr, u32> {
-        entries.iter().map(|(a, asn)| (a.parse().unwrap(), *asn)).collect()
+        entries
+            .iter()
+            .map(|(a, asn)| (a.parse().unwrap(), *asn))
+            .collect()
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl DatasetSummary {
                 asns.insert(asn);
             }
         }
-        DatasetSummary { ips: ips.len(), asns: asns.len() }
+        DatasetSummary {
+            ips: ips.len(),
+            asns: asns.len(),
+        }
     }
 }
 
@@ -80,7 +83,7 @@ mod tests {
 
     #[test]
     fn filters_by_protocol_source_and_family() {
-        let observations = vec![
+        let observations = [
             snmp_obs("10.0.0.1", 100, DataSource::Active),
             snmp_obs("10.0.0.2", 100, DataSource::Active),
             snmp_obs("10.0.0.2", 100, DataSource::Censys), // same IP, other source
@@ -98,19 +101,34 @@ mod tests {
 
         let v4_union_sources = DatasetSummary::compute(
             observations.iter(),
-            DatasetFilter { protocol: Some(ServiceProtocol::Snmpv3), source: None, ipv6: false },
+            DatasetFilter {
+                protocol: Some(ServiceProtocol::Snmpv3),
+                source: None,
+                ipv6: false,
+            },
         );
-        assert_eq!(v4_union_sources.ips, 2, "union must not double count the shared IP");
+        assert_eq!(
+            v4_union_sources.ips, 2,
+            "union must not double count the shared IP"
+        );
 
         let v6 = DatasetSummary::compute(
             observations.iter(),
-            DatasetFilter { protocol: None, source: None, ipv6: true },
+            DatasetFilter {
+                protocol: None,
+                source: None,
+                ipv6: true,
+            },
         );
         assert_eq!(v6, DatasetSummary { ips: 1, asns: 1 });
 
         let ssh_only = DatasetSummary::compute(
             observations.iter(),
-            DatasetFilter { protocol: Some(ServiceProtocol::Ssh), source: None, ipv6: false },
+            DatasetFilter {
+                protocol: Some(ServiceProtocol::Ssh),
+                source: None,
+                ipv6: false,
+            },
         );
         assert_eq!(ssh_only, DatasetSummary::default());
     }

@@ -60,11 +60,15 @@ impl DualStackReport {
                 if ipv4.is_empty() || ipv6.is_empty() {
                     None
                 } else {
-                    Some(DualStackSet { identifier: set.identifier.clone(), ipv4, ipv6 })
+                    Some(DualStackSet {
+                        identifier: set.identifier.clone(),
+                        ipv4,
+                        ipv6,
+                    })
                 }
             })
             .collect();
-        sets.sort_by(|a, b| b.len().cmp(&a.len()));
+        sets.sort_by_key(|set| std::cmp::Reverse(set.len()));
         DualStackReport { sets }
     }
 
@@ -75,12 +79,20 @@ impl DualStackReport {
 
     /// Distinct IPv4 addresses covered.
     pub fn ipv4_addresses(&self) -> usize {
-        self.sets.iter().flat_map(|s| s.ipv4.iter()).collect::<BTreeSet<_>>().len()
+        self.sets
+            .iter()
+            .flat_map(|s| s.ipv4.iter())
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// Distinct IPv6 addresses covered.
     pub fn ipv6_addresses(&self) -> usize {
-        self.sets.iter().flat_map(|s| s.ipv6.iter()).collect::<BTreeSet<_>>().len()
+        self.sets
+            .iter()
+            .flat_map(|s| s.ipv6.iter())
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// Fraction of sets that are a single IPv4 + single IPv6 pair.

@@ -114,7 +114,9 @@ mod tests {
     fn points_are_monotone_and_end_at_one() {
         let ecdf = Ecdf::from_counts([5usize, 1, 1, 7, 7, 7, 2]);
         let points = ecdf.points();
-        assert!(points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
         assert_eq!(points.last().unwrap().1, 1.0);
         // Distinct x values only.
         assert_eq!(points.len(), 4);

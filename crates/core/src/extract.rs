@@ -19,7 +19,10 @@ pub struct ExtractionConfig {
 impl ExtractionConfig {
     /// The paper's configuration: full identifiers for both protocols.
     pub fn paper() -> Self {
-        ExtractionConfig { ssh: SshIdentifierPolicy::Full, bgp: BgpIdentifierPolicy::FullOpen }
+        ExtractionConfig {
+            ssh: SshIdentifierPolicy::Full,
+            bgp: BgpIdentifierPolicy::FullOpen,
+        }
     }
 }
 
@@ -45,8 +48,9 @@ impl IdentifierExtractor {
     /// never reached the host key).
     pub fn extract(&self, observation: &ServiceObservation) -> Option<ProtocolIdentifier> {
         match &observation.payload {
-            ServicePayload::Ssh(ssh) => SshIdentifier::from_observation(ssh, self.config.ssh)
-                .map(ProtocolIdentifier::Ssh),
+            ServicePayload::Ssh(ssh) => {
+                SshIdentifier::from_observation(ssh, self.config.ssh).map(ProtocolIdentifier::Ssh)
+            }
             ServicePayload::Bgp { open, .. } => Some(ProtocolIdentifier::Bgp(
                 BgpIdentifier::from_open(open, self.config.bgp),
             )),

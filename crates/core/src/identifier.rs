@@ -68,13 +68,21 @@ impl SshIdentifier {
         let host_key = obs.host_key.as_ref()?.fingerprint();
         let capabilities = match policy {
             SshIdentifierPolicy::KeyOnly => String::new(),
-            _ => obs.kex_init.as_ref().map(|k| k.capability_fingerprint()).unwrap_or_default(),
+            _ => obs
+                .kex_init
+                .as_ref()
+                .map(|k| k.capability_fingerprint())
+                .unwrap_or_default(),
         };
         let banner = match policy {
             SshIdentifierPolicy::Full => obs.banner.to_line(),
             _ => String::new(),
         };
-        Some(SshIdentifier { banner, capabilities, host_key })
+        Some(SshIdentifier {
+            banner,
+            capabilities,
+            host_key,
+        })
     }
 }
 
@@ -149,7 +157,9 @@ pub struct Snmpv3Identifier {
 impl Snmpv3Identifier {
     /// Build the identifier from an engine ID.
     pub fn from_engine_id(engine_id: &EngineId) -> Self {
-        Snmpv3Identifier { engine_id: engine_id.to_hex() }
+        Snmpv3Identifier {
+            engine_id: engine_id.to_hex(),
+        }
     }
 }
 
@@ -235,13 +245,11 @@ mod tests {
             NameList::new(["aes128-ctr"]);
         let a_key =
             SshIdentifier::from_observation(&ssh_obs(7), SshIdentifierPolicy::KeyOnly).unwrap();
-        let b_key =
-            SshIdentifier::from_observation(&obs_b, SshIdentifierPolicy::KeyOnly).unwrap();
+        let b_key = SshIdentifier::from_observation(&obs_b, SshIdentifierPolicy::KeyOnly).unwrap();
         assert_eq!(a_key, b_key);
         let a_full =
             SshIdentifier::from_observation(&ssh_obs(7), SshIdentifierPolicy::Full).unwrap();
-        let b_full =
-            SshIdentifier::from_observation(&obs_b, SshIdentifierPolicy::Full).unwrap();
+        let b_full = SshIdentifier::from_observation(&obs_b, SshIdentifierPolicy::Full).unwrap();
         assert_ne!(a_full, b_full);
     }
 
@@ -287,8 +295,7 @@ mod tests {
     }
 
     #[test]
-    fn snmp_identifier_is_engine_hex()
-    {
+    fn snmp_identifier_is_engine_hex() {
         let engine = EngineId::from_enterprise_mac(9, [1, 2, 3, 4, 5, 6]);
         let id = Snmpv3Identifier::from_engine_id(&engine);
         assert_eq!(id.engine_id, engine.to_hex());

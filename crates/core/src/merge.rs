@@ -81,7 +81,10 @@ pub fn merge_labeled_sets(inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<Merge
 pub fn merge_sets(inputs: &[Vec<BTreeSet<IpAddr>>]) -> Vec<BTreeSet<IpAddr>> {
     let labelled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> =
         inputs.iter().map(|sets| ("", sets.clone())).collect();
-    merge_labeled_sets(&labelled).into_iter().map(|m| m.addrs).collect()
+    merge_labeled_sets(&labelled)
+        .into_iter()
+        .map(|m| m.addrs)
+        .collect()
 }
 
 /// How many services each address answers (the 97% / 3% split of §4.1).
@@ -145,7 +148,10 @@ impl ProtocolAttribution {
     /// Compute the attribution from labelled merged sets, where the labels
     /// are protocol names (`"ssh"`, `"bgp"`, `"snmpv3"`).
     pub fn compute(merged: &[MergedSet]) -> Self {
-        let mut attribution = ProtocolAttribution { total: merged.len(), ..Default::default() };
+        let mut attribution = ProtocolAttribution {
+            total: merged.len(),
+            ..Default::default()
+        };
         for set in merged {
             if set.only_from("snmpv3") {
                 attribution.snmpv3_only += 1;
@@ -225,7 +231,13 @@ mod tests {
     fn attribution_counts_snmp_only_sets() {
         let merged = merge_labeled_sets(&[
             ("ssh", vec![set(&["10.0.0.1", "10.0.0.2"])]),
-            ("snmpv3", vec![set(&["10.1.0.1", "10.1.0.2"]), set(&["10.0.0.1", "10.0.0.9"])]),
+            (
+                "snmpv3",
+                vec![
+                    set(&["10.1.0.1", "10.1.0.2"]),
+                    set(&["10.0.0.1", "10.0.0.9"]),
+                ],
+            ),
         ]);
         let attribution = ProtocolAttribution::compute(&merged);
         assert_eq!(attribution.total, 2);

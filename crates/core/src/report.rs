@@ -40,7 +40,10 @@ pub struct TextTable {
 impl TextTable {
     /// Create a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (shorter rows are padded with empty cells).
@@ -61,9 +64,10 @@ impl TextTable {
 
     /// Render the table with aligned columns.
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
         for row in all_rows {
@@ -73,9 +77,9 @@ impl TextTable {
         }
         let render_row = |row: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..columns {
+            for (i, &width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                line.push_str(&format!("{cell:<width$}"));
                 if i + 1 < columns {
                     line.push_str("  ");
                 }

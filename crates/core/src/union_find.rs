@@ -12,7 +12,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Create a forest of `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Number of elements.

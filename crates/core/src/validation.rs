@@ -43,7 +43,11 @@ pub fn project_sets(
     universe: &BTreeSet<IpAddr>,
 ) -> Vec<BTreeSet<IpAddr>> {
     sets.iter()
-        .map(|s| s.intersection(universe).copied().collect::<BTreeSet<IpAddr>>())
+        .map(|s| {
+            s.intersection(universe)
+                .copied()
+                .collect::<BTreeSet<IpAddr>>()
+        })
         .filter(|s| s.len() >= 2)
         .collect()
 }
@@ -61,7 +65,10 @@ pub fn cross_validate(
     let projected_a = project_sets(sets_a, common);
     let projected_b = project_sets(sets_b, common);
     let b_lookup: std::collections::HashSet<&BTreeSet<IpAddr>> = projected_b.iter().collect();
-    let mut result = ValidationResult { sample_size: projected_a.len(), ..Default::default() };
+    let mut result = ValidationResult {
+        sample_size: projected_a.len(),
+        ..Default::default()
+    };
     for set in &projected_a {
         if b_lookup.contains(set) {
             result.agree += 1;
@@ -109,7 +116,11 @@ pub fn validate_against_midar(
     let projected = project_sets(sampled_sets, testable);
     let unverifiable = sampled_sets.len() - projected.len();
     let result = cross_validate(sampled_sets, midar_sets, testable);
-    MidarValidation { sampled: sampled_sets.len(), unverifiable, result }
+    MidarValidation {
+        sampled: sampled_sets.len(),
+        unverifiable,
+        result,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +133,10 @@ mod tests {
 
     #[test]
     fn identical_partitions_agree_fully() {
-        let a = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.1.0.1", "10.1.0.2"])];
+        let a = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),
+            set(&["10.1.0.1", "10.1.0.2"]),
+        ];
         let common: BTreeSet<IpAddr> = a.iter().flatten().copied().collect();
         let result = cross_validate(&a, &a, &common);
         assert_eq!(result.sample_size, 2);
@@ -135,7 +149,10 @@ mod tests {
     fn split_sets_disagree() {
         let a = vec![set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"])];
         // Technique B splits the set in two.
-        let b = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.0.0.3", "10.0.0.4"])];
+        let b = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),
+            set(&["10.0.0.3", "10.0.0.4"]),
+        ];
         let common = set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"]);
         let result = cross_validate(&a, &b, &common);
         assert_eq!(result.sample_size, 1);
@@ -156,7 +173,10 @@ mod tests {
 
     #[test]
     fn sets_that_vanish_after_projection_are_not_counted() {
-        let a = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.5.0.1", "10.5.0.2"])];
+        let a = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),
+            set(&["10.5.0.1", "10.5.0.2"]),
+        ];
         let b = vec![set(&["10.0.0.1", "10.0.0.2"])];
         // Only the first set intersects the common universe with ≥2 addrs.
         let common = set(&["10.0.0.1", "10.0.0.2", "10.5.0.1"]);
@@ -175,11 +195,14 @@ mod tests {
     #[test]
     fn midar_validation_reports_coverage() {
         let sampled = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),     // testable, agrees
-            set(&["10.1.0.1", "10.1.0.2"]),     // untestable (random IPIDs)
-            set(&["10.2.0.1", "10.2.0.2"]),     // testable, MIDAR splits it
+            set(&["10.0.0.1", "10.0.0.2"]), // testable, agrees
+            set(&["10.1.0.1", "10.1.0.2"]), // untestable (random IPIDs)
+            set(&["10.2.0.1", "10.2.0.2"]), // testable, MIDAR splits it
         ];
-        let midar = vec![set(&["10.0.0.1", "10.0.0.2"]), set(&["10.2.0.1", "10.9.0.9"])];
+        let midar = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),
+            set(&["10.2.0.1", "10.9.0.9"]),
+        ];
         let testable = set(&["10.0.0.1", "10.0.0.2", "10.2.0.1", "10.2.0.2"]);
         let validation = validate_against_midar(&sampled, &midar, &testable);
         assert_eq!(validation.sampled, 3);

@@ -73,7 +73,12 @@ mod tests {
                 d.responds_to_ping
                     && d.ipv4_addrs().len() >= 2
                     && d.ipid.lock().model().is_shared_monotonic() == want_shared
-                    && d.ipid.lock().model().velocity().map(|v| v < 500.0).unwrap_or(!want_shared)
+                    && d.ipid
+                        .lock()
+                        .model()
+                        .velocity()
+                        .map(|v| v < 500.0)
+                        .unwrap_or(!want_shared)
             })
             .map(|d| {
                 let addrs = d.ipv4_addrs();
@@ -104,7 +109,10 @@ mod tests {
                 d.responds_to_ping
                     && matches!(d.kind, DeviceKind::IspRouter | DeviceKind::BorderRouter)
                     && !d.ipv4_addrs().is_empty()
-                    && matches!(d.ipid.lock().model(), IpidModel::SharedMonotonic { .. } | IpidModel::Random)
+                    && matches!(
+                        d.ipid.lock().model(),
+                        IpidModel::SharedMonotonic { .. } | IpidModel::Random
+                    )
             })
             .take(2)
             .collect();
@@ -127,7 +135,13 @@ mod tests {
             .map(|d| IpAddr::V4(d.ipv4_addrs()[0]))
             .unwrap();
         assert_eq!(
-            ally_test(&internet, live, dead, VantageKind::Distributed, SimTime::ZERO),
+            ally_test(
+                &internet,
+                live,
+                dead,
+                VantageKind::Distributed,
+                SimTime::ZERO
+            ),
             AllyVerdict::Unresponsive
         );
     }

@@ -8,8 +8,8 @@
 //! introduction — the simulator reproduces that, and this implementation
 //! exists mainly as the historical baseline.
 
-use alias_netsim::{Internet, ProbeContext, SimTime, VantageKind};
 use alias_core::union_find::UnionFind;
+use alias_netsim::{Internet, ProbeContext, SimTime, VantageKind};
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
 
@@ -35,7 +35,7 @@ pub fn iffinder_scan(
     let mut outcome = IffinderOutcome::default();
     let mut now = start;
     for &addr in targets {
-        now = now + SimTime(1);
+        now += SimTime(1);
         let ctx = ProbeContext { vantage, time: now };
         match internet.udp_closed_port_probe(addr, &ctx) {
             Some(source) if source != addr => outcome.pairs.push((addr, source)),

@@ -67,7 +67,10 @@ mod tests {
     fn series(samples: &[(u64, u16)]) -> Vec<IpidSample> {
         samples
             .iter()
-            .map(|&(ms, ipid)| IpidSample { time: SimTime(ms), ipid })
+            .map(|&(ms, ipid)| IpidSample {
+                time: SimTime(ms),
+                ipid,
+            })
             .collect()
     }
 
@@ -75,7 +78,10 @@ mod tests {
     fn shared_counter_is_consistent() {
         let a = series(&[(0, 100), (2_000, 110), (4_000, 122)]);
         let b = series(&[(1_000, 105), (3_000, 117), (5_000, 130)]);
-        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Consistent);
+        assert_eq!(
+            monotonic_bounds_test(&[&a, &b], 100.0),
+            MbtVerdict::Consistent
+        );
     }
 
     #[test]
@@ -84,7 +90,10 @@ mod tests {
         // backwards (i.e. forward by an enormous amount mod 2^16).
         let a = series(&[(0, 100), (2_000, 110), (4_000, 122)]);
         let b = series(&[(1_000, 40_000), (3_000, 40_010), (5_000, 40_025)]);
-        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Inconsistent);
+        assert_eq!(
+            monotonic_bounds_test(&[&a, &b], 100.0),
+            MbtVerdict::Inconsistent
+        );
     }
 
     #[test]
@@ -92,7 +101,10 @@ mod tests {
         // Counter near the top of the range wraps; deltas stay small.
         let a = series(&[(0, 65_500), (2_000, 65_530), (4_000, 20)]);
         let b = series(&[(1_000, 65_515), (3_000, 5), (5_000, 40)]);
-        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Consistent);
+        assert_eq!(
+            monotonic_bounds_test(&[&a, &b], 100.0),
+            MbtVerdict::Consistent
+        );
     }
 
     #[test]
@@ -101,21 +113,30 @@ mod tests {
         // allowed bound (velocity cap 1000/s) is exceeded.
         let a = series(&[(0, 0), (2_000, 60_000), (4_000, 54_464)]);
         let b = series(&[(1_000, 30_000), (3_000, 24_464), (5_000, 18_928)]);
-        assert_eq!(monotonic_bounds_test(&[&a, &b], 1_000.0), MbtVerdict::Inconsistent);
+        assert_eq!(
+            monotonic_bounds_test(&[&a, &b], 1_000.0),
+            MbtVerdict::Inconsistent
+        );
     }
 
     #[test]
     fn constant_ipids_are_inconsistent() {
         let a = series(&[(0, 0), (2_000, 0), (4_000, 0)]);
         let b = series(&[(1_000, 0), (3_000, 0), (5_000, 0)]);
-        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Inconsistent);
+        assert_eq!(
+            monotonic_bounds_test(&[&a, &b], 100.0),
+            MbtVerdict::Inconsistent
+        );
     }
 
     #[test]
     fn too_few_samples_is_insufficient() {
         let a = series(&[(0, 1)]);
         let b = series(&[(1_000, 2), (2_000, 3), (3_000, 4)]);
-        assert_eq!(monotonic_bounds_test(&[&a, &b], 100.0), MbtVerdict::Insufficient);
+        assert_eq!(
+            monotonic_bounds_test(&[&a, &b], 100.0),
+            MbtVerdict::Insufficient
+        );
         assert!(!MbtVerdict::Insufficient.is_consistent());
         assert!(MbtVerdict::Consistent.is_consistent());
     }

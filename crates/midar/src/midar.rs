@@ -116,8 +116,11 @@ impl Midar {
 
         // Stage 2: discovery over a velocity-sorted sliding window.
         usable.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("velocities are finite"));
-        let index_of: HashMap<IpAddr, usize> =
-            usable.iter().enumerate().map(|(i, (a, _, _))| (*a, i)).collect();
+        let index_of: HashMap<IpAddr, usize> = usable
+            .iter()
+            .enumerate()
+            .map(|(i, (a, _, _))| (*a, i))
+            .collect();
         let mut candidates: Vec<(IpAddr, IpAddr)> = Vec::new();
         for i in 0..usable.len() {
             let window_end = (i + cfg.discovery_window).min(usable.len());
@@ -141,7 +144,7 @@ impl Midar {
         let mut union = alias_core::union_find::UnionFind::new(usable.len());
         let mut now = finished_at;
         for (a, b) in candidates {
-            now = now + SimTime(200);
+            now += SimTime(200);
             let (sa, sb, _) = pair_prober.collect_interleaved_pair(
                 internet,
                 a,
@@ -166,7 +169,12 @@ impl Midar {
             .map(|g| g.into_iter().map(|i| usable[i].0).collect())
             .collect();
 
-        MidarOutcome { alias_sets, testable, discarded, finished_at: finished_at.max(now) }
+        MidarOutcome {
+            alias_sets,
+            testable,
+            discarded,
+            finished_at: finished_at.max(now),
+        }
     }
 }
 
@@ -262,4 +270,3 @@ mod tests {
         assert_eq!(outcome.discarded, 0);
     }
 }
-

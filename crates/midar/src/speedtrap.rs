@@ -51,7 +51,10 @@ mod tests {
             addr: addr.parse().unwrap(),
             samples: samples
                 .iter()
-                .map(|&(ms, ipid)| IpidSample { time: SimTime(ms), ipid })
+                .map(|&(ms, ipid)| IpidSample {
+                    time: SimTime(ms),
+                    ipid,
+                })
                 .collect(),
         }
     }
@@ -61,7 +64,10 @@ mod tests {
         // Two addresses sampled alternately from one counter, one unrelated.
         let a = series("2001:db8::1", &[(0, 100), (2_000, 110), (4_000, 121)]);
         let b = series("2001:db8::2", &[(1_000, 105), (3_000, 116), (5_000, 127)]);
-        let c = series("2001:db8::99", &[(500, 40_000), (2_500, 40_009), (4_500, 40_020)]);
+        let c = series(
+            "2001:db8::99",
+            &[(500, 40_000), (2_500, 40_009), (4_500, 40_020)],
+        );
         let groups = speedtrap_group(&[a, b, c], 100.0);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].len(), 2);

@@ -66,7 +66,9 @@ pub fn estimate_velocity(series: &IpidTimeSeries, max_velocity: f64) -> Velocity
     if total_time <= 0.0 {
         return VelocityEstimate::Insufficient;
     }
-    VelocityEstimate::Monotonic { velocity: total_delta / total_time }
+    VelocityEstimate::Monotonic {
+        velocity: total_delta / total_time,
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +83,10 @@ mod tests {
             addr: IpAddr::V4("10.0.0.1".parse().unwrap()),
             samples: samples
                 .iter()
-                .map(|&(ms, ipid)| IpidSample { time: SimTime(ms), ipid })
+                .map(|&(ms, ipid)| IpidSample {
+                    time: SimTime(ms),
+                    ipid,
+                })
                 .collect(),
         }
     }
@@ -102,7 +107,10 @@ mod tests {
     #[test]
     fn random_counter_is_non_monotonic() {
         let s = series(&[(0, 100), (10_000, 60_000), (20_000, 3), (30_000, 42_000)]);
-        assert_eq!(estimate_velocity(&s, 1_000.0), VelocityEstimate::NonMonotonic);
+        assert_eq!(
+            estimate_velocity(&s, 1_000.0),
+            VelocityEstimate::NonMonotonic
+        );
         assert!(!VelocityEstimate::NonMonotonic.is_usable(1_000.0));
     }
 
@@ -115,7 +123,10 @@ mod tests {
     #[test]
     fn short_series_is_insufficient() {
         let s = series(&[(0, 1), (10_000, 2)]);
-        assert_eq!(estimate_velocity(&s, 1_000.0), VelocityEstimate::Insufficient);
+        assert_eq!(
+            estimate_velocity(&s, 1_000.0),
+            VelocityEstimate::Insufficient
+        );
     }
 
     #[test]

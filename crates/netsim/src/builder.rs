@@ -25,16 +25,16 @@ use std::net::{IpAddr, Ipv4Addr};
 /// Real-world cloud-provider ASNs (from the paper's Table 5/6) used for the
 /// first generated cloud ASes so reports read naturally.
 const CLOUD_ASNS: &[u32] = &[
-    14_061, 16_509, 16_276, 24_940, 14_618, 45_102, 396_982, 46_606, 63_949, 20_473, 26_347,
-    8_560, 197_695, 12_876, 51_167, 8_972,
+    14_061, 16_509, 16_276, 24_940, 14_618, 45_102, 396_982, 46_606, 63_949, 20_473, 26_347, 8_560,
+    197_695, 12_876, 51_167, 8_972,
 ];
 
 /// Real-world ISP ASNs (from the paper's Tables 5/6) used for the first
 /// generated ISP ASes.
 const ISP_ASNS: &[u32] = &[
     22_927, 4_134, 3_269, 30_722, 3_320, 12_874, 8_881, 5_089, 3_301, 7_018, 7_029, 21_859, 701,
-    42_689, 19_429, 12_389, 852, 17_511, 4_837, 6_939, 9_808, 7_922, 7_684, 197_540, 20_857,
-    7_506, 24_940, 3_356, 1_299, 6_453, 2_914, 6_762, 1_273, 5_511, 3_491, 6_461,
+    42_689, 19_429, 12_389, 852, 17_511, 4_837, 6_939, 9_808, 7_922, 7_684, 197_540, 20_857, 7_506,
+    24_940, 3_356, 1_299, 6_453, 2_914, 6_762, 1_273, 5_511, 3_491, 6_461,
 ];
 
 /// Builds a synthetic [`Internet`] from a configuration.
@@ -88,7 +88,9 @@ impl InternetBuilder {
             .iter()
             .enumerate()
             .filter(|(_, p)| {
-                p.name.contains("cisco") || p.name.contains("mikrotik") || p.name.contains("juniper")
+                p.name.contains("cisco")
+                    || p.name.contains("mikrotik")
+                    || p.name.contains("juniper")
             })
             .map(|(i, _)| i)
             .collect();
@@ -98,8 +100,10 @@ impl InternetBuilder {
             .filter(|(_, p)| p.sends_open)
             .map(|(i, _)| i)
             .collect();
-        let open_bgp_weights: Vec<u32> =
-            open_bgp_profiles.iter().map(|&i| bgp_profile_table[i].weight).collect();
+        let open_bgp_weights: Vec<u32> = open_bgp_profiles
+            .iter()
+            .map(|&i| bgp_profile_table[i].weight)
+            .collect();
         let silent_bgp_profile = bgp_profile_table
             .iter()
             .position(|p| !p.sends_open)
@@ -175,10 +179,10 @@ fn build_ases(config: &InternetConfig, rng: &mut ChaCha8Rng) -> (Vec<AutonomousS
     let enterprise_expected = d.enterprise_servers * 2;
 
     let push_as = |kind: AsKind,
-                       asn: u32,
-                       capacity: u32,
-                       allocator: &mut PrefixAllocator,
-                       ases: &mut Vec<AutonomousSystem>| {
+                   asn: u32,
+                   capacity: u32,
+                   allocator: &mut PrefixAllocator,
+                   ases: &mut Vec<AutonomousSystem>| {
         let v4 = allocator.alloc_v4_prefix(capacity);
         let v6 = allocator.alloc_v6_prefix();
         ases.push(AutonomousSystem::new(Asn(asn), kind, v4, v6));
@@ -189,16 +193,28 @@ fn build_ases(config: &InternetConfig, rng: &mut ChaCha8Rng) -> (Vec<AutonomousS
     let zipf = |rank: usize| -> u32 { (10_000.0 / (rank as f64 + 1.0).powf(0.82)) as u32 + 1 };
 
     for rank in 0..config.as_counts.cloud {
-        let asn = CLOUD_ASNS.get(rank).copied().unwrap_or_else(|| 210_000 + rank as u32);
+        let asn = CLOUD_ASNS
+            .get(rank)
+            .copied()
+            .unwrap_or_else(|| 210_000 + rank as u32);
         let weight = zipf(rank);
         let share = weight as f64 / (0..config.as_counts.cloud).map(zipf).sum::<u32>() as f64;
         let capacity = ((cloud_expected as f64 * share) * 2.5) as u32 + 128;
-        let idx = push_as(AsKind::CloudProvider, asn, capacity, &mut allocator, &mut ases);
+        let idx = push_as(
+            AsKind::CloudProvider,
+            asn,
+            capacity,
+            &mut allocator,
+            &mut ases,
+        );
         pool.cloud.push(idx);
         pool.cloud_weights.push(weight);
     }
     for rank in 0..config.as_counts.isp {
-        let asn = ISP_ASNS.get(rank).copied().unwrap_or_else(|| 220_000 + rank as u32);
+        let asn = ISP_ASNS
+            .get(rank)
+            .copied()
+            .unwrap_or_else(|| 220_000 + rank as u32);
         let weight = zipf(rank);
         let share = weight as f64 / (0..config.as_counts.isp).map(zipf).sum::<u32>() as f64;
         let capacity = ((isp_expected as f64 * share) * 2.5) as u32 + 128;
@@ -207,10 +223,9 @@ fn build_ases(config: &InternetConfig, rng: &mut ChaCha8Rng) -> (Vec<AutonomousS
         pool.isp_weights.push(weight);
     }
     for rank in 0..config.as_counts.enterprise {
-        let asn = 64_512 + rng.gen_range(0..50_000) + rank as u32;
+        let asn = 64_512 + rng.gen_range(0..50_000u32) + rank as u32;
         let weight = zipf(rank);
-        let share =
-            weight as f64 / (0..config.as_counts.enterprise).map(zipf).sum::<u32>() as f64;
+        let share = weight as f64 / (0..config.as_counts.enterprise).map(zipf).sum::<u32>() as f64;
         let capacity = ((enterprise_expected as f64 * share) * 2.5) as u32 + 64;
         let idx = push_as(AsKind::Enterprise, asn, capacity, &mut allocator, &mut ases);
         pool.enterprise.push(idx);
@@ -280,7 +295,11 @@ impl GenContext<'_> {
     /// approximate mean.
     fn heavy_tail(&mut self, min: usize, mean: f64, max: usize) -> usize {
         let min_f = min as f64;
-        let alpha = if mean > min_f { (mean / (mean - min_f)).max(1.05) } else { 10.0 };
+        let alpha = if mean > min_f {
+            (mean / (mean - min_f)).max(1.05)
+        } else {
+            10.0
+        };
         let u: f64 = self.rng.gen_range(1e-6..1.0);
         let value = min_f * u.powf(-1.0 / alpha);
         (value.round() as usize).clamp(min, max)
@@ -333,7 +352,9 @@ impl GenContext<'_> {
             };
             IpidModel::SharedMonotonic { velocity }
         } else if roll < mix.shared_monotonic + mix.per_interface {
-            IpidModel::PerInterface { velocity: self.rng.gen_range(1.0..200.0) }
+            IpidModel::PerInterface {
+                velocity: self.rng.gen_range(1.0..200.0),
+            }
         } else if roll < mix.shared_monotonic + mix.per_interface + mix.random {
             IpidModel::Random
         } else {
@@ -343,26 +364,28 @@ impl GenContext<'_> {
     }
 
     fn visibility(&mut self) -> (bool, bool) {
-        let visible_to_single_vp =
-            !self.rng.gen_bool(self.config.visibility.single_vp_invisible_fraction);
+        let visible_to_single_vp = !self
+            .rng
+            .gen_bool(self.config.visibility.single_vp_invisible_fraction);
         let censys_covered = self.rng.gen_bool(self.config.visibility.censys_coverage);
         (visible_to_single_vp, censys_covered)
     }
 
-    fn ssh_service(
-        &mut self,
-        interfaces: usize,
-        subset: &[usize],
-        coverage: f64,
-    ) -> SshService {
+    fn ssh_service(&mut self, interfaces: usize, subset: &[usize], coverage: f64) -> SshService {
         let profile = self.pick_ssh_profile(subset);
         let respond = self.acl_mask(interfaces, coverage);
-        let responding: Vec<usize> =
-            respond.iter().enumerate().filter(|(_, &r)| r).map(|(i, _)| i).collect();
+        let responding: Vec<usize> = respond
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| i)
+            .collect();
         let mut divergent_capability_ifaces = Vec::new();
         let mut divergent_profile = None;
         if responding.len() >= 2
-            && self.rng.gen_bool(self.config.anomalies.capability_divergence_fraction)
+            && self
+                .rng
+                .gen_bool(self.config.anomalies.capability_divergence_fraction)
         {
             divergent_capability_ifaces.push(responding[responding.len() - 1]);
             // Diverge to some other profile.
@@ -370,8 +393,9 @@ impl GenContext<'_> {
             if other != profile {
                 divergent_profile = Some(other);
             } else {
-                divergent_profile = Some(SshProfileId(((other.0 as usize + 1)
-                    % self.ssh_weights.len()) as u16));
+                divergent_profile = Some(SshProfileId(
+                    ((other.0 as usize + 1) % self.ssh_weights.len()) as u16,
+                ));
             }
         }
         SshService {
@@ -384,7 +408,7 @@ impl GenContext<'_> {
     }
 
     fn snmp_service(&mut self, interfaces: usize, coverage: f64) -> SnmpService {
-        let enterprise = [9u32, 2636, 30065, 25461, 14988, 2011][self.rng.gen_range(0..6)];
+        let enterprise = [9u32, 2636, 30065, 25461, 14988, 2011][self.rng.gen_range(0..6usize)];
         let mac: [u8; 6] = self.rng.gen();
         SnmpService {
             engine_id: EngineId::from_enterprise_mac(enterprise, mac),
@@ -407,11 +431,17 @@ impl GenContext<'_> {
         let ipv6_only = self.rng.gen_bool(self.config.cloud.vm_ipv6_only_prob);
         if !ipv6_only {
             let (addr, asn) = self.alloc_v4(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V4(addr),
+                asn,
+            });
         }
         if ipv6_only || self.rng.gen_bool(self.config.cloud.vm_dual_stack_prob) {
             let (addr, asn) = self.alloc_v6(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V6(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V6(addr),
+                asn,
+            });
         }
         let n = interfaces.len();
         let ssh = self.ssh_service(n, self.server_profiles, 1.0);
@@ -441,22 +471,30 @@ impl GenContext<'_> {
         let v4_count = if self.rng.gen_bool(cloud.server_lb_fraction) {
             self.heavy_tail(8, 24.0, cloud.server_lb_max)
         } else {
-            self.rng.gen_range(cloud.server_v4_range.0..=cloud.server_v4_range.1)
+            self.rng
+                .gen_range(cloud.server_v4_range.0..=cloud.server_v4_range.1)
         };
         let dual_stack = self.rng.gen_bool(cloud.server_dual_stack_prob);
         let v6_count = if dual_stack {
-            self.rng.gen_range(cloud.server_v6_range.0..=cloud.server_v6_range.1)
+            self.rng
+                .gen_range(cloud.server_v6_range.0..=cloud.server_v6_range.1)
         } else {
             0
         };
         let mut interfaces = Vec::with_capacity(v4_count + v6_count);
         for _ in 0..v4_count {
             let (addr, asn) = self.alloc_v4(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V4(addr),
+                asn,
+            });
         }
         for _ in 0..v6_count {
             let (addr, asn) = self.alloc_v6(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V6(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V6(addr),
+                asn,
+            });
         }
         let n = interfaces.len();
         let ssh = self.ssh_service(n, self.server_profiles, self.config.acl.ssh_coverage);
@@ -477,7 +515,11 @@ impl GenContext<'_> {
             snmp,
             ipid: Mutex::new(ipid),
             responds_to_ping,
-            icmp_error_source: if common_source && !interfaces.is_empty() { Some(0) } else { None },
+            icmp_error_source: if common_source && !interfaces.is_empty() {
+                Some(0)
+            } else {
+                None
+            },
             visible_to_single_vp,
             censys_covered,
             dynamic_addresses: false,
@@ -490,10 +532,16 @@ impl GenContext<'_> {
         let as_idx = self.pick_as(AsKind::Enterprise);
         let mut interfaces = Vec::with_capacity(2);
         let (addr, asn) = self.alloc_v4(as_idx);
-        interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+        interfaces.push(Interface {
+            addr: IpAddr::V4(addr),
+            asn,
+        });
         if self.rng.gen_bool(self.config.enterprise_two_addr_prob) {
             let (addr, asn) = self.alloc_v4(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V4(addr),
+                asn,
+            });
         }
         let n = interfaces.len();
         let ssh = if self.rng.gen_bool(self.config.enterprise_ssh_prob) {
@@ -526,16 +574,25 @@ impl GenContext<'_> {
         let isp = self.config.isp;
         let v4_count = self.heavy_tail(2, isp.router_ifaces_mean, isp.router_ifaces_max);
         let dual_stack = self.rng.gen_bool(isp.router_dual_stack_prob);
-        let v6_count =
-            if dual_stack { self.rng.gen_range(1..=isp.router_v6_max.max(1)) } else { 0 };
+        let v6_count = if dual_stack {
+            self.rng.gen_range(1..=isp.router_v6_max.max(1))
+        } else {
+            0
+        };
         let mut interfaces = Vec::with_capacity(v4_count + v6_count);
         for _ in 0..v4_count {
             let (addr, asn) = self.alloc_v4(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V4(addr),
+                asn,
+            });
         }
         for _ in 0..v6_count {
             let (addr, asn) = self.alloc_v6(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V6(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V6(addr),
+                asn,
+            });
         }
         let n = interfaces.len();
         let snmp = if self.rng.gen_bool(isp.router_snmp_prob) {
@@ -587,7 +644,11 @@ impl GenContext<'_> {
         let border = self.config.border;
         let v4_count = self.heavy_tail(2, border.ifaces_mean, border.ifaces_max);
         let dual_stack = self.rng.gen_bool(border.dual_stack_prob);
-        let v6_count = if dual_stack { self.rng.gen_range(1..=border.v6_max.max(1)) } else { 0 };
+        let v6_count = if dual_stack {
+            self.rng.gen_range(1..=border.v6_max.max(1))
+        } else {
+            0
+        };
 
         let mut interfaces = Vec::with_capacity(v4_count + v6_count);
         for i in 0..v4_count {
@@ -599,11 +660,17 @@ impl GenContext<'_> {
                 primary_as
             };
             let (addr, asn) = self.alloc_v4(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V4(addr),
+                asn,
+            });
         }
         for _ in 0..v6_count {
             let (addr, asn) = self.alloc_v6(primary_as);
-            interfaces.push(Interface { addr: IpAddr::V6(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V6(addr),
+                asn,
+            });
         }
         let n = interfaces.len();
 
@@ -663,14 +730,23 @@ impl GenContext<'_> {
         let isp = self.config.isp;
         let mut interfaces = Vec::with_capacity(2);
         let (addr, asn) = self.alloc_v4(as_idx);
-        interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+        interfaces.push(Interface {
+            addr: IpAddr::V4(addr),
+            asn,
+        });
         if self.rng.gen_bool(isp.cpe_two_addr_prob) {
             let (addr, asn) = self.alloc_v4(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V4(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V4(addr),
+                asn,
+            });
         }
         if self.rng.gen_bool(isp.cpe_dual_stack_prob) {
             let (addr, asn) = self.alloc_v6(as_idx);
-            interfaces.push(Interface { addr: IpAddr::V6(addr), asn });
+            interfaces.push(Interface {
+                addr: IpAddr::V6(addr),
+                asn,
+            });
         }
         let n = interfaces.len();
         let snmp = if self.rng.gen_bool(isp.cpe_snmp_prob) {
@@ -741,7 +817,10 @@ mod tests {
         assert_eq!(internet.devices().len(), expected);
         let stats = internet.population_stats();
         assert_eq!(stats.cloud_vms, internet.config().devices.cloud_vms);
-        assert_eq!(stats.border_routers, internet.config().devices.border_routers);
+        assert_eq!(
+            stats.border_routers,
+            internet.config().devices.border_routers
+        );
     }
 
     #[test]
@@ -751,7 +830,11 @@ mod tests {
         for device in internet.devices() {
             assert!(!device.interfaces.is_empty());
             for iface in &device.interfaces {
-                assert!(seen.insert(iface.addr), "duplicate address {:?}", iface.addr);
+                assert!(
+                    seen.insert(iface.addr),
+                    "duplicate address {:?}",
+                    iface.addr
+                );
                 let (owner, idx) = internet.lookup(iface.addr).unwrap();
                 assert_eq!(owner, device.id);
                 assert_eq!(device.interfaces[idx].addr, iface.addr);
@@ -781,7 +864,10 @@ mod tests {
             .iter()
             .filter(|d| d.kind == DeviceKind::BorderRouter && d.asns().len() >= 2)
             .count();
-        assert!(multi_as_border > 0, "some border routers must span several ASes");
+        assert!(
+            multi_as_border > 0,
+            "some border routers must span several ASes"
+        );
         // Non-border devices never span ASes.
         for device in internet.devices() {
             if matches!(device.kind, DeviceKind::CloudVm | DeviceKind::Cpe) {

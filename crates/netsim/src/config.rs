@@ -291,9 +291,21 @@ impl InternetConfig {
             },
         };
         let as_counts = match preset {
-            ScalePreset::Tiny => AsCounts { cloud: 4, isp: 6, enterprise: 5 },
-            ScalePreset::Small => AsCounts { cloud: 12, isp: 25, enterprise: 20 },
-            ScalePreset::PaperShape => AsCounts { cloud: 40, isp: 220, enterprise: 120 },
+            ScalePreset::Tiny => AsCounts {
+                cloud: 4,
+                isp: 6,
+                enterprise: 5,
+            },
+            ScalePreset::Small => AsCounts {
+                cloud: 12,
+                isp: 25,
+                enterprise: 20,
+            },
+            ScalePreset::PaperShape => AsCounts {
+                cloud: 40,
+                isp: 220,
+                enterprise: 120,
+            },
         };
         InternetConfig {
             seed,
@@ -334,7 +346,11 @@ impl InternetConfig {
             },
             enterprise_ssh_prob: 0.92,
             enterprise_two_addr_prob: 0.08,
-            acl: AclParams { ssh_coverage: 0.9, bgp_coverage: 0.75, snmp_coverage: 0.85 },
+            acl: AclParams {
+                ssh_coverage: 0.9,
+                bgp_coverage: 0.75,
+                snmp_coverage: 0.85,
+            },
             anomalies: AnomalyParams {
                 default_key_fraction: 0.003,
                 capability_divergence_fraction: 0.004,
@@ -352,8 +368,14 @@ impl InternetConfig {
             // separating the Censys snapshot from the active scan — enough to
             // reproduce the churn-driven validation disagreements the paper
             // discusses without letting churn dominate them.
-            churn: ChurnParams { daily_reassign_prob: 0.003 },
-            ping: PingParams { router_prob: 0.85, server_prob: 0.6, common_source_prob: 0.3 },
+            churn: ChurnParams {
+                daily_reassign_prob: 0.003,
+            },
+            ping: PingParams {
+                router_prob: 0.85,
+                server_prob: 0.6,
+                common_source_prob: 0.3,
+            },
         }
     }
 
@@ -395,12 +417,21 @@ impl InternetConfig {
         check("cloud.vm_dual_stack_prob", self.cloud.vm_dual_stack_prob);
         check("cloud.vm_ipv6_only_prob", self.cloud.vm_ipv6_only_prob);
         check("cloud.server_lb_fraction", self.cloud.server_lb_fraction);
-        check("cloud.server_dual_stack_prob", self.cloud.server_dual_stack_prob);
+        check(
+            "cloud.server_dual_stack_prob",
+            self.cloud.server_dual_stack_prob,
+        );
         check("cloud.server_snmp_prob", self.cloud.server_snmp_prob);
         check("isp.router_snmp_prob", self.isp.router_snmp_prob);
         check("isp.router_ssh_prob", self.isp.router_ssh_prob);
-        check("isp.router_dual_stack_prob", self.isp.router_dual_stack_prob);
-        check("isp.router_silent_bgp_prob", self.isp.router_silent_bgp_prob);
+        check(
+            "isp.router_dual_stack_prob",
+            self.isp.router_dual_stack_prob,
+        );
+        check(
+            "isp.router_silent_bgp_prob",
+            self.isp.router_silent_bgp_prob,
+        );
         check("isp.cpe_snmp_prob", self.isp.cpe_snmp_prob);
         check("isp.cpe_ssh_prob", self.isp.cpe_ssh_prob);
         check("isp.cpe_two_addr_prob", self.isp.cpe_two_addr_prob);
@@ -415,7 +446,10 @@ impl InternetConfig {
         check("acl.ssh_coverage", self.acl.ssh_coverage);
         check("acl.bgp_coverage", self.acl.bgp_coverage);
         check("acl.snmp_coverage", self.acl.snmp_coverage);
-        check("anomalies.default_key_fraction", self.anomalies.default_key_fraction);
+        check(
+            "anomalies.default_key_fraction",
+            self.anomalies.default_key_fraction,
+        );
         check(
             "anomalies.capability_divergence_fraction",
             self.anomalies.capability_divergence_fraction,
@@ -424,21 +458,31 @@ impl InternetConfig {
             "anomalies.duplicate_bgp_identifier_fraction",
             self.anomalies.duplicate_bgp_identifier_fraction,
         );
-        check("visibility.single_vp_invisible_fraction", self.visibility.single_vp_invisible_fraction);
-        check("visibility.censys_coverage", self.visibility.censys_coverage);
+        check(
+            "visibility.single_vp_invisible_fraction",
+            self.visibility.single_vp_invisible_fraction,
+        );
+        check(
+            "visibility.censys_coverage",
+            self.visibility.censys_coverage,
+        );
         check(
             "visibility.censys_nonstandard_port_fraction",
             self.visibility.censys_nonstandard_port_fraction,
         );
-        check("visibility.hitlist_coverage", self.visibility.hitlist_coverage);
+        check(
+            "visibility.hitlist_coverage",
+            self.visibility.hitlist_coverage,
+        );
         check("churn.daily_reassign_prob", self.churn.daily_reassign_prob);
         check("ping.router_prob", self.ping.router_prob);
         check("ping.server_prob", self.ping.server_prob);
         check("ping.common_source_prob", self.ping.common_source_prob);
-        for (name, mix) in [("ipid_routers", self.ipid_routers), ("ipid_servers", self.ipid_servers)]
-        {
-            let total =
-                mix.shared_monotonic + mix.per_interface + mix.random + mix.constant;
+        for (name, mix) in [
+            ("ipid_routers", self.ipid_routers),
+            ("ipid_servers", self.ipid_servers),
+        ] {
+            let total = mix.shared_monotonic + mix.per_interface + mix.random + mix.constant;
             if (total - 1.0).abs() > 1e-6 {
                 bad.push(match name {
                     "ipid_routers" => "ipid_routers (mix does not sum to 1)",
@@ -459,9 +503,17 @@ mod tests {
 
     #[test]
     fn presets_are_valid() {
-        for preset in [ScalePreset::Tiny, ScalePreset::Small, ScalePreset::PaperShape] {
+        for preset in [
+            ScalePreset::Tiny,
+            ScalePreset::Small,
+            ScalePreset::PaperShape,
+        ] {
             let config = InternetConfig::preset(preset, 1);
-            assert!(config.validate().is_empty(), "{preset:?}: {:?}", config.validate());
+            assert!(
+                config.validate().is_empty(),
+                "{preset:?}: {:?}",
+                config.validate()
+            );
             assert!(config.total_devices() > 0);
         }
     }

@@ -169,32 +169,47 @@ impl Device {
 
     /// Addresses answering SSH probes.
     pub fn ssh_responding_addrs(&self) -> Vec<IpAddr> {
-        self.ssh.as_ref().map(|s| self.responding_addrs(&s.respond)).unwrap_or_default()
+        self.ssh
+            .as_ref()
+            .map(|s| self.responding_addrs(&s.respond))
+            .unwrap_or_default()
     }
 
     /// Addresses answering BGP probes.
     pub fn bgp_responding_addrs(&self) -> Vec<IpAddr> {
-        self.bgp.as_ref().map(|s| self.responding_addrs(&s.respond)).unwrap_or_default()
+        self.bgp
+            .as_ref()
+            .map(|s| self.responding_addrs(&s.respond))
+            .unwrap_or_default()
     }
 
     /// Addresses answering SNMPv3 probes.
     pub fn snmp_responding_addrs(&self) -> Vec<IpAddr> {
-        self.snmp.as_ref().map(|s| self.responding_addrs(&s.respond)).unwrap_or_default()
+        self.snmp
+            .as_ref()
+            .map(|s| self.responding_addrs(&s.respond))
+            .unwrap_or_default()
     }
 
     /// Whether interface `iface` answers SSH.
     pub fn ssh_responds_on(&self, iface: usize) -> bool {
-        self.ssh.as_ref().is_some_and(|s| s.respond.get(iface).copied().unwrap_or(false))
+        self.ssh
+            .as_ref()
+            .is_some_and(|s| s.respond.get(iface).copied().unwrap_or(false))
     }
 
     /// Whether interface `iface` answers BGP.
     pub fn bgp_responds_on(&self, iface: usize) -> bool {
-        self.bgp.as_ref().is_some_and(|s| s.respond.get(iface).copied().unwrap_or(false))
+        self.bgp
+            .as_ref()
+            .is_some_and(|s| s.respond.get(iface).copied().unwrap_or(false))
     }
 
     /// Whether interface `iface` answers SNMPv3.
     pub fn snmp_responds_on(&self, iface: usize) -> bool {
-        self.snmp.as_ref().is_some_and(|s| s.respond.get(iface).copied().unwrap_or(false))
+        self.snmp
+            .as_ref()
+            .is_some_and(|s| s.respond.get(iface).copied().unwrap_or(false))
     }
 }
 
@@ -206,10 +221,22 @@ mod tests {
 
     fn test_device() -> Device {
         let interfaces = vec![
-            Interface { addr: "10.0.0.1".parse().unwrap(), asn: Asn(65_001) },
-            Interface { addr: "10.0.1.1".parse().unwrap(), asn: Asn(65_001) },
-            Interface { addr: "10.0.2.1".parse().unwrap(), asn: Asn(65_002) },
-            Interface { addr: "2001:db8::1".parse().unwrap(), asn: Asn(65_001) },
+            Interface {
+                addr: "10.0.0.1".parse().unwrap(),
+                asn: Asn(65_001),
+            },
+            Interface {
+                addr: "10.0.1.1".parse().unwrap(),
+                asn: Asn(65_001),
+            },
+            Interface {
+                addr: "10.0.2.1".parse().unwrap(),
+                asn: Asn(65_002),
+            },
+            Interface {
+                addr: "2001:db8::1".parse().unwrap(),
+                asn: Asn(65_001),
+            },
         ];
         Device {
             id: DeviceId(0),
@@ -228,7 +255,11 @@ mod tests {
                 respond: vec![true, false, true, false],
             }),
             snmp: None,
-            ipid: Mutex::new(IpidState::new(IpidModel::SharedMonotonic { velocity: 5.0 }, 4, 1)),
+            ipid: Mutex::new(IpidState::new(
+                IpidModel::SharedMonotonic { velocity: 5.0 },
+                4,
+                1,
+            )),
             responds_to_ping: true,
             icmp_error_source: Some(0),
             visible_to_single_vp: true,

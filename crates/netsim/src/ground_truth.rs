@@ -184,8 +184,7 @@ mod tests {
     #[test]
     fn over_merging_hurts_precision() {
         let gt = sample_truth();
-        let sets: Vec<Vec<IpAddr>> =
-            vec![vec![ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.1.1")]];
+        let sets: Vec<Vec<IpAddr>> = vec![vec![ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.1.1")]];
         let score = gt.score_sets(sets.iter().map(|s| s.iter()));
         assert!(score.precision() < 1.0);
         // 1 true pair inferred of 3 inferred pairs.
@@ -196,10 +195,8 @@ mod tests {
     #[test]
     fn splitting_hurts_recall() {
         let gt = sample_truth();
-        let sets: Vec<Vec<IpAddr>> = vec![
-            vec![ip("10.0.0.1"), ip("10.0.0.2")],
-            vec![ip("10.0.0.3")],
-        ];
+        let sets: Vec<Vec<IpAddr>> =
+            vec![vec![ip("10.0.0.1"), ip("10.0.0.2")], vec![ip("10.0.0.3")]];
         let score = gt.score_sets(sets.iter().map(|s| s.iter()));
         assert_eq!(score.precision(), 1.0);
         // The three addresses of device 0 form 3 true pairs; only 1 inferred.

@@ -72,12 +72,18 @@ pub struct ProbeContext {
 impl ProbeContext {
     /// A single-VP probe at the given time.
     pub fn single(time: SimTime) -> Self {
-        ProbeContext { vantage: VantageKind::SingleVp, time }
+        ProbeContext {
+            vantage: VantageKind::SingleVp,
+            time,
+        }
     }
 
     /// A distributed-fleet probe at the given time.
     pub fn distributed(time: SimTime) -> Self {
-        ProbeContext { vantage: VantageKind::Distributed, time }
+        ProbeContext {
+            vantage: VantageKind::Distributed,
+            time,
+        }
     }
 }
 
@@ -257,19 +263,29 @@ impl Internet {
                 let ssh = device.ssh.as_ref().expect("responds implies configured");
                 let profile = &self.ssh_profiles[ssh.profile.0 as usize];
                 let divergent = if ssh.divergent_capability_ifaces.contains(&iface_idx) {
-                    ssh.divergent_profile.map(|p| &self.ssh_profiles[p.0 as usize])
+                    ssh.divergent_profile
+                        .map(|p| &self.ssh_profiles[p.0 as usize])
                 } else {
                     None
                 };
                 let cookie_seed = (device_id.0 as u64) << 32
                     | (iface_idx as u64) << 16
                     | (ctx.time.as_millis() & 0xffff);
-                Some(services::ssh_session_bytes(profile, divergent, &ssh.host_key, cookie_seed))
+                Some(services::ssh_session_bytes(
+                    profile,
+                    divergent,
+                    &ssh.host_key,
+                    cookie_seed,
+                ))
             }
             BGP_PORT if device.bgp_responds_on(iface_idx) => {
                 let bgp = device.bgp.as_ref().expect("responds implies configured");
                 let profile = &self.bgp_profiles[bgp.profile.0 as usize];
-                Some(services::bgp_session_bytes(profile, bgp.bgp_identifier, bgp.asn))
+                Some(services::bgp_session_bytes(
+                    profile,
+                    bgp.bgp_identifier,
+                    bgp.asn,
+                ))
             }
             _ => None,
         }
@@ -304,7 +320,10 @@ impl Internet {
             return None;
         }
         let ipid = device.ipid.lock().next_ipid(ctx.time, iface_idx);
-        Some(EchoObservation { ipid, time: ctx.time })
+        Some(EchoObservation {
+            ipid,
+            time: ctx.time,
+        })
     }
 
     /// Send a UDP datagram to a closed port on `dst` and observe the source
@@ -335,8 +354,7 @@ impl Internet {
         if prob <= 0.0 {
             return 0;
         }
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.config.seed ^ to.as_millis().rotate_left(17));
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ to.as_millis().rotate_left(17));
 
         // Collect dynamic single-v4 devices per AS.
         let mut pools: HashMap<Asn, Vec<DeviceId>> = HashMap::new();
@@ -407,9 +425,8 @@ impl Internet {
             stats.ssh_responding_addrs += device.ssh_responding_addrs().len();
             stats.bgp_responding_addrs += device.bgp_responding_addrs().len();
             stats.snmp_responding_addrs += device.snmp_responding_addrs().len();
-            if device.bgp.is_some() {
-                let profile =
-                    &self.bgp_profiles[device.bgp.as_ref().unwrap().profile.0 as usize];
+            if let Some(bgp) = &device.bgp {
+                let profile = &self.bgp_profiles[bgp.profile.0 as usize];
                 if profile.sends_open {
                     stats.bgp_open_senders += 1;
                 } else {
@@ -600,7 +617,10 @@ mod tests {
             .collect();
         assert!(before.len() >= 2);
         let swapped = internet.apply_churn(SimTime::ZERO, SimTime::from_days(21));
-        assert!(swapped > 0, "three weeks at probability 1.0 must swap something");
+        assert!(
+            swapped > 0,
+            "three weeks at probability 1.0 must swap something"
+        );
         // The index still maps every address to the device now holding it.
         for device in internet.devices() {
             for (idx, iface) in device.interfaces.iter().enumerate() {

@@ -138,7 +138,9 @@ mod tests {
     use super::*;
 
     fn samples(state: &mut IpidState, iface: usize, n: usize, step_ms: u64) -> Vec<u16> {
-        (0..n).map(|i| state.next_ipid(SimTime(i as u64 * step_ms), iface)).collect()
+        (0..n)
+            .map(|i| state.next_ipid(SimTime(i as u64 * step_ms), iface))
+            .collect()
     }
 
     /// Check that a u16 sequence is monotonic modulo 2^16 with small gaps.
@@ -215,7 +217,10 @@ mod tests {
     fn model_accessors() {
         assert!(IpidModel::SharedMonotonic { velocity: 1.0 }.is_shared_monotonic());
         assert!(!IpidModel::Random.is_shared_monotonic());
-        assert_eq!(IpidModel::PerInterface { velocity: 2.0 }.velocity(), Some(2.0));
+        assert_eq!(
+            IpidModel::PerInterface { velocity: 2.0 }.velocity(),
+            Some(2.0)
+        );
         assert_eq!(IpidModel::Constant(9).velocity(), None);
     }
 }

@@ -12,8 +12,8 @@
 //! devices share it), the host key alone is *almost* unique, and the
 //! combination is the identifier.
 
-use alias_wire::ssh::{Banner, KexInit, NameList};
 use alias_wire::bgp::{Capability, OptionalParameter};
+use alias_wire::ssh::{Banner, KexInit, NameList};
 use serde::{Deserialize, Serialize};
 
 /// A shared SSH implementation profile.
@@ -290,7 +290,10 @@ mod tests {
         // Distinct vendors must have distinct capability fingerprints so the
         // "capabilities" half of the identifier carries signal.
         let openssh = &profiles[0];
-        let dropbear = profiles.iter().find(|p| p.name.starts_with("dropbear")).unwrap();
+        let dropbear = profiles
+            .iter()
+            .find(|p| p.name.starts_with("dropbear"))
+            .unwrap();
         let cisco = profiles.iter().find(|p| p.name == "cisco-ios").unwrap();
         assert_ne!(
             openssh.kexinit.capability_fingerprint(),
@@ -307,9 +310,18 @@ mod tests {
         // Two OpenSSH builds with the same configuration share a fingerprint:
         // the key, not the fingerprint, disambiguates them.
         let profiles = ssh_profiles();
-        let a = profiles.iter().find(|p| p.name == "openssh-8.9-ubuntu").unwrap();
-        let b = profiles.iter().find(|p| p.name == "openssh-9.2-debian").unwrap();
-        assert_eq!(a.kexinit.capability_fingerprint(), b.kexinit.capability_fingerprint());
+        let a = profiles
+            .iter()
+            .find(|p| p.name == "openssh-8.9-ubuntu")
+            .unwrap();
+        let b = profiles
+            .iter()
+            .find(|p| p.name == "openssh-9.2-debian")
+            .unwrap();
+        assert_eq!(
+            a.kexinit.capability_fingerprint(),
+            b.kexinit.capability_fingerprint()
+        );
         assert_ne!(a.banner, b.banner);
     }
 

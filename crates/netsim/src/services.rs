@@ -61,7 +61,11 @@ pub fn bgp_session_bytes(profile: &BgpProfile, bgp_identifier: Ipv4Addr, asn: u3
     if !profile.sends_open {
         return Vec::new();
     }
-    let my_as = if asn <= u16::MAX as u32 { asn as u16 } else { AS_TRANS };
+    let my_as = if asn <= u16::MAX as u32 {
+        asn as u16
+    } else {
+        AS_TRANS
+    };
     let open = OpenMessage {
         version: 4,
         my_as,
@@ -70,9 +74,7 @@ pub fn bgp_session_bytes(profile: &BgpProfile, bgp_identifier: Ipv4Addr, asn: u3
         optional_parameters: bgp_capabilities_for(profile, asn),
     };
     let mut out = open.to_bytes();
-    out.extend_from_slice(
-        &NotificationMessage::cease(CeaseSubcode::ConnectionRejected).to_bytes(),
-    );
+    out.extend_from_slice(&NotificationMessage::cease(CeaseSubcode::ConnectionRejected).to_bytes());
     out
 }
 
@@ -119,7 +121,10 @@ mod tests {
         let packets = SshPacket::parse_stream(&bytes[consumed..]);
         assert_eq!(packets.len(), 2);
         let kex = KexInit::parse_packet(&packets[0]).unwrap();
-        assert_eq!(kex.capability_fingerprint(), profiles[0].kexinit.capability_fingerprint());
+        assert_eq!(
+            kex.capability_fingerprint(),
+            profiles[0].kexinit.capability_fingerprint()
+        );
         assert_eq!(packets[1].message_number(), Some(SSH_MSG_KEX_ECDH_REPLY));
         let reply = KexReply::parse_packet(&packets[1]).unwrap();
         assert_eq!(reply.host_key, key());
@@ -128,13 +133,19 @@ mod tests {
     #[test]
     fn ssh_divergent_profile_changes_capabilities_not_key() {
         let profiles = ssh_profiles();
-        let dropbear = profiles.iter().find(|p| p.name.starts_with("dropbear")).unwrap();
+        let dropbear = profiles
+            .iter()
+            .find(|p| p.name.starts_with("dropbear"))
+            .unwrap();
         let bytes = ssh_session_bytes(&profiles[0], Some(dropbear), &key(), 1);
         let (banner, consumed) = Banner::parse(&bytes).unwrap();
         assert_eq!(banner, dropbear.banner);
         let packets = SshPacket::parse_stream(&bytes[consumed..]);
         let kex = KexInit::parse_packet(&packets[0]).unwrap();
-        assert_eq!(kex.capability_fingerprint(), dropbear.kexinit.capability_fingerprint());
+        assert_eq!(
+            kex.capability_fingerprint(),
+            dropbear.kexinit.capability_fingerprint()
+        );
         assert_eq!(KexReply::parse_packet(&packets[1]).unwrap().host_key, key());
     }
 
@@ -147,7 +158,9 @@ mod tests {
         let parse_fp = |bytes: &[u8]| {
             let (_, consumed) = Banner::parse(bytes).unwrap();
             let packets = SshPacket::parse_stream(&bytes[consumed..]);
-            KexInit::parse_packet(&packets[0]).unwrap().capability_fingerprint()
+            KexInit::parse_packet(&packets[0])
+                .unwrap()
+                .capability_fingerprint()
         };
         assert_eq!(parse_fp(&a), parse_fp(&b));
     }
@@ -225,7 +238,8 @@ mod tests {
             user_name: vec![],
         };
         let not_a_request = Snmpv3Message::report_for(1, usm, 0).to_bytes();
-        assert!(snmp_report_bytes(&engine, 1, SimTime::ZERO, SimTime::ZERO, &not_a_request)
-            .is_none());
+        assert!(
+            snmp_report_bytes(&engine, 1, SimTime::ZERO, SimTime::ZERO, &not_a_request).is_none()
+        );
     }
 }

@@ -42,7 +42,11 @@ impl Ipv4Prefix {
     pub fn contains(&self, addr: Ipv4Addr) -> bool {
         let base = u32::from(self.base);
         let a = u32::from(addr);
-        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len as u32) };
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len as u32)
+        };
         (a & mask) == (base & mask)
     }
 
@@ -68,7 +72,11 @@ impl Ipv6Prefix {
     pub fn contains(&self, addr: Ipv6Addr) -> bool {
         let base = u128::from(self.base);
         let a = u128::from(addr);
-        let mask = if self.len == 0 { 0 } else { u128::MAX << (128 - self.len as u32) };
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - self.len as u32)
+        };
         (a & mask) == (base & mask)
     }
 }
@@ -94,7 +102,14 @@ pub struct AutonomousSystem {
 impl AutonomousSystem {
     /// Create an AS with the given allocations.
     pub fn new(asn: Asn, kind: AsKind, ipv4_prefix: Ipv4Prefix, ipv6_prefix: Ipv6Prefix) -> Self {
-        AutonomousSystem { asn, kind, ipv4_prefix, ipv6_prefix, next_v4: 1, next_v6: 1 }
+        AutonomousSystem {
+            asn,
+            kind,
+            ipv4_prefix,
+            ipv6_prefix,
+            next_v4: 1,
+            next_v6: 1,
+        }
     }
 
     /// Allocate the next unused IPv4 address in this AS, or `None` if the
@@ -143,7 +158,10 @@ impl Default for PrefixAllocator {
 impl PrefixAllocator {
     /// Create an allocator starting at the bottom of the synthetic space.
     pub fn new() -> Self {
-        PrefixAllocator { next_v4_base: u32::from(Ipv4Addr::new(1, 0, 0, 0)), next_v6_site: 1 }
+        PrefixAllocator {
+            next_v4_base: u32::from(Ipv4Addr::new(1, 0, 0, 0)),
+            next_v6_site: 1,
+        }
     }
 
     /// Allocate an IPv4 prefix with room for at least `capacity` addresses.
@@ -155,7 +173,10 @@ impl PrefixAllocator {
         // Align the base to the prefix size.
         let aligned = (self.next_v4_base + needed - 1) & !(needed - 1);
         self.next_v4_base = aligned + needed;
-        Ipv4Prefix { base: Ipv4Addr::from(aligned), len }
+        Ipv4Prefix {
+            base: Ipv4Addr::from(aligned),
+            len,
+        }
     }
 
     /// Allocate an IPv6 prefix (a synthetic /48 per AS).
@@ -163,10 +184,12 @@ impl PrefixAllocator {
         let site = self.next_v6_site;
         self.next_v6_site += 1;
         // 2400:xxxx:yyyy::/48 with the site number split across two groups.
-        let base: u128 = (0x2400u128 << 112)
-            | ((site as u128 >> 16) << 96)
-            | ((site as u128 & 0xffff) << 80);
-        Ipv6Prefix { base: Ipv6Addr::from(base), len: 48 }
+        let base: u128 =
+            (0x2400u128 << 112) | ((site as u128 >> 16) << 96) | ((site as u128 & 0xffff) << 80);
+        Ipv6Prefix {
+            base: Ipv6Addr::from(base),
+            len: 48,
+        }
     }
 }
 
@@ -176,7 +199,10 @@ mod tests {
 
     #[test]
     fn prefix_contains_and_size() {
-        let p = Ipv4Prefix { base: Ipv4Addr::new(1, 2, 0, 0), len: 22 };
+        let p = Ipv4Prefix {
+            base: Ipv4Addr::new(1, 2, 0, 0),
+            len: 22,
+        };
         assert_eq!(p.size(), 1024);
         assert!(p.contains(Ipv4Addr::new(1, 2, 3, 200)));
         assert!(!p.contains(Ipv4Addr::new(1, 2, 4, 1)));
@@ -200,7 +226,10 @@ mod tests {
         let b = alloc.alloc_v4_prefix(50);
         let c = alloc.alloc_v4_prefix(5000);
         for (x, y) in [(a, b), (a, c), (b, c)] {
-            assert!(!x.contains(y.base) && !y.contains(x.base), "{x:?} overlaps {y:?}");
+            assert!(
+                !x.contains(y.base) && !y.contains(x.base),
+                "{x:?} overlaps {y:?}"
+            );
         }
     }
 
@@ -208,12 +237,8 @@ mod tests {
     fn as_allocation_is_sequential_and_bounded() {
         let mut alloc = PrefixAllocator::new();
         let prefix = alloc.alloc_v4_prefix(10);
-        let mut asys = AutonomousSystem::new(
-            Asn(65_000),
-            AsKind::Isp,
-            prefix,
-            alloc.alloc_v6_prefix(),
-        );
+        let mut asys =
+            AutonomousSystem::new(Asn(65_000), AsKind::Isp, prefix, alloc.alloc_v6_prefix());
         let first = asys.alloc_v4().unwrap();
         let second = asys.alloc_v4().unwrap();
         assert_eq!(u32::from(second), u32::from(first) + 1);

@@ -31,12 +31,18 @@ pub struct VantagePoint {
 impl VantagePoint {
     /// The single vantage point used by the active measurements.
     pub fn active_default() -> Self {
-        VantagePoint { label: "de-datacenter-vp1".to_owned(), kind: VantageKind::SingleVp }
+        VantagePoint {
+            label: "de-datacenter-vp1".to_owned(),
+            kind: VantageKind::SingleVp,
+        }
     }
 
     /// The distributed vantage used for Censys-like snapshots.
     pub fn distributed() -> Self {
-        VantagePoint { label: "distributed-fleet".to_owned(), kind: VantageKind::Distributed }
+        VantagePoint {
+            label: "distributed-fleet".to_owned(),
+            kind: VantageKind::Distributed,
+        }
     }
 }
 

@@ -67,7 +67,10 @@ pub struct CampaignData {
 impl CampaignData {
     /// Observations for one protocol.
     pub fn for_protocol(&self, protocol: ServiceProtocol) -> Vec<&ServiceObservation> {
-        self.observations.iter().filter(|o| o.protocol() == protocol).collect()
+        self.observations
+            .iter()
+            .filter(|o| o.protocol() == protocol)
+            .collect()
     }
 
     /// Number of distinct responsive addresses for a protocol.
@@ -124,12 +127,24 @@ impl ActiveCampaign {
             rate_pps: cfg.grab_rate_pps,
             source: DataSource::Active,
         });
-        let ssh_obs =
-            zgrab.grab(internet, syn.on_port(22), 22, ServiceProtocol::Ssh, vantage, now);
+        let ssh_obs = zgrab.grab(
+            internet,
+            syn.on_port(22),
+            22,
+            ServiceProtocol::Ssh,
+            vantage,
+            now,
+        );
         now = ssh_obs.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(ssh_obs);
-        let bgp_obs =
-            zgrab.grab(internet, syn.on_port(179), 179, ServiceProtocol::Bgp, vantage, now);
+        let bgp_obs = zgrab.grab(
+            internet,
+            syn.on_port(179),
+            179,
+            ServiceProtocol::Bgp,
+            vantage,
+            now,
+        );
         now = bgp_obs.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(bgp_obs);
 
@@ -151,12 +166,24 @@ impl ActiveCampaign {
         );
         let v6_syn = zmap.scan_ipv6_list(internet, &hitlist.addrs, vantage, now);
         now = v6_syn.finished_at;
-        let v6_ssh =
-            zgrab.grab(internet, v6_syn.on_port(22), 22, ServiceProtocol::Ssh, vantage, now);
+        let v6_ssh = zgrab.grab(
+            internet,
+            v6_syn.on_port(22),
+            22,
+            ServiceProtocol::Ssh,
+            vantage,
+            now,
+        );
         now = v6_ssh.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(v6_ssh);
-        let v6_bgp =
-            zgrab.grab(internet, v6_syn.on_port(179), 179, ServiceProtocol::Bgp, vantage, now);
+        let v6_bgp = zgrab.grab(
+            internet,
+            v6_syn.on_port(179),
+            179,
+            ServiceProtocol::Bgp,
+            vantage,
+            now,
+        );
         now = v6_bgp.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(v6_bgp);
         let v6_targets: Vec<IpAddr> = hitlist.addrs.iter().map(|&a| IpAddr::V6(a)).collect();
@@ -226,7 +253,9 @@ mod tests {
     fn observation_addresses_are_really_responsive_in_ground_truth() {
         let (internet, data) = campaign_data();
         for obs in &data.observations {
-            let (device_id, _) = internet.lookup(obs.addr).expect("observed address must exist");
+            let (device_id, _) = internet
+                .lookup(obs.addr)
+                .expect("observed address must exist");
             let device = internet.device(device_id);
             let responding = match obs.protocol() {
                 ServiceProtocol::Ssh => device.ssh_responding_addrs(),

@@ -25,17 +25,18 @@ impl Ipv6Hitlist {
     /// Build a hitlist covering roughly `coverage` of the truly active IPv6
     /// service addresses, plus `stale_fraction` of additional unresponsive
     /// addresses (relative to the active count).
-    pub fn generate(
-        internet: &Internet,
-        coverage: f64,
-        stale_fraction: f64,
-        seed: u64,
-    ) -> Self {
-        assert!((0.0..=1.0).contains(&coverage), "coverage must be a probability");
+    pub fn generate(internet: &Internet, coverage: f64, stale_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be a probability"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6c15_7135);
         let active = internet.active_ipv6_service_addrs();
-        let mut addrs: Vec<Ipv6Addr> =
-            active.iter().copied().filter(|_| rng.gen_bool(coverage)).collect();
+        let mut addrs: Vec<Ipv6Addr> = active
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(coverage))
+            .collect();
 
         // Stale / unresponsive entries: addresses inside announced prefixes
         // that no device currently holds.
@@ -89,8 +90,7 @@ mod tests {
     #[test]
     fn coverage_controls_active_overlap() {
         let internet = internet();
-        let active: HashSet<Ipv6Addr> =
-            internet.active_ipv6_service_addrs().into_iter().collect();
+        let active: HashSet<Ipv6Addr> = internet.active_ipv6_service_addrs().into_iter().collect();
         assert!(!active.is_empty());
 
         let full = Ipv6Hitlist::generate(&internet, 1.0, 0.0, 9);
@@ -107,12 +107,14 @@ mod tests {
     #[test]
     fn stale_entries_are_not_active_addresses() {
         let internet = internet();
-        let active: HashSet<Ipv6Addr> =
-            internet.active_ipv6_service_addrs().into_iter().collect();
+        let active: HashSet<Ipv6Addr> = internet.active_ipv6_service_addrs().into_iter().collect();
         let with_stale = Ipv6Hitlist::generate(&internet, 1.0, 0.5, 4);
         assert!(with_stale.len() > active.len());
-        let stale_count =
-            with_stale.addrs.iter().filter(|a| !active.contains(a)).count();
+        let stale_count = with_stale
+            .addrs
+            .iter()
+            .filter(|a| !active.contains(a))
+            .count();
         assert!(stale_count > 0);
     }
 

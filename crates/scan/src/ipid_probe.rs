@@ -86,7 +86,10 @@ impl IpidProber {
     ) -> Vec<IpidTimeSeries> {
         let mut series: Vec<IpidTimeSeries> = targets
             .iter()
-            .map(|&addr| IpidTimeSeries { addr, samples: Vec::with_capacity(self.config.rounds) })
+            .map(|&addr| IpidTimeSeries {
+                addr,
+                samples: Vec::with_capacity(self.config.rounds),
+            })
             .collect();
         let mut bucket = TokenBucket::new(self.config.rate_pps, 16.0, start);
         let mut round_start = start;
@@ -104,7 +107,10 @@ impl IpidProber {
                 last_sent = now;
                 let ctx = ProbeContext { vantage, time: now };
                 if let Some(echo) = internet.icmp_echo(entry.addr, &ctx) {
-                    entry.samples.push(IpidSample { time: echo.time, ipid: echo.ipid });
+                    entry.samples.push(IpidSample {
+                        time: echo.time,
+                        ipid: echo.ipid,
+                    });
                 }
             }
             round_start = round_start.max(now) + self.config.round_spacing;
@@ -128,8 +134,14 @@ impl IpidProber {
         let mut bucket = TokenBucket::new(self.config.rate_pps, 4.0, start);
         let mut now = start;
         let mut last_sent = SimTime::ZERO;
-        let mut series_a = IpidTimeSeries { addr: a, samples: Vec::new() };
-        let mut series_b = IpidTimeSeries { addr: b, samples: Vec::new() };
+        let mut series_a = IpidTimeSeries {
+            addr: a,
+            samples: Vec::new(),
+        };
+        let mut series_b = IpidTimeSeries {
+            addr: b,
+            samples: Vec::new(),
+        };
         let mut merged = Vec::new();
         for i in 0..probes_per_addr * 2 {
             now = bucket.acquire(now);
@@ -142,7 +154,10 @@ impl IpidProber {
             let ctx = ProbeContext { vantage, time: now };
             let target = if i % 2 == 0 { a } else { b };
             if let Some(echo) = internet.icmp_echo(target, &ctx) {
-                let sample = IpidSample { time: echo.time, ipid: echo.ipid };
+                let sample = IpidSample {
+                    time: echo.time,
+                    ipid: echo.ipid,
+                };
                 if i % 2 == 0 {
                     series_a.samples.push(sample);
                 } else {
@@ -193,9 +208,16 @@ mod tests {
             .flat_map(|d| d.ipv4_addrs().into_iter().map(IpAddr::V4))
             .take(10)
             .collect();
-        let prober = IpidProber::new(IpidProberConfig { rounds: 5, ..Default::default() });
-        let series =
-            prober.collect_round_robin(&internet, &targets, VantageKind::Distributed, SimTime::ZERO);
+        let prober = IpidProber::new(IpidProberConfig {
+            rounds: 5,
+            ..Default::default()
+        });
+        let series = prober.collect_round_robin(
+            &internet,
+            &targets,
+            VantageKind::Distributed,
+            SimTime::ZERO,
+        );
         assert_eq!(series.len(), targets.len());
         for s in &series {
             assert_eq!(s.samples.len(), 5);
@@ -209,7 +231,10 @@ mod tests {
     fn unresponsive_targets_yield_empty_series() {
         let internet = internet();
         let bogus: Vec<IpAddr> = vec!["198.51.100.77".parse().unwrap()];
-        let prober = IpidProber::new(IpidProberConfig { rounds: 3, ..Default::default() });
+        let prober = IpidProber::new(IpidProberConfig {
+            rounds: 3,
+            ..Default::default()
+        });
         let series =
             prober.collect_round_robin(&internet, &bogus, VantageKind::Distributed, SimTime::ZERO);
         assert_eq!(series.len(), 1);

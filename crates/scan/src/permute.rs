@@ -25,7 +25,12 @@ impl IndexPermutation {
         //   increment odd, multiplier ≡ 1 (mod 4).
         let multiplier = ((seed | 1).wrapping_mul(4)).wrapping_add(1) % modulus;
         let increment = (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1) % modulus;
-        IndexPermutation { n, modulus, multiplier: multiplier.max(5), increment }
+        IndexPermutation {
+            n,
+            modulus,
+            multiplier: multiplier.max(5),
+            increment,
+        }
     }
 
     /// Number of elements in the permutation.
@@ -97,7 +102,10 @@ mod tests {
     fn empty_and_tiny() {
         assert_eq!(IndexPermutation::new(0, 3).iter().count(), 0);
         assert!(IndexPermutation::new(0, 3).is_empty());
-        assert_eq!(IndexPermutation::new(1, 3).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            IndexPermutation::new(1, 3).iter().collect::<Vec<_>>(),
+            vec![0]
+        );
     }
 
     proptest! {

@@ -32,6 +32,11 @@ impl DataSource {
 }
 
 /// Parsed application-layer material of one observation.
+//
+// `Ssh` dwarfs the other variants, but it is also by far the most common
+// one in a campaign, so boxing it would add an allocation to the hot path
+// without shrinking the typical observation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ServicePayload {
     /// An SSH banner exchange (banner, KEXINIT, host key where obtained).

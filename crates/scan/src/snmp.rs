@@ -7,7 +7,7 @@
 
 use crate::rate::TokenBucket;
 use crate::records::{DataSource, ServiceObservation, ServicePayload};
-use alias_netsim::{Internet, ProbeContext, SimTime, VantageKind, internet::SNMP_PORT};
+use alias_netsim::{internet::SNMP_PORT, Internet, ProbeContext, SimTime, VantageKind};
 use alias_wire::snmp::Snmpv3Message;
 use std::net::IpAddr;
 
@@ -22,7 +22,10 @@ pub struct SnmpScanConfig {
 
 impl Default for SnmpScanConfig {
     fn default() -> Self {
-        SnmpScanConfig { rate_pps: 50_000.0, source: DataSource::Active }
+        SnmpScanConfig {
+            rate_pps: 50_000.0,
+            source: DataSource::Active,
+        }
     }
 }
 
@@ -49,10 +52,9 @@ impl SnmpScanner {
         let mut bucket = TokenBucket::new(self.config.rate_pps, 32.0, start);
         let mut now = start;
         let mut observations = Vec::new();
-        let mut msg_id: i64 = 0x0100;
-        for &addr in targets {
+        for (offset, &addr) in targets.iter().enumerate() {
             now = bucket.acquire(now);
-            msg_id += 1;
+            let msg_id = 0x0101 + offset as i64;
             let request = Snmpv3Message::DiscoveryRequest { msg_id }.to_bytes();
             let ctx = ProbeContext { vantage, time: now };
             let Some(reply) = internet.snmp_probe(addr, &request, &ctx) else {

@@ -26,7 +26,10 @@ pub struct ZgrabConfig {
 
 impl Default for ZgrabConfig {
     fn default() -> Self {
-        ZgrabConfig { rate_pps: 20_000.0, source: DataSource::Active }
+        ZgrabConfig {
+            rate_pps: 20_000.0,
+            source: DataSource::Active,
+        }
     }
 }
 
@@ -109,7 +112,11 @@ fn parse_ssh(bytes: &[u8]) -> Option<SshObservation> {
             }
         }
     }
-    Some(SshObservation { banner, kex_init, host_key })
+    Some(SshObservation {
+        banner,
+        kex_init,
+        host_key,
+    })
 }
 
 fn parse_bgp(bytes: &[u8]) -> Option<ServicePayload> {
@@ -123,7 +130,10 @@ fn parse_bgp(bytes: &[u8]) -> Option<ServicePayload> {
             _ => {}
         }
     }
-    open.map(|open| ServicePayload::Bgp { open, notification_seen })
+    open.map(|open| ServicePayload::Bgp {
+        open,
+        notification_seen,
+    })
 }
 
 #[cfg(test)]
@@ -137,10 +147,13 @@ mod tests {
     }
 
     fn ssh_targets(internet: &Internet) -> Vec<IpAddr> {
-        ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() })
-            .scan_ipv4(internet, VantageKind::Distributed, SimTime::ZERO)
-            .on_port(22)
-            .to_vec()
+        ZmapScanner::new(ZmapConfig {
+            ports: vec![22],
+            ..Default::default()
+        })
+        .scan_ipv4(internet, VantageKind::Distributed, SimTime::ZERO)
+        .on_port(22)
+        .to_vec()
     }
 
     #[test]
@@ -171,10 +184,13 @@ mod tests {
     #[test]
     fn bgp_grab_skips_silent_speakers() {
         let internet = internet();
-        let targets: Vec<IpAddr> = ZmapScanner::new(ZmapConfig { ports: vec![179], ..Default::default() })
-            .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO)
-            .on_port(179)
-            .to_vec();
+        let targets: Vec<IpAddr> = ZmapScanner::new(ZmapConfig {
+            ports: vec![179],
+            ..Default::default()
+        })
+        .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO)
+        .on_port(179)
+        .to_vec();
         assert!(!targets.is_empty());
         let scanner = ZgrabScanner::new(ZgrabConfig::default());
         let observations = scanner.grab(
@@ -190,7 +206,10 @@ mod tests {
         assert!(observations.len() < targets.len());
         for obs in &observations {
             match &obs.payload {
-                ServicePayload::Bgp { open, notification_seen } => {
+                ServicePayload::Bgp {
+                    open,
+                    notification_seen,
+                } => {
                     assert_eq!(open.version, 4);
                     assert!(*notification_seen);
                 }
@@ -227,8 +246,10 @@ mod tests {
     fn censys_source_is_stamped_on_records() {
         let internet = internet();
         let targets = ssh_targets(&internet);
-        let scanner =
-            ZgrabScanner::new(ZgrabConfig { source: DataSource::Censys, rate_pps: 50_000.0 });
+        let scanner = ZgrabScanner::new(ZgrabConfig {
+            source: DataSource::Censys,
+            rate_pps: 50_000.0,
+        });
         let observations = scanner.grab(
             &internet,
             &targets[..1],

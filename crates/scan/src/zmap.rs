@@ -25,7 +25,11 @@ pub struct ZmapConfig {
 
 impl Default for ZmapConfig {
     fn default() -> Self {
-        ZmapConfig { ports: vec![22, 179], rate_pps: 100_000.0, seed: 0x5eed }
+        ZmapConfig {
+            ports: vec![22, 179],
+            rate_pps: 100_000.0,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -99,7 +103,11 @@ impl ZmapScanner {
                 results.probes_sent += 1;
                 let ctx = ProbeContext { vantage, time: now };
                 if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
-                    results.responsive.get_mut(&port).expect("port pre-registered").push(addr);
+                    results
+                        .responsive
+                        .get_mut(&port)
+                        .expect("port pre-registered")
+                        .push(addr);
                 }
             }
         }
@@ -129,7 +137,11 @@ impl ZmapScanner {
                 results.probes_sent += 1;
                 let ctx = ProbeContext { vantage, time: now };
                 if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
-                    results.responsive.get_mut(&port).expect("port pre-registered").push(addr);
+                    results
+                        .responsive
+                        .get_mut(&port)
+                        .expect("port pre-registered")
+                        .push(addr);
                 }
             }
         }
@@ -161,10 +173,16 @@ mod tests {
     #[test]
     fn finds_exactly_the_responsive_ssh_addresses() {
         let internet = internet();
-        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() });
+        let scanner = ZmapScanner::new(ZmapConfig {
+            ports: vec![22],
+            ..Default::default()
+        });
         let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
         let found: HashSet<IpAddr> = results.on_port(22).iter().copied().collect();
-        assert_eq!(found, expected_ssh_addrs(&internet, VantageKind::Distributed));
+        assert_eq!(
+            found,
+            expected_ssh_addrs(&internet, VantageKind::Distributed)
+        );
         assert!(results.probes_sent > found.len() as u64);
         assert!(results.finished_at > SimTime::ZERO);
     }
@@ -172,7 +190,10 @@ mod tests {
     #[test]
     fn single_vp_misses_filtered_hosts() {
         let internet = internet();
-        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() });
+        let scanner = ZmapScanner::new(ZmapConfig {
+            ports: vec![22],
+            ..Default::default()
+        });
         let single = scanner.scan_ipv4(&internet, VantageKind::SingleVp, SimTime::ZERO);
         let distributed = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
         assert!(single.on_port(22).len() < distributed.on_port(22).len());
@@ -197,7 +218,10 @@ mod tests {
     #[test]
     fn bgp_scan_finds_both_open_senders_and_silent_speakers() {
         let internet = internet();
-        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![179], ..Default::default() });
+        let scanner = ZmapScanner::new(ZmapConfig {
+            ports: vec![179],
+            ..Default::default()
+        });
         let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
         let expected: HashSet<IpAddr> = internet
             .devices()
@@ -205,7 +229,10 @@ mod tests {
             .flat_map(|d| d.bgp_responding_addrs())
             .filter(|a| a.is_ipv4())
             .collect();
-        assert_eq!(results.on_port(179).iter().copied().collect::<HashSet<_>>(), expected);
+        assert_eq!(
+            results.on_port(179).iter().copied().collect::<HashSet<_>>(),
+            expected
+        );
     }
 
     #[test]
@@ -214,7 +241,10 @@ mod tests {
         let all_v6 = internet.active_ipv6_service_addrs();
         assert!(!all_v6.is_empty());
         let subset = &all_v6[..all_v6.len() / 2];
-        let scanner = ZmapScanner::new(ZmapConfig { ports: vec![22], ..Default::default() });
+        let scanner = ZmapScanner::new(ZmapConfig {
+            ports: vec![22],
+            ..Default::default()
+        });
         let results =
             scanner.scan_ipv6_list(&internet, subset, VantageKind::Distributed, SimTime::ZERO);
         assert_eq!(results.probes_sent, subset.len() as u64);
@@ -229,10 +259,16 @@ mod tests {
     #[test]
     fn scan_duration_scales_with_rate() {
         let internet = internet();
-        let fast = ZmapScanner::new(ZmapConfig { rate_pps: 1_000_000.0, ..Default::default() })
-            .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
-        let slow = ZmapScanner::new(ZmapConfig { rate_pps: 50_000.0, ..Default::default() })
-            .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        let fast = ZmapScanner::new(ZmapConfig {
+            rate_pps: 1_000_000.0,
+            ..Default::default()
+        })
+        .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
+        let slow = ZmapScanner::new(ZmapConfig {
+            rate_pps: 50_000.0,
+            ..Default::default()
+        })
+        .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
         assert!(slow.finished_at > fast.finished_at);
     }
 }

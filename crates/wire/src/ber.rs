@@ -77,7 +77,9 @@ impl Element {
     /// Interpret this element as an INTEGER.
     pub fn as_integer(&self) -> Result<i64> {
         if self.tag != TAG_INTEGER && self.tag != TAG_COUNTER32 {
-            return Err(WireError::UnknownType { tag: self.tag as u16 });
+            return Err(WireError::UnknownType {
+                tag: self.tag as u16,
+            });
         }
         decode_integer(&self.content)
     }
@@ -85,7 +87,9 @@ impl Element {
     /// Interpret this element as an OCTET STRING, returning the raw bytes.
     pub fn as_octet_string(&self) -> Result<&[u8]> {
         if self.tag != TAG_OCTET_STRING {
-            return Err(WireError::UnknownType { tag: self.tag as u16 });
+            return Err(WireError::UnknownType {
+                tag: self.tag as u16,
+            });
         }
         Ok(&self.content)
     }
@@ -117,7 +121,10 @@ impl Element {
         let (length, header_len) = decode_length(&buf[1..])?;
         let total = 1 + header_len + length;
         check_len(buf, total)?;
-        Ok((Element::new(tag, buf[1 + header_len..total].to_vec()), total))
+        Ok((
+            Element::new(tag, buf[1 + header_len..total].to_vec()),
+            total,
+        ))
     }
 }
 
@@ -151,7 +158,9 @@ fn decode_length(buf: &[u8]) -> Result<(usize, usize)> {
     }
     let num_octets = (first & 0x7f) as usize;
     if num_octets == 0 || num_octets > 4 {
-        return Err(WireError::BadLength { field: "ber.length" });
+        return Err(WireError::BadLength {
+            field: "ber.length",
+        });
     }
     check_len(buf, 1 + num_octets)?;
     let mut value = 0usize;
@@ -179,7 +188,9 @@ fn encode_integer(value: i64) -> Vec<u8> {
 
 fn decode_integer(content: &[u8]) -> Result<i64> {
     if content.is_empty() || content.len() > 8 {
-        return Err(WireError::BadLength { field: "ber.integer" });
+        return Err(WireError::BadLength {
+            field: "ber.integer",
+        });
     }
     let negative = content[0] & 0x80 != 0;
     let mut value: i64 = if negative { -1 } else { 0 };
@@ -224,7 +235,20 @@ mod tests {
 
     #[test]
     fn integer_roundtrip() {
-        for value in [0i64, 1, 127, 128, 255, 256, -1, -128, -129, 65_535, i64::MAX, i64::MIN] {
+        for value in [
+            0i64,
+            1,
+            127,
+            128,
+            255,
+            256,
+            -1,
+            -128,
+            -129,
+            65_535,
+            i64::MAX,
+            i64::MIN,
+        ] {
             let element = Element::integer(value);
             let encoded = element.encode();
             let (decoded, consumed) = Element::decode(&encoded).unwrap();
@@ -245,7 +269,10 @@ mod tests {
     fn octet_string_roundtrip() {
         let element = Element::octet_string(b"\x80\x00\x1f\x88\x80engine");
         let (decoded, _) = Element::decode(&element.encode()).unwrap();
-        assert_eq!(decoded.as_octet_string().unwrap(), b"\x80\x00\x1f\x88\x80engine");
+        assert_eq!(
+            decoded.as_octet_string().unwrap(),
+            b"\x80\x00\x1f\x88\x80engine"
+        );
     }
 
     #[test]
@@ -278,7 +305,10 @@ mod tests {
     #[test]
     fn truncated_element_is_rejected() {
         let encoded = Element::octet_string(b"hello").encode();
-        assert!(matches!(Element::decode(&encoded[..3]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Element::decode(&encoded[..3]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

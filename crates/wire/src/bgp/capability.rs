@@ -77,7 +77,9 @@ impl Capability {
         let cap = match code {
             1 => {
                 if len != 4 {
-                    return Err(WireError::BadLength { field: "capability.multiprotocol" });
+                    return Err(WireError::BadLength {
+                        field: "capability.multiprotocol",
+                    });
                 }
                 Capability::Multiprotocol {
                     afi: u16::from_be_bytes([value[0], value[1]]),
@@ -86,13 +88,17 @@ impl Capability {
             }
             2 => {
                 if len != 0 {
-                    return Err(WireError::BadLength { field: "capability.route_refresh" });
+                    return Err(WireError::BadLength {
+                        field: "capability.route_refresh",
+                    });
                 }
                 Capability::RouteRefresh
             }
             65 => {
                 if len != 4 {
-                    return Err(WireError::BadLength { field: "capability.four_octet_as" });
+                    return Err(WireError::BadLength {
+                        field: "capability.four_octet_as",
+                    });
                 }
                 Capability::FourOctetAs {
                     asn: u32::from_be_bytes([value[0], value[1], value[2], value[3]]),
@@ -100,11 +106,16 @@ impl Capability {
             }
             128 => {
                 if len != 0 {
-                    return Err(WireError::BadLength { field: "capability.route_refresh_cisco" });
+                    return Err(WireError::BadLength {
+                        field: "capability.route_refresh_cisco",
+                    });
                 }
                 Capability::RouteRefreshCisco
             }
-            other => Capability::Other { code: other, value: value.to_vec() },
+            other => Capability::Other {
+                code: other,
+                value: value.to_vec(),
+            },
         };
         Ok((cap, 2 + len))
     }
@@ -155,7 +166,10 @@ impl OptionalParameter {
                     inner = &inner[consumed..];
                 }
             } else {
-                params.push(OptionalParameter::Other { param_type, value: value.to_vec() });
+                params.push(OptionalParameter::Other {
+                    param_type,
+                    value: value.to_vec(),
+                });
             }
             buf = &buf[2 + len..];
         }
@@ -201,7 +215,10 @@ mod tests {
             Capability::RouteRefresh,
             Capability::RouteRefreshCisco,
             Capability::FourOctetAs { asn: 4_200_000_001 },
-            Capability::Other { code: 70, value: vec![1, 2, 3] },
+            Capability::Other {
+                code: 70,
+                value: vec![1, 2, 3],
+            },
         ];
         for cap in caps {
             let mut buf = Vec::new();
@@ -216,10 +233,16 @@ mod tests {
     fn capability_rejects_bad_lengths() {
         // Route refresh with a non-empty value.
         let buf = [2u8, 1, 0];
-        assert!(matches!(Capability::parse(&buf), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            Capability::parse(&buf),
+            Err(WireError::BadLength { .. })
+        ));
         // Four-octet AS with only two bytes.
         let buf = [65u8, 2, 0, 1];
-        assert!(matches!(Capability::parse(&buf), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            Capability::parse(&buf),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -250,8 +273,10 @@ mod tests {
 
     #[test]
     fn unknown_parameter_preserved() {
-        let params =
-            vec![OptionalParameter::Other { param_type: 1, value: vec![0xde, 0xad] }];
+        let params = vec![OptionalParameter::Other {
+            param_type: 1,
+            value: vec![0xde, 0xad],
+        }];
         let encoded = OptionalParameter::emit_all(&params);
         assert_eq!(OptionalParameter::parse_all(&encoded).unwrap(), params);
     }

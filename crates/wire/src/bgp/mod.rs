@@ -84,14 +84,21 @@ impl MessageHeader {
     pub fn parse(buf: &[u8]) -> Result<Self> {
         check_len(buf, BGP_HEADER_LEN)?;
         if buf[..16] != BGP_MARKER {
-            return Err(WireError::BadValue { field: "bgp.marker" });
+            return Err(WireError::BadValue {
+                field: "bgp.marker",
+            });
         }
         let length = u16::from_be_bytes([buf[16], buf[17]]);
         if (length as usize) < BGP_HEADER_LEN || length as usize > BGP_MAX_MESSAGE_LEN {
-            return Err(WireError::BadLength { field: "bgp.length" });
+            return Err(WireError::BadLength {
+                field: "bgp.length",
+            });
         }
         let message_type = MessageType::from_code(buf[18])?;
-        Ok(MessageHeader { length, message_type })
+        Ok(MessageHeader {
+            length,
+            message_type,
+        })
     }
 
     /// Emit the header to `out`.
@@ -131,12 +138,16 @@ impl BgpMessage {
             }
             MessageType::Keepalive => {
                 if !body.is_empty() {
-                    return Err(WireError::BadLength { field: "keepalive.body" });
+                    return Err(WireError::BadLength {
+                        field: "keepalive.body",
+                    });
                 }
                 BgpMessage::Keepalive
             }
             MessageType::Update => {
-                return Err(WireError::UnknownType { tag: MessageType::Update.code() as u16 })
+                return Err(WireError::UnknownType {
+                    tag: MessageType::Update.code() as u16,
+                })
             }
         };
         Ok((msg, total))
@@ -149,8 +160,11 @@ impl BgpMessage {
             BgpMessage::Notification(n) => n.to_bytes(),
             BgpMessage::Keepalive => {
                 let mut out = Vec::with_capacity(BGP_HEADER_LEN);
-                MessageHeader { length: BGP_HEADER_LEN as u16, message_type: MessageType::Keepalive }
-                    .emit(&mut out);
+                MessageHeader {
+                    length: BGP_HEADER_LEN as u16,
+                    message_type: MessageType::Keepalive,
+                }
+                .emit(&mut out);
                 out
             }
         }
@@ -195,7 +209,10 @@ mod tests {
     #[test]
     fn header_roundtrip() {
         let mut out = Vec::new();
-        let header = MessageHeader { length: 23, message_type: MessageType::Notification };
+        let header = MessageHeader {
+            length: 23,
+            message_type: MessageType::Notification,
+        };
         header.emit(&mut out);
         assert_eq!(out.len(), BGP_HEADER_LEN);
         assert_eq!(MessageHeader::parse(&out).unwrap(), header);
@@ -204,18 +221,32 @@ mod tests {
     #[test]
     fn header_rejects_bad_marker() {
         let mut out = Vec::new();
-        MessageHeader { length: 19, message_type: MessageType::Keepalive }.emit(&mut out);
+        MessageHeader {
+            length: 19,
+            message_type: MessageType::Keepalive,
+        }
+        .emit(&mut out);
         out[0] = 0;
-        assert!(matches!(MessageHeader::parse(&out), Err(WireError::BadValue { .. })));
+        assert!(matches!(
+            MessageHeader::parse(&out),
+            Err(WireError::BadValue { .. })
+        ));
     }
 
     #[test]
     fn header_rejects_bad_length() {
         let mut out = Vec::new();
-        MessageHeader { length: 19, message_type: MessageType::Keepalive }.emit(&mut out);
+        MessageHeader {
+            length: 19,
+            message_type: MessageType::Keepalive,
+        }
+        .emit(&mut out);
         out[16] = 0;
         out[17] = 5;
-        assert!(matches!(MessageHeader::parse(&out), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            MessageHeader::parse(&out),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -251,8 +282,15 @@ mod tests {
     #[test]
     fn update_messages_are_not_parsed() {
         let mut out = Vec::new();
-        MessageHeader { length: 23, message_type: MessageType::Update }.emit(&mut out);
+        MessageHeader {
+            length: 23,
+            message_type: MessageType::Update,
+        }
+        .emit(&mut out);
         out.extend_from_slice(&[0, 0, 0, 0]);
-        assert!(matches!(BgpMessage::parse(&out), Err(WireError::UnknownType { .. })));
+        assert!(matches!(
+            BgpMessage::parse(&out),
+            Err(WireError::UnknownType { .. })
+        ));
     }
 }

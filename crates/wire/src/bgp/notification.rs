@@ -109,7 +109,11 @@ impl NotificationMessage {
     pub fn to_bytes(&self) -> Vec<u8> {
         let length = (BGP_HEADER_LEN + 2 + self.data.len()) as u16;
         let mut out = Vec::with_capacity(length as usize);
-        MessageHeader { length, message_type: MessageType::Notification }.emit(&mut out);
+        MessageHeader {
+            length,
+            message_type: MessageType::Notification,
+        }
+        .emit(&mut out);
         out.push(self.error_code);
         out.push(self.error_subcode);
         out.extend_from_slice(&self.data);
@@ -153,7 +157,11 @@ mod tests {
 
     #[test]
     fn non_cease_is_not_connection_rejected() {
-        let n = NotificationMessage { error_code: 2, error_subcode: 5, data: vec![] };
+        let n = NotificationMessage {
+            error_code: 2,
+            error_subcode: 5,
+            data: vec![],
+        };
         assert!(!n.is_connection_rejected());
     }
 

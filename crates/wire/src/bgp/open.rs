@@ -71,21 +71,33 @@ impl OpenMessage {
         check_len(body, OPEN_MIN_BODY_LEN)?;
         let version = body[0];
         if version != 4 {
-            return Err(WireError::BadValue { field: "open.version" });
+            return Err(WireError::BadValue {
+                field: "open.version",
+            });
         }
         let my_as = u16::from_be_bytes([body[1], body[2]]);
         let hold_time = u16::from_be_bytes([body[3], body[4]]);
         // RFC 4271: hold time MUST be 0 or at least 3 seconds.
         if hold_time == 1 || hold_time == 2 {
-            return Err(WireError::BadValue { field: "open.hold_time" });
+            return Err(WireError::BadValue {
+                field: "open.hold_time",
+            });
         }
         let bgp_identifier = Ipv4Addr::new(body[5], body[6], body[7], body[8]);
         let opt_len = body[9] as usize;
         if OPEN_MIN_BODY_LEN + opt_len != body.len() {
-            return Err(WireError::BadLength { field: "open.opt_parm_len" });
+            return Err(WireError::BadLength {
+                field: "open.opt_parm_len",
+            });
         }
         let optional_parameters = OptionalParameter::parse_all(&body[OPEN_MIN_BODY_LEN..])?;
-        Ok(OpenMessage { version, my_as, hold_time, bgp_identifier, optional_parameters })
+        Ok(OpenMessage {
+            version,
+            my_as,
+            hold_time,
+            bgp_identifier,
+            optional_parameters,
+        })
     }
 
     /// Emit the full message (header + body) to a freshly allocated vector.
@@ -93,7 +105,11 @@ impl OpenMessage {
         let params = OptionalParameter::emit_all(&self.optional_parameters);
         let length = (BGP_HEADER_LEN + OPEN_MIN_BODY_LEN + params.len()) as u16;
         let mut out = Vec::with_capacity(length as usize);
-        MessageHeader { length, message_type: MessageType::Open }.emit(&mut out);
+        MessageHeader {
+            length,
+            message_type: MessageType::Open,
+        }
+        .emit(&mut out);
         out.push(self.version);
         out.extend_from_slice(&self.my_as.to_be_bytes());
         out.extend_from_slice(&self.hold_time.to_be_bytes());
@@ -146,17 +162,20 @@ mod tests {
     fn effective_asn_prefers_four_octet_capability() {
         let mut open = figure2_open();
         assert_eq!(open.effective_asn(), AS_TRANS as u32);
-        open.optional_parameters.push(OptionalParameter::Capability(Capability::FourOctetAs {
-            asn: 396_982,
-        }));
+        open.optional_parameters
+            .push(OptionalParameter::Capability(Capability::FourOctetAs {
+                asn: 396_982,
+            }));
         assert_eq!(open.effective_asn(), 396_982);
     }
 
     #[test]
     fn capabilities_accessor_skips_unknown_parameters() {
         let mut open = figure2_open();
-        open.optional_parameters
-            .push(OptionalParameter::Other { param_type: 1, value: vec![1] });
+        open.optional_parameters.push(OptionalParameter::Other {
+            param_type: 1,
+            value: vec![1],
+        });
         assert_eq!(open.capabilities().len(), 2);
     }
 
@@ -164,7 +183,10 @@ mod tests {
     fn rejects_wrong_version() {
         let mut bytes = figure2_open().to_bytes();
         bytes[BGP_HEADER_LEN] = 3;
-        assert!(matches!(BgpMessage::parse(&bytes), Err(WireError::BadValue { .. })));
+        assert!(matches!(
+            BgpMessage::parse(&bytes),
+            Err(WireError::BadValue { .. })
+        ));
     }
 
     #[test]
@@ -172,7 +194,10 @@ mod tests {
         let mut open = figure2_open();
         open.hold_time = 2;
         let bytes = open.to_bytes();
-        assert!(matches!(BgpMessage::parse(&bytes), Err(WireError::BadValue { .. })));
+        assert!(matches!(
+            BgpMessage::parse(&bytes),
+            Err(WireError::BadValue { .. })
+        ));
     }
 
     #[test]
@@ -180,7 +205,10 @@ mod tests {
         let mut bytes = figure2_open().to_bytes();
         // Claim fewer optional-parameter bytes than are present.
         bytes[BGP_HEADER_LEN + 9] = 4;
-        assert!(matches!(BgpMessage::parse(&bytes), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            BgpMessage::parse(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -49,14 +49,22 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated { needed, available } => {
-                write!(f, "truncated message: need {needed} bytes, have {available}")
+                write!(
+                    f,
+                    "truncated message: need {needed} bytes, have {available}"
+                )
             }
             WireError::BadLength { field } => write!(f, "inconsistent length field: {field}"),
             WireError::BadValue { field } => write!(f, "illegal value in field: {field}"),
             WireError::UnknownType { tag } => write!(f, "unknown message type/tag: {tag}"),
-            WireError::BadEncoding { field } => write!(f, "invalid text encoding in field: {field}"),
+            WireError::BadEncoding { field } => {
+                write!(f, "invalid text encoding in field: {field}")
+            }
             WireError::BufferTooSmall { needed, available } => {
-                write!(f, "output buffer too small: need {needed} bytes, have {available}")
+                write!(
+                    f,
+                    "output buffer too small: need {needed} bytes, have {available}"
+                )
             }
         }
     }
@@ -67,7 +75,10 @@ impl std::error::Error for WireError {}
 /// Ensure `buf` holds at least `needed` bytes, returning `Truncated` otherwise.
 pub(crate) fn check_len(buf: &[u8], needed: usize) -> crate::Result<()> {
     if buf.len() < needed {
-        Err(WireError::Truncated { needed, available: buf.len() })
+        Err(WireError::Truncated {
+            needed,
+            available: buf.len(),
+        })
     } else {
         Ok(())
     }
@@ -79,9 +90,14 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = WireError::Truncated { needed: 19, available: 4 };
+        let e = WireError::Truncated {
+            needed: 19,
+            available: 4,
+        };
         assert_eq!(e.to_string(), "truncated message: need 19 bytes, have 4");
-        let e = WireError::BadLength { field: "open.length" };
+        let e = WireError::BadLength {
+            field: "open.length",
+        };
         assert!(e.to_string().contains("open.length"));
         let e = WireError::UnknownType { tag: 99 };
         assert!(e.to_string().contains("99"));
@@ -93,7 +109,10 @@ mod tests {
         assert!(check_len(&[0u8; 8], 4).is_ok());
         assert_eq!(
             check_len(&[0u8; 3], 4),
-            Err(WireError::Truncated { needed: 4, available: 3 })
+            Err(WireError::Truncated {
+                needed: 4,
+                available: 3
+            })
         );
     }
 }

@@ -62,15 +62,25 @@ impl IcmpRepr {
                 let seq = u16::from_be_bytes([buf[6], buf[7]]);
                 let payload = buf[8..].to_vec();
                 if ty == Self::TYPE_ECHO_REQUEST {
-                    Ok(IcmpRepr::EchoRequest { ident, seq, payload })
+                    Ok(IcmpRepr::EchoRequest {
+                        ident,
+                        seq,
+                        payload,
+                    })
                 } else {
-                    Ok(IcmpRepr::EchoReply { ident, seq, payload })
+                    Ok(IcmpRepr::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    })
                 }
             }
-            (Self::TYPE_DEST_UNREACH, Self::CODE_PORT_UNREACH) => {
-                Ok(IcmpRepr::PortUnreachable { quoted: buf[8..].to_vec() })
-            }
-            _ => Err(WireError::UnknownType { tag: ((ty as u16) << 8) | code as u16 }),
+            (Self::TYPE_DEST_UNREACH, Self::CODE_PORT_UNREACH) => Ok(IcmpRepr::PortUnreachable {
+                quoted: buf[8..].to_vec(),
+            }),
+            _ => Err(WireError::UnknownType {
+                tag: ((ty as u16) << 8) | code as u16,
+            }),
         }
     }
 
@@ -78,13 +88,21 @@ impl IcmpRepr {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(ICMP_MIN_LEN + 16);
         match self {
-            IcmpRepr::EchoRequest { ident, seq, payload } => {
+            IcmpRepr::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
                 buf.extend_from_slice(&[Self::TYPE_ECHO_REQUEST, 0, 0, 0]);
                 buf.extend_from_slice(&ident.to_be_bytes());
                 buf.extend_from_slice(&seq.to_be_bytes());
                 buf.extend_from_slice(payload);
             }
-            IcmpRepr::EchoReply { ident, seq, payload } => {
+            IcmpRepr::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 buf.extend_from_slice(&[Self::TYPE_ECHO_REPLY, 0, 0, 0]);
                 buf.extend_from_slice(&ident.to_be_bytes());
                 buf.extend_from_slice(&seq.to_be_bytes());
@@ -104,7 +122,11 @@ impl IcmpRepr {
     /// Build the echo reply answering this request; `None` for non-requests.
     pub fn reply_to(&self) -> Option<IcmpRepr> {
         match self {
-            IcmpRepr::EchoRequest { ident, seq, payload } => Some(IcmpRepr::EchoReply {
+            IcmpRepr::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => Some(IcmpRepr::EchoReply {
                 ident: *ident,
                 seq: *seq,
                 payload: payload.clone(),
@@ -140,28 +162,44 @@ mod tests {
 
     #[test]
     fn echo_roundtrip() {
-        let req = IcmpRepr::EchoRequest { ident: 0x1234, seq: 7, payload: b"midar".to_vec() };
+        let req = IcmpRepr::EchoRequest {
+            ident: 0x1234,
+            seq: 7,
+            payload: b"midar".to_vec(),
+        };
         let parsed = IcmpRepr::parse(&req.to_bytes()).unwrap();
         assert_eq!(parsed, req);
     }
 
     #[test]
     fn reply_mirrors_request() {
-        let req = IcmpRepr::EchoRequest { ident: 1, seq: 2, payload: vec![9, 9] };
+        let req = IcmpRepr::EchoRequest {
+            ident: 1,
+            seq: 2,
+            payload: vec![9, 9],
+        };
         let reply = req.reply_to().unwrap();
         match reply {
-            IcmpRepr::EchoReply { ident, seq, payload } => {
+            IcmpRepr::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 assert_eq!((ident, seq), (1, 2));
                 assert_eq!(payload, vec![9, 9]);
             }
             other => panic!("unexpected reply {other:?}"),
         }
-        assert!(IcmpRepr::PortUnreachable { quoted: vec![] }.reply_to().is_none());
+        assert!(IcmpRepr::PortUnreachable { quoted: vec![] }
+            .reply_to()
+            .is_none());
     }
 
     #[test]
     fn port_unreachable_roundtrip() {
-        let msg = IcmpRepr::PortUnreachable { quoted: vec![0x45, 0, 0, 28] };
+        let msg = IcmpRepr::PortUnreachable {
+            quoted: vec![0x45, 0, 0, 28],
+        };
         let parsed = IcmpRepr::parse(&msg.to_bytes()).unwrap();
         assert_eq!(parsed, msg);
     }
@@ -169,11 +207,17 @@ mod tests {
     #[test]
     fn unknown_type_is_rejected() {
         let bytes = [13u8, 0, 0, 0, 0, 0, 0, 0];
-        assert!(matches!(IcmpRepr::parse(&bytes), Err(WireError::UnknownType { .. })));
+        assert!(matches!(
+            IcmpRepr::parse(&bytes),
+            Err(WireError::UnknownType { .. })
+        ));
     }
 
     #[test]
     fn truncated_is_rejected() {
-        assert!(matches!(IcmpRepr::parse(&[8, 0, 0]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            IcmpRepr::parse(&[8, 0, 0]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

@@ -109,7 +109,9 @@ impl Ipv4Repr {
         check_len(buf, IPV4_HEADER_LEN)?;
         let version = buf[0] >> 4;
         if version != 4 {
-            return Err(WireError::BadValue { field: "ipv4.version" });
+            return Err(WireError::BadValue {
+                field: "ipv4.version",
+            });
         }
         let ihl = (buf[0] & 0x0f) as usize * 4;
         if ihl < IPV4_HEADER_LEN {
@@ -118,7 +120,9 @@ impl Ipv4Repr {
         check_len(buf, ihl)?;
         let total_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
         if total_len < ihl {
-            return Err(WireError::BadLength { field: "ipv4.total_length" });
+            return Err(WireError::BadLength {
+                field: "ipv4.total_length",
+            });
         }
         let ident = u16::from_be_bytes([buf[4], buf[5]]);
         let flags = buf[6] >> 5;
@@ -127,7 +131,9 @@ impl Ipv4Repr {
         let checksum = u16::from_be_bytes([buf[10], buf[11]]);
         let computed = header_checksum(&buf[..ihl], 10);
         if checksum != 0 && checksum != computed {
-            return Err(WireError::BadValue { field: "ipv4.checksum" });
+            return Err(WireError::BadValue {
+                field: "ipv4.checksum",
+            });
         }
         let src = Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]);
         let dst = Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]);
@@ -149,11 +155,16 @@ impl Ipv4Repr {
     /// [`IPV4_HEADER_LEN`] bytes. Returns the number of bytes written.
     pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
         if buf.len() < IPV4_HEADER_LEN {
-            return Err(WireError::BufferTooSmall { needed: IPV4_HEADER_LEN, available: buf.len() });
+            return Err(WireError::BufferTooSmall {
+                needed: IPV4_HEADER_LEN,
+                available: buf.len(),
+            });
         }
         let total_len = self.total_len();
         if total_len > u16::MAX as usize {
-            return Err(WireError::BadValue { field: "ipv4.total_length" });
+            return Err(WireError::BadValue {
+                field: "ipv4.total_length",
+            });
         }
         buf[0] = 0x45; // version 4, IHL 5
         buf[1] = 0; // DSCP/ECN
@@ -205,7 +216,9 @@ impl Ipv6Repr {
         check_len(buf, IPV6_HEADER_LEN)?;
         let version = buf[0] >> 4;
         if version != 6 {
-            return Err(WireError::BadValue { field: "ipv6.version" });
+            return Err(WireError::BadValue {
+                field: "ipv6.version",
+            });
         }
         let payload_len = u16::from_be_bytes([buf[4], buf[5]]) as usize;
         let next_header = IpProtocol::from_number_v6(buf[6]);
@@ -229,10 +242,15 @@ impl Ipv6Repr {
     /// Emit the fixed header into `buf`. Returns the number of bytes written.
     pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
         if buf.len() < IPV6_HEADER_LEN {
-            return Err(WireError::BufferTooSmall { needed: IPV6_HEADER_LEN, available: buf.len() });
+            return Err(WireError::BufferTooSmall {
+                needed: IPV6_HEADER_LEN,
+                available: buf.len(),
+            });
         }
         if self.payload_len > u16::MAX as usize {
-            return Err(WireError::BadValue { field: "ipv6.payload_length" });
+            return Err(WireError::BadValue {
+                field: "ipv6.payload_length",
+            });
         }
         buf[0] = 6 << 4;
         buf[1] = 0;
@@ -351,7 +369,9 @@ mod tests {
         bytes[10] ^= 0xff;
         assert_eq!(
             Ipv4Repr::parse(&bytes).unwrap_err(),
-            WireError::BadValue { field: "ipv4.checksum" }
+            WireError::BadValue {
+                field: "ipv4.checksum"
+            }
         );
     }
 
@@ -359,13 +379,19 @@ mod tests {
     fn ipv4_rejects_wrong_version() {
         let mut bytes = sample_v4().to_bytes();
         bytes[0] = 0x65;
-        assert!(matches!(Ipv4Repr::parse(&bytes), Err(WireError::BadValue { .. })));
+        assert!(matches!(
+            Ipv4Repr::parse(&bytes),
+            Err(WireError::BadValue { .. })
+        ));
     }
 
     #[test]
     fn ipv4_rejects_truncated() {
         let bytes = sample_v4().to_bytes();
-        assert!(matches!(Ipv4Repr::parse(&bytes[..10]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Ipv4Repr::parse(&bytes[..10]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -394,7 +420,10 @@ mod tests {
         };
         let mut bytes = repr.to_bytes();
         bytes[0] = 0x45;
-        assert!(matches!(Ipv6Repr::parse(&bytes), Err(WireError::BadValue { .. })));
+        assert!(matches!(
+            Ipv6Repr::parse(&bytes),
+            Err(WireError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -31,7 +31,9 @@ impl EngineId {
         if bytes.is_empty() || (5..=32).contains(&bytes.len()) {
             Ok(EngineId(bytes))
         } else {
-            Err(WireError::BadValue { field: "snmp.engine_id" })
+            Err(WireError::BadValue {
+                field: "snmp.engine_id",
+            })
         }
     }
 
@@ -99,7 +101,9 @@ impl UsmSecurityParameters {
         let (seq, _) = Element::decode(raw)?;
         let children = seq.children()?;
         if children.len() < 6 {
-            return Err(WireError::BadLength { field: "usm.parameters" });
+            return Err(WireError::BadLength {
+                field: "usm.parameters",
+            });
         }
         Ok(UsmSecurityParameters {
             engine_id: EngineId::new(children[0].as_octet_string()?.to_vec())?,
@@ -147,7 +151,11 @@ impl Snmpv3Message {
 
     /// Build the Report answering a discovery request.
     pub fn report_for(request_msg_id: i64, usm: UsmSecurityParameters, counter: i64) -> Self {
-        Snmpv3Message::Report { msg_id: request_msg_id, usm, unknown_engine_ids: counter }
+        Snmpv3Message::Report {
+            msg_id: request_msg_id,
+            usm,
+            unknown_engine_ids: counter,
+        }
     }
 
     /// Encode the message to its BER byte representation.
@@ -178,7 +186,11 @@ impl Snmpv3Message {
                 Element::sequence(&[Element::integer(SNMP_VERSION_3), header, usm, scoped_pdu])
                     .encode()
             }
-            Snmpv3Message::Report { msg_id, usm, unknown_engine_ids } => {
+            Snmpv3Message::Report {
+                msg_id,
+                usm,
+                unknown_engine_ids,
+            } => {
                 let header = Element::sequence(&[
                     Element::integer(*msg_id),
                     Element::integer(Self::MAX_SIZE),
@@ -187,7 +199,10 @@ impl Snmpv3Message {
                 ]);
                 let varbind = Element::sequence(&[
                     Element::oid(&USM_STATS_UNKNOWN_ENGINE_IDS),
-                    Element::new(ber::TAG_COUNTER32, Element::integer(*unknown_engine_ids).content),
+                    Element::new(
+                        ber::TAG_COUNTER32,
+                        Element::integer(*unknown_engine_ids).content,
+                    ),
                 ]);
                 let pdu = Element::constructed(
                     TAG_REPORT_PDU,
@@ -219,21 +234,29 @@ impl Snmpv3Message {
         let (root, _) = Element::decode(buf)?;
         let children = root.children()?;
         if children.len() < 4 {
-            return Err(WireError::BadLength { field: "snmpv3.message" });
+            return Err(WireError::BadLength {
+                field: "snmpv3.message",
+            });
         }
         let version = children[0].as_integer()?;
         if version != SNMP_VERSION_3 {
-            return Err(WireError::BadValue { field: "snmpv3.version" });
+            return Err(WireError::BadValue {
+                field: "snmpv3.version",
+            });
         }
         let header = children[1].children()?;
         if header.len() < 4 {
-            return Err(WireError::BadLength { field: "snmpv3.header" });
+            return Err(WireError::BadLength {
+                field: "snmpv3.header",
+            });
         }
         let msg_id = header[0].as_integer()?;
         let usm = UsmSecurityParameters::from_element(&children[2])?;
         let scoped = children[3].children()?;
         if scoped.len() < 3 {
-            return Err(WireError::BadLength { field: "snmpv3.scoped_pdu" });
+            return Err(WireError::BadLength {
+                field: "snmpv3.scoped_pdu",
+            });
         }
         match scoped[2].tag {
             TAG_GET_REQUEST_PDU => Ok(Snmpv3Message::DiscoveryRequest { msg_id }),
@@ -251,7 +274,11 @@ impl Snmpv3Message {
                         }
                     }
                 }
-                Ok(Snmpv3Message::Report { msg_id, usm, unknown_engine_ids: counter })
+                Ok(Snmpv3Message::Report {
+                    msg_id,
+                    usm,
+                    unknown_engine_ids: counter,
+                })
             }
             other => Err(WireError::UnknownType { tag: other as u16 }),
         }
@@ -303,7 +330,11 @@ mod tests {
         let msg = Snmpv3Message::report_for(42, sample_usm(), 7);
         let parsed = Snmpv3Message::parse(&msg.to_bytes()).unwrap();
         match parsed {
-            Snmpv3Message::Report { msg_id, usm, unknown_engine_ids } => {
+            Snmpv3Message::Report {
+                msg_id,
+                usm,
+                unknown_engine_ids,
+            } => {
                 assert_eq!(msg_id, 42);
                 assert_eq!(usm, sample_usm());
                 assert_eq!(unknown_engine_ids, 7);

@@ -46,14 +46,20 @@ impl Banner {
 
     fn validate(&self) -> Result<()> {
         if self.software.is_empty() || self.software.contains([' ', '\r', '\n']) {
-            return Err(WireError::BadValue { field: "banner.software" });
+            return Err(WireError::BadValue {
+                field: "banner.software",
+            });
         }
         if self.proto_version.is_empty() || self.proto_version.contains(['-', ' ', '\r', '\n']) {
-            return Err(WireError::BadValue { field: "banner.proto_version" });
+            return Err(WireError::BadValue {
+                field: "banner.proto_version",
+            });
         }
         if let Some(c) = &self.comments {
             if c.contains(['\r', '\n']) {
-                return Err(WireError::BadValue { field: "banner.comments" });
+                return Err(WireError::BadValue {
+                    field: "banner.comments",
+                });
             }
         }
         if self.to_line().len() + 2 > MAX_BANNER_LEN {
@@ -90,7 +96,10 @@ impl Banner {
             let line_end = rest
                 .iter()
                 .position(|&b| b == b'\n')
-                .ok_or(WireError::Truncated { needed: offset + rest.len() + 1, available: buf.len() })?;
+                .ok_or(WireError::Truncated {
+                    needed: offset + rest.len() + 1,
+                    available: buf.len(),
+                })?;
             let mut line = &rest[..line_end];
             if line.ends_with(b"\r") {
                 line = &line[..line.len() - 1];
@@ -103,7 +112,9 @@ impl Banner {
                     return Err(WireError::BadLength { field: "banner" });
                 }
                 let rest = &text[4..];
-                let dash = rest.find('-').ok_or(WireError::BadValue { field: "banner" })?;
+                let dash = rest
+                    .find('-')
+                    .ok_or(WireError::BadValue { field: "banner" })?;
                 let proto_version = rest[..dash].to_owned();
                 let after = &rest[dash + 1..];
                 let (software, comments) = match after.find(' ') {
@@ -111,13 +122,25 @@ impl Banner {
                     None => (after.to_owned(), None),
                 };
                 if software.is_empty() {
-                    return Err(WireError::BadValue { field: "banner.software" });
+                    return Err(WireError::BadValue {
+                        field: "banner.software",
+                    });
                 }
-                return Ok((Banner { proto_version, software, comments }, consumed));
+                return Ok((
+                    Banner {
+                        proto_version,
+                        software,
+                        comments,
+                    },
+                    consumed,
+                ));
             }
             offset = consumed;
         }
-        Err(WireError::Truncated { needed: buf.len() + 1, available: buf.len() })
+        Err(WireError::Truncated {
+            needed: buf.len() + 1,
+            available: buf.len(),
+        })
     }
 
     /// Whether the server speaks protocol 2.0 (or the 1.99 compatibility
@@ -166,7 +189,10 @@ mod tests {
 
     #[test]
     fn missing_newline_is_truncated() {
-        assert!(matches!(Banner::parse(b"SSH-2.0-OpenSSH"), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Banner::parse(b"SSH-2.0-OpenSSH"),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

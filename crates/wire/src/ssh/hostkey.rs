@@ -44,7 +44,9 @@ impl HostKeyAlgorithm {
             "ssh-rsa" | "rsa-sha2-256" | "rsa-sha2-512" => Ok(HostKeyAlgorithm::Rsa),
             "ecdsa-sha2-nistp256" => Ok(HostKeyAlgorithm::EcdsaP256),
             "ssh-dss" => Ok(HostKeyAlgorithm::Dsa),
-            _ => Err(WireError::BadValue { field: "hostkey.algorithm" }),
+            _ => Err(WireError::BadValue {
+                field: "hostkey.algorithm",
+            }),
         }
     }
 }
@@ -67,7 +69,10 @@ pub struct HostKey {
 impl HostKey {
     /// Build a host key from raw material.
     pub fn new(algorithm: HostKeyAlgorithm, key_material: Vec<u8>) -> Self {
-        HostKey { algorithm, key_material }
+        HostKey {
+            algorithm,
+            key_material,
+        }
     }
 
     /// Encode the key blob (`string algorithm-name, string key material`) as
@@ -82,17 +87,25 @@ impl HostKey {
     /// Parse a key blob.
     pub fn from_blob(blob: &[u8]) -> Result<Self> {
         let (name, consumed) = read_string(blob)?;
-        let name = std::str::from_utf8(name)
-            .map_err(|_| WireError::BadEncoding { field: "hostkey.algorithm" })?;
+        let name = std::str::from_utf8(name).map_err(|_| WireError::BadEncoding {
+            field: "hostkey.algorithm",
+        })?;
         let algorithm = HostKeyAlgorithm::from_name(name)?;
         let (material, consumed2) = read_string(&blob[consumed..])?;
         if consumed + consumed2 != blob.len() {
-            return Err(WireError::BadLength { field: "hostkey.blob" });
+            return Err(WireError::BadLength {
+                field: "hostkey.blob",
+            });
         }
         if material.is_empty() {
-            return Err(WireError::BadValue { field: "hostkey.material" });
+            return Err(WireError::BadValue {
+                field: "hostkey.material",
+            });
         }
-        Ok(HostKey { algorithm, key_material: material.to_vec() })
+        Ok(HostKey {
+            algorithm,
+            key_material: material.to_vec(),
+        })
     }
 
     /// The lowercase-hex fingerprint of the key material, as used in reports
@@ -128,10 +141,15 @@ impl KexReply {
     /// Parse a key-exchange reply payload (starting at the message number).
     pub fn parse_payload(payload: &[u8]) -> Result<Self> {
         if payload.is_empty() {
-            return Err(WireError::Truncated { needed: 1, available: 0 });
+            return Err(WireError::Truncated {
+                needed: 1,
+                available: 0,
+            });
         }
         if payload[0] != SSH_MSG_KEX_ECDH_REPLY {
-            return Err(WireError::UnknownType { tag: payload[0] as u16 });
+            return Err(WireError::UnknownType {
+                tag: payload[0] as u16,
+            });
         }
         let mut offset = 1;
         let (blob, consumed) = read_string(&payload[offset..])?;
@@ -173,7 +191,10 @@ mod tests {
     use super::*;
 
     fn sample_key() -> HostKey {
-        HostKey::new(HostKeyAlgorithm::Ed25519, vec![0x40, 0x9f, 0xa7, 0x37, 0x03, 0x3d])
+        HostKey::new(
+            HostKeyAlgorithm::Ed25519,
+            vec![0x40, 0x9f, 0xa7, 0x37, 0x03, 0x3d],
+        )
     }
 
     #[test]
@@ -193,7 +214,10 @@ mod tests {
     #[test]
     fn fingerprint_is_stable_and_distinct() {
         let a = sample_key();
-        let b = HostKey::new(HostKeyAlgorithm::Ed25519, vec![0x40, 0x9f, 0xa7, 0x37, 0x03, 0x3e]);
+        let b = HostKey::new(
+            HostKeyAlgorithm::Ed25519,
+            vec![0x40, 0x9f, 0xa7, 0x37, 0x03, 0x3e],
+        );
         assert_eq!(a.fingerprint(), a.fingerprint());
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert!(a.fingerprint().starts_with("ssh-ed25519:409fa737"));
@@ -201,7 +225,10 @@ mod tests {
 
     #[test]
     fn rsa_signature_names_map_to_rsa() {
-        assert_eq!(HostKeyAlgorithm::from_name("rsa-sha2-512").unwrap(), HostKeyAlgorithm::Rsa);
+        assert_eq!(
+            HostKeyAlgorithm::from_name("rsa-sha2-512").unwrap(),
+            HostKeyAlgorithm::Rsa
+        );
     }
 
     #[test]
@@ -219,7 +246,10 @@ mod tests {
     fn trailing_bytes_in_blob_are_rejected() {
         let mut blob = sample_key().to_blob();
         blob.push(0);
-        assert!(matches!(HostKey::from_blob(&blob), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            HostKey::from_blob(&blob),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -243,6 +273,9 @@ mod tests {
         }
         .to_payload();
         payload[0] = 30;
-        assert!(matches!(KexReply::parse_payload(&payload), Err(WireError::UnknownType { .. })));
+        assert!(matches!(
+            KexReply::parse_payload(&payload),
+            Err(WireError::UnknownType { .. })
+        ));
     }
 }

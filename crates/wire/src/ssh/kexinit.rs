@@ -117,7 +117,9 @@ impl KexInit {
     pub fn parse_payload(payload: &[u8]) -> Result<Self> {
         check_len(payload, 1 + 16)?;
         if payload[0] != SSH_MSG_KEXINIT {
-            return Err(WireError::UnknownType { tag: payload[0] as u16 });
+            return Err(WireError::UnknownType {
+                tag: payload[0] as u16,
+            });
         }
         let mut cookie = [0u8; 16];
         cookie.copy_from_slice(&payload[1..17]);
@@ -231,14 +233,20 @@ mod tests {
     fn wrong_message_number_is_rejected() {
         let mut payload = KexInit::typical_openssh().to_payload();
         payload[0] = 21;
-        assert!(matches!(KexInit::parse_payload(&payload), Err(WireError::UnknownType { .. })));
+        assert!(matches!(
+            KexInit::parse_payload(&payload),
+            Err(WireError::UnknownType { .. })
+        ));
     }
 
     #[test]
     fn truncated_payload_is_rejected() {
         let payload = KexInit::typical_openssh().to_payload();
         for cut in [0, 5, 17, 40, payload.len() - 1] {
-            assert!(KexInit::parse_payload(&payload[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                KexInit::parse_payload(&payload[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 

@@ -58,7 +58,11 @@ mod tests {
     #[test]
     fn observation_completeness() {
         let banner = Banner::new("OpenSSH_8.9p1", Some("Ubuntu-3ubuntu0.1")).unwrap();
-        let partial = SshObservation { banner: banner.clone(), kex_init: None, host_key: None };
+        let partial = SshObservation {
+            banner: banner.clone(),
+            kex_init: None,
+            host_key: None,
+        };
         assert!(!partial.is_complete());
 
         let full = SshObservation {

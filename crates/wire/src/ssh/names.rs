@@ -137,14 +137,20 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&10u32.to_be_bytes());
         buf.extend_from_slice(b"abc");
-        assert!(matches!(NameList::parse(&buf), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            NameList::parse(&buf),
+            Err(WireError::Truncated { .. })
+        ));
 
         // Non-ASCII.
         let mut buf = Vec::new();
         let s = "é".as_bytes();
         buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
         buf.extend_from_slice(s);
-        assert!(matches!(NameList::parse(&buf), Err(WireError::BadEncoding { .. })));
+        assert!(matches!(
+            NameList::parse(&buf),
+            Err(WireError::BadEncoding { .. })
+        ));
     }
 
     #[test]

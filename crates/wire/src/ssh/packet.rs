@@ -55,13 +55,17 @@ impl SshPacket {
     pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
         check_len(buf, 5)?;
         let packet_length = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-        if packet_length < 2 || packet_length > MAX_PACKET {
-            return Err(WireError::BadLength { field: "ssh.packet_length" });
+        if !(2..=MAX_PACKET).contains(&packet_length) {
+            return Err(WireError::BadLength {
+                field: "ssh.packet_length",
+            });
         }
         check_len(buf, 4 + packet_length)?;
         let padding_length = buf[4] as usize;
         if padding_length + 1 > packet_length {
-            return Err(WireError::BadLength { field: "ssh.padding_length" });
+            return Err(WireError::BadLength {
+                field: "ssh.padding_length",
+            });
         }
         let payload_len = packet_length - padding_length - 1;
         let payload = buf[5..5 + payload_len].to_vec();
@@ -154,7 +158,10 @@ mod tests {
             let packet = SshPacket::new(vec![0xaa; payload_len]);
             let bytes = packet.to_bytes();
             let padding = bytes[4] as usize;
-            assert!(padding >= MIN_PADDING, "payload {payload_len} got padding {padding}");
+            assert!(
+                padding >= MIN_PADDING,
+                "payload {payload_len} got padding {padding}"
+            );
             assert_eq!(bytes.len() % BLOCK, 0);
         }
     }
@@ -164,14 +171,20 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(40_000u32).to_be_bytes());
         buf.push(4);
-        assert!(matches!(SshPacket::parse(&buf), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            SshPacket::parse(&buf),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]
     fn bad_padding_is_rejected() {
         let mut bytes = SshPacket::new(vec![1, 2, 3]).to_bytes();
         bytes[4] = 0xff; // padding longer than the packet
-        assert!(matches!(SshPacket::parse(&bytes), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            SshPacket::parse(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -107,7 +107,14 @@ pub struct TcpRepr {
 impl TcpRepr {
     /// A SYN segment from `src_port` to `dst_port` with initial sequence `seq`.
     pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> Self {
-        TcpRepr { src_port, dst_port, seq, ack: 0, flags: TcpFlags::SYN, window: 65_535 }
+        TcpRepr {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65_535,
+        }
     }
 
     /// The SYN-ACK answering `syn`, with server initial sequence `server_seq`.
@@ -152,7 +159,9 @@ impl TcpRepr {
         check_len(buf, TCP_HEADER_LEN)?;
         let data_offset = (buf[12] >> 4) as usize * 4;
         if data_offset < TCP_HEADER_LEN {
-            return Err(WireError::BadLength { field: "tcp.data_offset" });
+            return Err(WireError::BadLength {
+                field: "tcp.data_offset",
+            });
         }
         check_len(buf, data_offset)?;
         Ok((
@@ -171,7 +180,10 @@ impl TcpRepr {
     /// Emit the header (without options) into `buf`.
     pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
         if buf.len() < TCP_HEADER_LEN {
-            return Err(WireError::BufferTooSmall { needed: TCP_HEADER_LEN, available: buf.len() });
+            return Err(WireError::BufferTooSmall {
+                needed: TCP_HEADER_LEN,
+                available: buf.len(),
+            });
         }
         buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
         buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
@@ -230,7 +242,10 @@ mod tests {
     fn parse_rejects_bad_data_offset() {
         let mut bytes = TcpRepr::syn(1, 2, 3).to_bytes();
         bytes[12] = 0x10; // data offset 4 * 4 = 16 < 20
-        assert!(matches!(TcpRepr::parse(&bytes), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            TcpRepr::parse(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -247,6 +262,9 @@ mod tests {
     #[test]
     fn truncated_header_is_rejected() {
         let bytes = TcpRepr::syn(1, 2, 3).to_bytes();
-        assert!(matches!(TcpRepr::parse(&bytes[..8]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            TcpRepr::parse(&bytes[..8]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

@@ -35,7 +35,10 @@ fn arb_open() -> impl Strategy<Value = OpenMessage> {
             my_as,
             hold_time,
             bgp_identifier: Ipv4Addr::from(ident),
-            optional_parameters: caps.into_iter().map(OptionalParameter::Capability).collect(),
+            optional_parameters: caps
+                .into_iter()
+                .map(OptionalParameter::Capability)
+                .collect(),
         })
 }
 

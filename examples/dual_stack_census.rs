@@ -18,9 +18,15 @@ fn main() {
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
 
     let mut total_sets = 0usize;
-    for protocol in [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3] {
+    for protocol in [
+        ServiceProtocol::Ssh,
+        ServiceProtocol::Bgp,
+        ServiceProtocol::Snmpv3,
+    ] {
         let collection = AliasSetCollection::from_observations(
-            data.observations.iter().filter(|o| o.protocol() == protocol),
+            data.observations
+                .iter()
+                .filter(|o| o.protocol() == protocol),
             &extractor,
         );
         let report = DualStackReport::from_collection(&collection);
@@ -41,7 +47,11 @@ fn main() {
 
     // Sanity check against ground truth: how many devices really are
     // dual-stack?
-    let truly_dual = internet.devices().iter().filter(|d| d.is_dual_stack()).count();
+    let truly_dual = internet
+        .devices()
+        .iter()
+        .filter(|d| d.is_dual_stack())
+        .count();
     println!(
         "\nAcross the three protocols {} dual-stack sets were inferred; \
          the ground truth holds {} dual-stack devices (the gap is hitlist coverage, ACLs and\n\

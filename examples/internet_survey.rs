@@ -18,7 +18,9 @@ fn main() {
     let censys = snapshot.default_port_observations();
 
     // Our own active measurement from a single vantage point.
-    let active = ActiveCampaign::with_defaults(&internet).run(&internet).observations;
+    let active = ActiveCampaign::with_defaults(&internet)
+        .run(&internet)
+        .observations;
 
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
     let count = |observations: &[ServiceObservation]| {
@@ -28,7 +30,9 @@ fn main() {
             .map(|o| o.addr)
             .collect();
         let collection = AliasSetCollection::from_observations(
-            observations.iter().filter(|o| o.protocol() == ServiceProtocol::Ssh),
+            observations
+                .iter()
+                .filter(|o| o.protocol() == ServiceProtocol::Ssh),
             &extractor,
         );
         (ssh.len(), collection.ipv4_sets().len())

@@ -17,15 +17,24 @@ fn main() {
     // SSH alias sets from the active scan.
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
     let ssh = AliasSetCollection::from_observations(
-        data.observations.iter().filter(|o| o.protocol() == ServiceProtocol::Ssh),
+        data.observations
+            .iter()
+            .filter(|o| o.protocol() == ServiceProtocol::Ssh),
         &extractor,
     );
     // Sample sets with at most ten addresses, as the paper does to keep the
     // MIDAR run short.
-    let sample: Vec<BTreeSet<IpAddr>> =
-        ssh.ipv4_sets().into_iter().filter(|s| s.len() <= 10).collect();
+    let sample: Vec<BTreeSet<IpAddr>> = ssh
+        .ipv4_sets()
+        .into_iter()
+        .filter(|s| s.len() <= 10)
+        .collect();
     let targets: Vec<IpAddr> = sample.iter().flatten().copied().collect();
-    println!("Sampled {} SSH alias sets covering {} addresses", sample.len(), targets.len());
+    println!(
+        "Sampled {} SSH alias sets covering {} addresses",
+        sample.len(),
+        targets.len()
+    );
 
     // Run the MIDAR pipeline (estimation -> discovery -> corroboration).
     let midar = Midar::new(MidarConfig::default()).resolve(&internet, &targets, SimTime::ZERO);

@@ -31,9 +31,15 @@ fn main() {
     //    host key for SSH; the OPEN fields for BGP; the engine ID for
     //    SNMPv3).
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
-    for protocol in [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3] {
+    for protocol in [
+        ServiceProtocol::Ssh,
+        ServiceProtocol::Bgp,
+        ServiceProtocol::Snmpv3,
+    ] {
         let collection = AliasSetCollection::from_observations(
-            data.observations.iter().filter(|o| o.protocol() == protocol),
+            data.observations
+                .iter()
+                .filter(|o| o.protocol() == protocol),
             &extractor,
         );
         let v4_sets = collection.ipv4_sets();
@@ -52,7 +58,9 @@ fn main() {
     //    against ground truth — something the paper could not do.
     let truth = internet.ground_truth();
     let ssh = AliasSetCollection::from_observations(
-        data.observations.iter().filter(|o| o.protocol() == ServiceProtocol::Ssh),
+        data.observations
+            .iter()
+            .filter(|o| o.protocol() == ServiceProtocol::Ssh),
         &extractor,
     );
     let sets = ssh.ipv4_sets();

@@ -30,7 +30,11 @@ fn collection(
 fn protocol_identifiers_group_addresses_of_the_same_device() {
     let (internet, observations) = build_and_scan(101);
     let truth = internet.ground_truth();
-    for protocol in [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3] {
+    for protocol in [
+        ServiceProtocol::Ssh,
+        ServiceProtocol::Bgp,
+        ServiceProtocol::Snmpv3,
+    ] {
         let sets = collection(&observations, protocol).ipv4_sets();
         // Precision: in the absence of heavy churn and with the full
         // identifiers, nearly every inferred pair is a true alias pair.
@@ -62,24 +66,34 @@ fn dual_stack_sets_pair_true_dual_stack_devices() {
     let truth = internet.ground_truth();
     let ssh = collection(&observations, ServiceProtocol::Ssh);
     let report = DualStackReport::from_collection(&ssh);
-    assert!(report.set_count() > 0, "tiny preset should contain dual-stack SSH devices");
+    assert!(
+        report.set_count() > 0,
+        "tiny preset should contain dual-stack SSH devices"
+    );
     for set in &report.sets {
         let mut devices = BTreeSet::new();
         for addr in set.ipv4.iter().chain(set.ipv6.iter()) {
             devices.insert(truth.device_of(*addr).expect("observed addresses exist"));
         }
-        assert_eq!(devices.len(), 1, "dual-stack set spans several devices: {set:?}");
+        assert_eq!(
+            devices.len(),
+            1,
+            "dual-stack set spans several devices: {set:?}"
+        );
     }
 }
 
 #[test]
 fn union_analysis_attributes_sets_to_protocols() {
     let (_, observations) = build_and_scan(104);
-    let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> =
-        [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3]
-            .iter()
-            .map(|&p| (p.name(), collection(&observations, p).ipv4_sets()))
-            .collect();
+    let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = [
+        ServiceProtocol::Ssh,
+        ServiceProtocol::Bgp,
+        ServiceProtocol::Snmpv3,
+    ]
+    .iter()
+    .map(|&p| (p.name(), collection(&observations, p).ipv4_sets()))
+    .collect();
     let merged = merge_labeled_sets(&labeled);
     assert!(!merged.is_empty());
     let attribution = ProtocolAttribution::compute(&merged);
@@ -120,8 +134,11 @@ fn midar_baseline_confirms_a_subset_of_ssh_sets_without_false_merges() {
     let (internet, observations) = build_and_scan(106);
     let truth = internet.ground_truth();
     let ssh = collection(&observations, ServiceProtocol::Ssh);
-    let sample: Vec<BTreeSet<IpAddr>> =
-        ssh.ipv4_sets().into_iter().filter(|s| s.len() <= 10).collect();
+    let sample: Vec<BTreeSet<IpAddr>> = ssh
+        .ipv4_sets()
+        .into_iter()
+        .filter(|s| s.len() <= 10)
+        .collect();
     let targets: Vec<IpAddr> = sample.iter().flatten().copied().collect();
     let outcome = Midar::new(MidarConfig::default()).resolve(&internet, &targets, SimTime::ZERO);
     // MIDAR cannot test every address...
@@ -140,7 +157,9 @@ fn midar_baseline_confirms_a_subset_of_ssh_sets_without_false_merges() {
 #[test]
 fn censys_snapshot_extends_single_vp_coverage() {
     let internet = InternetBuilder::new(InternetConfig::tiny(107)).build();
-    let active = ActiveCampaign::with_defaults(&internet).run(&internet).observations;
+    let active = ActiveCampaign::with_defaults(&internet)
+        .run(&internet)
+        .observations;
     let snapshot = CensysSnapshot::collect(&internet, CensysConfig::default());
     let censys = snapshot.default_port_observations();
 
@@ -156,7 +175,10 @@ fn censys_snapshot_extends_single_vp_coverage() {
     union.extend(censys.iter().cloned());
     let active_ips = count_ssh(&active);
     let union_ips = count_ssh(&union);
-    assert!(union_ips > active_ips, "union {union_ips} vs active {active_ips}");
+    assert!(
+        union_ips > active_ips,
+        "union {union_ips} vs active {active_ips}"
+    );
 }
 
 #[test]
@@ -179,7 +201,9 @@ fn identifier_policy_ablation_shows_why_the_full_identifier_is_used() {
     );
     // Key-only grouping can only be coarser (or equal): it merges devices
     // that share factory-default keys.
-    assert!(key_only.non_singleton_sets().len() <= full.non_singleton_sets().len()
-        || key_only.all_addresses().len() == full.all_addresses().len());
+    assert!(
+        key_only.non_singleton_sets().len() <= full.non_singleton_sets().len()
+            || key_only.all_addresses().len() == full.all_addresses().len()
+    );
     assert_eq!(key_only.all_addresses(), full.all_addresses());
 }

@@ -1,0 +1,228 @@
+//! A small, API-compatible subset of `criterion`, vendored because the
+//! build environment has no access to crates.io.
+//!
+//! Benchmarks compile and run: each `bench_function` measures its closure
+//! with a short warm-up and an adaptive measurement window, then prints a
+//! `name ... time: [median ns]` line.  No statistics beyond the median, no
+//! HTML reports — enough for `cargo bench` to produce meaningful numbers
+//! offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut bencher);
+        report(name, bencher.result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (`criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            result: None,
+        };
+        f(&mut bencher);
+        report(&label, bencher.result);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(&label, bencher.result);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the median per-iteration time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm up and estimate a single-iteration cost.
+        let warm_up_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_up_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+
+        // Size batches to ~1/10 of the measurement window, at least 1 iter.
+        let batch = (self.measurement.as_nanos() / 10)
+            .checked_div(per_iter.as_nanos().max(1))
+            .unwrap_or(1)
+            .clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::new();
+        let measurement_start = Instant::now();
+        while measurement_start.elapsed() < self.measurement {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(batch_start.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let median = samples[samples.len() / 2];
+        self.result = Some(Duration::from_secs_f64(median));
+    }
+}
+
+fn report(name: &str, result: Option<Duration>) {
+    match result {
+        Some(t) => println!("{name:<50} time: [{:>12.1} ns/iter]", t.as_secs_f64() * 1e9),
+        None => println!("{name:<50} time: [no measurement]"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

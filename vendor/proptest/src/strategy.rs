@@ -1,0 +1,279 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A boxed, type-erased strategy (as produced by [`Strategy::boxed`]).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// deterministically maps an RNG state to a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `f` (retrying a bounded number of
+    /// times, then rejecting the case).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..100 {
+            let candidate = self.inner.generate(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter rejected 100 consecutive candidates");
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.gen_range(0..self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// String patterns of the shape `"[class]{m,n}"` (a regex-lite subset: one
+/// character class with ranges and literals, and a repetition count).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) =
+            parse_pattern(self).unwrap_or_else(|| panic!("unsupported string pattern `{self}`"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let class_end = rest.find(']')?;
+    let class: Vec<char> = rest[..class_end].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` is a range unless `-` is the final character of the class.
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            alphabet.extend((lo..=hi).filter(|c| c.is_ascii()));
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+
+    let reps = rest[class_end + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+        None => {
+            let n = reps.parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+/// Marker so `PhantomData` stays imported if strategies above change shape.
+#[allow(dead_code)]
+type _Unused = PhantomData<()>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_parses_all_workspace_classes() {
+        for pattern in [
+            "[a-z0-9@.-]{1,20}",
+            "[!-,.-~]{1,40}",
+            "[ -~]{1,40}",
+            "[ab]{3}",
+        ] {
+            let (alphabet, min, max) = parse_pattern(pattern).unwrap();
+            assert!(!alphabet.is_empty());
+            assert!(min <= max);
+        }
+        // Trailing `-` is a literal.
+        let (alphabet, _, _) = parse_pattern("[a-c-]{1,2}").unwrap();
+        assert!(alphabet.contains(&'-') && alphabet.contains(&'b'));
+    }
+
+    #[test]
+    fn generated_strings_respect_class_and_length() {
+        let mut rng = TestRng::deterministic("strategy::test", 0);
+        for _ in 0..200 {
+            let s = "[a-z0-9@.-]{1,20}".generate(&mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "@.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn union_uses_every_branch() {
+        let mut rng = TestRng::deterministic("strategy::union", 0);
+        let strategy = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strategy.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

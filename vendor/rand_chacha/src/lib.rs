@@ -1,0 +1,157 @@
+//! ChaCha-based deterministic generators for the vendored `rand` subset.
+//!
+//! Implements the genuine ChaCha block function (D. J. Bernstein), so the
+//! stream quality matches the real `rand_chacha`; the seed expansion and
+//! word order are self-consistent rather than bit-compatible with upstream,
+//! which is all the deterministic simulations in this workspace need.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($name:ident, $doc:literal, $rounds:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            state: [u32; 16],
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.state, $rounds);
+                // 64-bit block counter in words 12..14.
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[0] = u32::from_le_bytes(*b"expa");
+                state[1] = u32::from_le_bytes(*b"nd 3");
+                state[2] = u32::from_le_bytes(*b"2-by");
+                state[3] = u32::from_le_bytes(*b"te k");
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                // Words 12..16 (counter + stream id) start at zero.
+                let mut rng = $name {
+                    state,
+                    buffer: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, "A ChaCha generator with 8 rounds.", 8);
+chacha_rng!(ChaCha12Rng, "A ChaCha generator with 12 rounds.", 12);
+chacha_rng!(ChaCha20Rng, "A ChaCha generator with 20 rounds.", 20);
+
+fn chacha_block(state: &[u32; 16], rounds: u32) -> [u32; 16] {
+    #[inline(always)]
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    let mut working = *state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u32; 16];
+    for i in 0..16 {
+        out[i] = working[i].wrapping_add(state[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_matches_rfc7539_test_vector() {
+        // RFC 7539 §2.3.2: key 00..1f, counter 1, nonce 000000090000004a00000000.
+        let mut state = [0u32; 16];
+        state[0] = u32::from_le_bytes(*b"expa");
+        state[1] = u32::from_le_bytes(*b"nd 3");
+        state[2] = u32::from_le_bytes(*b"2-by");
+        state[3] = u32::from_le_bytes(*b"te k");
+        let key: Vec<u8> = (0u8..32).collect();
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        state[12] = 1;
+        state[13] = 0x0900_0000;
+        state[14] = 0x4a00_0000;
+        state[15] = 0;
+        let out = chacha_block(&state, 20);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(124);
+        assert_ne!(xs, (0..32).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..=2_800).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,434 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! `syn`/`quote` are not available offline, so the item is parsed directly
+//! from the `proc_macro` token stream and the generated impl is rendered as
+//! a source string.  Supported shapes (everything this workspace derives):
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, tuple or struct-like.  `#[serde(...)]` attributes are not
+//! supported and surface as a compile error if ever introduced.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tt = self.tokens.get(self.pos).cloned();
+        if tt.is_some() {
+            self.pos += 1;
+        }
+        tt
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute pairs (doc comments included).
+    fn skip_attributes(&mut self) -> Result<(), String> {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = self.tokens.get(self.pos + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    let inner = g.stream().to_string();
+                    if inner.starts_with("serde") {
+                        return Err(format!("#[{inner}] attributes are not supported"));
+                    }
+                    self.pos += 2;
+                    continue;
+                }
+            }
+            return Err("stray `#` in derive input".into());
+        }
+        Ok(())
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (outside `<...>`), which is
+    /// also consumed.  Used to skip field types and enum discriminants.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Counts top-level (outside `<...>`; delimited groups are single tokens)
+/// comma-separated items in a token stream, e.g. tuple-struct fields.
+fn count_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attributes()?;
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        let name = cursor.expect_ident()?;
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        cursor.skip_until_comma();
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attributes()?;
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.expect_ident()?;
+        let fields = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_items(g.stream());
+                cursor.pos += 1;
+                cursor.skip_until_comma();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                cursor.pos += 1;
+                cursor.skip_until_comma();
+                Fields::Named(names)
+            }
+            _ => {
+                cursor.skip_until_comma();
+                Fields::Unit
+            }
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes()?;
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident()?;
+    let name = cursor.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Fields::Tuple(count_items(g.stream())))
+            }
+            _ => ItemKind::Struct(Fields::Unit),
+        },
+        "enum" => match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::Struct(Fields::Unit) => {
+            body.push_str("::serde::Value::Null");
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            body.push_str("::serde::Value::Record(::std::vec![");
+            for f in fields {
+                write!(
+                    body,
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                )
+                .unwrap();
+            }
+            body.push_str("])");
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            body.push_str("::serde::Value::Seq(::std::vec![");
+            for i in 0..*n {
+                write!(body, "::serde::Serialize::to_value(&self.{i}),").unwrap();
+            }
+            body.push_str("])");
+        }
+        ItemKind::Enum(variants) => {
+            body.push_str("match self {");
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        write!(
+                            body,
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        )
+                        .unwrap();
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        write!(
+                            body,
+                            "{name}::{vname}({}) => ::serde::Value::Record(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        )
+                        .unwrap();
+                    }
+                    Fields::Named(fnames) => {
+                        write!(
+                            body,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Record(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Record(::std::vec![{}]))]),",
+                            fnames.join(", "),
+                            fnames
+                                .iter()
+                                .map(|f| format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_tuple_from_seq(path: &str, seq_expr: &str, n: usize) -> String {
+    let mut out = String::new();
+    write!(
+        out,
+        "{{ let items = ::serde::Value::seq({seq_expr})?; \
+           if items.len() != {n}usize {{ \
+               return ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                   \"expected {n} elements for `{path}`, found {{}}\", items.len()))); \
+           }} \
+           ::std::result::Result::Ok({path}("
+    )
+    .unwrap();
+    for i in 0..n {
+        write!(out, "::serde::Deserialize::from_value(&items[{i}usize])?,").unwrap();
+    }
+    out.push_str(")) }");
+    out
+}
+
+fn render_named_from_record(path: &str, value_expr: &str, fields: &[String]) -> String {
+    let mut out = String::new();
+    write!(out, "::std::result::Result::Ok({path} {{").unwrap();
+    for f in fields {
+        write!(
+            out,
+            "{f}: ::serde::Deserialize::from_value(::serde::Value::field({value_expr}, {f:?})?)?,"
+        )
+        .unwrap();
+    }
+    out.push_str("})");
+    out
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Struct(Fields::Named(fields)) => render_named_from_record(name, "value", fields),
+        ItemKind::Struct(Fields::Tuple(n)) => render_tuple_from_seq(name, "value", *n),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        write!(
+                            unit_arms,
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        )
+                        .unwrap();
+                    }
+                    Fields::Tuple(n) => {
+                        write!(
+                            payload_arms,
+                            "{vname:?} => {},",
+                            render_tuple_from_seq(&format!("{name}::{vname}"), "payload", *n)
+                        )
+                        .unwrap();
+                    }
+                    Fields::Named(fnames) => {
+                        write!(
+                            payload_arms,
+                            "{vname:?} => {},",
+                            render_named_from_record(
+                                &format!("{name}::{vname}"),
+                                "payload",
+                                fnames
+                            )
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                             \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Record(entries) if entries.len() == 1usize => {{\n\
+                         let (tag, payload) = &entries[0usize];\n\
+                         match tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                                 \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                         \"expected variant of `{name}`, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => render_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => render_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
