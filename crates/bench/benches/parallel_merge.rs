@@ -1,0 +1,38 @@
+//! Serial vs sharded alias-set consolidation: `merge_labeled_sets` against
+//! `merge_labeled_sets_parallel` on the union-merge workload the experiment
+//! tables run, so future PRs can show the speedup (and its scaling with
+//! thread count) from one bench.
+
+use alias_bench::Experiment;
+use alias_core::merge::{merge_labeled_sets, merge_labeled_sets_parallel};
+use alias_netsim::ScalePreset;
+use alias_scan::ServiceProtocol;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+fn bench_parallel_merge(c: &mut Criterion) {
+    let experiment = Experiment::run(ScalePreset::Small, 11);
+    let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = [
+        ServiceProtocol::Ssh,
+        ServiceProtocol::Bgp,
+        ServiceProtocol::Snmpv3,
+    ]
+    .iter()
+    .map(|&p| (p.name(), experiment.collection(p, None).ipv4_sets()))
+    .collect();
+
+    let mut group = c.benchmark_group("merge_consolidation");
+    group.bench_function("serial", |b| b.iter(|| merge_labeled_sets(&labeled)));
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| b.iter(|| merge_labeled_sets_parallel(&labeled, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_merge);
+criterion_main!(benches);

@@ -1,31 +1,108 @@
 //! Runs every table and figure experiment and writes `EXPERIMENTS.md` with
 //! the measured values next to the paper's published ones.
+//!
+//! Flags:
+//!
+//! * `--json <path>` — additionally record the bench trajectory: run the
+//!   pipeline at 1 thread and at `ALIAS_THREADS` (default: available
+//!   parallelism), verify the two rendered documents are byte-identical,
+//!   and write per-stage wall-clock timings as JSON (the `BENCH_*.json`
+//!   format the CI perf-smoke job uploads).
+//! * `--ceiling-secs <n>` — exit non-zero if the whole invocation exceeds
+//!   `n` seconds of wall-clock (the CI perf gate).
 
-use std::fmt::Write as _;
+use alias_bench::{render_document, scale_from_env, BenchReport, BenchRun, Experiment};
 
 fn main() {
-    let preset = alias_bench::scale_from_env();
-    let experiment = alias_bench::Experiment::from_env();
-    let mut doc = String::new();
-    writeln!(doc, "# EXPERIMENTS — measured reproduction results\n").unwrap();
-    writeln!(
-        doc,
-        "Generated by `cargo run --release -p alias-bench --bin run_all` at scale preset {preset:?}."
-    )
-    .unwrap();
-    writeln!(
-        doc,
-        "The synthetic population is ~1/400 of the paper's SSH/SNMPv3 scale and ~1/40 of its BGP scale \
-         (see DESIGN.md), so absolute counts are smaller; the comparisons below therefore quote the \
-         paper's value alongside the measured one and comment on the *shape*.\n"
-    )
-    .unwrap();
-    for (name, text) in alias_bench::run_all(&experiment) {
-        writeln!(doc, "## {name}\n").unwrap();
-        writeln!(doc, "```text\n{}```\n", text).unwrap();
-    }
+    let started = std::time::Instant::now();
+    let (json_path, ceiling_secs) = parse_args();
+
+    let preset = scale_from_env();
+    let seed = 20230418;
+    let threads = alias_exec::threads_from_env();
+
+    let doc = if let Some(path) = &json_path {
+        // Bench trajectory: serial run first, then the threaded run.
+        let (serial_exp, serial_timings) = Experiment::run_instrumented(preset, seed, 1);
+        let serial_doc = render_document(&serial_exp, preset);
+        drop(serial_exp);
+        let mut runs = vec![BenchRun {
+            threads: 1,
+            stages: serial_timings,
+            total_ms: serial_timings.total_ms(),
+        }];
+        let doc = if threads > 1 {
+            let (exp, timings) = Experiment::run_instrumented(preset, seed, threads);
+            let threaded_doc = render_document(&exp, preset);
+            if threaded_doc != serial_doc {
+                eprintln!(
+                    "determinism violation: rendered output differs between \
+                     1 and {threads} threads"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("determinism check passed: 1 vs {threads} threads byte-identical");
+            runs.push(BenchRun {
+                threads,
+                stages: timings,
+                total_ms: timings.total_ms(),
+            });
+            threaded_doc
+        } else {
+            serial_doc
+        };
+        let report = BenchReport::new("PR2", preset, seed, runs);
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("could not write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench trajectory written to {path} (campaign+merge speedup: {:.2}x)",
+            report.campaign_merge_speedup
+        );
+        doc
+    } else {
+        let experiment = Experiment::run_with_threads(preset, seed, threads);
+        render_document(&experiment, preset)
+    };
+
     println!("{doc}");
     if let Err(err) = std::fs::write("EXPERIMENTS_MEASURED.md", &doc) {
         eprintln!("could not write EXPERIMENTS_MEASURED.md: {err}");
     }
+
+    if let Some(ceiling) = ceiling_secs {
+        let elapsed = started.elapsed().as_secs();
+        if elapsed > ceiling {
+            eprintln!("perf gate FAILED: run_all took {elapsed}s (> {ceiling}s ceiling)");
+            std::process::exit(1);
+        }
+        eprintln!("perf gate passed: run_all took {elapsed}s (<= {ceiling}s ceiling)");
+    }
+}
+
+fn parse_args() -> (Option<String>, Option<u64>) {
+    let mut json_path = None;
+    let mut ceiling_secs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => usage("--json requires a path"),
+            },
+            "--ceiling-secs" => match args.next().map(|raw| raw.parse::<u64>()) {
+                Some(Ok(secs)) => ceiling_secs = Some(secs),
+                _ => usage("--ceiling-secs requires an integer number of seconds"),
+            },
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    (json_path, ceiling_secs)
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: run_all [--json <path>] [--ceiling-secs <n>]");
+    std::process::exit(2);
 }

@@ -19,7 +19,9 @@ use alias_core::dataset::{DatasetFilter, DatasetSummary};
 use alias_core::dual_stack::DualStackReport;
 use alias_core::ecdf::Ecdf;
 use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
-use alias_core::merge::{merge_labeled_sets, MultiServiceStats, ProtocolAttribution};
+use alias_core::merge::{
+    merge_labeled_sets_parallel, MergedSet, MultiServiceStats, ProtocolAttribution,
+};
 use alias_core::report::{format_count, format_pct, render_ecdf, TextTable};
 use alias_core::validation::{common_addresses, cross_validate, validate_against_midar};
 use alias_midar::{Midar, MidarConfig};
@@ -31,15 +33,46 @@ use std::net::IpAddr;
 
 /// Which population size to run the experiments on (`ALIAS_SCALE` env var:
 /// `tiny`, `small` or `paper`).
+///
+/// Unset or empty means the default `paper` shape; an unrecognised value
+/// (e.g. a typo like `papr`) warns on stderr, lists the valid values, and
+/// falls back to the default rather than silently running the biggest
+/// preset.
 pub fn scale_from_env() -> ScalePreset {
-    match std::env::var("ALIAS_SCALE")
-        .unwrap_or_default()
-        .to_lowercase()
-        .as_str()
-    {
+    let raw = std::env::var("ALIAS_SCALE").unwrap_or_default();
+    match raw.to_lowercase().as_str() {
         "tiny" => ScalePreset::Tiny,
         "small" => ScalePreset::Small,
-        _ => ScalePreset::PaperShape,
+        "" | "paper" => ScalePreset::PaperShape,
+        _ => {
+            eprintln!(
+                "warning: unknown ALIAS_SCALE={raw:?}; valid values are \
+                 \"tiny\", \"small\" and \"paper\" — defaulting to \"paper\""
+            );
+            ScalePreset::PaperShape
+        }
+    }
+}
+
+/// Wall-clock milliseconds per pipeline stage of one [`Experiment`] run,
+/// as recorded by [`Experiment::run_instrumented`] — the unit the bench
+/// trajectory (`BENCH_*.json`) is built from.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct StageTimings {
+    /// Generating the synthetic Internet.
+    pub build_internet_ms: u64,
+    /// Collecting the Censys-like snapshot.
+    pub censys_ms: u64,
+    /// The active measurement campaign (all scan phases).
+    pub campaign_ms: u64,
+    /// Consolidating per-protocol alias sets into merged union sets.
+    pub merge_ms: u64,
+}
+
+impl StageTimings {
+    /// Total measured wall-clock across the stages.
+    pub fn total_ms(&self) -> u64 {
+        self.build_internet_ms + self.censys_ms + self.campaign_ms + self.merge_ms
     }
 }
 
@@ -59,18 +92,63 @@ pub struct Experiment {
     pub extractor: IdentifierExtractor,
     /// Simulated time of the active campaign start.
     pub active_start: SimTime,
+    /// Worker threads for the scan and merge stages (1 = serial).  A pure
+    /// performance knob: every experiment output is byte-identical for any
+    /// value.
+    pub threads: usize,
 }
 
 impl Experiment {
     /// Build the Internet, collect the Censys snapshot, apply three weeks of
     /// churn, and run the active campaign — the full data-collection story
-    /// of the paper, in the same order.
+    /// of the paper, in the same order.  Serial (`threads = 1`).
     pub fn run(preset: ScalePreset, seed: u64) -> Self {
+        Self::run_with_threads(preset, seed, 1)
+    }
+
+    /// [`Self::run`] with the campaign and merge stages sharded over
+    /// `threads` workers.
+    pub fn run_with_threads(preset: ScalePreset, seed: u64, threads: usize) -> Self {
+        Self::run_pipeline(preset, seed, threads).0
+    }
+
+    /// [`Self::run_with_threads`] that also reports wall-clock per stage —
+    /// the measurement behind the `BENCH_*.json` trajectory.  Unlike the
+    /// plain constructors this additionally times a representative merge
+    /// stage (which the table functions would otherwise compute on demand).
+    pub fn run_instrumented(
+        preset: ScalePreset,
+        seed: u64,
+        threads: usize,
+    ) -> (Self, StageTimings) {
+        let (experiment, mut timings) = Self::run_pipeline(preset, seed, threads);
+        // The merge stage the headline numbers come from: consolidate the
+        // per-protocol alias sets of both families into union sets.
+        let stage = std::time::Instant::now();
+        for ipv6 in [false, true] {
+            let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = PROTOCOLS
+                .iter()
+                .map(|&p| (p.name(), experiment.collection(p, None).family_sets(ipv6)))
+                .collect();
+            let _ = experiment.merge_labeled(&labeled);
+        }
+        timings.merge_ms = stage.elapsed().as_millis() as u64;
+        (experiment, timings)
+    }
+
+    /// The shared data-collection pipeline: build, snapshot, churn, scan.
+    fn run_pipeline(preset: ScalePreset, seed: u64, threads: usize) -> (Self, StageTimings) {
+        let threads = threads.max(1);
+        let mut timings = StageTimings::default();
         let config = InternetConfig::preset(preset, seed);
         let hitlist_coverage = config.visibility.hitlist_coverage;
+
+        let stage = std::time::Instant::now();
         let mut internet = InternetBuilder::new(config).build();
+        timings.build_internet_ms = stage.elapsed().as_millis() as u64;
 
         // Censys snapshot at day 0.
+        let stage = std::time::Instant::now();
         let snapshot = CensysSnapshot::collect(
             &internet,
             CensysConfig {
@@ -81,6 +159,7 @@ impl Experiment {
         );
         let censys = snapshot.default_port_observations();
         let censys_nonstandard = snapshot.nonstandard_port_observations().len();
+        timings.censys_ms = stage.elapsed().as_millis() as u64;
 
         // Three weeks pass before the active measurement (the paper's
         // snapshot is dated March 28, the active scan April 18).
@@ -88,19 +167,22 @@ impl Experiment {
         internet.apply_churn(SimTime::ZERO, active_start);
 
         // Active campaign from a single vantage point.
+        let stage = std::time::Instant::now();
         let campaign = ActiveCampaign::new(CampaignConfig {
             vantage: VantageKind::SingleVp,
             start: active_start,
             hitlist_coverage,
             seed,
+            threads,
             ..Default::default()
         });
         let active = campaign.run(&internet).observations;
+        timings.campaign_ms = stage.elapsed().as_millis() as u64;
 
         let mut union = active.clone();
         union.extend(censys.iter().cloned());
 
-        Experiment {
+        let experiment = Experiment {
             internet,
             active,
             censys,
@@ -108,12 +190,21 @@ impl Experiment {
             union,
             extractor: IdentifierExtractor::new(ExtractionConfig::paper()),
             active_start,
-        }
+            threads,
+        };
+        (experiment, timings)
     }
 
-    /// Convenience constructor honouring `ALIAS_SCALE`.
+    /// Convenience constructor honouring `ALIAS_SCALE` and `ALIAS_THREADS`.
     pub fn from_env() -> Self {
-        Self::run(scale_from_env(), 20230418)
+        Self::run_with_threads(scale_from_env(), 20230418, alias_exec::threads_from_env())
+    }
+
+    /// Merge labelled set collections on this experiment's thread pool.
+    /// Byte-identical to [`alias_core::merge::merge_labeled_sets`] for any
+    /// thread count.
+    pub fn merge_labeled(&self, inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<MergedSet> {
+        merge_labeled_sets_parallel(inputs, self.threads)
     }
 
     fn observations(&self, source: Option<DataSource>) -> &[ServiceObservation] {
@@ -317,7 +408,7 @@ pub fn table3(exp: &Experiment) -> String {
                 }
                 labeled.push((protocol.name(), sets));
             }
-            let merged = merge_labeled_sets(
+            let merged = exp.merge_labeled(
                 &labeled
                     .iter()
                     .map(|(l, s)| (*l, s.clone()))
@@ -370,7 +461,7 @@ pub fn table4(exp: &Experiment) -> String {
                 .collect(),
         ));
     }
-    let merged = merge_labeled_sets(
+    let merged = exp.merge_labeled(
         &labeled
             .iter()
             .map(|(l, s)| (*l, s.clone()))
@@ -437,15 +528,16 @@ pub fn table5(exp: &Experiment) -> String {
         columns.push(analysis::top_ases(&sets, &asn_map, 10));
         labeled.push((protocol.name(), sets));
     }
-    let merged: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
-        &labeled
-            .iter()
-            .map(|(l, s)| (*l, s.clone()))
-            .collect::<Vec<_>>(),
-    )
-    .into_iter()
-    .map(|m| m.addrs)
-    .collect();
+    let merged: Vec<BTreeSet<IpAddr>> = exp
+        .merge_labeled(
+            &labeled
+                .iter()
+                .map(|(l, s)| (*l, s.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .map(|m| m.addrs)
+        .collect();
     columns.push(analysis::top_ases(&merged, &asn_map, 10));
 
     let mut table = TextTable::new(["Rank", "SSH", "BGP", "SNMPv3", "Union"]);
@@ -487,24 +579,26 @@ pub fn table6(exp: &Experiment) -> String {
                 .collect::<Vec<_>>(),
         ));
     }
-    let v6_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
-        &v6_labeled
-            .iter()
-            .map(|(l, s)| (*l, s.clone()))
-            .collect::<Vec<_>>(),
-    )
-    .into_iter()
-    .map(|m| m.addrs)
-    .collect();
-    let ds_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
-        &ds_labeled
-            .iter()
-            .map(|(l, s)| (*l, s.clone()))
-            .collect::<Vec<_>>(),
-    )
-    .into_iter()
-    .map(|m| m.addrs)
-    .collect();
+    let v6_union: Vec<BTreeSet<IpAddr>> = exp
+        .merge_labeled(
+            &v6_labeled
+                .iter()
+                .map(|(l, s)| (*l, s.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .map(|m| m.addrs)
+        .collect();
+    let ds_union: Vec<BTreeSet<IpAddr>> = exp
+        .merge_labeled(
+            &ds_labeled
+                .iter()
+                .map(|(l, s)| (*l, s.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .map(|m| m.addrs)
+        .collect();
     let v6_top = analysis::top_ases(&v6_union, &asn_map, 10);
     let ds_top = analysis::top_ases(&ds_union, &asn_map, 10);
 
@@ -655,24 +749,26 @@ pub fn figure6(exp: &Experiment) -> String {
                 .collect::<Vec<_>>(),
         ));
     }
-    let alias_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
-        &labeled
-            .iter()
-            .map(|(l, s)| (*l, s.clone()))
-            .collect::<Vec<_>>(),
-    )
-    .into_iter()
-    .map(|m| m.addrs)
-    .collect();
-    let ds_union: Vec<BTreeSet<IpAddr>> = merge_labeled_sets(
-        &ds_labeled
-            .iter()
-            .map(|(l, s)| (*l, s.clone()))
-            .collect::<Vec<_>>(),
-    )
-    .into_iter()
-    .map(|m| m.addrs)
-    .collect();
+    let alias_union: Vec<BTreeSet<IpAddr>> = exp
+        .merge_labeled(
+            &labeled
+                .iter()
+                .map(|(l, s)| (*l, s.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .map(|m| m.addrs)
+        .collect();
+    let ds_union: Vec<BTreeSet<IpAddr>> = exp
+        .merge_labeled(
+            &ds_labeled
+                .iter()
+                .map(|(l, s)| (*l, s.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .map(|m| m.addrs)
+        .collect();
     let alias_counts: Vec<usize> = analysis::sets_per_as(&alias_union, &asn_map)
         .into_values()
         .collect();
@@ -753,7 +849,7 @@ pub fn stats(exp: &Experiment) -> String {
             .iter()
             .map(|&p| (p.name(), exp.collection(p, None).family_sets(ipv6)))
             .collect();
-        let merged = merge_labeled_sets(&labeled);
+        let merged = exp.merge_labeled(&labeled);
         let attribution = ProtocolAttribution::compute(&merged);
         out.push_str(&format!(
             "{} union alias sets: {} total, {} only via SNMPv3, {} via SSH or BGP\n",
@@ -798,6 +894,100 @@ pub fn run_all(exp: &Experiment) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// The short lowercase name of a scale preset, as `ALIAS_SCALE` spells it.
+pub fn scale_name(preset: ScalePreset) -> &'static str {
+    match preset {
+        ScalePreset::Tiny => "tiny",
+        ScalePreset::Small => "small",
+        ScalePreset::PaperShape => "paper",
+    }
+}
+
+/// Render the full `EXPERIMENTS_MEASURED.md` document for one experiment.
+pub fn render_document(exp: &Experiment, preset: ScalePreset) -> String {
+    use std::fmt::Write as _;
+    let mut doc = String::new();
+    writeln!(doc, "# EXPERIMENTS — measured reproduction results\n").unwrap();
+    writeln!(
+        doc,
+        "Generated by `cargo run --release -p alias-bench --bin run_all` at scale preset {preset:?}."
+    )
+    .unwrap();
+    writeln!(
+        doc,
+        "The synthetic population is ~1/400 of the paper's SSH/SNMPv3 scale and ~1/40 of its BGP scale \
+         (see DESIGN.md), so absolute counts are smaller; the comparisons below therefore quote the \
+         paper's value alongside the measured one and comment on the *shape*.\n"
+    )
+    .unwrap();
+    for (name, text) in run_all(exp) {
+        writeln!(doc, "## {name}\n").unwrap();
+        writeln!(doc, "```text\n{}```\n", text).unwrap();
+    }
+    doc
+}
+
+/// One row of the bench trajectory: a full pipeline run at a thread count.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BenchRun {
+    /// Worker threads the pipeline ran with.
+    pub threads: usize,
+    /// Wall-clock per stage.
+    pub stages: StageTimings,
+    /// Total measured wall-clock.
+    pub total_ms: u64,
+}
+
+/// The `BENCH_*.json` document: the perf trajectory a PR records so future
+/// PRs can show their speedup against it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BenchReport {
+    /// Which bench emitted this (e.g. `"PR2"`).
+    pub bench: String,
+    /// Scale preset the runs used.
+    pub scale: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Hardware threads available on the measuring machine.
+    pub available_parallelism: usize,
+    /// One run per thread count, serial first.
+    pub runs: Vec<BenchRun>,
+    /// Campaign+merge wall-clock of the first run divided by the last run
+    /// (1.0 when only one run was recorded or the last run took no time).
+    pub campaign_merge_speedup: f64,
+}
+
+impl BenchReport {
+    /// Assemble a report from measured runs (serial run first).
+    pub fn new(bench: &str, preset: ScalePreset, seed: u64, runs: Vec<BenchRun>) -> Self {
+        let campaign_merge = |run: &BenchRun| run.stages.campaign_ms + run.stages.merge_ms;
+        let speedup = match (runs.first(), runs.last()) {
+            // Both sides must have measured something: at tiny scale a stage
+            // can round down to 0 ms, and a 0-numerator or 0-denominator
+            // "speedup" would poison the recorded trajectory.
+            (Some(first), Some(last))
+                if runs.len() > 1 && campaign_merge(first) > 0 && campaign_merge(last) > 0 =>
+            {
+                campaign_merge(first) as f64 / campaign_merge(last) as f64
+            }
+            _ => 1.0,
+        };
+        BenchReport {
+            bench: bench.to_owned(),
+            scale: scale_name(preset).to_owned(),
+            seed,
+            available_parallelism: alias_exec::available_parallelism(),
+            runs,
+            campaign_merge_speedup: (speedup * 100.0).round() / 100.0,
+        }
+    }
+
+    /// Serialise to JSON (the `BENCH_*.json` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("bench report serialises")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -820,6 +1010,56 @@ mod tests {
         assert!(exp.union.iter().any(|o| o.source == DataSource::Active));
         assert!(exp.union.iter().any(|o| o.source == DataSource::Censys));
         assert!(exp.union.len() > exp.active.len());
+    }
+
+    #[test]
+    fn experiments_are_byte_identical_across_thread_counts() {
+        // The PR-level determinism guarantee: the fully rendered document
+        // (every table, figure and narrative stat) matches the serial run
+        // byte for byte at 2 and 7 threads.
+        let serial = tiny_experiment();
+        let reference = render_document(&serial, ScalePreset::Tiny);
+        for threads in [2usize, 7] {
+            let exp = Experiment::run_with_threads(ScalePreset::Tiny, 7, threads);
+            assert_eq!(
+                render_document(&exp, ScalePreset::Tiny),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_report_round_trips_through_json() {
+        let runs = vec![
+            BenchRun {
+                threads: 1,
+                stages: StageTimings {
+                    build_internet_ms: 100,
+                    censys_ms: 50,
+                    campaign_ms: 400,
+                    merge_ms: 100,
+                },
+                total_ms: 650,
+            },
+            BenchRun {
+                threads: 4,
+                stages: StageTimings {
+                    build_internet_ms: 100,
+                    censys_ms: 50,
+                    campaign_ms: 160,
+                    merge_ms: 40,
+                },
+                total_ms: 350,
+            },
+        ];
+        let report = BenchReport::new("PR2", ScalePreset::Tiny, 7, runs);
+        assert_eq!(report.scale, "tiny");
+        assert!((report.campaign_merge_speedup - 2.5).abs() < 1e-9);
+        let parsed: BenchReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(parsed.runs.len(), 2);
+        assert_eq!(parsed.runs[1].threads, 4);
+        assert_eq!(parsed.bench, "PR2");
     }
 
     #[test]

@@ -29,6 +29,10 @@ impl MergedSet {
 
 /// Merge labelled collections of sets: sets sharing at least one address end
 /// up in the same merged set.
+///
+/// The output is in canonical order — merged sets sorted by their smallest
+/// address — so the serial and [`merge_labeled_sets_parallel`] paths return
+/// identical vectors.
 pub fn merge_labeled_sets(inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<MergedSet> {
     // Index all addresses.
     let mut index: HashMap<IpAddr, usize> = HashMap::new();
@@ -68,13 +72,150 @@ pub fn merge_labeled_sets(inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<Merge
             }
         }
     }
-    members
-        .into_iter()
-        .map(|(root, addrs)| MergedSet {
-            addrs,
-            labels: labels.remove(&root).unwrap_or_default(),
-        })
-        .collect()
+    sort_canonical(
+        members
+            .into_iter()
+            .map(|(root, addrs)| MergedSet {
+                addrs,
+                labels: labels.remove(&root).unwrap_or_default(),
+            })
+            .collect(),
+    )
+}
+
+/// [`merge_labeled_sets`] with `threads` shard workers.
+///
+/// The input sets are split into shards; each worker unions its shard into
+/// a private [`UnionFind`] forest and reports the forest's spanning edges,
+/// which a final boundary pass unions into the global forest.  Membership
+/// materialisation (the `BTreeSet` building, the expensive part) is then
+/// sharded over the address index using the compressed root table.  Because
+/// the merged partition of a set family is unique — independent of union
+/// order — and the output is sorted canonically by smallest member address,
+/// the result is identical to the serial path for every thread count.
+pub fn merge_labeled_sets_parallel(
+    inputs: &[(&str, Vec<BTreeSet<IpAddr>>)],
+    threads: usize,
+) -> Vec<MergedSet> {
+    if threads <= 1 {
+        return merge_labeled_sets(inputs);
+    }
+    // Index all addresses (serial: index assignment follows input order).
+    let mut index: HashMap<IpAddr, usize> = HashMap::new();
+    let mut addr_of: Vec<IpAddr> = Vec::new();
+    for (_, sets) in inputs {
+        for set in sets {
+            for &addr in set {
+                index.entry(addr).or_insert_with(|| {
+                    addr_of.push(addr);
+                    addr_of.len() - 1
+                });
+            }
+        }
+    }
+    let all_sets: Vec<&BTreeSet<IpAddr>> =
+        inputs.iter().flat_map(|(_, sets)| sets.iter()).collect();
+
+    // Per-shard forests over disjoint slices of the input sets.  Each
+    // forest is sized to the addresses its shard actually touches (compact
+    // local ids), not the whole universe — otherwise the O(shards × n)
+    // initialisation would erase the parallel win at scale.
+    let set_ranges = alias_exec::split_even(
+        all_sets.len() as u64,
+        threads * alias_exec::SHARDS_PER_THREAD,
+    );
+    let shard_edges: Vec<Vec<(usize, usize)>> =
+        alias_exec::shard_map(set_ranges.len(), threads, |shard| {
+            let range = &set_ranges[shard];
+            let shard_sets = &all_sets[range.start as usize..range.end as usize];
+            let mut local: HashMap<usize, usize> = HashMap::new();
+            let mut forest = UnionFind::new(0);
+            let mut local_of = |global: usize, forest: &mut UnionFind| -> usize {
+                *local.entry(global).or_insert_with(|| forest.push())
+            };
+            let mut edges = Vec::new();
+            for set in shard_sets {
+                let mut iter = set.iter();
+                if let Some(first) = iter.next() {
+                    let first_global = index[first];
+                    let first_local = local_of(first_global, &mut forest);
+                    for addr in iter {
+                        let other_global = index[addr];
+                        let other_local = local_of(other_global, &mut forest);
+                        // Only spanning edges survive: unions that are
+                        // redundant within the shard are dropped here
+                        // instead of burdening the boundary pass.
+                        if forest.union(first_local, other_local) {
+                            edges.push((first_global, other_global));
+                        }
+                    }
+                }
+            }
+            edges
+        });
+
+    // Boundary pass: union the shard forests' spanning edges.
+    let mut uf = UnionFind::new(addr_of.len());
+    for edges in shard_edges {
+        for (a, b) in edges {
+            uf.union(a, b);
+        }
+    }
+    let roots: Vec<usize> = (0..addr_of.len()).map(|idx| uf.find(idx)).collect();
+
+    // Materialise membership, sharded over the address index.
+    let addr_ranges = alias_exec::split_even(
+        addr_of.len() as u64,
+        threads * alias_exec::SHARDS_PER_THREAD,
+    );
+    let members = alias_exec::shard_reduce(
+        addr_ranges.len(),
+        threads,
+        |shard| {
+            let range = &addr_ranges[shard];
+            let mut members: BTreeMap<usize, BTreeSet<IpAddr>> = BTreeMap::new();
+            for idx in range.start as usize..range.end as usize {
+                members.entry(roots[idx]).or_default().insert(addr_of[idx]);
+            }
+            members
+        },
+        BTreeMap::<usize, BTreeSet<IpAddr>>::new(),
+        |mut acc, part| {
+            for (root, addrs) in part {
+                acc.entry(root).or_default().extend(addrs);
+            }
+            acc
+        },
+    );
+
+    // Attribute labels (one root lookup per input set).
+    let mut labels: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (label, sets) in inputs {
+        for set in sets {
+            if let Some(first) = set.iter().next() {
+                let root = roots[index[first]];
+                labels.entry(root).or_default().insert((*label).to_owned());
+            }
+        }
+    }
+    sort_canonical(
+        members
+            .into_iter()
+            .map(|(root, addrs)| MergedSet {
+                addrs,
+                labels: labels.remove(&root).unwrap_or_default(),
+            })
+            .collect(),
+    )
+}
+
+/// Canonical output order: merged sets sorted by their smallest address.
+/// The sets partition the address space, so smallest members are distinct
+/// and the order is total — and independent of union order, which is what
+/// makes serial and sharded merges comparable byte for byte.
+fn sort_canonical(mut merged: Vec<MergedSet>) -> Vec<MergedSet> {
+    merged.sort_by(|a, b| a.addrs.iter().next().cmp(&b.addrs.iter().next()));
+    merged
 }
 
 /// Convenience: merge unlabelled set lists.
@@ -255,5 +396,102 @@ mod tests {
         assert_eq!(stats.single_fraction(), 0.0);
         let attribution = ProtocolAttribution::compute(&[]);
         assert_eq!(attribution.snmpv3_only_fraction(), 0.0);
+    }
+
+    #[test]
+    fn output_is_sorted_by_smallest_address() {
+        let merged = merge_labeled_sets(&[
+            ("ssh", vec![set(&["10.9.0.1", "10.9.0.2"])]),
+            ("bgp", vec![set(&["10.0.0.5", "10.0.0.6"])]),
+            ("snmpv3", vec![set(&["10.4.0.1"])]),
+        ]);
+        let firsts: Vec<IpAddr> = merged
+            .iter()
+            .map(|m| *m.addrs.iter().next().unwrap())
+            .collect();
+        let mut sorted = firsts.clone();
+        sorted.sort();
+        assert_eq!(firsts, sorted);
+    }
+
+    #[test]
+    fn parallel_merge_matches_serial_for_every_thread_count() {
+        let inputs = vec![
+            (
+                "ssh",
+                vec![
+                    set(&["10.0.0.1", "10.0.0.2"]),
+                    set(&["10.0.1.1", "10.0.1.2", "10.0.1.3"]),
+                    set(&["10.0.2.1"]),
+                ],
+            ),
+            (
+                "bgp",
+                vec![
+                    set(&["10.0.0.2", "10.0.0.3"]),
+                    set(&["10.0.3.1", "10.0.3.2"]),
+                ],
+            ),
+            (
+                "snmpv3",
+                vec![
+                    set(&["10.0.1.3", "10.0.3.1"]),
+                    set(&["10.0.4.1", "10.0.4.2"]),
+                ],
+            ),
+        ];
+        let serial = merge_labeled_sets(&inputs);
+        for threads in [1usize, 2, 7] {
+            assert_eq!(
+                merge_labeled_sets_parallel(&inputs, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_merge_empty_inputs() {
+        assert!(merge_labeled_sets_parallel(&[], 4).is_empty());
+        assert!(merge_labeled_sets_parallel(&[("ssh", vec![])], 4).is_empty());
+    }
+
+    // The paper-scale regression guarantee in miniature: for random
+    // labelled set families, the sharded merge is indistinguishable from
+    // the serial one at 2 and 7 threads.
+    proptest::proptest! {
+        #[test]
+        fn proptest_parallel_merge_parity(
+            families in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(0u16..600, 1..6),
+                    0..40,
+                ),
+                1..4,
+            ),
+        ) {
+            const LABELS: [&str; 4] = ["ssh", "bgp", "snmpv3", "midar"];
+            let inputs: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = families
+                .iter()
+                .enumerate()
+                .map(|(i, sets)| {
+                    let sets: Vec<BTreeSet<IpAddr>> = sets
+                        .iter()
+                        .map(|raw| {
+                            raw.iter()
+                                .map(|&v| {
+                                    IpAddr::from([10, 0, (v >> 8) as u8, (v & 0xff) as u8])
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    (LABELS[i % LABELS.len()], sets)
+                })
+                .collect();
+            let serial = merge_labeled_sets(&inputs);
+            for threads in [2usize, 7] {
+                proptest::prop_assert_eq!(merge_labeled_sets_parallel(&inputs, threads), serial.clone());
+            }
+        }
     }
 }

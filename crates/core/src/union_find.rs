@@ -23,6 +23,15 @@ impl UnionFind {
         self.parent.len()
     }
 
+    /// Append a fresh singleton element, returning its index — lets callers
+    /// grow a forest lazily instead of pre-sizing it to a whole universe.
+    pub fn push(&mut self) -> usize {
+        let element = self.parent.len();
+        self.parent.push(element);
+        self.size.push(1);
+        element
+    }
+
     /// Whether the forest is empty.
     pub fn is_empty(&self) -> bool {
         self.parent.is_empty()
@@ -97,6 +106,21 @@ mod tests {
         assert!(uf.union(1, 3));
         assert!(uf.connected(0, 2));
         assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn push_grows_the_forest_one_singleton_at_a_time() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        let a = uf.push();
+        let b = uf.push();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(uf.len(), 2);
+        assert!(!uf.connected(a, b));
+        assert!(uf.union(a, b));
+        let c = uf.push();
+        assert!(!uf.connected(a, c));
+        assert_eq!(uf.groups().len(), 2);
     }
 
     #[test]

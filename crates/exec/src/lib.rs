@@ -1,0 +1,264 @@
+//! # alias-exec
+//!
+//! Deterministic sharded execution for the alias-resolution pipeline.
+//!
+//! The probing and merging workloads are embarrassingly parallel once the
+//! work is partitioned by address: every shard owns a disjoint slice of an
+//! address-indexed domain (a permutation range, a target list, a list of
+//! alias sets) and can be processed independently.  This crate provides the
+//! one execution primitive the rest of the workspace builds on: a
+//! [`shard_map`] / [`shard_reduce`] pair backed by a `std::thread` worker
+//! pool whose shared state (the shard cursor and the result slots) is
+//! guarded by `parking_lot` locks.
+//!
+//! ## The shard-reduce contract
+//!
+//! Determinism is a hard requirement of the pipeline: the experiment output
+//! must be byte-identical for any thread count.  The contract that makes
+//! this composable is:
+//!
+//! 1. **Pure shards.** The shard job receives only its shard index; its
+//!    result must be a function of that index (plus shared read-only
+//!    state).  Jobs must not communicate or observe completion order.
+//! 2. **Shard-ordered reduction.** Results are *always* reduced in
+//!    ascending shard order, no matter which worker finished first.
+//!    [`shard_map`] returns `results[i] == job(i)` positionally, and
+//!    [`shard_reduce`] folds `job(0), job(1), …, job(shards-1)` exactly
+//!    like a serial loop would.
+//! 3. **Serial equivalence.** With `threads <= 1` the jobs run inline on
+//!    the calling thread, in shard order.  Callers are expected to prove
+//!    (in tests) that their sharded decomposition reproduces the serial
+//!    algorithm for *any* shard/thread count, which then makes the thread
+//!    count a pure performance knob.
+//!
+//! Panics in a shard job propagate to the caller once all workers have
+//! stopped picking up new shards.
+//!
+//! ## Choosing a thread count
+//!
+//! [`threads_from_env`] reads the `ALIAS_THREADS` environment variable and
+//! falls back to [`available_parallelism`]; the experiment harness and the
+//! examples use it so a single knob controls the whole pipeline.
+
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+use std::ops::Range;
+
+/// The number of hardware threads available, with a safe fallback of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// How many shards callers typically create per worker thread: more shards
+/// than threads keeps the pool busy when per-shard cost is uneven, without
+/// affecting the (shard-order-reduced, deterministic) output.
+pub const SHARDS_PER_THREAD: usize = 4;
+
+/// Thread count from the `ALIAS_THREADS` environment variable.
+///
+/// Unset, empty or `0` mean "use [`available_parallelism`]"; anything else
+/// that fails to parse as a positive integer warns on stderr and also falls
+/// back, so a typo degrades performance instead of silently changing
+/// results (which it never could — see the determinism contract).
+pub fn threads_from_env() -> usize {
+    threads_from_value(std::env::var("ALIAS_THREADS").ok().as_deref())
+}
+
+/// [`threads_from_env`]'s parsing rule, split out so it is testable without
+/// mutating the process environment.
+fn threads_from_value(raw: Option<&str>) -> usize {
+    match raw {
+        Some(raw) if !raw.trim().is_empty() => match raw.trim().parse::<usize>() {
+            Ok(0) => available_parallelism(),
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "warning: ALIAS_THREADS={raw:?} is not a positive integer; \
+                     using the available parallelism ({})",
+                    available_parallelism()
+                );
+                available_parallelism()
+            }
+        },
+        _ => available_parallelism(),
+    }
+}
+
+/// Split `[0, n)` into `shards` contiguous ranges whose lengths differ by at
+/// most one, preserving order: concatenating the ranges yields `0..n`.
+///
+/// Fewer than `shards` ranges are returned when `n < shards` (empty shards
+/// are never emitted); zero items yield no ranges.
+pub fn split_even(n: u64, shards: usize) -> Vec<Range<u64>> {
+    let shards = shards.max(1) as u64;
+    let mut out = Vec::new();
+    let base = n / shards;
+    let extra = n % shards;
+    let mut start = 0u64;
+    for shard in 0..shards {
+        let len = base + u64::from(shard < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `job(0..shards)` on a pool of `threads` workers and return the
+/// results in shard order (`result[i] == job(i)`).
+///
+/// With `threads <= 1` or a single shard the jobs run inline, in order, on
+/// the calling thread — the serial reference path.  Workers pull shard
+/// indices from a `parking_lot`-guarded cursor, so shards of uneven cost
+/// balance across the pool, but the returned vector is always positional.
+pub fn shard_map<R, F>(shards: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if shards == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || shards == 1 {
+        return (0..shards).map(job).collect();
+    }
+    let workers = threads.min(shards);
+    let cursor = Mutex::new(0usize);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..shards).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let shard = {
+                    let mut next = cursor.lock();
+                    if *next >= shards {
+                        return;
+                    }
+                    let shard = *next;
+                    *next += 1;
+                    shard
+                };
+                let result = job(shard);
+                slots.lock()[shard] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every shard ran"))
+        .collect()
+}
+
+/// [`shard_map`] followed by a fold over the results **in shard order**.
+///
+/// Equivalent to `shard_map(shards, threads, job).into_iter().fold(init,
+/// fold)` but spelled out as the primitive the pipeline is written
+/// against: parallel map, deterministic shard-ordered reduce.
+pub fn shard_reduce<R, A, F, G>(shards: usize, threads: usize, job: F, init: A, fold: G) -> A
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    shard_map(shards, threads, job).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_even_covers_the_range_in_order() {
+        for n in [0u64, 1, 2, 7, 8, 9, 100] {
+            for shards in [1usize, 2, 3, 7, 8, 200] {
+                let ranges = split_even(n, shards);
+                let mut expected = 0u64;
+                for range in &ranges {
+                    assert_eq!(range.start, expected, "n={n} shards={shards}");
+                    assert!(range.end > range.start, "empty shard for n={n}");
+                    expected = range.end;
+                }
+                assert_eq!(expected, n, "n={n} shards={shards}");
+                assert!(ranges.len() <= shards);
+                // Balanced: lengths differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.end - r.start).min(),
+                    ranges.iter().map(|r| r.end - r.start).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_is_positional_for_any_thread_count() {
+        for threads in [1usize, 2, 3, 8, 32] {
+            let results = shard_map(17, threads, |shard| shard * shard);
+            assert_eq!(results, (0..17).map(|s| s * s).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shard_map_runs_every_shard_exactly_once() {
+        let runs = AtomicUsize::new(0);
+        let results = shard_map(100, 8, |shard| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            shard
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn shard_reduce_folds_in_shard_order() {
+        for threads in [1usize, 2, 7] {
+            let concatenated = shard_reduce(
+                10,
+                threads,
+                |shard| vec![shard, shard + 100],
+                Vec::new(),
+                |mut acc: Vec<usize>, part| {
+                    acc.extend(part);
+                    acc
+                },
+            );
+            let expected: Vec<usize> = (0..10).flat_map(|s| [s, s + 100]).collect();
+            assert_eq!(concatenated, expected);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_a_noop() {
+        let results: Vec<u32> = shard_map(0, 4, |_| unreachable!("no shards"));
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_fine() {
+        let results = shard_map(3, 64, |shard| shard + 1);
+        assert_eq!(results, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_value_parses_and_falls_back() {
+        let fallback = available_parallelism();
+        // Unset, empty, zero and garbage all fall back.
+        assert_eq!(threads_from_value(None), fallback);
+        assert_eq!(threads_from_value(Some("")), fallback);
+        assert_eq!(threads_from_value(Some("   ")), fallback);
+        assert_eq!(threads_from_value(Some("0")), fallback);
+        assert_eq!(threads_from_value(Some("eight")), fallback);
+        assert_eq!(threads_from_value(Some("-3")), fallback);
+        // Valid positive integers are taken verbatim (whitespace tolerated).
+        assert_eq!(threads_from_value(Some("1")), 1);
+        assert_eq!(threads_from_value(Some("7")), 7);
+        assert_eq!(threads_from_value(Some(" 16 ")), 16);
+    }
+}

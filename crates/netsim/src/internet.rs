@@ -19,7 +19,7 @@ use crate::vantage::VantageKind;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{IpAddr, Ipv6Addr};
 
 /// Default TCP port of the SSH service.
@@ -356,8 +356,12 @@ impl Internet {
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ to.as_millis().rotate_left(17));
 
-        // Collect dynamic single-v4 devices per AS.
-        let mut pools: HashMap<Asn, Vec<DeviceId>> = HashMap::new();
+        // Collect dynamic single-v4 devices per AS.  The map must have a
+        // deterministic iteration order: every pool draws from the shared
+        // RNG, so iterating a HashMap here would consume the stream in a
+        // different order on every process run and break the seed
+        // reproducibility guarantee.
+        let mut pools: BTreeMap<Asn, Vec<DeviceId>> = BTreeMap::new();
         for device in &self.devices {
             if device.dynamic_addresses {
                 if let Some(iface) = device.interfaces.first() {

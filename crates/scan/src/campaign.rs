@@ -35,6 +35,10 @@ pub struct CampaignConfig {
     pub hitlist_stale_fraction: f64,
     /// Seed for permutations and the hitlist sample.
     pub seed: u64,
+    /// Worker threads for the scan phases (1 = serial).  The campaign
+    /// output is byte-identical for any value — see `alias-exec`'s
+    /// shard-reduce contract.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -47,6 +51,7 @@ impl Default for CampaignConfig {
             hitlist_coverage: 0.72,
             hitlist_stale_fraction: 0.15,
             seed: 0xa11a5,
+            threads: 1,
         }
     }
 }
@@ -107,10 +112,24 @@ impl ActiveCampaign {
         Self::new(config)
     }
 
+    /// Set the worker-thread count for the scan phases (builder style).
+    /// A pure performance knob: the campaign output is byte-identical for
+    /// any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
     /// Run the campaign.
+    ///
+    /// With `config.threads > 1` each scan phase runs as shard workers over
+    /// disjoint slices of its address space; the observations (including
+    /// timestamps and time-dependent payload bytes) are byte-identical to
+    /// the serial run for any thread count.
     pub fn run(&self, internet: &Internet) -> CampaignData {
         let cfg = &self.config;
         let vantage = cfg.vantage;
+        let threads = cfg.threads.max(1);
         let mut observations = Vec::new();
 
         // Phase 1: IPv4 SYN discovery on ports 22 and 179.
@@ -119,7 +138,7 @@ impl ActiveCampaign {
             rate_pps: cfg.syn_rate_pps,
             seed: cfg.seed,
         });
-        let syn = zmap.scan_ipv4(internet, vantage, cfg.start);
+        let syn = zmap.scan_ipv4_sharded(internet, vantage, cfg.start, threads);
         let mut now = syn.finished_at;
 
         // Phase 2: service scans of the responsive addresses.
@@ -127,23 +146,25 @@ impl ActiveCampaign {
             rate_pps: cfg.grab_rate_pps,
             source: DataSource::Active,
         });
-        let ssh_obs = zgrab.grab(
+        let ssh_obs = zgrab.grab_sharded(
             internet,
             syn.on_port(22),
             22,
             ServiceProtocol::Ssh,
             vantage,
             now,
+            threads,
         );
         now = ssh_obs.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(ssh_obs);
-        let bgp_obs = zgrab.grab(
+        let bgp_obs = zgrab.grab_sharded(
             internet,
             syn.on_port(179),
             179,
             ServiceProtocol::Bgp,
             vantage,
             now,
+            threads,
         );
         now = bgp_obs.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(bgp_obs);
@@ -153,7 +174,7 @@ impl ActiveCampaign {
             rate_pps: cfg.syn_rate_pps,
             source: DataSource::Active,
         });
-        let snmp_obs = snmp.scan_routed_space(internet, vantage, now);
+        let snmp_obs = snmp.scan_routed_space_sharded(internet, vantage, now, threads);
         now = snmp_obs.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(snmp_obs);
 
@@ -164,30 +185,32 @@ impl ActiveCampaign {
             cfg.hitlist_stale_fraction,
             cfg.seed,
         );
-        let v6_syn = zmap.scan_ipv6_list(internet, &hitlist.addrs, vantage, now);
+        let v6_syn = zmap.scan_ipv6_list_sharded(internet, &hitlist.addrs, vantage, now, threads);
         now = v6_syn.finished_at;
-        let v6_ssh = zgrab.grab(
+        let v6_ssh = zgrab.grab_sharded(
             internet,
             v6_syn.on_port(22),
             22,
             ServiceProtocol::Ssh,
             vantage,
             now,
+            threads,
         );
         now = v6_ssh.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(v6_ssh);
-        let v6_bgp = zgrab.grab(
+        let v6_bgp = zgrab.grab_sharded(
             internet,
             v6_syn.on_port(179),
             179,
             ServiceProtocol::Bgp,
             vantage,
             now,
+            threads,
         );
         now = v6_bgp.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(v6_bgp);
         let v6_targets: Vec<IpAddr> = hitlist.addrs.iter().map(|&a| IpAddr::V6(a)).collect();
-        let v6_snmp = snmp.scan(internet, &v6_targets, vantage, now);
+        let v6_snmp = snmp.scan_sharded(internet, &v6_targets, vantage, now, threads);
         now = v6_snmp.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(v6_snmp);
 
@@ -231,6 +254,37 @@ mod tests {
             assert_eq!(obs.source, DataSource::Active);
             assert!(obs.asn.is_some(), "missing ASN annotation for {obs:?}");
             assert!(obs.is_default_port());
+        }
+    }
+
+    #[test]
+    fn sharded_campaign_is_byte_identical_to_serial() {
+        // The determinism guarantee of the execution engine: for several
+        // seeds and thread counts, every observation (addresses, order,
+        // timestamps, time-dependent payload bytes) and the campaign
+        // metadata match the serial run exactly.
+        for seed in [404u64, 2023] {
+            let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
+            let serial = ActiveCampaign::new(CampaignConfig {
+                seed,
+                ..Default::default()
+            })
+            .run(&internet);
+            for threads in [2usize, 7] {
+                let sharded = ActiveCampaign::new(CampaignConfig {
+                    seed,
+                    threads,
+                    ..Default::default()
+                })
+                .run(&internet);
+                assert_eq!(
+                    sharded.observations, serial.observations,
+                    "seed={seed} threads={threads}"
+                );
+                assert_eq!(sharded.hitlist.addrs, serial.hitlist.addrs);
+                assert_eq!(sharded.finished_at, serial.finished_at);
+                assert_eq!(sharded.syn_probes_sent, serial.syn_probes_sent);
+            }
         }
     }
 

@@ -62,6 +62,64 @@ impl IndexPermutation {
             None
         })
     }
+
+    /// Number of raw LCG steps making up one full period (the power-of-two
+    /// modulus).  Raw steps are the shardable unit: splitting `[0,
+    /// raw_len())` into contiguous ranges and concatenating the
+    /// [`Self::iter_raw_range`] outputs reproduces [`Self::iter`] exactly.
+    pub fn raw_len(&self) -> u64 {
+        self.modulus
+    }
+
+    /// The LCG state at raw step `step`, computed in `O(log step)` by
+    /// composing the affine map `x -> multiplier·x + increment (mod m)`
+    /// with itself — this is what lets shard workers jump straight to the
+    /// start of their raw-step range.
+    fn state_at(&self, step: u64) -> u64 {
+        let mask = self.modulus - 1;
+        // Compose `step` applications of (a, c): x -> a·x + c (mod 2^k).
+        let (mut acc_a, mut acc_c) = (1u64, 0u64);
+        let (mut sq_a, mut sq_c) = (self.multiplier & mask, self.increment & mask);
+        let mut remaining = step;
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                // (sq ∘ acc): first acc, then sq.
+                acc_c = sq_a.wrapping_mul(acc_c).wrapping_add(sq_c) & mask;
+                acc_a = sq_a.wrapping_mul(acc_a) & mask;
+            }
+            sq_c = sq_a.wrapping_mul(sq_c).wrapping_add(sq_c) & mask;
+            sq_a = sq_a.wrapping_mul(sq_a) & mask;
+            remaining >>= 1;
+        }
+        let start = self.increment & mask;
+        acc_a.wrapping_mul(start).wrapping_add(acc_c) & mask
+    }
+
+    /// Iterate the in-range indices emitted during raw steps `[start, end)`.
+    ///
+    /// Concatenating the outputs for contiguous raw ranges covering
+    /// `[0, raw_len())` yields exactly the sequence of [`Self::iter`]:
+    /// same values, same order — the foundation of the deterministic
+    /// sharded scan.
+    pub fn iter_raw_range(&self, start: u64, end: u64) -> impl Iterator<Item = u64> + '_ {
+        let end = end.min(self.modulus);
+        let mut state = if start < end { self.state_at(start) } else { 0 };
+        let mut step = start;
+        std::iter::from_fn(move || {
+            while step < end {
+                let value = state;
+                state = state
+                    .wrapping_mul(self.multiplier)
+                    .wrapping_add(self.increment)
+                    % self.modulus;
+                step += 1;
+                if value < self.n {
+                    return Some(value);
+                }
+            }
+            None
+        })
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +166,73 @@ mod tests {
         );
     }
 
+    #[test]
+    fn raw_range_concatenation_reproduces_iter() {
+        for (n, shards) in [
+            (1u64, 2usize),
+            (10, 3),
+            (255, 7),
+            (1000, 2),
+            (1000, 7),
+            (4096, 5),
+        ] {
+            let perm = IndexPermutation::new(n, 99);
+            let serial: Vec<u64> = perm.iter().collect();
+            let raw = perm.raw_len();
+            let chunk = raw.div_ceil(shards as u64);
+            let mut sharded = Vec::new();
+            let mut start = 0;
+            while start < raw {
+                let end = (start + chunk).min(raw);
+                sharded.extend(perm.iter_raw_range(start, end));
+                start = end;
+            }
+            assert_eq!(sharded, serial, "n={n} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn raw_range_jump_matches_sequential_walk() {
+        let perm = IndexPermutation::new(1000, 0xfeed);
+        let full: Vec<u64> = perm.iter_raw_range(0, perm.raw_len()).collect();
+        assert_eq!(full, perm.iter().collect::<Vec<u64>>());
+        // Jumping to an arbitrary raw offset matches skipping there.
+        let raw = perm.raw_len();
+        for offset in [1u64, 7, 100, raw - 1, raw] {
+            let jumped: Vec<u64> = perm.iter_raw_range(offset, raw).collect();
+            // Walk serially counting raw steps to find the expected suffix.
+            let mut expected = Vec::new();
+            let mut state = perm.increment % perm.modulus;
+            for step in 0..raw {
+                if step >= offset && state < perm.n {
+                    expected.push(state);
+                }
+                state = state
+                    .wrapping_mul(perm.multiplier)
+                    .wrapping_add(perm.increment)
+                    % perm.modulus;
+            }
+            assert_eq!(jumped, expected, "offset={offset}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn proptest_raw_range_sharding(n in 1u64..2000, seed in any::<u64>(), shards in 1usize..9) {
+            let perm = IndexPermutation::new(n, seed);
+            let serial: Vec<u64> = perm.iter().collect();
+            let raw = perm.raw_len();
+            let chunk = raw.div_ceil(shards as u64).max(1);
+            let mut sharded = Vec::new();
+            let mut start = 0;
+            while start < raw {
+                let end = (start + chunk).min(raw);
+                sharded.extend(perm.iter_raw_range(start, end));
+                start = end;
+            }
+            prop_assert_eq!(sharded, serial);
+        }
+
         #[test]
         fn proptest_bijection(n in 1u64..3000, seed in any::<u64>()) {
             let perm = IndexPermutation::new(n, seed);

@@ -50,11 +50,27 @@ impl SnmpScanner {
         start: SimTime,
     ) -> Vec<ServiceObservation> {
         let mut bucket = TokenBucket::new(self.config.rate_pps, 32.0, start);
-        let mut now = start;
+        self.scan_slice(internet, targets, 0, vantage, &mut bucket, start)
+    }
+
+    /// The probe loop shared verbatim by the serial and sharded paths: one
+    /// paced discovery request per target, with message ids continuing the
+    /// global sequence from `global_offset` and `bucket` resuming its
+    /// pacing schedule from `now`.  A single copy keeps the byte-identity
+    /// contract between the two paths structural.
+    fn scan_slice(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        global_offset: usize,
+        vantage: VantageKind,
+        bucket: &mut TokenBucket,
+        mut now: SimTime,
+    ) -> Vec<ServiceObservation> {
         let mut observations = Vec::new();
         for (offset, &addr) in targets.iter().enumerate() {
             now = bucket.acquire(now);
-            let msg_id = 0x0101 + offset as i64;
+            let msg_id = 0x0101 + (global_offset + offset) as i64;
             let request = Snmpv3Message::DiscoveryRequest { msg_id }.to_bytes();
             let ctx = ProbeContext { vantage, time: now };
             let Some(reply) = internet.snmp_probe(addr, &request, &ctx) else {
@@ -79,6 +95,62 @@ impl SnmpScanner {
         observations
     }
 
+    /// [`Self::scan`] with `threads` shard workers over disjoint slices of
+    /// the target list.
+    ///
+    /// Byte-identical to the serial path for any thread count: shards
+    /// resume the serial token-bucket schedule (fast-forwarded to their
+    /// first target) and use the same global message-id sequence, so the
+    /// engine-time values in the Report payloads — which depend on the
+    /// probe time — match the serial scan probe for probe.
+    pub fn scan_sharded(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> Vec<ServiceObservation> {
+        if threads <= 1 {
+            return self.scan(internet, targets, vantage, start);
+        }
+        let ranges = alias_exec::split_even(
+            targets.len() as u64,
+            threads * alias_exec::SHARDS_PER_THREAD,
+        );
+        let mut boundary = TokenBucket::new(self.config.rate_pps, 32.0, start);
+        let mut now = start;
+        let starts: Vec<(TokenBucket, SimTime)> = ranges
+            .iter()
+            .map(|range| {
+                let state = (boundary.clone(), now);
+                now = boundary.advance(now, range.end - range.start);
+                state
+            })
+            .collect();
+        alias_exec::shard_reduce(
+            ranges.len(),
+            threads,
+            |shard| {
+                let range = &ranges[shard];
+                let (mut bucket, now) = starts[shard].clone();
+                self.scan_slice(
+                    internet,
+                    &targets[range.start as usize..range.end as usize],
+                    range.start as usize,
+                    vantage,
+                    &mut bucket,
+                    now,
+                )
+            },
+            Vec::new(),
+            |mut all: Vec<ServiceObservation>, part| {
+                all.extend(part);
+                all
+            },
+        )
+    }
+
     /// Probe every IPv4 address in the routed prefixes (the paper's
     /// Internet-wide SNMPv3 scan).
     pub fn scan_routed_space(
@@ -87,11 +159,22 @@ impl SnmpScanner {
         vantage: VantageKind,
         start: SimTime,
     ) -> Vec<ServiceObservation> {
+        self.scan_routed_space_sharded(internet, vantage, start, 1)
+    }
+
+    /// [`Self::scan_routed_space`] with `threads` shard workers.
+    pub fn scan_routed_space_sharded(
+        &self,
+        internet: &Internet,
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> Vec<ServiceObservation> {
         let mut targets = Vec::new();
         for prefix in internet.routed_v4_prefixes() {
             targets.extend(prefix.iter().map(IpAddr::V4));
         }
-        self.scan(internet, &targets, vantage, start)
+        self.scan_sharded(internet, &targets, vantage, start, threads)
     }
 }
 
@@ -140,6 +223,28 @@ mod tests {
                 ServicePayload::Snmpv3 { engine_id, .. } => assert_eq!(engine_id, expected),
                 other => panic!("unexpected payload {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn sharded_snmp_scan_is_byte_identical_to_serial() {
+        // Engine-time values in the Report payloads depend on probe time,
+        // so whole-observation equality proves the shards resume the serial
+        // pacing and message-id schedules exactly.
+        let internet = internet();
+        let serial = SnmpScanner::new(SnmpScanConfig::default()).scan_routed_space(
+            &internet,
+            VantageKind::Distributed,
+            SimTime::ZERO,
+        );
+        for threads in [2usize, 7] {
+            let sharded = SnmpScanner::new(SnmpScanConfig::default()).scan_routed_space_sharded(
+                &internet,
+                VantageKind::Distributed,
+                SimTime::ZERO,
+                threads,
+            );
+            assert_eq!(sharded, serial, "threads={threads}");
         }
     }
 

@@ -63,7 +63,7 @@ impl ZmapScanner {
         ZmapScanner { config }
     }
 
-    /// Sweep every routed IPv4 prefix of `internet`.
+    /// Sweep every routed IPv4 prefix of `internet` on a single thread.
     pub fn scan_ipv4(
         &self,
         internet: &Internet,
@@ -72,22 +72,7 @@ impl ZmapScanner {
     ) -> ZmapResults {
         // Flatten the routed prefixes into a single index space so the
         // permutation spreads probes across all networks.
-        let prefixes = internet.routed_v4_prefixes();
-        let mut offsets = Vec::with_capacity(prefixes.len());
-        let mut total: u64 = 0;
-        for prefix in &prefixes {
-            offsets.push(total);
-            total += prefix.size();
-        }
-        let index_to_addr = |index: u64| -> Ipv4Addr {
-            // Binary search for the prefix containing this index.
-            let slot = match offsets.binary_search(&index) {
-                Ok(exact) => exact,
-                Err(insert) => insert - 1,
-            };
-            let prefix = prefixes[slot];
-            Ipv4Addr::from(u32::from(prefix.base) + (index - offsets[slot]) as u32)
-        };
+        let (prefixes, offsets, total) = flatten_prefixes(internet);
 
         let mut results = ZmapResults::default();
         for &port in &self.config.ports {
@@ -97,7 +82,7 @@ impl ZmapScanner {
         let permutation = IndexPermutation::new(total, self.config.seed);
         let mut now = start;
         for index in permutation.iter() {
-            let addr = IpAddr::V4(index_to_addr(index));
+            let addr = IpAddr::V4(index_to_addr(&prefixes, &offsets, index));
             for &port in &self.config.ports {
                 now = bucket.acquire(now);
                 results.probes_sent += 1;
@@ -112,6 +97,74 @@ impl ZmapScanner {
             }
         }
         results.finished_at = now;
+        results
+    }
+
+    /// Sweep every routed IPv4 prefix with `threads` shard workers over
+    /// disjoint slices of the permuted address space.
+    ///
+    /// Output is byte-identical to [`Self::scan_ipv4`] for any thread
+    /// count: a SYN result does not depend on the probe's send time, shard
+    /// outputs are concatenated in shard order (which reproduces the serial
+    /// discovery order), and the finish time is the serial token-bucket
+    /// schedule replayed over the same probe count.
+    pub fn scan_ipv4_sharded(
+        &self,
+        internet: &Internet,
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> ZmapResults {
+        if threads <= 1 {
+            return self.scan_ipv4(internet, vantage, start);
+        }
+        let (prefixes, offsets, total) = flatten_prefixes(internet);
+        let permutation = IndexPermutation::new(total, self.config.seed);
+        let ports = &self.config.ports;
+
+        // Shard the raw LCG step range: concatenating the in-range values of
+        // contiguous raw-step slices reproduces the serial permutation order.
+        let ranges = alias_exec::split_even(
+            permutation.raw_len(),
+            threads * alias_exec::SHARDS_PER_THREAD,
+        );
+        let per_shard: Vec<Vec<Vec<IpAddr>>> =
+            alias_exec::shard_map(ranges.len(), threads, |shard| {
+                let mut found: Vec<Vec<IpAddr>> = vec![Vec::new(); ports.len()];
+                let range = &ranges[shard];
+                for index in permutation.iter_raw_range(range.start, range.end) {
+                    let addr = IpAddr::V4(index_to_addr(&prefixes, &offsets, index));
+                    for (slot, &port) in ports.iter().enumerate() {
+                        let ctx = ProbeContext {
+                            vantage,
+                            time: start,
+                        };
+                        if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
+                            found[slot].push(addr);
+                        }
+                    }
+                }
+                found
+            });
+
+        let mut results = ZmapResults::default();
+        for &port in ports {
+            results.responsive.insert(port, Vec::new());
+        }
+        for found in per_shard {
+            for (slot, addrs) in found.into_iter().enumerate() {
+                results
+                    .responsive
+                    .get_mut(&ports[slot])
+                    .expect("port pre-registered")
+                    .extend(addrs);
+            }
+        }
+        results.probes_sent = total * ports.len() as u64;
+        // Replay the serial pacing schedule to land on the identical finish
+        // time (the bucket is a pure function of the probe count).
+        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
+        results.finished_at = bucket.advance(start, results.probes_sent);
         results
     }
 
@@ -148,6 +201,91 @@ impl ZmapScanner {
         results.finished_at = now;
         results
     }
+
+    /// [`Self::scan_ipv6_list`] with `threads` shard workers over disjoint
+    /// slices of the target list; byte-identical output for any thread
+    /// count.
+    pub fn scan_ipv6_list_sharded(
+        &self,
+        internet: &Internet,
+        targets: &[Ipv6Addr],
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> ZmapResults {
+        if threads <= 1 {
+            return self.scan_ipv6_list(internet, targets, vantage, start);
+        }
+        let ports = &self.config.ports;
+        let ranges = alias_exec::split_even(
+            targets.len() as u64,
+            threads * alias_exec::SHARDS_PER_THREAD,
+        );
+        let per_shard: Vec<Vec<Vec<IpAddr>>> =
+            alias_exec::shard_map(ranges.len(), threads, |shard| {
+                let mut found: Vec<Vec<IpAddr>> = vec![Vec::new(); ports.len()];
+                let range = &ranges[shard];
+                for &addr in &targets[range.start as usize..range.end as usize] {
+                    let addr = IpAddr::V6(addr);
+                    for (slot, &port) in ports.iter().enumerate() {
+                        let ctx = ProbeContext {
+                            vantage,
+                            time: start,
+                        };
+                        if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
+                            found[slot].push(addr);
+                        }
+                    }
+                }
+                found
+            });
+        let mut results = ZmapResults::default();
+        for &port in ports {
+            results.responsive.insert(port, Vec::new());
+        }
+        for found in per_shard {
+            for (slot, addrs) in found.into_iter().enumerate() {
+                results
+                    .responsive
+                    .get_mut(&ports[slot])
+                    .expect("port pre-registered")
+                    .extend(addrs);
+            }
+        }
+        results.probes_sent = targets.len() as u64 * ports.len() as u64;
+        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
+        results.finished_at = bucket.advance(start, results.probes_sent);
+        results
+    }
+}
+
+/// Flatten the routed prefixes into a single index space `[0, total)`.
+fn flatten_prefixes(
+    internet: &Internet,
+) -> (Vec<alias_netsim::topology::Ipv4Prefix>, Vec<u64>, u64) {
+    let prefixes = internet.routed_v4_prefixes();
+    let mut offsets = Vec::with_capacity(prefixes.len());
+    let mut total: u64 = 0;
+    for prefix in &prefixes {
+        offsets.push(total);
+        total += prefix.size();
+    }
+    (prefixes, offsets, total)
+}
+
+/// Map a flattened index back to the concrete IPv4 address.
+fn index_to_addr(
+    prefixes: &[alias_netsim::topology::Ipv4Prefix],
+    offsets: &[u64],
+    index: u64,
+) -> Ipv4Addr {
+    // Binary search for the prefix containing this index.
+    let slot = match offsets.binary_search(&index) {
+        Ok(exact) => exact,
+        Err(insert) => insert - 1,
+    };
+    let prefix = prefixes[slot];
+    Ipv4Addr::from(u32::from(prefix.base) + (index - offsets[slot]) as u32)
 }
 
 #[cfg(test)]
@@ -253,6 +391,58 @@ mod tests {
                 IpAddr::V6(v6) => assert!(subset.contains(v6)),
                 IpAddr::V4(_) => panic!("IPv6 scan returned an IPv4 address"),
             }
+        }
+    }
+
+    #[test]
+    fn sharded_ipv4_scan_is_byte_identical_to_serial() {
+        for seed in [77u64, 9] {
+            let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
+            let scanner = ZmapScanner::new(ZmapConfig {
+                seed,
+                ..Default::default()
+            });
+            let serial = scanner.scan_ipv4(&internet, VantageKind::SingleVp, SimTime::ZERO);
+            for threads in [2usize, 7] {
+                let sharded = scanner.scan_ipv4_sharded(
+                    &internet,
+                    VantageKind::SingleVp,
+                    SimTime::ZERO,
+                    threads,
+                );
+                for port in [22u16, 179] {
+                    assert_eq!(
+                        sharded.on_port(port),
+                        serial.on_port(port),
+                        "seed={seed} threads={threads} port={port}"
+                    );
+                }
+                assert_eq!(sharded.probes_sent, serial.probes_sent);
+                assert_eq!(sharded.finished_at, serial.finished_at);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ipv6_list_scan_is_byte_identical_to_serial() {
+        let internet = internet();
+        let targets = internet.active_ipv6_service_addrs();
+        let scanner = ZmapScanner::new(ZmapConfig::default());
+        let serial =
+            scanner.scan_ipv6_list(&internet, &targets, VantageKind::Distributed, SimTime::ZERO);
+        for threads in [2usize, 7] {
+            let sharded = scanner.scan_ipv6_list_sharded(
+                &internet,
+                &targets,
+                VantageKind::Distributed,
+                SimTime::ZERO,
+                threads,
+            );
+            for port in [22u16, 179] {
+                assert_eq!(sharded.on_port(port), serial.on_port(port));
+            }
+            assert_eq!(sharded.probes_sent, serial.probes_sent);
+            assert_eq!(sharded.finished_at, serial.finished_at);
         }
     }
 

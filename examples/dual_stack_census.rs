@@ -14,7 +14,9 @@ fn main() {
     let hitlist = Ipv6Hitlist::generate(&internet, 0.7, 0.2, 99);
     println!("IPv6 hitlist carries {} candidate addresses", hitlist.len());
 
-    let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+    let data = ActiveCampaign::with_defaults(&internet)
+        .with_threads(alias_resolution::exec::threads_from_env())
+        .run(&internet);
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
 
     let mut total_sets = 0usize;

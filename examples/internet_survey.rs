@@ -19,6 +19,7 @@ fn main() {
 
     // Our own active measurement from a single vantage point.
     let active = ActiveCampaign::with_defaults(&internet)
+        .with_threads(alias_resolution::exec::threads_from_env())
         .run(&internet)
         .observations;
 

@@ -12,7 +12,9 @@ use std::net::IpAddr;
 
 fn main() {
     let internet = InternetBuilder::new(InternetConfig::small(555)).build();
-    let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+    let data = ActiveCampaign::with_defaults(&internet)
+        .with_threads(alias_resolution::exec::threads_from_env())
+        .run(&internet);
 
     // SSH alias sets from the active scan.
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());

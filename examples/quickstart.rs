@@ -18,8 +18,10 @@ fn main() {
 
     // 2. The two-phase active measurement: ZMap SYN discovery followed by
     //    ZGrab-style service scans, plus SNMPv3 discovery and an IPv6
-    //    hitlist, all from a single vantage point.
-    let campaign = ActiveCampaign::with_defaults(&internet);
+    //    hitlist, all from a single vantage point.  The thread count
+    //    (ALIAS_THREADS, default: all cores) never changes the output.
+    let campaign = ActiveCampaign::with_defaults(&internet)
+        .with_threads(alias_resolution::exec::threads_from_env());
     let data = campaign.run(&internet);
     println!(
         "Campaign finished after {:.1} simulated hours with {} observations",

@@ -11,6 +11,7 @@
 //!
 //! * [`wire`] — BGP / SSH / SNMPv3 / TCP-IP wire formats,
 //! * [`netsim`] — the synthetic Internet used as the measurement substrate,
+//! * [`exec`] — the deterministic sharded execution engine (worker pool),
 //! * [`scan`] — ZMap/ZGrab2-style scanners, IPv6 hitlists, IPID probing,
 //! * [`censys`] — Censys-like distributed snapshots,
 //! * [`midar`] — Ally / MIDAR / Speedtrap / iffinder baselines,
@@ -40,6 +41,7 @@
 
 pub use alias_censys as censys;
 pub use alias_core as core;
+pub use alias_exec as exec;
 pub use alias_midar as midar;
 pub use alias_netsim as netsim;
 pub use alias_scan as scan;

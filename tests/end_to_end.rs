@@ -207,3 +207,37 @@ fn identifier_policy_ablation_shows_why_the_full_identifier_is_used() {
     );
     assert_eq!(key_only.all_addresses(), full.all_addresses());
 }
+
+#[test]
+fn parallel_execution_reproduces_the_serial_pipeline_end_to_end() {
+    // The facade-level determinism guarantee: campaign observations and the
+    // merged union sets are identical whether the pipeline runs serially or
+    // sharded over a worker pool (2 and 7 threads, two seeds).
+    for seed in [109u64, 110] {
+        let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
+        let serial = ActiveCampaign::with_defaults(&internet).run(&internet);
+        let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = [
+            ServiceProtocol::Ssh,
+            ServiceProtocol::Bgp,
+            ServiceProtocol::Snmpv3,
+        ]
+        .iter()
+        .map(|&p| (p.name(), collection(&serial.observations, p).ipv4_sets()))
+        .collect();
+        let merged_serial = merge_labeled_sets(&labeled);
+        for threads in [2usize, 7] {
+            let sharded = ActiveCampaign::with_defaults(&internet)
+                .with_threads(threads)
+                .run(&internet);
+            assert_eq!(
+                sharded.observations, serial.observations,
+                "seed={seed} threads={threads}"
+            );
+            assert_eq!(
+                alias_resolution::core::merge::merge_labeled_sets_parallel(&labeled, threads),
+                merged_serial,
+                "seed={seed} threads={threads}"
+            );
+        }
+    }
+}
