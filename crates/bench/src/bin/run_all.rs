@@ -7,7 +7,9 @@
 //!   pipeline at 1 thread and at `ALIAS_THREADS` (default: available
 //!   parallelism), verify the two rendered documents are byte-identical,
 //!   and write per-stage wall-clock timings as JSON (the `BENCH_*.json`
-//!   format the CI perf-smoke job uploads).
+//!   format the CI perf-smoke job uploads).  Every run row also carries
+//!   the per-technique timing breakdown from the `Resolver`'s
+//!   `ResolutionReport` — a schema-compatible superset of the PR2 format.
 //! * `--ceiling-secs <n>` — exit non-zero if the whole invocation exceeds
 //!   `n` seconds of wall-clock (the CI perf gate).
 
@@ -25,11 +27,13 @@ fn main() {
         // Bench trajectory: serial run first, then the threaded run.
         let (serial_exp, serial_timings) = Experiment::run_instrumented(preset, seed, 1);
         let serial_doc = render_document(&serial_exp, preset);
+        let serial_techniques = serial_exp.resolution.technique_timings.clone();
         drop(serial_exp);
         let mut runs = vec![BenchRun {
             threads: 1,
             stages: serial_timings,
             total_ms: serial_timings.total_ms(),
+            technique_ms: serial_techniques,
         }];
         let doc = if threads > 1 {
             let (exp, timings) = Experiment::run_instrumented(preset, seed, threads);
@@ -46,12 +50,13 @@ fn main() {
                 threads,
                 stages: timings,
                 total_ms: timings.total_ms(),
+                technique_ms: exp.resolution.technique_timings.clone(),
             });
             threaded_doc
         } else {
             serial_doc
         };
-        let report = BenchReport::new("PR2", preset, seed, runs);
+        let report = BenchReport::new("PR3", preset, seed, runs);
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("could not write {path}: {err}");
             std::process::exit(1);

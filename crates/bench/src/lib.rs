@@ -26,10 +26,13 @@ use alias_core::report::{format_count, format_pct, render_ecdf, TextTable};
 use alias_core::validation::{common_addresses, cross_validate, validate_against_midar};
 use alias_midar::{Midar, MidarConfig};
 use alias_netsim::{Internet, InternetBuilder, InternetConfig, ScalePreset, SimTime, VantageKind};
-use alias_scan::campaign::{ActiveCampaign, CampaignConfig};
+use alias_resolve::{ResolutionReport, Resolver};
+use alias_scan::campaign::CampaignConfig;
 use alias_scan::{DataSource, ServiceObservation, ServiceProtocol};
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
+
+pub use alias_resolve::{StageTimings, TechniqueTiming};
 
 /// Which population size to run the experiments on (`ALIAS_SCALE` env var:
 /// `tiny`, `small` or `paper`).
@@ -54,28 +57,6 @@ pub fn scale_from_env() -> ScalePreset {
     }
 }
 
-/// Wall-clock milliseconds per pipeline stage of one [`Experiment`] run,
-/// as recorded by [`Experiment::run_instrumented`] — the unit the bench
-/// trajectory (`BENCH_*.json`) is built from.
-#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
-pub struct StageTimings {
-    /// Generating the synthetic Internet.
-    pub build_internet_ms: u64,
-    /// Collecting the Censys-like snapshot.
-    pub censys_ms: u64,
-    /// The active measurement campaign (all scan phases).
-    pub campaign_ms: u64,
-    /// Consolidating per-protocol alias sets into merged union sets.
-    pub merge_ms: u64,
-}
-
-impl StageTimings {
-    /// Total measured wall-clock across the stages.
-    pub fn total_ms(&self) -> u64 {
-        self.build_internet_ms + self.censys_ms + self.campaign_ms + self.merge_ms
-    }
-}
-
 /// Everything the experiment binaries need, computed once.
 pub struct Experiment {
     /// The simulated Internet (after churn).
@@ -96,6 +77,10 @@ pub struct Experiment {
     /// performance knob: every experiment output is byte-identical for any
     /// value.
     pub threads: usize,
+    /// The unified [`Resolver`] run over the active campaign: per-technique
+    /// alias sets, merged sets, coverage/agreement statistics and the
+    /// per-technique timing breakdown the bench trajectory records.
+    pub resolution: ResolutionReport,
 }
 
 impl Experiment {
@@ -166,18 +151,28 @@ impl Experiment {
         let active_start = SimTime::from_days(21);
         internet.apply_churn(SimTime::ZERO, active_start);
 
-        // Active campaign from a single vantage point.
-        let stage = std::time::Instant::now();
-        let campaign = ActiveCampaign::new(CampaignConfig {
-            vantage: VantageKind::SingleVp,
-            start: active_start,
-            hitlist_coverage,
-            seed,
-            threads,
-            ..Default::default()
-        });
-        let active = campaign.run(&internet).observations;
-        timings.campaign_ms = stage.elapsed().as_millis() as u64;
+        // Active campaign from a single vantage point, followed by
+        // per-technique resolution and the cross-technique merge — all
+        // orchestrated by the unified `Resolver`.
+        let resolver = Resolver::builder()
+            .paper_techniques()
+            .threads(threads)
+            .campaign(CampaignConfig {
+                vantage: VantageKind::SingleVp,
+                start: active_start,
+                hitlist_coverage,
+                seed,
+                threads,
+                ..Default::default()
+            })
+            .build();
+        let mut resolution = resolver.resolve(&internet);
+        timings.campaign_ms = resolution.timings.campaign_ms;
+        let active = resolution
+            .campaign
+            .take()
+            .expect("the resolver ran the scan itself")
+            .observations;
 
         let mut union = active.clone();
         union.extend(censys.iter().cloned());
@@ -191,6 +186,7 @@ impl Experiment {
             extractor: IdentifierExtractor::new(ExtractionConfig::paper()),
             active_start,
             threads,
+            resolution,
         };
         (experiment, timings)
     }
@@ -936,6 +932,10 @@ pub struct BenchRun {
     pub stages: StageTimings,
     /// Total measured wall-clock.
     pub total_ms: u64,
+    /// Per-technique timing breakdown from the run's
+    /// [`ResolutionReport`] (a schema-compatible superset of the
+    /// `BENCH_PR2.json` row format, which lacked this field).
+    pub technique_ms: Vec<TechniqueTiming>,
 }
 
 /// The `BENCH_*.json` document: the perf trajectory a PR records so future
@@ -1041,6 +1041,10 @@ mod tests {
                     merge_ms: 100,
                 },
                 total_ms: 650,
+                technique_ms: vec![TechniqueTiming {
+                    technique: "ssh".to_owned(),
+                    resolve_ms: 30,
+                }],
             },
             BenchRun {
                 threads: 4,
@@ -1051,15 +1055,50 @@ mod tests {
                     merge_ms: 40,
                 },
                 total_ms: 350,
+                technique_ms: vec![TechniqueTiming {
+                    technique: "ssh".to_owned(),
+                    resolve_ms: 12,
+                }],
             },
         ];
-        let report = BenchReport::new("PR2", ScalePreset::Tiny, 7, runs);
+        let report = BenchReport::new("PR3", ScalePreset::Tiny, 7, runs);
         assert_eq!(report.scale, "tiny");
         assert!((report.campaign_merge_speedup - 2.5).abs() < 1e-9);
         let parsed: BenchReport = serde_json::from_str(&report.to_json()).unwrap();
         assert_eq!(parsed.runs.len(), 2);
         assert_eq!(parsed.runs[1].threads, 4);
-        assert_eq!(parsed.bench, "PR2");
+        assert_eq!(parsed.runs[1].technique_ms[0].technique, "ssh");
+        assert_eq!(parsed.runs[1].technique_ms[0].resolve_ms, 12);
+        assert_eq!(parsed.bench, "PR3");
+    }
+
+    #[test]
+    fn resolution_report_matches_the_legacy_collection_path() {
+        // The redesign guarantee at harness level: the Resolver-produced
+        // per-technique sets equal what the table functions compute through
+        // `Experiment::collection` over the same (active) observations.
+        let exp = tiny_experiment();
+        assert_eq!(exp.resolution.techniques.len(), PROTOCOLS.len());
+        for protocol in PROTOCOLS {
+            let result = exp
+                .resolution
+                .technique(protocol.name())
+                .expect("paper technique present");
+            let legacy = exp.collection(protocol, Some(DataSource::Active));
+            let legacy_sets = alias_resolve::canonical_sets(
+                legacy
+                    .non_singleton_sets()
+                    .into_iter()
+                    .map(|s| s.addrs.clone())
+                    .collect(),
+            );
+            assert_eq!(result.alias_sets, legacy_sets, "{}", protocol.name());
+        }
+        assert_eq!(
+            exp.resolution.technique_timings.len(),
+            exp.resolution.techniques.len()
+        );
+        assert!(!exp.resolution.merged.is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::extract::IdentifierExtractor;
 use crate::identifier::ProtocolIdentifier;
-use alias_scan::ServiceObservation;
+use alias_scan::{ObservationSink, ServiceObservation};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
@@ -47,42 +47,87 @@ pub struct AliasSetCollection {
     asn_of: HashMap<IpAddr, u32>,
 }
 
-impl AliasSetCollection {
-    /// Group `observations` by extracted identifier.
-    ///
-    /// Observations the extractor cannot identify are dropped, exactly as
-    /// the paper drops hosts whose scan did not yield the required material.
-    /// Grouping is identifier-based, so observations of the same address
-    /// from several sources collapse naturally.
-    pub fn from_observations<'a, I>(observations: I, extractor: &IdentifierExtractor) -> Self
-    where
-        I: IntoIterator<Item = &'a ServiceObservation>,
-    {
-        let mut by_identifier: HashMap<ProtocolIdentifier, BTreeSet<IpAddr>> = HashMap::new();
-        let mut asn_of = HashMap::new();
-        for obs in observations {
-            let Some(identifier) = extractor.extract(obs) else {
-                continue;
-            };
-            by_identifier
-                .entry(identifier)
-                .or_default()
-                .insert(obs.addr);
-            if let Some(asn) = obs.asn {
-                asn_of.insert(obs.addr, asn);
-            }
+/// Streaming construction of an [`AliasSetCollection`]: push observations
+/// one at a time (or as an [`ObservationSink`] fed by a producer), then
+/// [`finish`](Self::finish).
+///
+/// This is the single-pass path behind
+/// [`AliasSetCollection::from_observations`]; producers that stream —
+/// `CampaignData::stream_into`, record replayers — can group without ever
+/// materialising a `Vec<&ServiceObservation>` in between.
+#[derive(Debug, Clone, Default)]
+pub struct AliasSetBuilder {
+    extractor: IdentifierExtractor,
+    by_identifier: HashMap<ProtocolIdentifier, BTreeSet<IpAddr>>,
+    asn_of: HashMap<IpAddr, u32>,
+}
+
+impl AliasSetBuilder {
+    /// A builder grouping with the given extraction policies.
+    pub fn new(extractor: IdentifierExtractor) -> Self {
+        AliasSetBuilder {
+            extractor,
+            by_identifier: HashMap::new(),
+            asn_of: HashMap::new(),
         }
-        let mut sets: Vec<AliasSet> = by_identifier
+    }
+
+    /// Consume one observation.  Observations the extractor cannot identify
+    /// are dropped, exactly as the paper drops hosts whose scan did not
+    /// yield the required material.
+    pub fn push(&mut self, observation: &ServiceObservation) {
+        let Some(identifier) = self.extractor.extract(observation) else {
+            return;
+        };
+        self.by_identifier
+            .entry(identifier)
+            .or_default()
+            .insert(observation.addr);
+        if let Some(asn) = observation.asn {
+            self.asn_of.insert(observation.addr, asn);
+        }
+    }
+
+    /// Finish grouping and produce the collection (deterministic order:
+    /// biggest sets first, ties broken by members).
+    pub fn finish(self) -> AliasSetCollection {
+        let mut sets: Vec<AliasSet> = self
+            .by_identifier
             .into_iter()
             .map(|(identifier, addrs)| AliasSet { identifier, addrs })
             .collect();
-        // Deterministic order: biggest sets first, ties broken by members.
         sets.sort_by(|a, b| {
             b.len()
                 .cmp(&a.len())
                 .then_with(|| a.addrs.iter().next().cmp(&b.addrs.iter().next()))
         });
-        AliasSetCollection { sets, asn_of }
+        AliasSetCollection {
+            sets,
+            asn_of: self.asn_of,
+        }
+    }
+}
+
+impl ObservationSink for AliasSetBuilder {
+    fn accept(&mut self, observation: &ServiceObservation) {
+        self.push(observation);
+    }
+}
+
+impl AliasSetCollection {
+    /// Group `observations` by extracted identifier.
+    ///
+    /// Grouping is identifier-based, so observations of the same address
+    /// from several sources collapse naturally.  This is the pull-based
+    /// convenience over [`AliasSetBuilder`], which also accepts pushed
+    /// (streamed) observations.
+    pub fn from_observations<'a, I>(observations: I, extractor: &IdentifierExtractor) -> Self
+    where
+        I: IntoIterator<Item = &'a ServiceObservation>,
+    {
+        let mut builder = AliasSetBuilder::new(*extractor);
+        builder.accept_all(observations);
+        builder.finish()
     }
 
     /// All sets (including singletons).
@@ -194,6 +239,23 @@ mod tests {
         assert_eq!(collection.covered_addresses(false), 5);
         assert_eq!(collection.set_sizes(false), vec![3, 2]);
         assert_eq!(collection.asn("10.0.0.1".parse().unwrap()), Some(101));
+    }
+
+    #[test]
+    fn streamed_and_collected_grouping_are_identical() {
+        let obs = vec![
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("10.0.0.2", 1, DataSource::Censys),
+            ssh_obs("10.1.0.1", 2, DataSource::Active),
+            ssh_obs("2001:db8::1", 2, DataSource::Active),
+        ];
+        let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+        let pulled = AliasSetCollection::from_observations(obs.iter(), &extractor);
+        let mut builder = AliasSetBuilder::new(extractor);
+        for o in &obs {
+            builder.push(o);
+        }
+        assert_eq!(builder.finish(), pulled);
     }
 
     #[test]

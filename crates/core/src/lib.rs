@@ -36,7 +36,7 @@ pub mod report;
 pub mod union_find;
 pub mod validation;
 
-pub use alias_set::{AliasSet, AliasSetCollection};
+pub use alias_set::{AliasSet, AliasSetBuilder, AliasSetCollection};
 pub use dual_stack::DualStackSet;
 pub use ecdf::Ecdf;
 pub use extract::{ExtractionConfig, IdentifierExtractor};

@@ -67,9 +67,11 @@ pub fn threads_from_env() -> usize {
     threads_from_value(std::env::var("ALIAS_THREADS").ok().as_deref())
 }
 
-/// [`threads_from_env`]'s parsing rule, split out so it is testable without
-/// mutating the process environment.
-fn threads_from_value(raw: Option<&str>) -> usize {
+/// [`threads_from_env`]'s parsing rule, split out (and public) so callers
+/// honouring `ALIAS_THREADS` can test the unset/`0`/garbage fallbacks
+/// without mutating the process environment — concurrent `setenv` while
+/// other threads read it is undefined behaviour on glibc.
+pub fn threads_from_value(raw: Option<&str>) -> usize {
     match raw {
         Some(raw) if !raw.trim().is_empty() => match raw.trim().parse::<usize>() {
             Ok(0) => available_parallelism(),

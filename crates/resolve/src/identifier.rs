@@ -1,0 +1,138 @@
+//! The paper's contribution as techniques: alias resolution from
+//! application-layer identifiers (SSH host keys + capabilities, BGP OPEN
+//! fields, SNMPv3 engine IDs).
+
+use crate::technique::{
+    canonical_sets, DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult,
+};
+use alias_core::alias_set::AliasSetBuilder;
+use alias_netsim::ServiceProtocol;
+use alias_scan::{CampaignData, ObservationSink};
+
+/// Alias resolution from one protocol's application-layer identifier.
+///
+/// Wraps the legacy `AliasSetCollection::from_observations` path: the
+/// campaign's observations of the protocol are streamed into an
+/// [`AliasSetBuilder`] (no intermediate `Vec<&_>` slice) and grouped by the
+/// identifier the context's extractor produces.  Pure — no follow-up
+/// probing — so the [`Resolver`](crate::Resolver) may fan several
+/// identifier techniques out concurrently.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentifierTechnique {
+    protocol: ServiceProtocol,
+}
+
+impl IdentifierTechnique {
+    /// A technique for one protocol's identifier.
+    pub fn new(protocol: ServiceProtocol) -> Self {
+        IdentifierTechnique { protocol }
+    }
+
+    /// SSH: banner + capabilities + host key.
+    pub fn ssh() -> Self {
+        Self::new(ServiceProtocol::Ssh)
+    }
+
+    /// BGP: the OPEN message fields.
+    pub fn bgp() -> Self {
+        Self::new(ServiceProtocol::Bgp)
+    }
+
+    /// SNMPv3: the authoritative engine ID.
+    pub fn snmpv3() -> Self {
+        Self::new(ServiceProtocol::Snmpv3)
+    }
+
+    /// The protocol this technique extracts identifiers from.
+    pub fn protocol(&self) -> ServiceProtocol {
+        self.protocol
+    }
+}
+
+impl ResolutionTechnique for IdentifierTechnique {
+    fn name(&self) -> &'static str {
+        self.protocol.name()
+    }
+
+    fn required_sources(&self) -> Vec<DataRequirement> {
+        vec![DataRequirement::Observations(self.protocol)]
+    }
+
+    fn resolve(&self, data: &CampaignData, ctx: &TechniqueCtx<'_>) -> TechniqueResult {
+        let mut builder = AliasSetBuilder::new(*ctx.extractor);
+        builder.accept_all(data.observations_for(self.protocol));
+        let collection = builder.finish();
+        let alias_sets = canonical_sets(
+            collection
+                .non_singleton_sets()
+                .into_iter()
+                .map(|s| s.addrs.clone())
+                .collect(),
+        );
+        TechniqueResult {
+            technique: self.name().to_owned(),
+            alias_sets,
+            testable: collection.all_addresses(),
+            finished_at: data.finished_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias_core::alias_set::AliasSetCollection;
+    use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
+    use alias_netsim::{InternetBuilder, InternetConfig, VantageKind};
+    use alias_scan::campaign::ActiveCampaign;
+
+    #[test]
+    fn identifier_technique_matches_the_legacy_collection_path() {
+        let internet = InternetBuilder::new(InternetConfig::tiny(11)).build();
+        let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+        let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+        let ctx = TechniqueCtx {
+            internet: &internet,
+            extractor: &extractor,
+            probe_start: data.finished_at,
+            vantage: VantageKind::SingleVp,
+            threads: 1,
+        };
+        for technique in [
+            IdentifierTechnique::ssh(),
+            IdentifierTechnique::bgp(),
+            IdentifierTechnique::snmpv3(),
+        ] {
+            let result = technique.resolve(&data, &ctx);
+            let legacy = AliasSetCollection::from_observations(
+                data.observations_for(technique.protocol()),
+                &extractor,
+            );
+            assert_eq!(
+                result.alias_sets,
+                canonical_sets(
+                    legacy
+                        .non_singleton_sets()
+                        .into_iter()
+                        .map(|s| s.addrs.clone())
+                        .collect()
+                )
+            );
+            assert_eq!(result.testable, legacy.all_addresses());
+            assert_eq!(result.finished_at, data.finished_at);
+            assert!(technique.is_pure());
+            assert_ne!(result.set_count(), 0, "{}", technique.name());
+        }
+    }
+
+    #[test]
+    fn names_and_requirements() {
+        assert_eq!(IdentifierTechnique::ssh().name(), "ssh");
+        assert_eq!(IdentifierTechnique::bgp().name(), "bgp");
+        assert_eq!(IdentifierTechnique::snmpv3().name(), "snmpv3");
+        assert_eq!(
+            IdentifierTechnique::ssh().required_sources(),
+            vec![DataRequirement::Observations(ServiceProtocol::Ssh)]
+        );
+    }
+}

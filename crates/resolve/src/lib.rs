@@ -1,0 +1,63 @@
+//! # alias-resolve
+//!
+//! The unified resolution pipeline: one trait-based entry point for every
+//! alias-resolution technique in the workspace.
+//!
+//! The paper's core claim is that *combining* techniques — application-layer
+//! identifiers (SSH, BGP, SNMPv3) on top of the classic IPID/ICMP baselines
+//! (MIDAR, Ally, Speedtrap, iffinder) — pushes coverage far beyond any
+//! single method.  This crate makes that composition a first-class API:
+//!
+//! * [`ResolutionTechnique`] — the trait every technique implements
+//!   ([`name`](ResolutionTechnique::name),
+//!   [`required_sources`](ResolutionTechnique::required_sources),
+//!   [`resolve`](ResolutionTechnique::resolve)), so all seven techniques
+//!   are interchangeable trait objects;
+//! * [`Resolver`] — a builder-style orchestrator
+//!   (`Resolver::builder().technique(…).threads(n).merge_policy(…)`)
+//!   running scan → per-technique resolution (pure techniques fanned out
+//!   over `alias-exec`'s worker pool) → cross-technique merge, returning a
+//!   structured [`ResolutionReport`];
+//! * a streaming observation path — techniques consume campaign data via
+//!   iterators and `ObservationSink`s instead of materialised `Vec<&_>`
+//!   slices.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use alias_resolve::{IdentifierTechnique, Resolver};
+//! use alias_netsim::{InternetBuilder, InternetConfig};
+//!
+//! let internet = InternetBuilder::new(InternetConfig::tiny(7)).build();
+//! let resolver = Resolver::builder()
+//!     .technique(IdentifierTechnique::ssh())
+//!     .technique(IdentifierTechnique::bgp())
+//!     .technique(IdentifierTechnique::snmpv3())
+//!     .threads(2)
+//!     .build();
+//! let report = resolver.resolve(&internet);
+//! assert_eq!(report.techniques.len(), 3);
+//! assert!(!report.merged.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod identifier;
+mod report;
+mod resolver;
+mod technique;
+
+pub use baselines::{
+    true_pair_fraction, AllyTechnique, IffinderTechnique, MidarTechnique, SpeedtrapTechnique,
+};
+pub use identifier::IdentifierTechnique;
+pub use report::{
+    CoverageStats, ResolutionReport, StageTimings, TechniqueAgreement, TechniqueCoverage,
+    TechniqueTiming,
+};
+pub use resolver::{MergePolicy, Resolver, ResolverBuilder};
+pub use technique::{
+    canonical_sets, DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult,
+};

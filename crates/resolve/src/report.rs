@@ -1,0 +1,154 @@
+//! The structured output of a [`Resolver`](crate::Resolver) run.
+
+use crate::technique::TechniqueResult;
+use alias_core::merge::MergedSet;
+use alias_core::validation::ValidationResult;
+use alias_scan::CampaignData;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Wall-clock milliseconds per pipeline stage of one resolution run.
+///
+/// The unit the bench trajectory (`BENCH_*.json`) is built from.  The
+/// resolver fills `campaign_ms` (when it ran the scan itself) and
+/// `merge_ms`; the experiment harness owns the substrate stages
+/// (`build_internet_ms`, `censys_ms`).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Generating the synthetic Internet.
+    pub build_internet_ms: u64,
+    /// Collecting the Censys-like snapshot.
+    pub censys_ms: u64,
+    /// The active measurement campaign (all scan phases).
+    pub campaign_ms: u64,
+    /// Consolidating per-technique alias sets into merged union sets.
+    pub merge_ms: u64,
+}
+
+impl StageTimings {
+    /// Total measured wall-clock across the stages.
+    pub fn total_ms(&self) -> u64 {
+        self.build_internet_ms + self.censys_ms + self.campaign_ms + self.merge_ms
+    }
+}
+
+/// Wall-clock cost of one technique's `resolve()` call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TechniqueTiming {
+    /// The technique's name.
+    pub technique: String,
+    /// Wall-clock milliseconds spent in `resolve()`.
+    pub resolve_ms: u64,
+}
+
+/// Coverage of one technique: how many sets it produced and how many
+/// addresses they span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TechniqueCoverage {
+    /// The technique's name.
+    pub technique: String,
+    /// Inferred alias sets (two or more members).
+    pub alias_sets: usize,
+    /// Addresses covered by those sets.
+    pub covered_addresses: usize,
+    /// Addresses the technique could make claims about at all.
+    pub testable_addresses: usize,
+}
+
+/// Pairwise agreement between two techniques, computed the way the paper's
+/// Table 2 does: both partitions are projected onto the addresses testable
+/// by *both* techniques and compared set-by-set for exact membership match.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TechniqueAgreement {
+    /// First technique (the one whose sets are sampled).
+    pub a: String,
+    /// Second technique (the one matched against).
+    pub b: String,
+    /// The comparison outcome.
+    pub result: ValidationResult,
+}
+
+/// Coverage and cross-technique agreement statistics of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoverageStats {
+    /// Per-technique coverage, in registration order.
+    pub per_technique: Vec<TechniqueCoverage>,
+    /// Number of merged (cross-technique) sets.
+    pub merged_sets: usize,
+    /// Addresses covered by the merged sets.
+    pub merged_addresses: usize,
+    /// Pairwise agreement for every technique pair, in registration order.
+    pub agreements: Vec<TechniqueAgreement>,
+}
+
+/// Everything one [`Resolver`](crate::Resolver) run produced.
+#[derive(Debug, Clone)]
+pub struct ResolutionReport {
+    /// The campaign data, when the resolver ran the scan itself
+    /// ([`Resolver::resolve`](crate::Resolver::resolve)); `None` when
+    /// pre-collected data was supplied
+    /// ([`Resolver::resolve_data`](crate::Resolver::resolve_data)).
+    pub campaign: Option<CampaignData>,
+    /// Per-technique results, in registration order.
+    pub techniques: Vec<TechniqueResult>,
+    /// Cross-technique merged sets (per the resolver's merge policy), in
+    /// canonical order.
+    pub merged: Vec<MergedSet>,
+    /// Coverage and agreement statistics.
+    pub coverage: CoverageStats,
+    /// Wall-clock per technique, in registration order.
+    pub technique_timings: Vec<TechniqueTiming>,
+    /// Wall-clock per pipeline stage.
+    pub timings: StageTimings,
+}
+
+/// Distinct addresses covered by a slice of merged sets — shared by the
+/// report accessor and the resolver's coverage computation so the two can
+/// never diverge.
+pub(crate) fn distinct_addresses(merged: &[MergedSet]) -> usize {
+    merged
+        .iter()
+        .flat_map(|m| m.addrs.iter())
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
+impl ResolutionReport {
+    /// The result of one technique, by name.
+    pub fn technique(&self, name: &str) -> Option<&TechniqueResult> {
+        self.techniques.iter().find(|t| t.technique == name)
+    }
+
+    /// Distinct addresses covered by the merged sets.
+    pub fn merged_addresses(&self) -> usize {
+        distinct_addresses(&self.merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timings_total() {
+        let timings = StageTimings {
+            build_internet_ms: 1,
+            censys_ms: 2,
+            campaign_ms: 3,
+            merge_ms: 4,
+        };
+        assert_eq!(timings.total_ms(), 10);
+    }
+
+    #[test]
+    fn timing_types_round_trip_through_json() {
+        let timing = TechniqueTiming {
+            technique: "ssh".into(),
+            resolve_ms: 12,
+        };
+        let json = serde_json::to_string(&timing).unwrap();
+        let parsed: TechniqueTiming = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.technique, "ssh");
+        assert_eq!(parsed.resolve_ms, 12);
+    }
+}

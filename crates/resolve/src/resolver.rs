@@ -1,0 +1,408 @@
+//! The [`Resolver`]: one builder-style entry point orchestrating scan,
+//! per-technique resolution and cross-technique merging.
+
+use crate::report::{
+    CoverageStats, ResolutionReport, StageTimings, TechniqueAgreement, TechniqueCoverage,
+    TechniqueTiming,
+};
+use crate::technique::{ResolutionTechnique, TechniqueCtx, TechniqueResult};
+use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
+use alias_core::merge::{merge_labeled_sets_parallel, MergedSet};
+use alias_core::validation::{common_addresses, cross_validate};
+use alias_netsim::Internet;
+use alias_scan::campaign::{ActiveCampaign, CampaignConfig};
+use alias_scan::CampaignData;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// How the per-technique alias sets are consolidated into the report's
+/// merged view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Union sets that share at least one address, across techniques — the
+    /// paper's consolidation (via
+    /// [`alias_core::merge::merge_labeled_sets_parallel`]).
+    #[default]
+    SharedAddress,
+    /// No cross-technique merging: every technique's sets appear unchanged,
+    /// labelled with their technique, in canonical order.
+    KeepSeparate,
+}
+
+/// Builder for a [`Resolver`].
+pub struct ResolverBuilder {
+    techniques: Vec<Box<dyn ResolutionTechnique>>,
+    threads: usize,
+    merge_policy: MergePolicy,
+    extraction: ExtractionConfig,
+    campaign: CampaignConfig,
+}
+
+impl ResolverBuilder {
+    fn new() -> Self {
+        ResolverBuilder {
+            techniques: Vec::new(),
+            threads: alias_exec::threads_from_env(),
+            merge_policy: MergePolicy::default(),
+            extraction: ExtractionConfig::paper(),
+            campaign: CampaignConfig::default(),
+        }
+    }
+
+    /// Register a technique (resolution order follows registration order).
+    pub fn technique<T: ResolutionTechnique + 'static>(mut self, technique: T) -> Self {
+        self.techniques.push(Box::new(technique));
+        self
+    }
+
+    /// Register an already-boxed technique trait object.
+    pub fn boxed_technique(mut self, technique: Box<dyn ResolutionTechnique>) -> Self {
+        self.techniques.push(technique);
+        self
+    }
+
+    /// Register the paper's three identifier techniques (SSH, BGP, SNMPv3).
+    pub fn paper_techniques(self) -> Self {
+        self.technique(crate::IdentifierTechnique::ssh())
+            .technique(crate::IdentifierTechnique::bgp())
+            .technique(crate::IdentifierTechnique::snmpv3())
+    }
+
+    /// Worker threads for the scan, fan-out and merge stages (default: the
+    /// `ALIAS_THREADS` environment variable, falling back to the available
+    /// parallelism).  A pure performance knob: every resolver output is
+    /// byte-identical for any value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// How per-technique sets are consolidated (default:
+    /// [`MergePolicy::SharedAddress`]).
+    pub fn merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_policy = policy;
+        self
+    }
+
+    /// Identifier-extraction policies shared by the identifier techniques
+    /// (default: the paper's).
+    pub fn extraction(mut self, config: ExtractionConfig) -> Self {
+        self.extraction = config;
+        self
+    }
+
+    /// Campaign configuration used when the resolver runs the scan itself
+    /// ([`Resolver::resolve`]).  The builder's thread count overrides the
+    /// campaign's at run time.
+    pub fn campaign(mut self, config: CampaignConfig) -> Self {
+        self.campaign = config;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Resolver {
+        Resolver {
+            techniques: self.techniques,
+            threads: self.threads,
+            merge_policy: self.merge_policy,
+            extractor: IdentifierExtractor::new(self.extraction),
+            campaign: self.campaign,
+        }
+    }
+}
+
+/// One entry point for every alias-resolution technique: runs (or is
+/// handed) a measurement campaign, resolves every registered
+/// [`ResolutionTechnique`], and consolidates the results into a
+/// [`ResolutionReport`].
+///
+/// Orchestration is deterministic for any thread count: pure techniques
+/// fan out over [`alias_exec::shard_map`]; techniques that declare
+/// [`LiveProbing`](crate::DataRequirement::LiveProbing) run serially in
+/// registration order (probing advances shared counter state); and the
+/// cross-technique merge reduces in canonical order.
+pub struct Resolver {
+    techniques: Vec<Box<dyn ResolutionTechnique>>,
+    threads: usize,
+    merge_policy: MergePolicy,
+    extractor: IdentifierExtractor,
+    campaign: CampaignConfig,
+}
+
+impl Resolver {
+    /// Start building a resolver.
+    pub fn builder() -> ResolverBuilder {
+        ResolverBuilder::new()
+    }
+
+    /// Names of the registered techniques, in registration order.
+    pub fn technique_names(&self) -> Vec<&'static str> {
+        self.techniques.iter().map(|t| t.name()).collect()
+    }
+
+    /// The worker-thread count the resolver runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run the full pipeline: active measurement campaign (with the
+    /// builder's campaign configuration), per-technique resolution, merge.
+    /// The produced campaign data is returned inside the report.
+    pub fn resolve(&self, internet: &Internet) -> ResolutionReport {
+        let mut campaign_config = self.campaign.clone();
+        campaign_config.threads = self.threads;
+        let stage = std::time::Instant::now();
+        let data = ActiveCampaign::new(campaign_config).run(internet);
+        let campaign_ms = stage.elapsed().as_millis() as u64;
+        let mut report = self.resolve_data(internet, &data);
+        report.timings.campaign_ms = campaign_ms;
+        report.campaign = Some(data);
+        report
+    }
+
+    /// Resolve pre-collected campaign data (no scan stage): per-technique
+    /// resolution fanned out on the worker pool, then the cross-technique
+    /// merge.
+    pub fn resolve_data(&self, internet: &Internet, data: &CampaignData) -> ResolutionReport {
+        let ctx = TechniqueCtx {
+            internet,
+            extractor: &self.extractor,
+            probe_start: data.finished_at,
+            vantage: self.campaign.vantage,
+            threads: self.threads,
+        };
+
+        // Pure techniques (functions of the campaign data alone) fan out
+        // over the worker pool; probing techniques run serially afterwards,
+        // in registration order, because live probes advance shared device
+        // state.  Results and timings are reassembled in registration
+        // order, so the fan-out never shows in the output.
+        let pure_indices: Vec<usize> = (0..self.techniques.len())
+            .filter(|&i| self.techniques[i].is_pure())
+            .collect();
+        let pure_results: Vec<(TechniqueResult, u64)> =
+            alias_exec::shard_map(pure_indices.len(), self.threads, |slot| {
+                let technique = &self.techniques[pure_indices[slot]];
+                let started = std::time::Instant::now();
+                let result = technique.resolve(data, &ctx);
+                (result, started.elapsed().as_millis() as u64)
+            });
+
+        let mut slots: Vec<Option<(TechniqueResult, u64)>> =
+            (0..self.techniques.len()).map(|_| None).collect();
+        for (slot, result) in pure_indices.iter().zip(pure_results) {
+            slots[*slot] = Some(result);
+        }
+        for (index, technique) in self.techniques.iter().enumerate() {
+            if slots[index].is_none() {
+                let started = std::time::Instant::now();
+                let result = technique.resolve(data, &ctx);
+                slots[index] = Some((result, started.elapsed().as_millis() as u64));
+            }
+        }
+
+        let mut techniques = Vec::with_capacity(slots.len());
+        let mut technique_timings = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let (result, resolve_ms) = slot.expect("every technique ran");
+            technique_timings.push(TechniqueTiming {
+                technique: result.technique.clone(),
+                resolve_ms,
+            });
+            techniques.push(result);
+        }
+
+        // Merge + statistics stage.
+        let stage = std::time::Instant::now();
+        let merged = self.merge(&techniques);
+        let coverage = self.coverage(&techniques, &merged);
+        let merge_ms = stage.elapsed().as_millis() as u64;
+
+        ResolutionReport {
+            campaign: None,
+            techniques,
+            merged,
+            coverage,
+            technique_timings,
+            timings: StageTimings {
+                merge_ms,
+                ..StageTimings::default()
+            },
+        }
+    }
+
+    fn merge(&self, techniques: &[TechniqueResult]) -> Vec<MergedSet> {
+        match self.merge_policy {
+            MergePolicy::SharedAddress => {
+                let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = techniques
+                    .iter()
+                    .map(|t| (t.technique.as_str(), t.alias_sets.clone()))
+                    .collect();
+                merge_labeled_sets_parallel(&labeled, self.threads)
+            }
+            MergePolicy::KeepSeparate => {
+                let mut merged: Vec<MergedSet> = techniques
+                    .iter()
+                    .flat_map(|t| {
+                        t.alias_sets.iter().map(|addrs| MergedSet {
+                            addrs: addrs.clone(),
+                            labels: BTreeSet::from([t.technique.clone()]),
+                        })
+                    })
+                    .collect();
+                merged.sort_by(|a, b| {
+                    a.addrs
+                        .iter()
+                        .next()
+                        .cmp(&b.addrs.iter().next())
+                        .then_with(|| a.labels.cmp(&b.labels))
+                });
+                merged
+            }
+        }
+    }
+
+    fn coverage(&self, techniques: &[TechniqueResult], merged: &[MergedSet]) -> CoverageStats {
+        let per_technique = techniques
+            .iter()
+            .map(|t| TechniqueCoverage {
+                technique: t.technique.clone(),
+                alias_sets: t.set_count(),
+                covered_addresses: t.covered_addresses(),
+                testable_addresses: t.testable.len(),
+            })
+            .collect();
+        let mut agreements = Vec::new();
+        for i in 0..techniques.len() {
+            for j in i + 1..techniques.len() {
+                let (a, b) = (&techniques[i], &techniques[j]);
+                let common = common_addresses(&a.testable, &b.testable);
+                agreements.push(TechniqueAgreement {
+                    a: a.technique.clone(),
+                    b: b.technique.clone(),
+                    result: cross_validate(&a.alias_sets, &b.alias_sets, &common),
+                });
+            }
+        }
+        CoverageStats {
+            per_technique,
+            merged_sets: merged.len(),
+            merged_addresses: crate::report::distinct_addresses(merged),
+            agreements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdentifierTechnique, IffinderTechnique, MidarTechnique};
+    use alias_netsim::{InternetBuilder, InternetConfig};
+
+    fn tiny_internet(seed: u64) -> Internet {
+        InternetBuilder::new(InternetConfig::tiny(seed)).build()
+    }
+
+    #[test]
+    fn resolver_runs_scan_resolution_and_merge() {
+        let internet = tiny_internet(41);
+        let resolver = Resolver::builder().paper_techniques().threads(1).build();
+        assert_eq!(resolver.technique_names(), vec!["ssh", "bgp", "snmpv3"]);
+        let report = resolver.resolve(&internet);
+        assert!(report.campaign.is_some());
+        assert_eq!(report.techniques.len(), 3);
+        assert_eq!(report.technique_timings.len(), 3);
+        assert!(!report.merged.is_empty());
+        assert_eq!(report.coverage.merged_sets, report.merged.len());
+        assert_eq!(report.coverage.merged_addresses, report.merged_addresses());
+        // 3 techniques -> 3 pairwise agreements.
+        assert_eq!(report.coverage.agreements.len(), 3);
+        assert!(report.technique("ssh").is_some());
+        assert!(report.technique("midar").is_none());
+    }
+
+    #[test]
+    fn resolver_output_is_identical_for_any_thread_count() {
+        let internet = tiny_internet(42);
+        let serial = Resolver::builder()
+            .paper_techniques()
+            .threads(1)
+            .build()
+            .resolve(&internet);
+        for threads in [2usize, 7] {
+            let sharded = Resolver::builder()
+                .paper_techniques()
+                .threads(threads)
+                .build()
+                .resolve(&internet);
+            assert_eq!(
+                sharded.campaign.as_ref().unwrap().observations,
+                serial.campaign.as_ref().unwrap().observations,
+                "threads={threads}"
+            );
+            assert_eq!(sharded.techniques, serial.techniques, "threads={threads}");
+            assert_eq!(sharded.merged, serial.merged, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn merge_policies_differ_only_in_consolidation() {
+        let internet = tiny_internet(43);
+        let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+        let shared = Resolver::builder()
+            .paper_techniques()
+            .threads(1)
+            .build()
+            .resolve_data(&internet, &data);
+        let separate = Resolver::builder()
+            .paper_techniques()
+            .threads(1)
+            .merge_policy(MergePolicy::KeepSeparate)
+            .build()
+            .resolve_data(&internet, &data);
+        assert!(shared.campaign.is_none());
+        assert_eq!(shared.techniques, separate.techniques);
+        // KeepSeparate lists every per-technique set; SharedAddress unions
+        // overlapping ones, so it can only have fewer or equal sets.
+        let total_sets: usize = shared.techniques.iter().map(|t| t.set_count()).sum();
+        assert_eq!(separate.merged.len(), total_sets);
+        assert!(shared.merged.len() <= total_sets);
+        // Multi-protocol devices produce sets carrying several labels.
+        assert!(shared.merged.iter().any(|m| m.labels.len() > 1));
+        assert!(separate.merged.iter().all(|m| m.labels.len() == 1));
+    }
+
+    #[test]
+    fn probing_techniques_run_after_pure_ones_in_registration_order() {
+        // Mixing pure and probing techniques keeps results positional.
+        let internet = tiny_internet(44);
+        let resolver = Resolver::builder()
+            .technique(MidarTechnique::new())
+            .paper_techniques()
+            .technique(IffinderTechnique::new())
+            .build();
+        let report = resolver.resolve(&internet);
+        let names: Vec<&str> = report
+            .techniques
+            .iter()
+            .map(|t| t.technique.as_str())
+            .collect();
+        assert_eq!(names, vec!["midar", "ssh", "bgp", "snmpv3", "iffinder"]);
+        let timing_names: Vec<&str> = report
+            .technique_timings
+            .iter()
+            .map(|t| t.technique.as_str())
+            .collect();
+        assert_eq!(timing_names, names);
+    }
+
+    #[test]
+    fn boxed_technique_registration() {
+        let resolver = Resolver::builder()
+            .boxed_technique(Box::new(IdentifierTechnique::ssh()))
+            .threads(3)
+            .build();
+        assert_eq!(resolver.technique_names(), vec!["ssh"]);
+        assert_eq!(resolver.threads(), 3);
+    }
+}

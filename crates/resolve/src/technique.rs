@@ -1,0 +1,149 @@
+//! The [`ResolutionTechnique`] trait: one interface for every way of
+//! grouping addresses into alias sets.
+
+use alias_core::extract::IdentifierExtractor;
+use alias_netsim::{Internet, ServiceProtocol, SimTime, VantageKind};
+use alias_scan::CampaignData;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// What a technique consumes, declared up front so callers can check a
+/// campaign (or decide how to schedule the technique) before running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataRequirement {
+    /// Service observations of one protocol from the campaign data.
+    Observations(ServiceProtocol),
+    /// Live follow-up probing against the measurement substrate (IPID /
+    /// fragment-identifier sampling, ICMP error elicitation).
+    ///
+    /// Probing advances shared per-device counter state, so the
+    /// [`Resolver`](crate::Resolver) runs techniques with this requirement
+    /// serially, in registration order — that is what keeps the pipeline
+    /// byte-identical for every thread count.
+    LiveProbing,
+}
+
+/// Read-only context a technique resolves against: the measurement
+/// substrate for follow-up probing plus the shared policies of the run.
+#[derive(Clone, Copy)]
+pub struct TechniqueCtx<'a> {
+    /// The measurement substrate (for techniques that probe).
+    pub internet: &'a Internet,
+    /// Identifier-extraction policies shared by the identifier techniques.
+    pub extractor: &'a IdentifierExtractor,
+    /// Simulated time at which follow-up probing may begin (usually the
+    /// campaign's `finished_at`).
+    pub probe_start: SimTime,
+    /// Vantage point for follow-up probing.
+    pub vantage: VantageKind,
+    /// Worker threads available to the technique (a pure performance knob;
+    /// results must be identical for any value).
+    pub threads: usize,
+}
+
+/// What one technique concluded.  Deterministic for a given campaign and
+/// substrate state — wall-clock timing lives in
+/// [`TechniqueTiming`](crate::TechniqueTiming), not here, so results can be
+/// compared across runs and thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechniqueResult {
+    /// Name of the technique that produced the result.
+    pub technique: String,
+    /// Inferred alias sets (two or more addresses each), in canonical
+    /// order: sorted by smallest member address.
+    pub alias_sets: Vec<BTreeSet<IpAddr>>,
+    /// Addresses the technique could make claims about at all (identifiable
+    /// addresses for identifier techniques, usable counters for the IPID
+    /// baselines, answering targets for iffinder).
+    pub testable: BTreeSet<IpAddr>,
+    /// Simulated time the technique finished (follow-up probing takes
+    /// simulated time; pure techniques finish with the campaign).
+    pub finished_at: SimTime,
+}
+
+impl TechniqueResult {
+    /// Number of inferred alias sets.
+    pub fn set_count(&self) -> usize {
+        self.alias_sets.len()
+    }
+
+    /// Addresses covered by the alias sets (the sets are disjoint, so this
+    /// is also the sum of set sizes).
+    pub fn covered_addresses(&self) -> usize {
+        self.alias_sets.iter().map(BTreeSet::len).sum()
+    }
+}
+
+/// Sort alias sets into the canonical order every technique reports:
+/// ascending by smallest member address.  Alias sets partition their
+/// address universe, so smallest members are distinct and the order is
+/// total — the same convention `alias-core`'s merge output uses.
+pub fn canonical_sets(mut sets: Vec<BTreeSet<IpAddr>>) -> Vec<BTreeSet<IpAddr>> {
+    sets.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
+    sets
+}
+
+/// One alias-resolution technique, as an interchangeable trait object.
+///
+/// Implementations wrap the paper's identifier extraction (SSH, BGP,
+/// SNMPv3) and the classic IPID/ICMP baselines (MIDAR, Ally, Speedtrap,
+/// iffinder) behind a single entry point, so composing, comparing or adding
+/// techniques needs no bespoke glue: a [`Resolver`](crate::Resolver) takes
+/// any mix of `Box<dyn ResolutionTechnique>` and orchestrates them.
+pub trait ResolutionTechnique: Send + Sync {
+    /// Short lowercase name, used as the merge label and in reports.
+    fn name(&self) -> &'static str;
+
+    /// The data sources the technique consumes.
+    fn required_sources(&self) -> Vec<DataRequirement>;
+
+    /// Resolve alias sets from campaign data (and, for probing techniques,
+    /// follow-up measurements against `ctx.internet`).
+    fn resolve(&self, data: &CampaignData, ctx: &TechniqueCtx<'_>) -> TechniqueResult;
+
+    /// Whether the technique is a pure function of the campaign data (no
+    /// [`DataRequirement::LiveProbing`]).  Pure techniques may be fanned
+    /// out concurrently; probing techniques are serialized.
+    fn is_pure(&self) -> bool {
+        !self
+            .required_sources()
+            .contains(&DataRequirement::LiveProbing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
+        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn canonical_sets_sorts_by_smallest_member() {
+        let sets = canonical_sets(vec![
+            set(&["10.9.0.1", "10.9.0.2"]),
+            set(&["10.0.0.5", "10.0.0.6"]),
+            set(&["10.4.0.1", "10.4.0.2"]),
+        ]);
+        let firsts: Vec<IpAddr> = sets.iter().map(|s| *s.iter().next().unwrap()).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort();
+        assert_eq!(firsts, sorted);
+    }
+
+    #[test]
+    fn result_accessors_count_sets_and_addresses() {
+        let result = TechniqueResult {
+            technique: "test".into(),
+            alias_sets: vec![
+                set(&["10.0.0.1", "10.0.0.2"]),
+                set(&["10.1.0.1", "10.1.0.2"]),
+            ],
+            testable: set(&["10.0.0.1", "10.0.0.2", "10.1.0.1", "10.1.0.2", "10.2.0.1"]),
+            finished_at: SimTime::ZERO,
+        };
+        assert_eq!(result.set_count(), 2);
+        assert_eq!(result.covered_addresses(), 4);
+    }
+}

@@ -11,7 +11,7 @@
 //! [`CampaignData`] bundle of [`ServiceObservation`] records.
 
 use crate::hitlist::Ipv6Hitlist;
-use crate::records::{DataSource, ServiceObservation};
+use crate::records::{DataSource, ObservationSink, ServiceObservation};
 use crate::snmp::{SnmpScanConfig, SnmpScanner};
 use crate::zgrab::{ZgrabConfig, ZgrabScanner};
 use crate::zmap::{ZmapConfig, ZmapScanner};
@@ -70,22 +70,56 @@ pub struct CampaignData {
 }
 
 impl CampaignData {
+    /// Wrap pre-collected observations (a Censys snapshot, a union of data
+    /// sources, a replayed trace) so they can be fed to consumers of
+    /// campaign data — most notably `alias-resolve`'s techniques — without
+    /// having run a scan.  The hitlist is empty and no SYN probes are
+    /// accounted; `finished_at` is the latest observation timestamp.
+    pub fn from_observations(observations: Vec<ServiceObservation>) -> Self {
+        let finished_at = observations
+            .iter()
+            .map(|o| o.timestamp)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        CampaignData {
+            observations,
+            hitlist: Ipv6Hitlist { addrs: Vec::new() },
+            finished_at,
+            syn_probes_sent: 0,
+        }
+    }
+
     /// Observations for one protocol.
+    #[deprecated(
+        since = "0.1.0",
+        note = "materialises a Vec of references on the hot path; \
+                use the `observations_for` iterator instead"
+    )]
     pub fn for_protocol(&self, protocol: ServiceProtocol) -> Vec<&ServiceObservation> {
+        self.observations_for(protocol).collect()
+    }
+
+    /// Iterator over the observations of one protocol — the allocation-free
+    /// replacement for the deprecated [`Self::for_protocol`].
+    pub fn observations_for(
+        &self,
+        protocol: ServiceProtocol,
+    ) -> impl Iterator<Item = &ServiceObservation> {
         self.observations
             .iter()
-            .filter(|o| o.protocol() == protocol)
-            .collect()
+            .filter(move |o| o.protocol() == protocol)
+    }
+
+    /// Stream every observation into a sink, in campaign order.
+    pub fn stream_into(&self, sink: &mut dyn ObservationSink) {
+        for observation in &self.observations {
+            sink.accept(observation);
+        }
     }
 
     /// Number of distinct responsive addresses for a protocol.
     pub fn address_count(&self, protocol: ServiceProtocol) -> usize {
-        let mut addrs: Vec<IpAddr> = self
-            .observations
-            .iter()
-            .filter(|o| o.protocol() == protocol)
-            .map(|o| o.addr)
-            .collect();
+        let mut addrs: Vec<IpAddr> = self.observations_for(protocol).map(|o| o.addr).collect();
         addrs.sort();
         addrs.dedup();
         addrs.len()
@@ -105,11 +139,21 @@ impl ActiveCampaign {
     }
 
     /// Create a campaign with default settings, taking the hitlist coverage
-    /// from the Internet's own configuration.
+    /// from the Internet's own configuration and the worker-thread count
+    /// from the `ALIAS_THREADS` environment variable (unset, empty, `0` or
+    /// unparsable values fall back to the available parallelism — see
+    /// [`alias_exec::threads_from_env`]).  The thread count is a pure
+    /// performance knob and never changes the campaign output.
     pub fn with_defaults(internet: &Internet) -> Self {
         let mut config = CampaignConfig::default();
         config.hitlist_coverage = internet.config().visibility.hitlist_coverage;
+        config.threads = alias_exec::threads_from_env();
         Self::new(config)
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
     }
 
     /// Set the worker-thread count for the scan phases (builder style).
@@ -238,9 +282,12 @@ mod tests {
     #[test]
     fn campaign_covers_all_three_protocols_and_both_families() {
         let (_, data) = campaign_data();
-        assert!(!data.for_protocol(ServiceProtocol::Ssh).is_empty());
-        assert!(!data.for_protocol(ServiceProtocol::Bgp).is_empty());
-        assert!(!data.for_protocol(ServiceProtocol::Snmpv3).is_empty());
+        assert!(data.observations_for(ServiceProtocol::Ssh).next().is_some());
+        assert!(data.observations_for(ServiceProtocol::Bgp).next().is_some());
+        assert!(data
+            .observations_for(ServiceProtocol::Snmpv3)
+            .next()
+            .is_some());
         assert!(data.observations.iter().any(|o| o.is_ipv6()));
         assert!(data.observations.iter().any(|o| !o.is_ipv6()));
         assert!(data.syn_probes_sent > 0);
@@ -286,6 +333,82 @@ mod tests {
                 assert_eq!(sharded.syn_probes_sent, serial.syn_probes_sent);
             }
         }
+    }
+
+    #[test]
+    fn deprecated_for_protocol_matches_the_iterator() {
+        let (_, data) = campaign_data();
+        for protocol in [
+            ServiceProtocol::Ssh,
+            ServiceProtocol::Bgp,
+            ServiceProtocol::Snmpv3,
+        ] {
+            #[allow(deprecated)]
+            let legacy = data.for_protocol(protocol);
+            let streamed: Vec<&ServiceObservation> = data.observations_for(protocol).collect();
+            assert_eq!(legacy, streamed);
+        }
+    }
+
+    #[test]
+    fn stream_into_visits_every_observation_in_order() {
+        struct Collector(Vec<ServiceObservation>);
+        impl ObservationSink for Collector {
+            fn accept(&mut self, observation: &ServiceObservation) {
+                self.0.push(observation.clone());
+            }
+        }
+        let (_, data) = campaign_data();
+        let mut sink = Collector(Vec::new());
+        data.stream_into(&mut sink);
+        assert_eq!(sink.0, data.observations);
+    }
+
+    #[test]
+    fn from_observations_wraps_pre_collected_records() {
+        let (_, data) = campaign_data();
+        let wrapped = CampaignData::from_observations(data.observations.clone());
+        assert_eq!(wrapped.observations, data.observations);
+        assert!(wrapped.hitlist.addrs.is_empty());
+        assert_eq!(wrapped.syn_probes_sent, 0);
+        assert_eq!(
+            wrapped.finished_at,
+            data.observations.iter().map(|o| o.timestamp).max().unwrap()
+        );
+        assert_eq!(
+            CampaignData::from_observations(Vec::new()).finished_at,
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn with_defaults_respects_alias_threads() {
+        // `with_defaults` takes its thread count from ALIAS_THREADS via
+        // `alias_exec::threads_from_env`.  The parsing rule — valid values
+        // taken verbatim; unset / 0 / garbage falling back to the available
+        // parallelism — is asserted through the env-free seam
+        // (`threads_from_value`), because mutating the environment while
+        // sibling tests read it concurrently is UB on glibc.
+        let fallback = alias_exec::available_parallelism();
+        for (value, expected) in [
+            (Some("3"), 3),
+            (Some("0"), fallback),
+            (Some("not-a-number"), fallback),
+            (None, fallback),
+        ] {
+            assert_eq!(
+                alias_exec::threads_from_value(value),
+                expected,
+                "ALIAS_THREADS={value:?}"
+            );
+        }
+        // And `with_defaults` wires that env-derived value straight into
+        // the campaign config (read-only env access: race-free).
+        let internet = InternetBuilder::new(InternetConfig::tiny(404)).build();
+        assert_eq!(
+            ActiveCampaign::with_defaults(&internet).config().threads,
+            alias_exec::threads_from_env()
+        );
     }
 
     #[test]

@@ -73,10 +73,28 @@ impl IpidProber {
         IpidProber { config }
     }
 
+    /// One identifier probe: ICMP echo for IPv4 (the classic IPID sample),
+    /// fragment-eliciting probe for IPv6 (Speedtrap's fragment
+    /// Identification).  Both draw from the same device-wide counter.
+    fn probe(
+        internet: &Internet,
+        addr: IpAddr,
+        ctx: &ProbeContext,
+    ) -> Option<alias_netsim::internet::EchoObservation> {
+        if addr.is_ipv6() {
+            internet.ipv6_fragment_probe(addr, ctx)
+        } else {
+            internet.icmp_echo(addr, ctx)
+        }
+    }
+
     /// Round-robin sample every target: one probe per target per round,
     /// `rounds` rounds, targets probed in order within a round.
     ///
-    /// Unresponsive targets yield series with fewer (possibly zero) samples.
+    /// IPv4 targets are sampled with ICMP echo probes, IPv6 targets with
+    /// fragment-eliciting probes, both drawing from the same device-wide
+    /// counter.  Unresponsive
+    /// targets yield series with fewer (possibly zero) samples.
     pub fn collect_round_robin(
         &self,
         internet: &Internet,
@@ -106,7 +124,7 @@ impl IpidProber {
                 }
                 last_sent = now;
                 let ctx = ProbeContext { vantage, time: now };
-                if let Some(echo) = internet.icmp_echo(entry.addr, &ctx) {
+                if let Some(echo) = Self::probe(internet, entry.addr, &ctx) {
                     entry.samples.push(IpidSample {
                         time: echo.time,
                         ipid: echo.ipid,
@@ -153,7 +171,7 @@ impl IpidProber {
             last_sent = now;
             let ctx = ProbeContext { vantage, time: now };
             let target = if i % 2 == 0 { a } else { b };
-            if let Some(echo) = internet.icmp_echo(target, &ctx) {
+            if let Some(echo) = Self::probe(internet, target, &ctx) {
                 let sample = IpidSample {
                     time: echo.time,
                     ipid: echo.ipid,

@@ -32,6 +32,6 @@ pub mod zmap;
 pub use alias_netsim::ServiceProtocol;
 pub use campaign::{ActiveCampaign, CampaignData};
 pub use hitlist::Ipv6Hitlist;
-pub use records::{DataSource, ServiceObservation, ServicePayload};
+pub use records::{DataSource, ObservationSink, ServiceObservation, ServicePayload};
 pub use zgrab::ZgrabScanner;
 pub use zmap::{ZmapResults, ZmapScanner};

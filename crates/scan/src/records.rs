@@ -106,6 +106,30 @@ impl ServiceObservation {
     }
 }
 
+/// A push-based consumer of observations.
+///
+/// The streaming counterpart to collecting observations into a `Vec` first:
+/// producers ([`crate::campaign::CampaignData::stream_into`], custom
+/// replayers) feed records one at a time, so a consumer that only needs a
+/// single pass — an identifier grouper, a counter, a filter — never forces
+/// the producer to materialise intermediate `Vec<&ServiceObservation>`
+/// slices on the hot path.
+pub trait ObservationSink {
+    /// Consume one observation.
+    fn accept(&mut self, observation: &ServiceObservation);
+
+    /// Consume every observation of an iterator, in order.
+    fn accept_all<'a, I>(&mut self, observations: I)
+    where
+        I: IntoIterator<Item = &'a ServiceObservation>,
+        Self: Sized,
+    {
+        for observation in observations {
+            self.accept(observation);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,9 @@
 //! Dual-stack census: pair IPv4 and IPv6 addresses of the same device via
 //! shared protocol identifiers (the paper's Table 4 / §4.2), using an IPv6
-//! hitlist because the IPv6 space cannot be swept.
+//! hitlist because the IPv6 space cannot be swept.  The scan runs through
+//! the `Resolver`; the per-protocol dual-stack reports are derived by
+//! streaming the campaign observations into `AliasSetBuilder` sinks — no
+//! intermediate observation vectors.
 //!
 //! Run with: `cargo run --release --example dual_stack_census`
 
@@ -14,9 +17,11 @@ fn main() {
     let hitlist = Ipv6Hitlist::generate(&internet, 0.7, 0.2, 99);
     println!("IPv6 hitlist carries {} candidate addresses", hitlist.len());
 
-    let data = ActiveCampaign::with_defaults(&internet)
-        .with_threads(alias_resolution::exec::threads_from_env())
-        .run(&internet);
+    let report = Resolver::builder()
+        .paper_techniques()
+        .build()
+        .resolve(&internet);
+    let data = report.campaign.as_ref().expect("resolver ran the scan");
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
 
     let mut total_sets = 0usize;
@@ -25,26 +30,24 @@ fn main() {
         ServiceProtocol::Bgp,
         ServiceProtocol::Snmpv3,
     ] {
-        let collection = AliasSetCollection::from_observations(
-            data.observations
-                .iter()
-                .filter(|o| o.protocol() == protocol),
-            &extractor,
-        );
-        let report = DualStackReport::from_collection(&collection);
-        let (simple, medium, large) = report.size_split();
+        // The streaming path: push each observation of the protocol into a
+        // grouping sink, then derive the dual-stack pairs.
+        let mut builder = AliasSetBuilder::new(extractor);
+        builder.accept_all(data.observations_for(protocol));
+        let dual = DualStackReport::from_collection(&builder.finish());
+        let (simple, medium, large) = dual.size_split();
         println!(
             "{:>7}: {} dual-stack sets ({} IPv4 / {} IPv6 addresses); \
              {:.0}% are one-v4-one-v6 pairs, {:.0}% have 3-10 addresses, {:.0}% more",
             protocol.name(),
-            report.set_count(),
-            report.ipv4_addresses(),
-            report.ipv6_addresses(),
+            dual.set_count(),
+            dual.ipv4_addresses(),
+            dual.ipv6_addresses(),
             simple * 100.0,
             medium * 100.0,
             large * 100.0,
         );
-        total_sets += report.set_count();
+        total_sets += dual.set_count();
     }
 
     // Sanity check against ground truth: how many devices really are

@@ -1,6 +1,7 @@
 //! Internet survey: combine the single-VP active scan with a Censys-like
 //! distributed snapshot (the paper's Table 1 / Table 3 story) and show how
-//! much each data source contributes.
+//! much each data source contributes — resolving every source through the
+//! same `Resolver`, fed pre-collected data via `CampaignData`.
 //!
 //! Run with: `cargo run --release --example internet_survey`
 
@@ -11,44 +12,56 @@ use std::net::IpAddr;
 fn main() {
     let internet = InternetBuilder::new(InternetConfig::small(2023)).build();
 
+    // Our own active measurement from a single vantage point, run by the
+    // resolver itself.
+    let resolver = Resolver::builder()
+        .technique(IdentifierTechnique::ssh())
+        .build();
+    let active_report = resolver.resolve(&internet);
+    let active = active_report
+        .campaign
+        .as_ref()
+        .expect("resolver ran the scan");
+
     // Censys crawls from a distributed fleet and is therefore not subject to
     // the single-VP rate limiting; it also lists some SSH hosts on
-    // non-standard ports, which we exclude like the paper does.
+    // non-standard ports, which we exclude like the paper does.  The same
+    // resolver consumes the snapshot as pre-collected campaign data.
     let snapshot = CensysSnapshot::collect(&internet, CensysConfig::default());
     let censys = snapshot.default_port_observations();
+    let censys_report =
+        resolver.resolve_data(&internet, &CampaignData::from_observations(censys.clone()));
 
-    // Our own active measurement from a single vantage point.
-    let active = ActiveCampaign::with_defaults(&internet)
-        .with_threads(alias_resolution::exec::threads_from_env())
-        .run(&internet)
-        .observations;
+    // And the union of both sources.
+    let mut union = active.observations.clone();
+    union.extend(censys.iter().cloned());
 
-    let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
-    let count = |observations: &[ServiceObservation]| {
-        let ssh: BTreeSet<IpAddr> = observations
+    let ssh_v4 = |observations: &[ServiceObservation]| {
+        observations
             .iter()
             .filter(|o| o.protocol() == ServiceProtocol::Ssh && !o.is_ipv6())
             .map(|o| o.addr)
-            .collect();
-        let collection = AliasSetCollection::from_observations(
-            observations
-                .iter()
-                .filter(|o| o.protocol() == ServiceProtocol::Ssh),
-            &extractor,
-        );
-        (ssh.len(), collection.ipv4_sets().len())
+            .collect::<BTreeSet<IpAddr>>()
+            .len()
     };
+    let active_ips = ssh_v4(&active.observations);
+    let censys_ips = ssh_v4(&censys);
+    let union_ips = ssh_v4(&union);
+    let union_report = resolver.resolve_data(&internet, &CampaignData::from_observations(union));
 
-    let (active_ips, active_sets) = count(&active);
-    let (censys_ips, censys_sets) = count(&censys);
-    let mut union = active.clone();
-    union.extend(censys.iter().cloned());
-    let (union_ips, union_sets) = count(&union);
-
-    println!("SSH IPv4 coverage by data source");
-    println!("  active measurements : {active_ips:>7} IPs, {active_sets:>6} alias sets");
-    println!("  censys snapshot     : {censys_ips:>7} IPs, {censys_sets:>6} alias sets");
-    println!("  union               : {union_ips:>7} IPs, {union_sets:>6} alias sets");
+    println!("SSH coverage by data source (sets span both address families)");
+    for (label, ips, report) in [
+        ("active measurements", active_ips, &active_report),
+        ("censys snapshot", censys_ips, &censys_report),
+        ("union", union_ips, &union_report),
+    ] {
+        let ssh = report.technique("ssh").expect("ssh registered");
+        println!(
+            "  {label:<20}: {ips:>7} IPv4 IPs, {:>6} alias sets covering {} addresses",
+            ssh.set_count(),
+            ssh.covered_addresses()
+        );
+    }
     println!(
         "  censys found {} SSH records on non-standard ports (excluded from the analysis)",
         snapshot.nonstandard_port_observations().len()

@@ -1,6 +1,6 @@
-//! Quickstart: build a small synthetic Internet, scan it for SSH, BGP and
-//! SNMPv3, and group the responsive addresses into alias and dual-stack
-//! sets — the whole methodology of the paper in ~60 lines.
+//! Quickstart: build a small synthetic Internet and resolve it end to end
+//! through the unified `Resolver` — scan, per-technique alias resolution
+//! (SSH, BGP, SNMPv3) and the cross-technique merge, in one call.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -16,57 +16,49 @@ fn main() {
         internet.ases().len()
     );
 
-    // 2. The two-phase active measurement: ZMap SYN discovery followed by
-    //    ZGrab-style service scans, plus SNMPv3 discovery and an IPv6
-    //    hitlist, all from a single vantage point.  The thread count
-    //    (ALIAS_THREADS, default: all cores) never changes the output.
-    let campaign = ActiveCampaign::with_defaults(&internet)
-        .with_threads(alias_resolution::exec::threads_from_env());
-    let data = campaign.run(&internet);
+    // 2. One entry point for the whole methodology: the resolver runs the
+    //    two-phase active measurement (ZMap SYN discovery, ZGrab-style
+    //    service scans, SNMPv3 discovery, an IPv6 hitlist), hands the
+    //    observations to every registered technique, and merges the
+    //    resulting alias sets across techniques.  The thread count defaults
+    //    to ALIAS_THREADS (all cores when unset) and never changes output.
+    let resolver = Resolver::builder().paper_techniques().build();
+    let report = resolver.resolve(&internet);
+    let data = report.campaign.as_ref().expect("resolver ran the scan");
     println!(
         "Campaign finished after {:.1} simulated hours with {} observations",
         data.finished_at.as_secs_f64() / 3600.0,
         data.observations.len()
     );
 
-    // 3. Group addresses by protocol identifier (banner + capabilities +
-    //    host key for SSH; the OPEN fields for BGP; the engine ID for
-    //    SNMPv3).
-    let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
-    for protocol in [
-        ServiceProtocol::Ssh,
-        ServiceProtocol::Bgp,
-        ServiceProtocol::Snmpv3,
-    ] {
-        let collection = AliasSetCollection::from_observations(
-            data.observations
-                .iter()
-                .filter(|o| o.protocol() == protocol),
-            &extractor,
-        );
-        let v4_sets = collection.ipv4_sets();
-        let dual = DualStackReport::from_collection(&collection);
+    // 3. Per-technique results: alias sets grouped by application-layer
+    //    identifier (banner + capabilities + host key for SSH; the OPEN
+    //    fields for BGP; the engine ID for SNMPv3).
+    for coverage in &report.coverage.per_technique {
         println!(
-            "{:>7}: {} responsive addresses, {} IPv4 alias sets covering {} addresses, {} dual-stack sets",
-            protocol.name(),
-            collection.all_addresses().len(),
-            v4_sets.len(),
-            collection.covered_addresses(false),
-            dual.set_count(),
+            "{:>7}: {} testable addresses, {} alias sets covering {} addresses",
+            coverage.technique,
+            coverage.testable_addresses,
+            coverage.alias_sets,
+            coverage.covered_addresses,
+        );
+    }
+    println!(
+        "  union: {} merged sets covering {} addresses",
+        report.coverage.merged_sets, report.coverage.merged_addresses
+    );
+    for agreement in &report.coverage.agreements {
+        println!(
+            "  {}-{}: {}/{} comparable sets agree",
+            agreement.a, agreement.b, agreement.result.agree, agreement.result.sample_size,
         );
     }
 
     // 4. Because the substrate is simulated, the inference can be scored
     //    against ground truth — something the paper could not do.
     let truth = internet.ground_truth();
-    let ssh = AliasSetCollection::from_observations(
-        data.observations
-            .iter()
-            .filter(|o| o.protocol() == ServiceProtocol::Ssh),
-        &extractor,
-    );
-    let sets = ssh.ipv4_sets();
-    let score = truth.score_sets(sets.iter().map(|s| s.iter()));
+    let ssh = report.technique("ssh").expect("ssh technique registered");
+    let score = truth.score_sets(ssh.alias_sets.iter().map(|s| s.iter()));
     println!(
         "SSH alias sets vs ground truth: precision {:.3}, recall {:.3}",
         score.precision(),

@@ -16,25 +16,36 @@
 //! * [`censys`] — Censys-like distributed snapshots,
 //! * [`midar`] — Ally / MIDAR / Speedtrap / iffinder baselines,
 //! * [`core`] — identifiers, alias sets, dual-stack inference, validation
-//!   and AS-level analysis (the paper's contribution).
+//!   and AS-level analysis (the paper's contribution),
+//! * [`resolve`] — the unified [`Resolver`](prelude::Resolver) pipeline:
+//!   every technique above behind one
+//!   [`ResolutionTechnique`](prelude::ResolutionTechnique) trait.
 //!
 //! ## Quick start
+//!
+//! The [`prelude::Resolver`] is the one entry point: register any mix of
+//! techniques, run the scan, read the structured report.
 //!
 //! ```
 //! use alias_resolution::prelude::*;
 //!
-//! // A small synthetic Internet, scanned end to end.
+//! // A small synthetic Internet, scanned and resolved end to end: the
+//! // paper's three identifier techniques plus the MIDAR baseline, all
+//! // through the same trait-object pipeline.
 //! let internet = InternetBuilder::new(InternetConfig::tiny(7)).build();
-//! let campaign = ActiveCampaign::with_defaults(&internet);
-//! let data = campaign.run(&internet);
+//! let resolver = Resolver::builder()
+//!     .paper_techniques() // SSH + BGP + SNMPv3 identifiers
+//!     .technique(MidarTechnique::new())
+//!     .threads(2) // a pure performance knob; output is identical for any value
+//!     .build();
+//! let report = resolver.resolve(&internet);
 //!
-//! // Group SSH observations into alias sets with the paper's identifier.
-//! let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
-//! let ssh = AliasSetCollection::from_observations(
-//!     data.observations.iter().filter(|o| o.protocol() == ServiceProtocol::Ssh),
-//!     &extractor,
-//! );
-//! assert!(!ssh.sets().is_empty());
+//! // Per-technique alias sets, cross-technique merged sets, agreement.
+//! let ssh = report.technique("ssh").unwrap();
+//! assert!(!ssh.alias_sets.is_empty());
+//! assert_eq!(report.techniques.len(), 4);
+//! assert_eq!(report.coverage.merged_sets, report.merged.len());
+//! assert_eq!(report.coverage.agreements.len(), 6); // every technique pair
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,13 +55,14 @@ pub use alias_core as core;
 pub use alias_exec as exec;
 pub use alias_midar as midar;
 pub use alias_netsim as netsim;
+pub use alias_resolve as resolve;
 pub use alias_scan as scan;
 pub use alias_wire as wire;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use alias_censys::{CensysConfig, CensysSnapshot};
-    pub use alias_core::alias_set::{AliasSet, AliasSetCollection};
+    pub use alias_core::alias_set::{AliasSet, AliasSetBuilder, AliasSetCollection};
     pub use alias_core::dual_stack::{DualStackReport, DualStackSet};
     pub use alias_core::ecdf::Ecdf;
     pub use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
@@ -62,8 +74,14 @@ pub mod prelude {
         Internet, InternetBuilder, InternetConfig, ScalePreset, ServiceProtocol, SimTime,
         VantageKind,
     };
+    pub use alias_resolve::{
+        AllyTechnique, CoverageStats, DataRequirement, IdentifierTechnique, IffinderTechnique,
+        MergePolicy, MidarTechnique, ResolutionReport, ResolutionTechnique, Resolver,
+        ResolverBuilder, SpeedtrapTechnique, StageTimings, TechniqueCtx, TechniqueResult,
+        TechniqueTiming,
+    };
     pub use alias_scan::{
-        ActiveCampaign, CampaignData, DataSource, Ipv6Hitlist, ServiceObservation, ServicePayload,
-        ZgrabScanner, ZmapScanner,
+        ActiveCampaign, CampaignData, DataSource, Ipv6Hitlist, ObservationSink, ServiceObservation,
+        ServicePayload, ZgrabScanner, ZmapScanner,
     };
 }

@@ -14,7 +14,7 @@
 pub mod strategy;
 pub mod test_runner;
 
-/// `any::<T>()` and the [`Arbitrary`] trait.
+/// `any::<T>()` and the `Arbitrary` trait.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -71,7 +71,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: an exact length or a range.
+    /// Size specification for [`vec()`]: an exact length or a range.
     pub trait IntoSizeRange {
         /// Returns the inclusive (min, max) length bounds.
         fn bounds(&self) -> (usize, usize);
@@ -90,7 +90,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
