@@ -21,14 +21,16 @@ fn bench_parallel_merge(c: &mut Criterion) {
     .iter()
     .map(|&p| (p.name(), experiment.collection(p, None).ipv4_sets()))
     .collect();
+    let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
+        labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
 
     let mut group = c.benchmark_group("merge_consolidation");
-    group.bench_function("serial", |b| b.iter(|| merge_labeled_sets(&labeled)));
+    group.bench_function("serial", |b| b.iter(|| merge_labeled_sets(&inputs)));
     for threads in [2usize, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("sharded", threads),
             &threads,
-            |b, &threads| b.iter(|| merge_labeled_sets_parallel(&labeled, threads)),
+            |b, &threads| b.iter(|| merge_labeled_sets_parallel(&inputs, threads)),
         );
     }
     group.finish();

@@ -1,0 +1,187 @@
+//! Compare two `BENCH_*.json` trajectories and warn about perf regressions.
+//!
+//! Usage: `bench_diff <baseline.json> <candidate.json> [--warn-threshold <pct>]`
+//!
+//! Runs are matched by thread count; for each matched pair the per-stage
+//! timings (`merge_ms`, `campaign_ms`, …) and the per-technique
+//! `resolve_ms` are compared.  A regression beyond the threshold (default
+//! 20%) prints a GitHub-Actions `::warning::` annotation — the job keeps
+//! going and exits 0, because wall-clock on shared CI runners is noisy;
+//! the annotations make a trend visible without blocking merges.  Only
+//! usage or parse errors exit non-zero.
+//!
+//! Trajectories recorded at different scale presets are not comparable;
+//! the tool says so and skips the comparison rather than emitting
+//! meaningless warnings.
+
+use alias_bench::{BenchReport, BenchRun};
+
+fn main() {
+    let (baseline_path, candidate_path, threshold_pct) = parse_args();
+    let baseline = load(&baseline_path);
+    let candidate = load(&candidate_path);
+
+    println!(
+        "comparing {} ({} @ scale {}) against {} ({} @ scale {})",
+        candidate_path,
+        candidate.bench,
+        candidate.scale,
+        baseline_path,
+        baseline.bench,
+        baseline.scale,
+    );
+    if baseline.scale != candidate.scale {
+        println!(
+            "note: scale presets differ ({} vs {}); timings are not comparable — skipping",
+            baseline.scale, candidate.scale
+        );
+        return;
+    }
+
+    let mut warnings = 0usize;
+    let mut compared = 0usize;
+    for candidate_run in &candidate.runs {
+        let Some(baseline_run) = baseline
+            .runs
+            .iter()
+            .find(|r| r.threads == candidate_run.threads)
+        else {
+            println!(
+                "note: baseline has no run at {} threads — skipping that row",
+                candidate_run.threads
+            );
+            continue;
+        };
+        warnings += compare_runs(baseline_run, candidate_run, threshold_pct, &mut compared);
+    }
+    println!(
+        "{compared} timings compared, {warnings} regression warning(s) \
+         (threshold: {threshold_pct}%)"
+    );
+}
+
+/// Compare one pair of same-thread-count runs; returns the warning count.
+fn compare_runs(
+    baseline: &BenchRun,
+    candidate: &BenchRun,
+    threshold_pct: u64,
+    compared: &mut usize,
+) -> usize {
+    let threads = candidate.threads;
+    let mut warnings = 0usize;
+    let stage_pairs = [
+        (
+            "build_internet_ms",
+            baseline.stages.build_internet_ms,
+            candidate.stages.build_internet_ms,
+        ),
+        (
+            "censys_ms",
+            baseline.stages.censys_ms,
+            candidate.stages.censys_ms,
+        ),
+        (
+            "campaign_ms",
+            baseline.stages.campaign_ms,
+            candidate.stages.campaign_ms,
+        ),
+        (
+            "merge_ms",
+            baseline.stages.merge_ms,
+            candidate.stages.merge_ms,
+        ),
+    ];
+    for (stage, before, after) in stage_pairs {
+        if let Some(warned) = warn_if_regressed(
+            &format!("{stage} @ {threads} threads"),
+            before,
+            after,
+            threshold_pct,
+        ) {
+            *compared += 1;
+            warnings += warned;
+        }
+    }
+    for candidate_technique in &candidate.technique_ms {
+        let Some(baseline_technique) = baseline
+            .technique_ms
+            .iter()
+            .find(|t| t.technique == candidate_technique.technique)
+        else {
+            continue;
+        };
+        if let Some(warned) = warn_if_regressed(
+            &format!(
+                "technique {} resolve_ms @ {threads} threads",
+                candidate_technique.technique
+            ),
+            baseline_technique.resolve_ms,
+            candidate_technique.resolve_ms,
+            threshold_pct,
+        ) {
+            *compared += 1;
+            warnings += warned;
+        }
+    }
+    warnings
+}
+
+/// Emit a `::warning::` annotation when `after` exceeds `before` by more
+/// than `threshold_pct` percent; returns `Some(1)` when it warned,
+/// `Some(0)` when the timing was checked and fine, and `None` when the
+/// baseline is below 10 ms — at that resolution a single timer tick trips
+/// any percentage threshold, so such rows are skipped, not compared.
+fn warn_if_regressed(what: &str, before: u64, after: u64, threshold_pct: u64) -> Option<usize> {
+    if before < 10 {
+        return None;
+    }
+    if after * 100 > before * (100 + threshold_pct) {
+        println!(
+            "::warning::perf regression: {what} went {before} ms -> {after} ms \
+             (+{:.0}%, threshold {threshold_pct}%)",
+            (after as f64 / before as f64 - 1.0) * 100.0
+        );
+        Some(1)
+    } else {
+        Some(0)
+    }
+}
+
+fn load(path: &str) -> BenchReport {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("error: could not read {path}: {err}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&raw).unwrap_or_else(|err| {
+        eprintln!("error: {path} is not a BENCH_*.json trajectory: {err}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> (String, String, u64) {
+    let mut positional = Vec::new();
+    let mut threshold = 20u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--warn-threshold" => match args.next().map(|raw| raw.parse::<u64>()) {
+                Some(Ok(pct)) => threshold = pct,
+                _ => usage("--warn-threshold requires an integer percentage"),
+            },
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if positional.len() != 2 {
+        usage("expected exactly two trajectory paths");
+    }
+    let candidate = positional.pop().expect("checked length");
+    let baseline = positional.pop().expect("checked length");
+    (baseline, candidate, threshold)
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--warn-threshold <pct>]");
+    std::process::exit(2);
+}

@@ -56,7 +56,7 @@ fn main() {
         } else {
             serial_doc
         };
-        let report = BenchReport::new("PR3", preset, seed, runs);
+        let report = BenchReport::new("PR4", preset, seed, runs);
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("could not write {path}: {err}");
             std::process::exit(1);

@@ -29,8 +29,10 @@ use alias_netsim::{Internet, InternetBuilder, InternetConfig, ScalePreset, SimTi
 use alias_resolve::{ResolutionReport, Resolver};
 use alias_scan::campaign::CampaignConfig;
 use alias_scan::{DataSource, ServiceObservation, ServiceProtocol};
+use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 pub use alias_resolve::{StageTimings, TechniqueTiming};
 
@@ -81,7 +83,14 @@ pub struct Experiment {
     /// alias sets, merged sets, coverage/agreement statistics and the
     /// per-technique timing breakdown the bench trajectory records.
     pub resolution: ResolutionReport,
+    /// Memoised per-(protocol, source) alias-set collections: every table
+    /// and figure regroups the same observations, so each grouping is
+    /// computed once and shared.
+    collections: Mutex<CollectionCache>,
 }
+
+/// Cache key → shared collection for [`Experiment::collection`].
+type CollectionCache = HashMap<(ServiceProtocol, Option<DataSource>), Arc<AliasSetCollection>>;
 
 impl Experiment {
     /// Build the Internet, collect the Censys snapshot, apply three weeks of
@@ -115,7 +124,9 @@ impl Experiment {
                 .iter()
                 .map(|&p| (p.name(), experiment.collection(p, None).family_sets(ipv6)))
                 .collect();
-            let _ = experiment.merge_labeled(&labeled);
+            let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
+                labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
+            let _ = experiment.merge_labeled(&inputs);
         }
         timings.merge_ms = stage.elapsed().as_millis() as u64;
         (experiment, timings)
@@ -187,6 +198,7 @@ impl Experiment {
             active_start,
             threads,
             resolution,
+            collections: Mutex::new(HashMap::new()),
         };
         (experiment, timings)
     }
@@ -198,8 +210,9 @@ impl Experiment {
 
     /// Merge labelled set collections on this experiment's thread pool.
     /// Byte-identical to [`alias_core::merge::merge_labeled_sets`] for any
-    /// thread count.
-    pub fn merge_labeled(&self, inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<MergedSet> {
+    /// thread count.  Inputs are borrowed slices — nothing is cloned on the
+    /// way into the merge.
+    pub fn merge_labeled(&self, inputs: &[(&str, &[BTreeSet<IpAddr>])]) -> Vec<MergedSet> {
         merge_labeled_sets_parallel(inputs, self.threads)
     }
 
@@ -212,16 +225,34 @@ impl Experiment {
     }
 
     /// Alias-set collection for one protocol and data source (None = union).
+    ///
+    /// Collections are memoised: grouping is deterministic for a built
+    /// experiment, and the tables and figures ask for the same handful of
+    /// (protocol, source) pairs over and over.
     pub fn collection(
         &self,
         protocol: ServiceProtocol,
         source: Option<DataSource>,
-    ) -> AliasSetCollection {
+    ) -> Arc<AliasSetCollection> {
+        let key = (protocol, source);
+        if let Some(cached) = self.collections.lock().get(&key) {
+            return cached.clone();
+        }
         let observations = self
             .observations(source)
             .iter()
             .filter(|o| o.protocol() == protocol);
-        AliasSetCollection::from_observations(observations, &self.extractor)
+        let computed = Arc::new(AliasSetCollection::from_observations(
+            observations,
+            &self.extractor,
+        ));
+        // Recomputing on a race is harmless (identical result); keep the
+        // first entry so every caller shares one allocation.
+        self.collections
+            .lock()
+            .entry(key)
+            .or_insert(computed)
+            .clone()
     }
 
     /// Per-protocol responsive addresses of one family in the union data.
@@ -407,7 +438,7 @@ pub fn table3(exp: &Experiment) -> String {
             let merged = exp.merge_labeled(
                 &labeled
                     .iter()
-                    .map(|(l, s)| (*l, s.clone()))
+                    .map(|(l, s)| (*l, s.as_slice()))
                     .collect::<Vec<_>>(),
             );
             let union_addrs: usize = merged.iter().map(|m| m.addrs.len()).sum();
@@ -460,7 +491,7 @@ pub fn table4(exp: &Experiment) -> String {
     let merged = exp.merge_labeled(
         &labeled
             .iter()
-            .map(|(l, s)| (*l, s.clone()))
+            .map(|(l, s)| (*l, s.as_slice()))
             .collect::<Vec<_>>(),
     );
     let v4: usize = merged
@@ -528,7 +559,7 @@ pub fn table5(exp: &Experiment) -> String {
         .merge_labeled(
             &labeled
                 .iter()
-                .map(|(l, s)| (*l, s.clone()))
+                .map(|(l, s)| (*l, s.as_slice()))
                 .collect::<Vec<_>>(),
         )
         .into_iter()
@@ -579,7 +610,7 @@ pub fn table6(exp: &Experiment) -> String {
         .merge_labeled(
             &v6_labeled
                 .iter()
-                .map(|(l, s)| (*l, s.clone()))
+                .map(|(l, s)| (*l, s.as_slice()))
                 .collect::<Vec<_>>(),
         )
         .into_iter()
@@ -589,7 +620,7 @@ pub fn table6(exp: &Experiment) -> String {
         .merge_labeled(
             &ds_labeled
                 .iter()
-                .map(|(l, s)| (*l, s.clone()))
+                .map(|(l, s)| (*l, s.as_slice()))
                 .collect::<Vec<_>>(),
         )
         .into_iter()
@@ -749,7 +780,7 @@ pub fn figure6(exp: &Experiment) -> String {
         .merge_labeled(
             &labeled
                 .iter()
-                .map(|(l, s)| (*l, s.clone()))
+                .map(|(l, s)| (*l, s.as_slice()))
                 .collect::<Vec<_>>(),
         )
         .into_iter()
@@ -759,7 +790,7 @@ pub fn figure6(exp: &Experiment) -> String {
         .merge_labeled(
             &ds_labeled
                 .iter()
-                .map(|(l, s)| (*l, s.clone()))
+                .map(|(l, s)| (*l, s.as_slice()))
                 .collect::<Vec<_>>(),
         )
         .into_iter()
@@ -845,7 +876,12 @@ pub fn stats(exp: &Experiment) -> String {
             .iter()
             .map(|&p| (p.name(), exp.collection(p, None).family_sets(ipv6)))
             .collect();
-        let merged = exp.merge_labeled(&labeled);
+        let merged = exp.merge_labeled(
+            &labeled
+                .iter()
+                .map(|(l, s)| (*l, s.as_slice()))
+                .collect::<Vec<_>>(),
+        );
         let attribution = ProtocolAttribution::compute(&merged);
         out.push_str(&format!(
             "{} union alias sets: {} total, {} only via SNMPv3, {} via SSH or BGP\n",
@@ -1092,7 +1128,7 @@ mod tests {
                     .map(|s| s.addrs.clone())
                     .collect(),
             );
-            assert_eq!(result.alias_sets, legacy_sets, "{}", protocol.name());
+            assert_eq!(result.alias_sets(), legacy_sets, "{}", protocol.name());
         }
         assert_eq!(
             exp.resolution.technique_timings.len(),

@@ -1,7 +1,15 @@
 //! Alias sets: groups of addresses sharing a protocol identifier.
+//!
+//! Grouping runs in id space: identifiers are interned to
+//! [`IdentId`](crate::intern::IdentId)s and
+//! addresses to [`AddrId`]s, so the per-observation work is two hash
+//! lookups and a `Vec` push — no owned-`String` map keys, no per-insert
+//! ordered-set rebalancing.  Addresses come back only when a collection or
+//! [`CompactGrouping`] is materialised for reports.
 
 use crate::extract::IdentifierExtractor;
 use crate::identifier::ProtocolIdentifier;
+use crate::intern::{sort_canonical_compact, AddrId, AddrInterner, CompactAliasSet, IdentInterner};
 use alias_scan::{ObservationSink, ServiceObservation};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
@@ -58,7 +66,11 @@ pub struct AliasSetCollection {
 #[derive(Debug, Clone, Default)]
 pub struct AliasSetBuilder {
     extractor: IdentifierExtractor,
-    by_identifier: HashMap<ProtocolIdentifier, BTreeSet<IpAddr>>,
+    addrs: AddrInterner,
+    idents: IdentInterner,
+    /// Member ids per identifier, indexed by [`IdentId`]; may hold
+    /// duplicates until [`finish`](Self::finish) deduplicates.
+    groups: Vec<Vec<AddrId>>,
     asn_of: HashMap<IpAddr, u32>,
 }
 
@@ -67,7 +79,9 @@ impl AliasSetBuilder {
     pub fn new(extractor: IdentifierExtractor) -> Self {
         AliasSetBuilder {
             extractor,
-            by_identifier: HashMap::new(),
+            addrs: AddrInterner::new(),
+            idents: IdentInterner::new(),
+            groups: Vec::new(),
             asn_of: HashMap::new(),
         }
     }
@@ -79,10 +93,12 @@ impl AliasSetBuilder {
         let Some(identifier) = self.extractor.extract(observation) else {
             return;
         };
-        self.by_identifier
-            .entry(identifier)
-            .or_default()
-            .insert(observation.addr);
+        let ident = self.idents.intern(identifier);
+        if ident.index() == self.groups.len() {
+            self.groups.push(Vec::new());
+        }
+        let addr = self.addrs.intern(observation.addr);
+        self.groups[ident.index()].push(addr);
         if let Some(asn) = observation.asn {
             self.asn_of.insert(observation.addr, asn);
         }
@@ -91,10 +107,16 @@ impl AliasSetBuilder {
     /// Finish grouping and produce the collection (deterministic order:
     /// biggest sets first, ties broken by members).
     pub fn finish(self) -> AliasSetCollection {
+        let addrs = self.addrs;
         let mut sets: Vec<AliasSet> = self
-            .by_identifier
+            .idents
+            .into_keys()
             .into_iter()
-            .map(|(identifier, addrs)| AliasSet { identifier, addrs })
+            .zip(self.groups)
+            .map(|(identifier, ids)| AliasSet {
+                identifier,
+                addrs: ids.iter().map(|&id| addrs.addr(id)).collect(),
+            })
             .collect();
         sets.sort_by(|a, b| {
             b.len()
@@ -188,6 +210,119 @@ impl AliasSetCollection {
     pub fn set_sizes(&self, ipv6: bool) -> Vec<usize> {
         self.family_sets(ipv6).iter().map(BTreeSet::len).collect()
     }
+}
+
+/// Identifier grouping in id space: the output of
+/// [`group_observations_compact`].
+///
+/// Alias sets are [`CompactAliasSet`]s over a campaign's [`AddrInterner`];
+/// addresses are resolved only at the report boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactGrouping {
+    /// Non-singleton alias sets in canonical order (ascending by smallest
+    /// member address, larger sets first on ties).
+    pub sets: Vec<CompactAliasSet>,
+    /// Every identified address (any set size), as sorted distinct ids —
+    /// the id-space equivalent of `AliasSetCollection::all_addresses`.
+    pub testable: Vec<AddrId>,
+}
+
+impl CompactGrouping {
+    /// Resolve the testable ids back to addresses (report boundary).
+    pub fn testable_addrs(&self, interner: &AddrInterner) -> BTreeSet<IpAddr> {
+        self.testable.iter().map(|&id| interner.addr(id)).collect()
+    }
+}
+
+/// Group observations by extracted identifier, entirely in id space, with
+/// `threads` shard workers.
+///
+/// Each shard groups its contiguous slice of the observations into maps
+/// keyed by a shard-local [`IdentId`](crate::intern::IdentId); the join
+/// then reduces in id space —
+/// walking every shard's interner in id order and re-interning only each
+/// shard's *distinct* identifiers — instead of re-hashing the full
+/// identifier material once per observation.  Because shards are contiguous
+/// slices reduced in shard order, the grouped output (including member
+/// order and identifier numbering) is identical for every thread count.
+///
+/// # Panics
+/// Panics if an observation's address is missing from `interner`; the
+/// campaign interner covers every observed address by construction, so this
+/// only fires when observations were mutated after the interner was built.
+pub fn group_observations_compact(
+    observations: &[&ServiceObservation],
+    extractor: &IdentifierExtractor,
+    interner: &AddrInterner,
+    threads: usize,
+) -> CompactGrouping {
+    // Extraction + hashing is CPU-bound with no per-item pacing overhead
+    // to amortise, so workers beyond the machine's parallelism only add
+    // scheduling noise; the clamp never changes the output (the grouping
+    // is shard-count independent).
+    let threads = threads.min(alias_exec::available_parallelism());
+    let shard_count = if threads <= 1 {
+        1
+    } else {
+        threads * alias_exec::SHARDS_PER_THREAD
+    };
+    let shard_ranges = alias_exec::split_even(observations.len() as u64, shard_count);
+    let shards: Vec<(IdentInterner, Vec<Vec<AddrId>>)> =
+        alias_exec::shard_map(shard_ranges.len(), threads, |shard| {
+            let range = &shard_ranges[shard];
+            let mut idents = IdentInterner::new();
+            let mut groups: Vec<Vec<AddrId>> = Vec::new();
+            for observation in &observations[range.start as usize..range.end as usize] {
+                let Some(identifier) = extractor.extract(observation) else {
+                    continue;
+                };
+                let ident = idents.intern(identifier);
+                if ident.index() == groups.len() {
+                    groups.push(Vec::new());
+                }
+                let addr = interner.get(observation.addr).expect(
+                    "the interner must cover every observation address; rebuild the campaign \
+                     data (CampaignData::from_observations) after mutating observations",
+                );
+                groups[ident.index()].push(addr);
+            }
+            (idents, groups)
+        });
+
+    // Id-space reduce, in shard order: re-intern each shard's distinct
+    // identifiers once (moved, not cloned) and splice the id-keyed groups
+    // together.  A single shard is already grouped — no join at all.
+    let single_shard = shards.len() == 1;
+    let mut idents = IdentInterner::new();
+    let mut groups: Vec<Vec<AddrId>> = Vec::new();
+    for (shard_idents, shard_groups) in shards {
+        if single_shard {
+            groups = shard_groups;
+            break;
+        }
+        for (identifier, members) in shard_idents.into_keys().into_iter().zip(shard_groups) {
+            let ident = idents.intern(identifier);
+            if ident.index() == groups.len() {
+                groups.push(members);
+            } else {
+                groups[ident.index()].extend(members);
+            }
+        }
+    }
+
+    let mut sets = Vec::new();
+    let mut testable: Vec<AddrId> = Vec::new();
+    for members in groups {
+        let set = CompactAliasSet::from_ids(members);
+        testable.extend(set.iter());
+        if set.len() >= 2 {
+            sets.push(set);
+        }
+    }
+    testable.sort_unstable();
+    testable.dedup();
+    sort_canonical_compact(&mut sets, interner);
+    CompactGrouping { sets, testable }
 }
 
 #[cfg(test)]
@@ -299,6 +434,55 @@ mod tests {
         assert!(collection.non_singleton_sets().is_empty());
         assert_eq!(collection.sets().len(), 2);
         assert_eq!(collection.covered_addresses(false), 0);
+    }
+
+    #[test]
+    fn compact_grouping_matches_the_collection_path_for_every_thread_count() {
+        // Interleave duplicates, multiple devices and both families so
+        // dedup, non-singleton filtering and canonical ordering all engage.
+        let obs = [
+            ssh_obs("10.0.0.3", 1, DataSource::Active),
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("10.0.0.1", 1, DataSource::Censys),
+            ssh_obs("10.2.0.1", 3, DataSource::Active),
+            ssh_obs("10.1.0.9", 2, DataSource::Active),
+            ssh_obs("2001:db8::1", 2, DataSource::Active),
+            ssh_obs("10.2.0.2", 3, DataSource::Active),
+            ssh_obs("10.9.0.1", 4, DataSource::Active),
+        ];
+        let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+        let refs: Vec<&ServiceObservation> = obs.iter().collect();
+        let interner = AddrInterner::from_addrs(obs.iter().map(|o| o.addr));
+        let legacy = AliasSetCollection::from_observations(obs.iter(), &extractor);
+        let legacy_sets: Vec<BTreeSet<IpAddr>> = {
+            let mut sets: Vec<BTreeSet<IpAddr>> = legacy
+                .non_singleton_sets()
+                .into_iter()
+                .map(|s| s.addrs.clone())
+                .collect();
+            sets.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
+            sets
+        };
+        let serial = group_observations_compact(&refs, &extractor, &interner, 1);
+        for threads in [1usize, 2, 7] {
+            let grouped = group_observations_compact(&refs, &extractor, &interner, threads);
+            assert_eq!(grouped, serial, "threads={threads}");
+            let resolved: Vec<BTreeSet<IpAddr>> = grouped
+                .sets
+                .iter()
+                .map(|s| s.to_addr_set(&interner))
+                .collect();
+            assert_eq!(resolved, legacy_sets, "threads={threads}");
+            assert_eq!(grouped.testable_addrs(&interner), legacy.all_addresses());
+        }
+    }
+
+    #[test]
+    fn compact_grouping_of_nothing_is_empty() {
+        let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+        let grouped = group_observations_compact(&[], &extractor, &AddrInterner::new(), 4);
+        assert!(grouped.sets.is_empty());
+        assert!(grouped.testable.is_empty());
     }
 
     #[test]

@@ -130,21 +130,24 @@ impl BgpIdentifier {
 }
 
 fn render_capabilities(params: &[OptionalParameter]) -> String {
-    let mut parts = Vec::with_capacity(params.len());
-    for param in params {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (index, param) in params.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
         match param {
             OptionalParameter::Capability(cap) => {
-                let value = cap.value_bytes();
-                let hex: String = value.iter().map(|b| format!("{b:02x}")).collect();
-                parts.push(format!("{}:{}", cap.code(), hex));
+                write!(out, "{}:", cap.code()).expect("write to String");
+                crate::hex::push_hex(&mut out, &cap.value_bytes());
             }
             OptionalParameter::Other { param_type, value } => {
-                let hex: String = value.iter().map(|b| format!("{b:02x}")).collect();
-                parts.push(format!("p{param_type}:{hex}"));
+                write!(out, "p{param_type}:").expect("write to String");
+                crate::hex::push_hex(&mut out, value);
             }
         }
     }
-    parts.join(",")
+    out
 }
 
 /// The SNMPv3 identifier: the authoritative engine ID.
@@ -292,6 +295,24 @@ mod tests {
         let a_full = BgpIdentifier::from_open(&open_msg(), BgpIdentifierPolicy::FullOpen);
         let b_full = BgpIdentifier::from_open(&other, BgpIdentifierPolicy::FullOpen);
         assert_ne!(a_full, b_full);
+    }
+
+    #[test]
+    fn capability_rendering_format_is_locked() {
+        // The capability string is part of the BGP identifier, so its exact
+        // format is load-bearing: changing it regroups alias sets.  Locked
+        // here: `code:hexvalue` / `ptype:hexvalue`, comma-joined, lowercase
+        // zero-padded hex, empty string for no parameters.
+        assert_eq!(render_capabilities(&[]), "");
+        let rendered = render_capabilities(&[
+            OptionalParameter::Capability(Capability::RouteRefresh),
+            OptionalParameter::Capability(Capability::FourOctetAs { asn: 396_982 }),
+            OptionalParameter::Other {
+                param_type: 9,
+                value: vec![0x00, 0x0f, 0xa0],
+            },
+        ]);
+        assert_eq!(rendered, "2:,65:00060eb6,p9:000fa0");
     }
 
     #[test]

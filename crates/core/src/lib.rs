@@ -31,15 +31,20 @@ pub mod dual_stack;
 pub mod ecdf;
 pub mod extract;
 pub mod identifier;
+pub mod intern;
 pub mod merge;
 pub mod report;
 pub mod union_find;
 pub mod validation;
 
-pub use alias_set::{AliasSet, AliasSetBuilder, AliasSetCollection};
+pub use alias_set::{
+    group_observations_compact, AliasSet, AliasSetBuilder, AliasSetCollection, CompactGrouping,
+};
+pub use alias_wire::hex;
 pub use dual_stack::DualStackSet;
 pub use ecdf::Ecdf;
 pub use extract::{ExtractionConfig, IdentifierExtractor};
 pub use identifier::{
     BgpIdentifier, BgpIdentifierPolicy, ProtocolIdentifier, SshIdentifier, SshIdentifierPolicy,
 };
+pub use intern::{AddrId, AddrInterner, CompactAliasSet, IdentId, IdentInterner};

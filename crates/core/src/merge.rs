@@ -5,10 +5,19 @@
 //! address, addresses are classified by how many services they answer, and
 //! each merged set is attributed to the protocols able to identify it
 //! ("40% can only be identified with SNMPv3 and 60% with SSH or BGP").
+//!
+//! The engine runs in id space: [`merge_labeled_compact`] unions
+//! [`CompactAliasSet`]s straight into a forest indexed by [`AddrId`] — no
+//! per-merge address→index re-keying, no per-set clones, no ordered-set
+//! rebalancing until the final [`MergedSet`]s are materialised.  The
+//! address-set entry points ([`merge_labeled_sets`],
+//! [`merge_labeled_sets_parallel`], [`merge_sets`]) intern their inputs
+//! once and delegate.
 
+use crate::intern::{AddrId, AddrInterner, CompactAliasSet};
 use crate::union_find::UnionFind;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
 
 /// A merged set with the labels (protocols / sources) that contributed to it.
@@ -27,201 +36,202 @@ impl MergedSet {
     }
 }
 
-/// Merge labelled collections of sets: sets sharing at least one address end
-/// up in the same merged set.
+/// Merge labelled collections of [`CompactAliasSet`]s sharing one id space:
+/// sets sharing at least one address end up in the same merged set.
 ///
+/// This is the engine the address-set entry points delegate to, and what
+/// the resolver calls directly with a campaign's interner — member ids
+/// index straight into the union–find forest, so there is no per-merge
+/// re-keying and no input cloning.  With `threads > 1` the union pass
+/// shards over the input sets (private forests reporting spanning edges to
+/// a boundary pass) and materialisation shards over the merged groups.
 /// The output is in canonical order — merged sets sorted by their smallest
-/// address — so the serial and [`merge_labeled_sets_parallel`] paths return
-/// identical vectors.
-pub fn merge_labeled_sets(inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<MergedSet> {
-    // Index all addresses.
-    let mut index: HashMap<IpAddr, usize> = HashMap::new();
-    for (_, sets) in inputs {
-        for set in sets {
-            for &addr in set {
-                let next = index.len();
-                index.entry(addr).or_insert(next);
-            }
-        }
-    }
-    let mut uf = UnionFind::new(index.len());
-    for (_, sets) in inputs {
-        for set in sets {
-            let mut iter = set.iter();
-            if let Some(first) = iter.next() {
-                let first_idx = index[first];
-                for addr in iter {
-                    uf.union(first_idx, index[addr]);
-                }
-            }
-        }
-    }
-    // Build merged membership.
-    let mut members: BTreeMap<usize, BTreeSet<IpAddr>> = BTreeMap::new();
-    for (&addr, &idx) in &index {
-        members.entry(uf.find(idx)).or_default().insert(addr);
-    }
-    // Attribute labels: an input set contributes its label to the merged set
-    // containing its members.
-    let mut labels: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
-    for (label, sets) in inputs {
-        for set in sets {
-            if let Some(first) = set.iter().next() {
-                let root = uf.find(index[first]);
-                labels.entry(root).or_default().insert((*label).to_owned());
-            }
-        }
-    }
-    sort_canonical(
-        members
-            .into_iter()
-            .map(|(root, addrs)| MergedSet {
-                addrs,
-                labels: labels.remove(&root).unwrap_or_default(),
-            })
-            .collect(),
-    )
-}
-
-/// [`merge_labeled_sets`] with `threads` shard workers.
-///
-/// The input sets are split into shards; each worker unions its shard into
-/// a private [`UnionFind`] forest and reports the forest's spanning edges,
-/// which a final boundary pass unions into the global forest.  Membership
-/// materialisation (the `BTreeSet` building, the expensive part) is then
-/// sharded over the address index using the compressed root table.  Because
-/// the merged partition of a set family is unique — independent of union
-/// order — and the output is sorted canonically by smallest member address,
-/// the result is identical to the serial path for every thread count.
-pub fn merge_labeled_sets_parallel(
-    inputs: &[(&str, Vec<BTreeSet<IpAddr>>)],
+/// address — and identical for every thread count, because the merged
+/// partition of a set family is independent of union order.
+pub fn merge_labeled_compact(
+    inputs: &[(&str, &[CompactAliasSet])],
+    interner: &AddrInterner,
     threads: usize,
 ) -> Vec<MergedSet> {
-    if threads <= 1 {
-        return merge_labeled_sets(inputs);
-    }
-    // Index all addresses (serial: index assignment follows input order).
-    let mut index: HashMap<IpAddr, usize> = HashMap::new();
-    let mut addr_of: Vec<IpAddr> = Vec::new();
+    // CPU-bound with no per-item pacing to amortise: workers beyond the
+    // machine's parallelism only add scheduling overhead, and the clamp
+    // never changes the output (the merged partition is thread-count
+    // independent).
+    let threads = threads.min(alias_exec::available_parallelism());
+    let universe = interner.len();
+    // Mark the addresses that actually occur in an input set: the interner
+    // may cover a whole campaign while the sets span only part of it.
+    let mut present = vec![false; universe];
     for (_, sets) in inputs {
-        for set in sets {
-            for &addr in set {
-                index.entry(addr).or_insert_with(|| {
-                    addr_of.push(addr);
-                    addr_of.len() - 1
-                });
+        for set in *sets {
+            for id in set.iter() {
+                present[id.index()] = true;
             }
         }
     }
-    let all_sets: Vec<&BTreeSet<IpAddr>> =
-        inputs.iter().flat_map(|(_, sets)| sets.iter()).collect();
 
-    // Per-shard forests over disjoint slices of the input sets.  Each
-    // forest is sized to the addresses its shard actually touches (compact
-    // local ids), not the whole universe — otherwise the O(shards × n)
-    // initialisation would erase the parallel win at scale.
-    let set_ranges = alias_exec::split_even(
-        all_sets.len() as u64,
-        threads * alias_exec::SHARDS_PER_THREAD,
-    );
-    let shard_edges: Vec<Vec<(usize, usize)>> =
-        alias_exec::shard_map(set_ranges.len(), threads, |shard| {
-            let range = &set_ranges[shard];
-            let shard_sets = &all_sets[range.start as usize..range.end as usize];
-            let mut local: HashMap<usize, usize> = HashMap::new();
-            let mut forest = UnionFind::new(0);
-            let mut local_of = |global: usize, forest: &mut UnionFind| -> usize {
-                *local.entry(global).or_insert_with(|| forest.push())
-            };
-            let mut edges = Vec::new();
-            for set in shard_sets {
-                let mut iter = set.iter();
-                if let Some(first) = iter.next() {
-                    let first_global = index[first];
-                    let first_local = local_of(first_global, &mut forest);
-                    for addr in iter {
-                        let other_global = index[addr];
-                        let other_local = local_of(other_global, &mut forest);
-                        // Only spanning edges survive: unions that are
-                        // redundant within the shard are dropped here
-                        // instead of burdening the boundary pass.
-                        if forest.union(first_local, other_local) {
-                            edges.push((first_global, other_global));
-                        }
+    // Union pass over the forest.  Serial: union within sets directly.
+    // Sharded: private per-shard forests with compact local ids report
+    // their spanning edges, which a serial boundary pass unions — redundant
+    // in-shard unions never reach the global forest.
+    let mut uf = UnionFind::new(universe);
+    if threads <= 1 {
+        for (_, sets) in inputs {
+            for set in *sets {
+                if let Some((&first, rest)) = set.ids().split_first() {
+                    for &other in rest {
+                        uf.union(first.index(), other.index());
                     }
                 }
             }
-            edges
-        });
-
-    // Boundary pass: union the shard forests' spanning edges.
-    let mut uf = UnionFind::new(addr_of.len());
-    for edges in shard_edges {
-        for (a, b) in edges {
-            uf.union(a, b);
+        }
+    } else {
+        let all_sets: Vec<&CompactAliasSet> =
+            inputs.iter().flat_map(|(_, sets)| sets.iter()).collect();
+        let set_ranges = alias_exec::split_even(
+            all_sets.len() as u64,
+            threads * alias_exec::SHARDS_PER_THREAD,
+        );
+        let shard_edges: Vec<Vec<(AddrId, AddrId)>> =
+            alias_exec::shard_map(set_ranges.len(), threads, |shard| {
+                let range = &set_ranges[shard];
+                let mut local: HashMap<AddrId, usize> = HashMap::new();
+                let mut forest = UnionFind::new(0);
+                let mut local_of = |global: AddrId, forest: &mut UnionFind| -> usize {
+                    *local.entry(global).or_insert_with(|| forest.push())
+                };
+                let mut edges = Vec::new();
+                for set in &all_sets[range.start as usize..range.end as usize] {
+                    if let Some((&first, rest)) = set.ids().split_first() {
+                        let first_local = local_of(first, &mut forest);
+                        for &other in rest {
+                            let other_local = local_of(other, &mut forest);
+                            if forest.union(first_local, other_local) {
+                                edges.push((first, other));
+                            }
+                        }
+                    }
+                }
+                edges
+            });
+        for edges in shard_edges {
+            for (a, b) in edges {
+                uf.union(a.index(), b.index());
+            }
         }
     }
-    let roots: Vec<usize> = (0..addr_of.len()).map(|idx| uf.find(idx)).collect();
 
-    // Materialise membership, sharded over the address index.
-    let addr_ranges = alias_exec::split_even(
-        addr_of.len() as u64,
-        threads * alias_exec::SHARDS_PER_THREAD,
+    // Bucket the present addresses by merged group.  Groups are numbered by
+    // first member in id order — a thread-independent keying, unlike the
+    // forest's internal representatives.
+    let mut slot_of_root = vec![usize::MAX; universe];
+    let mut groups: Vec<Vec<AddrId>> = Vec::new();
+    for (index, _) in present.iter().enumerate().filter(|(_, &p)| p) {
+        let root = uf.find(index);
+        let slot = if slot_of_root[root] == usize::MAX {
+            slot_of_root[root] = groups.len();
+            groups.push(Vec::new());
+            groups.len() - 1
+        } else {
+            slot_of_root[root]
+        };
+        groups[slot].push(AddrId(index as u32));
+    }
+
+    // Attribute labels: an input set contributes its label to the merged
+    // group containing its members (one find per input set).
+    let mut labels: Vec<BTreeSet<String>> = vec![BTreeSet::new(); groups.len()];
+    for (label, sets) in inputs {
+        for set in *sets {
+            if let Some(&first) = set.ids().first() {
+                let slot = slot_of_root[uf.find(first.index())];
+                labels[slot].insert((*label).to_owned());
+            }
+        }
+    }
+
+    // Materialise the merged sets at the address boundary, sharded over the
+    // groups (the ordered-set building is the expensive part).
+    let group_ranges = alias_exec::split_even(
+        groups.len() as u64,
+        if threads <= 1 {
+            1
+        } else {
+            threads * alias_exec::SHARDS_PER_THREAD
+        },
     );
-    let members = alias_exec::shard_reduce(
-        addr_ranges.len(),
+    let mut merged: Vec<MergedSet> = alias_exec::shard_reduce(
+        group_ranges.len(),
         threads,
         |shard| {
-            let range = &addr_ranges[shard];
-            let mut members: BTreeMap<usize, BTreeSet<IpAddr>> = BTreeMap::new();
-            for idx in range.start as usize..range.end as usize {
-                members.entry(roots[idx]).or_default().insert(addr_of[idx]);
-            }
-            members
+            let range = &group_ranges[shard];
+            (range.start as usize..range.end as usize)
+                .map(|slot| MergedSet {
+                    addrs: groups[slot].iter().map(|&id| interner.addr(id)).collect(),
+                    labels: labels[slot].clone(),
+                })
+                .collect::<Vec<_>>()
         },
-        BTreeMap::<usize, BTreeSet<IpAddr>>::new(),
+        Vec::with_capacity(groups.len()),
         |mut acc, part| {
-            for (root, addrs) in part {
-                acc.entry(root).or_default().extend(addrs);
-            }
+            acc.extend(part);
             acc
         },
     );
+    sort_canonical(&mut merged);
+    merged
+}
 
-    // Attribute labels (one root lookup per input set).
-    let mut labels: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
-    for (label, sets) in inputs {
-        for set in sets {
-            if let Some(first) = set.iter().next() {
-                let root = roots[index[first]];
-                labels.entry(root).or_default().insert((*label).to_owned());
-            }
-        }
-    }
-    sort_canonical(
-        members
-            .into_iter()
-            .map(|(root, addrs)| MergedSet {
-                addrs,
-                labels: labels.remove(&root).unwrap_or_default(),
-            })
-            .collect(),
-    )
+/// Merge labelled collections of sets: sets sharing at least one address end
+/// up in the same merged set.
+///
+/// The address-set entry point: members are interned once into a dense id
+/// space, then [`merge_labeled_compact`] does the actual work.  The output
+/// is in canonical order — merged sets sorted by their smallest address —
+/// so this and [`merge_labeled_sets_parallel`] return identical vectors.
+pub fn merge_labeled_sets(inputs: &[(&str, &[BTreeSet<IpAddr>])]) -> Vec<MergedSet> {
+    merge_labeled_sets_parallel(inputs, 1)
+}
+
+/// [`merge_labeled_sets`] with `threads` shard workers (byte-identical
+/// output for every thread count).
+pub fn merge_labeled_sets_parallel(
+    inputs: &[(&str, &[BTreeSet<IpAddr>])],
+    threads: usize,
+) -> Vec<MergedSet> {
+    // Intern all addresses (serial: id assignment follows input order).
+    let mut interner = AddrInterner::new();
+    let compact: Vec<(&str, Vec<CompactAliasSet>)> = inputs
+        .iter()
+        .map(|(label, sets)| {
+            (
+                *label,
+                sets.iter()
+                    .map(|set| CompactAliasSet::from_addr_set(set, &mut interner))
+                    .collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[CompactAliasSet])> = compact
+        .iter()
+        .map(|(label, sets)| (*label, sets.as_slice()))
+        .collect();
+    merge_labeled_compact(&borrowed, &interner, threads)
 }
 
 /// Canonical output order: merged sets sorted by their smallest address.
 /// The sets partition the address space, so smallest members are distinct
 /// and the order is total — and independent of union order, which is what
 /// makes serial and sharded merges comparable byte for byte.
-fn sort_canonical(mut merged: Vec<MergedSet>) -> Vec<MergedSet> {
+fn sort_canonical(merged: &mut [MergedSet]) {
     merged.sort_by(|a, b| a.addrs.iter().next().cmp(&b.addrs.iter().next()));
-    merged
 }
 
-/// Convenience: merge unlabelled set lists.
+/// Convenience: merge unlabelled set lists (borrowing the inputs — nothing
+/// is cloned on the way to the labelled path).
 pub fn merge_sets(inputs: &[Vec<BTreeSet<IpAddr>>]) -> Vec<BTreeSet<IpAddr>> {
-    let labelled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> =
-        inputs.iter().map(|sets| ("", sets.clone())).collect();
+    let labelled: Vec<(&str, &[BTreeSet<IpAddr>])> =
+        inputs.iter().map(|sets| ("", sets.as_slice())).collect();
     merge_labeled_sets(&labelled)
         .into_iter()
         .map(|m| m.addrs)
@@ -323,10 +333,9 @@ mod tests {
 
     #[test]
     fn disjoint_sets_stay_separate() {
-        let merged = merge_labeled_sets(&[
-            ("ssh", vec![set(&["10.0.0.1", "10.0.0.2"])]),
-            ("snmpv3", vec![set(&["10.1.0.1", "10.1.0.2"])]),
-        ]);
+        let ssh = vec![set(&["10.0.0.1", "10.0.0.2"])];
+        let snmp = vec![set(&["10.1.0.1", "10.1.0.2"])];
+        let merged = merge_labeled_sets(&[("ssh", &ssh), ("snmpv3", &snmp)]);
         assert_eq!(merged.len(), 2);
         assert!(merged.iter().any(|m| m.only_from("ssh")));
         assert!(merged.iter().any(|m| m.only_from("snmpv3")));
@@ -334,10 +343,9 @@ mod tests {
 
     #[test]
     fn overlapping_sets_merge_and_carry_both_labels() {
-        let merged = merge_labeled_sets(&[
-            ("ssh", vec![set(&["10.0.0.1", "10.0.0.2"])]),
-            ("bgp", vec![set(&["10.0.0.2", "10.0.0.3"])]),
-        ]);
+        let ssh = vec![set(&["10.0.0.1", "10.0.0.2"])];
+        let bgp = vec![set(&["10.0.0.2", "10.0.0.3"])];
+        let merged = merge_labeled_sets(&[("ssh", &ssh), ("bgp", &bgp)]);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].addrs.len(), 3);
         assert_eq!(merged[0].labels.len(), 2);
@@ -370,16 +378,12 @@ mod tests {
 
     #[test]
     fn attribution_counts_snmp_only_sets() {
-        let merged = merge_labeled_sets(&[
-            ("ssh", vec![set(&["10.0.0.1", "10.0.0.2"])]),
-            (
-                "snmpv3",
-                vec![
-                    set(&["10.1.0.1", "10.1.0.2"]),
-                    set(&["10.0.0.1", "10.0.0.9"]),
-                ],
-            ),
-        ]);
+        let ssh = vec![set(&["10.0.0.1", "10.0.0.2"])];
+        let snmp = vec![
+            set(&["10.1.0.1", "10.1.0.2"]),
+            set(&["10.0.0.1", "10.0.0.9"]),
+        ];
+        let merged = merge_labeled_sets(&[("ssh", &ssh), ("snmpv3", &snmp)]);
         let attribution = ProtocolAttribution::compute(&merged);
         assert_eq!(attribution.total, 2);
         assert_eq!(attribution.snmpv3_only, 1);
@@ -390,7 +394,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         assert!(merge_sets(&[]).is_empty());
-        assert!(merge_labeled_sets(&[("ssh", vec![])]).is_empty());
+        assert!(merge_labeled_sets(&[("ssh", &[])]).is_empty());
         let stats = MultiServiceStats::compute(&[]);
         assert_eq!(stats.total(), 0);
         assert_eq!(stats.single_fraction(), 0.0);
@@ -400,11 +404,10 @@ mod tests {
 
     #[test]
     fn output_is_sorted_by_smallest_address() {
-        let merged = merge_labeled_sets(&[
-            ("ssh", vec![set(&["10.9.0.1", "10.9.0.2"])]),
-            ("bgp", vec![set(&["10.0.0.5", "10.0.0.6"])]),
-            ("snmpv3", vec![set(&["10.4.0.1"])]),
-        ]);
+        let ssh = vec![set(&["10.9.0.1", "10.9.0.2"])];
+        let bgp = vec![set(&["10.0.0.5", "10.0.0.6"])];
+        let snmp = vec![set(&["10.4.0.1"])];
+        let merged = merge_labeled_sets(&[("ssh", &ssh), ("bgp", &bgp), ("snmpv3", &snmp)]);
         let firsts: Vec<IpAddr> = merged
             .iter()
             .map(|m| *m.addrs.iter().next().unwrap())
@@ -416,30 +419,21 @@ mod tests {
 
     #[test]
     fn parallel_merge_matches_serial_for_every_thread_count() {
-        let inputs = vec![
-            (
-                "ssh",
-                vec![
-                    set(&["10.0.0.1", "10.0.0.2"]),
-                    set(&["10.0.1.1", "10.0.1.2", "10.0.1.3"]),
-                    set(&["10.0.2.1"]),
-                ],
-            ),
-            (
-                "bgp",
-                vec![
-                    set(&["10.0.0.2", "10.0.0.3"]),
-                    set(&["10.0.3.1", "10.0.3.2"]),
-                ],
-            ),
-            (
-                "snmpv3",
-                vec![
-                    set(&["10.0.1.3", "10.0.3.1"]),
-                    set(&["10.0.4.1", "10.0.4.2"]),
-                ],
-            ),
+        let ssh = vec![
+            set(&["10.0.0.1", "10.0.0.2"]),
+            set(&["10.0.1.1", "10.0.1.2", "10.0.1.3"]),
+            set(&["10.0.2.1"]),
         ];
+        let bgp = vec![
+            set(&["10.0.0.2", "10.0.0.3"]),
+            set(&["10.0.3.1", "10.0.3.2"]),
+        ];
+        let snmp = vec![
+            set(&["10.0.1.3", "10.0.3.1"]),
+            set(&["10.0.4.1", "10.0.4.2"]),
+        ];
+        let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
+            vec![("ssh", &ssh), ("bgp", &bgp), ("snmpv3", &snmp)];
         let serial = merge_labeled_sets(&inputs);
         for threads in [1usize, 2, 7] {
             assert_eq!(
@@ -453,7 +447,7 @@ mod tests {
     #[test]
     fn parallel_merge_empty_inputs() {
         assert!(merge_labeled_sets_parallel(&[], 4).is_empty());
-        assert!(merge_labeled_sets_parallel(&[("ssh", vec![])], 4).is_empty());
+        assert!(merge_labeled_sets_parallel(&[("ssh", &[])], 4).is_empty());
     }
 
     // The paper-scale regression guarantee in miniature: for random
@@ -471,12 +465,10 @@ mod tests {
             ),
         ) {
             const LABELS: [&str; 4] = ["ssh", "bgp", "snmpv3", "midar"];
-            let inputs: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = families
+            let families: Vec<Vec<BTreeSet<IpAddr>>> = families
                 .iter()
-                .enumerate()
-                .map(|(i, sets)| {
-                    let sets: Vec<BTreeSet<IpAddr>> = sets
-                        .iter()
+                .map(|sets| {
+                    sets.iter()
                         .map(|raw| {
                             raw.iter()
                                 .map(|&v| {
@@ -484,9 +476,13 @@ mod tests {
                                 })
                                 .collect()
                         })
-                        .collect();
-                    (LABELS[i % LABELS.len()], sets)
+                        .collect()
                 })
+                .collect();
+            let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> = families
+                .iter()
+                .enumerate()
+                .map(|(i, sets)| (LABELS[i % LABELS.len()], sets.as_slice()))
                 .collect();
             let serial = merge_labeled_sets(&inputs);
             for threads in [2usize, 7] {

@@ -9,9 +9,7 @@
 //! [`Resolver`](crate::Resolver) runs them serially in registration order —
 //! which keeps every output byte-identical for any thread count.
 
-use crate::technique::{
-    canonical_sets, DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult,
-};
+use crate::technique::{DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult};
 use alias_core::union_find::UnionFind;
 use alias_midar::ally::{ally_test, AllyVerdict};
 use alias_midar::iffinder::iffinder_scan;
@@ -24,15 +22,19 @@ use std::collections::BTreeSet;
 use std::net::IpAddr;
 
 /// Sorted, deduplicated campaign addresses of one family — the target list
-/// the probing baselines work from.
+/// the probing baselines work from.  The campaign interner already holds
+/// every observed address exactly once, so this is a filter + sort of the
+/// id table rather than a scan over all observations.
 fn campaign_targets(data: &CampaignData, ipv6: bool) -> Vec<IpAddr> {
-    let addrs: BTreeSet<IpAddr> = data
-        .observations
+    let mut addrs: Vec<IpAddr> = data
+        .interner()
+        .addrs()
         .iter()
-        .map(|o| o.addr)
+        .copied()
         .filter(|a| a.is_ipv6() == ipv6)
         .collect();
-    addrs.into_iter().collect()
+    addrs.sort_unstable();
+    addrs
 }
 
 /// The MIDAR baseline: estimation → discovery → elimination over the
@@ -69,12 +71,13 @@ impl ResolutionTechnique for MidarTechnique {
         }
         let outcome =
             Midar::new(self.config.clone()).resolve(ctx.internet, &targets, ctx.probe_start);
-        TechniqueResult {
-            technique: self.name().to_owned(),
-            alias_sets: canonical_sets(outcome.alias_sets),
-            testable: outcome.testable,
-            finished_at: outcome.finished_at,
-        }
+        TechniqueResult::from_addr_sets(
+            self.name().to_owned(),
+            outcome.alias_sets,
+            outcome.testable,
+            outcome.finished_at,
+            data.interner().clone(),
+        )
     }
 }
 
@@ -144,19 +147,19 @@ impl ResolutionTechnique for AllyTechnique {
                 }
             }
         }
-        let alias_sets = canonical_sets(
-            uf.groups()
-                .into_iter()
-                .filter(|g| g.len() >= 2)
-                .map(|g| g.into_iter().map(|i| targets[i]).collect())
-                .collect(),
-        );
-        TechniqueResult {
-            technique: self.name().to_owned(),
+        let alias_sets = uf
+            .groups()
+            .into_iter()
+            .filter(|g| g.len() >= 2)
+            .map(|g| g.into_iter().map(|i| targets[i]).collect())
+            .collect();
+        TechniqueResult::from_addr_sets(
+            self.name().to_owned(),
             alias_sets,
             testable,
-            finished_at: now,
-        }
+            now,
+            data.interner().clone(),
+        )
     }
 }
 
@@ -221,12 +224,13 @@ impl ResolutionTechnique for SpeedtrapTechnique {
             .filter(|s| s.is_usable())
             .map(|s| s.addr)
             .collect();
-        TechniqueResult {
-            technique: self.name().to_owned(),
-            alias_sets: canonical_sets(speedtrap_group(&series, self.max_velocity)),
+        TechniqueResult::from_addr_sets(
+            self.name().to_owned(),
+            speedtrap_group(&series, self.max_velocity),
             testable,
             finished_at,
-        }
+            data.interner().clone(),
+        )
     }
 }
 
@@ -259,14 +263,15 @@ impl ResolutionTechnique for IffinderTechnique {
         // reports, so "testable" is the addresses involved in a discovered
         // pair.
         let testable: BTreeSet<IpAddr> = outcome.pairs.iter().flat_map(|(a, b)| [*a, *b]).collect();
-        TechniqueResult {
-            technique: self.name().to_owned(),
-            alias_sets: canonical_sets(outcome.alias_sets),
+        TechniqueResult::from_addr_sets(
+            self.name().to_owned(),
+            outcome.alias_sets,
             testable,
             // iffinder_scan advances the clock by one millisecond per
             // probed target.
-            finished_at: ctx.probe_start + SimTime(targets.len() as u64),
-        }
+            ctx.probe_start + SimTime(targets.len() as u64),
+            data.interner().clone(),
+        )
     }
 }
 
@@ -329,7 +334,7 @@ mod tests {
             assert!(!technique.is_pure());
             let result = technique.resolve(&data, &ctx);
             assert_eq!(result.technique, technique.name());
-            let precision = true_pair_fraction(&result.alias_sets, &truth);
+            let precision = true_pair_fraction(&result.alias_sets(), &truth);
             assert!(
                 precision > 0.95,
                 "{}: precision {:.3} over {} sets",
@@ -353,10 +358,10 @@ mod tests {
         };
         let result = SpeedtrapTechnique::new().resolve(&data, &ctx);
         // Every address it reasons about is IPv6.
-        assert!(result.testable.iter().all(|a| a.is_ipv6()));
-        assert!(result.alias_sets.iter().flatten().all(|a| a.is_ipv6()));
+        assert!(result.testable().iter().all(|a| a.is_ipv6()));
+        assert!(result.alias_sets().iter().flatten().all(|a| a.is_ipv6()));
         assert!(
-            !result.testable.is_empty(),
+            result.testable_count() > 0,
             "the tiny campaign observes IPv6 addresses with usable counters"
         );
     }

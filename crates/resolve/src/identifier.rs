@@ -2,21 +2,20 @@
 //! application-layer identifiers (SSH host keys + capabilities, BGP OPEN
 //! fields, SNMPv3 engine IDs).
 
-use crate::technique::{
-    canonical_sets, DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult,
-};
-use alias_core::alias_set::AliasSetBuilder;
+use crate::technique::{DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult};
+use alias_core::alias_set::group_observations_compact;
 use alias_netsim::ServiceProtocol;
-use alias_scan::{CampaignData, ObservationSink};
+use alias_scan::{CampaignData, ServiceObservation};
 
 /// Alias resolution from one protocol's application-layer identifier.
 ///
-/// Wraps the legacy `AliasSetCollection::from_observations` path: the
-/// campaign's observations of the protocol are streamed into an
-/// [`AliasSetBuilder`] (no intermediate `Vec<&_>` slice) and grouped by the
-/// identifier the context's extractor produces.  Pure — no follow-up
-/// probing — so the [`Resolver`](crate::Resolver) may fan several
-/// identifier techniques out concurrently.
+/// Runs entirely in id space: the campaign's observations of the protocol
+/// are grouped by [`alias_core::alias_set::group_observations_compact`] —
+/// `ctx.threads` shard workers building shard-local `IdentId`-keyed maps
+/// over the campaign's [`AddrId`](alias_core::intern::AddrId) space, joined
+/// by a cheap id-space reduce — and the result keeps the compact sets,
+/// resolving addresses only at the report boundary.  Pure — no follow-up
+/// probing.
 #[derive(Debug, Clone, Copy)]
 pub struct IdentifierTechnique {
     protocol: ServiceProtocol,
@@ -59,28 +58,23 @@ impl ResolutionTechnique for IdentifierTechnique {
     }
 
     fn resolve(&self, data: &CampaignData, ctx: &TechniqueCtx<'_>) -> TechniqueResult {
-        let mut builder = AliasSetBuilder::new(*ctx.extractor);
-        builder.accept_all(data.observations_for(self.protocol));
-        let collection = builder.finish();
-        let alias_sets = canonical_sets(
-            collection
-                .non_singleton_sets()
-                .into_iter()
-                .map(|s| s.addrs.clone())
-                .collect(),
-        );
-        TechniqueResult {
-            technique: self.name().to_owned(),
-            alias_sets,
-            testable: collection.all_addresses(),
-            finished_at: data.finished_at,
-        }
+        let observations: Vec<&ServiceObservation> = data.observations_for(self.protocol).collect();
+        let grouped =
+            group_observations_compact(&observations, ctx.extractor, data.interner(), ctx.threads);
+        TechniqueResult::from_compact(
+            self.name().to_owned(),
+            grouped.sets,
+            grouped.testable,
+            data.finished_at,
+            data.interner().clone(),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::technique::canonical_sets;
     use alias_core::alias_set::AliasSetCollection;
     use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
     use alias_netsim::{InternetBuilder, InternetConfig, VantageKind};
@@ -91,37 +85,43 @@ mod tests {
         let internet = InternetBuilder::new(InternetConfig::tiny(11)).build();
         let data = ActiveCampaign::with_defaults(&internet).run(&internet);
         let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
-        let ctx = TechniqueCtx {
-            internet: &internet,
-            extractor: &extractor,
-            probe_start: data.finished_at,
-            vantage: VantageKind::SingleVp,
-            threads: 1,
-        };
-        for technique in [
-            IdentifierTechnique::ssh(),
-            IdentifierTechnique::bgp(),
-            IdentifierTechnique::snmpv3(),
-        ] {
-            let result = technique.resolve(&data, &ctx);
-            let legacy = AliasSetCollection::from_observations(
-                data.observations_for(technique.protocol()),
-                &extractor,
-            );
-            assert_eq!(
-                result.alias_sets,
-                canonical_sets(
-                    legacy
-                        .non_singleton_sets()
-                        .into_iter()
-                        .map(|s| s.addrs.clone())
-                        .collect()
-                )
-            );
-            assert_eq!(result.testable, legacy.all_addresses());
-            assert_eq!(result.finished_at, data.finished_at);
-            assert!(technique.is_pure());
-            assert_ne!(result.set_count(), 0, "{}", technique.name());
+        for threads in [1usize, 2, 7] {
+            let ctx = TechniqueCtx {
+                internet: &internet,
+                extractor: &extractor,
+                probe_start: data.finished_at,
+                vantage: VantageKind::SingleVp,
+                threads,
+            };
+            for technique in [
+                IdentifierTechnique::ssh(),
+                IdentifierTechnique::bgp(),
+                IdentifierTechnique::snmpv3(),
+            ] {
+                let result = technique.resolve(&data, &ctx);
+                let legacy = AliasSetCollection::from_observations(
+                    data.observations_for(technique.protocol()),
+                    &extractor,
+                );
+                assert_eq!(
+                    result.alias_sets(),
+                    canonical_sets(
+                        legacy
+                            .non_singleton_sets()
+                            .into_iter()
+                            .map(|s| s.addrs.clone())
+                            .collect()
+                    ),
+                    "{} threads={threads}",
+                    technique.name()
+                );
+                assert_eq!(result.testable(), legacy.all_addresses());
+                assert_eq!(result.finished_at, data.finished_at);
+                assert!(technique.is_pure());
+                assert_ne!(result.set_count(), 0, "{}", technique.name());
+                // The id space is the campaign's, shared — not copied.
+                assert!(std::sync::Arc::ptr_eq(result.interner(), data.interner()));
+            }
         }
     }
 

@@ -15,12 +15,14 @@
 //!   are interchangeable trait objects;
 //! * [`Resolver`] — a builder-style orchestrator
 //!   (`Resolver::builder().technique(…).threads(n).merge_policy(…)`)
-//!   running scan → per-technique resolution (pure techniques fanned out
-//!   over `alias-exec`'s worker pool) → cross-technique merge, returning a
-//!   structured [`ResolutionReport`];
-//! * a streaming observation path — techniques consume campaign data via
-//!   iterators and `ObservationSink`s instead of materialised `Vec<&_>`
-//!   slices.
+//!   running scan → per-technique resolution (each technique gets the full
+//!   worker pool for its internal sharding, in registration order) →
+//!   cross-technique merge, returning a structured [`ResolutionReport`];
+//! * an id-based data path — results are [`TechniqueResult`]s holding
+//!   `CompactAliasSet`s over the campaign's `AddrId` space
+//!   (`alias_core::intern`), merged directly in id space; address sets are
+//!   materialised only through the report-boundary accessors
+//!   ([`TechniqueResult::alias_sets`], [`TechniqueResult::testable`]).
 //!
 //! ## Quick start
 //!

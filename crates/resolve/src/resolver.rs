@@ -7,13 +7,14 @@ use crate::report::{
 };
 use crate::technique::{ResolutionTechnique, TechniqueCtx, TechniqueResult};
 use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
-use alias_core::merge::{merge_labeled_sets_parallel, MergedSet};
+use alias_core::intern::{AddrInterner, CompactAliasSet};
+use alias_core::merge::{merge_labeled_compact, MergedSet};
 use alias_core::validation::{common_addresses, cross_validate};
 use alias_netsim::Internet;
 use alias_scan::campaign::{ActiveCampaign, CampaignConfig};
 use alias_scan::CampaignData;
 use std::collections::BTreeSet;
-use std::net::IpAddr;
+use std::sync::Arc;
 
 /// How the per-technique alias sets are consolidated into the report's
 /// merged view.
@@ -21,7 +22,8 @@ use std::net::IpAddr;
 pub enum MergePolicy {
     /// Union sets that share at least one address, across techniques — the
     /// paper's consolidation (via
-    /// [`alias_core::merge::merge_labeled_sets_parallel`]).
+    /// [`alias_core::merge::merge_labeled_compact`], directly on the
+    /// campaign's id space).
     #[default]
     SharedAddress,
     /// No cross-technique merging: every technique's sets appear unchanged,
@@ -116,11 +118,13 @@ impl ResolverBuilder {
 /// [`ResolutionTechnique`], and consolidates the results into a
 /// [`ResolutionReport`].
 ///
-/// Orchestration is deterministic for any thread count: pure techniques
-/// fan out over [`alias_exec::shard_map`]; techniques that declare
-/// [`LiveProbing`](crate::DataRequirement::LiveProbing) run serially in
-/// registration order (probing advances shared counter state); and the
-/// cross-technique merge reduces in canonical order.
+/// Orchestration is deterministic for any thread count: techniques run
+/// one at a time in registration order — each given the full worker pool
+/// for its internal sharding (identifier grouping shards over the
+/// observations; probing techniques must be serialized anyway because
+/// probes advance shared counter state) — and the cross-technique merge
+/// unions compact id sets over the campaign interner, reducing in
+/// canonical order.
 pub struct Resolver {
     techniques: Vec<Box<dyn ResolutionTechnique>>,
     threads: usize,
@@ -161,8 +165,16 @@ impl Resolver {
     }
 
     /// Resolve pre-collected campaign data (no scan stage): per-technique
-    /// resolution fanned out on the worker pool, then the cross-technique
-    /// merge.
+    /// resolution, then the cross-technique merge.
+    ///
+    /// Techniques run one at a time, in registration order, each with the
+    /// full worker pool (`ctx.threads`) for its own internal sharding —
+    /// identifier techniques shard their grouping, and probing techniques
+    /// must be serialized anyway because live probes advance shared device
+    /// state.  Running techniques sequentially (instead of fanning them out
+    /// against each other) also keeps the per-technique wall-clock numbers
+    /// honest: each `resolve_ms` measures one technique with the machine to
+    /// itself.
     pub fn resolve_data(&self, internet: &Internet, data: &CampaignData) -> ResolutionReport {
         let ctx = TechniqueCtx {
             internet,
@@ -172,49 +184,21 @@ impl Resolver {
             threads: self.threads,
         };
 
-        // Pure techniques (functions of the campaign data alone) fan out
-        // over the worker pool; probing techniques run serially afterwards,
-        // in registration order, because live probes advance shared device
-        // state.  Results and timings are reassembled in registration
-        // order, so the fan-out never shows in the output.
-        let pure_indices: Vec<usize> = (0..self.techniques.len())
-            .filter(|&i| self.techniques[i].is_pure())
-            .collect();
-        let pure_results: Vec<(TechniqueResult, u64)> =
-            alias_exec::shard_map(pure_indices.len(), self.threads, |slot| {
-                let technique = &self.techniques[pure_indices[slot]];
-                let started = std::time::Instant::now();
-                let result = technique.resolve(data, &ctx);
-                (result, started.elapsed().as_millis() as u64)
-            });
-
-        let mut slots: Vec<Option<(TechniqueResult, u64)>> =
-            (0..self.techniques.len()).map(|_| None).collect();
-        for (slot, result) in pure_indices.iter().zip(pure_results) {
-            slots[*slot] = Some(result);
-        }
-        for (index, technique) in self.techniques.iter().enumerate() {
-            if slots[index].is_none() {
-                let started = std::time::Instant::now();
-                let result = technique.resolve(data, &ctx);
-                slots[index] = Some((result, started.elapsed().as_millis() as u64));
-            }
-        }
-
-        let mut techniques = Vec::with_capacity(slots.len());
-        let mut technique_timings = Vec::with_capacity(slots.len());
-        for slot in slots {
-            let (result, resolve_ms) = slot.expect("every technique ran");
+        let mut techniques = Vec::with_capacity(self.techniques.len());
+        let mut technique_timings = Vec::with_capacity(self.techniques.len());
+        for technique in &self.techniques {
+            let started = std::time::Instant::now();
+            let result = technique.resolve(data, &ctx);
             technique_timings.push(TechniqueTiming {
                 technique: result.technique.clone(),
-                resolve_ms,
+                resolve_ms: started.elapsed().as_millis() as u64,
             });
             techniques.push(result);
         }
 
         // Merge + statistics stage.
         let stage = std::time::Instant::now();
-        let merged = self.merge(&techniques);
+        let merged = self.merge(data, &techniques);
         let coverage = self.coverage(&techniques, &merged);
         let merge_ms = stage.elapsed().as_millis() as u64;
 
@@ -231,21 +215,58 @@ impl Resolver {
         }
     }
 
-    fn merge(&self, techniques: &[TechniqueResult]) -> Vec<MergedSet> {
+    fn merge(&self, data: &CampaignData, techniques: &[TechniqueResult]) -> Vec<MergedSet> {
         match self.merge_policy {
             MergePolicy::SharedAddress => {
-                let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = techniques
+                // Unify the id spaces.  Techniques normally share the
+                // campaign interner as-is; one that extended it (or used a
+                // foreign interner) has its sets re-interned into a unified
+                // id space — ids of campaign addresses are preserved, so
+                // the common case stays translation-free.
+                let base = data.interner().clone();
+                let mut unified: Arc<AddrInterner> = base.clone();
+                let translated: Vec<Option<Vec<CompactAliasSet>>> = techniques
                     .iter()
-                    .map(|t| (t.technique.as_str(), t.alias_sets.clone()))
+                    .map(|t| {
+                        // Campaign-interner ids stay valid in `unified`
+                        // (it only ever extends the base), so results that
+                        // share the campaign id space need no translation.
+                        if Arc::ptr_eq(t.interner(), &base) {
+                            return None;
+                        }
+                        let target = Arc::make_mut(&mut unified);
+                        Some(
+                            t.compact_sets()
+                                .iter()
+                                .map(|set| {
+                                    CompactAliasSet::from_ids(
+                                        set.iter()
+                                            .map(|id| target.intern(t.interner().addr(id)))
+                                            .collect(),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
                     .collect();
-                merge_labeled_sets_parallel(&labeled, self.threads)
+                let inputs: Vec<(&str, &[CompactAliasSet])> = techniques
+                    .iter()
+                    .zip(&translated)
+                    .map(|(t, sets)| {
+                        (
+                            t.technique.as_str(),
+                            sets.as_deref().unwrap_or_else(|| t.compact_sets()),
+                        )
+                    })
+                    .collect();
+                merge_labeled_compact(&inputs, &unified, self.threads)
             }
             MergePolicy::KeepSeparate => {
                 let mut merged: Vec<MergedSet> = techniques
                     .iter()
                     .flat_map(|t| {
-                        t.alias_sets.iter().map(|addrs| MergedSet {
-                            addrs: addrs.clone(),
+                        t.compact_sets().iter().map(|set| MergedSet {
+                            addrs: set.to_addr_set(t.interner()),
                             labels: BTreeSet::from([t.technique.clone()]),
                         })
                     })
@@ -269,18 +290,22 @@ impl Resolver {
                 technique: t.technique.clone(),
                 alias_sets: t.set_count(),
                 covered_addresses: t.covered_addresses(),
-                testable_addresses: t.testable.len(),
+                testable_addresses: t.testable_count(),
             })
             .collect();
+        // The pairwise agreement statistics run on address sets; each
+        // technique's view is materialised once here, at the boundary.
+        let addr_sets: Vec<_> = techniques.iter().map(|t| t.alias_sets()).collect();
+        let testables: Vec<_> = techniques.iter().map(|t| t.testable()).collect();
         let mut agreements = Vec::new();
         for i in 0..techniques.len() {
             for j in i + 1..techniques.len() {
                 let (a, b) = (&techniques[i], &techniques[j]);
-                let common = common_addresses(&a.testable, &b.testable);
+                let common = common_addresses(&testables[i], &testables[j]);
                 agreements.push(TechniqueAgreement {
                     a: a.technique.clone(),
                     b: b.technique.clone(),
-                    result: cross_validate(&a.alias_sets, &b.alias_sets, &common),
+                    result: cross_validate(&addr_sets[i], &addr_sets[j], &common),
                 });
             }
         }

@@ -7,8 +7,9 @@
 //! against a freshly built (hence identically seeded) Internet: trait-object
 //! calls on one substrate, direct legacy calls on the other.
 
-use alias_core::alias_set::AliasSetCollection;
 use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
+use alias_core::identifier::ProtocolIdentifier;
+use alias_core::merge::MergedSet;
 use alias_core::union_find::UnionFind;
 use alias_midar::ally::{ally_test, AllyVerdict};
 use alias_midar::iffinder::iffinder_scan;
@@ -21,7 +22,7 @@ use alias_resolve::{
 };
 use alias_scan::campaign::{ActiveCampaign, CampaignData};
 use alias_scan::ipid_probe::{IpidProber, IpidProberConfig};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::IpAddr;
 
 const SEEDS: [u64; 3] = [7, 404, 2023];
@@ -29,6 +30,92 @@ const THREADS: [usize; 3] = [1, 2, 7];
 
 fn build(seed: u64) -> Internet {
     InternetBuilder::new(InternetConfig::tiny(seed)).build()
+}
+
+/// The pre-interning grouping path, spelled out the legacy way: a map
+/// keyed by owned [`ProtocolIdentifier`] values collecting
+/// `BTreeSet<IpAddr>` members, non-singleton sets sorted the way the
+/// collection + canonical passes used to compose (size descending, then
+/// smallest member — restably sorted by smallest member).
+fn legacy_grouping<'a, I>(observations: I, extractor: &IdentifierExtractor) -> Vec<BTreeSet<IpAddr>>
+where
+    I: IntoIterator<Item = &'a alias_scan::ServiceObservation>,
+{
+    let mut by_identifier: HashMap<ProtocolIdentifier, BTreeSet<IpAddr>> = HashMap::new();
+    for observation in observations {
+        if let Some(identifier) = extractor.extract(observation) {
+            by_identifier
+                .entry(identifier)
+                .or_default()
+                .insert(observation.addr);
+        }
+    }
+    let mut sets: Vec<BTreeSet<IpAddr>> = by_identifier
+        .into_values()
+        .filter(|set| set.len() >= 2)
+        .collect();
+    // The canonical total order: smallest member, larger set first on
+    // ties, then the full member sequence.  (The historical spelling
+    // sorted by (len desc, first member) and then stably by first member,
+    // which under-determined the order when sets tied on both — the
+    // interned pipeline's total order is what the oracle must match.)
+    sets.sort_by(|a, b| {
+        a.iter()
+            .next()
+            .cmp(&b.iter().next())
+            .then_with(|| b.len().cmp(&a.len()))
+            .then_with(|| a.iter().cmp(b.iter()))
+    });
+    sets
+}
+
+/// The pre-interning merge path, spelled out the legacy way: address →
+/// index map, union–find over the indices, `BTreeMap`/`BTreeSet`
+/// materialisation, canonical order by smallest member.
+fn legacy_merge(inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<MergedSet> {
+    let mut index: HashMap<IpAddr, usize> = HashMap::new();
+    for (_, sets) in inputs {
+        for set in sets {
+            for &addr in set {
+                let next = index.len();
+                index.entry(addr).or_insert(next);
+            }
+        }
+    }
+    let mut uf = UnionFind::new(index.len());
+    for (_, sets) in inputs {
+        for set in sets {
+            let mut iter = set.iter();
+            if let Some(first) = iter.next() {
+                let first_index = index[first];
+                for addr in iter {
+                    uf.union(first_index, index[addr]);
+                }
+            }
+        }
+    }
+    let mut members: BTreeMap<usize, BTreeSet<IpAddr>> = BTreeMap::new();
+    for (&addr, &idx) in &index {
+        members.entry(uf.find(idx)).or_default().insert(addr);
+    }
+    let mut labels: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (label, sets) in inputs {
+        for set in sets {
+            if let Some(first) = set.iter().next() {
+                let root = uf.find(index[first]);
+                labels.entry(root).or_default().insert((*label).to_owned());
+            }
+        }
+    }
+    let mut merged: Vec<MergedSet> = members
+        .into_iter()
+        .map(|(root, addrs)| MergedSet {
+            addrs,
+            labels: labels.remove(&root).unwrap_or_default(),
+        })
+        .collect();
+    merged.sort_by(|a, b| a.addrs.iter().next().cmp(&b.addrs.iter().next()));
+    merged
 }
 
 /// Sorted distinct campaign addresses of one family (the baselines' target
@@ -59,18 +146,11 @@ fn legacy_resolve(
                 "bgp" => ServiceProtocol::Bgp,
                 _ => ServiceProtocol::Snmpv3,
             };
-            let collection = AliasSetCollection::from_observations(
+            legacy_grouping(
                 data.observations
                     .iter()
                     .filter(|o| o.protocol() == protocol),
                 extractor,
-            );
-            canonical_sets(
-                collection
-                    .non_singleton_sets()
-                    .into_iter()
-                    .map(|s| s.addrs.clone())
-                    .collect(),
             )
         }
         "midar" => {
@@ -179,10 +259,156 @@ fn every_technique_matches_its_legacy_path_across_seeds_and_threads() {
             for result in &results {
                 let legacy = legacy_resolve(&result.technique, &legacy_side, &data, &extractor);
                 assert_eq!(
-                    result.alias_sets, legacy,
+                    result.alias_sets(),
+                    legacy,
                     "technique={} seed={seed} threads={threads}",
                     result.technique
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn interned_merge_matches_the_legacy_merge_across_seeds_and_threads() {
+    // The id-based pipeline end to end (grouping on IdentId/AddrId, merge
+    // on AddrId) against the legacy String/BTreeSet spelling, for real
+    // campaigns over three seeds and every thread count.
+    let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+    for seed in SEEDS {
+        let internet = build(seed);
+        let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+        let protocols = [
+            ServiceProtocol::Ssh,
+            ServiceProtocol::Bgp,
+            ServiceProtocol::Snmpv3,
+        ];
+        let legacy_inputs: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = protocols
+            .iter()
+            .map(|&p| {
+                (
+                    p.name(),
+                    legacy_grouping(
+                        data.observations.iter().filter(|o| o.protocol() == p),
+                        &extractor,
+                    ),
+                )
+            })
+            .collect();
+        let legacy_merged = legacy_merge(&legacy_inputs);
+        for threads in THREADS {
+            let report = alias_resolve::Resolver::builder()
+                .paper_techniques()
+                .threads(threads)
+                .build()
+                .resolve_data(&internet, &data);
+            assert_eq!(
+                report.merged, legacy_merged,
+                "merged sets diverge from the legacy path (seed={seed} threads={threads})"
+            );
+            for (result, (name, legacy_sets)) in report.techniques.iter().zip(&legacy_inputs) {
+                assert_eq!(&result.technique, name);
+                assert_eq!(
+                    &result.alias_sets(),
+                    legacy_sets,
+                    "seed={seed} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+mod proptest_interned_parity {
+    use super::*;
+    use alias_netsim::SimTime;
+    use alias_scan::{DataSource, ServiceObservation, ServicePayload};
+    use alias_wire::snmp::EngineId;
+    use alias_wire::ssh::{Banner, HostKey, HostKeyAlgorithm, KexInit, SshObservation};
+    use proptest::prelude::*;
+
+    /// An SSH observation of `addr` from the device identified by `key`.
+    fn ssh_obs(addr: IpAddr, key: u8) -> ServiceObservation {
+        ServiceObservation {
+            addr,
+            port: 22,
+            source: DataSource::Active,
+            timestamp: SimTime::ZERO,
+            asn: None,
+            payload: ServicePayload::Ssh(SshObservation {
+                banner: Banner::new("OpenSSH_8.9p1", None).unwrap(),
+                kex_init: Some(KexInit::typical_openssh()),
+                host_key: Some(HostKey::new(HostKeyAlgorithm::Ed25519, vec![key; 32])),
+            }),
+        }
+    }
+
+    /// An SNMPv3 observation of `addr` from the engine identified by `engine`.
+    fn snmp_obs(addr: IpAddr, engine: u8) -> ServiceObservation {
+        ServiceObservation {
+            addr,
+            port: 161,
+            source: DataSource::Active,
+            timestamp: SimTime::ZERO,
+            asn: None,
+            payload: ServicePayload::Snmpv3 {
+                engine_id: EngineId::from_enterprise_mac(9, [engine, 0, 0, 0, 0, 1]),
+                engine_boots: 1,
+                engine_time: 60,
+            },
+        }
+    }
+
+    fn addr(raw: u16) -> IpAddr {
+        IpAddr::from([10, 0, (raw >> 8) as u8, (raw & 0xff) as u8])
+    }
+
+    proptest! {
+        // Random batches of SSH + SNMPv3 observations (shared addresses
+        // included, so the cross-protocol merge has real work): the
+        // interned path — grouping by IdentId over the campaign AddrId
+        // space, merging on ids — must be set-for-set identical to the
+        // legacy owned-String / BTreeSet spelling at 1, 2 and 7 threads.
+        #[test]
+        fn proptest_interned_pipeline_matches_legacy(
+            ssh in prop::collection::vec((0u16..120, 0u8..24), 0..60),
+            snmp in prop::collection::vec((0u16..120, 0u8..12), 0..40),
+        ) {
+            let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+            let observations: Vec<ServiceObservation> = ssh
+                .iter()
+                .map(|&(a, key)| ssh_obs(addr(a), key))
+                .chain(snmp.iter().map(|&(a, engine)| snmp_obs(addr(a), engine)))
+                .collect();
+            let data = CampaignData::from_observations(observations);
+            let legacy_inputs: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = [
+                ServiceProtocol::Ssh,
+                ServiceProtocol::Snmpv3,
+            ]
+            .iter()
+            .map(|&p| {
+                (
+                    p.name(),
+                    legacy_grouping(
+                        data.observations.iter().filter(|o| o.protocol() == p),
+                        &extractor,
+                    ),
+                )
+            })
+            .collect();
+            let legacy_merged = legacy_merge(&legacy_inputs);
+
+            let internet = build(1);
+            for threads in THREADS {
+                let report = alias_resolve::Resolver::builder()
+                    .technique(IdentifierTechnique::ssh())
+                    .technique(IdentifierTechnique::snmpv3())
+                    .threads(threads)
+                    .build()
+                    .resolve_data(&internet, &data);
+                prop_assert_eq!(&report.merged, &legacy_merged);
+                for (result, (_, legacy_sets)) in report.techniques.iter().zip(&legacy_inputs) {
+                    prop_assert_eq!(&result.alias_sets(), legacy_sets);
+                }
             }
         }
     }
@@ -215,7 +441,7 @@ fn at_least_one_baseline_produces_sets_somewhere() {
             Box::new(IffinderTechnique::new()),
         ];
         for technique in &techniques {
-            if !technique.resolve(&data, &ctx).alias_sets.is_empty() {
+            if technique.resolve(&data, &ctx).set_count() > 0 {
                 produced.insert(technique.name());
             }
         }

@@ -15,8 +15,10 @@ use crate::records::{DataSource, ObservationSink, ServiceObservation};
 use crate::snmp::{SnmpScanConfig, SnmpScanner};
 use crate::zgrab::{ZgrabConfig, ZgrabScanner};
 use crate::zmap::{ZmapConfig, ZmapScanner};
+use alias_intern::{AddrId, AddrInterner};
 use alias_netsim::{Internet, ServiceProtocol, SimTime, VantageKind};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Configuration of a measurement campaign.
 #[derive(Debug, Clone)]
@@ -60,6 +62,10 @@ impl Default for CampaignConfig {
 #[derive(Debug, Clone)]
 pub struct CampaignData {
     /// All observations (SSH, BGP, SNMPv3; IPv4 and IPv6).
+    ///
+    /// The address interner is built from these at construction; code that
+    /// mutates the vector afterwards must re-wrap the records with
+    /// [`Self::from_observations`] so ids and observations stay in sync.
     pub observations: Vec<ServiceObservation>,
     /// The IPv6 hitlist used.
     pub hitlist: Ipv6Hitlist,
@@ -67,9 +73,32 @@ pub struct CampaignData {
     pub finished_at: SimTime,
     /// Total SYN probes sent during discovery.
     pub syn_probes_sent: u64,
+    /// Every observed address interned to a dense [`AddrId`], in first-
+    /// observation order — the id space the resolution pipeline runs on.
+    interner: Arc<AddrInterner>,
 }
 
 impl CampaignData {
+    /// Bundle observations with campaign metadata, interning every observed
+    /// address (the single place the campaign id space is defined).
+    fn new(
+        observations: Vec<ServiceObservation>,
+        hitlist: Ipv6Hitlist,
+        finished_at: SimTime,
+        syn_probes_sent: u64,
+    ) -> Self {
+        let interner = Arc::new(AddrInterner::from_addrs(
+            observations.iter().map(|o| o.addr),
+        ));
+        CampaignData {
+            observations,
+            hitlist,
+            finished_at,
+            syn_probes_sent,
+            interner,
+        }
+    }
+
     /// Wrap pre-collected observations (a Censys snapshot, a union of data
     /// sources, a replayed trace) so they can be fed to consumers of
     /// campaign data — most notably `alias-resolve`'s techniques — without
@@ -81,12 +110,26 @@ impl CampaignData {
             .map(|o| o.timestamp)
             .max()
             .unwrap_or(SimTime::ZERO);
-        CampaignData {
+        Self::new(
             observations,
-            hitlist: Ipv6Hitlist { addrs: Vec::new() },
+            Ipv6Hitlist { addrs: Vec::new() },
             finished_at,
-            syn_probes_sent: 0,
-        }
+            0,
+        )
+    }
+
+    /// The campaign's address interner: every observed address mapped to a
+    /// dense [`AddrId`], in first-observation order.  Shared behind an
+    /// `Arc` so techniques and reports can reference the id space without
+    /// copying it.
+    pub fn interner(&self) -> &Arc<AddrInterner> {
+        &self.interner
+    }
+
+    /// The dense id of an observed address ([`None`] for addresses the
+    /// campaign never observed).
+    pub fn addr_id(&self, addr: IpAddr) -> Option<AddrId> {
+        self.interner.get(addr)
     }
 
     /// Observations for one protocol.
@@ -258,12 +301,12 @@ impl ActiveCampaign {
         now = v6_snmp.last().map(|o| o.timestamp).unwrap_or(now);
         observations.extend(v6_snmp);
 
-        CampaignData {
+        CampaignData::new(
             observations,
             hitlist,
-            finished_at: now,
-            syn_probes_sent: syn.probes_sent + v6_syn.probes_sent,
-        }
+            now,
+            syn.probes_sent + v6_syn.probes_sent,
+        )
     }
 }
 
@@ -379,6 +422,22 @@ mod tests {
             CampaignData::from_observations(Vec::new()).finished_at,
             SimTime::ZERO
         );
+    }
+
+    #[test]
+    fn campaign_interner_covers_every_observed_address_exactly_once() {
+        let (_, data) = campaign_data();
+        let distinct: std::collections::BTreeSet<IpAddr> =
+            data.observations.iter().map(|o| o.addr).collect();
+        assert_eq!(data.interner().len(), distinct.len());
+        for obs in &data.observations {
+            let id = data.addr_id(obs.addr).expect("observed address interned");
+            assert_eq!(data.interner().addr(id), obs.addr);
+        }
+        assert_eq!(data.addr_id("203.0.113.99".parse().unwrap()), None);
+        // from_observations builds the same id space for the same records.
+        let wrapped = CampaignData::from_observations(data.observations.clone());
+        assert_eq!(wrapped.interner().addrs(), data.interner().addrs());
     }
 
     #[test]

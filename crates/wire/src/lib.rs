@@ -37,6 +37,7 @@
 pub mod ber;
 pub mod bgp;
 pub mod error;
+pub mod hex;
 pub mod icmp;
 pub mod ip;
 pub mod snmp;

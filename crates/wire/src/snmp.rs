@@ -52,9 +52,14 @@ impl EngineId {
         self.0.is_empty()
     }
 
+    /// The raw engine-ID octets.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
     /// Lowercase-hex rendering, used in identifiers and reports.
     pub fn to_hex(&self) -> String {
-        self.0.iter().map(|b| format!("{b:02x}")).collect()
+        crate::hex::hex_string(&self.0)
     }
 }
 

@@ -115,9 +115,7 @@ impl HostKey {
         let mut out = String::with_capacity(self.key_material.len() * 2 + 16);
         out.push_str(self.algorithm.name());
         out.push(':');
-        for byte in &self.key_material {
-            out.push_str(&format!("{byte:02x}"));
-        }
+        crate::hex::push_hex(&mut out, &self.key_material);
         out
     }
 }

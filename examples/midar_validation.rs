@@ -36,7 +36,7 @@ fn main() {
     println!(
         "MIDAR found {} usable counters and produced {} alias sets \
          after {:.1} simulated hours",
-        midar.testable.len(),
+        midar.testable_count(),
         midar.set_count(),
         midar.finished_at.as_secs_f64() / 3600.0
     );
@@ -46,15 +46,12 @@ fn main() {
     // aliasing claim about the addresses.  Counters that were sampleable
     // but never corroborated into a set leave the sampled set unverified
     // rather than contradicted.
-    let sample: Vec<_> = ssh
-        .alias_sets
-        .iter()
-        .filter(|s| s.len() <= 10)
-        .cloned()
-        .collect();
+    let ssh_sets = ssh.alias_sets();
+    let midar_sets = midar.alias_sets();
+    let sample: Vec<_> = ssh_sets.iter().filter(|s| s.len() <= 10).cloned().collect();
     let positively_grouped: std::collections::BTreeSet<std::net::IpAddr> =
-        midar.alias_sets.iter().flatten().copied().collect();
-    let validation = validate_against_midar(&sample, &midar.alias_sets, &positively_grouped);
+        midar_sets.iter().flatten().copied().collect();
+    let validation = validate_against_midar(&sample, &midar_sets, &positively_grouped);
     println!(
         "MIDAR could verify {} of {} sampled SSH sets ({:.0}% coverage); \
          of those, {} agree and {} disagree ({:.0}% agreement)",

@@ -58,7 +58,8 @@ fn main() {
     //    against ground truth — something the paper could not do.
     let truth = internet.ground_truth();
     let ssh = report.technique("ssh").expect("ssh technique registered");
-    let score = truth.score_sets(ssh.alias_sets.iter().map(|s| s.iter()));
+    let ssh_sets = ssh.alias_sets();
+    let score = truth.score_sets(ssh_sets.iter().map(|s| s.iter()));
     println!(
         "SSH alias sets vs ground truth: precision {:.3}, recall {:.3}",
         score.precision(),

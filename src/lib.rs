@@ -42,7 +42,8 @@
 //!
 //! // Per-technique alias sets, cross-technique merged sets, agreement.
 //! let ssh = report.technique("ssh").unwrap();
-//! assert!(!ssh.alias_sets.is_empty());
+//! assert!(ssh.set_count() > 0);
+//! assert!(!ssh.alias_sets().is_empty()); // address-set view, materialised on demand
 //! assert_eq!(report.techniques.len(), 4);
 //! assert_eq!(report.coverage.merged_sets, report.merged.len());
 //! assert_eq!(report.coverage.agreements.len(), 6); // every technique pair

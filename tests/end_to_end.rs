@@ -94,7 +94,9 @@ fn union_analysis_attributes_sets_to_protocols() {
     .iter()
     .map(|&p| (p.name(), collection(&observations, p).ipv4_sets()))
     .collect();
-    let merged = merge_labeled_sets(&labeled);
+    let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
+        labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
+    let merged = merge_labeled_sets(&inputs);
     assert!(!merged.is_empty());
     let attribution = ProtocolAttribution::compute(&merged);
     assert_eq!(attribution.total, merged.len());
@@ -252,9 +254,10 @@ fn resolver_composes_all_seven_techniques_through_one_pipeline() {
     // truth (churn-free snapshot, exact identifiers, precise baselines).
     let truth = internet.ground_truth();
     for technique in &report.techniques {
-        let score = truth.score_sets(technique.alias_sets.iter().map(|s| s.iter()));
+        let sets = technique.alias_sets();
+        let score = truth.score_sets(sets.iter().map(|s| s.iter()));
         assert!(
-            score.precision() > 0.95 || technique.alias_sets.is_empty(),
+            score.precision() > 0.95 || sets.is_empty(),
             "{}: precision {:.3}",
             technique.technique,
             score.precision()
@@ -298,7 +301,9 @@ fn parallel_execution_reproduces_the_serial_pipeline_end_to_end() {
         .iter()
         .map(|&p| (p.name(), collection(&serial.observations, p).ipv4_sets()))
         .collect();
-        let merged_serial = merge_labeled_sets(&labeled);
+        let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
+            labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
+        let merged_serial = merge_labeled_sets(&inputs);
         for threads in [2usize, 7] {
             let sharded = ActiveCampaign::with_defaults(&internet)
                 .with_threads(threads)
@@ -308,7 +313,7 @@ fn parallel_execution_reproduces_the_serial_pipeline_end_to_end() {
                 "seed={seed} threads={threads}"
             );
             assert_eq!(
-                alias_resolution::core::merge::merge_labeled_sets_parallel(&labeled, threads),
+                alias_resolution::core::merge::merge_labeled_sets_parallel(&inputs, threads),
                 merged_serial,
                 "seed={seed} threads={threads}"
             );
