@@ -14,10 +14,8 @@ fn bench_grouping(c: &mut Criterion) {
     let experiment = Experiment::run(ScalePreset::Small, 11);
     let ssh_observations: Vec<_> = experiment
         .union
-        .iter()
-        .filter(|o| o.protocol() == ServiceProtocol::Ssh)
-        .cloned()
-        .collect();
+        .select_protocol(ServiceProtocol::Ssh, None)
+        .to_observations();
 
     let mut group = c.benchmark_group("alias_grouping");
     for fraction in [4usize, 2, 1] {

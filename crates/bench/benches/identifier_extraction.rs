@@ -16,10 +16,8 @@ fn bench_identifier_extraction(c: &mut Criterion) {
     let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
     let ssh_observations: Vec<ServiceObservation> = experiment
         .union
-        .iter()
-        .filter(|o| o.protocol() == ServiceProtocol::Ssh)
-        .cloned()
-        .collect();
+        .select_protocol(ServiceProtocol::Ssh, None)
+        .to_observations();
     let refs: Vec<&ServiceObservation> = ssh_observations.iter().collect();
     let interner = AddrInterner::from_addrs(ssh_observations.iter().map(|o| o.addr));
 

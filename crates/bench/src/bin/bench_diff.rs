@@ -1,6 +1,7 @@
 //! Compare two `BENCH_*.json` trajectories and warn about perf regressions.
 //!
-//! Usage: `bench_diff <baseline.json> <candidate.json> [--warn-threshold <pct>]`
+//! Usage:
+//! `bench_diff <baseline.json> <candidate.json> [--warn-threshold <pct>] [--summary <path>]`
 //!
 //! Runs are matched by thread count; for each matched pair the per-stage
 //! timings (`merge_ms`, `campaign_ms`, …) and the per-technique
@@ -10,25 +11,47 @@
 //! the annotations make a trend visible without blocking merges.  Only
 //! usage or parse errors exit non-zero.
 //!
+//! `--summary <path>` appends a stage-by-stage markdown table of every
+//! compared timing to `path` — pass `$GITHUB_STEP_SUMMARY` to surface the
+//! whole comparison in the job summary instead of just the regressions.
+//!
 //! Trajectories recorded at different scale presets are not comparable;
 //! the tool says so and skips the comparison rather than emitting
 //! meaningless warnings.
 
 use alias_bench::{BenchReport, BenchRun};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// One compared timing: the row of the summary table.
+struct ComparedTiming {
+    what: String,
+    before: u64,
+    after: u64,
+    warned: bool,
+}
+
+impl ComparedTiming {
+    fn delta_pct(&self) -> f64 {
+        (self.after as f64 / self.before as f64 - 1.0) * 100.0
+    }
+}
 
 fn main() {
-    let (baseline_path, candidate_path, threshold_pct) = parse_args();
-    let baseline = load(&baseline_path);
-    let candidate = load(&candidate_path);
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let candidate = load(&args.candidate);
 
     println!(
-        "comparing {} ({} @ scale {}) against {} ({} @ scale {})",
-        candidate_path,
+        "comparing {} ({} @ scale {}, median of {}) against {} ({} @ scale {}, median of {})",
+        args.candidate,
         candidate.bench,
         candidate.scale,
-        baseline_path,
+        candidate.repeat,
+        args.baseline,
         baseline.bench,
         baseline.scale,
+        baseline.repeat,
     );
     if baseline.scale != candidate.scale {
         println!(
@@ -38,8 +61,7 @@ fn main() {
         return;
     }
 
-    let mut warnings = 0usize;
-    let mut compared = 0usize;
+    let mut compared: Vec<ComparedTiming> = Vec::new();
     for candidate_run in &candidate.runs {
         let Some(baseline_run) = baseline
             .runs
@@ -52,23 +74,44 @@ fn main() {
             );
             continue;
         };
-        warnings += compare_runs(baseline_run, candidate_run, threshold_pct, &mut compared);
+        compare_runs(
+            baseline_run,
+            candidate_run,
+            args.threshold_pct,
+            &mut compared,
+        );
     }
+    let warnings = compared.iter().filter(|c| c.warned).count();
     println!(
-        "{compared} timings compared, {warnings} regression warning(s) \
-         (threshold: {threshold_pct}%)"
+        "{} timings compared, {warnings} regression warning(s) (threshold: {}%)",
+        compared.len(),
+        args.threshold_pct,
     );
+
+    if let Some(path) = &args.summary_path {
+        let table = summary_table(&baseline, &candidate, &compared, args.threshold_pct);
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut file| file.write_all(table.as_bytes()));
+        if let Err(err) = result {
+            eprintln!("error: could not append the summary table to {path}: {err}");
+            std::process::exit(2);
+        }
+        println!("summary table appended to {path}");
+    }
 }
 
-/// Compare one pair of same-thread-count runs; returns the warning count.
+/// Compare one pair of same-thread-count runs, appending every checked
+/// timing to `compared`.
 fn compare_runs(
     baseline: &BenchRun,
     candidate: &BenchRun,
     threshold_pct: u64,
-    compared: &mut usize,
-) -> usize {
+    compared: &mut Vec<ComparedTiming>,
+) {
     let threads = candidate.threads;
-    let mut warnings = 0usize;
     let stage_pairs = [
         (
             "build_internet_ms",
@@ -98,8 +141,12 @@ fn compare_runs(
             after,
             threshold_pct,
         ) {
-            *compared += 1;
-            warnings += warned;
+            compared.push(ComparedTiming {
+                what: format!("{stage} @ {threads} threads"),
+                before,
+                after,
+                warned: warned == 1,
+            });
         }
     }
     for candidate_technique in &candidate.technique_ms {
@@ -110,20 +157,71 @@ fn compare_runs(
         else {
             continue;
         };
+        let what = format!(
+            "technique {} resolve_ms @ {threads} threads",
+            candidate_technique.technique
+        );
         if let Some(warned) = warn_if_regressed(
-            &format!(
-                "technique {} resolve_ms @ {threads} threads",
-                candidate_technique.technique
-            ),
+            &what,
             baseline_technique.resolve_ms,
             candidate_technique.resolve_ms,
             threshold_pct,
         ) {
-            *compared += 1;
-            warnings += warned;
+            compared.push(ComparedTiming {
+                what,
+                before: baseline_technique.resolve_ms,
+                after: candidate_technique.resolve_ms,
+                warned: warned == 1,
+            });
         }
     }
-    warnings
+}
+
+/// Render the compared timings as a GitHub-flavoured markdown table.
+fn summary_table(
+    baseline: &BenchReport,
+    candidate: &BenchReport,
+    compared: &[ComparedTiming],
+    threshold_pct: u64,
+) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n### Bench trajectory: {} vs {} (scale {}, median of {})\n",
+        candidate.bench, baseline.bench, candidate.scale, candidate.repeat
+    )
+    .expect("write to String");
+    writeln!(
+        out,
+        "| Timing | {} (ms) | {} (ms) | Δ | |\n|---|---:|---:|---:|---|",
+        baseline.bench, candidate.bench
+    )
+    .expect("write to String");
+    for timing in compared {
+        writeln!(
+            out,
+            "| {} | {} | {} | {:+.0}% | {} |",
+            timing.what,
+            timing.before,
+            timing.after,
+            timing.delta_pct(),
+            if timing.warned {
+                "⚠️ regression"
+            } else {
+                ""
+            },
+        )
+        .expect("write to String");
+    }
+    writeln!(
+        out,
+        "\n{} timings compared; ⚠️ marks a regression beyond {}% \
+         (sub-10 ms baselines are skipped as timer noise).",
+        compared.len(),
+        threshold_pct
+    )
+    .expect("write to String");
+    out
 }
 
 /// Emit a `::warning::` annotation when `after` exceeds `before` by more
@@ -158,15 +256,27 @@ fn load(path: &str) -> BenchReport {
     })
 }
 
-fn parse_args() -> (String, String, u64) {
+struct Args {
+    baseline: String,
+    candidate: String,
+    threshold_pct: u64,
+    summary_path: Option<String>,
+}
+
+fn parse_args() -> Args {
     let mut positional = Vec::new();
     let mut threshold = 20u64;
+    let mut summary_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--warn-threshold" => match args.next().map(|raw| raw.parse::<u64>()) {
                 Some(Ok(pct)) => threshold = pct,
                 _ => usage("--warn-threshold requires an integer percentage"),
+            },
+            "--summary" => match args.next() {
+                Some(path) => summary_path = Some(path),
+                None => usage("--summary requires a path"),
             },
             other if !other.starts_with('-') => positional.push(other.to_owned()),
             other => usage(&format!("unknown argument {other:?}")),
@@ -177,11 +287,19 @@ fn parse_args() -> (String, String, u64) {
     }
     let candidate = positional.pop().expect("checked length");
     let baseline = positional.pop().expect("checked length");
-    (baseline, candidate, threshold)
+    Args {
+        baseline,
+        candidate,
+        threshold_pct: threshold,
+        summary_path,
+    }
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--warn-threshold <pct>]");
+    eprintln!(
+        "usage: bench_diff <baseline.json> <candidate.json> \
+         [--warn-threshold <pct>] [--summary <path>]"
+    );
     std::process::exit(2);
 }

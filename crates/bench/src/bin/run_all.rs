@@ -5,65 +5,54 @@
 //!
 //! * `--json <path>` — additionally record the bench trajectory: run the
 //!   pipeline at 1 thread and at `ALIAS_THREADS` (default: available
-//!   parallelism), verify the two rendered documents are byte-identical,
-//!   and write per-stage wall-clock timings as JSON (the `BENCH_*.json`
-//!   format the CI perf-smoke job uploads).  Every run row also carries
-//!   the per-technique timing breakdown from the `Resolver`'s
-//!   `ResolutionReport` — a schema-compatible superset of the PR2 format.
+//!   parallelism), verify the rendered documents are byte-identical across
+//!   thread counts (and across repeats), and write per-stage wall-clock
+//!   timings as JSON (the `BENCH_*.json` format the CI perf-smoke job
+//!   uploads).  Every run row also carries the per-technique timing
+//!   breakdown from the `Resolver`'s `ResolutionReport`.
+//! * `--repeat <n>` — with `--json`, run each configuration `n` times and
+//!   record per-field **medians** (each stage and technique timing is
+//!   medianed independently).  Wall-clock on shared 1-core runners swings
+//!   run to run; medians make the recorded trajectory trustworthy enough
+//!   to diff.  The written report carries `"repeat": n`.
 //! * `--ceiling-secs <n>` — exit non-zero if the whole invocation exceeds
 //!   `n` seconds of wall-clock (the CI perf gate).
 
-use alias_bench::{render_document, scale_from_env, BenchReport, BenchRun, Experiment};
+use alias_bench::{
+    median_run, render_document, scale_from_env, BenchReport, Experiment, StageTimings,
+    TechniqueTiming,
+};
+use alias_netsim::ScalePreset;
 
 fn main() {
     let started = std::time::Instant::now();
-    let (json_path, ceiling_secs) = parse_args();
+    let args = parse_args();
 
     let preset = scale_from_env();
     let seed = 20230418;
     let threads = alias_exec::threads_from_env();
 
-    let doc = if let Some(path) = &json_path {
-        // Bench trajectory: serial run first, then the threaded run.
-        let (serial_exp, serial_timings) = Experiment::run_instrumented(preset, seed, 1);
-        let serial_doc = render_document(&serial_exp, preset);
-        let serial_techniques = serial_exp.resolution.technique_timings.clone();
-        drop(serial_exp);
-        let mut runs = vec![BenchRun {
-            threads: 1,
-            stages: serial_timings,
-            total_ms: serial_timings.total_ms(),
-            technique_ms: serial_techniques,
-        }];
+    let doc = if let Some(path) = &args.json_path {
+        // Bench trajectory: serial runs first, then the threaded runs; each
+        // configuration measured `repeat` times and recorded as medians.
+        let (serial_doc, serial_run) = measure(preset, seed, 1, args.repeat, None);
+        let mut runs = vec![serial_run];
         let doc = if threads > 1 {
-            let (exp, timings) = Experiment::run_instrumented(preset, seed, threads);
-            let threaded_doc = render_document(&exp, preset);
-            if threaded_doc != serial_doc {
-                eprintln!(
-                    "determinism violation: rendered output differs between \
-                     1 and {threads} threads"
-                );
-                std::process::exit(1);
-            }
-            eprintln!("determinism check passed: 1 vs {threads} threads byte-identical");
-            runs.push(BenchRun {
-                threads,
-                stages: timings,
-                total_ms: timings.total_ms(),
-                technique_ms: exp.resolution.technique_timings.clone(),
-            });
+            let (threaded_doc, threaded_run) =
+                measure(preset, seed, threads, args.repeat, Some(&serial_doc));
+            runs.push(threaded_run);
             threaded_doc
         } else {
             serial_doc
         };
-        let report = BenchReport::new("PR4", preset, seed, runs);
+        let report = BenchReport::new("PR5", preset, seed, args.repeat, runs);
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("could not write {path}: {err}");
             std::process::exit(1);
         }
         eprintln!(
-            "bench trajectory written to {path} (campaign+merge speedup: {:.2}x)",
-            report.campaign_merge_speedup
+            "bench trajectory written to {path} (median of {}, campaign+merge speedup: {:.2}x)",
+            args.repeat, report.campaign_merge_speedup
         );
         doc
     } else {
@@ -76,7 +65,7 @@ fn main() {
         eprintln!("could not write EXPERIMENTS_MEASURED.md: {err}");
     }
 
-    if let Some(ceiling) = ceiling_secs {
+    if let Some(ceiling) = args.ceiling_secs {
         let elapsed = started.elapsed().as_secs();
         if elapsed > ceiling {
             eprintln!("perf gate FAILED: run_all took {elapsed}s (> {ceiling}s ceiling)");
@@ -86,28 +75,89 @@ fn main() {
     }
 }
 
-fn parse_args() -> (Option<String>, Option<u64>) {
-    let mut json_path = None;
-    let mut ceiling_secs = None;
+/// Run one configuration `repeat` times, verifying every repeat renders the
+/// same document (and, when `reference` is given, that it matches the other
+/// thread count's output byte for byte).  Returns the rendered document and
+/// the median-collapsed run row.
+fn measure(
+    preset: ScalePreset,
+    seed: u64,
+    threads: usize,
+    repeat: usize,
+    reference: Option<&str>,
+) -> (String, alias_bench::BenchRun) {
+    let mut samples: Vec<(StageTimings, Vec<TechniqueTiming>)> = Vec::with_capacity(repeat);
+    let mut doc: Option<String> = None;
+    for rep in 1..=repeat {
+        let (exp, timings) = Experiment::run_instrumented(preset, seed, threads);
+        let rendered = render_document(&exp, preset);
+        samples.push((timings, exp.resolution.technique_timings.clone()));
+        match &doc {
+            None => {
+                if let Some(reference) = reference {
+                    if rendered != reference {
+                        eprintln!(
+                            "determinism violation: rendered output differs between \
+                             1 and {threads} threads"
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!("determinism check passed: 1 vs {threads} threads byte-identical");
+                }
+                doc = Some(rendered);
+            }
+            Some(first) => {
+                if &rendered != first {
+                    eprintln!(
+                        "determinism violation: rendered output differs between repeats \
+                         (repeat {rep} of {repeat} at {threads} threads)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    (doc.expect("repeat >= 1"), median_run(threads, &samples))
+}
+
+struct Args {
+    json_path: Option<String>,
+    ceiling_secs: Option<u64>,
+    repeat: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        json_path: None,
+        ceiling_secs: None,
+        repeat: 1,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => match args.next() {
-                Some(path) => json_path = Some(path),
+                Some(path) => parsed.json_path = Some(path),
                 None => usage("--json requires a path"),
             },
+            "--repeat" => match args.next().map(|raw| raw.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => parsed.repeat = n,
+                _ => usage("--repeat requires an integer >= 1"),
+            },
             "--ceiling-secs" => match args.next().map(|raw| raw.parse::<u64>()) {
-                Some(Ok(secs)) => ceiling_secs = Some(secs),
+                Some(Ok(secs)) => parsed.ceiling_secs = Some(secs),
                 _ => usage("--ceiling-secs requires an integer number of seconds"),
             },
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
-    (json_path, ceiling_secs)
+    if parsed.repeat > 1 && parsed.json_path.is_none() {
+        usage("--repeat only applies to the --json trajectory mode");
+    }
+    parsed
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: run_all [--json <path>] [--ceiling-secs <n>]");
+    eprintln!("usage: run_all [--json <path>] [--repeat <n>] [--ceiling-secs <n>]");
     std::process::exit(2);
 }

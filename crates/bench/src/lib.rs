@@ -28,7 +28,7 @@ use alias_midar::{Midar, MidarConfig};
 use alias_netsim::{Internet, InternetBuilder, InternetConfig, ScalePreset, SimTime, VantageKind};
 use alias_resolve::{ResolutionReport, Resolver};
 use alias_scan::campaign::CampaignConfig;
-use alias_scan::{DataSource, ServiceObservation, ServiceProtocol};
+use alias_scan::{DataSource, ObservationStore, ServiceProtocol};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
@@ -63,14 +63,16 @@ pub fn scale_from_env() -> ScalePreset {
 pub struct Experiment {
     /// The simulated Internet (after churn).
     pub internet: Internet,
-    /// Active-measurement observations (single VP, post-churn date).
-    pub active: Vec<ServiceObservation>,
+    /// Active-measurement observations (single VP, post-churn date), as a
+    /// columnar store.
+    pub active: ObservationStore,
     /// Censys snapshot observations restricted to default ports.
-    pub censys: Vec<ServiceObservation>,
+    pub censys: ObservationStore,
     /// Censys observations on non-standard ports (excluded from analyses).
     pub censys_nonstandard: usize,
-    /// Union of active and Censys default-port observations.
-    pub union: Vec<ServiceObservation>,
+    /// Union of active and Censys default-port observations (active rows
+    /// first, so row order matches the historical concatenation).
+    pub union: ObservationStore,
     /// The identifier extractor (paper policies).
     pub extractor: IdentifierExtractor,
     /// Simulated time of the active campaign start.
@@ -153,7 +155,7 @@ impl Experiment {
                 ..Default::default()
             },
         );
-        let censys = snapshot.default_port_observations();
+        let censys = ObservationStore::from_observations(snapshot.default_port_observations());
         let censys_nonstandard = snapshot.nonstandard_port_observations().len();
         timings.censys_ms = stage.elapsed().as_millis() as u64;
 
@@ -183,10 +185,10 @@ impl Experiment {
             .campaign
             .take()
             .expect("the resolver ran the scan itself")
-            .observations;
+            .into_store();
 
         let mut union = active.clone();
-        union.extend(censys.iter().cloned());
+        union.extend_from(&censys);
 
         let experiment = Experiment {
             internet,
@@ -216,7 +218,8 @@ impl Experiment {
         merge_labeled_sets_parallel(inputs, self.threads)
     }
 
-    fn observations(&self, source: Option<DataSource>) -> &[ServiceObservation] {
+    /// The columnar store of one data source (`None` = union).
+    pub fn store_for(&self, source: Option<DataSource>) -> &ObservationStore {
         match source {
             Some(DataSource::Active) => &self.active,
             Some(DataSource::Censys) => &self.censys,
@@ -228,7 +231,9 @@ impl Experiment {
     ///
     /// Collections are memoised: grouping is deterministic for a built
     /// experiment, and the tables and figures ask for the same handful of
-    /// (protocol, source) pairs over and over.
+    /// (protocol, source) pairs over and over.  Grouping consumes a column
+    /// view — the protocol filter reads one byte per row, and only the
+    /// matching rows' payloads are extracted.
     pub fn collection(
         &self,
         protocol: ServiceProtocol,
@@ -238,14 +243,8 @@ impl Experiment {
         if let Some(cached) = self.collections.lock().get(&key) {
             return cached.clone();
         }
-        let observations = self
-            .observations(source)
-            .iter()
-            .filter(|o| o.protocol() == protocol);
-        let computed = Arc::new(AliasSetCollection::from_observations(
-            observations,
-            &self.extractor,
-        ));
+        let view = self.store_for(source).select_protocol(protocol, None);
+        let computed = Arc::new(AliasSetCollection::from_view(&view, &self.extractor));
         // Recomputing on a race is harmless (identical result); keep the
         // first entry so every caller shares one allocation.
         self.collections
@@ -257,18 +256,26 @@ impl Experiment {
 
     /// Per-protocol responsive addresses of one family in the union data.
     pub fn responsive_addrs(&self, protocol: ServiceProtocol, ipv6: bool) -> BTreeSet<IpAddr> {
+        let tag = alias_scan::ProtocolTag::from(protocol);
+        let interner = self.union.interner();
         self.union
+            .protocols()
             .iter()
-            .filter(|o| o.protocol() == protocol && o.is_ipv6() == ipv6)
-            .map(|o| o.addr)
+            .zip(self.union.addr_ids())
+            .filter(|&(&p, _)| p == tag)
+            .map(|(_, &id)| interner.addr(id))
+            .filter(|a| a.is_ipv6() == ipv6)
             .collect()
     }
 
     /// Address → ASN map for the union data.
     pub fn asn_map(&self) -> HashMap<IpAddr, u32> {
+        let interner = self.union.interner();
         self.union
+            .addr_ids()
             .iter()
-            .filter_map(|o| o.asn.map(|asn| (o.addr, asn)))
+            .zip(self.union.asns())
+            .filter_map(|(&id, &asn)| asn.map(|asn| (interner.addr(id), asn)))
             .collect()
     }
 }
@@ -290,9 +297,9 @@ pub fn table1(exp: &Experiment) -> String {
         "Union #IPs",
         "Union #ASN",
     ]);
-    let cell = |observations: &[ServiceObservation], protocol, source, ipv6| {
-        let summary = DatasetSummary::compute(
-            observations.iter(),
+    let cell = |store: &ObservationStore, protocol, source, ipv6| {
+        let summary = DatasetSummary::from_store(
+            store,
             DatasetFilter {
                 protocol,
                 source,
@@ -837,10 +844,8 @@ pub fn stats(exp: &Experiment) -> String {
         ssh: alias_core::identifier::SshIdentifierPolicy::KeyOnly,
         ..ExtractionConfig::paper()
     });
-    let ssh_by_key = AliasSetCollection::from_observations(
-        exp.union
-            .iter()
-            .filter(|o| o.protocol() == ServiceProtocol::Ssh),
+    let ssh_by_key = AliasSetCollection::from_view(
+        &exp.union.select_protocol(ServiceProtocol::Ssh, None),
         &key_only,
     );
     // The full identifier splits a key-grouped set whenever interfaces of
@@ -976,7 +981,7 @@ pub struct BenchRun {
 
 /// The `BENCH_*.json` document: the perf trajectory a PR records so future
 /// PRs can show their speedup against it.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct BenchReport {
     /// Which bench emitted this (e.g. `"PR2"`).
     pub bench: String,
@@ -986,6 +991,10 @@ pub struct BenchReport {
     pub seed: u64,
     /// Hardware threads available on the measuring machine.
     pub available_parallelism: usize,
+    /// How many times each configuration was run; the recorded timings are
+    /// per-field medians over the repeats (1 = single run, the historical
+    /// behaviour).
+    pub repeat: usize,
     /// One run per thread count, serial first.
     pub runs: Vec<BenchRun>,
     /// Campaign+merge wall-clock of the first run divided by the last run
@@ -993,9 +1002,36 @@ pub struct BenchReport {
     pub campaign_merge_speedup: f64,
 }
 
+// Hand-written so trajectories recorded before the median-of-N mode (no
+// `repeat` field) still load as baselines: the vendored serde derive has no
+// `#[serde(default)]`, and `bench_diff` must keep reading last PR's file.
+impl serde::Deserialize for BenchReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(BenchReport {
+            bench: String::from_value(value.field("bench")?)?,
+            scale: String::from_value(value.field("scale")?)?,
+            seed: u64::from_value(value.field("seed")?)?,
+            available_parallelism: usize::from_value(value.field("available_parallelism")?)?,
+            repeat: match value.field("repeat") {
+                Ok(field) => usize::from_value(field)?,
+                Err(_) => 1,
+            },
+            runs: Vec::from_value(value.field("runs")?)?,
+            campaign_merge_speedup: f64::from_value(value.field("campaign_merge_speedup")?)?,
+        })
+    }
+}
+
 impl BenchReport {
-    /// Assemble a report from measured runs (serial run first).
-    pub fn new(bench: &str, preset: ScalePreset, seed: u64, runs: Vec<BenchRun>) -> Self {
+    /// Assemble a report from measured runs (serial run first), recorded as
+    /// medians over `repeat` runs per configuration.
+    pub fn new(
+        bench: &str,
+        preset: ScalePreset,
+        seed: u64,
+        repeat: usize,
+        runs: Vec<BenchRun>,
+    ) -> Self {
         let campaign_merge = |run: &BenchRun| run.stages.campaign_ms + run.stages.merge_ms;
         let speedup = match (runs.first(), runs.last()) {
             // Both sides must have measured something: at tiny scale a stage
@@ -1013,6 +1049,7 @@ impl BenchReport {
             scale: scale_name(preset).to_owned(),
             seed,
             available_parallelism: alias_exec::available_parallelism(),
+            repeat: repeat.max(1),
             runs,
             campaign_merge_speedup: (speedup * 100.0).round() / 100.0,
         }
@@ -1021,6 +1058,69 @@ impl BenchReport {
     /// Serialise to JSON (the `BENCH_*.json` file format).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("bench report serialises")
+    }
+}
+
+/// The median of `samples` (the exact middle for odd counts, the upper
+/// middle for even ones — a real measured value either way, never an
+/// interpolation).
+///
+/// # Panics
+/// Panics when `samples` is empty.
+pub fn median_u64(samples: &[u64]) -> u64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Collapse repeated measurements of one configuration into a single
+/// [`BenchRun`] holding per-field medians: each stage and each technique's
+/// `resolve_ms` is the median over the repeats (fields are medianed
+/// independently — single noisy outlier runs cannot drag a whole row), and
+/// `total_ms` is the sum of the median stages.
+///
+/// # Panics
+/// Panics when `samples` is empty or the runs disagree on the technique
+/// list (repeats of a deterministic pipeline never do).
+pub fn median_run(threads: usize, samples: &[(StageTimings, Vec<TechniqueTiming>)]) -> BenchRun {
+    assert!(!samples.is_empty(), "median of no bench samples");
+    let stage = |field: fn(&StageTimings) -> u64| {
+        median_u64(&samples.iter().map(|(s, _)| field(s)).collect::<Vec<_>>())
+    };
+    let stages = StageTimings {
+        build_internet_ms: stage(|s| s.build_internet_ms),
+        censys_ms: stage(|s| s.censys_ms),
+        campaign_ms: stage(|s| s.campaign_ms),
+        merge_ms: stage(|s| s.merge_ms),
+    };
+    let technique_ms = samples[0]
+        .1
+        .iter()
+        .enumerate()
+        .map(|(i, first)| {
+            let resolve_samples: Vec<u64> = samples
+                .iter()
+                .map(|(_, techniques)| {
+                    let t = &techniques[i];
+                    assert_eq!(
+                        t.technique, first.technique,
+                        "repeated runs disagree on the technique list"
+                    );
+                    t.resolve_ms
+                })
+                .collect();
+            TechniqueTiming {
+                technique: first.technique.clone(),
+                resolve_ms: median_u64(&resolve_samples),
+            }
+        })
+        .collect();
+    BenchRun {
+        threads,
+        stages,
+        total_ms: stages.total_ms(),
+        technique_ms,
     }
 }
 
@@ -1043,9 +1143,17 @@ mod tests {
     #[test]
     fn union_contains_both_sources() {
         let exp = tiny_experiment();
-        assert!(exp.union.iter().any(|o| o.source == DataSource::Active));
-        assert!(exp.union.iter().any(|o| o.source == DataSource::Censys));
+        let sources = exp.union.sources();
+        assert!(sources.contains(&alias_scan::SourceTag::Active));
+        assert!(sources.contains(&alias_scan::SourceTag::Censys));
         assert!(exp.union.len() > exp.active.len());
+        // The union rows are the active rows followed by the Censys rows.
+        assert_eq!(
+            &sources[..exp.active.len()],
+            exp.active.sources(),
+            "active rows first"
+        );
+        assert_eq!(&sources[exp.active.len()..], exp.censys.sources());
     }
 
     #[test]
@@ -1097,7 +1205,7 @@ mod tests {
                 }],
             },
         ];
-        let report = BenchReport::new("PR3", ScalePreset::Tiny, 7, runs);
+        let report = BenchReport::new("PR3", ScalePreset::Tiny, 7, 3, runs);
         assert_eq!(report.scale, "tiny");
         assert!((report.campaign_merge_speedup - 2.5).abs() < 1e-9);
         let parsed: BenchReport = serde_json::from_str(&report.to_json()).unwrap();
@@ -1106,6 +1214,56 @@ mod tests {
         assert_eq!(parsed.runs[1].technique_ms[0].technique, "ssh");
         assert_eq!(parsed.runs[1].technique_ms[0].resolve_ms, 12);
         assert_eq!(parsed.bench, "PR3");
+        assert_eq!(parsed.repeat, 3);
+    }
+
+    #[test]
+    fn bench_report_without_repeat_field_still_parses() {
+        // Trajectories recorded before the median-of-N mode lack `repeat`;
+        // `bench_diff` must keep loading them as baselines (defaulting to
+        // a single run per configuration).
+        let report = BenchReport::new("PR4", ScalePreset::Tiny, 7, 1, Vec::new());
+        let legacy_json = report.to_json().replace("\"repeat\":1,", "");
+        assert_ne!(legacy_json, report.to_json(), "the field was removed");
+        let parsed: BenchReport = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(parsed.repeat, 1);
+        assert_eq!(parsed.bench, "PR4");
+    }
+
+    #[test]
+    fn medians_are_per_field_and_outlier_resistant() {
+        assert_eq!(median_u64(&[5]), 5);
+        assert_eq!(median_u64(&[3, 900, 1]), 3);
+        assert_eq!(median_u64(&[4, 2]), 4, "upper middle for even counts");
+        let sample = |campaign: u64, merge: u64, ssh: u64| {
+            (
+                StageTimings {
+                    build_internet_ms: 10,
+                    censys_ms: 20,
+                    campaign_ms: campaign,
+                    merge_ms: merge,
+                },
+                vec![TechniqueTiming {
+                    technique: "ssh".to_owned(),
+                    resolve_ms: ssh,
+                }],
+            )
+        };
+        // One outlier run (the middle sample) must not survive into any
+        // recorded field: each field takes its own median.
+        let run = median_run(
+            4,
+            &[
+                sample(100, 7, 30),
+                sample(900, 950, 31),
+                sample(101, 9, 980),
+            ],
+        );
+        assert_eq!(run.threads, 4);
+        assert_eq!(run.stages.campaign_ms, 101);
+        assert_eq!(run.stages.merge_ms, 9);
+        assert_eq!(run.technique_ms[0].resolve_ms, 31);
+        assert_eq!(run.total_ms, run.stages.total_ms());
     }
 
     #[test]

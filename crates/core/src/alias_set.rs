@@ -10,7 +10,7 @@
 use crate::extract::IdentifierExtractor;
 use crate::identifier::ProtocolIdentifier;
 use crate::intern::{sort_canonical_compact, AddrId, AddrInterner, CompactAliasSet, IdentInterner};
-use alias_scan::{ObservationSink, ServiceObservation};
+use alias_scan::{ObservationSink, ObservationView, ServiceObservation, ServicePayload};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
@@ -90,17 +90,24 @@ impl AliasSetBuilder {
     /// are dropped, exactly as the paper drops hosts whose scan did not
     /// yield the required material.
     pub fn push(&mut self, observation: &ServiceObservation) {
-        let Some(identifier) = self.extractor.extract(observation) else {
+        self.push_parts(observation.addr, observation.asn, &observation.payload);
+    }
+
+    /// Consume one observation from its parts — the columnar entry point:
+    /// a store view hands over the address, the AS annotation and a
+    /// borrowed payload without materialising a row.
+    pub fn push_parts(&mut self, addr: IpAddr, asn: Option<u32>, payload: &ServicePayload) {
+        let Some(identifier) = self.extractor.extract_payload(payload) else {
             return;
         };
         let ident = self.idents.intern(identifier);
         if ident.index() == self.groups.len() {
             self.groups.push(Vec::new());
         }
-        let addr = self.addrs.intern(observation.addr);
-        self.groups[ident.index()].push(addr);
-        if let Some(asn) = observation.asn {
-            self.asn_of.insert(observation.addr, asn);
+        let addr_id = self.addrs.intern(addr);
+        self.groups[ident.index()].push(addr_id);
+        if let Some(asn) = asn {
+            self.asn_of.insert(addr, asn);
         }
     }
 
@@ -149,6 +156,18 @@ impl AliasSetCollection {
     {
         let mut builder = AliasSetBuilder::new(*extractor);
         builder.accept_all(observations);
+        builder.finish()
+    }
+
+    /// Group the rows of a columnar store view — the zero-materialisation
+    /// counterpart of [`Self::from_observations`]: addresses, AS
+    /// annotations and borrowed payloads are read straight from the
+    /// columns.
+    pub fn from_view(view: &ObservationView<'_>, extractor: &IdentifierExtractor) -> Self {
+        let mut builder = AliasSetBuilder::new(*extractor);
+        for i in 0..view.len() {
+            builder.push_parts(view.addr_at(i), view.asn_at(i), view.payload_at(i));
+        }
         builder.finish()
     }
 
@@ -256,6 +275,60 @@ pub fn group_observations_compact(
     interner: &AddrInterner,
     threads: usize,
 ) -> CompactGrouping {
+    group_compact_sharded(observations.len(), threads, interner, |range, emit| {
+        for observation in &observations[range.0..range.1] {
+            let Some(identifier) = extractor.extract(observation) else {
+                continue;
+            };
+            let addr = interner.get(observation.addr).expect(
+                "the interner must cover every observation address; rebuild the campaign \
+                 data (CampaignData::from_observations) after mutating observations",
+            );
+            emit(identifier, addr);
+        }
+    })
+}
+
+/// Group a columnar store view by extracted identifier, entirely in id
+/// space, with `threads` shard workers.
+///
+/// The columnar counterpart of [`group_observations_compact`] — and the
+/// cheaper one: the view's [`AddrId`] column already holds each row's
+/// interned id (intern-at-scan), so the per-observation work is one payload
+/// extraction and one identifier hash, with no address hashing at all.
+/// Sharding and the id-space reduce are identical to the slice path, so
+/// the grouped output is the same for every thread count and for either
+/// entry point over the same rows.
+pub fn group_view_compact(
+    view: &ObservationView<'_>,
+    extractor: &IdentifierExtractor,
+    threads: usize,
+) -> CompactGrouping {
+    group_compact_sharded(
+        view.len(),
+        threads,
+        view.store().interner(),
+        |range, emit| {
+            for i in range.0..range.1 {
+                let Some(identifier) = extractor.extract_payload(view.payload_at(i)) else {
+                    continue;
+                };
+                emit(identifier, view.addr_id_at(i));
+            }
+        },
+    )
+}
+
+/// The shared shard/reduce skeleton behind both compact grouping entry
+/// points: `scan` walks one half-open row range and emits
+/// `(identifier, addr id)` pairs; shards group locally and the join
+/// re-interns only each shard's distinct identifiers, in shard order.
+fn group_compact_sharded(
+    rows: usize,
+    threads: usize,
+    interner: &AddrInterner,
+    scan: impl Fn((usize, usize), &mut dyn FnMut(ProtocolIdentifier, AddrId)) + Sync,
+) -> CompactGrouping {
     // Extraction + hashing is CPU-bound with no per-item pacing overhead
     // to amortise, so workers beyond the machine's parallelism only add
     // scheduling noise; the clamp never changes the output (the grouping
@@ -266,26 +339,22 @@ pub fn group_observations_compact(
     } else {
         threads * alias_exec::SHARDS_PER_THREAD
     };
-    let shard_ranges = alias_exec::split_even(observations.len() as u64, shard_count);
+    let shard_ranges = alias_exec::split_even(rows as u64, shard_count);
     let shards: Vec<(IdentInterner, Vec<Vec<AddrId>>)> =
         alias_exec::shard_map(shard_ranges.len(), threads, |shard| {
             let range = &shard_ranges[shard];
             let mut idents = IdentInterner::new();
             let mut groups: Vec<Vec<AddrId>> = Vec::new();
-            for observation in &observations[range.start as usize..range.end as usize] {
-                let Some(identifier) = extractor.extract(observation) else {
-                    continue;
-                };
-                let ident = idents.intern(identifier);
-                if ident.index() == groups.len() {
-                    groups.push(Vec::new());
-                }
-                let addr = interner.get(observation.addr).expect(
-                    "the interner must cover every observation address; rebuild the campaign \
-                     data (CampaignData::from_observations) after mutating observations",
-                );
-                groups[ident.index()].push(addr);
-            }
+            scan(
+                (range.start as usize, range.end as usize),
+                &mut |identifier, addr| {
+                    let ident = idents.intern(identifier);
+                    if ident.index() == groups.len() {
+                        groups.push(Vec::new());
+                    }
+                    groups[ident.index()].push(addr);
+                },
+            );
             (idents, groups)
         });
 
@@ -475,6 +544,45 @@ mod tests {
             assert_eq!(resolved, legacy_sets, "threads={threads}");
             assert_eq!(grouped.testable_addrs(&interner), legacy.all_addresses());
         }
+    }
+
+    #[test]
+    fn view_grouping_matches_the_slice_path_for_every_thread_count() {
+        // The columnar entry points (store view in, ids straight from the
+        // AddrId column) must agree with the row-slice path — sets,
+        // testable ids and the memoisable collection alike.
+        let obs = [
+            ssh_obs("10.0.0.3", 1, DataSource::Active),
+            ssh_obs("10.0.0.1", 1, DataSource::Active),
+            ssh_obs("10.0.0.1", 1, DataSource::Censys),
+            ssh_obs("10.2.0.1", 3, DataSource::Active),
+            ssh_obs("10.1.0.9", 2, DataSource::Active),
+            ssh_obs("2001:db8::1", 2, DataSource::Active),
+            ssh_obs("10.2.0.2", 3, DataSource::Active),
+            ssh_obs("10.9.0.1", 4, DataSource::Active),
+        ];
+        let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+        let store = alias_scan::ObservationStore::from_observations(obs.to_vec());
+        let view = store.select(None, None);
+        let refs: Vec<&ServiceObservation> = obs.iter().collect();
+        let from_slices = group_observations_compact(&refs, &extractor, store.interner(), 1);
+        for threads in [1usize, 2, 7] {
+            let from_view = group_view_compact(&view, &extractor, threads);
+            assert_eq!(from_view, from_slices, "threads={threads}");
+        }
+        assert_eq!(
+            AliasSetCollection::from_view(&view, &extractor),
+            AliasSetCollection::from_observations(obs.iter(), &extractor)
+        );
+        // A filtered view groups exactly the filtered rows.
+        let active = store.select(None, Some(alias_scan::SourceTag::Active));
+        assert_eq!(
+            AliasSetCollection::from_view(&active, &extractor),
+            AliasSetCollection::from_observations(
+                obs.iter().filter(|o| o.source == DataSource::Active),
+                &extractor
+            )
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Dataset overview statistics (the paper's Table 1).
 
-use alias_scan::{DataSource, ServiceObservation, ServiceProtocol};
+use alias_scan::{DataSource, ObservationStore, ServiceObservation, ServiceProtocol};
+use alias_store::{ProtocolTag, SourceTag};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::net::IpAddr;
@@ -54,6 +55,48 @@ impl DatasetSummary {
         }
         DatasetSummary {
             ips: ips.len(),
+            asns: asns.len(),
+        }
+    }
+
+    /// Compute the summary straight from a columnar store.
+    ///
+    /// Equivalent to [`Self::compute`] over the store's rows, but the
+    /// filter pass reads only the one-byte tag columns plus the id column —
+    /// payloads are never touched, and distinct-IP counting is a bitmap
+    /// probe over the dense id space instead of a `BTreeSet` insert.
+    pub fn from_store(store: &ObservationStore, filter: DatasetFilter) -> Self {
+        let protocol = filter.protocol.map(ProtocolTag::from);
+        let source = filter.source.map(SourceTag::from);
+        let interner = store.interner();
+        // Per-id membership flags instead of BTreeSets: the id space is
+        // dense, so distinctness is two bitmap probes per matching row.
+        let mut ip_seen = vec![false; interner.len()];
+        let mut ips = 0usize;
+        let mut asns: BTreeSet<u32> = BTreeSet::new();
+        let protocols = store.protocols();
+        let sources = store.sources();
+        let addrs = store.addr_ids();
+        let store_asns = store.asns();
+        for row in 0..store.len() {
+            if protocol.is_some_and(|p| protocols[row] != p)
+                || source.is_some_and(|s| sources[row] != s)
+            {
+                continue;
+            }
+            let id = addrs[row];
+            if interner.addr(id).is_ipv6() != filter.ipv6 {
+                continue;
+            }
+            if !std::mem::replace(&mut ip_seen[id.index()], true) {
+                ips += 1;
+            }
+            if let Some(asn) = store_asns[row] {
+                asns.insert(asn);
+            }
+        }
+        DatasetSummary {
+            ips,
             asns: asns.len(),
         }
     }
@@ -131,5 +174,36 @@ mod tests {
             },
         );
         assert_eq!(ssh_only, DatasetSummary::default());
+    }
+
+    #[test]
+    fn store_summary_matches_the_row_iterator_for_every_filter() {
+        let observations = [
+            snmp_obs("10.0.0.1", 100, DataSource::Active),
+            snmp_obs("10.0.0.2", 100, DataSource::Active),
+            snmp_obs("10.0.0.2", 100, DataSource::Censys),
+            snmp_obs("2001:db8::1", 200, DataSource::Active),
+        ];
+        let store = alias_scan::ObservationStore::from_observations(observations.to_vec());
+        for protocol in [
+            None,
+            Some(ServiceProtocol::Snmpv3),
+            Some(ServiceProtocol::Ssh),
+        ] {
+            for source in [None, Some(DataSource::Active), Some(DataSource::Censys)] {
+                for ipv6 in [false, true] {
+                    let filter = DatasetFilter {
+                        protocol,
+                        source,
+                        ipv6,
+                    };
+                    assert_eq!(
+                        DatasetSummary::from_store(&store, filter),
+                        DatasetSummary::compute(observations.iter(), filter),
+                        "{filter:?}"
+                    );
+                }
+            }
+        }
     }
 }

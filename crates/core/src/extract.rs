@@ -47,7 +47,15 @@ impl IdentifierExtractor {
     /// observation does not carry enough material (e.g. an SSH session that
     /// never reached the host key).
     pub fn extract(&self, observation: &ServiceObservation) -> Option<ProtocolIdentifier> {
-        match &observation.payload {
+        self.extract_payload(&observation.payload)
+    }
+
+    /// Extract the identifier from a payload alone — the identifier is a
+    /// pure function of the application-layer material, so consumers that
+    /// read columnar storage can hand over a borrowed payload without
+    /// materialising the observation row around it.
+    pub fn extract_payload(&self, payload: &ServicePayload) -> Option<ProtocolIdentifier> {
+        match payload {
             ServicePayload::Ssh(ssh) => {
                 SshIdentifier::from_observation(ssh, self.config.ssh).map(ProtocolIdentifier::Ssh)
             }

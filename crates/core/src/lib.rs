@@ -38,7 +38,8 @@ pub mod union_find;
 pub mod validation;
 
 pub use alias_set::{
-    group_observations_compact, AliasSet, AliasSetBuilder, AliasSetCollection, CompactGrouping,
+    group_observations_compact, group_view_compact, AliasSet, AliasSetBuilder, AliasSetCollection,
+    CompactGrouping,
 };
 pub use alias_wire::hex;
 pub use dual_stack::DualStackSet;

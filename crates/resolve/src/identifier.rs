@@ -3,19 +3,21 @@
 //! fields, SNMPv3 engine IDs).
 
 use crate::technique::{DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult};
-use alias_core::alias_set::group_observations_compact;
+use alias_core::alias_set::group_view_compact;
 use alias_netsim::ServiceProtocol;
-use alias_scan::{CampaignData, ServiceObservation};
+use alias_scan::CampaignData;
 
 /// Alias resolution from one protocol's application-layer identifier.
 ///
-/// Runs entirely in id space: the campaign's observations of the protocol
-/// are grouped by [`alias_core::alias_set::group_observations_compact`] —
+/// Runs entirely in id space, over columns: the campaign store's protocol
+/// column selects the rows (one byte per observation — payloads are never
+/// touched by the filter), and
+/// [`alias_core::alias_set::group_view_compact`] groups them with
 /// `ctx.threads` shard workers building shard-local `IdentId`-keyed maps
-/// over the campaign's [`AddrId`](alias_core::intern::AddrId) space, joined
-/// by a cheap id-space reduce — and the result keeps the compact sets,
-/// resolving addresses only at the report boundary.  Pure — no follow-up
-/// probing.
+/// over the campaign's [`AddrId`](alias_core::intern::AddrId) column —
+/// each row's id is read straight from the store (intern-at-scan), no
+/// address hashing.  The result keeps the compact sets, resolving
+/// addresses only at the report boundary.  Pure — no follow-up probing.
 #[derive(Debug, Clone, Copy)]
 pub struct IdentifierTechnique {
     protocol: ServiceProtocol,
@@ -58,9 +60,8 @@ impl ResolutionTechnique for IdentifierTechnique {
     }
 
     fn resolve(&self, data: &CampaignData, ctx: &TechniqueCtx<'_>) -> TechniqueResult {
-        let observations: Vec<&ServiceObservation> = data.observations_for(self.protocol).collect();
-        let grouped =
-            group_observations_compact(&observations, ctx.extractor, data.interner(), ctx.threads);
+        let view = data.store().select(Some(self.protocol.into()), None);
+        let grouped = group_view_compact(&view, ctx.extractor, ctx.threads);
         TechniqueResult::from_compact(
             self.name().to_owned(),
             grouped.sets,
@@ -99,8 +100,8 @@ mod tests {
                 IdentifierTechnique::snmpv3(),
             ] {
                 let result = technique.resolve(&data, &ctx);
-                let legacy = AliasSetCollection::from_observations(
-                    data.observations_for(technique.protocol()),
+                let legacy = AliasSetCollection::from_view(
+                    &data.store().select_protocol(technique.protocol(), None),
                     &extractor,
                 );
                 assert_eq!(

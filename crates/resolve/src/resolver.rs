@@ -361,8 +361,8 @@ mod tests {
                 .build()
                 .resolve(&internet);
             assert_eq!(
-                sharded.campaign.as_ref().unwrap().observations,
-                serial.campaign.as_ref().unwrap().observations,
+                sharded.campaign.as_ref().unwrap().store(),
+                serial.campaign.as_ref().unwrap().store(),
                 "threads={threads}"
             );
             assert_eq!(sharded.techniques, serial.techniques, "threads={threads}");

@@ -122,7 +122,7 @@ fn legacy_merge(inputs: &[(&str, Vec<BTreeSet<IpAddr>>)]) -> Vec<MergedSet> {
 /// derivation, spelled out the legacy way).
 fn targets(data: &CampaignData, ipv6: bool) -> Vec<IpAddr> {
     let addrs: BTreeSet<IpAddr> = data
-        .observations
+        .to_observations()
         .iter()
         .map(|o| o.addr)
         .filter(|a| a.is_ipv6() == ipv6)
@@ -146,12 +146,8 @@ fn legacy_resolve(
                 "bgp" => ServiceProtocol::Bgp,
                 _ => ServiceProtocol::Snmpv3,
             };
-            legacy_grouping(
-                data.observations
-                    .iter()
-                    .filter(|o| o.protocol() == protocol),
-                extractor,
-            )
+            let rows = data.to_observations();
+            legacy_grouping(rows.iter().filter(|o| o.protocol() == protocol), extractor)
         }
         "midar" => {
             let outcome = Midar::new(MidarConfig::default()).resolve(
@@ -228,10 +224,10 @@ fn every_technique_matches_its_legacy_path_across_seeds_and_threads() {
         let legacy_side = build(seed);
         let data = ActiveCampaign::with_defaults(&trait_side).run(&trait_side);
         assert_eq!(
-            data.observations,
+            data.store(),
             ActiveCampaign::with_defaults(&legacy_side)
                 .run(&legacy_side)
-                .observations,
+                .store(),
             "identically seeded substrates must scan identically (seed={seed})"
         );
 
@@ -278,6 +274,7 @@ fn interned_merge_matches_the_legacy_merge_across_seeds_and_threads() {
     for seed in SEEDS {
         let internet = build(seed);
         let data = ActiveCampaign::with_defaults(&internet).run(&internet);
+        let rows = data.to_observations();
         let protocols = [
             ServiceProtocol::Ssh,
             ServiceProtocol::Bgp,
@@ -288,10 +285,7 @@ fn interned_merge_matches_the_legacy_merge_across_seeds_and_threads() {
             .map(|&p| {
                 (
                     p.name(),
-                    legacy_grouping(
-                        data.observations.iter().filter(|o| o.protocol() == p),
-                        &extractor,
-                    ),
+                    legacy_grouping(rows.iter().filter(|o| o.protocol() == p), &extractor),
                 )
             })
             .collect();
@@ -379,7 +373,7 @@ mod proptest_interned_parity {
                 .map(|&(a, key)| ssh_obs(addr(a), key))
                 .chain(snmp.iter().map(|&(a, engine)| snmp_obs(addr(a), engine)))
                 .collect();
-            let data = CampaignData::from_observations(observations);
+            let data = CampaignData::from_observations(observations.clone());
             let legacy_inputs: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = [
                 ServiceProtocol::Ssh,
                 ServiceProtocol::Snmpv3,
@@ -389,7 +383,7 @@ mod proptest_interned_parity {
                 (
                     p.name(),
                     legacy_grouping(
-                        data.observations.iter().filter(|o| o.protocol() == p),
+                        observations.iter().filter(|o| o.protocol() == p),
                         &extractor,
                     ),
                 )

@@ -7,8 +7,12 @@
 //! 3. an Internet-wide SNMPv3 engine-discovery scan,
 //! 4. an IPv6 hitlist, SYN-scanned and service-scanned the same way,
 //!
-//! all from a single vantage point at a fixed simulated date, producing one
-//! [`CampaignData`] bundle of [`ServiceObservation`] records.
+//! all from a single vantage point at a fixed simulated date.  The scan
+//! loops emit straight into per-shard column chunks
+//! ([`ShardColumns`], addresses interned as they
+//! are observed), which the campaign splices into one columnar
+//! [`ObservationStore`] — the [`CampaignData`] bundle the resolution
+//! pipeline runs on.
 
 use crate::hitlist::Ipv6Hitlist;
 use crate::records::{DataSource, ObservationSink, ServiceObservation};
@@ -17,6 +21,7 @@ use crate::zgrab::{ZgrabConfig, ZgrabScanner};
 use crate::zmap::{ZmapConfig, ZmapScanner};
 use alias_intern::{AddrId, AddrInterner};
 use alias_netsim::{Internet, ServiceProtocol, SimTime, VantageKind};
+use alias_store::{ObservationRef, ObservationStore, ShardColumns};
 use std::net::IpAddr;
 use std::sync::Arc;
 
@@ -58,44 +63,34 @@ impl Default for CampaignConfig {
     }
 }
 
-/// The output of a campaign.
+/// The output of a campaign: a columnar [`ObservationStore`] of every
+/// observation (SSH, BGP, SNMPv3; IPv4 and IPv6) plus campaign metadata.
 #[derive(Debug, Clone)]
 pub struct CampaignData {
-    /// All observations (SSH, BGP, SNMPv3; IPv4 and IPv6).
-    ///
-    /// The address interner is built from these at construction; code that
-    /// mutates the vector afterwards must re-wrap the records with
-    /// [`Self::from_observations`] so ids and observations stay in sync.
-    pub observations: Vec<ServiceObservation>,
+    /// All observations, stored column-wise with every observed address
+    /// interned to a dense [`AddrId`] in first-observation order.
+    store: ObservationStore,
     /// The IPv6 hitlist used.
     pub hitlist: Ipv6Hitlist,
     /// Simulated time the campaign finished.
     pub finished_at: SimTime,
     /// Total SYN probes sent during discovery.
     pub syn_probes_sent: u64,
-    /// Every observed address interned to a dense [`AddrId`], in first-
-    /// observation order — the id space the resolution pipeline runs on.
-    interner: Arc<AddrInterner>,
 }
 
 impl CampaignData {
-    /// Bundle observations with campaign metadata, interning every observed
-    /// address (the single place the campaign id space is defined).
+    /// Bundle a finished store with campaign metadata.
     fn new(
-        observations: Vec<ServiceObservation>,
+        store: ObservationStore,
         hitlist: Ipv6Hitlist,
         finished_at: SimTime,
         syn_probes_sent: u64,
     ) -> Self {
-        let interner = Arc::new(AddrInterner::from_addrs(
-            observations.iter().map(|o| o.addr),
-        ));
         CampaignData {
-            observations,
+            store,
             hitlist,
             finished_at,
             syn_probes_sent,
-            interner,
         }
     }
 
@@ -111,11 +106,43 @@ impl CampaignData {
             .max()
             .unwrap_or(SimTime::ZERO);
         Self::new(
-            observations,
+            ObservationStore::from_observations(observations),
             Ipv6Hitlist { addrs: Vec::new() },
             finished_at,
             0,
         )
+    }
+
+    /// Wrap an already-columnar store as campaign data (same conventions as
+    /// [`Self::from_observations`]).
+    pub fn from_store(store: ObservationStore) -> Self {
+        let finished_at = store
+            .timestamps()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Self::new(store, Ipv6Hitlist { addrs: Vec::new() }, finished_at, 0)
+    }
+
+    /// The columnar observation store.
+    pub fn store(&self) -> &ObservationStore {
+        &self.store
+    }
+
+    /// Consume the campaign data, keeping only the store.
+    pub fn into_store(self) -> ObservationStore {
+        self.store
+    }
+
+    /// Number of observations in the campaign.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the campaign recorded no observations.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
     }
 
     /// The campaign's address interner: every observed address mapped to a
@@ -123,49 +150,43 @@ impl CampaignData {
     /// `Arc` so techniques and reports can reference the id space without
     /// copying it.
     pub fn interner(&self) -> &Arc<AddrInterner> {
-        &self.interner
+        self.store.interner()
     }
 
     /// The dense id of an observed address ([`None`] for addresses the
     /// campaign never observed).
     pub fn addr_id(&self, addr: IpAddr) -> Option<AddrId> {
-        self.interner.get(addr)
+        self.store.addr_id(addr)
     }
 
-    /// Observations for one protocol.
-    #[deprecated(
-        since = "0.1.0",
-        note = "materialises a Vec of references on the hot path; \
-                use the `observations_for` iterator instead"
-    )]
-    pub fn for_protocol(&self, protocol: ServiceProtocol) -> Vec<&ServiceObservation> {
-        self.observations_for(protocol).collect()
-    }
-
-    /// Iterator over the observations of one protocol — the allocation-free
-    /// replacement for the deprecated [`Self::for_protocol`].
+    /// Iterator over the observations of one protocol, as borrowed rows.
+    /// The selection pass reads only the one-byte protocol column.
     pub fn observations_for(
         &self,
         protocol: ServiceProtocol,
-    ) -> impl Iterator<Item = &ServiceObservation> {
-        self.observations
-            .iter()
-            .filter(move |o| o.protocol() == protocol)
+    ) -> impl Iterator<Item = ObservationRef<'_>> {
+        let view = self.store.select(Some(protocol.into()), None);
+        (0..view.len()).map(move |i| view.get(i))
     }
 
-    /// Stream every observation into a sink, in campaign order.
+    /// Stream every observation into a sink, in campaign order (rows are
+    /// materialised one at a time — the compatibility boundary for
+    /// row-based consumers).
     pub fn stream_into(&self, sink: &mut dyn ObservationSink) {
-        for observation in &self.observations {
-            sink.accept(observation);
+        for row in 0..self.store.len() {
+            sink.accept(&self.store.get(row).to_observation());
         }
+    }
+
+    /// Materialise every observation as rows, in campaign order (the
+    /// compatibility boundary; payloads are cloned).
+    pub fn to_observations(&self) -> Vec<ServiceObservation> {
+        self.store.to_observations()
     }
 
     /// Number of distinct responsive addresses for a protocol.
     pub fn address_count(&self, protocol: ServiceProtocol) -> usize {
-        let mut addrs: Vec<IpAddr> = self.observations_for(protocol).map(|o| o.addr).collect();
-        addrs.sort();
-        addrs.dedup();
-        addrs.len()
+        self.store.address_count(protocol)
     }
 }
 
@@ -210,14 +231,33 @@ impl ActiveCampaign {
     /// Run the campaign.
     ///
     /// With `config.threads > 1` each scan phase runs as shard workers over
-    /// disjoint slices of its address space; the observations (including
-    /// timestamps and time-dependent payload bytes) are byte-identical to
-    /// the serial run for any thread count.
+    /// disjoint slices of its address space, emitting into per-shard column
+    /// chunks; splicing the chunks in shard order makes the store
+    /// (observations, timestamps, time-dependent payload bytes *and* the
+    /// interned id order) byte-identical to the serial run for any thread
+    /// count.
     pub fn run(&self, internet: &Internet) -> CampaignData {
         let cfg = &self.config;
         let vantage = cfg.vantage;
         let threads = cfg.threads.max(1);
-        let mut observations = Vec::new();
+        let mut store = ObservationStore::new();
+
+        /// Splice a phase's shard chunks onto the store, in shard order,
+        /// returning the clock after the phase (the timestamp of its last
+        /// observation, or `now` if the phase observed nothing).
+        fn absorb_phase(
+            store: &mut ObservationStore,
+            shards: Vec<ShardColumns>,
+            mut now: SimTime,
+        ) -> SimTime {
+            for shard in shards {
+                if let Some(last) = shard.last_timestamp() {
+                    now = last;
+                }
+                store.absorb_shard(shard);
+            }
+            now
+        }
 
         // Phase 1: IPv4 SYN discovery on ports 22 and 179.
         let zmap = ZmapScanner::new(ZmapConfig {
@@ -233,37 +273,43 @@ impl ActiveCampaign {
             rate_pps: cfg.grab_rate_pps,
             source: DataSource::Active,
         });
-        let ssh_obs = zgrab.grab_sharded(
-            internet,
-            syn.on_port(22),
-            22,
-            ServiceProtocol::Ssh,
-            vantage,
+        now = absorb_phase(
+            &mut store,
+            zgrab.grab_columns_sharded(
+                internet,
+                syn.on_port(22),
+                22,
+                ServiceProtocol::Ssh,
+                vantage,
+                now,
+                threads,
+            ),
             now,
-            threads,
         );
-        now = ssh_obs.last().map(|o| o.timestamp).unwrap_or(now);
-        observations.extend(ssh_obs);
-        let bgp_obs = zgrab.grab_sharded(
-            internet,
-            syn.on_port(179),
-            179,
-            ServiceProtocol::Bgp,
-            vantage,
+        now = absorb_phase(
+            &mut store,
+            zgrab.grab_columns_sharded(
+                internet,
+                syn.on_port(179),
+                179,
+                ServiceProtocol::Bgp,
+                vantage,
+                now,
+                threads,
+            ),
             now,
-            threads,
         );
-        now = bgp_obs.last().map(|o| o.timestamp).unwrap_or(now);
-        observations.extend(bgp_obs);
 
         // Phase 3: Internet-wide SNMPv3 engine discovery.
         let snmp = SnmpScanner::new(SnmpScanConfig {
             rate_pps: cfg.syn_rate_pps,
             source: DataSource::Active,
         });
-        let snmp_obs = snmp.scan_routed_space_sharded(internet, vantage, now, threads);
-        now = snmp_obs.last().map(|o| o.timestamp).unwrap_or(now);
-        observations.extend(snmp_obs);
+        now = absorb_phase(
+            &mut store,
+            snmp.scan_routed_space_columns_sharded(internet, vantage, now, threads),
+            now,
+        );
 
         // Phase 4: IPv6 — hitlist-driven discovery and service scans.
         let hitlist = Ipv6Hitlist::generate(
@@ -274,39 +320,40 @@ impl ActiveCampaign {
         );
         let v6_syn = zmap.scan_ipv6_list_sharded(internet, &hitlist.addrs, vantage, now, threads);
         now = v6_syn.finished_at;
-        let v6_ssh = zgrab.grab_sharded(
-            internet,
-            v6_syn.on_port(22),
-            22,
-            ServiceProtocol::Ssh,
-            vantage,
+        now = absorb_phase(
+            &mut store,
+            zgrab.grab_columns_sharded(
+                internet,
+                v6_syn.on_port(22),
+                22,
+                ServiceProtocol::Ssh,
+                vantage,
+                now,
+                threads,
+            ),
             now,
-            threads,
         );
-        now = v6_ssh.last().map(|o| o.timestamp).unwrap_or(now);
-        observations.extend(v6_ssh);
-        let v6_bgp = zgrab.grab_sharded(
-            internet,
-            v6_syn.on_port(179),
-            179,
-            ServiceProtocol::Bgp,
-            vantage,
+        now = absorb_phase(
+            &mut store,
+            zgrab.grab_columns_sharded(
+                internet,
+                v6_syn.on_port(179),
+                179,
+                ServiceProtocol::Bgp,
+                vantage,
+                now,
+                threads,
+            ),
             now,
-            threads,
         );
-        now = v6_bgp.last().map(|o| o.timestamp).unwrap_or(now);
-        observations.extend(v6_bgp);
         let v6_targets: Vec<IpAddr> = hitlist.addrs.iter().map(|&a| IpAddr::V6(a)).collect();
-        let v6_snmp = snmp.scan_sharded(internet, &v6_targets, vantage, now, threads);
-        now = v6_snmp.last().map(|o| o.timestamp).unwrap_or(now);
-        observations.extend(v6_snmp);
-
-        CampaignData::new(
-            observations,
-            hitlist,
+        now = absorb_phase(
+            &mut store,
+            snmp.scan_columns_sharded(internet, &v6_targets, vantage, now, threads),
             now,
-            syn.probes_sent + v6_syn.probes_sent,
-        )
+        );
+
+        CampaignData::new(store, hitlist, now, syn.probes_sent + v6_syn.probes_sent)
     }
 }
 
@@ -331,16 +378,20 @@ mod tests {
             .observations_for(ServiceProtocol::Snmpv3)
             .next()
             .is_some());
-        assert!(data.observations.iter().any(|o| o.is_ipv6()));
-        assert!(data.observations.iter().any(|o| !o.is_ipv6()));
+        let addrs = data.store().interner().addrs();
+        assert!(addrs.iter().any(|a| a.is_ipv6()));
+        assert!(addrs.iter().any(|a| !a.is_ipv6()));
         assert!(data.syn_probes_sent > 0);
         assert!(data.finished_at > SimTime::ZERO);
+        assert!(!data.is_empty());
     }
 
     #[test]
     fn every_observation_is_from_the_active_source_with_asn() {
         let (_, data) = campaign_data();
-        for obs in &data.observations {
+        let view = data.store().select(None, None);
+        assert_eq!(view.len(), data.len());
+        for obs in view.iter() {
             assert_eq!(obs.source, DataSource::Active);
             assert!(obs.asn.is_some(), "missing ASN annotation for {obs:?}");
             assert!(obs.is_default_port());
@@ -350,9 +401,9 @@ mod tests {
     #[test]
     fn sharded_campaign_is_byte_identical_to_serial() {
         // The determinism guarantee of the execution engine: for several
-        // seeds and thread counts, every observation (addresses, order,
-        // timestamps, time-dependent payload bytes) and the campaign
-        // metadata match the serial run exactly.
+        // seeds and thread counts, the whole columnar store (addresses,
+        // interned id order, timestamps, time-dependent payload bytes) and
+        // the campaign metadata match the serial run exactly.
         for seed in [404u64, 2023] {
             let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
             let serial = ActiveCampaign::new(CampaignConfig {
@@ -368,7 +419,8 @@ mod tests {
                 })
                 .run(&internet);
                 assert_eq!(
-                    sharded.observations, serial.observations,
+                    sharded.store(),
+                    serial.store(),
                     "seed={seed} threads={threads}"
                 );
                 assert_eq!(sharded.hitlist.addrs, serial.hitlist.addrs);
@@ -379,17 +431,24 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_for_protocol_matches_the_iterator() {
+    fn observations_for_matches_the_row_filter() {
         let (_, data) = campaign_data();
+        let rows = data.to_observations();
         for protocol in [
             ServiceProtocol::Ssh,
             ServiceProtocol::Bgp,
             ServiceProtocol::Snmpv3,
         ] {
-            #[allow(deprecated)]
-            let legacy = data.for_protocol(protocol);
-            let streamed: Vec<&ServiceObservation> = data.observations_for(protocol).collect();
-            assert_eq!(legacy, streamed);
+            let streamed: Vec<ServiceObservation> = data
+                .observations_for(protocol)
+                .map(|r| r.to_observation())
+                .collect();
+            let filtered: Vec<ServiceObservation> = rows
+                .iter()
+                .filter(|o| o.protocol() == protocol)
+                .cloned()
+                .collect();
+            assert_eq!(streamed, filtered);
         }
     }
 
@@ -404,39 +463,46 @@ mod tests {
         let (_, data) = campaign_data();
         let mut sink = Collector(Vec::new());
         data.stream_into(&mut sink);
-        assert_eq!(sink.0, data.observations);
+        assert_eq!(sink.0, data.to_observations());
     }
 
     #[test]
     fn from_observations_wraps_pre_collected_records() {
         let (_, data) = campaign_data();
-        let wrapped = CampaignData::from_observations(data.observations.clone());
-        assert_eq!(wrapped.observations, data.observations);
+        let rows = data.to_observations();
+        let wrapped = CampaignData::from_observations(rows.clone());
+        assert_eq!(wrapped.store(), data.store());
         assert!(wrapped.hitlist.addrs.is_empty());
         assert_eq!(wrapped.syn_probes_sent, 0);
         assert_eq!(
             wrapped.finished_at,
-            data.observations.iter().map(|o| o.timestamp).max().unwrap()
+            rows.iter().map(|o| o.timestamp).max().unwrap()
         );
         assert_eq!(
             CampaignData::from_observations(Vec::new()).finished_at,
             SimTime::ZERO
         );
+        // The store-wrapping constructor agrees with the row one.
+        let from_store = CampaignData::from_store(data.store().clone());
+        assert_eq!(from_store.store(), wrapped.store());
+        assert_eq!(from_store.finished_at, wrapped.finished_at);
     }
 
     #[test]
     fn campaign_interner_covers_every_observed_address_exactly_once() {
         let (_, data) = campaign_data();
         let distinct: std::collections::BTreeSet<IpAddr> =
-            data.observations.iter().map(|o| o.addr).collect();
+            data.to_observations().iter().map(|o| o.addr).collect();
         assert_eq!(data.interner().len(), distinct.len());
-        for obs in &data.observations {
+        for row in 0..data.len() {
+            let obs = data.store().get(row);
             let id = data.addr_id(obs.addr).expect("observed address interned");
+            assert_eq!(id, obs.addr_id);
             assert_eq!(data.interner().addr(id), obs.addr);
         }
         assert_eq!(data.addr_id("203.0.113.99".parse().unwrap()), None);
         // from_observations builds the same id space for the same records.
-        let wrapped = CampaignData::from_observations(data.observations.clone());
+        let wrapped = CampaignData::from_observations(data.to_observations());
         assert_eq!(wrapped.interner().addrs(), data.interner().addrs());
     }
 
@@ -488,7 +554,7 @@ mod tests {
     #[test]
     fn observation_addresses_are_really_responsive_in_ground_truth() {
         let (internet, data) = campaign_data();
-        for obs in &data.observations {
+        for obs in data.store().select(None, None).iter() {
             let (device_id, _) = internet
                 .lookup(obs.addr)
                 .expect("observed address must exist");

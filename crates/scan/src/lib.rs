@@ -30,6 +30,10 @@ pub mod zgrab;
 pub mod zmap;
 
 pub use alias_netsim::ServiceProtocol;
+pub use alias_store::{
+    ColumnarSink, ObservationRef, ObservationStore, ObservationView, ProtocolTag, ShardColumns,
+    SourceTag,
+};
 pub use campaign::{ActiveCampaign, CampaignData};
 pub use hitlist::Ipv6Hitlist;
 pub use records::{DataSource, ObservationSink, ServiceObservation, ServicePayload};

@@ -1,180 +1,12 @@
 //! Observation records produced by the scanners.
 //!
-//! A [`ServiceObservation`] is the unit of measurement data consumed by the
-//! identifier-extraction code in `alias-core`: one responsive
-//! (address, port, protocol) with the parsed application-layer material and
-//! provenance metadata (data source, timestamp, AS annotation).
+//! The record types moved to `alias-store` (one layer down) when
+//! observation storage went columnar — the row type, the payload enum and
+//! the streaming [`ObservationSink`] trait all live next to the
+//! [`ObservationStore`](alias_store::ObservationStore) now.  This module
+//! re-exports them so every existing `alias_scan::records::...` (and
+//! root-level `alias_scan::...`) import keeps working.
 
-use alias_netsim::{ServiceProtocol, SimTime};
-use alias_wire::bgp::OpenMessage;
-use alias_wire::snmp::EngineId;
-use alias_wire::ssh::SshObservation;
-use serde::{Deserialize, Serialize};
-use std::net::IpAddr;
-
-/// Where a record came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum DataSource {
-    /// The toolkit's own single-VP active measurements.
-    Active,
-    /// The Censys-like distributed snapshot.
-    Censys,
-}
-
-impl DataSource {
-    /// Short label used in reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            DataSource::Active => "active",
-            DataSource::Censys => "censys",
-        }
-    }
-}
-
-/// Parsed application-layer material of one observation.
-//
-// `Ssh` dwarfs the other variants, but it is also by far the most common
-// one in a campaign, so boxing it would add an allocation to the hot path
-// without shrinking the typical observation.
-#[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ServicePayload {
-    /// An SSH banner exchange (banner, KEXINIT, host key where obtained).
-    Ssh(SshObservation),
-    /// A BGP exchange: the OPEN message and whether a Cease notification
-    /// followed.
-    Bgp {
-        /// The OPEN message, if the speaker sent one.
-        open: OpenMessage,
-        /// Whether a NOTIFICATION (connection rejected) followed the OPEN.
-        notification_seen: bool,
-    },
-    /// An SNMPv3 engine-discovery report.
-    Snmpv3 {
-        /// The authoritative engine ID.
-        engine_id: EngineId,
-        /// Engine boots counter.
-        engine_boots: i64,
-        /// Engine time in seconds.
-        engine_time: i64,
-    },
-}
-
-impl ServicePayload {
-    /// The protocol this payload belongs to.
-    pub fn protocol(&self) -> ServiceProtocol {
-        match self {
-            ServicePayload::Ssh(_) => ServiceProtocol::Ssh,
-            ServicePayload::Bgp { .. } => ServiceProtocol::Bgp,
-            ServicePayload::Snmpv3 { .. } => ServiceProtocol::Snmpv3,
-        }
-    }
-}
-
-/// One responsive (address, port) with parsed payload and provenance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ServiceObservation {
-    /// The probed address.
-    pub addr: IpAddr,
-    /// The TCP/UDP port probed.
-    pub port: u16,
-    /// Data source.
-    pub source: DataSource,
-    /// When the observation was made (simulated time).
-    pub timestamp: SimTime,
-    /// The origin AS of the address, as a routing-table lookup would report.
-    pub asn: Option<u32>,
-    /// Parsed payload.
-    pub payload: ServicePayload,
-}
-
-impl ServiceObservation {
-    /// The protocol of the observation.
-    pub fn protocol(&self) -> ServiceProtocol {
-        self.payload.protocol()
-    }
-
-    /// Whether the observation is on the protocol's default port (the paper
-    /// restricts Censys data to default ports).
-    pub fn is_default_port(&self) -> bool {
-        self.port == self.protocol().default_port()
-    }
-
-    /// Whether the observed address is IPv6.
-    pub fn is_ipv6(&self) -> bool {
-        self.addr.is_ipv6()
-    }
-}
-
-/// A push-based consumer of observations.
-///
-/// The streaming counterpart to collecting observations into a `Vec` first:
-/// producers ([`crate::campaign::CampaignData::stream_into`], custom
-/// replayers) feed records one at a time, so a consumer that only needs a
-/// single pass — an identifier grouper, a counter, a filter — never forces
-/// the producer to materialise intermediate `Vec<&ServiceObservation>`
-/// slices on the hot path.
-pub trait ObservationSink {
-    /// Consume one observation.
-    fn accept(&mut self, observation: &ServiceObservation);
-
-    /// Consume every observation of an iterator, in order.
-    fn accept_all<'a, I>(&mut self, observations: I)
-    where
-        I: IntoIterator<Item = &'a ServiceObservation>,
-        Self: Sized,
-    {
-        for observation in observations {
-            self.accept(observation);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use alias_wire::ssh::{Banner, HostKey, HostKeyAlgorithm, KexInit};
-    use std::net::Ipv4Addr;
-
-    fn ssh_observation(port: u16) -> ServiceObservation {
-        ServiceObservation {
-            addr: IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1)),
-            port,
-            source: DataSource::Active,
-            timestamp: SimTime::from_secs(10),
-            asn: Some(14_061),
-            payload: ServicePayload::Ssh(SshObservation {
-                banner: Banner::new("OpenSSH_8.9p1", None).unwrap(),
-                kex_init: Some(KexInit::typical_openssh()),
-                host_key: Some(HostKey::new(HostKeyAlgorithm::Ed25519, vec![1; 32])),
-            }),
-        }
-    }
-
-    #[test]
-    fn protocol_and_port_helpers() {
-        let on_default = ssh_observation(22);
-        assert_eq!(on_default.protocol(), ServiceProtocol::Ssh);
-        assert!(on_default.is_default_port());
-        assert!(!on_default.is_ipv6());
-        let off_default = ssh_observation(2222);
-        assert!(!off_default.is_default_port());
-    }
-
-    #[test]
-    fn data_source_labels() {
-        assert_eq!(DataSource::Active.name(), "active");
-        assert_eq!(DataSource::Censys.name(), "censys");
-        assert!(DataSource::Active < DataSource::Censys);
-    }
-
-    #[test]
-    fn payload_protocols() {
-        let snmp = ServicePayload::Snmpv3 {
-            engine_id: EngineId::from_enterprise_mac(9, [0; 6]),
-            engine_boots: 1,
-            engine_time: 2,
-        };
-        assert_eq!(snmp.protocol(), ServiceProtocol::Snmpv3);
-    }
-}
+pub use alias_store::records::{
+    parse_payload, DataSource, ObservationSink, ServiceObservation, ServicePayload,
+};

@@ -8,6 +8,7 @@
 use crate::rate::TokenBucket;
 use crate::records::{DataSource, ServiceObservation, ServicePayload};
 use alias_netsim::{internet::SNMP_PORT, Internet, ProbeContext, SimTime, VantageKind};
+use alias_store::ShardColumns;
 use alias_wire::snmp::Snmpv3Message;
 use std::net::IpAddr;
 
@@ -49,15 +50,40 @@ impl SnmpScanner {
         vantage: VantageKind,
         start: SimTime,
     ) -> Vec<ServiceObservation> {
+        self.scan_columns(internet, targets, vantage, start)
+            .into_observations()
+    }
+
+    /// [`Self::scan`], emitting straight into shard columns (interned
+    /// addresses, no row structs) — the form the campaign store absorbs.
+    pub fn scan_columns(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> ShardColumns {
         let mut bucket = TokenBucket::new(self.config.rate_pps, 32.0, start);
-        self.scan_slice(internet, targets, 0, vantage, &mut bucket, start)
+        let mut columns = ShardColumns::new();
+        self.scan_slice(
+            internet,
+            targets,
+            0,
+            vantage,
+            &mut bucket,
+            start,
+            &mut columns,
+        );
+        columns
     }
 
     /// The probe loop shared verbatim by the serial and sharded paths: one
     /// paced discovery request per target, with message ids continuing the
     /// global sequence from `global_offset` and `bucket` resuming its
-    /// pacing schedule from `now`.  A single copy keeps the byte-identity
-    /// contract between the two paths structural.
+    /// pacing schedule from `now`; results are pushed into `columns`.  A
+    /// single copy keeps the byte-identity contract between the two paths
+    /// structural.
+    #[allow(clippy::too_many_arguments)]
     fn scan_slice(
         &self,
         internet: &Internet,
@@ -66,8 +92,8 @@ impl SnmpScanner {
         vantage: VantageKind,
         bucket: &mut TokenBucket,
         mut now: SimTime,
-    ) -> Vec<ServiceObservation> {
-        let mut observations = Vec::new();
+        columns: &mut ShardColumns,
+    ) {
         for (offset, &addr) in targets.iter().enumerate() {
             now = bucket.acquire(now);
             let msg_id = 0x0101 + (global_offset + offset) as i64;
@@ -79,30 +105,23 @@ impl SnmpScanner {
             let Ok(Snmpv3Message::Report { usm, .. }) = Snmpv3Message::parse(&reply) else {
                 continue;
             };
-            observations.push(ServiceObservation {
+            columns.push(
                 addr,
-                port: SNMP_PORT,
-                source: self.config.source,
-                timestamp: now,
-                asn: internet.ip_to_asn(addr).map(|a| a.0),
-                payload: ServicePayload::Snmpv3 {
+                SNMP_PORT,
+                self.config.source,
+                now,
+                internet.ip_to_asn(addr).map(|a| a.0),
+                ServicePayload::Snmpv3 {
                     engine_id: usm.engine_id,
                     engine_boots: usm.engine_boots,
                     engine_time: usm.engine_time,
                 },
-            });
+            );
         }
-        observations
     }
 
     /// [`Self::scan`] with `threads` shard workers over disjoint slices of
     /// the target list.
-    ///
-    /// Byte-identical to the serial path for any thread count: shards
-    /// resume the serial token-bucket schedule (fast-forwarded to their
-    /// first target) and use the same global message-id sequence, so the
-    /// engine-time values in the Report payloads — which depend on the
-    /// probe time — match the serial scan probe for probe.
     pub fn scan_sharded(
         &self,
         internet: &Internet,
@@ -111,8 +130,31 @@ impl SnmpScanner {
         start: SimTime,
         threads: usize,
     ) -> Vec<ServiceObservation> {
+        self.scan_columns_sharded(internet, targets, vantage, start, threads)
+            .into_iter()
+            .flat_map(ShardColumns::into_observations)
+            .collect()
+    }
+
+    /// [`Self::scan_columns`] with `threads` shard workers over disjoint
+    /// slices of the target list, returning the per-shard column chunks in
+    /// shard order.
+    ///
+    /// Byte-identical to the serial path for any thread count: shards
+    /// resume the serial token-bucket schedule (fast-forwarded to their
+    /// first target) and use the same global message-id sequence, so the
+    /// engine-time values in the Report payloads — which depend on the
+    /// probe time — match the serial scan probe for probe.
+    pub fn scan_columns_sharded(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> Vec<ShardColumns> {
         if threads <= 1 {
-            return self.scan(internet, targets, vantage, start);
+            return vec![self.scan_columns(internet, targets, vantage, start)];
         }
         let ranges = alias_exec::split_even(
             targets.len() as u64,
@@ -128,27 +170,21 @@ impl SnmpScanner {
                 state
             })
             .collect();
-        alias_exec::shard_reduce(
-            ranges.len(),
-            threads,
-            |shard| {
-                let range = &ranges[shard];
-                let (mut bucket, now) = starts[shard].clone();
-                self.scan_slice(
-                    internet,
-                    &targets[range.start as usize..range.end as usize],
-                    range.start as usize,
-                    vantage,
-                    &mut bucket,
-                    now,
-                )
-            },
-            Vec::new(),
-            |mut all: Vec<ServiceObservation>, part| {
-                all.extend(part);
-                all
-            },
-        )
+        alias_exec::shard_map(ranges.len(), threads, |shard| {
+            let range = &ranges[shard];
+            let (mut bucket, now) = starts[shard].clone();
+            let mut columns = ShardColumns::new();
+            self.scan_slice(
+                internet,
+                &targets[range.start as usize..range.end as usize],
+                range.start as usize,
+                vantage,
+                &mut bucket,
+                now,
+                &mut columns,
+            );
+            columns
+        })
     }
 
     /// Probe every IPv4 address in the routed prefixes (the paper's
@@ -170,11 +206,26 @@ impl SnmpScanner {
         start: SimTime,
         threads: usize,
     ) -> Vec<ServiceObservation> {
+        self.scan_routed_space_columns_sharded(internet, vantage, start, threads)
+            .into_iter()
+            .flat_map(ShardColumns::into_observations)
+            .collect()
+    }
+
+    /// [`Self::scan_routed_space_sharded`], returning per-shard column
+    /// chunks in shard order.
+    pub fn scan_routed_space_columns_sharded(
+        &self,
+        internet: &Internet,
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> Vec<ShardColumns> {
         let mut targets = Vec::new();
         for prefix in internet.routed_v4_prefixes() {
             targets.extend(prefix.iter().map(IpAddr::V4));
         }
-        self.scan_sharded(internet, &targets, vantage, start, threads)
+        self.scan_columns_sharded(internet, &targets, vantage, start, threads)
     }
 }
 

@@ -8,12 +8,15 @@
 //! and emitted as [`ServiceObservation`] records.
 
 use crate::rate::TokenBucket;
-use crate::records::{DataSource, ServiceObservation, ServicePayload};
+use crate::records::{DataSource, ServiceObservation};
 use alias_netsim::{Internet, ProbeContext, ServiceProtocol, SimTime, VantageKind};
-use alias_wire::bgp::BgpMessage;
-use alias_wire::ssh::hostkey::KexReply;
-use alias_wire::ssh::{Banner, KexInit, SshObservation, SshPacket};
+use alias_store::ShardColumns;
 use std::net::IpAddr;
+
+// The payload parser moved next to the record types in `alias-store`;
+// re-exported here because scanner callers (e.g. `alias-censys`) import it
+// from this module.
+pub use alias_store::records::parse_payload;
 
 /// Configuration of the application-layer scanner.
 #[derive(Debug, Clone)]
@@ -57,7 +60,23 @@ impl ZgrabScanner {
         vantage: VantageKind,
         start: SimTime,
     ) -> Vec<ServiceObservation> {
+        self.grab_columns(internet, targets, port, protocol, vantage, start)
+            .into_observations()
+    }
+
+    /// [`Self::grab`], emitting straight into shard columns (interned
+    /// addresses, no row structs) — the form the campaign store absorbs.
+    pub fn grab_columns(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        port: u16,
+        protocol: ServiceProtocol,
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> ShardColumns {
         let mut bucket = TokenBucket::new(self.config.rate_pps, 32.0, start);
+        let mut columns = ShardColumns::new();
         self.grab_slice(
             internet,
             targets,
@@ -66,14 +85,17 @@ impl ZgrabScanner {
             vantage,
             &mut bucket,
             start,
-        )
+            &mut columns,
+        );
+        columns
     }
 
     /// The probe loop shared verbatim by the serial and sharded paths: one
     /// paced session attempt per target, resuming `bucket`'s schedule from
-    /// `now`.  Keeping a single copy is what makes the byte-identity
-    /// contract between the two paths structural rather than maintained by
-    /// hand.
+    /// `now` and pushing results into `columns` (the address is interned
+    /// shard-locally as it is observed).  Keeping a single copy is what
+    /// makes the byte-identity contract between the two paths structural
+    /// rather than maintained by hand.
     #[allow(clippy::too_many_arguments)]
     fn grab_slice(
         &self,
@@ -84,8 +106,8 @@ impl ZgrabScanner {
         vantage: VantageKind,
         bucket: &mut TokenBucket,
         mut now: SimTime,
-    ) -> Vec<ServiceObservation> {
-        let mut observations = Vec::new();
+        columns: &mut ShardColumns,
+    ) {
         for &addr in targets {
             now = bucket.acquire(now);
             let ctx = ProbeContext { vantage, time: now };
@@ -95,27 +117,19 @@ impl ZgrabScanner {
             let Some(payload) = parse_payload(protocol, &bytes) else {
                 continue;
             };
-            observations.push(ServiceObservation {
+            columns.push(
                 addr,
                 port,
-                source: self.config.source,
-                timestamp: now,
-                asn: internet.ip_to_asn(addr).map(|a| a.0),
+                self.config.source,
+                now,
+                internet.ip_to_asn(addr).map(|a| a.0),
                 payload,
-            });
+            );
         }
-        observations
     }
 
     /// [`Self::grab`] with `threads` shard workers over disjoint slices of
     /// the target list.
-    ///
-    /// Byte-identical to the serial path for any thread count: each shard
-    /// starts from the token-bucket state the serial scan would have
-    /// reached at the shard's first target (fast-forwarded on the calling
-    /// thread), so every observation carries the exact serial timestamp —
-    /// which matters because session payloads fold the probe time into
-    /// their bytes (SSH KEXINIT cookies, SNMP engine time).
     #[allow(clippy::too_many_arguments)]
     pub fn grab_sharded(
         &self,
@@ -127,8 +141,35 @@ impl ZgrabScanner {
         start: SimTime,
         threads: usize,
     ) -> Vec<ServiceObservation> {
+        self.grab_columns_sharded(internet, targets, port, protocol, vantage, start, threads)
+            .into_iter()
+            .flat_map(ShardColumns::into_observations)
+            .collect()
+    }
+
+    /// [`Self::grab_columns`] with `threads` shard workers over disjoint
+    /// slices of the target list, returning the per-shard column chunks in
+    /// shard order.
+    ///
+    /// Byte-identical to the serial path for any thread count: each shard
+    /// starts from the token-bucket state the serial scan would have
+    /// reached at the shard's first target (fast-forwarded on the calling
+    /// thread), so every observation carries the exact serial timestamp —
+    /// which matters because session payloads fold the probe time into
+    /// their bytes (SSH KEXINIT cookies, SNMP engine time).
+    #[allow(clippy::too_many_arguments)]
+    pub fn grab_columns_sharded(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        port: u16,
+        protocol: ServiceProtocol,
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> Vec<ShardColumns> {
         if threads <= 1 {
-            return self.grab(internet, targets, port, protocol, vantage, start);
+            return vec![self.grab_columns(internet, targets, port, protocol, vantage, start)];
         }
         let ranges = alias_exec::split_even(
             targets.len() as u64,
@@ -146,88 +187,29 @@ impl ZgrabScanner {
                 state
             })
             .collect();
-        alias_exec::shard_reduce(
-            ranges.len(),
-            threads,
-            |shard| {
-                let range = &ranges[shard];
-                let (mut bucket, now) = starts[shard].clone();
-                self.grab_slice(
-                    internet,
-                    &targets[range.start as usize..range.end as usize],
-                    port,
-                    protocol,
-                    vantage,
-                    &mut bucket,
-                    now,
-                )
-            },
-            Vec::new(),
-            |mut all: Vec<ServiceObservation>, part| {
-                all.extend(part);
-                all
-            },
-        )
+        alias_exec::shard_map(ranges.len(), threads, |shard| {
+            let range = &ranges[shard];
+            let (mut bucket, now) = starts[shard].clone();
+            let mut columns = ShardColumns::new();
+            self.grab_slice(
+                internet,
+                &targets[range.start as usize..range.end as usize],
+                port,
+                protocol,
+                vantage,
+                &mut bucket,
+                now,
+                &mut columns,
+            );
+            columns
+        })
     }
-}
-
-/// Parse a captured server→client byte stream into a payload.
-///
-/// Returns `None` when the server sent nothing useful (e.g. the silent BGP
-/// majority) or the bytes do not parse as the expected protocol.
-pub fn parse_payload(protocol: ServiceProtocol, bytes: &[u8]) -> Option<ServicePayload> {
-    match protocol {
-        ServiceProtocol::Ssh => parse_ssh(bytes).map(ServicePayload::Ssh),
-        ServiceProtocol::Bgp => parse_bgp(bytes),
-        ServiceProtocol::Snmpv3 => None,
-    }
-}
-
-fn parse_ssh(bytes: &[u8]) -> Option<SshObservation> {
-    let (banner, consumed) = Banner::parse(bytes).ok()?;
-    let packets = SshPacket::parse_stream(&bytes[consumed..]);
-    let mut kex_init = None;
-    let mut host_key = None;
-    for packet in &packets {
-        if kex_init.is_none() {
-            if let Ok(kex) = KexInit::parse_packet(packet) {
-                kex_init = Some(kex);
-                continue;
-            }
-        }
-        if host_key.is_none() {
-            if let Ok(reply) = KexReply::parse_packet(packet) {
-                host_key = Some(reply.host_key);
-            }
-        }
-    }
-    Some(SshObservation {
-        banner,
-        kex_init,
-        host_key,
-    })
-}
-
-fn parse_bgp(bytes: &[u8]) -> Option<ServicePayload> {
-    let messages = BgpMessage::parse_stream(bytes);
-    let mut open = None;
-    let mut notification_seen = false;
-    for message in messages {
-        match message {
-            BgpMessage::Open(o) if open.is_none() => open = Some(o),
-            BgpMessage::Notification(_) => notification_seen = true,
-            _ => {}
-        }
-    }
-    open.map(|open| ServicePayload::Bgp {
-        open,
-        notification_seen,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::records::ServicePayload;
     use crate::zmap::{ZmapConfig, ZmapScanner};
     use alias_netsim::{InternetBuilder, InternetConfig};
 

@@ -1,0 +1,143 @@
+//! The payload arena: one shared, append-only byte buffer.
+//!
+//! Variable-length payload material (wire-encoded SSH exchanges, BGP
+//! messages, SNMPv3 reports) is pushed once and addressed by [`Span`] —
+//! an `(offset, len)` pair into the arena.  Scalar filter passes over an
+//! [`EncodedObservations`](crate::EncodedObservations) never touch the
+//! arena bytes; consumers that do need a payload get a zero-copy `&[u8]`
+//! slice back.
+
+use serde::{Deserialize, Serialize};
+
+/// An `(offset, len)` window into a [`PayloadArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    offset: u32,
+    len: u32,
+}
+
+impl Span {
+    /// Byte offset of the span's first byte in the arena.
+    #[inline]
+    pub fn offset(self) -> usize {
+        self.offset as usize
+    }
+
+    /// Length of the span in bytes.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the span is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Append-only shared byte storage addressed by [`Span`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PayloadArena {
+    bytes: Vec<u8>,
+}
+
+impl PayloadArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PayloadArena {
+            bytes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append `bytes` and return their span.
+    ///
+    /// # Panics
+    /// Panics if the arena would exceed `u32::MAX` bytes (spans are 8-byte
+    /// `(u32, u32)` pairs; a single campaign never comes close).
+    pub fn push(&mut self, bytes: &[u8]) -> Span {
+        let offset = u32::try_from(self.bytes.len()).expect("payload arena exceeds u32 offsets");
+        let len = u32::try_from(bytes.len()).expect("payload exceeds u32 length");
+        let end = offset.checked_add(len);
+        assert!(end.is_some(), "payload arena exceeds u32 offsets");
+        self.bytes.extend_from_slice(bytes);
+        Span { offset, len }
+    }
+
+    /// Open a span for in-place writing: the closure appends bytes directly
+    /// to the arena, and everything it appended becomes the returned span
+    /// (no intermediate buffer).
+    pub fn push_with(&mut self, write: impl FnOnce(&mut Vec<u8>)) -> Span {
+        let offset = u32::try_from(self.bytes.len()).expect("payload arena exceeds u32 offsets");
+        write(&mut self.bytes);
+        let len =
+            u32::try_from(self.bytes.len() - offset as usize).expect("payload exceeds u32 length");
+        Span { offset, len }
+    }
+
+    /// The bytes behind a span, zero-copy.
+    ///
+    /// # Panics
+    /// Panics if `span` was not produced by this arena.
+    #[inline]
+    pub fn get(&self, span: Span) -> &[u8] {
+        &self.bytes[span.offset()..span.offset() + span.len()]
+    }
+
+    /// Total stored bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the arena holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut arena = PayloadArena::new();
+        assert!(arena.is_empty());
+        let a = arena.push(b"hello");
+        let b = arena.push(b"");
+        let c = arena.push(&[1, 2, 3]);
+        assert_eq!(arena.get(a), b"hello");
+        assert_eq!(arena.get(b), b"");
+        assert!(b.is_empty());
+        assert_eq!(arena.get(c), &[1, 2, 3]);
+        assert_eq!(a.len(), 5);
+        assert_eq!(c.offset(), 5);
+        assert_eq!(arena.len(), 8);
+    }
+
+    #[test]
+    fn push_with_writes_in_place() {
+        let mut arena = PayloadArena::with_capacity(16);
+        arena.push(b"prefix");
+        let span = arena.push_with(|out| out.extend_from_slice(b"payload"));
+        assert_eq!(arena.get(span), b"payload");
+        assert_eq!(span.offset(), 6);
+        assert_eq!(arena.len(), 13);
+    }
+
+    #[test]
+    fn spans_stay_valid_across_growth() {
+        let mut arena = PayloadArena::new();
+        let spans: Vec<Span> = (0u8..100).map(|i| arena.push(&[i; 11])).collect();
+        for (i, span) in spans.iter().enumerate() {
+            assert_eq!(arena.get(*span), &[i as u8; 11]);
+        }
+    }
+}

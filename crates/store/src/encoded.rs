@@ -1,0 +1,208 @@
+//! The arena-backed encoded layout: scalar columns plus wire bytes.
+//!
+//! [`EncodedObservations`] is the compact interchange form of an
+//! [`ObservationStore`]: the scalar columns stay as they are, while every
+//! payload is written **once** into a shared [`PayloadArena`] as the wire
+//! bytes a scanner would have captured (SSH banner + packets, BGP
+//! messages, SNMPv3 report), addressed per row by a [`Span`].  Large SSH
+//! and SNMP payloads therefore live in one contiguous buffer instead of a
+//! parsed struct per row — a fraction of the heap, and trivially
+//! serialisable — at the price of re-parsing on [`decode`].
+//!
+//! The hot pipeline keeps the typed payload column (identifier extraction
+//! reads parsed payloads many times per campaign, and re-parsing per pass
+//! would cost more than the struct storage saves); this layout is for the
+//! cold paths: caching a campaign like a Censys export, shipping
+//! observations between processes, or holding rarely-replayed datasets.
+//!
+//! [`decode`]: EncodedObservations::decode
+
+use crate::arena::{PayloadArena, Span};
+use crate::records::ServicePayload;
+use crate::store::ObservationStore;
+use crate::tags::{ProtocolTag, SourceTag};
+use alias_intern::{AddrId, AddrInterner};
+use alias_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// An [`ObservationStore`] with its payload column lowered to wire bytes
+/// in a shared [`PayloadArena`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedObservations {
+    /// The interned address table, in id order (`addr_table[i]` has id
+    /// `i`).
+    addr_table: Vec<IpAddr>,
+    addr_ids: Vec<AddrId>,
+    protocols: Vec<ProtocolTag>,
+    sources: Vec<SourceTag>,
+    ports: Vec<u16>,
+    timestamps: Vec<SimTime>,
+    asns: Vec<Option<u32>>,
+    payload_spans: Vec<Span>,
+    arena: PayloadArena,
+}
+
+impl ObservationStore {
+    /// Lower the store to the arena-backed encoded layout (the typed
+    /// payload column is wire-encoded into one shared buffer).
+    pub fn encode(&self) -> EncodedObservations {
+        let mut arena = PayloadArena::with_capacity(self.len() * 64);
+        let payload_spans = self
+            .payloads()
+            .iter()
+            .map(|payload| arena.push_with(|out| payload.to_wire_bytes(out)))
+            .collect();
+        EncodedObservations {
+            addr_table: self.interner().addrs().to_vec(),
+            addr_ids: self.addr_ids().to_vec(),
+            protocols: self.protocols().to_vec(),
+            sources: self.sources().to_vec(),
+            ports: self.ports().to_vec(),
+            timestamps: self.timestamps().to_vec(),
+            asns: self.asns().to_vec(),
+            payload_spans,
+            arena,
+        }
+    }
+}
+
+impl EncodedObservations {
+    /// Number of encoded observations.
+    pub fn len(&self) -> usize {
+        self.addr_ids.len()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.addr_ids.is_empty()
+    }
+
+    /// The shared payload arena.
+    pub fn arena(&self) -> &PayloadArena {
+        &self.arena
+    }
+
+    /// The wire bytes of row `row`'s payload, zero-copy.
+    pub fn payload_bytes(&self, row: usize) -> &[u8] {
+        self.arena.get(self.payload_spans[row])
+    }
+
+    /// Parse the encoded rows back into a typed [`ObservationStore`].
+    ///
+    /// # Panics
+    /// Panics if a payload's wire bytes no longer parse as the row's
+    /// protocol — encoded data round-trips by construction, so this only
+    /// fires on corruption.
+    pub fn decode(&self) -> ObservationStore {
+        let interner = AddrInterner::from_addrs(self.addr_table.iter().copied());
+        let mut store = ObservationStore::with_capacity(self.len());
+        for row in 0..self.len() {
+            let payload = ServicePayload::from_wire_bytes(
+                self.protocols[row].into(),
+                self.payload_bytes(row),
+            )
+            .expect("encoded payload bytes parse back as their protocol");
+            store.push_parts(
+                interner.addr(self.addr_ids[row]),
+                self.ports[row],
+                self.sources[row].into(),
+                self.timestamps[row],
+                self.asns[row],
+                payload,
+            );
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{DataSource, ServiceObservation};
+    use crate::store::ObservationStore;
+    use alias_wire::bgp::OpenMessage;
+    use alias_wire::snmp::EngineId;
+    use alias_wire::ssh::{Banner, HostKey, HostKeyAlgorithm, KexInit, SshObservation};
+    use std::net::Ipv4Addr;
+
+    fn mixed_rows() -> Vec<ServiceObservation> {
+        let ssh = |addr: &str, key: u8| ServiceObservation {
+            addr: addr.parse().unwrap(),
+            port: 22,
+            source: DataSource::Active,
+            timestamp: SimTime::from_secs(key as u64),
+            asn: Some(key as u32),
+            payload: ServicePayload::Ssh(SshObservation {
+                banner: Banner::new("OpenSSH_9.2p1", Some("Debian")).unwrap(),
+                kex_init: Some(KexInit::typical_openssh()),
+                host_key: Some(HostKey::new(HostKeyAlgorithm::Ed25519, vec![key; 32])),
+            }),
+        };
+        vec![
+            ssh("10.0.0.1", 1),
+            ServiceObservation {
+                addr: "10.0.0.2".parse().unwrap(),
+                port: 179,
+                source: DataSource::Censys,
+                timestamp: SimTime::from_secs(5),
+                asn: Some(64_500),
+                payload: ServicePayload::Bgp {
+                    open: OpenMessage {
+                        version: 4,
+                        my_as: 64_500,
+                        hold_time: 90,
+                        bgp_identifier: Ipv4Addr::new(10, 0, 0, 2),
+                        optional_parameters: vec![],
+                    },
+                    notification_seen: true,
+                },
+            },
+            ServiceObservation {
+                addr: "2001:db8::7".parse().unwrap(),
+                port: 161,
+                source: DataSource::Active,
+                timestamp: SimTime::from_secs(9),
+                asn: None,
+                payload: ServicePayload::Snmpv3 {
+                    engine_id: EngineId::from_enterprise_mac(9, [6; 6]),
+                    engine_boots: 4,
+                    engine_time: 7,
+                },
+            },
+            ssh("10.0.0.1", 1),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let store = ObservationStore::from_observations(mixed_rows());
+        let encoded = store.encode();
+        assert_eq!(encoded.len(), store.len());
+        assert!(!encoded.is_empty());
+        assert!(!encoded.arena().is_empty());
+        let decoded = encoded.decode();
+        assert_eq!(decoded, store);
+        assert_eq!(decoded.to_observations(), store.to_observations());
+    }
+
+    #[test]
+    fn payload_bytes_parse_as_their_row_protocol() {
+        let store = ObservationStore::from_observations(mixed_rows());
+        let encoded = store.encode();
+        for row in 0..encoded.len() {
+            let bytes = encoded.payload_bytes(row);
+            assert!(!bytes.is_empty());
+            let payload =
+                ServicePayload::from_wire_bytes(store.protocols()[row].into(), bytes).unwrap();
+            assert_eq!(&payload, &store.payloads()[row]);
+        }
+    }
+
+    #[test]
+    fn empty_store_encodes_to_empty() {
+        let encoded = ObservationStore::new().encode();
+        assert!(encoded.is_empty());
+        assert_eq!(encoded.decode(), ObservationStore::new());
+    }
+}

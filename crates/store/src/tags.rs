@@ -1,0 +1,114 @@
+//! Compact column tags: one byte per observation for the fields every
+//! filter touches.
+//!
+//! The scalar filter columns of an
+//! [`ObservationStore`](crate::ObservationStore) store these instead of the
+//! richer `ServiceProtocol` / [`DataSource`] values so a
+//! selection pass reads two bytes per row.
+
+use crate::records::DataSource;
+use alias_netsim::ServiceProtocol;
+use serde::{Deserialize, Serialize};
+
+/// One-byte protocol tag of an observation column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ProtocolTag {
+    /// SSH (port 22).
+    Ssh = 0,
+    /// BGP (port 179).
+    Bgp = 1,
+    /// SNMPv3 (port 161).
+    Snmpv3 = 2,
+}
+
+impl ProtocolTag {
+    /// Short lowercase name (same spelling as `ServiceProtocol::name`).
+    pub fn name(self) -> &'static str {
+        ServiceProtocol::from(self).name()
+    }
+}
+
+impl From<ServiceProtocol> for ProtocolTag {
+    fn from(protocol: ServiceProtocol) -> Self {
+        match protocol {
+            ServiceProtocol::Ssh => ProtocolTag::Ssh,
+            ServiceProtocol::Bgp => ProtocolTag::Bgp,
+            ServiceProtocol::Snmpv3 => ProtocolTag::Snmpv3,
+        }
+    }
+}
+
+impl From<ProtocolTag> for ServiceProtocol {
+    fn from(tag: ProtocolTag) -> Self {
+        match tag {
+            ProtocolTag::Ssh => ServiceProtocol::Ssh,
+            ProtocolTag::Bgp => ServiceProtocol::Bgp,
+            ProtocolTag::Snmpv3 => ServiceProtocol::Snmpv3,
+        }
+    }
+}
+
+/// One-byte data-source tag of an observation column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum SourceTag {
+    /// The toolkit's own single-VP active measurements.
+    Active = 0,
+    /// The Censys-like distributed snapshot.
+    Censys = 1,
+}
+
+impl SourceTag {
+    /// Short label (same spelling as `DataSource::name`).
+    pub fn name(self) -> &'static str {
+        DataSource::from(self).name()
+    }
+}
+
+impl From<DataSource> for SourceTag {
+    fn from(source: DataSource) -> Self {
+        match source {
+            DataSource::Active => SourceTag::Active,
+            DataSource::Censys => SourceTag::Censys,
+        }
+    }
+}
+
+impl From<SourceTag> for DataSource {
+    fn from(tag: SourceTag) -> Self {
+        match tag {
+            SourceTag::Active => DataSource::Active,
+            SourceTag::Censys => DataSource::Censys,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_tags_round_trip() {
+        for protocol in [
+            ServiceProtocol::Ssh,
+            ServiceProtocol::Bgp,
+            ServiceProtocol::Snmpv3,
+        ] {
+            let tag = ProtocolTag::from(protocol);
+            assert_eq!(ServiceProtocol::from(tag), protocol);
+            assert_eq!(tag.name(), protocol.name());
+        }
+        assert_eq!(std::mem::size_of::<ProtocolTag>(), 1);
+    }
+
+    #[test]
+    fn source_tags_round_trip() {
+        for source in [DataSource::Active, DataSource::Censys] {
+            let tag = SourceTag::from(source);
+            assert_eq!(DataSource::from(tag), source);
+            assert_eq!(tag.name(), source.name());
+        }
+        assert_eq!(std::mem::size_of::<SourceTag>(), 1);
+    }
+}

@@ -2,8 +2,8 @@
 //! shared protocol identifiers (the paper's Table 4 / §4.2), using an IPv6
 //! hitlist because the IPv6 space cannot be swept.  The scan runs through
 //! the `Resolver`; the per-protocol dual-stack reports are derived by
-//! streaming the campaign observations into `AliasSetBuilder` sinks — no
-//! intermediate observation vectors.
+//! pushing column-view rows into `AliasSetBuilder` sinks — no
+//! intermediate observation vectors, no materialised rows.
 //!
 //! Run with: `cargo run --release --example dual_stack_census`
 
@@ -30,10 +30,13 @@ fn main() {
         ServiceProtocol::Bgp,
         ServiceProtocol::Snmpv3,
     ] {
-        // The streaming path: push each observation of the protocol into a
-        // grouping sink, then derive the dual-stack pairs.
+        // The streaming path: select the protocol's rows off the campaign
+        // store's tag column and push each one (address, ASN, borrowed
+        // payload) into a grouping sink, then derive the dual-stack pairs.
         let mut builder = AliasSetBuilder::new(extractor);
-        builder.accept_all(data.observations_for(protocol));
+        for row in data.store().select_protocol(protocol, None).iter() {
+            builder.push_parts(row.addr, row.asn, row.payload);
+        }
         let dual = DualStackReport::from_collection(&builder.finish());
         let (simple, medium, large) = dual.size_split();
         println!(

@@ -28,26 +28,29 @@ fn main() {
     // non-standard ports, which we exclude like the paper does.  The same
     // resolver consumes the snapshot as pre-collected campaign data.
     let snapshot = CensysSnapshot::collect(&internet, CensysConfig::default());
-    let censys = snapshot.default_port_observations();
-    let censys_report =
-        resolver.resolve_data(&internet, &CampaignData::from_observations(censys.clone()));
+    let censys = ObservationStore::from_observations(snapshot.default_port_observations());
+    let censys_report = resolver.resolve_data(&internet, &CampaignData::from_store(censys.clone()));
 
-    // And the union of both sources.
-    let mut union = active.observations.clone();
-    union.extend(censys.iter().cloned());
+    // And the union of both sources: the active campaign's columnar store
+    // extended with the snapshot rows (addresses re-interned on the way in).
+    let mut union = active.store().clone();
+    union.extend_from(&censys);
 
-    let ssh_v4 = |observations: &[ServiceObservation]| {
-        observations
+    // Distinct IPv4 SSH addresses, straight off the scalar columns — the
+    // payload column is never touched.
+    let ssh_v4 = |store: &ObservationStore| {
+        store
+            .select_protocol(ServiceProtocol::Ssh, None)
             .iter()
-            .filter(|o| o.protocol() == ServiceProtocol::Ssh && !o.is_ipv6())
+            .filter(|o| !o.is_ipv6())
             .map(|o| o.addr)
             .collect::<BTreeSet<IpAddr>>()
             .len()
     };
-    let active_ips = ssh_v4(&active.observations);
+    let active_ips = ssh_v4(active.store());
     let censys_ips = ssh_v4(&censys);
     let union_ips = ssh_v4(&union);
-    let union_report = resolver.resolve_data(&internet, &CampaignData::from_observations(union));
+    let union_report = resolver.resolve_data(&internet, &CampaignData::from_store(union));
 
     println!("SSH coverage by data source (sets span both address families)");
     for (label, ips, report) in [

@@ -28,7 +28,7 @@ fn main() {
     println!(
         "Campaign finished after {:.1} simulated hours with {} observations",
         data.finished_at.as_secs_f64() / 3600.0,
-        data.observations.len()
+        data.len()
     );
 
     // 3. Per-technique results: alias sets grouped by application-layer

@@ -12,6 +12,8 @@
 //! * [`wire`] — BGP / SSH / SNMPv3 / TCP-IP wire formats,
 //! * [`netsim`] — the synthetic Internet used as the measurement substrate,
 //! * [`exec`] — the deterministic sharded execution engine (worker pool),
+//! * [`store`] — columnar observation storage: interned column vectors,
+//!   payload arena, sharded append builders and zero-copy views,
 //! * [`scan`] — ZMap/ZGrab2-style scanners, IPv6 hitlists, IPID probing,
 //! * [`censys`] — Censys-like distributed snapshots,
 //! * [`midar`] — Ally / MIDAR / Speedtrap / iffinder baselines,
@@ -58,6 +60,7 @@ pub use alias_midar as midar;
 pub use alias_netsim as netsim;
 pub use alias_resolve as resolve;
 pub use alias_scan as scan;
+pub use alias_store as store;
 pub use alias_wire as wire;
 
 /// The most commonly used types, re-exported flat.
@@ -84,5 +87,9 @@ pub mod prelude {
     pub use alias_scan::{
         ActiveCampaign, CampaignData, DataSource, Ipv6Hitlist, ObservationSink, ServiceObservation,
         ServicePayload, ZgrabScanner, ZmapScanner,
+    };
+    pub use alias_store::{
+        ColumnarSink, EncodedObservations, ObservationRef, ObservationStore, ObservationView,
+        PayloadArena, ProtocolTag, ShardColumns, SourceTag,
     };
 }

@@ -12,7 +12,7 @@ use std::net::IpAddr;
 fn build_and_scan(seed: u64) -> (Internet, Vec<ServiceObservation>) {
     let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
     let data = ActiveCampaign::with_defaults(&internet).run(&internet);
-    (internet, data.observations)
+    (internet, data.to_observations())
 }
 
 fn collection(
@@ -161,7 +161,7 @@ fn censys_snapshot_extends_single_vp_coverage() {
     let internet = InternetBuilder::new(InternetConfig::tiny(107)).build();
     let active = ActiveCampaign::with_defaults(&internet)
         .run(&internet)
-        .observations;
+        .to_observations();
     let snapshot = CensysSnapshot::collect(&internet, CensysConfig::default());
     let censys = snapshot.default_port_observations();
 
@@ -293,13 +293,14 @@ fn parallel_execution_reproduces_the_serial_pipeline_end_to_end() {
     for seed in [109u64, 110] {
         let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
         let serial = ActiveCampaign::with_defaults(&internet).run(&internet);
+        let serial_rows = serial.to_observations();
         let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = [
             ServiceProtocol::Ssh,
             ServiceProtocol::Bgp,
             ServiceProtocol::Snmpv3,
         ]
         .iter()
-        .map(|&p| (p.name(), collection(&serial.observations, p).ipv4_sets()))
+        .map(|&p| (p.name(), collection(&serial_rows, p).ipv4_sets()))
         .collect();
         let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
             labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
@@ -309,7 +310,8 @@ fn parallel_execution_reproduces_the_serial_pipeline_end_to_end() {
                 .with_threads(threads)
                 .run(&internet);
             assert_eq!(
-                sharded.observations, serial.observations,
+                sharded.store(),
+                serial.store(),
                 "seed={seed} threads={threads}"
             );
             assert_eq!(
