@@ -1,15 +1,22 @@
 //! Compare two `BENCH_*.json` trajectories and warn about perf regressions.
 //!
 //! Usage:
-//! `bench_diff <baseline.json> <candidate.json> [--warn-threshold <pct>] [--summary <path>]`
+//! `bench_diff <baseline.json> <candidate.json> [--warn-threshold <pct>]
+//! [--gate <timing>]… [--gate-threshold <pct>] [--summary <path>]`
 //!
 //! Runs are matched by thread count; for each matched pair the per-stage
 //! timings (`merge_ms`, `campaign_ms`, …) and the per-technique
 //! `resolve_ms` are compared.  A regression beyond the threshold (default
 //! 20%) prints a GitHub-Actions `::warning::` annotation — the job keeps
-//! going and exits 0, because wall-clock on shared CI runners is noisy;
-//! the annotations make a trend visible without blocking merges.  Only
-//! usage or parse errors exit non-zero.
+//! going, because wall-clock on shared CI runners is noisy; the
+//! annotations make a trend visible without blocking merges.
+//!
+//! `--gate` promotes individual timings to *hard failures*: a stage name
+//! (`merge_ms`) or `technique:<name>` (that technique's `resolve_ms`)
+//! regressing beyond `--gate-threshold` (default 25%) prints an
+//! `::error::` annotation and exits 1.  Stages with several PRs of
+//! optimisation trajectory behind them are gated; the rest stay
+//! advisory.  Usage or parse errors exit 2.
 //!
 //! `--summary <path>` appends a stage-by-stage markdown table of every
 //! compared timing to `path` — pass `$GITHUB_STEP_SUMMARY` to surface the
@@ -29,6 +36,7 @@ struct ComparedTiming {
     before: u64,
     after: u64,
     warned: bool,
+    failed: bool,
 }
 
 impl ComparedTiming {
@@ -74,18 +82,21 @@ fn main() {
             );
             continue;
         };
-        compare_runs(
-            baseline_run,
-            candidate_run,
-            args.threshold_pct,
-            &mut compared,
-        );
+        compare_runs(baseline_run, candidate_run, &args, &mut compared);
     }
     let warnings = compared.iter().filter(|c| c.warned).count();
+    let failures = compared.iter().filter(|c| c.failed).count();
     println!(
-        "{} timings compared, {warnings} regression warning(s) (threshold: {}%)",
+        "{} timings compared, {warnings} regression warning(s) (threshold: {}%), \
+         {failures} gate failure(s) (gated: {}, threshold: {}%)",
         compared.len(),
         args.threshold_pct,
+        if args.gates.is_empty() {
+            "none".to_owned()
+        } else {
+            args.gates.join(", ")
+        },
+        args.gate_threshold_pct,
     );
 
     if let Some(path) = &args.summary_path {
@@ -101,6 +112,9 @@ fn main() {
         }
         println!("summary table appended to {path}");
     }
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// Compare one pair of same-thread-count runs, appending every checked
@@ -108,7 +122,7 @@ fn main() {
 fn compare_runs(
     baseline: &BenchRun,
     candidate: &BenchRun,
-    threshold_pct: u64,
+    args: &Args,
     compared: &mut Vec<ComparedTiming>,
 ) {
     let threads = candidate.threads;
@@ -135,18 +149,15 @@ fn compare_runs(
         ),
     ];
     for (stage, before, after) in stage_pairs {
-        if let Some(warned) = warn_if_regressed(
-            &format!("{stage} @ {threads} threads"),
+        let gated = args.gates.iter().any(|g| g == stage);
+        if let Some(timing) = check_timing(
+            format!("{stage} @ {threads} threads"),
             before,
             after,
-            threshold_pct,
+            args,
+            gated,
         ) {
-            compared.push(ComparedTiming {
-                what: format!("{stage} @ {threads} threads"),
-                before,
-                after,
-                warned: warned == 1,
-            });
+            compared.push(timing);
         }
     }
     for candidate_technique in &candidate.technique_ms {
@@ -157,22 +168,21 @@ fn compare_runs(
         else {
             continue;
         };
-        let what = format!(
-            "technique {} resolve_ms @ {threads} threads",
-            candidate_technique.technique
-        );
-        if let Some(warned) = warn_if_regressed(
-            &what,
+        let gated = args
+            .gates
+            .iter()
+            .any(|g| *g == format!("technique:{}", candidate_technique.technique));
+        if let Some(timing) = check_timing(
+            format!(
+                "technique {} resolve_ms @ {threads} threads",
+                candidate_technique.technique
+            ),
             baseline_technique.resolve_ms,
             candidate_technique.resolve_ms,
-            threshold_pct,
+            args,
+            gated,
         ) {
-            compared.push(ComparedTiming {
-                what,
-                before: baseline_technique.resolve_ms,
-                after: candidate_technique.resolve_ms,
-                warned: warned == 1,
-            });
+            compared.push(timing);
         }
     }
 }
@@ -205,7 +215,9 @@ fn summary_table(
             timing.before,
             timing.after,
             timing.delta_pct(),
-            if timing.warned {
+            if timing.failed {
+                "❌ gated regression"
+            } else if timing.warned {
                 "⚠️ regression"
             } else {
                 ""
@@ -215,7 +227,8 @@ fn summary_table(
     }
     writeln!(
         out,
-        "\n{} timings compared; ⚠️ marks a regression beyond {}% \
+        "\n{} timings compared; ⚠️ marks a regression beyond {}%, ❌ a gated \
+         timing beyond its hard threshold — the job fails \
          (sub-10 ms baselines are skipped as timer noise).",
         compared.len(),
         threshold_pct
@@ -224,25 +237,45 @@ fn summary_table(
     out
 }
 
-/// Emit a `::warning::` annotation when `after` exceeds `before` by more
-/// than `threshold_pct` percent; returns `Some(1)` when it warned,
-/// `Some(0)` when the timing was checked and fine, and `None` when the
-/// baseline is below 10 ms — at that resolution a single timer tick trips
-/// any percentage threshold, so such rows are skipped, not compared.
-fn warn_if_regressed(what: &str, before: u64, after: u64, threshold_pct: u64) -> Option<usize> {
+/// Check one timing, emitting a `::warning::` annotation beyond the warn
+/// threshold and — for gated timings — an `::error::` annotation beyond
+/// the gate threshold.  Returns `None` when the baseline is below 10 ms:
+/// at that resolution a single timer tick trips any percentage threshold,
+/// so such rows are skipped, not compared (gated or not).
+fn check_timing(
+    what: String,
+    before: u64,
+    after: u64,
+    args: &Args,
+    gated: bool,
+) -> Option<ComparedTiming> {
     if before < 10 {
         return None;
     }
-    if after * 100 > before * (100 + threshold_pct) {
+    let regressed_beyond = |threshold_pct: u64| after * 100 > before * (100 + threshold_pct);
+    let delta = (after as f64 / before as f64 - 1.0) * 100.0;
+    let failed = gated && regressed_beyond(args.gate_threshold_pct);
+    let warned = regressed_beyond(args.threshold_pct);
+    if failed {
+        println!(
+            "::error::perf gate failed: {what} went {before} ms -> {after} ms \
+             (+{delta:.0}%, gate threshold {}%)",
+            args.gate_threshold_pct
+        );
+    } else if warned {
         println!(
             "::warning::perf regression: {what} went {before} ms -> {after} ms \
-             (+{:.0}%, threshold {threshold_pct}%)",
-            (after as f64 / before as f64 - 1.0) * 100.0
+             (+{delta:.0}%, threshold {}%)",
+            args.threshold_pct
         );
-        Some(1)
-    } else {
-        Some(0)
     }
+    Some(ComparedTiming {
+        what,
+        before,
+        after,
+        warned,
+        failed,
+    })
 }
 
 fn load(path: &str) -> BenchReport {
@@ -260,12 +293,16 @@ struct Args {
     baseline: String,
     candidate: String,
     threshold_pct: u64,
+    gates: Vec<String>,
+    gate_threshold_pct: u64,
     summary_path: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut positional = Vec::new();
     let mut threshold = 20u64;
+    let mut gates = Vec::new();
+    let mut gate_threshold = 25u64;
     let mut summary_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -273,6 +310,14 @@ fn parse_args() -> Args {
             "--warn-threshold" => match args.next().map(|raw| raw.parse::<u64>()) {
                 Some(Ok(pct)) => threshold = pct,
                 _ => usage("--warn-threshold requires an integer percentage"),
+            },
+            "--gate" => match args.next() {
+                Some(timing) => gates.push(timing),
+                None => usage("--gate requires a stage name or technique:<name>"),
+            },
+            "--gate-threshold" => match args.next().map(|raw| raw.parse::<u64>()) {
+                Some(Ok(pct)) => gate_threshold = pct,
+                _ => usage("--gate-threshold requires an integer percentage"),
             },
             "--summary" => match args.next() {
                 Some(path) => summary_path = Some(path),
@@ -291,6 +336,8 @@ fn parse_args() -> Args {
         baseline,
         candidate,
         threshold_pct: threshold,
+        gates,
+        gate_threshold_pct: gate_threshold,
         summary_path,
     }
 }
@@ -299,7 +346,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench_diff <baseline.json> <candidate.json> \
-         [--warn-threshold <pct>] [--summary <path>]"
+         [--warn-threshold <pct>] [--gate <timing>]… [--gate-threshold <pct>] \
+         [--summary <path>]"
     );
     std::process::exit(2);
 }

@@ -45,7 +45,7 @@ fn main() {
         } else {
             serial_doc
         };
-        let report = BenchReport::new("PR5", preset, seed, args.repeat, runs);
+        let report = BenchReport::new("PR6", preset, seed, args.repeat, runs);
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("could not write {path}: {err}");
             std::process::exit(1);

@@ -11,6 +11,7 @@
 //! every result in one pass and write `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use alias_censys::{CensysConfig, CensysSnapshot};
 use alias_core::alias_set::AliasSetCollection;

@@ -42,6 +42,7 @@ pub fn plurality_as(set: &BTreeSet<IpAddr>, asn_of: &HashMap<IpAddr, u32>) -> Op
         }
     }
     votes
+        // lint:allow(det-hash-iter): max_by with a total (count, asn) order — result is order-independent
         .into_iter()
         .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
         .map(|(asn, _)| asn)

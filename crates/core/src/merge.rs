@@ -259,6 +259,7 @@ impl MultiServiceStats {
             }
         }
         let mut stats = MultiServiceStats::default();
+        // lint:allow(det-hash-iter): commutative counting — only the histogram of counts is kept
         for (_, n) in counts {
             match n {
                 1 => stats.single_service += 1,

@@ -81,9 +81,61 @@ impl UnionFind {
             let root = self.find(element);
             map.entry(root).or_default().push(element);
         }
+        // lint:allow(det-hash-iter): groups are sorted by their unique head element right below
         let mut groups: Vec<Vec<usize>> = map.into_values().collect();
         groups.sort_by_key(|g| g[0]);
         groups
+    }
+
+    /// Check the forest's structural invariants: the parent and size
+    /// vectors agree in length, every parent link stays in range, every
+    /// parent chain reaches a canonical root (`parent[root] == root`)
+    /// without cycling, and the root sizes partition the whole universe.
+    ///
+    /// Idempotence of the canonical root is what alias-set merging leans
+    /// on; this checks it without path compression, so a valid forest is
+    /// left untouched.  Compiled only under `debug_assertions` or the
+    /// `validate` feature.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.parent.len();
+        if self.size.len() != n {
+            return Err(format!(
+                "union-find drift: {} parents vs {} sizes",
+                n,
+                self.size.len()
+            ));
+        }
+        let mut root_weight = 0usize;
+        for element in 0..n {
+            let mut cursor = element;
+            for _ in 0..=n {
+                let parent = self.parent[cursor];
+                if parent >= n {
+                    return Err(format!(
+                        "union-find drift: parent[{cursor}] = {parent} outside 0..{n}"
+                    ));
+                }
+                if parent == cursor {
+                    break;
+                }
+                cursor = parent;
+            }
+            if self.parent[cursor] != cursor {
+                return Err(format!(
+                    "union-find drift: parent chain from {element} never reaches a root"
+                ));
+            }
+            if element == cursor {
+                root_weight += self.size[cursor];
+            }
+        }
+        if root_weight != n {
+            return Err(format!(
+                "union-find drift: root sizes sum to {root_weight}, expected {n}"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -135,6 +187,28 @@ mod tests {
         assert!(groups.iter().any(|g| g.len() == 3 && g.contains(&4)));
     }
 
+    #[test]
+    fn validate_accepts_sound_forests_and_reports_drift() {
+        assert_eq!(UnionFind::new(0).validate(), Ok(()));
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert_eq!(uf.validate(), Ok(()));
+
+        let mut broken = uf.clone();
+        broken.parent[0] = 9; // out-of-range link
+        assert!(broken.validate().unwrap_err().contains("outside 0..4"));
+
+        let mut broken = uf.clone();
+        let root = broken.find(0);
+        broken.size[root] = 1; // weights no longer partition
+        assert!(broken.validate().unwrap_err().contains("root sizes sum"));
+
+        let mut broken = uf;
+        broken.size.pop();
+        assert!(broken.validate().unwrap_err().contains("parents vs"));
+    }
+
     proptest! {
         #[test]
         fn union_is_transitive_and_total(n in 2usize..60, pairs in prop::collection::vec((0usize..60, 0usize..60), 0..80)) {
@@ -142,6 +216,8 @@ mod tests {
             for (a, b) in pairs.iter().map(|&(a, b)| (a % n, b % n)) {
                 uf.union(a, b);
             }
+            // Structural invariants hold after an arbitrary union sequence.
+            prop_assert_eq!(uf.validate(), Ok(()));
             // groups() partitions [0, n) exactly.
             let groups = uf.groups();
             let mut all: Vec<usize> = groups.iter().flatten().copied().collect();

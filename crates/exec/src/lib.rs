@@ -41,6 +41,7 @@
 //! examples use it so a single knob controls the whole pipeline.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use parking_lot::Mutex;
 use std::ops::Range;

@@ -156,6 +156,42 @@ impl AddrInterner {
     pub fn addrs(&self) -> &[IpAddr] {
         &self.addrs
     }
+
+    /// Check the bijection invariant: the id map and the address vector are
+    /// mutual inverses over the dense id range `0..len`.
+    ///
+    /// The runtime twin of the `det-hash-iter` lint's premise — a broken
+    /// bijection is exactly the state where id-space arithmetic silently
+    /// resolves to the wrong address.  Walks the vector (never the hash
+    /// map), so the check itself is deterministic.  Compiled only under
+    /// `debug_assertions` or the `validate` feature.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ids.len() != self.addrs.len() {
+            return Err(format!(
+                "interner bijection broken: {} mapped ids vs {} stored addresses",
+                self.ids.len(),
+                self.addrs.len()
+            ));
+        }
+        for (index, &addr) in self.addrs.iter().enumerate() {
+            match self.ids.get(&addr) {
+                Some(&id) if id.index() == index => {}
+                Some(&id) => {
+                    return Err(format!(
+                        "interner bijection broken: {addr} stored at id {index} but mapped to {}",
+                        id.0
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "interner bijection broken: {addr} stored at id {index} but never mapped"
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Key ⇄ [`IdentId`] map with dense, insertion-ordered ids — the generic
@@ -221,6 +257,7 @@ impl<K: Eq + Hash> Interner<K> {
     /// into its dense slot, never cloned).
     pub fn into_keys(self) -> Vec<K> {
         let mut slots: Vec<Option<K>> = (0..self.ids.len()).map(|_| None).collect();
+        // lint:allow(det-hash-iter): each key lands in its dense id-indexed slot — order-free
         for (key, id) in self.ids {
             slots[id.index()] = Some(key);
         }
@@ -240,15 +277,15 @@ impl<K: Eq + Hash> Interner<K> {
 /// [`to_addr_set`](Self::to_addr_set).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CompactAliasSet {
-    ids: Vec<AddrId>,
+    members: Vec<AddrId>,
 }
 
 impl CompactAliasSet {
-    /// Build from ids in any order, sorting and deduplicating.
-    pub fn from_ids(mut ids: Vec<AddrId>) -> Self {
-        ids.sort_unstable();
-        ids.dedup();
-        CompactAliasSet { ids }
+    /// Build from members in any order, sorting and deduplicating.
+    pub fn from_ids(mut members: Vec<AddrId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        CompactAliasSet { members }
     }
 
     /// Build by interning every member of an address set.
@@ -259,42 +296,62 @@ impl CompactAliasSet {
     /// The member ids, sorted ascending.
     #[inline]
     pub fn ids(&self) -> &[AddrId] {
-        &self.ids
+        &self.members
     }
 
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.members.len()
     }
 
     /// Whether the set has no members.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.members.is_empty()
     }
 
     /// Whether `id` is a member.
     #[inline]
     pub fn contains(&self, id: AddrId) -> bool {
-        self.ids.binary_search(&id).is_ok()
+        self.members.binary_search(&id).is_ok()
     }
 
     /// Iterator over the member ids.
     pub fn iter(&self) -> impl Iterator<Item = AddrId> + '_ {
-        self.ids.iter().copied()
+        self.members.iter().copied()
     }
 
     /// The smallest member *address* (not the smallest id — interning order
     /// is observation order, not address order).
     pub fn min_addr(&self, interner: &AddrInterner) -> Option<IpAddr> {
-        self.ids.iter().map(|&id| interner.addr(id)).min()
+        self.members.iter().map(|&id| interner.addr(id)).min()
     }
 
     /// Resolve the members back to addresses — the report/rendering
     /// boundary.
     pub fn to_addr_set(&self, interner: &AddrInterner) -> BTreeSet<IpAddr> {
-        self.ids.iter().map(|&id| interner.addr(id)).collect()
+        self.members.iter().map(|&id| interner.addr(id)).collect()
+    }
+
+    /// Check the canonical-form invariant: members strictly ascending
+    /// (sorted and deduplicated).
+    ///
+    /// Every constructor establishes this, and the PR4 determinism bug was
+    /// precisely a set that escaped canonical order — so parity tests call
+    /// this on their way through.  Compiled only under `debug_assertions`
+    /// or the `validate` feature.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate(&self) -> Result<(), String> {
+        for pair in self.members.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(format!(
+                    "compact alias set not canonical: id {} precedes id {}",
+                    pair[0].0, pair[1].0
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -454,6 +511,33 @@ mod tests {
         assert_eq!(sets[2].len(), 1);
     }
 
+    #[test]
+    fn validators_report_broken_bijections_and_unsorted_sets() {
+        assert_eq!(AddrInterner::new().validate(), Ok(()));
+        let mut interner = AddrInterner::from_addrs([ip("10.0.0.1"), ip("10.0.0.2")]);
+        assert_eq!(interner.validate(), Ok(()));
+        interner.addrs.push(ip("10.0.0.3")); // stored but never mapped
+        let err = interner.validate().unwrap_err();
+        assert!(err.contains("mapped ids vs 3 stored"), "{err}");
+        interner.ids.insert(ip("10.0.0.9"), AddrId(2)); // lengths agree again…
+        let err = interner.validate().unwrap_err();
+        assert!(err.contains("never mapped"), "{err}"); // …but 10.0.0.3 has no id
+        interner.ids.remove(&ip("10.0.0.9"));
+        interner.ids.insert(ip("10.0.0.3"), AddrId(0)); // mapped to the wrong slot
+        let err = interner.validate().unwrap_err();
+        assert!(err.contains("but mapped to 0"), "{err}");
+
+        assert_eq!(CompactAliasSet::default().validate(), Ok(()));
+        let unsorted = CompactAliasSet {
+            members: vec![AddrId(3), AddrId(1)],
+        };
+        assert!(unsorted.validate().unwrap_err().contains("not canonical"));
+        let duplicated = CompactAliasSet {
+            members: vec![AddrId(1), AddrId(1)],
+        };
+        assert!(duplicated.validate().unwrap_err().contains("not canonical"));
+    }
+
     proptest::proptest! {
         #[test]
         fn interning_is_a_bijection_on_distinct_addrs(raw in proptest::collection::vec(0u32..5_000, 0..300)) {
@@ -468,6 +552,12 @@ mod tests {
                 let id = interner.get(addr).expect("interned");
                 proptest::prop_assert_eq!(interner.addr(id), addr);
             }
+            // The runtime validator agrees with the oracle above, and the
+            // compact set built from this universe is canonical.
+            proptest::prop_assert_eq!(interner.validate(), Ok(()));
+            let mut interner = interner;
+            let set = CompactAliasSet::from_addr_set(&distinct, &mut interner);
+            proptest::prop_assert_eq!(set.validate(), Ok(()));
         }
     }
 }

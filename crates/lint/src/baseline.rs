@@ -1,0 +1,128 @@
+//! The `lint-baseline.json` ratchet.
+//!
+//! Rules that measure an in-flight migration (today: `id-space`) have
+//! violations that are *known and tolerated* — but only the ones that
+//! already exist.  The baseline records, per `file::rule` key, how many
+//! violations are grandfathered.  A check fails when any key's live count
+//! exceeds its baselined count (or appears with no baseline at all);
+//! counts below the baseline are reported as ratchet progress and the
+//! file is regenerated with `alias-lint --update-baseline`, so the
+//! numbers can only fall as the migration proceeds.
+
+use serde::{Deserialize, Error as SerdeError, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Grandfathered violation counts, keyed `file::rule`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (every violation is new).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A baseline over the given `file::rule` counts.
+    pub fn from_counts(entries: BTreeMap<String, usize>) -> Self {
+        Baseline { entries }
+    }
+
+    /// Load from `path`; a missing file is the empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::empty()),
+            Err(err) => return Err(format!("could not read {}: {err}", path.display())),
+        };
+        serde_json::from_str(&raw)
+            .map_err(|err| format!("{} is not a lint baseline: {err}", path.display()))
+    }
+
+    /// Write to `path` as pretty-printed JSON with sorted keys (the file is
+    /// committed; diffs must be stable and reviewable).
+    pub fn store(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.render())
+            .map_err(|err| format!("could not write {}: {err}", path.display()))
+    }
+
+    /// The serialized form: one sorted `"file::rule": count` entry per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (key, count) in &self.entries {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "  {}: {count}",
+                serde_json::to_string(key).expect("string")
+            ));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The grandfathered count for `key`.
+    pub fn allowed(&self, key: &str) -> usize {
+        self.entries.get(key).copied().unwrap_or(0)
+    }
+
+    /// The baselined entries.
+    pub fn entries(&self) -> &BTreeMap<String, usize> {
+        &self.entries
+    }
+
+    /// Total grandfathered violations across all keys.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+}
+
+// The baseline file is a plain JSON object (`"file::rule": count`) so
+// diffs read naturally in review; the vendored serde subset serializes
+// maps as `[key, value]` pair sequences, so the object shape is handled
+// by hand here (rendering in [`Baseline::render`], parsing below).
+impl Deserialize for Baseline {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let Value::Record(fields) = value else {
+            return Err(SerdeError::new(format!(
+                "expected a JSON object of \"file::rule\": count entries, found {}",
+                value.kind()
+            )));
+        };
+        let mut entries = BTreeMap::new();
+        for (key, count) in fields {
+            entries.insert(key.clone(), usize::from_value(count)?);
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parses_back_identically() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/core/src/merge.rs::id-space".to_owned(), 10);
+        counts.insert("crates/scan/src/campaign.rs::id-space".to_owned(), 1);
+        let baseline = Baseline::from_counts(counts);
+        let rendered = baseline.render();
+        let parsed: Baseline = serde_json::from_str(&rendered).unwrap();
+        assert_eq!(parsed, baseline);
+        assert_eq!(baseline.total(), 11);
+        assert_eq!(baseline.allowed("crates/core/src/merge.rs::id-space"), 10);
+        assert_eq!(baseline.allowed("missing"), 0);
+    }
+
+    #[test]
+    fn missing_file_loads_as_empty() {
+        let baseline = Baseline::load(Path::new("/nonexistent/lint-baseline.json")).unwrap();
+        assert_eq!(baseline, Baseline::empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # alias-lint
+//!
+//! An offline, dependency-light static-analysis pass over the workspace's
+//! own source, enforcing the two invariant families the test suite keeps
+//! re-discovering the hard way:
+//!
+//! * **Determinism** — the repo's one load-bearing correctness property is
+//!   a byte-identical `EXPERIMENTS_MEASURED.md` at any thread count and
+//!   across processes.  Twice it has been broken by the same bug class
+//!   (hash-map iteration order observed by a shared RNG / by canonical set
+//!   ordering) and caught only after the fact by parity tests.  The
+//!   [`det-hash-iter`](rules::det_hash_iter),
+//!   [`det-wallclock`](rules::det_wallclock) and
+//!   [`det-rng`](rules::det_rng) rules turn
+//!   "can this code produce different bytes on a different run?" into a
+//!   source-level check — the cheap engineering analogue of the alias
+//!   calculus tradition, where "can these two names denote the same thing
+//!   at runtime?" becomes decidable from the program text.
+//! * **Id-space migration** — [`id-space`](rules::id_space) counts the
+//!   remaining `BTreeSet<IpAddr>`/`IpAddr`-keyed containers in the
+//!   pipeline crates, ratcheted by `lint-baseline.json` so the count can
+//!   only fall; [`crate-hygiene`](rules::crate_hygiene) keeps the crate
+//!   roots honest.
+//!
+//! The analyzer is a hand-rolled [`tokenizer`] (crates.io is unreachable
+//! offline, and vendoring `syn` for a token-pattern scan would be
+//! disproportionate) feeding a [rule registry](registry); suppression is
+//! explicit and auditable (`// lint:allow(rule): reason`), and the
+//! committed baseline makes CI fail on any *new* violation while existing
+//! debt burns down monotonically.
+//!
+//! Run it with `cargo run -p alias-lint -- --check` (CI does) or
+//! `-- --update-baseline` after paying down baselined debt.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod registry;
+pub mod rules;
+pub mod source;
+pub mod tokenizer;
+
+pub use baseline::Baseline;
+pub use registry::{check_workspace, rule_names, rules, scan_workspace, CheckOutcome, ScanReport};
+pub use rules::{Rule, Violation};
+pub use source::SourceFile;

@@ -1,0 +1,230 @@
+//! The `alias-lint` command-line entry point.
+//!
+//! ```text
+//! alias-lint --check [--root <dir>] [--baseline <path>] [--summary <path>]
+//! alias-lint --update-baseline [--root <dir>] [--baseline <path>]
+//! alias-lint --list
+//! ```
+//!
+//! `--check` (the default) scans `crates/*/src/**/*.rs` plus the facade's
+//! `src/`, applies `lint:allow` suppressions, and compares the surviving
+//! violations against the committed `lint-baseline.json`: any violation
+//! beyond a key's baselined count — or any malformed suppression — fails
+//! with exit code 1 and a per-key table.  `--summary <path>` appends that
+//! table as GitHub-flavoured markdown (pass `$GITHUB_STEP_SUMMARY`).
+//! `--update-baseline` regenerates the baseline from the current scan so
+//! the ratchet can be tightened after paying down debt.  Usage and I/O
+//! errors exit 2.
+
+use alias_lint::baseline::Baseline;
+use alias_lint::registry::{self, CheckOutcome};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let args = parse_args();
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.json"));
+
+    match args.mode {
+        Mode::List => {
+            for rule in registry::rules() {
+                println!("{:<14} {}", rule.name(), rule.summary());
+            }
+        }
+        Mode::UpdateBaseline => {
+            let report = registry::scan_workspace(&args.root).unwrap_or_else(die);
+            fail_on_problems(&report.problems);
+            let baseline = Baseline::from_counts(report.counts());
+            baseline.store(&baseline_path).unwrap_or_else(die);
+            println!(
+                "baseline written to {}: {} grandfathered violation(s) across {} key(s) \
+                 ({} file(s) scanned)",
+                baseline_path.display(),
+                baseline.total(),
+                baseline.entries().len(),
+                report.files_scanned,
+            );
+        }
+        Mode::Check => {
+            let baseline = Baseline::load(&baseline_path).unwrap_or_else(die);
+            let outcome = registry::check_workspace(&args.root, &baseline).unwrap_or_else(die);
+            let table = outcome_table(&outcome);
+            print!("{table}");
+            if let Some(path) = &args.summary {
+                let markdown = summary_markdown(&outcome);
+                let result = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut file| file.write_all(markdown.as_bytes()));
+                if let Err(err) = result {
+                    die(format!(
+                        "could not append the summary to {}: {err}",
+                        path.display()
+                    ))
+                }
+            }
+            fail_on_problems(&outcome.report.problems);
+            if !outcome.is_clean() {
+                for violation in outcome.new_violations() {
+                    println!(
+                        "::error file={},line={}::[{}] {}",
+                        violation.file, violation.line, violation.rule, violation.message
+                    );
+                }
+                std::process::exit(1);
+            }
+            for key in outcome.shrunk_keys() {
+                println!(
+                    "note: {} fell from {} baselined to {} — run `alias-lint --update-baseline` \
+                     to tighten the ratchet",
+                    key.key, key.baselined, key.found
+                );
+            }
+        }
+    }
+}
+
+/// Print malformed-suppression problems and exit 1 if there are any.
+fn fail_on_problems(problems: &[String]) {
+    for problem in problems {
+        println!("::error::{problem}");
+    }
+    if !problems.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// The human-readable per-key table printed on every check.
+fn outcome_table(outcome: &CheckOutcome) -> String {
+    let mut out = String::new();
+    let live: usize = outcome.keys.iter().map(|k| k.found).sum();
+    let _ = writeln!(
+        out,
+        "alias-lint: {} file(s) scanned, {} live violation(s) across {} key(s)",
+        outcome.report.files_scanned,
+        live,
+        outcome.keys.iter().filter(|k| k.found > 0).count(),
+    );
+    for key in &outcome.keys {
+        let status = if key.grew() {
+            "GREW — new violations"
+        } else if key.shrank() {
+            "shrank — tighten the baseline"
+        } else if key.baselined > 0 {
+            "baselined"
+        } else {
+            "clean"
+        };
+        if key.found > 0 || key.baselined > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<55} found {:>3}  baselined {:>3}  {status}",
+                key.key, key.found, key.baselined
+            );
+        }
+    }
+    let verdict = if outcome.is_clean() { "PASS" } else { "FAIL" };
+    let _ = writeln!(out, "alias-lint: {verdict}");
+    out
+}
+
+/// The markdown table appended to `--summary`.
+fn summary_markdown(outcome: &CheckOutcome) -> String {
+    let mut out = String::from("\n### alias-lint: determinism & id-space invariants\n\n");
+    let _ = writeln!(out, "| Rule | File | Found | Baselined | Status |");
+    let _ = writeln!(out, "|---|---|---:|---:|---|");
+    for key in &outcome.keys {
+        if key.found == 0 && key.baselined == 0 {
+            continue;
+        }
+        let (file, rule) = key.key.rsplit_once("::").unwrap_or((key.key.as_str(), "?"));
+        let status = if key.grew() {
+            "❌ grew"
+        } else if key.shrank() {
+            "📉 shrank (tighten baseline)"
+        } else if key.baselined > 0 {
+            "⏳ baselined"
+        } else {
+            "✅"
+        };
+        let _ = writeln!(
+            out,
+            "| `{rule}` | `{file}` | {} | {} | {status} |",
+            key.found, key.baselined
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{} file(s) scanned; verdict: **{}**.",
+        outcome.report.files_scanned,
+        if outcome.is_clean() { "PASS" } else { "FAIL" },
+    );
+    for problem in &outcome.report.problems {
+        let _ = writeln!(out, "\n- ❌ {problem}");
+    }
+    out
+}
+
+enum Mode {
+    Check,
+    UpdateBaseline,
+    List,
+}
+
+struct Args {
+    mode: Mode,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    summary: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut mode = Mode::Check;
+    let mut root = PathBuf::from(".");
+    let mut baseline = None;
+    let mut summary = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--update-baseline" => mode = Mode::UpdateBaseline,
+            "--list" => mode = Mode::List,
+            "--root" => root = required_path(args.next(), "--root"),
+            "--baseline" => baseline = Some(required_path(args.next(), "--baseline")),
+            "--summary" => summary = Some(required_path(args.next(), "--summary")),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    Args {
+        mode,
+        root,
+        baseline,
+        summary,
+    }
+}
+
+fn required_path(value: Option<String>, flag: &str) -> PathBuf {
+    match value {
+        Some(path) => PathBuf::from(path),
+        None => usage(&format!("{flag} requires a path")),
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!(
+        "usage: alias-lint [--check | --update-baseline | --list] \
+         [--root <dir>] [--baseline <path>] [--summary <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn die<T>(message: impl std::fmt::Display) -> T {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

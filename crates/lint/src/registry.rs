@@ -1,0 +1,170 @@
+//! The rule registry and the workspace check driver.
+//!
+//! [`rules`] is the single list every entry point shares; the driver in
+//! [`check_workspace`] walks the lintable files, runs every rule, applies
+//! the explicit `lint:allow` suppressions, and compares what remains
+//! against the committed baseline ratchet.
+
+use crate::baseline::Baseline;
+use crate::rules::{
+    crate_hygiene::CrateHygiene, det_hash_iter::DetHashIter, det_rng::DetRng,
+    det_wallclock::DetWallclock, id_space::IdSpace, Rule, Violation,
+};
+use crate::source::{self, SourceFile};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Every registered rule, in report order.
+pub fn rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(DetHashIter),
+        Box::new(DetWallclock),
+        Box::new(DetRng),
+        Box::new(IdSpace),
+        Box::new(CrateHygiene),
+    ]
+}
+
+/// The registered rule names (what `lint:allow` may refer to).
+pub fn rule_names() -> Vec<&'static str> {
+    rules().iter().map(|r| r.name()).collect()
+}
+
+/// Everything one check run produced, before baseline comparison.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Violations that survived `lint:allow` suppression, sorted.
+    pub violations: Vec<Violation>,
+    /// Malformed suppression comments (always failures).
+    pub problems: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// Live violation counts per `file::rule` baseline key.
+    pub fn counts(&self) -> BTreeMap<String, usize> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for violation in &self.violations {
+            *counts.entry(violation.key()).or_default() += 1;
+        }
+        counts
+    }
+}
+
+/// Run every rule over every lintable file under `root`.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let rules = rules();
+    let names = rule_names();
+    let files = source::workspace_files(root).map_err(|err| err.to_string())?;
+    let mut report = ScanReport::default();
+    for path in files {
+        let rel = source::relative(root, &path);
+        let raw = std::fs::read_to_string(&path)
+            .map_err(|err| format!("could not read {}: {err}", path.display()))?;
+        let file = SourceFile::parse(&rel, &raw, &names);
+        report.problems.extend(file.problems.iter().cloned());
+        for rule in &rules {
+            for violation in rule.check(&file) {
+                if !file.is_allowed(violation.rule, violation.line) {
+                    report.violations.push(violation);
+                }
+            }
+        }
+        report.files_scanned += 1;
+    }
+    report.violations.sort();
+    Ok(report)
+}
+
+/// One row of the check outcome: a baseline key with its live vs
+/// grandfathered counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyOutcome {
+    /// The `file::rule` key.
+    pub key: String,
+    /// Live violations found.
+    pub found: usize,
+    /// Violations the baseline grandfathers.
+    pub baselined: usize,
+}
+
+impl KeyOutcome {
+    /// Whether the key has violations beyond its baseline.
+    pub fn grew(&self) -> bool {
+        self.found > self.baselined
+    }
+
+    /// Whether the key fell below its baseline (ratchet progress).
+    pub fn shrank(&self) -> bool {
+        self.found < self.baselined
+    }
+}
+
+/// The verdict of a `--check` run.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The underlying scan.
+    pub report: ScanReport,
+    /// Per-key live/baselined counts, sorted by key — every key that has
+    /// either live violations or a baseline entry appears exactly once.
+    pub keys: Vec<KeyOutcome>,
+}
+
+impl CheckOutcome {
+    /// The violations not covered by the baseline: for each grown key, the
+    /// last `found - baselined` sorted violations (lines later in the file
+    /// are the ones most recently added; the exact attribution does not
+    /// matter — any growth fails).
+    pub fn new_violations(&self) -> Vec<&Violation> {
+        let mut fresh = Vec::new();
+        for key in self.keys.iter().filter(|k| k.grew()) {
+            let of_key: Vec<&Violation> = self
+                .report
+                .violations
+                .iter()
+                .filter(|v| v.key() == key.key)
+                .collect();
+            fresh.extend(of_key.into_iter().skip(key.baselined));
+        }
+        fresh
+    }
+
+    /// Whether the check passes: no growth, no malformed suppressions.
+    pub fn is_clean(&self) -> bool {
+        self.report.problems.is_empty() && self.keys.iter().all(|k| !k.grew())
+    }
+
+    /// Keys that fell below their baseline (the ratchet can be tightened).
+    pub fn shrunk_keys(&self) -> Vec<&KeyOutcome> {
+        self.keys.iter().filter(|k| k.shrank()).collect()
+    }
+}
+
+/// Scan `root` and compare against `baseline`.
+pub fn check_workspace(root: &Path, baseline: &Baseline) -> Result<CheckOutcome, String> {
+    let report = scan_workspace(root)?;
+    let counts = report.counts();
+    let mut keys: BTreeMap<String, KeyOutcome> = BTreeMap::new();
+    for (key, &found) in &counts {
+        keys.insert(
+            key.clone(),
+            KeyOutcome {
+                key: key.clone(),
+                found,
+                baselined: baseline.allowed(key),
+            },
+        );
+    }
+    for (key, &baselined) in baseline.entries() {
+        keys.entry(key.clone()).or_insert_with(|| KeyOutcome {
+            key: key.clone(),
+            found: 0,
+            baselined,
+        });
+    }
+    Ok(CheckOutcome {
+        report,
+        keys: keys.into_values().collect(),
+    })
+}

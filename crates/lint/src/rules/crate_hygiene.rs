@@ -1,0 +1,139 @@
+//! `crate-hygiene`: required crate-level attributes on every member
+//! `lib.rs`.
+//!
+//! Every workspace library must carry `#![forbid(unsafe_code)]` (the
+//! whole workspace is safe Rust; keep it machine-checked) and
+//! `#![warn(missing_docs)]` (CI turns warnings into errors, so every
+//! public item stays documented).  The rule parses the file's inner
+//! attributes, so `#![warn(missing_docs, other_lint)]` and
+//! `#![deny(missing_docs)]` both count.
+
+use super::{Rule, Violation};
+use crate::source::SourceFile;
+use crate::tokenizer::{Token, TokenKind};
+
+/// The rule (see the module docs).
+pub struct CrateHygiene;
+
+const NAME: &str = "crate-hygiene";
+
+impl Rule for CrateHygiene {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "member lib.rs must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        let is_lib = file.rel_path == "src/lib.rs"
+            || (file.rel_path.starts_with("crates/") && file.rel_path.ends_with("/src/lib.rs"));
+        if !is_lib {
+            return Vec::new();
+        }
+        let mut has_forbid_unsafe = false;
+        let mut has_missing_docs = false;
+        for attr in inner_attributes(&file.tokens) {
+            let idents: Vec<&str> = attr
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            if idents.contains(&"forbid") && idents.contains(&"unsafe_code") {
+                has_forbid_unsafe = true;
+            }
+            if idents.contains(&"missing_docs")
+                && (idents.contains(&"warn")
+                    || idents.contains(&"deny")
+                    || idents.contains(&"forbid"))
+            {
+                has_missing_docs = true;
+            }
+        }
+        let mut violations = Vec::new();
+        if !has_forbid_unsafe {
+            violations.push(missing(file, "#![forbid(unsafe_code)]"));
+        }
+        if !has_missing_docs {
+            violations.push(missing(file, "#![warn(missing_docs)]"));
+        }
+        violations
+    }
+}
+
+fn missing(file: &SourceFile, attr: &str) -> Violation {
+    Violation {
+        file: file.rel_path.clone(),
+        line: 1,
+        rule: NAME,
+        message: format!("crate root is missing `{attr}`"),
+    }
+}
+
+/// The token spans of the file's inner attributes (`#![ … ]`).
+fn inner_attributes(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut attrs = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_punct("#") && tokens[i + 1].is_punct("!") && tokens[i + 2].is_punct("[") {
+            let start = i + 3;
+            let mut depth = 1i32;
+            let mut j = start;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            attrs.push(&tokens[start..j.saturating_sub(1)]);
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn complete_headers_pass() {
+        let file = SourceFile::parse(
+            "crates/core/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}",
+            &[NAME],
+        );
+        assert!(CrateHygiene.check(&file).is_empty());
+    }
+
+    #[test]
+    fn grouped_and_deny_forms_count() {
+        let file = SourceFile::parse(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs, unused)]\n",
+            &[NAME],
+        );
+        assert!(CrateHygiene.check(&file).is_empty());
+    }
+
+    #[test]
+    fn missing_headers_are_each_reported() {
+        let file = SourceFile::parse("crates/core/src/lib.rs", "pub fn f() {}", &[NAME]);
+        let violations = CrateHygiene.check(&file);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].message.contains("unsafe_code"));
+        assert!(violations[1].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn non_lib_files_are_out_of_scope() {
+        let file = SourceFile::parse("crates/core/src/merge.rs", "pub fn f() {}", &[NAME]);
+        assert!(CrateHygiene.check(&file).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! `det-hash-iter`: iteration over `HashMap`/`HashSet` in deterministic
+//! code.
+//!
+//! The repo's load-bearing guarantee — byte-identical rendered output at
+//! any thread count and across processes — has been broken twice by the
+//! same bug class: code that iterates a hash map in an order-sensitive
+//! context (PR 2: `apply_churn` drew from a shared RNG per iterated
+//! device; PR 4: canonical set ordering silently tie-broke by hash-map
+//! iteration order).  `std` hash maps randomize their seed per process,
+//! so *any* observable dependence on their iteration order is a
+//! cross-process nondeterminism.
+//!
+//! The rule tracks names declared with a hash-map/set type in the same
+//! file — `let m: HashMap<…>`, `m: HashMap<…>` struct fields and fn
+//! params, `let m = HashMap::new()` — and flags iteration over them:
+//! `for … in &m`, and calls to the ordered-stream methods (`iter`,
+//! `iter_mut`, `into_iter`, `keys`, `into_keys`, `values`, `values_mut`,
+//! `into_values`, `drain`).
+//!
+//! Sites that are provably order-insensitive (results re-sorted, reduced
+//! commutatively, or written into a dense table) carry an explicit
+//! `// lint:allow(det-hash-iter): <why>`; everything else should use
+//! `BTreeMap`/`BTreeSet` or sort before iterating.
+
+use super::{Rule, Violation};
+use crate::source::SourceFile;
+use crate::tokenizer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// The rule (see the module docs).
+pub struct DetHashIter;
+
+const NAME: &str = "det-hash-iter";
+
+/// Hash container type names whose declared bindings get tracked.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that stream a hash container in iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+impl Rule for DetHashIter {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "iteration over HashMap/HashSet (seed-randomized order) in deterministic code"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        let tokens = &file.tokens;
+        let tracked = tracked_names(tokens);
+        if tracked.is_empty() {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        flag_iter_methods(file, tokens, &tracked, &mut violations);
+        flag_for_loops(file, tokens, &tracked, &mut violations);
+        violations.sort();
+        violations.dedup();
+        violations
+    }
+}
+
+/// Names declared with a hash-map/set type in this file: annotated
+/// bindings/fields/params (`name: HashMap<…>`) and constructor
+/// assignments (`let name = HashMap::new()`).
+fn tracked_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || !HASH_TYPES.contains(&token.text.as_str()) {
+            continue;
+        }
+        // Walk back over the path prefix (`std::collections::`) and
+        // reference/mutability noise to the token that introduced the type.
+        let mut j = i;
+        while j > 0 {
+            let prev = &tokens[j - 1];
+            let is_path =
+                prev.is_punct("::") || prev.is_ident("std") || prev.is_ident("collections");
+            let is_ref =
+                prev.is_punct("&") || prev.is_ident("mut") || prev.kind == TokenKind::Lifetime;
+            if is_path || is_ref {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name : HashMap<…>` — annotation on a binding, field or param.
+        if tokens[j - 1].is_punct(":") && j >= 2 && tokens[j - 2].kind == TokenKind::Ident {
+            tracked.insert(tokens[j - 2].text.clone());
+            continue;
+        }
+        // `let [mut] name = HashMap::…(…)` — constructor assignment.
+        if tokens[j - 1].is_punct("=") && j >= 3 {
+            let mut k = j - 2;
+            if tokens[k].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = k;
+            if tokens[k - 1].is_ident("mut") && k >= 2 {
+                k -= 1;
+            }
+            if k >= 1 && tokens[k - 1].is_ident("let") {
+                tracked.insert(tokens[name].text.clone());
+            }
+        }
+    }
+    tracked
+}
+
+/// Flag `tracked.method(` for every ordered-stream method.
+fn flag_iter_methods(
+    file: &SourceFile,
+    tokens: &[Token],
+    tracked: &BTreeSet<String>,
+    violations: &mut Vec<Violation>,
+) {
+    for window in tokens.windows(4) {
+        let [name, dot, method, open] = window else {
+            continue;
+        };
+        if name.kind == TokenKind::Ident
+            && tracked.contains(&name.text)
+            && dot.is_punct(".")
+            && method.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&method.text.as_str())
+            && open.is_punct("(")
+        {
+            violations.push(Violation {
+                file: file.rel_path.clone(),
+                line: method.line,
+                rule: NAME,
+                message: format!(
+                    "`{}.{}()` iterates a hash container in seed-randomized order",
+                    name.text, method.text
+                ),
+            });
+        }
+    }
+}
+
+/// Flag `for … in [&[mut]] [path.]tracked {`.
+fn flag_for_loops(
+    file: &SourceFile,
+    tokens: &[Token],
+    tracked: &BTreeSet<String>,
+    violations: &mut Vec<Violation>,
+) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // `for<'a>` (HRTB) and `impl … for Type` have no loop body; a loop
+        // header always contains `in` before its `{` at bracket depth 0.
+        let Some(in_idx) = find_loop_in(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let Some(body_idx) = find_body_brace(tokens, in_idx + 1) else {
+            i += 1;
+            continue;
+        };
+        let expr = &tokens[in_idx + 1..body_idx];
+        if let Some(name) = bare_tracked_expr(expr, tracked) {
+            violations.push(Violation {
+                file: file.rel_path.clone(),
+                line: tokens[i].line,
+                rule: NAME,
+                message: format!(
+                    "`for … in {name}` iterates a hash container in seed-randomized order"
+                ),
+            });
+        }
+        i = body_idx + 1;
+    }
+}
+
+/// The index of the `in` keyword of a `for` loop header starting at
+/// `for_idx`, if this `for` is a loop.
+fn find_loop_in(tokens: &[Token], for_idx: usize) -> Option<usize> {
+    if tokens.get(for_idx + 1).is_some_and(|t| t.is_punct("<")) {
+        return None; // `for<'a>` bound
+    }
+    let mut depth = 0i32;
+    for (j, token) in tokens.iter().enumerate().skip(for_idx + 1) {
+        match token.text.as_str() {
+            "(" | "[" if token.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" if token.kind == TokenKind::Punct => depth -= 1,
+            "{" | ";" if token.kind == TokenKind::Punct && depth == 0 => return None,
+            "in" if token.kind == TokenKind::Ident && depth == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The index of the `{` opening the loop body, scanning from `start`.
+fn find_body_brace(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, token) in tokens.iter().enumerate().skip(start) {
+        if token.kind != TokenKind::Punct {
+            continue;
+        }
+        match token.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(j),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If the loop-header expression is a bare (possibly referenced, possibly
+/// field-projected) tracked name, return that name.  Method-call headers
+/// (`map.keys()`) end in `)` and are left to [`flag_iter_methods`].
+fn bare_tracked_expr(expr: &[Token], tracked: &BTreeSet<String>) -> Option<String> {
+    let last = expr.last()?;
+    if last.kind != TokenKind::Ident || !tracked.contains(&last.text) {
+        return None;
+    }
+    // Everything before the final name must be reference/path shape:
+    // `&`, `mut`, idents and `.`/`::` separators — no calls, no indexing.
+    let shape_ok = expr[..expr.len() - 1].iter().all(|t| {
+        t.is_punct("&")
+            || t.is_punct(".")
+            || t.is_punct("::")
+            || t.kind == TokenKind::Ident
+            || t.kind == TokenKind::Lifetime
+    });
+    shape_ok.then(|| last.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Violation> {
+        DetHashIter.check(&SourceFile::parse("crates/netsim/src/x.rs", src, &[NAME]))
+    }
+
+    #[test]
+    fn flags_for_loop_over_hash_map_field() {
+        let src = "struct S { devices: HashMap<u32, Device> }\n\
+                   impl S { fn f(&mut self, rng: &mut Rng) {\n\
+                   for (_, d) in &mut self.devices { d.step(rng.next()); }\n\
+                   } }";
+        let violations = check(src);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].line, 3);
+        assert!(violations[0].message.contains("devices"));
+    }
+
+    #[test]
+    fn flags_ordered_stream_methods_on_let_bindings() {
+        let src = "fn f() { let mut seen = HashMap::new();\n\
+                   for k in seen.keys() { use_it(k); }\n\
+                   let v: Vec<_> = seen.values().collect();\n\
+                   seen.drain(); }";
+        let violations = check(src);
+        assert_eq!(violations.len(), 3);
+        assert!(violations.iter().all(|v| v.rule == NAME));
+    }
+
+    #[test]
+    fn flags_annotated_locals_and_params() {
+        let src = "fn f(index: &HashSet<u32>) { for x in index { touch(x); } }";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn ignores_btree_maps_and_untracked_names() {
+        let src = "fn f(m: &BTreeMap<u32, u32>, v: Vec<u32>) {\n\
+                   for x in m { touch(x); }\n\
+                   for y in v.iter() { touch(y); }\n\
+                   let lookup = HashMap::new(); lookup.get(&1); lookup.entry(2); }";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn ignores_impl_for_and_hrtb() {
+        let src = "impl<T> Render for HashMap<T, u32> {}\n\
+                   fn g<F: for<'a> Fn(&'a u32)>(f: F) {}";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn into_values_on_a_tracked_map_is_flagged() {
+        let src = "fn f() { let mut map: HashMap<usize, Vec<usize>> = HashMap::new();\n\
+                   let groups: Vec<_> = map.into_values().collect(); }";
+        assert_eq!(check(src).len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! `det-rng`: entropy-seeded randomness.
+//!
+//! Every random draw in the workspace must trace back to the campaign
+//! seed: the simulated Internet, churn, probe scheduling and the scanners
+//! all thread explicit `ChaCha`-family RNGs constructed from configured
+//! seeds.  One `thread_rng()` (or any other OS-entropy source) anywhere in
+//! that chain and "same seed → same bytes" is gone — across runs *and*
+//! across the serial/sharded paths the parity tests compare.
+//!
+//! Flags `thread_rng`, `from_entropy`, `from_os_rng` and `OsRng`
+//! everywhere; there are no designated sites, because nothing in a
+//! deterministic reproduction legitimately wants ambient entropy.
+
+use super::{Rule, Violation};
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// The rule (see the module docs).
+pub struct DetRng;
+
+const NAME: &str = "det-rng";
+
+/// Identifiers that reach for OS entropy.
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+
+impl Rule for DetRng {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "thread_rng/from_entropy/from_os_rng/OsRng — randomness must be seed-threaded"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        file.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && ENTROPY_IDENTS.contains(&t.text.as_str()))
+            .map(|t| Violation {
+                file: file.rel_path.clone(),
+                line: t.line,
+                rule: NAME,
+                message: format!(
+                    "`{}` draws OS entropy — all randomness must be seed-threaded",
+                    t.text
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn flags_every_entropy_source() {
+        let file = SourceFile::parse(
+            "crates/netsim/src/x.rs",
+            "fn f() { let mut rng = rand::thread_rng();\n\
+             let a = ChaCha20Rng::from_entropy();\n\
+             let b = StdRng::from_os_rng();\n\
+             let c = OsRng; }",
+            &[NAME],
+        );
+        assert_eq!(DetRng.check(&file).len(), 4);
+    }
+
+    #[test]
+    fn seeded_rngs_are_fine() {
+        let file = SourceFile::parse(
+            "crates/netsim/src/x.rs",
+            "fn f(seed: u64) { let rng = ChaCha20Rng::seed_from_u64(seed); }",
+            &[NAME],
+        );
+        assert!(DetRng.check(&file).is_empty());
+    }
+}

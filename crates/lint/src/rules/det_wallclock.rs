@@ -1,0 +1,110 @@
+//! `det-wallclock`: real-clock reads outside the designated timing sites.
+//!
+//! The pipeline is simulated-time end to end (`SimTime`/`SimClock`), so the
+//! only legitimate wall-clock reads are the stage timers: the resolver's
+//! instrumentation (`crates/resolve/src/resolver.rs`) and the bench
+//! harness (`crates/bench/**`), whose measured milliseconds feed
+//! `BENCH_*.json` — never the rendered experiment output.  A wall-clock
+//! read anywhere else either leaks nondeterminism into results or is dead
+//! weight; both are bugs.
+//!
+//! Flags `Instant::now` and any mention of `SystemTime` outside the
+//! designated files.
+
+use super::{Rule, Violation};
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// The rule (see the module docs).
+pub struct DetWallclock;
+
+const NAME: &str = "det-wallclock";
+
+/// Files where wall-clock reads are the point: stage timing.
+const DESIGNATED: &[&str] = &["crates/resolve/src/resolver.rs"];
+
+/// Crate-wide designation: the bench harness measures wall-clock.
+const DESIGNATED_PREFIXES: &[&str] = &["crates/bench/"];
+
+impl Rule for DetWallclock {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "Instant::now/SystemTime outside the designated timing sites"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        if DESIGNATED.contains(&file.rel_path.as_str())
+            || DESIGNATED_PREFIXES
+                .iter()
+                .any(|p| file.rel_path.starts_with(p))
+        {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        for (i, token) in file.tokens.iter().enumerate() {
+            if token.kind != TokenKind::Ident {
+                continue;
+            }
+            if token.text == "SystemTime" {
+                violations.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: token.line,
+                    rule: NAME,
+                    message: "`SystemTime` read outside the designated timing sites".to_owned(),
+                });
+            } else if token.text == "Instant"
+                && file.tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && file.tokens.get(i + 2).is_some_and(|t| t.is_ident("now"))
+            {
+                violations.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: token.line,
+                    rule: NAME,
+                    message: "`Instant::now` outside the designated timing sites".to_owned(),
+                });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn flags_wallclock_reads_in_pipeline_code() {
+        let file = SourceFile::parse(
+            "crates/scan/src/zgrab.rs",
+            "fn f() { let t = std::time::Instant::now(); let s = SystemTime::now(); }",
+            &[NAME],
+        );
+        let violations = DetWallclock.check(&file);
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn designated_timing_sites_are_exempt() {
+        for path in [
+            "crates/resolve/src/resolver.rs",
+            "crates/bench/src/bin/run_all.rs",
+        ] {
+            let file = SourceFile::parse(path, "let t = std::time::Instant::now();", &[NAME]);
+            assert!(DetWallclock.check(&file).is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn bare_instant_type_is_fine() {
+        let file = SourceFile::parse(
+            "crates/scan/src/zgrab.rs",
+            "fn f(deadline: Instant) -> Instant { deadline }",
+            &[NAME],
+        );
+        assert!(DetWallclock.check(&file).is_empty());
+    }
+}

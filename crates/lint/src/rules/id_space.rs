@@ -1,0 +1,100 @@
+//! `id-space`: address-keyed containers on the hot path.
+//!
+//! PRs 4–5 moved the resolution pipeline onto dense interned ids
+//! (`AddrId`/`CompactAliasSet`/`ObservationStore` columns); materialised
+//! `BTreeSet<IpAddr>` and `IpAddr`-keyed maps are only supposed to exist
+//! at the report/rendering boundary.  The ROADMAP's "finish the id-space
+//! migration" item is exactly the remaining set of such containers in the
+//! pipeline crates — they are the memory cliff blocking the serving-layer
+//! and scale-sweep arcs.
+//!
+//! This rule *measures* that migration: every `BTreeSet<IpAddr>`,
+//! `HashSet<IpAddr>`, or `IpAddr`-keyed map inside `core`, `resolve`,
+//! `store` and `scan` is a violation.  Existing sites are ratcheted in
+//! `lint-baseline.json` — the count may only fall; new sites fail CI.
+
+use super::{Rule, Violation};
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// The rule (see the module docs).
+pub struct IdSpace;
+
+const NAME: &str = "id-space";
+
+/// The crates the migration applies to (directory names under `crates/`).
+const SCOPED_CRATES: &[&str] = &["core", "resolve", "store", "scan"];
+
+/// Container types that, parameterized by `IpAddr`, mark address-keyed
+/// hot-path state.
+const CONTAINERS: &[&str] = &["BTreeSet", "HashSet", "BTreeMap", "HashMap"];
+
+impl Rule for IdSpace {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "BTreeSet<IpAddr>/IpAddr-keyed maps in core/resolve/store/scan (ratcheted)"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        if !SCOPED_CRATES.contains(&file.crate_name.as_str()) {
+            return Vec::new();
+        }
+        let mut violations = Vec::new();
+        for window in file.tokens.windows(3) {
+            let [container, open, param] = window else {
+                continue;
+            };
+            if container.kind == TokenKind::Ident
+                && CONTAINERS.contains(&container.text.as_str())
+                && open.is_punct("<")
+                && param.is_ident("IpAddr")
+            {
+                violations.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: container.line,
+                    rule: NAME,
+                    message: format!(
+                        "`{}<IpAddr, …>` — hot-path state should stay in AddrId space",
+                        container.text
+                    ),
+                });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn flags_address_keyed_containers_in_scoped_crates() {
+        let file = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn f(sets: &[BTreeSet<IpAddr>], idx: HashMap<IpAddr, usize>) {}",
+            &[NAME],
+        );
+        assert_eq!(IdSpace.check(&file).len(), 2);
+    }
+
+    #[test]
+    fn other_crates_and_other_keys_are_out_of_scope() {
+        let out_of_scope = SourceFile::parse(
+            "crates/netsim/src/x.rs",
+            "fn f(sets: &BTreeSet<IpAddr>) {}",
+            &[NAME],
+        );
+        assert!(IdSpace.check(&out_of_scope).is_empty());
+        let id_keyed = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn f(sets: &BTreeSet<AddrId>, m: BTreeMap<u32, IpAddr>) {}",
+            &[NAME],
+        );
+        assert!(IdSpace.check(&id_keyed).is_empty());
+    }
+}

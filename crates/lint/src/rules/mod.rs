@@ -1,0 +1,48 @@
+//! The lint rules.
+//!
+//! Every rule is a [`Rule`] implementation that scans one tokenized
+//! [`SourceFile`] and reports [`Violation`]s.  Rules are registered in
+//! [`crate::registry`]; suppression (`lint:allow`) and baselining are
+//! handled by the driver, not the rules — a rule always reports everything
+//! it sees.
+
+pub mod crate_hygiene;
+pub mod det_hash_iter;
+pub mod det_rng;
+pub mod det_wallclock;
+pub mod id_space;
+
+use crate::source::SourceFile;
+
+/// One reported rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Name of the rule that fired.
+    pub rule: &'static str,
+    /// What was found, concretely.
+    pub message: String,
+}
+
+impl Violation {
+    /// The baseline key the violation counts against (`file::rule`).
+    pub fn key(&self) -> String {
+        format!("{}::{}", self.file, self.rule)
+    }
+}
+
+/// A lint rule: a named, documented scan over one source file.
+pub trait Rule {
+    /// The rule's name — what `lint:allow(...)` and the baseline refer to.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list` and the README table.
+    fn summary(&self) -> &'static str;
+
+    /// Scan `file`, reporting every violation (the driver applies
+    /// suppressions and the baseline afterwards).
+    fn check(&self, file: &SourceFile) -> Vec<Violation>;
+}

@@ -1,0 +1,261 @@
+//! Scanned source files and the explicit-suppression table.
+//!
+//! A [`SourceFile`] is one tokenized `.rs` file plus its parsed
+//! `lint:allow` comments.  Suppression is deliberately narrow and
+//! auditable:
+//!
+//! ```text
+//! // lint:allow(det-hash-iter): order-insensitive — result is sorted below
+//! ```
+//!
+//! A trailing allow suppresses its own line; a standalone allow comment
+//! suppresses its own line *and the next one* (the usual shape: the allow
+//! sits right above the flagged statement).  The reason after the colon is
+//! mandatory — an allow without one is itself a check failure, not a
+//! silent no-op — and the rule list must name real rules.
+
+use crate::tokenizer::{self, Comment, Token};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One tokenized source file, ready for rules to scan.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// The workspace crate directory the file belongs to (`core`,
+    /// `resolve`, …; the facade `src/` tree is crate `alias-resolution`).
+    pub crate_name: String,
+    /// The code tokens (comments and literals stripped/opaque).
+    pub tokens: Vec<Token>,
+    /// The comments, for suppression parsing.
+    pub comments: Vec<Comment>,
+    /// Lines covered by a `lint:allow` for each rule name.
+    pub allows: BTreeMap<String, BTreeSet<u32>>,
+    /// Malformed suppression comments (missing reason, unknown rule).
+    pub problems: Vec<String>,
+}
+
+impl SourceFile {
+    /// Tokenize `source` as `rel_path`, parsing suppression comments
+    /// against the known `rule_names`.
+    pub fn parse(rel_path: &str, source: &str, rule_names: &[&str]) -> SourceFile {
+        let (tokens, comments) = tokenizer::tokenize(source);
+        let crate_name = crate_of(rel_path);
+        let mut allows: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+        let mut problems = Vec::new();
+        for comment in &comments {
+            parse_allow(comment, rel_path, rule_names, &mut allows, &mut problems);
+        }
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            crate_name,
+            tokens,
+            comments,
+            allows,
+            problems,
+        }
+    }
+
+    /// Whether `rule` is suppressed on `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+/// The crate directory name a workspace-relative path belongs to.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_owned(),
+        _ => "alias-resolution".to_owned(),
+    }
+}
+
+/// Parse one comment for `lint:allow(rule, …): reason`, recording covered
+/// lines or a problem.
+fn parse_allow(
+    comment: &Comment,
+    rel_path: &str,
+    rule_names: &[&str],
+    allows: &mut BTreeMap<String, BTreeSet<u32>>,
+    problems: &mut Vec<String>,
+) {
+    // Suppressions live in plain comments only: doc comments (`///`,
+    // `//!`, `/**`, `/*!`) are rendered documentation and routinely
+    // *mention* the syntax without meaning it.
+    if comment.text.starts_with("///")
+        || comment.text.starts_with("//!")
+        || comment.text.starts_with("/**")
+        || comment.text.starts_with("/*!")
+    {
+        return;
+    }
+    let Some(start) = comment.text.find("lint:allow") else {
+        return;
+    };
+    let at = format!("{rel_path}:{}", comment.line);
+    let rest = &comment.text[start + "lint:allow".len()..];
+    let Some(open) = rest.find('(') else {
+        problems.push(format!("{at}: lint:allow is missing its (rule) list"));
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        problems.push(format!("{at}: lint:allow has an unterminated rule list"));
+        return;
+    };
+    let rules: Vec<&str> = rest[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        problems.push(format!("{at}: lint:allow names no rules"));
+        return;
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        problems.push(format!(
+            "{at}: lint:allow requires a reason — `lint:allow(rule): why it is sound`"
+        ));
+        return;
+    }
+    for rule in rules {
+        if !rule_names.contains(&rule) {
+            problems.push(format!("{at}: lint:allow names unknown rule {rule:?}"));
+            continue;
+        }
+        let lines = allows.entry(rule.to_owned()).or_default();
+        lines.insert(comment.line);
+        if comment.standalone {
+            lines.insert(comment.line + 1);
+        }
+    }
+}
+
+/// Collect every lintable source file under `root`: `crates/*/src/**/*.rs`
+/// plus the facade's `src/**/*.rs`, in sorted path order (the lint's own
+/// output must be as deterministic as the property it enforces).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "{} has no crates/ directory — not a workspace root",
+                root.display()
+            ),
+        ));
+    }
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        collect_rs(&member.join("src"), &mut files)?;
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collect `.rs` files under `dir` (missing dirs are fine).
+fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs(&entry, files)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            files.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with `/` separators.
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["det-hash-iter", "id-space"];
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let file = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn f() {\n    iterate(); // lint:allow(det-hash-iter): sorted below\n}\n",
+            RULES,
+        );
+        assert!(file.problems.is_empty());
+        assert!(file.is_allowed("det-hash-iter", 2));
+        assert!(!file.is_allowed("det-hash-iter", 3));
+        assert!(!file.is_allowed("id-space", 2));
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_next_line_too() {
+        let file = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// lint:allow(det-hash-iter, id-space): both fine here\niterate();\n",
+            RULES,
+        );
+        assert!(file.problems.is_empty());
+        assert!(file.is_allowed("det-hash-iter", 1));
+        assert!(file.is_allowed("det-hash-iter", 2));
+        assert!(file.is_allowed("id-space", 2));
+        assert!(!file.is_allowed("det-hash-iter", 3));
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_problems() {
+        let file = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// lint:allow(det-hash-iter)\n// lint:allow(no-such-rule): reason\n// lint:allow(): empty\n",
+            RULES,
+        );
+        assert_eq!(file.problems.len(), 3);
+        assert!(file.problems[0].contains("requires a reason"));
+        assert!(file.problems[1].contains("unknown rule"));
+        assert!(file.problems[2].contains("names no rules"));
+        assert!(!file.is_allowed("det-hash-iter", 1));
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_suppressions() {
+        let file = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "//! Mentioning lint:allow(rule): reason here is documentation.\n\
+             /// So is `// lint:allow(det-hash-iter)` in an item doc.\n\
+             /*! and in inner block docs */\n",
+            RULES,
+        );
+        assert!(file.problems.is_empty());
+        assert!(file.allows.is_empty());
+    }
+
+    #[test]
+    fn crate_names_come_from_the_path() {
+        assert_eq!(crate_of("crates/netsim/src/internet.rs"), "netsim");
+        assert_eq!(crate_of("src/lib.rs"), "alias-resolution");
+    }
+}

@@ -1,0 +1,425 @@
+//! A hand-rolled Rust tokenizer: just enough lexical structure for lints.
+//!
+//! The workspace is built offline, so pulling `syn` (and its proc-macro
+//! dependency tree) in for what is fundamentally a token-pattern scan would
+//! be disproportionate.  This tokenizer understands exactly the lexical
+//! features that matter for not mis-firing inside non-code text:
+//!
+//! * line and (nested) block comments — captured separately, because the
+//!   suppression syntax (`// lint:allow(rule): reason`) lives in them;
+//! * string literals in every flavour (`"…"`, `r#"…"#`, `b"…"`, `br"…"`,
+//!   `c"…"`), char literals, and lifetimes (so `'a` is not half a char);
+//! * identifiers (keywords are not distinguished — rules match on text)
+//!   and numeric literals;
+//! * punctuation, with the handful of multi-character operators that
+//!   matter for pattern matching (`::`, `->`, `=>`, comparison and
+//!   compound-assignment operators) merged into single tokens so `=` in a
+//!   pattern never accidentally matches half of `=>` or `==`.
+//!
+//! Everything is positioned by 1-based line number; rules report lines and
+//! the suppression table is keyed by them.
+
+/// What kind of lexical atom a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `for`, `_`).
+    Ident,
+    /// A punctuation token, possibly multi-character (`::`, `=>`, `<`).
+    Punct,
+    /// A string/char/numeric literal (contents are not interpreted).
+    Literal,
+    /// A lifetime (`'a`), including the leading quote.
+    Lifetime,
+}
+
+/// One token of the scanned source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text, exactly as written.
+    pub text: String,
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether the token is the identifier `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether the token is the punctuation `text`.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// One comment of the scanned source (`//…` without the newline, or
+/// `/*…*/` including delimiters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment text including its `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Whether no token precedes the comment on its starting line — a
+    /// standalone comment suppresses the *next* line, a trailing one its
+    /// own.
+    pub standalone: bool,
+}
+
+/// Multi-character punctuation merged into single tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "^=", "|=", "&=", "..",
+];
+
+/// Tokenize `source`, returning the code tokens and the comments.
+pub fn tokenize(source: &str) -> (Vec<Token>, Vec<Comment>) {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Line number of the last token pushed — used to classify comments as
+    // standalone vs trailing.
+    let mut last_token_line = 0u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: source[start..i].to_owned(),
+                    line,
+                    standalone: last_token_line != line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let standalone = last_token_line != line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: source[start..i].to_owned(),
+                    line: start_line,
+                    standalone,
+                });
+            }
+            b'"' => {
+                let (end, lines) = skip_string(bytes, i);
+                tokens.push(Token {
+                    text: String::from("\"…\""),
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                last_token_line = line;
+                line += lines;
+                i = end;
+            }
+            b'r' | b'b' | b'c' if is_raw_or_byte_string(bytes, i) => {
+                let (end, lines) = skip_prefixed_string(bytes, i);
+                tokens.push(Token {
+                    text: String::from("\"…\""),
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                last_token_line = line;
+                line += lines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                if let Some(end) = lifetime_end(bytes, i) {
+                    tokens.push(Token {
+                        text: source[i..end].to_owned(),
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                    last_token_line = line;
+                    i = end;
+                } else {
+                    let end = skip_char_literal(bytes, i);
+                    tokens.push(Token {
+                        text: String::from("'…'"),
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                    last_token_line = line;
+                    i = end;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    text: source[start..i].to_owned(),
+                    kind: TokenKind::Ident,
+                    line,
+                });
+                last_token_line = line;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i] == b'.' || bytes[i].is_ascii_alphanumeric())
+                {
+                    // `1..2` is a range, not part of the number.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    text: source[start..i].to_owned(),
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                last_token_line = line;
+            }
+            _ => {
+                let rest = &source[i..];
+                let first = rest.chars().next().expect("rest is non-empty");
+                let text = match MULTI_PUNCT.iter().find(|p| rest.starts_with(**p)) {
+                    Some(p) => &rest[..p.len()],
+                    None => &rest[..first.len_utf8()],
+                };
+                tokens.push(Token {
+                    text: text.to_owned(),
+                    kind: TokenKind::Punct,
+                    line,
+                });
+                last_token_line = line;
+                i += text.len();
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// Whether position `i` starts a raw/byte/C string literal (`r"`, `r#"`,
+/// `b"`, `br"`, `br#"`, `c"`, …) as opposed to a plain identifier.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (`br`, `cr`), then optional `#`s, then `"`.
+    let mut letters = 0;
+    while j < bytes.len() && matches!(bytes[j], b'r' | b'b' | b'c') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    letters > 0 && bytes.get(j) == Some(&b'"') && {
+        // `b'x'` (byte char) is handled by the char path; require a quote.
+        true
+    }
+}
+
+/// Skip a plain `"…"` string starting at `i`; returns (end index, newlines
+/// crossed).
+fn skip_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut lines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                lines += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, lines),
+            _ => j += 1,
+        }
+    }
+    (j, lines)
+}
+
+/// Skip a prefixed (`r`/`b`/`c`, optional `#`s) string starting at `i`.
+fn skip_prefixed_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    let mut raw = false;
+    while j < bytes.len() && matches!(bytes[j], b'r' | b'b' | b'c') {
+        raw |= bytes[j] == b'r';
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'));
+    j += 1;
+    let mut lines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' if !raw => j += 2,
+            b'\n' => {
+                lines += 1;
+                j += 1;
+            }
+            b'"' => {
+                let mut k = j + 1;
+                let mut closing = 0usize;
+                while closing < hashes && bytes.get(k) == Some(&b'#') {
+                    closing += 1;
+                    k += 1;
+                }
+                if closing == hashes {
+                    return (k, lines);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, lines)
+}
+
+/// If `'` at `i` starts a lifetime, return the index one past it.
+fn lifetime_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let first = *bytes.get(i + 1)?;
+    if first != b'_' && !first.is_ascii_alphabetic() {
+        return None;
+    }
+    let mut j = i + 2;
+    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    // `'a'` is a char literal, `'a` (no closing quote) a lifetime.
+    if bytes.get(j) == Some(&b'\'') {
+        None
+    } else {
+        Some(j)
+    }
+}
+
+/// Skip a char literal starting at the `'` at `i`.
+fn skip_char_literal(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            b'\n' => return j, // malformed; stop at the line end
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        tokenize(source)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let (tokens, comments) = tokenize("let x = 1; // trailing HashMap\n// standalone\nfoo();");
+        assert!(tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(comments.len(), 2);
+        assert!(!comments[0].standalone);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[1].standalone);
+        assert_eq!(comments[1].line, 2);
+        assert_eq!(tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_and_strings_hide_idents() {
+        let src = "/* outer /* HashMap */ still */ let s = \"HashMap\"; r#\"SystemTime\"#;";
+        assert_eq!(idents(src), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers_right() {
+        let src = "let s = \"a\nb\nc\";\nfoo();";
+        let (tokens, _) = tokenize(src);
+        assert_eq!(tokens.last().unwrap().line, 4);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (tokens, _) = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal && t.text == "'…'")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multi_char_puncts_are_merged() {
+        let (tokens, _) = tokenize("std::collections::HashMap; a => b; c -> d; e == f; 0..=9");
+        let puncts: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"=>"));
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"..="));
+        assert!(!puncts.contains(&"="));
+    }
+
+    #[test]
+    fn byte_and_raw_strings_are_single_literals() {
+        assert_eq!(
+            idents("b\"bytes\" br#\"raw HashSet\"# c\"cstr\""),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let (tokens, _) = tokenize("for i in 0..10 {}");
+        assert!(tokens.iter().any(|t| t.is_punct("..")));
+        assert!(tokens.iter().any(|t| t.text == "0"));
+        assert!(tokens.iter().any(|t| t.text == "10"));
+    }
+}

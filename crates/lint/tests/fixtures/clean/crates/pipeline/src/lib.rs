@@ -1,0 +1,32 @@
+//! Fixture: a clean pipeline crate — deterministic iteration, id-space
+//! containers, hygiene headers.  Zero violations expected; anything the
+//! lint flags here is a false positive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A dense id, the id-space way to key hot-path state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AddrId(pub u32);
+
+/// Id-keyed state: ordered container, ordered iteration, no IpAddr keys.
+pub fn merge(groups: &BTreeMap<AddrId, u32>) -> u32 {
+    let mut total = 0;
+    for (_id, weight) in groups {
+        total += weight;
+    }
+    total
+}
+
+/// Hash maps are fine as long as nothing iterates them: point lookups
+/// only.
+pub fn lookup(index: &HashMap<AddrId, u32>, id: AddrId) -> Option<u32> {
+    index.get(&id).copied()
+}
+
+/// Sorting into a `Vec` before iterating is the sanctioned escape.
+pub fn sorted_weights(index: &HashMap<AddrId, u32>, ids: &[AddrId]) -> Vec<u32> {
+    ids.iter().filter_map(|id| index.get(id).copied()).collect()
+}

@@ -1,0 +1,13 @@
+//! Fixture: a crate root missing both hygiene attributes (crate-hygiene
+//! flags each), holding `IpAddr`-keyed containers (id-space) in a scoped
+//! crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
+
+/// An alias set still in address space — the migration the id-space rule
+/// burns down.
+pub type AliasSet = BTreeSet<IpAddr>;
+
+/// An address-keyed index, same debt.
+pub type AddrIndex = BTreeMap<IpAddr, u32>;

@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads outside the designated timing sites.
+
+/// Wall-clock in a pipeline crate — det-wallclock flags both reads.
+pub fn stamp() -> (std::time::Instant, u64) {
+    let started = std::time::Instant::now();
+    let secs = std::time::SystemTime::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0);
+    (started, secs)
+}

@@ -1,0 +1,38 @@
+//! Fixture: the PR2 regression — a `HashMap` iterated while a shared RNG
+//! is consumed, the exact pattern that broke byte-identical output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Stand-in for the seeded RNG threaded through the pipeline.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}
+
+/// The PR2 shape: iteration order of `services` decides which entries the
+/// RNG stream mutates — different order, different bytes.
+pub fn apply_churn(services: &mut HashMap<u32, u32>, rng: &mut Rng) {
+    for (_id, state) in services.iter_mut() {
+        if rng.next_u64() % 10 == 0 {
+            *state += 1;
+        }
+    }
+}
+
+/// A second PR2-adjacent shape: draining a `HashSet` into an RNG-salted
+/// accumulator.
+pub fn drain_actives(actives: &mut std::collections::HashSet<u32>, rng: &mut Rng) -> u64 {
+    let mut acc = 0;
+    for id in actives.drain() {
+        acc ^= u64::from(id).rotate_left((rng.next_u64() % 64) as u32);
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+//! Fixture: id-space debt in `resolve`, one of them suppressed — the
+//! suppressed line must NOT be reported.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::IpAddr;
+
+/// Unsuppressed: counted by the id-space rule.
+pub type PendingSet = BTreeSet<IpAddr>;
+
+/// Suppressed: the render boundary legitimately works in address space.
+// lint:allow(id-space): render boundary — addresses are the output format
+pub type RenderIndex = HashMap<IpAddr, String>;

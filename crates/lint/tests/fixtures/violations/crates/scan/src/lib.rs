@@ -1,0 +1,17 @@
+//! Fixture: ambient entropy in a scanner — every det-rng entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Seeds a probe order from ambient entropy instead of the campaign seed.
+pub fn entropy_probe_order() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+/// Same debt through the `SeedableRng` escape hatches.
+pub fn entropy_seeded() -> u64 {
+    let a = rand_chacha::ChaCha8Rng::from_entropy().next_u64();
+    let b = rand_chacha::ChaCha8Rng::from_os_rng().next_u64();
+    a ^ b
+}

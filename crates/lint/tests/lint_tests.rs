@@ -1,0 +1,129 @@
+//! Integration tests: the lint against fixture workspaces with seeded
+//! violations (one per rule, including the PR2 regression shape), a clean
+//! fixture that must produce zero findings, and the baseline ratchet
+//! round trip.
+
+use alias_lint::{check_workspace, scan_workspace, Baseline};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn every_rule_catches_its_seeded_fixture_violation() {
+    let report = scan_workspace(&fixture("violations")).expect("fixture scans");
+    assert_eq!(report.problems, Vec::<String>::new());
+    let counts = report.counts();
+    let expected: BTreeMap<String, usize> = [
+        // The PR2 regression: HashMap iterated (and a HashSet drained)
+        // while a shared RNG is consumed.
+        ("crates/netsim/src/lib.rs::det-hash-iter", 2),
+        // Crate root missing both hygiene attributes.
+        ("crates/core/src/lib.rs::crate-hygiene", 2),
+        // IpAddr-keyed containers in scoped crates.
+        ("crates/core/src/lib.rs::id-space", 2),
+        ("crates/resolve/src/lib.rs::id-space", 1),
+        // Wall-clock reads outside the designated timing sites.
+        ("crates/core/src/timing.rs::det-wallclock", 2),
+        // Ambient entropy: thread_rng / from_entropy / from_os_rng.
+        ("crates/scan/src/lib.rs::det-rng", 3),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_owned(), v))
+    .collect();
+    assert_eq!(counts, expected);
+}
+
+#[test]
+fn reintroducing_the_pr2_pattern_in_netsim_fails_the_check() {
+    // The acceptance property: with an id-space-only baseline (like the
+    // committed one — det-hash-iter is never grandfathered), the netsim
+    // HashMap-under-RNG fixture is a *new* violation and the check fails.
+    let mut id_space_only = BTreeMap::new();
+    for (key, count) in scan_workspace(&fixture("violations"))
+        .expect("fixture scans")
+        .counts()
+    {
+        if key.ends_with("::id-space") {
+            id_space_only.insert(key, count);
+        }
+    }
+    let baseline = Baseline::from_counts(id_space_only);
+    let outcome = check_workspace(&fixture("violations"), &baseline).expect("fixture checks");
+    assert!(!outcome.is_clean());
+    assert!(outcome
+        .new_violations()
+        .iter()
+        .any(|v| { v.rule == "det-hash-iter" && v.file == "crates/netsim/src/lib.rs" }));
+}
+
+#[test]
+fn suppressed_violations_are_not_reported() {
+    // resolve/src/lib.rs holds two IpAddr-keyed containers; the render
+    // boundary one carries a lint:allow and must not be counted.
+    let report = scan_workspace(&fixture("violations")).expect("fixture scans");
+    let resolve_id_space: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.file == "crates/resolve/src/lib.rs" && v.rule == "id-space")
+        .collect();
+    assert_eq!(resolve_id_space.len(), 1);
+    assert!(resolve_id_space[0].message.contains("BTreeSet"));
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let report = scan_workspace(&fixture("clean")).expect("fixture scans");
+    assert_eq!(report.problems, Vec::<String>::new());
+    assert_eq!(
+        report.violations.len(),
+        0,
+        "false positives: {:?}",
+        report.violations
+    );
+    let outcome = check_workspace(&fixture("clean"), &Baseline::empty()).expect("fixture checks");
+    assert!(outcome.is_clean());
+    assert!(outcome.new_violations().is_empty());
+}
+
+#[test]
+fn baseline_ratchet_round_trips_and_only_falls() {
+    let root = fixture("violations");
+    let report = scan_workspace(&root).expect("fixture scans");
+    let baseline = Baseline::from_counts(report.counts());
+
+    // Store/load round trip through a real file (what --update-baseline
+    // writes is what --check reads).
+    let path = std::env::temp_dir().join("alias-lint-ratchet-roundtrip.json");
+    baseline.store(&path).expect("baseline stores");
+    let loaded = Baseline::load(&path).expect("baseline loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, baseline);
+
+    // Exactly-baselined: clean, nothing new, nothing shrunk.
+    let outcome = check_workspace(&root, &loaded).expect("checks");
+    assert!(outcome.is_clean());
+    assert!(outcome.new_violations().is_empty());
+    assert!(outcome.shrunk_keys().is_empty());
+
+    // Against an empty baseline every violation is new: the ratchet never
+    // grows silently.
+    let outcome = check_workspace(&root, &Baseline::empty()).expect("checks");
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.new_violations().len(), report.violations.len());
+
+    // A baseline above the live counts reports ratchet progress instead.
+    let mut inflated = loaded.entries().clone();
+    let key = "crates/core/src/lib.rs::id-space".to_owned();
+    *inflated.get_mut(&key).expect("key exists") += 3;
+    let outcome = check_workspace(&root, &Baseline::from_counts(inflated)).expect("checks");
+    assert!(outcome.is_clean());
+    let shrunk = outcome.shrunk_keys();
+    assert_eq!(shrunk.len(), 1);
+    assert_eq!(shrunk[0].key, key);
+    assert_eq!((shrunk[0].found, shrunk[0].baselined), (2, 5));
+}

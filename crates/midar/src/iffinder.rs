@@ -55,6 +55,7 @@ pub fn iffinder_scan(
     for (a, b) in &outcome.pairs {
         uf.union(index[a], index[b]);
     }
+    // lint:allow(det-hash-iter): building a reverse lookup map — insertion order is immaterial
     let reverse: HashMap<usize, IpAddr> = index.iter().map(|(a, i)| (*i, *a)).collect();
     outcome.alias_sets = uf
         .groups()

@@ -85,6 +85,7 @@ impl GroundTruth {
                 *per_device.entry(dev).or_insert(0) += 1;
             }
         }
+        // lint:allow(det-hash-iter): commutative sum of per-device pair counts
         for count in per_device.values() {
             true_pairs += count * (count - 1) / 2;
         }

@@ -423,6 +423,13 @@ mod tests {
                     serial.store(),
                     "seed={seed} threads={threads}"
                 );
+                // The absorbed store is structurally coherent, not just
+                // equal to the serial one.
+                assert_eq!(
+                    sharded.store().validate(),
+                    Ok(()),
+                    "seed={seed} threads={threads}"
+                );
                 assert_eq!(sharded.hitlist.addrs, serial.hitlist.addrs);
                 assert_eq!(sharded.finished_at, serial.finished_at);
                 assert_eq!(sharded.syn_probes_sent, serial.syn_probes_sent);

@@ -90,12 +90,13 @@ mod tests {
     #[test]
     fn coverage_controls_active_overlap() {
         let internet = internet();
-        let active: HashSet<Ipv6Addr> = internet.active_ipv6_service_addrs().into_iter().collect();
-        assert!(!active.is_empty());
+        let expected_active: HashSet<Ipv6Addr> =
+            internet.active_ipv6_service_addrs().into_iter().collect();
+        assert!(!expected_active.is_empty());
 
         let full = Ipv6Hitlist::generate(&internet, 1.0, 0.0, 9);
         let full_set: HashSet<Ipv6Addr> = full.addrs.iter().copied().collect();
-        assert_eq!(full_set, active);
+        assert_eq!(full_set, expected_active);
 
         let none = Ipv6Hitlist::generate(&internet, 0.0, 0.0, 9);
         assert!(none.is_empty());
@@ -107,13 +108,14 @@ mod tests {
     #[test]
     fn stale_entries_are_not_active_addresses() {
         let internet = internet();
-        let active: HashSet<Ipv6Addr> = internet.active_ipv6_service_addrs().into_iter().collect();
+        let expected_active: HashSet<Ipv6Addr> =
+            internet.active_ipv6_service_addrs().into_iter().collect();
         let with_stale = Ipv6Hitlist::generate(&internet, 1.0, 0.5, 4);
-        assert!(with_stale.len() > active.len());
+        assert!(with_stale.len() > expected_active.len());
         let stale_count = with_stale
             .addrs
             .iter()
-            .filter(|a| !active.contains(a))
+            .filter(|a| !expected_active.contains(a))
             .count();
         assert!(stale_count > 0);
     }

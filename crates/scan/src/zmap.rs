@@ -316,12 +316,12 @@ mod tests {
             ..Default::default()
         });
         let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
-        let found: HashSet<IpAddr> = results.on_port(22).iter().copied().collect();
+        let found_set: HashSet<IpAddr> = results.on_port(22).iter().copied().collect();
         assert_eq!(
-            found,
+            found_set,
             expected_ssh_addrs(&internet, VantageKind::Distributed)
         );
-        assert!(results.probes_sent > found.len() as u64);
+        assert!(results.probes_sent > found_set.len() as u64);
         assert!(results.finished_at > SimTime::ZERO);
     }
 

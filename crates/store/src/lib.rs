@@ -128,9 +128,13 @@ mod proptests {
                         shard.push(o.addr, o.port, o.source, o.timestamp, o.asn, o.payload.clone());
                     }
                     sharded.absorb_shard(shard);
+                    // Shard splicing must never let the columns drift — the
+                    // runtime twin of the parity assertion below.
+                    prop_assert_eq!(sharded.validate(), Ok(()));
                 }
                 prop_assert_eq!(&sharded, &serial);
             }
+            prop_assert_eq!(serial.validate(), Ok(()));
 
             // Materialisation restores the row vec byte for byte.
             prop_assert_eq!(serial.to_observations(), oracle.clone());

@@ -299,6 +299,54 @@ impl ObservationStore {
             .collect()
     }
 
+    /// Check the store's structural invariants: every column the same
+    /// length, the protocol tag column agreeing with the payload column
+    /// row-by-row, every address id inside the interner's dense range, and
+    /// the interner's own id ⇄ address bijection intact.
+    ///
+    /// The runtime twin of the static `det-hash-iter`/`id-space` lints:
+    /// those catch sources of nondeterminism in the text, this catches a
+    /// store whose columns have drifted apart at the point of use (the
+    /// parity proptests call it after `absorb_shard` splices).  Compiled
+    /// only under `debug_assertions` or the `validate` feature.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate(&self) -> Result<(), String> {
+        let rows = self.addrs.len();
+        let widths = [
+            ("protocols", self.protocols.len()),
+            ("sources", self.sources.len()),
+            ("ports", self.ports.len()),
+            ("timestamps", self.timestamps.len()),
+            ("asns", self.asns.len()),
+            ("payloads", self.payloads.len()),
+        ];
+        for (name, len) in widths {
+            if len != rows {
+                return Err(format!(
+                    "column drift: {name} has {len} rows but addrs has {rows}"
+                ));
+            }
+        }
+        for (row, (&tag, payload)) in self.protocols.iter().zip(&self.payloads).enumerate() {
+            if tag != ProtocolTag::from(payload.protocol()) {
+                return Err(format!(
+                    "tag/payload drift at row {row}: tag {tag:?} vs payload {:?}",
+                    payload.protocol()
+                ));
+            }
+        }
+        let ids = self.interner.len();
+        for (row, id) in self.addrs.iter().enumerate() {
+            if id.index() >= ids {
+                return Err(format!(
+                    "dangling address id at row {row}: id {} outside interner range 0..{ids}",
+                    id.0
+                ));
+            }
+        }
+        self.interner.validate()
+    }
+
     /// Number of distinct addresses observed with `protocol`.
     pub fn address_count(&self, protocol: ServiceProtocol) -> usize {
         let tag = ProtocolTag::from(protocol);
@@ -734,6 +782,48 @@ mod tests {
         );
         // 10.0.0.1 keeps the id it got from the left store.
         assert_eq!(union.addr_id("10.0.0.1".parse().unwrap()), Some(AddrId(1)));
+    }
+
+    #[test]
+    fn validate_accepts_empty_single_shard_and_grown_stores() {
+        assert_eq!(ObservationStore::new().validate(), Ok(()));
+        let rows = sample_rows();
+        let mut shard = ShardColumns::new();
+        for o in &rows {
+            shard.push(
+                o.addr,
+                o.port,
+                o.source,
+                o.timestamp,
+                o.asn,
+                o.payload.clone(),
+            );
+        }
+        let mut store = ObservationStore::new();
+        store.absorb_shard(shard);
+        assert_eq!(store.validate(), Ok(()));
+        let other = ObservationStore::from_observations(rows);
+        assert_eq!(other.validate(), Ok(()));
+        store.extend_from(&other);
+        assert_eq!(store.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_reports_column_and_tag_drift() {
+        let mut store = ObservationStore::from_observations(sample_rows());
+        store.ports.pop();
+        let err = store.validate().unwrap_err();
+        assert!(err.contains("column drift"), "{err}");
+
+        let mut store = ObservationStore::from_observations(sample_rows());
+        store.protocols[2] = ProtocolTag::Bgp;
+        let err = store.validate().unwrap_err();
+        assert!(err.contains("tag/payload drift at row 2"), "{err}");
+
+        let mut store = ObservationStore::from_observations(sample_rows());
+        store.addrs[0] = AddrId(u32::MAX);
+        let err = store.validate().unwrap_err();
+        assert!(err.contains("dangling address id at row 0"), "{err}");
     }
 
     #[test]

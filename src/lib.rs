@@ -52,6 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use alias_censys as censys;
 pub use alias_core as core;
