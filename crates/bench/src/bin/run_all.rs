@@ -19,8 +19,8 @@
 //!   `n` seconds of wall-clock (the CI perf gate).
 
 use alias_bench::{
-    median_run, render_document, scale_from_env, BenchReport, Experiment, StageTimings,
-    TechniqueTiming,
+    median_run, render_document_with_study, scale_from_env, BenchReport, Experiment,
+    RateLimitStudy, StageTimings, TechniqueTiming,
 };
 use alias_netsim::ScalePreset;
 
@@ -45,7 +45,7 @@ fn main() {
         } else {
             serial_doc
         };
-        let report = BenchReport::new("PR6", preset, seed, args.repeat, runs);
+        let report = BenchReport::new("PR7", preset, seed, args.repeat, runs);
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("could not write {path}: {err}");
             std::process::exit(1);
@@ -57,7 +57,8 @@ fn main() {
         doc
     } else {
         let experiment = Experiment::run_with_threads(preset, seed, threads);
-        render_document(&experiment, preset)
+        let study = RateLimitStudy::run(preset, seed, threads);
+        render_document_with_study(&experiment, preset, &study)
     };
 
     println!("{doc}");
@@ -79,6 +80,11 @@ fn main() {
 /// same document (and, when `reference` is given, that it matches the other
 /// thread count's output byte for byte).  Returns the rendered document and
 /// the median-collapsed run row.
+///
+/// Each repeat also runs the ICMP rate-limiting study (its own Internet, so
+/// it cannot disturb the main experiment's timings) and appends the new
+/// technique's `resolve_ms` to the run's technique rows — the
+/// `technique:ratelimit` entry in `BENCH_PR7.json`.
 fn measure(
     preset: ScalePreset,
     seed: u64,
@@ -90,8 +96,11 @@ fn measure(
     let mut doc: Option<String> = None;
     for rep in 1..=repeat {
         let (exp, timings) = Experiment::run_instrumented(preset, seed, threads);
-        let rendered = render_document(&exp, preset);
-        samples.push((timings, exp.resolution.technique_timings.clone()));
+        let study = RateLimitStudy::run(preset, seed, threads);
+        let rendered = render_document_with_study(&exp, preset, &study);
+        let mut technique_ms = exp.resolution.technique_timings.clone();
+        technique_ms.extend(study.ratelimit_timing());
+        samples.push((timings, technique_ms));
         match &doc {
             None => {
                 if let Some(reference) = reference {

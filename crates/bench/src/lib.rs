@@ -26,10 +26,12 @@ use alias_core::merge::{
 use alias_core::report::{format_count, format_pct, render_ecdf, TextTable};
 use alias_core::validation::{common_addresses, cross_validate, validate_against_midar};
 use alias_midar::{Midar, MidarConfig};
-use alias_netsim::{Internet, InternetBuilder, InternetConfig, ScalePreset, SimTime, VantageKind};
+use alias_netsim::{
+    DeviceKind, Internet, InternetBuilder, InternetConfig, ScalePreset, SimTime, VantageKind,
+};
 use alias_resolve::{ResolutionReport, Resolver};
 use alias_scan::campaign::CampaignConfig;
-use alias_scan::{DataSource, ObservationStore, ServiceProtocol};
+use alias_scan::{DataSource, ObservationStore, RateProbeConfig, ServiceProtocol};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
@@ -492,7 +494,7 @@ pub fn table4(exp: &Experiment) -> String {
             report
                 .sets
                 .iter()
-                .map(|s| s.ipv4.union(&s.ipv6).copied().collect())
+                .map(|s| s.ipv4.iter().chain(&s.ipv6).copied().collect())
                 .collect(),
         ));
     }
@@ -610,7 +612,13 @@ pub fn table6(exp: &Experiment) -> String {
             report
                 .sets
                 .iter()
-                .map(|s| s.ipv4.union(&s.ipv6).copied().collect::<BTreeSet<IpAddr>>())
+                .map(|s| {
+                    s.ipv4
+                        .iter()
+                        .chain(&s.ipv6)
+                        .copied()
+                        .collect::<BTreeSet<IpAddr>>()
+                })
                 .collect::<Vec<_>>(),
         ));
     }
@@ -780,7 +788,13 @@ pub fn figure6(exp: &Experiment) -> String {
             report
                 .sets
                 .iter()
-                .map(|s| s.ipv4.union(&s.ipv6).copied().collect::<BTreeSet<IpAddr>>())
+                .map(|s| {
+                    s.ipv4
+                        .iter()
+                        .chain(&s.ipv6)
+                        .copied()
+                        .collect::<BTreeSet<IpAddr>>()
+                })
                 .collect::<Vec<_>>(),
         ));
     }
@@ -963,6 +977,181 @@ pub fn render_document(exp: &Experiment, preset: ScalePreset) -> String {
         writeln!(doc, "```text\n{}```\n", text).unwrap();
     }
     doc
+}
+
+/// [`render_document`] plus the ICMP rate-limiting study as a final
+/// section — the form `run_all` writes to `EXPERIMENTS_MEASURED.md`.
+pub fn render_document_with_study(
+    exp: &Experiment,
+    preset: ScalePreset,
+    study: &RateLimitStudy,
+) -> String {
+    use std::fmt::Write as _;
+    let mut doc = render_document(exp, preset);
+    writeln!(doc, "## ICMP rate-limiting study\n").unwrap();
+    writeln!(doc, "```text\n{}```\n", study.render()).unwrap();
+    doc
+}
+
+/// The ICMP rate-limiting experiment (Vermeulen et al., PAM 2020, added as
+/// the eighth resolution technique): a population containing *silent*
+/// routers — no SSH, BGP or SNMP service, no usable IPID counter, no ICMP
+/// error source — that only the rate-limiting technique can alias.
+///
+/// The study runs on its own Internet (same preset and seed as the main
+/// experiment, plus a silent-router population the default presets leave at
+/// zero) so every headline table keeps its historical values; the campaign
+/// opts into the rate-probing phase and the resolver registers all eight
+/// techniques.
+pub struct RateLimitStudy {
+    /// The eight-technique resolution report over the silent-router
+    /// population.
+    pub report: ResolutionReport,
+    /// Silent routers in the ground truth.
+    pub silent_total: usize,
+    /// Silent routers with at least two IPv4 interfaces — the ones an
+    /// IPv4 alias set can prove anything about.
+    pub silent_resolvable: usize,
+    /// Resolvable silent routers whose IPv4 interfaces the rate-limiting
+    /// technique grouped into one alias set, completely.
+    pub silent_aliased: usize,
+    /// Merged sets carrying *only* the `ratelimit` label — aliases no
+    /// other technique corroborates.
+    pub ratelimit_only_sets: usize,
+}
+
+impl RateLimitStudy {
+    /// Silent routers added on top of a preset's default population.
+    fn silent_routers(preset: ScalePreset) -> usize {
+        match preset {
+            ScalePreset::Tiny => 12,
+            ScalePreset::Small => 60,
+            ScalePreset::PaperShape => 300,
+        }
+    }
+
+    /// Build the silent-router Internet, run the campaign with the
+    /// rate-probing phase, resolve with all eight techniques, and score
+    /// the result against ground truth.
+    pub fn run(preset: ScalePreset, seed: u64, threads: usize) -> Self {
+        let mut config = InternetConfig::preset(preset, seed);
+        config.devices.silent_routers = Self::silent_routers(preset);
+        let hitlist_coverage = config.visibility.hitlist_coverage;
+        let mut internet = InternetBuilder::new(config).build();
+        let start = SimTime::from_days(21);
+        internet.apply_churn(SimTime::ZERO, start);
+        let resolver = Resolver::builder()
+            .all_techniques()
+            .threads(threads)
+            .campaign(CampaignConfig {
+                vantage: VantageKind::SingleVp,
+                start,
+                hitlist_coverage,
+                seed,
+                threads,
+                rate_probe: Some(RateProbeConfig::default()),
+                ..Default::default()
+            })
+            .build();
+        let report = resolver.resolve(&internet);
+
+        let ratelimit_sets = report
+            .technique("ratelimit")
+            .map(|t| t.alias_sets())
+            .unwrap_or_default();
+        let mut silent_total = 0;
+        let mut silent_resolvable = 0;
+        let mut silent_aliased = 0;
+        for device in internet.devices() {
+            if device.kind != DeviceKind::SilentRouter {
+                continue;
+            }
+            silent_total += 1;
+            let v4: Vec<IpAddr> = device.ipv4_addrs().into_iter().map(IpAddr::V4).collect();
+            if v4.len() < 2 {
+                continue;
+            }
+            silent_resolvable += 1;
+            if ratelimit_sets
+                .iter()
+                .any(|s| v4.iter().all(|a| s.contains(a)))
+            {
+                silent_aliased += 1;
+            }
+        }
+        let ratelimit_only_sets = report
+            .merged
+            .iter()
+            .filter(|m| m.labels.len() == 1 && m.labels.contains("ratelimit"))
+            .count();
+        RateLimitStudy {
+            report,
+            silent_total,
+            silent_resolvable,
+            silent_aliased,
+            ratelimit_only_sets,
+        }
+    }
+
+    /// The `resolve_ms` row the bench trajectory records for the new
+    /// technique.
+    pub fn ratelimit_timing(&self) -> Option<TechniqueTiming> {
+        self.report
+            .technique_timings
+            .iter()
+            .find(|t| t.technique == "ratelimit")
+            .cloned()
+    }
+
+    /// Render the study: per-technique coverage, the agreement rows
+    /// involving the new technique, and the silent-router ground-truth
+    /// score only this technique can reach.  Wall-clock stays out of the
+    /// rendered text — the document must be byte-identical across thread
+    /// counts and repeats; timings go to the JSON trajectory instead.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(["Technique", "Alias sets", "Covered", "Testable"]);
+        for coverage in &self.report.coverage.per_technique {
+            table.row([
+                coverage.technique.clone(),
+                format_count(coverage.alias_sets),
+                format_count(coverage.covered_addresses),
+                format_count(coverage.testable_addresses),
+            ]);
+        }
+        let mut out = String::from("ICMP rate-limiting study (silent-router population)\n");
+        out.push_str(&table.render());
+
+        let mut agreement = TextTable::new(["Pair", "Sample", "Agree", "Disagree", "Agreement"]);
+        for row in &self.report.coverage.agreements {
+            if row.a != "ratelimit" && row.b != "ratelimit" {
+                continue;
+            }
+            agreement.row([
+                format!("{}-{}", row.a, row.b),
+                format_count(row.result.sample_size),
+                format_count(row.result.agree),
+                format_count(row.result.disagree),
+                format_pct(row.result.agreement_rate()),
+            ]);
+        }
+        out.push_str("\nAgreement with the other techniques:\n");
+        out.push_str(&agreement.render());
+
+        out.push_str(&format!(
+            "\nSilent routers: {} total, {} with 2+ IPv4 interfaces, {} fully aliased by \
+             rate-limiting ({}).\n",
+            format_count(self.silent_total),
+            format_count(self.silent_resolvable),
+            format_count(self.silent_aliased),
+            format_pct(self.silent_aliased as f64 / self.silent_resolvable.max(1) as f64),
+        ));
+        out.push_str(&format!(
+            "Merged sets corroborated only by rate-limiting: {} — ground truth no other \
+             technique sees.\n",
+            format_count(self.ratelimit_only_sets),
+        ));
+        out
+    }
 }
 
 /// One row of the bench trajectory: a full pipeline run at a thread count.
@@ -1294,6 +1483,34 @@ mod tests {
             exp.resolution.techniques.len()
         );
         assert!(!exp.resolution.merged.is_empty());
+    }
+
+    #[test]
+    fn rate_limit_study_scores_silent_routers() {
+        let study = RateLimitStudy::run(ScalePreset::Tiny, 7, 2);
+        assert_eq!(study.report.techniques.len(), 8);
+        assert!(study.silent_total >= 1);
+        assert!(study.silent_resolvable >= 1);
+        assert!(
+            study.silent_aliased >= 1,
+            "rate-limiting aliases at least one silent router"
+        );
+        assert!(
+            study.ratelimit_only_sets >= 1,
+            "some ground truth is visible to the new technique alone"
+        );
+        assert!(study.ratelimit_timing().is_some());
+        let section = study.render();
+        assert!(section.contains("ratelimit"));
+        assert!(section.contains("Silent routers:"));
+        // The rendered section is byte-identical across thread counts —
+        // it feeds the document `run_all` determinism-checks.
+        let serial = RateLimitStudy::run(ScalePreset::Tiny, 7, 1);
+        assert_eq!(serial.render(), section);
+        let exp = tiny_experiment();
+        let doc = render_document_with_study(&exp, ScalePreset::Tiny, &study);
+        assert!(doc.contains("## ICMP rate-limiting study"));
+        assert!(doc.starts_with(&render_document(&exp, ScalePreset::Tiny)));
     }
 
     #[test]

@@ -12,15 +12,17 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::net::IpAddr;
 
-/// One dual-stack set.
+/// One dual-stack set.  Members are sorted, distinct vectors rather than
+/// address sets — dual-stack sets are derived once and then only read, so
+/// they need ordered iteration, not membership tests.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DualStackSet {
     /// The shared identifier.
     pub identifier: ProtocolIdentifier,
-    /// IPv4 members.
-    pub ipv4: BTreeSet<IpAddr>,
-    /// IPv6 members.
-    pub ipv6: BTreeSet<IpAddr>,
+    /// IPv4 members, sorted and distinct.
+    pub ipv4: Vec<IpAddr>,
+    /// IPv6 members, sorted and distinct.
+    pub ipv6: Vec<IpAddr>,
 }
 
 impl DualStackSet {
@@ -60,10 +62,12 @@ impl DualStackReport {
                 if ipv4.is_empty() || ipv6.is_empty() {
                     None
                 } else {
+                    // BTreeSet iteration is ordered, so the vectors come
+                    // out sorted and distinct.
                     Some(DualStackSet {
                         identifier: set.identifier.clone(),
-                        ipv4,
-                        ipv6,
+                        ipv4: ipv4.into_iter().collect(),
+                        ipv6: ipv6.into_iter().collect(),
                     })
                 }
             })

@@ -65,6 +65,9 @@ impl IdentifierExtractor {
             ServicePayload::Snmpv3 { engine_id, .. } => Some(ProtocolIdentifier::Snmpv3(
                 Snmpv3Identifier::from_engine_id(engine_id),
             )),
+            // Rate-limiting loss counts are correlated, not extracted:
+            // the payload carries no device-wide identifier.
+            ServicePayload::RateLimit { .. } => None,
         }
     }
 }

@@ -13,6 +13,7 @@ use crate::ids::{Asn, DeviceId};
 use crate::internet::Internet;
 use crate::ipid::{IpidModel, IpidState};
 use crate::profiles::{bgp_profiles, pick_weighted, ssh_profiles, BgpProfileId, SshProfileId};
+use crate::ratelimit::IcmpRateLimit;
 use crate::topology::{AsKind, AutonomousSystem, PrefixAllocator};
 use alias_wire::snmp::EngineId;
 use alias_wire::ssh::{HostKey, HostKeyAlgorithm};
@@ -152,6 +153,11 @@ impl InternetBuilder {
         for _ in 0..config.devices.cpe_devices {
             ctx.gen_cpe();
         }
+        for _ in 0..config.devices.silent_routers {
+            ctx.gen_silent_router();
+        }
+
+        assign_icmp_limits(&config, &mut devices);
 
         Internet::from_parts(config, devices, ases, ssh_profile_table, bgp_profile_table)
     }
@@ -174,6 +180,7 @@ fn build_ases(config: &InternetConfig, rng: &mut ChaCha8Rng) -> (Vec<AutonomousS
     let d = &config.devices;
     let cloud_expected = d.cloud_vms + d.cloud_servers * 8;
     let isp_expected = (d.isp_routers as f64 * config.isp.router_ifaces_mean) as usize
+        + (d.silent_routers as f64 * config.isp.router_ifaces_mean) as usize
         + (d.border_routers as f64 * config.border.ifaces_mean) as usize
         + d.cpe_devices * 2;
     let enterprise_expected = d.enterprise_servers * 2;
@@ -457,6 +464,7 @@ impl GenContext<'_> {
             snmp: None,
             ipid: Mutex::new(ipid),
             responds_to_ping,
+            icmp_limit: IcmpRateLimit::UNLIMITED,
             icmp_error_source: None,
             visible_to_single_vp,
             censys_covered,
@@ -515,6 +523,7 @@ impl GenContext<'_> {
             snmp,
             ipid: Mutex::new(ipid),
             responds_to_ping,
+            icmp_limit: IcmpRateLimit::UNLIMITED,
             icmp_error_source: if common_source && !interfaces.is_empty() {
                 Some(0)
             } else {
@@ -560,6 +569,7 @@ impl GenContext<'_> {
             snmp: None,
             ipid: Mutex::new(ipid),
             responds_to_ping,
+            icmp_limit: IcmpRateLimit::UNLIMITED,
             icmp_error_source: None,
             visible_to_single_vp,
             censys_covered,
@@ -630,6 +640,7 @@ impl GenContext<'_> {
             snmp,
             ipid: Mutex::new(ipid),
             responds_to_ping,
+            icmp_limit: IcmpRateLimit::UNLIMITED,
             icmp_error_source: if common_source { Some(0) } else { None },
             visible_to_single_vp,
             censys_covered,
@@ -716,6 +727,7 @@ impl GenContext<'_> {
             snmp,
             ipid: Mutex::new(ipid),
             responds_to_ping,
+            icmp_limit: IcmpRateLimit::UNLIMITED,
             icmp_error_source: if common_source { Some(0) } else { None },
             visible_to_single_vp,
             censys_covered,
@@ -771,6 +783,7 @@ impl GenContext<'_> {
             snmp,
             ipid: Mutex::new(ipid),
             responds_to_ping,
+            icmp_limit: IcmpRateLimit::UNLIMITED,
             icmp_error_source: None,
             visible_to_single_vp,
             censys_covered,
@@ -778,6 +791,85 @@ impl GenContext<'_> {
             interfaces,
         };
         self.push_device(device);
+    }
+
+    /// An ISP router with every identifier service disabled: no SSH, BGP
+    /// or SNMP, a random IPID counter (defeats MIDAR/Ally/Speedtrap) and
+    /// ICMP errors sourced from the probed address (defeats iffinder).
+    /// It still answers ICMP echo, so only the router-wide rate limiter
+    /// can reveal which of its interfaces are aliases.
+    fn gen_silent_router(&mut self) {
+        let as_idx = self.pick_as(AsKind::Isp);
+        let isp = self.config.isp;
+        let v4_count = self.heavy_tail(2, isp.router_ifaces_mean, isp.router_ifaces_max);
+        let dual_stack = self.rng.gen_bool(isp.router_dual_stack_prob);
+        let v6_count = if dual_stack {
+            self.rng.gen_range(1..=isp.router_v6_max.max(1))
+        } else {
+            0
+        };
+        let mut interfaces = Vec::with_capacity(v4_count + v6_count);
+        for _ in 0..v4_count {
+            let (addr, asn) = self.alloc_v4(as_idx);
+            interfaces.push(Interface {
+                addr: IpAddr::V4(addr),
+                asn,
+            });
+        }
+        for _ in 0..v6_count {
+            let (addr, asn) = self.alloc_v6(as_idx);
+            interfaces.push(Interface {
+                addr: IpAddr::V6(addr),
+                asn,
+            });
+        }
+        let n = interfaces.len();
+        let ipid = IpidState::new(IpidModel::Random, n.max(1), self.rng.gen());
+        let (_, censys_covered) = self.visibility();
+        let device = Device {
+            id: self.next_id(),
+            kind: DeviceKind::SilentRouter,
+            ssh: None,
+            bgp: None,
+            snmp: None,
+            ipid: Mutex::new(ipid),
+            responds_to_ping: true,
+            icmp_limit: IcmpRateLimit::UNLIMITED,
+            icmp_error_source: None,
+            // Deterministically visible: the population exists to measure
+            // what *only* rate-limiting can resolve, so its reachability
+            // must not depend on the visibility roll.
+            visible_to_single_vp: true,
+            censys_covered,
+            dynamic_addresses: false,
+            interfaces,
+        };
+        self.push_device(device);
+    }
+}
+
+/// Seed salt for the limiter-assignment RNG stream (an arbitrary constant;
+/// any fixed value works, it only has to differ from the main stream).
+const ICMP_LIMIT_SEED_SALT: u64 = 0x1c3d_11a5_b0c4_e7f2;
+
+/// Post-pass assigning every device its router-wide ICMP rate limiter.  A
+/// dedicated RNG stream keeps the main generation stream untouched, so
+/// every population generated before the limiter existed stays
+/// byte-identical field-for-field.
+fn assign_icmp_limits(config: &InternetConfig, devices: &mut [Device]) {
+    let limits = &config.icmp_limits;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ ICMP_LIMIT_SEED_SALT);
+    for device in devices {
+        let (lo, hi) = match device.kind {
+            DeviceKind::IspRouter | DeviceKind::BorderRouter => limits.router_rate_range,
+            DeviceKind::SilentRouter => limits.silent_rate_range,
+            DeviceKind::CloudVm
+            | DeviceKind::CloudServer
+            | DeviceKind::EnterpriseServer
+            | DeviceKind::Cpe => limits.endpoint_rate_range,
+        };
+        let rate_pps = rng.gen_range(lo..=hi);
+        device.icmp_limit = IcmpRateLimit::new(rate_pps, limits.burst);
     }
 }
 
@@ -918,6 +1010,68 @@ mod tests {
         // Silent BGP speakers outnumber OPEN senders.
         assert!(stats.bgp_silent_closers > 0);
         assert!(stats.dual_stack_devices > 0);
+    }
+
+    #[test]
+    fn every_device_gets_a_class_appropriate_icmp_limit() {
+        let mut config = InternetConfig::tiny(17);
+        config.devices.silent_routers = 10;
+        let limits = config.icmp_limits;
+        let internet = InternetBuilder::new(config).build();
+        for device in internet.devices() {
+            let (lo, hi) = match device.kind {
+                DeviceKind::IspRouter | DeviceKind::BorderRouter => limits.router_rate_range,
+                DeviceKind::SilentRouter => limits.silent_rate_range,
+                _ => limits.endpoint_rate_range,
+            };
+            assert!(
+                (lo..=hi).contains(&device.icmp_limit.rate_pps),
+                "{:?}: rate {} outside [{lo}, {hi}]",
+                device.kind,
+                device.icmp_limit.rate_pps
+            );
+            assert_eq!(device.icmp_limit.burst, limits.burst);
+        }
+    }
+
+    #[test]
+    fn silent_routers_have_no_identifier_services() {
+        let mut config = InternetConfig::tiny(19);
+        config.devices.silent_routers = 25;
+        let internet = InternetBuilder::new(config).build();
+        let silent: Vec<_> = internet
+            .devices()
+            .iter()
+            .filter(|d| d.kind == DeviceKind::SilentRouter)
+            .collect();
+        assert_eq!(silent.len(), 25);
+        for device in &silent {
+            assert!(device.ssh.is_none());
+            assert!(device.bgp.is_none());
+            assert!(device.snmp.is_none());
+            assert!(device.responds_to_ping);
+            assert!(device.visible_to_single_vp);
+            assert!(device.icmp_error_source.is_none());
+            assert!(device.interfaces.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn silent_routers_do_not_perturb_the_existing_population() {
+        // Appending silent routers (and the limiter post-pass) must leave
+        // every previously generated device byte-identical: the seed-stable
+        // contract that keeps pre-existing campaigns reproducible.
+        let base = InternetBuilder::new(InternetConfig::tiny(23)).build();
+        let mut config = InternetConfig::tiny(23);
+        config.devices.silent_routers = 15;
+        let extended = InternetBuilder::new(config).build();
+        assert_eq!(extended.devices().len(), base.devices().len() + 15,);
+        for (a, b) in base.devices().iter().zip(extended.devices()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.interfaces, b.interfaces);
+            assert_eq!(a.responds_to_ping, b.responds_to_ping);
+            assert_eq!(a.icmp_limit, b.icmp_limit);
+        }
     }
 
     #[test]

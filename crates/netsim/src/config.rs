@@ -41,6 +41,11 @@ pub struct DeviceCounts {
     pub border_routers: usize,
     /// Customer-premises equipment (SNMPv3 / dropbear SSH singletons).
     pub cpe_devices: usize,
+    /// ISP routers with every identifier service disabled (no SSH, BGP or
+    /// SNMP; random IPID; per-probed-address ICMP errors) — the population
+    /// only the ICMP rate-limiting technique can alias.  Zero in every
+    /// preset so existing populations are unchanged; scenarios opt in.
+    pub silent_routers: usize,
 }
 
 /// Parameters for cloud-provider devices.
@@ -214,6 +219,33 @@ pub struct PingParams {
     pub common_source_prob: f64,
 }
 
+/// Router-wide ICMP rate-limiter parameters (Vermeulen et al., arXiv
+/// 2002.00252).  Every device polices ICMP replies with one token bucket
+/// shared by all its interfaces; the per-device sustained rate is drawn
+/// uniformly from the range matching the device class.
+///
+/// The ranges are chosen so escalating-rate probing (256 → 4096 pps, 24
+/// probes per round) fingerprints every router-class limiter while
+/// endpoint limiters never trip — keeping the technique's candidate set,
+/// and therefore its probing cost, to the router population, as in the
+/// paper.  Rates below ~90 pps would make independent same-signature
+/// devices lossy even at half the first escalation rate, breaking the
+/// joint-probe discrimination; keep `silent_rate_range.0` well above that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IcmpLimitParams {
+    /// Sustained-rate range (pps) for ISP and border routers.
+    pub router_rate_range: (f64, f64),
+    /// Sustained-rate range (pps) for endpoint-class devices (cloud VMs and
+    /// servers, enterprise servers, CPE) — high enough that probing never
+    /// trips it.
+    pub endpoint_rate_range: (f64, f64),
+    /// Sustained-rate range (pps) for silent routers.
+    pub silent_rate_range: (f64, f64),
+    /// Bucket capacity (replies answered back-to-back from a full bucket),
+    /// shared by every class.
+    pub burst: f64,
+}
+
 /// Named size presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScalePreset {
@@ -259,6 +291,8 @@ pub struct InternetConfig {
     pub churn: ChurnParams,
     /// ICMP behaviour.
     pub ping: PingParams,
+    /// Router-wide ICMP rate-limiter behaviour.
+    pub icmp_limits: IcmpLimitParams,
 }
 
 impl InternetConfig {
@@ -272,6 +306,7 @@ impl InternetConfig {
                 isp_routers: 40,
                 border_routers: 25,
                 cpe_devices: 100,
+                silent_routers: 0,
             },
             ScalePreset::Small => DeviceCounts {
                 cloud_vms: 2_500,
@@ -280,6 +315,7 @@ impl InternetConfig {
                 isp_routers: 250,
                 border_routers: 120,
                 cpe_devices: 2_500,
+                silent_routers: 0,
             },
             ScalePreset::PaperShape => DeviceCounts {
                 cloud_vms: 40_000,
@@ -288,6 +324,7 @@ impl InternetConfig {
                 isp_routers: 2_000,
                 border_routers: 900,
                 cpe_devices: 42_000,
+                silent_routers: 0,
             },
         };
         let as_counts = match preset {
@@ -376,6 +413,12 @@ impl InternetConfig {
                 server_prob: 0.6,
                 common_source_prob: 0.3,
             },
+            icmp_limits: IcmpLimitParams {
+                router_rate_range: (300.0, 2_500.0),
+                endpoint_rate_range: (8_000.0, 40_000.0),
+                silent_rate_range: (120.0, 1_000.0),
+                burst: 8.0,
+            },
         }
     }
 
@@ -403,6 +446,7 @@ impl InternetConfig {
             + d.isp_routers
             + d.border_routers
             + d.cpe_devices
+            + d.silent_routers
     }
 
     /// Sanity-check probability parameters; returns a list of offending
@@ -493,6 +537,27 @@ impl InternetConfig {
         if self.as_counts.cloud == 0 || self.as_counts.isp == 0 {
             bad.push("as_counts");
         }
+        for (name, (lo, hi)) in [
+            (
+                "icmp_limits.router_rate_range",
+                self.icmp_limits.router_rate_range,
+            ),
+            (
+                "icmp_limits.endpoint_rate_range",
+                self.icmp_limits.endpoint_rate_range,
+            ),
+            (
+                "icmp_limits.silent_rate_range",
+                self.icmp_limits.silent_rate_range,
+            ),
+        ] {
+            if !(lo > 0.0 && hi >= lo) {
+                bad.push(name);
+            }
+        }
+        if self.icmp_limits.burst < 1.0 {
+            bad.push("icmp_limits.burst");
+        }
         bad
     }
 }
@@ -534,6 +599,24 @@ mod tests {
         let bad = config.validate();
         assert!(bad.contains(&"acl.ssh_coverage"));
         assert!(bad.contains(&"isp.cpe_snmp_prob"));
+    }
+
+    #[test]
+    fn validation_catches_bad_icmp_limit_ranges() {
+        let mut config = InternetConfig::tiny(1);
+        config.icmp_limits.router_rate_range = (500.0, 100.0);
+        config.icmp_limits.burst = 0.5;
+        let bad = config.validate();
+        assert!(bad.contains(&"icmp_limits.router_rate_range"));
+        assert!(bad.contains(&"icmp_limits.burst"));
+    }
+
+    #[test]
+    fn silent_routers_count_into_the_total() {
+        let mut config = InternetConfig::tiny(1);
+        let base = config.total_devices();
+        config.devices.silent_routers = 12;
+        assert_eq!(config.total_devices(), base + 12);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::ids::{Asn, DeviceId};
 use crate::ipid::IpidState;
 use crate::profiles::{BgpProfileId, SshProfileId};
+use crate::ratelimit::IcmpRateLimit;
 use alias_wire::snmp::EngineId;
 use alias_wire::ssh::HostKey;
 use parking_lot::Mutex;
@@ -30,6 +31,10 @@ pub enum DeviceKind {
     Cpe,
     /// A server in an enterprise or hosting network.
     EnterpriseServer,
+    /// An ISP router with every identifier service disabled (no SSH, BGP
+    /// or SNMP) and a randomised IPID counter: only its router-wide ICMP
+    /// rate limiter betrays which interfaces share the device.
+    SilentRouter,
 }
 
 /// One interface: an address and the AS it is numbered from.
@@ -101,6 +106,11 @@ pub struct Device {
     pub ipid: Mutex<IpidState>,
     /// Whether the device answers ICMP echo probes.
     pub responds_to_ping: bool,
+    /// Router-wide ICMP rate limiter shared by every interface — the
+    /// signal the rate-limiting technique correlates.  Ordinary probe
+    /// paths ([`crate::Internet::icmp_echo`] and friends) never consult
+    /// it; only the dedicated rate bursts do.
+    pub icmp_limit: IcmpRateLimit,
     /// Index of the interface used as the source address of ICMP errors, or
     /// `None` if errors are sourced from the probed address (the behaviour
     /// that defeats the iffinder technique).
@@ -261,6 +271,7 @@ mod tests {
                 1,
             )),
             responds_to_ping: true,
+            icmp_limit: IcmpRateLimit::new(1_000.0, 8.0),
             icmp_error_source: Some(0),
             visible_to_single_vp: true,
             censys_covered: true,

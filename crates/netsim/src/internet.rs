@@ -38,15 +38,21 @@ pub enum ServiceProtocol {
     Bgp,
     /// SNMPv3 on UDP/161.
     Snmpv3,
+    /// ICMP rate-limit loss measurements — a pseudo-protocol: the probe is
+    /// plain ICMP echo (no port), and the "observation" is a per-round loss
+    /// count against the target's router-wide limiter rather than service
+    /// bytes.
+    IcmpRateLimit,
 }
 
 impl ServiceProtocol {
-    /// The protocol's default port.
+    /// The protocol's default port (0 for the portless ICMP pseudo-protocol).
     pub fn default_port(self) -> u16 {
         match self {
             ServiceProtocol::Ssh => SSH_PORT,
             ServiceProtocol::Bgp => BGP_PORT,
             ServiceProtocol::Snmpv3 => SNMP_PORT,
+            ServiceProtocol::IcmpRateLimit => 0,
         }
     }
 
@@ -56,6 +62,7 @@ impl ServiceProtocol {
             ServiceProtocol::Ssh => "ssh",
             ServiceProtocol::Bgp => "bgp",
             ServiceProtocol::Snmpv3 => "snmpv3",
+            ServiceProtocol::IcmpRateLimit => "ratelimit",
         }
     }
 }
@@ -350,6 +357,125 @@ impl Internet {
         })
     }
 
+    /// Whether `dst` answers ICMP echo at all from this vantage — the
+    /// stateless discovery check the rate prober sweeps with.  Unlike
+    /// [`icmp_echo`](Self::icmp_echo) it never advances the IPID counter,
+    /// so sweeping the routed space leaves the substrate untouched.
+    pub fn ping_responds(&self, dst: IpAddr, ctx: &ProbeContext) -> bool {
+        let Some((device_id, _)) = self.lookup(dst) else {
+            return false;
+        };
+        let device = self.device(device_id);
+        self.device_visible(device, ctx) && device.responds_to_ping
+    }
+
+    /// Probe `dst` (IPv4) with `count` evenly paced ICMP echo requests at
+    /// `rate_pps` and count the replies surviving the device's router-wide
+    /// rate limiter — the rate-limiting technique's measurement primitive.
+    ///
+    /// The limiter bucket starts full: the prober enforces an inter-burst
+    /// cool-down long enough to refill any configured limiter, which models
+    /// the steady state a real limiter returns to *and* makes the reply
+    /// count a pure function of (device, rate, count) — bursts against
+    /// different targets can run in any order on any number of shard
+    /// workers with byte-identical results.  The burst never touches the
+    /// IPID counter: rate-probing must not perturb the IPID time series
+    /// the other techniques sample.
+    pub fn icmp_rate_burst(
+        &self,
+        dst: IpAddr,
+        rate_pps: f64,
+        count: u32,
+        ctx: &ProbeContext,
+    ) -> Option<u32> {
+        if !dst.is_ipv4() {
+            return None;
+        }
+        self.rate_burst_any_family(dst, rate_pps, count, ctx)
+    }
+
+    /// IPv6 twin of [`icmp_rate_burst`](Self::icmp_rate_burst): echo bursts
+    /// against an IPv6 interface drain the same router-wide limiter.
+    pub fn ipv6_rate_burst(
+        &self,
+        dst: IpAddr,
+        rate_pps: f64,
+        count: u32,
+        ctx: &ProbeContext,
+    ) -> Option<u32> {
+        if !dst.is_ipv6() {
+            return None;
+        }
+        self.rate_burst_any_family(dst, rate_pps, count, ctx)
+    }
+
+    fn rate_burst_any_family(
+        &self,
+        dst: IpAddr,
+        rate_pps: f64,
+        count: u32,
+        ctx: &ProbeContext,
+    ) -> Option<u32> {
+        let (device_id, _) = self.lookup(dst)?;
+        let device = self.device(device_id);
+        if !self.device_visible(device, ctx) || !device.responds_to_ping {
+            return None;
+        }
+        Some(crate::ratelimit::solo_burst_replies(
+            device.icmp_limit,
+            rate_pps,
+            count,
+        ))
+    }
+
+    /// Probe `a` and `b` with interleaved echo requests (a, b, a, b, …) at
+    /// a combined `rate_pps`, `count_per_addr` probes each, and count the
+    /// per-address replies — the joint test that discriminates a shared
+    /// limiter from two independent ones.  Same device: every arrival
+    /// drains one bucket, so both addresses lose.  Different devices: each
+    /// limiter sees only its own half-rate stream, modelled as two solo
+    /// bursts at `rate_pps / 2`.  `None` if either address is unresponsive.
+    pub fn icmp_joint_rate_burst(
+        &self,
+        a: IpAddr,
+        b: IpAddr,
+        rate_pps: f64,
+        count_per_addr: u32,
+        ctx: &ProbeContext,
+    ) -> Option<(u32, u32)> {
+        let (device_a, _) = self.lookup(a)?;
+        let (device_b, _) = self.lookup(b)?;
+        let dev_a = self.device(device_a);
+        let dev_b = self.device(device_b);
+        if !self.device_visible(dev_a, ctx)
+            || !dev_a.responds_to_ping
+            || !self.device_visible(dev_b, ctx)
+            || !dev_b.responds_to_ping
+        {
+            return None;
+        }
+        if device_a == device_b {
+            Some(crate::ratelimit::joint_burst_replies_shared(
+                dev_a.icmp_limit,
+                rate_pps,
+                count_per_addr,
+            ))
+        } else {
+            Some((
+                crate::ratelimit::solo_burst_replies(
+                    dev_a.icmp_limit,
+                    rate_pps / 2.0,
+                    count_per_addr,
+                ),
+                crate::ratelimit::solo_burst_replies(
+                    dev_b.icmp_limit,
+                    rate_pps / 2.0,
+                    count_per_addr,
+                ),
+            ))
+        }
+    }
+
     /// Send a UDP datagram to a closed port on `dst` and observe the source
     /// address of the resulting ICMP port-unreachable (the iffinder /
     /// common-source-address technique).  `None` means no error was returned.
@@ -446,6 +572,7 @@ impl Internet {
                 DeviceKind::BorderRouter => stats.border_routers += 1,
                 DeviceKind::Cpe => stats.cpe_devices += 1,
                 DeviceKind::EnterpriseServer => stats.enterprise_servers += 1,
+                DeviceKind::SilentRouter => stats.silent_routers += 1,
             }
             if device.is_dual_stack() {
                 stats.dual_stack_devices += 1;
@@ -483,6 +610,8 @@ pub struct PopulationStats {
     pub cpe_devices: usize,
     /// Enterprise servers.
     pub enterprise_servers: usize,
+    /// Silent routers (no identifier services at all).
+    pub silent_routers: usize,
     /// Devices with both IPv4 and IPv6 interfaces.
     pub dual_stack_devices: usize,
     /// Interface addresses answering SSH.
@@ -698,6 +827,76 @@ mod tests {
     }
 
     #[test]
+    fn rate_bursts_are_gated_and_family_routed() {
+        let mut config = InternetConfig::tiny(13);
+        config.devices.silent_routers = 10;
+        let internet = InternetBuilder::new(config).build();
+        let ctx = ProbeContext::distributed(SimTime::from_secs(1));
+        let silent = internet
+            .devices()
+            .iter()
+            .find(|d| d.kind == DeviceKind::SilentRouter)
+            .unwrap();
+        let v4 = IpAddr::V4(silent.ipv4_addrs()[0]);
+        assert!(internet.ping_responds(v4, &ctx));
+        // Family routing mirrors icmp_echo / ipv6_fragment_probe.
+        assert!(internet.ipv6_rate_burst(v4, 256.0, 24, &ctx).is_none());
+        let below = internet.icmp_rate_burst(v4, 50.0, 24, &ctx).unwrap();
+        assert_eq!(below, 24, "a 50 pps burst never trips a silent limiter");
+        let above = internet
+            .icmp_rate_burst(v4, silent.icmp_limit.rate_pps * 4.0, 24, &ctx)
+            .unwrap();
+        assert!(above < 24, "4x the limiter rate must lose probes");
+        // Holes in the address space are unresponsive.
+        let hole: IpAddr = "250.250.250.250".parse().unwrap();
+        assert!(!internet.ping_responds(hole, &ctx));
+        assert!(internet.icmp_rate_burst(hole, 256.0, 24, &ctx).is_none());
+    }
+
+    #[test]
+    fn joint_burst_separates_shared_from_independent_limiters() {
+        let mut config = InternetConfig::tiny(29);
+        config.devices.silent_routers = 10;
+        let internet = InternetBuilder::new(config).build();
+        let ctx = ProbeContext::distributed(SimTime::from_secs(1));
+        let silents: Vec<_> = internet
+            .devices()
+            .iter()
+            .filter(|d| d.kind == DeviceKind::SilentRouter && d.ipv4_addrs().len() >= 2)
+            .collect();
+        assert!(silents.len() >= 2);
+        let dev = silents[0];
+        let a = IpAddr::V4(dev.ipv4_addrs()[0]);
+        let b = IpAddr::V4(dev.ipv4_addrs()[1]);
+        // Find the lowest escalation rate that trips the limiter solo.
+        let rate = [256.0, 512.0, 1024.0, 2048.0, 4096.0f64]
+            .into_iter()
+            .find(|&r| internet.icmp_rate_burst(a, r, 24, &ctx).unwrap() < 24)
+            .expect("silent limiters trip within the escalation ladder");
+        // Same device: the shared bucket makes joint probing lossy at a
+        // combined rate whose halves are individually loss-free.
+        let (ja, jb) = internet
+            .icmp_joint_rate_burst(a, b, rate, 24, &ctx)
+            .unwrap();
+        assert!(ja + jb < 48, "shared limiter: joint loss at {rate} pps");
+        // Different devices: each limiter sees only its own half-rate
+        // stream — exactly two solo bursts at rate / 2.  The probed address
+        // itself is loss-free there (it lost nothing below `rate`).
+        let other = IpAddr::V4(silents[1].ipv4_addrs()[0]);
+        let (ia, ib) = internet
+            .icmp_joint_rate_burst(a, other, rate, 24, &ctx)
+            .unwrap();
+        assert_eq!(ia, 24, "half of the first lossy rate is loss-free");
+        assert_eq!(
+            ib,
+            internet
+                .icmp_rate_burst(other, rate / 2.0, 24, &ctx)
+                .unwrap(),
+            "cross-device joint probing is two independent half-rate streams"
+        );
+    }
+
+    #[test]
     fn ground_truth_covers_every_interface() {
         let internet = tiny_internet();
         let gt = internet.ground_truth();
@@ -722,6 +921,7 @@ mod tests {
                 + stats.border_routers
                 + stats.cpe_devices
                 + stats.enterprise_servers
+                + stats.silent_routers
         );
         assert!(stats.ssh_responding_addrs > 0);
         assert!(stats.snmp_responding_addrs > 0);

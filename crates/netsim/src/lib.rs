@@ -41,6 +41,7 @@ pub mod ids;
 pub mod internet;
 pub mod ipid;
 pub mod profiles;
+pub mod ratelimit;
 pub mod services;
 pub mod topology;
 pub mod vantage;
@@ -52,4 +53,7 @@ pub use device::{Device, DeviceKind, Interface};
 pub use ground_truth::GroundTruth;
 pub use ids::{Asn, DeviceId};
 pub use internet::{Internet, ProbeContext, ServiceProtocol, SynResult};
+pub use ratelimit::{
+    joint_burst_replies_shared, solo_burst_replies, IcmpRateLimit, IcmpTokenBucket,
+};
 pub use vantage::VantageKind;

@@ -1,0 +1,207 @@
+//! Router-wide ICMP rate limiting: the receiver-side signal behind the
+//! rate-limiting alias technique (Vermeulen et al., "Alias Resolution
+//! Based on ICMP Rate Limiting", arXiv 2002.00252).
+//!
+//! Real routers police ICMP with **one token bucket per device**, not per
+//! interface.  Probing any one interface drains the same bucket that every
+//! sibling interface answers from — so two addresses whose loss patterns
+//! are correlated under *joint* probing share a device, even when the
+//! device exposes no SSH/BGP/SNMP identifier at all.
+//!
+//! [`IcmpTokenBucket`] mirrors the sender-side `TokenBucket` in
+//! `alias-scan` (`scan/rate.rs`): same rate/capacity parameters, same
+//! fractional-millisecond accounting — but it decides whether an
+//! *arriving* probe is answered instead of when a departing probe may be
+//! sent.  A burst is evaluated against a bucket that starts **full**: the
+//! prober enforces an inter-burst cool-down long enough to refill any
+//! limiter, which both models the steady state a real limiter returns to
+//! and makes every reply count a pure function of (limiter, rate, count) —
+//! bursts against different targets can run in any order on any number of
+//! shard workers with byte-identical results.
+
+/// A device's router-wide ICMP rate-limiter parameters.  Plain data (no
+/// interior mutability): burst evaluation builds its own transient
+/// [`IcmpTokenBucket`], so concurrent probes of different targets never
+/// contend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcmpRateLimit {
+    /// Sustained reply rate in packets per second.
+    pub rate_pps: f64,
+    /// Bucket capacity: replies answered back-to-back from a full bucket.
+    pub burst: f64,
+}
+
+impl IcmpRateLimit {
+    /// A limiter with the given sustained rate and burst capacity.
+    pub const fn new(rate_pps: f64, burst: f64) -> Self {
+        IcmpRateLimit { rate_pps, burst }
+    }
+
+    /// A limiter no realistic probing rate can trip — the builder's
+    /// placeholder before the limiter-assignment pass runs.
+    pub const UNLIMITED: IcmpRateLimit = IcmpRateLimit {
+        rate_pps: 1e12,
+        burst: 1e6,
+    };
+}
+
+/// Receiver-side token bucket: the mirror of `alias-scan`'s sender-side
+/// `TokenBucket`, with the same fractional-millisecond refill arithmetic.
+#[derive(Debug, Clone)]
+pub struct IcmpTokenBucket {
+    rate_pps: f64,
+    capacity: f64,
+    tokens: f64,
+    last_ms: f64,
+}
+
+impl IcmpTokenBucket {
+    /// A bucket with `limit`'s parameters, full at time zero.
+    pub fn full(limit: IcmpRateLimit) -> Self {
+        assert!(limit.rate_pps > 0.0, "limiter rate must be positive");
+        let capacity = limit.burst.max(1.0);
+        IcmpTokenBucket {
+            rate_pps: limit.rate_pps,
+            capacity,
+            tokens: capacity,
+            last_ms: 0.0,
+        }
+    }
+
+    /// Whether a probe arriving `at_ms` milliseconds into the burst is
+    /// answered.  Refills for the elapsed time first; out-of-order arrival
+    /// times are clamped forward like the sender bucket's `acquire`.
+    pub fn allow(&mut self, at_ms: f64) -> bool {
+        let at_ms = at_ms.max(self.last_ms);
+        let elapsed_secs = (at_ms - self.last_ms) / 1000.0;
+        self.tokens = (self.tokens + elapsed_secs * self.rate_pps).min(self.capacity);
+        self.last_ms = at_ms;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Replies to a burst of `count` evenly paced probes at `rate_pps` against
+/// a limiter starting from a full bucket.
+pub fn solo_burst_replies(limit: IcmpRateLimit, rate_pps: f64, count: u32) -> u32 {
+    assert!(rate_pps > 0.0, "probing rate must be positive");
+    let gap_ms = 1000.0 / rate_pps;
+    let mut bucket = IcmpTokenBucket::full(limit);
+    (0..count)
+        .filter(|&i| bucket.allow(i as f64 * gap_ms))
+        .count() as u32
+}
+
+/// Per-address replies when two interfaces of the **same** device are
+/// probed alternately (a, b, a, b, …) at a combined `rate_pps`: every
+/// arrival drains the one shared bucket, so each address sees the other's
+/// traffic in its own loss.  Even arrival slots belong to the first
+/// address, odd slots to the second.
+pub fn joint_burst_replies_shared(
+    limit: IcmpRateLimit,
+    rate_pps: f64,
+    count_per_addr: u32,
+) -> (u32, u32) {
+    assert!(rate_pps > 0.0, "probing rate must be positive");
+    let gap_ms = 1000.0 / rate_pps;
+    let mut bucket = IcmpTokenBucket::full(limit);
+    let mut replies = (0u32, 0u32);
+    for i in 0..count_per_addr * 2 {
+        if bucket.allow(i as f64 * gap_ms) {
+            if i % 2 == 0 {
+                replies.0 += 1;
+            } else {
+                replies.1 += 1;
+            }
+        }
+    }
+    replies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bucket_answers_the_burst_then_paces() {
+        // Capacity 4, 100 pps, probes every 5 ms (200 pps): the burst plus
+        // the half-token-per-gap refill carry the first seven probes, then
+        // only every other probe finds a full token accumulated.
+        let limit = IcmpRateLimit::new(100.0, 4.0);
+        let mut bucket = IcmpTokenBucket::full(limit);
+        let verdicts: Vec<bool> = (0..10).map(|i| bucket.allow(i as f64 * 5.0)).collect();
+        assert_eq!(
+            verdicts,
+            [true, true, true, true, true, true, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn below_limit_bursts_lose_nothing() {
+        let limit = IcmpRateLimit::new(500.0, 8.0);
+        for rate in [50.0, 100.0, 400.0] {
+            assert_eq!(solo_burst_replies(limit, rate, 24), 24, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn above_limit_bursts_lose_and_losses_grow_with_rate() {
+        let limit = IcmpRateLimit::new(500.0, 8.0);
+        let mut last = u32::MAX;
+        for rate in [1000.0, 2000.0, 4000.0, 8000.0] {
+            let replies = solo_burst_replies(limit, rate, 24);
+            assert!(replies < 24, "rate {rate} should trip the limiter");
+            assert!(replies <= last, "replies are monotone in the rate");
+            last = replies;
+        }
+        // Analytic check: replies ≈ burst + sustained refill over the burst
+        // duration (23 gaps at 1 ms each → 8 + 0.5 × 23 = 19.5 → the
+        // half-token remainder rounds down).
+        assert_eq!(solo_burst_replies(limit, 1000.0, 24), 19);
+    }
+
+    #[test]
+    fn no_loss_at_a_rate_implies_no_loss_at_lower_rates() {
+        // The prober's early-skip relies on monotonicity: a clean burst at
+        // the top rate proves every lower rate is clean too.
+        for limiter_rate in [120.0, 333.0, 999.0, 2500.0, 8000.0] {
+            let limit = IcmpRateLimit::new(limiter_rate, 8.0);
+            let mut seen_clean = false;
+            for rate in [4096.0, 2048.0, 1024.0, 512.0, 256.0] {
+                let clean = solo_burst_replies(limit, rate, 24) == 24;
+                assert!(
+                    !seen_clean || clean,
+                    "limiter {limiter_rate}: lossy burst at {rate} below a clean rate"
+                );
+                seen_clean |= clean;
+            }
+        }
+    }
+
+    #[test]
+    fn joint_probing_of_a_shared_bucket_shows_correlated_loss() {
+        let limit = IcmpRateLimit::new(500.0, 8.0);
+        // Solo at 512 pps: no loss (needs ~23 ms for 24 probes; the bucket
+        // plus refill cover it).
+        assert_eq!(solo_burst_replies(limit, 512.0, 24), 24);
+        // Jointly probing two addresses of the same device at a combined
+        // 1024 pps (512 pps each) drains the shared bucket: both lose.
+        let (a, b) = joint_burst_replies_shared(limit, 1024.0, 24);
+        assert!(a + b < 48, "the shared bucket drops joint traffic");
+        // Two *independent* devices each see only their own 512 pps —
+        // modelled as a solo burst per device — and lose nothing.
+        assert_eq!(solo_burst_replies(limit, 512.0, 24) * 2, 48);
+    }
+
+    #[test]
+    fn unlimited_placeholder_never_trips() {
+        assert_eq!(
+            solo_burst_replies(IcmpRateLimit::UNLIMITED, 1e6, 1000),
+            1000
+        );
+    }
+}

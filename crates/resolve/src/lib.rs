@@ -5,13 +5,14 @@
 //!
 //! The paper's core claim is that *combining* techniques — application-layer
 //! identifiers (SSH, BGP, SNMPv3) on top of the classic IPID/ICMP baselines
-//! (MIDAR, Ally, Speedtrap, iffinder) — pushes coverage far beyond any
-//! single method.  This crate makes that composition a first-class API:
+//! (MIDAR, Ally, Speedtrap, iffinder) and the ICMP rate-limiting technique
+//! ([`RateLimitTechnique`]) — pushes coverage far beyond any single method.
+//! This crate makes that composition a first-class API:
 //!
 //! * [`ResolutionTechnique`] — the trait every technique implements
 //!   ([`name`](ResolutionTechnique::name),
 //!   [`required_sources`](ResolutionTechnique::required_sources),
-//!   [`resolve`](ResolutionTechnique::resolve)), so all seven techniques
+//!   [`resolve`](ResolutionTechnique::resolve)), so all eight techniques
 //!   are interchangeable trait objects;
 //! * [`Resolver`] — a builder-style orchestrator
 //!   (`Resolver::builder().technique(…).threads(n).merge_policy(…)`)
@@ -47,6 +48,7 @@
 
 mod baselines;
 mod identifier;
+mod ratelimit;
 mod report;
 mod resolver;
 mod technique;
@@ -55,6 +57,7 @@ pub use baselines::{
     true_pair_fraction, AllyTechnique, IffinderTechnique, MidarTechnique, SpeedtrapTechnique,
 };
 pub use identifier::IdentifierTechnique;
+pub use ratelimit::RateLimitTechnique;
 pub use report::{
     CoverageStats, ResolutionReport, StageTimings, TechniqueAgreement, TechniqueCoverage,
     TechniqueTiming,

@@ -52,6 +52,44 @@ impl ResolverBuilder {
     }
 
     /// Register a technique (resolution order follows registration order).
+    ///
+    /// Any [`ResolutionTechnique`] implementation plugs in here — the
+    /// built-ins and your own.  The worked example below wires up the
+    /// ICMP rate-limiting technique end to end: a population with silent
+    /// routers, a campaign that runs the escalating-rate probe phase, and
+    /// a resolver combining the paper's identifier techniques with
+    /// [`RateLimitTechnique`](crate::RateLimitTechnique):
+    ///
+    /// ```
+    /// use alias_netsim::{InternetBuilder, InternetConfig};
+    /// use alias_resolve::{RateLimitTechnique, Resolver};
+    /// use alias_scan::campaign::CampaignConfig;
+    /// use alias_scan::RateProbeConfig;
+    ///
+    /// // A population containing routers with every identifier service
+    /// // disabled — only their ICMP rate limiter gives them away.
+    /// let mut config = InternetConfig::tiny(7);
+    /// config.devices.silent_routers = 6;
+    /// let internet = InternetBuilder::new(config).build();
+    ///
+    /// // The campaign must opt in to the rate-probe phase; without it
+    /// // the technique has no observations to correlate.
+    /// let campaign = CampaignConfig {
+    ///     rate_probe: Some(RateProbeConfig::default()),
+    ///     ..Default::default()
+    /// };
+    ///
+    /// let report = Resolver::builder()
+    ///     .paper_techniques()
+    ///     .technique(RateLimitTechnique::new())
+    ///     .campaign(campaign)
+    ///     .threads(2)
+    ///     .build()
+    ///     .resolve(&internet);
+    ///
+    /// let ratelimit = report.technique("ratelimit").expect("registered");
+    /// assert!(ratelimit.set_count() > 0);
+    /// ```
     pub fn technique<T: ResolutionTechnique + 'static>(mut self, technique: T) -> Self {
         self.techniques.push(Box::new(technique));
         self
@@ -68,6 +106,20 @@ impl ResolverBuilder {
         self.technique(crate::IdentifierTechnique::ssh())
             .technique(crate::IdentifierTechnique::bgp())
             .technique(crate::IdentifierTechnique::snmpv3())
+    }
+
+    /// Register every technique in the workspace: the paper's three
+    /// identifier techniques, the four classic baselines and the ICMP
+    /// rate-limiting technique — eight in all.  Remember that the
+    /// rate-limiting technique only produces results when the campaign
+    /// ran the rate-probe phase ([`CampaignConfig::rate_probe`]).
+    pub fn all_techniques(self) -> Self {
+        self.paper_techniques()
+            .technique(crate::MidarTechnique::new())
+            .technique(crate::AllyTechnique::new())
+            .technique(crate::SpeedtrapTechnique::new())
+            .technique(crate::IffinderTechnique::new())
+            .technique(crate::RateLimitTechnique::new())
     }
 
     /// Worker threads for the scan, fan-out and merge stages (default: the
@@ -419,6 +471,110 @@ mod tests {
             .map(|t| t.technique.as_str())
             .collect();
         assert_eq!(timing_names, names);
+    }
+
+    #[test]
+    fn eight_technique_report_shows_silent_routers_only_under_ratelimit() {
+        // The tentpole acceptance scenario, at the report level: with
+        // silent routers in the population and the rate-probe phase
+        // enabled, the full eight-technique resolver reports alias sets
+        // over silent-router addresses — and the rate-limiting technique
+        // is the only one whose sets touch them.
+        use alias_netsim::DeviceKind;
+        use alias_scan::RateProbeConfig;
+        use std::net::IpAddr;
+
+        let mut config = InternetConfig::tiny(46);
+        config.devices.silent_routers = 8;
+        let internet = InternetBuilder::new(config).build();
+        let report = Resolver::builder()
+            .all_techniques()
+            .campaign(CampaignConfig {
+                rate_probe: Some(RateProbeConfig::default()),
+                ..Default::default()
+            })
+            .threads(2)
+            .build()
+            .resolve(&internet);
+        assert_eq!(report.techniques.len(), 8);
+        // Coverage and agreement rows include the new technique.
+        assert!(report
+            .coverage
+            .per_technique
+            .iter()
+            .any(|c| c.technique == "ratelimit" && c.alias_sets > 0));
+        assert_eq!(report.coverage.agreements.len(), 8 * 7 / 2);
+
+        let mut silent_addrs: Vec<IpAddr> = internet
+            .devices()
+            .iter()
+            .filter(|d| d.kind == DeviceKind::SilentRouter)
+            .flat_map(|d| d.interfaces.iter().map(|i| i.addr))
+            .collect();
+        silent_addrs.sort_unstable();
+        let mut ratelimit_covered = 0usize;
+        for technique in &report.techniques {
+            let covered: usize = technique
+                .alias_sets()
+                .iter()
+                .flatten()
+                .filter(|a| silent_addrs.binary_search(a).is_ok())
+                .count();
+            if technique.technique == "ratelimit" {
+                ratelimit_covered = covered;
+            } else {
+                assert_eq!(
+                    covered, 0,
+                    "{} unexpectedly covers silent routers",
+                    technique.technique
+                );
+            }
+        }
+        assert!(ratelimit_covered >= 2, "ratelimit finds silent aliases");
+        // The merged view therefore contains sets labelled only by the
+        // new technique.
+        assert!(report
+            .merged
+            .iter()
+            .any(|m| m.labels == BTreeSet::from(["ratelimit".to_owned()])
+                && m.addrs
+                    .iter()
+                    .all(|a| silent_addrs.binary_search(a).is_ok())));
+    }
+
+    #[test]
+    fn seven_technique_output_ignores_the_rate_limit_machinery() {
+        // Backwards-compatibility guarantee: without registering the new
+        // technique (and without the opt-in probe phase), the seven
+        // existing techniques produce byte-identical output at 1 and 8
+        // threads even when silent routers exist in the population.
+        let mut config = InternetConfig::tiny(47);
+        config.devices.silent_routers = 6;
+        let internet = InternetBuilder::new(config).build();
+        let seven = |threads: usize| {
+            Resolver::builder()
+                .paper_techniques()
+                .technique(MidarTechnique::new())
+                .technique(crate::AllyTechnique::new())
+                .technique(crate::SpeedtrapTechnique::new())
+                .technique(IffinderTechnique::new())
+                .threads(threads)
+                .build()
+                .resolve(&internet)
+        };
+        let serial = seven(1);
+        assert_eq!(serial.techniques.len(), 7);
+        let threaded = seven(8);
+        assert_eq!(
+            threaded.campaign.as_ref().unwrap().store(),
+            serial.campaign.as_ref().unwrap().store()
+        );
+        assert_eq!(threaded.techniques, serial.techniques);
+        assert_eq!(threaded.merged, serial.merged);
+        assert_eq!(
+            threaded.coverage.merged_addresses,
+            serial.coverage.merged_addresses
+        );
     }
 
     #[test]

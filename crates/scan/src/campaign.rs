@@ -15,6 +15,7 @@
 //! pipeline runs on.
 
 use crate::hitlist::Ipv6Hitlist;
+use crate::rate_probe::{RateProbeConfig, RateProber};
 use crate::records::{DataSource, ObservationSink, ServiceObservation};
 use crate::snmp::{SnmpScanConfig, SnmpScanner};
 use crate::zgrab::{ZgrabConfig, ZgrabScanner};
@@ -46,6 +47,10 @@ pub struct CampaignConfig {
     /// output is byte-identical for any value — see `alias-exec`'s
     /// shard-reduce contract.
     pub threads: usize,
+    /// ICMP rate-limiting probe phase ([`RateProber`]), or `None` to skip
+    /// it.  `None` by default so campaigns that predate the eighth
+    /// technique — and every byte of their output — are unchanged.
+    pub rate_probe: Option<RateProbeConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -59,6 +64,7 @@ impl Default for CampaignConfig {
             hitlist_stale_fraction: 0.15,
             seed: 0xa11a5,
             threads: 1,
+            rate_probe: None,
         }
     }
 }
@@ -353,6 +359,18 @@ impl ActiveCampaign {
             now,
         );
 
+        // Phase 5 (opt-in): ICMP rate-limiting escalation bursts against
+        // the echo-responsive population.
+        if let Some(rate_cfg) = &cfg.rate_probe {
+            let prober = RateProber::new(rate_cfg.clone());
+            let targets = prober.discover_targets(internet, &hitlist.addrs, vantage, now);
+            now = absorb_phase(
+                &mut store,
+                prober.probe_columns_sharded(internet, &targets, vantage, now, threads),
+                now,
+            );
+        }
+
         CampaignData::new(store, hitlist, now, syn.probes_sent + v6_syn.probes_sent)
     }
 }
@@ -498,8 +516,9 @@ mod tests {
     #[test]
     fn campaign_interner_covers_every_observed_address_exactly_once() {
         let (_, data) = campaign_data();
-        let distinct: std::collections::BTreeSet<IpAddr> =
-            data.to_observations().iter().map(|o| o.addr).collect();
+        let mut distinct: Vec<IpAddr> = data.to_observations().iter().map(|o| o.addr).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
         assert_eq!(data.interner().len(), distinct.len());
         for row in 0..data.len() {
             let obs = data.store().get(row);
@@ -544,6 +563,72 @@ mod tests {
     }
 
     #[test]
+    fn rate_probe_phase_is_gated_and_deterministic_across_threads() {
+        // Campaigns without the opt-in record no rate observations; with
+        // it, the full five-phase store stays byte-identical for any
+        // thread count (the satellite determinism contract for the new
+        // phase), and rate observations appear for both populations.
+        use crate::rate_probe::RateProbeConfig;
+        for seed in [404u64, 2023] {
+            let mut net_config = InternetConfig::tiny(seed);
+            net_config.devices.silent_routers = 8;
+            let internet = InternetBuilder::new(net_config).build();
+            let base = ActiveCampaign::new(CampaignConfig {
+                seed,
+                ..Default::default()
+            })
+            .run(&internet);
+            assert!(base
+                .observations_for(ServiceProtocol::IcmpRateLimit)
+                .next()
+                .is_none());
+
+            let serial = ActiveCampaign::new(CampaignConfig {
+                seed,
+                rate_probe: Some(RateProbeConfig::default()),
+                ..Default::default()
+            })
+            .run(&internet);
+            assert!(serial
+                .observations_for(ServiceProtocol::IcmpRateLimit)
+                .next()
+                .is_some());
+            // The first four phases are untouched by the opt-in.
+            for protocol in [
+                ServiceProtocol::Ssh,
+                ServiceProtocol::Bgp,
+                ServiceProtocol::Snmpv3,
+            ] {
+                let with_rate: Vec<ServiceObservation> = serial
+                    .observations_for(protocol)
+                    .map(|r| r.to_observation())
+                    .collect();
+                let without: Vec<ServiceObservation> = base
+                    .observations_for(protocol)
+                    .map(|r| r.to_observation())
+                    .collect();
+                assert_eq!(with_rate, without, "seed={seed} {protocol:?}");
+            }
+            for threads in [2usize, 7] {
+                let sharded = ActiveCampaign::new(CampaignConfig {
+                    seed,
+                    threads,
+                    rate_probe: Some(RateProbeConfig::default()),
+                    ..Default::default()
+                })
+                .run(&internet);
+                assert_eq!(
+                    sharded.store(),
+                    serial.store(),
+                    "seed={seed} threads={threads}"
+                );
+                assert_eq!(sharded.store().validate(), Ok(()));
+                assert_eq!(sharded.finished_at, serial.finished_at);
+            }
+        }
+    }
+
+    #[test]
     fn single_vp_campaign_misses_invisible_devices() {
         let internet = InternetBuilder::new(InternetConfig::tiny(404)).build();
         let single = ActiveCampaign::new(CampaignConfig::default()).run(&internet);
@@ -570,6 +655,13 @@ mod tests {
                 ServiceProtocol::Ssh => device.ssh_responding_addrs(),
                 ServiceProtocol::Bgp => device.bgp_responding_addrs(),
                 ServiceProtocol::Snmpv3 => device.snmp_responding_addrs(),
+                // Rate observations need no identifier service — only an
+                // echo-responsive interface of the device.
+                ServiceProtocol::IcmpRateLimit => {
+                    assert!(device.responds_to_ping);
+                    assert!(device.interface_index(obs.addr).is_some());
+                    continue;
+                }
             };
             assert!(responding.contains(&obs.addr));
         }

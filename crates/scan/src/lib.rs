@@ -10,8 +10,10 @@
 //!    protocol messages (ZGrab2-style, [`zgrab`]),
 //!
 //! plus the auxiliary data paths the paper relies on: an IPv6 hitlist
-//! ([`hitlist`]), an SNMPv3 engine-discovery scan ([`snmp`]), and the IPID
-//! probing scheduler used by the MIDAR/Ally baselines ([`ipid_probe`]).
+//! ([`hitlist`]), an SNMPv3 engine-discovery scan ([`snmp`]), the IPID
+//! probing scheduler used by the MIDAR/Ally baselines ([`ipid_probe`]),
+//! and the escalating-rate ICMP burst prober behind the rate-limiting
+//! technique ([`rate_probe`]).
 //!
 //! The [`campaign`] module bundles all of the above into the "active
 //! measurement" dataset used throughout the evaluation.
@@ -24,6 +26,7 @@ pub mod hitlist;
 pub mod ipid_probe;
 pub mod permute;
 pub mod rate;
+pub mod rate_probe;
 pub mod records;
 pub mod snmp;
 pub mod zgrab;
@@ -34,8 +37,9 @@ pub use alias_store::{
     ColumnarSink, ObservationRef, ObservationStore, ObservationView, ProtocolTag, ShardColumns,
     SourceTag,
 };
-pub use campaign::{ActiveCampaign, CampaignData};
+pub use campaign::{ActiveCampaign, CampaignConfig, CampaignData};
 pub use hitlist::Ipv6Hitlist;
+pub use rate_probe::{RateProbeConfig, RateProber};
 pub use records::{DataSource, ObservationSink, ServiceObservation, ServicePayload};
 pub use zgrab::ZgrabScanner;
 pub use zmap::{ZmapResults, ZmapScanner};

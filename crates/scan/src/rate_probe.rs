@@ -1,0 +1,396 @@
+//! ICMP rate-limiting probe campaign.
+//!
+//! The eighth resolution technique (Vermeulen et al., "Alias Resolution
+//! Based on ICMP Rate Limiting") needs a different kind of measurement
+//! than the banner grabs: per-address **loss patterns** under escalating
+//! probe rates.  A router enforces one ICMP rate limiter across all of
+//! its interfaces, so once the probing rate exceeds the limiter every
+//! interface of the device starts dropping replies at the same rates —
+//! the signal `alias-resolve`'s rate-limiting technique correlates.
+//!
+//! The prober runs in two steps:
+//!
+//! 1. **Discovery** — a serial ping sweep over the routed IPv4 space and
+//!    the IPv6 hitlist selects the echo-responsive addresses.
+//! 2. **Escalation rounds** — each target is burst-probed at a ladder of
+//!    rates (`base · 2^round`).  A screening burst at the *highest* rate
+//!    runs first: a target with zero loss there cannot lose packets at
+//!    any lower rate (loss is monotone in the probing rate), so the whole
+//!    ladder is skipped.  Only **lossy** rounds are recorded, as
+//!    [`ServicePayload::RateLimit`] observations.
+//!
+//! Timestamps are slot-based — a pure function of the target's global
+//! index and the round number — so the sharded path is byte-identical to
+//! the serial one without any pacing-state hand-off between shards.
+
+use crate::records::{DataSource, ServiceObservation, ServicePayload};
+use alias_netsim::{Internet, ProbeContext, ServiceProtocol, SimTime, VantageKind};
+use alias_store::ShardColumns;
+use std::net::{IpAddr, Ipv6Addr};
+
+/// Configuration of the rate-limiting prober.
+#[derive(Debug, Clone)]
+pub struct RateProbeConfig {
+    /// Probing rate of round 0 in packets per second; round `r` probes at
+    /// `base_rate_pps · 2^r`.
+    pub base_rate_pps: f64,
+    /// Number of escalation rounds.
+    pub rounds: u8,
+    /// Echo requests per burst (one burst per round).
+    pub probes_per_round: u16,
+    /// Simulated time between consecutive rounds of one target.
+    pub round_spacing: SimTime,
+    /// Data source label stamped on produced records.
+    pub source: DataSource,
+}
+
+impl Default for RateProbeConfig {
+    fn default() -> Self {
+        RateProbeConfig {
+            base_rate_pps: 256.0,
+            rounds: 5,
+            probes_per_round: 24,
+            round_spacing: SimTime(250),
+            source: DataSource::Active,
+        }
+    }
+}
+
+impl RateProbeConfig {
+    /// The probing rate of escalation round `round`.
+    pub fn round_rate(&self, round: u8) -> f64 {
+        self.base_rate_pps * f64::from(1u32 << u32::from(round))
+    }
+
+    /// Simulated time budgeted per target (all rounds).
+    pub fn target_slot(&self) -> SimTime {
+        SimTime(self.round_spacing.as_millis() * u64::from(self.rounds))
+    }
+}
+
+/// The ICMP rate-limiting prober.
+#[derive(Debug, Clone)]
+pub struct RateProber {
+    config: RateProbeConfig,
+}
+
+impl RateProber {
+    /// Create a prober with the given configuration.
+    pub fn new(config: RateProbeConfig) -> Self {
+        assert!(config.rounds >= 1, "need at least one escalation round");
+        assert!(config.probes_per_round >= 1, "need at least one probe");
+        RateProber { config }
+    }
+
+    /// The prober configuration.
+    pub fn config(&self) -> &RateProbeConfig {
+        &self.config
+    }
+
+    /// One burst at `rate_pps`, routed by address family.  `None` when the
+    /// address is unresponsive (unrouted, invisible, ping disabled).
+    fn burst(
+        &self,
+        internet: &Internet,
+        addr: IpAddr,
+        rate_pps: f64,
+        ctx: &ProbeContext,
+    ) -> Option<u32> {
+        let count = u32::from(self.config.probes_per_round);
+        match addr {
+            IpAddr::V4(_) => internet.icmp_rate_burst(addr, rate_pps, count, ctx),
+            IpAddr::V6(_) => internet.ipv6_rate_burst(addr, rate_pps, count, ctx),
+        }
+    }
+
+    /// Discover the echo-responsive target population: every address of
+    /// the routed IPv4 space plus the IPv6 hitlist that answers ping.
+    /// Serial by construction — a pure membership filter with no
+    /// measurement state, so there is nothing to shard.
+    pub fn discover_targets(
+        &self,
+        internet: &Internet,
+        hitlist_v6: &[Ipv6Addr],
+        vantage: VantageKind,
+        at: SimTime,
+    ) -> Vec<IpAddr> {
+        let ctx = ProbeContext { vantage, time: at };
+        let mut targets = Vec::new();
+        for prefix in internet.routed_v4_prefixes() {
+            targets.extend(
+                prefix
+                    .iter()
+                    .map(IpAddr::V4)
+                    .filter(|&a| internet.ping_responds(a, &ctx)),
+            );
+        }
+        targets.extend(
+            hitlist_v6
+                .iter()
+                .map(|&a| IpAddr::V6(a))
+                .filter(|&a| internet.ping_responds(a, &ctx)),
+        );
+        targets
+    }
+
+    /// The probe loop shared verbatim by the serial and sharded paths.
+    /// Target `global_offset + i` owns the time slot starting at
+    /// `phase_start + (global_offset + i) · target_slot`, so timestamps
+    /// never depend on how the target list was split.
+    fn probe_slice(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        global_offset: usize,
+        vantage: VantageKind,
+        phase_start: SimTime,
+        columns: &mut ShardColumns,
+    ) {
+        let cfg = &self.config;
+        let slot = cfg.target_slot().as_millis();
+        let sent = cfg.probes_per_round;
+        for (offset, &addr) in targets.iter().enumerate() {
+            let t0 = phase_start + SimTime((global_offset + offset) as u64 * slot);
+            // Screening burst at the top rate: no loss there means no loss
+            // anywhere on the ladder (monotonicity), so skip the target.
+            // Bursts are pure — the limiter is evaluated from a full
+            // bucket every time — so the screen costs nothing downstream.
+            let top = cfg.rounds - 1;
+            let ctx = ProbeContext { vantage, time: t0 };
+            let Some(replies) = self.burst(internet, addr, cfg.round_rate(top), &ctx) else {
+                continue;
+            };
+            if replies == u32::from(sent) {
+                continue;
+            }
+            for round in 0..cfg.rounds {
+                let time = t0 + SimTime(u64::from(round) * cfg.round_spacing.as_millis());
+                let ctx = ProbeContext { vantage, time };
+                let rate = cfg.round_rate(round);
+                let Some(replies) = self.burst(internet, addr, rate, &ctx) else {
+                    continue;
+                };
+                let lost = sent - replies as u16;
+                if lost == 0 {
+                    continue;
+                }
+                columns.push(
+                    addr,
+                    ServiceProtocol::IcmpRateLimit.default_port(),
+                    cfg.source,
+                    time,
+                    internet.ip_to_asn(addr).map(|a| a.0),
+                    ServicePayload::RateLimit {
+                        round,
+                        rate_pps: rate as u32,
+                        sent,
+                        lost,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Probe every target through the escalation ladder, emitting straight
+    /// into shard columns (the form the campaign store absorbs).
+    pub fn probe_columns(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> ShardColumns {
+        let mut columns = ShardColumns::new();
+        self.probe_slice(internet, targets, 0, vantage, start, &mut columns);
+        columns
+    }
+
+    /// [`Self::probe_columns`] with `threads` shard workers over disjoint
+    /// slices of the target list, returning per-shard column chunks in
+    /// shard order.  Byte-identical to the serial path for any thread
+    /// count: timestamps are a pure function of the global target index.
+    pub fn probe_columns_sharded(
+        &self,
+        internet: &Internet,
+        targets: &[IpAddr],
+        vantage: VantageKind,
+        start: SimTime,
+        threads: usize,
+    ) -> Vec<ShardColumns> {
+        if threads <= 1 {
+            return vec![self.probe_columns(internet, targets, vantage, start)];
+        }
+        let ranges = alias_exec::split_even(
+            targets.len() as u64,
+            threads * alias_exec::SHARDS_PER_THREAD,
+        );
+        alias_exec::shard_map(ranges.len(), threads, |shard| {
+            let range = &ranges[shard];
+            let mut columns = ShardColumns::new();
+            self.probe_slice(
+                internet,
+                &targets[range.start as usize..range.end as usize],
+                range.start as usize,
+                vantage,
+                start,
+                &mut columns,
+            );
+            columns
+        })
+    }
+
+    /// Discovery plus probing, materialised as observation rows (test and
+    /// report convenience; the campaign uses the columnar path).
+    pub fn probe(
+        &self,
+        internet: &Internet,
+        hitlist_v6: &[Ipv6Addr],
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> Vec<ServiceObservation> {
+        let targets = self.discover_targets(internet, hitlist_v6, vantage, start);
+        self.probe_columns(internet, &targets, vantage, start)
+            .into_observations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias_netsim::{DeviceKind, InternetBuilder, InternetConfig};
+
+    fn internet_with_silent(seed: u64, silent: usize) -> Internet {
+        let mut config = InternetConfig::tiny(seed);
+        config.devices.silent_routers = silent;
+        InternetBuilder::new(config).build()
+    }
+
+    #[test]
+    fn discovery_covers_silent_routers_and_both_families() {
+        let internet = internet_with_silent(77, 10);
+        let prober = RateProber::new(RateProbeConfig::default());
+        let hitlist: Vec<Ipv6Addr> = internet
+            .devices()
+            .iter()
+            .flat_map(|d| d.ipv6_addrs())
+            .collect();
+        let targets =
+            prober.discover_targets(&internet, &hitlist, VantageKind::SingleVp, SimTime::ZERO);
+        assert!(targets.iter().any(|a| a.is_ipv4()));
+        assert!(targets.iter().any(|a| a.is_ipv6()));
+        let ctx = ProbeContext {
+            vantage: VantageKind::SingleVp,
+            time: SimTime::ZERO,
+        };
+        for &addr in &targets {
+            assert!(internet.ping_responds(addr, &ctx));
+        }
+        // Every silent router's v4 interfaces are in the routed space and
+        // answer ping, so discovery must pick all of them up.
+        for device in internet.devices() {
+            if device.kind == DeviceKind::SilentRouter {
+                for addr in device.ipv4_addrs() {
+                    assert!(targets.contains(&IpAddr::V4(addr)), "missing {addr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_lossy_rounds_are_recorded_and_losses_are_plausible() {
+        let internet = internet_with_silent(77, 10);
+        let prober = RateProber::new(RateProbeConfig::default());
+        let cfg = prober.config().clone();
+        let observations = prober.probe(&internet, &[], VantageKind::SingleVp, SimTime::ZERO);
+        assert!(!observations.is_empty());
+        for obs in &observations {
+            let ServicePayload::RateLimit {
+                round,
+                rate_pps,
+                sent,
+                lost,
+            } = obs.payload
+            else {
+                panic!("unexpected payload {:?}", obs.payload)
+            };
+            assert!(round < cfg.rounds);
+            assert_eq!(f64::from(rate_pps), cfg.round_rate(round));
+            assert_eq!(sent, cfg.probes_per_round);
+            assert!(lost >= 1 && lost <= sent);
+            assert_eq!(obs.port, 0);
+            assert!(obs.asn.is_some());
+            // Only limiter-constrained device classes can lose packets at
+            // these rates; endpoints' limiters sit far above the ladder.
+            let (device_id, _) = internet.lookup(obs.addr).unwrap();
+            let kind = internet.device(device_id).kind;
+            assert!(
+                matches!(
+                    kind,
+                    DeviceKind::IspRouter | DeviceKind::BorderRouter | DeviceKind::SilentRouter
+                ),
+                "unexpected lossy device kind {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_rounds_form_a_suffix_of_the_ladder() {
+        // Loss is monotone in the probing rate, so per address the recorded
+        // rounds must be exactly the rounds from the first lossy one up.
+        let internet = internet_with_silent(99, 8);
+        let prober = RateProber::new(RateProbeConfig::default());
+        let observations = prober.probe(&internet, &[], VantageKind::SingleVp, SimTime::ZERO);
+        // Group rounds per address without leaving id-space discipline: a
+        // stable sort by address keeps each address's rounds in emission
+        // (i.e. ascending) order.
+        let mut pairs: Vec<(IpAddr, u8)> = observations
+            .iter()
+            .map(|obs| {
+                let ServicePayload::RateLimit { round, .. } = obs.payload else {
+                    unreachable!()
+                };
+                (obs.addr, round)
+            })
+            .collect();
+        pairs.sort_by_key(|&(addr, _)| addr);
+        let top = prober.config().rounds - 1;
+        let mut i = 0;
+        while i < pairs.len() {
+            let addr = pairs[i].0;
+            let mut rounds = Vec::new();
+            while i < pairs.len() && pairs[i].0 == addr {
+                rounds.push(pairs[i].1);
+                i += 1;
+            }
+            let expected: Vec<u8> = (rounds[0]..=top).collect();
+            assert_eq!(rounds, expected, "non-suffix lossy rounds for {addr}");
+        }
+    }
+
+    #[test]
+    fn sharded_rate_probing_is_byte_identical_to_serial() {
+        for seed in [77u64, 2023] {
+            let internet = internet_with_silent(seed, 10);
+            let prober = RateProber::new(RateProbeConfig::default());
+            let targets =
+                prober.discover_targets(&internet, &[], VantageKind::SingleVp, SimTime::ZERO);
+            let serial: Vec<ServiceObservation> = prober
+                .probe_columns(&internet, &targets, VantageKind::SingleVp, SimTime::ZERO)
+                .into_observations();
+            for threads in [2usize, 7] {
+                let sharded: Vec<ServiceObservation> = prober
+                    .probe_columns_sharded(
+                        &internet,
+                        &targets,
+                        VantageKind::SingleVp,
+                        SimTime::ZERO,
+                        threads,
+                    )
+                    .into_iter()
+                    .flat_map(ShardColumns::into_observations)
+                    .collect();
+                assert_eq!(sharded, serial, "seed={seed} threads={threads}");
+            }
+        }
+    }
+}

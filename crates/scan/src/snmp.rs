@@ -233,28 +233,37 @@ impl SnmpScanner {
 mod tests {
     use super::*;
     use alias_netsim::{InternetBuilder, InternetConfig};
-    use std::collections::HashSet;
 
     fn internet() -> Internet {
         InternetBuilder::new(InternetConfig::tiny(55)).build()
     }
 
+    /// Sorted, distinct copy of an address list (id-space discipline:
+    /// comparisons run on ordered vectors, not address sets).
+    fn sorted_distinct(addrs: impl IntoIterator<Item = IpAddr>) -> Vec<IpAddr> {
+        let mut addrs: Vec<IpAddr> = addrs.into_iter().collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
     #[test]
     fn scan_finds_every_visible_snmp_interface() {
         let internet = internet();
-        let expected: HashSet<IpAddr> = internet
-            .devices()
-            .iter()
-            .flat_map(|d| d.snmp_responding_addrs())
-            .filter(|a| a.is_ipv4())
-            .collect();
+        let expected = sorted_distinct(
+            internet
+                .devices()
+                .iter()
+                .flat_map(|d| d.snmp_responding_addrs())
+                .filter(|a| a.is_ipv4()),
+        );
         assert!(!expected.is_empty());
         let observations = SnmpScanner::new(SnmpScanConfig::default()).scan_routed_space(
             &internet,
             VantageKind::Distributed,
             SimTime::ZERO,
         );
-        let found: HashSet<IpAddr> = observations.iter().map(|o| o.addr).collect();
+        let found = sorted_distinct(observations.iter().map(|o| o.addr));
         assert_eq!(found, expected);
     }
 

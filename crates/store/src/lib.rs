@@ -68,7 +68,7 @@ mod proptests {
         } else {
             DataSource::Active
         };
-        let payload = match kind % 3 {
+        let payload = match kind % 4 {
             0 => ServicePayload::Ssh(SshObservation {
                 banner: Banner::new("OpenSSH_8.9p1", None).unwrap(),
                 kex_init: (kind & 4 != 0).then(KexInit::typical_openssh),
@@ -84,10 +84,16 @@ mod proptests {
                 },
                 notification_seen: kind & 8 != 0,
             },
-            _ => ServicePayload::Snmpv3 {
+            2 => ServicePayload::Snmpv3 {
                 engine_id: EngineId::from_enterprise_mac(9, [kind; 6]),
                 engine_boots: kind as i64,
                 engine_time: 10 * kind as i64,
+            },
+            _ => ServicePayload::RateLimit {
+                round: kind % 5,
+                rate_pps: 256u32 << (kind % 5),
+                sent: 24,
+                lost: (kind % 25) as u16,
             },
         };
         let port = payload.protocol().default_port();
@@ -153,7 +159,7 @@ mod proptests {
             }
 
             // Every (protocol, source) selection matches the filtered vec.
-            for protocol in [None, Some(ServiceProtocol::Ssh), Some(ServiceProtocol::Bgp), Some(ServiceProtocol::Snmpv3)] {
+            for protocol in [None, Some(ServiceProtocol::Ssh), Some(ServiceProtocol::Bgp), Some(ServiceProtocol::Snmpv3), Some(ServiceProtocol::IcmpRateLimit)] {
                 for source in [None, Some(DataSource::Active), Some(DataSource::Censys)] {
                     let view = serial.select(protocol.map(Into::into), source.map(Into::into));
                     let expected: Vec<ServiceObservation> = oracle
@@ -168,6 +174,30 @@ mod proptests {
 
             // The arena-backed encoded layout round-trips exactly.
             prop_assert_eq!(serial.encode().decode(), serial);
+        }
+
+        // The fixed-width RateLimit wire codec round-trips every
+        // representable (round, rate, sent, lost) combination exactly,
+        // and no other protocol's parser accepts its bytes.
+        #[test]
+        fn rate_limit_payload_wire_round_trip_is_exact(
+            round in any::<u8>(),
+            rate_pps in any::<u32>(),
+            sent in any::<u16>(),
+            lost_raw in any::<u16>(),
+        ) {
+            let lost = (lost_raw as u32 % (sent as u32 + 1)) as u16;
+            let payload = ServicePayload::RateLimit { round, rate_pps, sent, lost };
+            let mut bytes = Vec::new();
+            payload.to_wire_bytes(&mut bytes);
+            prop_assert_eq!(bytes.len(), 11);
+            prop_assert_eq!(
+                ServicePayload::from_wire_bytes(ServiceProtocol::IcmpRateLimit, &bytes),
+                Some(payload)
+            );
+            for other in [ServiceProtocol::Ssh, ServiceProtocol::Bgp, ServiceProtocol::Snmpv3] {
+                prop_assert_eq!(ServicePayload::from_wire_bytes(other, &bytes), None);
+            }
         }
     }
 }

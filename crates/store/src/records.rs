@@ -64,6 +64,23 @@ pub enum ServicePayload {
         /// Engine time in seconds.
         engine_time: i64,
     },
+    /// One lossy round of an ICMP rate-limiting probe: a burst of
+    /// `sent` echo requests at `rate_pps` of which `lost` went
+    /// unanswered.  Unlike the other variants this is not captured
+    /// application-layer material but a loss *count* — there is no
+    /// standard wire capture for "the replies that did not arrive", so
+    /// the record uses a compact fixed-width encoding of its own (see
+    /// [`Self::to_wire_bytes`]).
+    RateLimit {
+        /// Escalation round index (0-based).
+        round: u8,
+        /// Probing rate of the round in packets per second.
+        rate_pps: u32,
+        /// Echo requests sent in the round.
+        sent: u16,
+        /// Requests that went unanswered.
+        lost: u16,
+    },
 }
 
 impl ServicePayload {
@@ -73,6 +90,7 @@ impl ServicePayload {
             ServicePayload::Ssh(_) => ServiceProtocol::Ssh,
             ServicePayload::Bgp { .. } => ServiceProtocol::Bgp,
             ServicePayload::Snmpv3 { .. } => ServiceProtocol::Snmpv3,
+            ServicePayload::RateLimit { .. } => ServiceProtocol::IcmpRateLimit,
         }
     }
 
@@ -131,6 +149,23 @@ impl ServicePayload {
                 };
                 out.extend_from_slice(&report.to_bytes());
             }
+            ServicePayload::RateLimit {
+                round,
+                rate_pps,
+                sent,
+                lost,
+            } => {
+                // Fixed 11-byte layout: magic, version, round, then the
+                // counters big-endian.  0xF7 cannot begin an SSH banner,
+                // a BGP marker or a BER SEQUENCE, so the magic doubles as
+                // cross-protocol rejection.
+                out.push(RATE_LIMIT_MAGIC);
+                out.push(RATE_LIMIT_VERSION);
+                out.push(*round);
+                out.extend_from_slice(&rate_pps.to_be_bytes());
+                out.extend_from_slice(&sent.to_be_bytes());
+                out.extend_from_slice(&lost.to_be_bytes());
+            }
         }
     }
 
@@ -149,9 +184,36 @@ impl ServicePayload {
                 }),
                 _ => None,
             },
+            ServiceProtocol::IcmpRateLimit => {
+                if bytes.len() != RATE_LIMIT_WIRE_LEN
+                    || bytes[0] != RATE_LIMIT_MAGIC
+                    || bytes[1] != RATE_LIMIT_VERSION
+                {
+                    return None;
+                }
+                let rate_pps = u32::from_be_bytes(bytes[3..7].try_into().ok()?);
+                let sent = u16::from_be_bytes(bytes[7..9].try_into().ok()?);
+                let lost = u16::from_be_bytes(bytes[9..11].try_into().ok()?);
+                if lost > sent {
+                    return None;
+                }
+                Some(ServicePayload::RateLimit {
+                    round: bytes[2],
+                    rate_pps,
+                    sent,
+                    lost,
+                })
+            }
         }
     }
 }
+
+/// First byte of the [`ServicePayload::RateLimit`] wire encoding.
+const RATE_LIMIT_MAGIC: u8 = 0xF7;
+/// Encoding version of the [`ServicePayload::RateLimit`] wire layout.
+const RATE_LIMIT_VERSION: u8 = 1;
+/// Total length of the fixed-width [`ServicePayload::RateLimit`] encoding.
+const RATE_LIMIT_WIRE_LEN: usize = 11;
 
 /// Parse a captured server→client byte stream into a payload.
 ///
@@ -163,7 +225,7 @@ pub fn parse_payload(protocol: ServiceProtocol, bytes: &[u8]) -> Option<ServiceP
     match protocol {
         ServiceProtocol::Ssh => parse_ssh(bytes).map(ServicePayload::Ssh),
         ServiceProtocol::Bgp => parse_bgp(bytes),
-        ServiceProtocol::Snmpv3 => None,
+        ServiceProtocol::Snmpv3 | ServiceProtocol::IcmpRateLimit => None,
     }
 }
 
@@ -359,6 +421,18 @@ mod tests {
                 engine_boots: 17,
                 engine_time: 86_400,
             },
+            ServicePayload::RateLimit {
+                round: 3,
+                rate_pps: 2_048,
+                sent: 24,
+                lost: 7,
+            },
+            ServicePayload::RateLimit {
+                round: 0,
+                rate_pps: 256,
+                sent: 24,
+                lost: 24,
+            },
         ];
         for payload in payloads {
             let mut bytes = Vec::new();
@@ -376,5 +450,52 @@ mod tests {
         ssh_observation(22).payload.to_wire_bytes(&mut ssh_bytes);
         assert!(ServicePayload::from_wire_bytes(ServiceProtocol::Bgp, &ssh_bytes).is_none());
         assert!(ServicePayload::from_wire_bytes(ServiceProtocol::Snmpv3, &ssh_bytes).is_none());
+        assert!(
+            ServicePayload::from_wire_bytes(ServiceProtocol::IcmpRateLimit, &ssh_bytes).is_none()
+        );
+
+        let mut rate_bytes = Vec::new();
+        ServicePayload::RateLimit {
+            round: 1,
+            rate_pps: 512,
+            sent: 24,
+            lost: 2,
+        }
+        .to_wire_bytes(&mut rate_bytes);
+        assert_eq!(rate_bytes.len(), 11);
+        assert!(ServicePayload::from_wire_bytes(ServiceProtocol::Ssh, &rate_bytes).is_none());
+        assert!(ServicePayload::from_wire_bytes(ServiceProtocol::Bgp, &rate_bytes).is_none());
+        assert!(ServicePayload::from_wire_bytes(ServiceProtocol::Snmpv3, &rate_bytes).is_none());
+    }
+
+    #[test]
+    fn rate_limit_wire_bytes_reject_malformed_input() {
+        let mut bytes = Vec::new();
+        ServicePayload::RateLimit {
+            round: 2,
+            rate_pps: 1_024,
+            sent: 24,
+            lost: 9,
+        }
+        .to_wire_bytes(&mut bytes);
+
+        // Truncated, extended, bad magic, bad version: all rejected.
+        let decode = |b: &[u8]| ServicePayload::from_wire_bytes(ServiceProtocol::IcmpRateLimit, b);
+        assert!(decode(&bytes[..10]).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode(&long).is_none());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = 0x42;
+        assert!(decode(&bad_magic).is_none());
+        let mut bad_version = bytes.clone();
+        bad_version[1] = 9;
+        assert!(decode(&bad_version).is_none());
+
+        // lost > sent is impossible for a real burst and is rejected.
+        let mut impossible = bytes.clone();
+        impossible[7..9].copy_from_slice(&5u16.to_be_bytes());
+        impossible[9..11].copy_from_slice(&6u16.to_be_bytes());
+        assert!(decode(&impossible).is_none());
     }
 }

@@ -20,6 +20,8 @@ pub enum ProtocolTag {
     Bgp = 1,
     /// SNMPv3 (port 161).
     Snmpv3 = 2,
+    /// ICMP rate-limiting loss measurements (pseudo-protocol, port 0).
+    IcmpRateLimit = 3,
 }
 
 impl ProtocolTag {
@@ -35,6 +37,7 @@ impl From<ServiceProtocol> for ProtocolTag {
             ServiceProtocol::Ssh => ProtocolTag::Ssh,
             ServiceProtocol::Bgp => ProtocolTag::Bgp,
             ServiceProtocol::Snmpv3 => ProtocolTag::Snmpv3,
+            ServiceProtocol::IcmpRateLimit => ProtocolTag::IcmpRateLimit,
         }
     }
 }
@@ -45,6 +48,7 @@ impl From<ProtocolTag> for ServiceProtocol {
             ProtocolTag::Ssh => ServiceProtocol::Ssh,
             ProtocolTag::Bgp => ServiceProtocol::Bgp,
             ProtocolTag::Snmpv3 => ServiceProtocol::Snmpv3,
+            ProtocolTag::IcmpRateLimit => ServiceProtocol::IcmpRateLimit,
         }
     }
 }
@@ -94,6 +98,7 @@ mod tests {
             ServiceProtocol::Ssh,
             ServiceProtocol::Bgp,
             ServiceProtocol::Snmpv3,
+            ServiceProtocol::IcmpRateLimit,
         ] {
             let tag = ProtocolTag::from(protocol);
             assert_eq!(ServiceProtocol::from(tag), protocol);

@@ -76,18 +76,18 @@ pub mod prelude {
     };
     pub use alias_midar::{Midar, MidarConfig};
     pub use alias_netsim::{
-        Internet, InternetBuilder, InternetConfig, ScalePreset, ServiceProtocol, SimTime,
-        VantageKind,
+        DeviceKind, Internet, InternetBuilder, InternetConfig, ScalePreset, ServiceProtocol,
+        SimTime, VantageKind,
     };
     pub use alias_resolve::{
         AllyTechnique, CoverageStats, DataRequirement, IdentifierTechnique, IffinderTechnique,
-        MergePolicy, MidarTechnique, ResolutionReport, ResolutionTechnique, Resolver,
-        ResolverBuilder, SpeedtrapTechnique, StageTimings, TechniqueCtx, TechniqueResult,
+        MergePolicy, MidarTechnique, RateLimitTechnique, ResolutionReport, ResolutionTechnique,
+        Resolver, ResolverBuilder, SpeedtrapTechnique, StageTimings, TechniqueCtx, TechniqueResult,
         TechniqueTiming,
     };
     pub use alias_scan::{
-        ActiveCampaign, CampaignData, DataSource, Ipv6Hitlist, ObservationSink, ServiceObservation,
-        ServicePayload, ZgrabScanner, ZmapScanner,
+        ActiveCampaign, CampaignConfig, CampaignData, DataSource, Ipv6Hitlist, ObservationSink,
+        RateProbeConfig, ServiceObservation, ServicePayload, ZgrabScanner, ZmapScanner,
     };
     pub use alias_store::{
         ColumnarSink, EncodedObservations, ObservationRef, ObservationStore, ObservationView,
