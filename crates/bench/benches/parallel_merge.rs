@@ -1,36 +1,50 @@
-//! Serial vs sharded alias-set consolidation: `merge_labeled_sets` against
-//! `merge_labeled_sets_parallel` on the union-merge workload the experiment
-//! tables run, so future PRs can show the speedup (and its scaling with
-//! thread count) from one bench.
+//! Serial vs sharded alias-set consolidation: `merge_labeled_compact` at
+//! one thread against its sharded mode, on the union-merge workload the
+//! experiment tables run, so future PRs can show the speedup (and its
+//! scaling with thread count) from one bench.
 
 use alias_bench::Experiment;
-use alias_core::merge::{merge_labeled_sets, merge_labeled_sets_parallel};
+use alias_core::intern::{AddrInterner, CompactAliasSet};
+use alias_core::merge::merge_labeled_compact;
 use alias_netsim::ScalePreset;
 use alias_scan::ServiceProtocol;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::collections::BTreeSet;
-use std::net::IpAddr;
 
 fn bench_parallel_merge(c: &mut Criterion) {
     let experiment = Experiment::run(ScalePreset::Small, 11);
-    let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = [
+    // Interning is campaign-time work; the bench measures the merge engine
+    // itself, so the id space is built once outside the timed region.
+    let mut interner = AddrInterner::new();
+    let labeled: Vec<(&str, Vec<CompactAliasSet>)> = [
         ServiceProtocol::Ssh,
         ServiceProtocol::Bgp,
         ServiceProtocol::Snmpv3,
     ]
     .iter()
-    .map(|&p| (p.name(), experiment.collection(p, None).ipv4_sets()))
+    .map(|&p| {
+        (
+            p.name(),
+            experiment
+                .collection(p, None)
+                .ipv4_sets()
+                .iter()
+                .map(|set| CompactAliasSet::from_addr_set(set, &mut interner))
+                .collect(),
+        )
+    })
     .collect();
-    let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
+    let inputs: Vec<(&str, &[CompactAliasSet])> =
         labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
 
     let mut group = c.benchmark_group("merge_consolidation");
-    group.bench_function("serial", |b| b.iter(|| merge_labeled_sets(&inputs)));
+    group.bench_function("serial", |b| {
+        b.iter(|| merge_labeled_compact(&inputs, &interner, 1))
+    });
     for threads in [2usize, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("sharded", threads),
             &threads,
-            |b, &threads| b.iter(|| merge_labeled_sets_parallel(&inputs, threads)),
+            |b, &threads| b.iter(|| merge_labeled_compact(&inputs, &interner, threads)),
         );
     }
     group.finish();

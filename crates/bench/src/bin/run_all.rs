@@ -45,7 +45,7 @@ fn main() {
         } else {
             serial_doc
         };
-        let report = BenchReport::new("PR7", preset, seed, args.repeat, runs);
+        let report = BenchReport::new("PR8", preset, seed, args.repeat, runs);
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("could not write {path}: {err}");
             std::process::exit(1);
@@ -84,7 +84,7 @@ fn main() {
 /// Each repeat also runs the ICMP rate-limiting study (its own Internet, so
 /// it cannot disturb the main experiment's timings) and appends the new
 /// technique's `resolve_ms` to the run's technique rows — the
-/// `technique:ratelimit` entry in `BENCH_PR7.json`.
+/// `technique:ratelimit` entry in `BENCH_PR8.json`.
 fn measure(
     preset: ScalePreset,
     seed: u64,

@@ -16,15 +16,15 @@
 use alias_censys::{CensysConfig, CensysSnapshot};
 use alias_core::alias_set::AliasSetCollection;
 use alias_core::analysis;
+use alias_core::analysis::AsnTable;
 use alias_core::dataset::{DatasetFilter, DatasetSummary};
 use alias_core::dual_stack::DualStackReport;
 use alias_core::ecdf::Ecdf;
 use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
-use alias_core::merge::{
-    merge_labeled_sets_parallel, MergedSet, MultiServiceStats, ProtocolAttribution,
-};
+use alias_core::intern::{AddrId, AddrInterner, CompactAliasSet};
+use alias_core::merge::{merge_labeled_compact, MergedSet, MultiServiceStats, ProtocolAttribution};
 use alias_core::report::{format_count, format_pct, render_ecdf, TextTable};
-use alias_core::validation::{common_addresses, cross_validate, validate_against_midar};
+use alias_core::validation::{common_ids, cross_validate, validate_against_midar};
 use alias_midar::{Midar, MidarConfig};
 use alias_netsim::{
     DeviceKind, Internet, InternetBuilder, InternetConfig, ScalePreset, SimTime, VantageKind,
@@ -214,11 +214,26 @@ impl Experiment {
     }
 
     /// Merge labelled set collections on this experiment's thread pool.
-    /// Byte-identical to [`alias_core::merge::merge_labeled_sets`] for any
-    /// thread count.  Inputs are borrowed slices — nothing is cloned on the
-    /// way into the merge.
+    /// Byte-identical for any thread count.  The tables hold
+    /// report-boundary address sets, so this bridges them into a private
+    /// id space and runs [`merge_labeled_compact`]; the merged partition
+    /// (and its canonical order) is independent of interning order.
     pub fn merge_labeled(&self, inputs: &[(&str, &[BTreeSet<IpAddr>])]) -> Vec<MergedSet> {
-        merge_labeled_sets_parallel(inputs, self.threads)
+        let mut interner = AddrInterner::new();
+        let compact: Vec<(&str, Vec<CompactAliasSet>)> = inputs
+            .iter()
+            .map(|&(label, sets)| {
+                (
+                    label,
+                    sets.iter()
+                        .map(|set| CompactAliasSet::from_addr_set(set, &mut interner))
+                        .collect(),
+                )
+            })
+            .collect();
+        let borrowed: Vec<(&str, &[CompactAliasSet])> =
+            compact.iter().map(|(l, s)| (*l, s.as_slice())).collect();
+        merge_labeled_compact(&borrowed, &interner, self.threads)
     }
 
     /// The columnar store of one data source (`None` = union).
@@ -257,28 +272,54 @@ impl Experiment {
             .clone()
     }
 
-    /// Per-protocol responsive addresses of one family in the union data.
-    pub fn responsive_addrs(&self, protocol: ServiceProtocol, ipv6: bool) -> BTreeSet<IpAddr> {
+    /// Per-protocol responsive addresses of one family in the union data,
+    /// as sorted distinct ids of the union store's id space.
+    pub fn responsive_ids(&self, protocol: ServiceProtocol, ipv6: bool) -> Vec<AddrId> {
         let tag = alias_scan::ProtocolTag::from(protocol);
         let interner = self.union.interner();
-        self.union
+        let mut ids: Vec<AddrId> = self
+            .union
             .protocols()
             .iter()
             .zip(self.union.addr_ids())
             .filter(|&(&p, _)| p == tag)
-            .map(|(_, &id)| interner.addr(id))
-            .filter(|a| a.is_ipv6() == ipv6)
-            .collect()
+            .map(|(_, &id)| id)
+            .filter(|&id| interner.addr(id).is_ipv6() == ipv6)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
-    /// Address → ASN map for the union data.
-    pub fn asn_map(&self) -> HashMap<IpAddr, u32> {
+    /// Dense id → ASN annotation column over the union store's id space.
+    pub fn asn_table(&self) -> AsnTable {
+        AsnTable::from_pairs(
+            self.union.interner().len(),
+            self.union
+                .addr_ids()
+                .iter()
+                .zip(self.union.asns())
+                .filter_map(|(&id, &asn)| asn.map(|asn| (id, asn))),
+        )
+    }
+
+    /// Bridge report-boundary address sets back into the union store's id
+    /// space (every table set is built from observed addresses, so lookups
+    /// cannot miss).
+    fn compact_in(&self, sets: &[BTreeSet<IpAddr>]) -> Vec<CompactAliasSet> {
         let interner = self.union.interner();
-        self.union
-            .addr_ids()
-            .iter()
-            .zip(self.union.asns())
-            .filter_map(|(&id, &asn)| asn.map(|asn| (interner.addr(id), asn)))
+        sets.iter()
+            .map(|set| {
+                CompactAliasSet::from_ids(
+                    set.iter()
+                        .map(|&addr| {
+                            interner
+                                .get(addr)
+                                .expect("experiment sets only contain observed addresses")
+                        })
+                        .collect(),
+                )
+            })
             .collect()
     }
 }
@@ -351,18 +392,36 @@ pub fn table2(exp: &Experiment) -> String {
     let ssh_sets = ssh.ipv4_sets();
     let bgp_sets = bgp.ipv4_sets();
     let snmp_sets = snmp.ipv4_sets();
+    // Cross-protocol validation runs in the union store's id space; the
+    // counts are invariant under the addr↔id relabeling, so the rendered
+    // rows match the historical address-space computation byte for byte.
+    let ssh_compact = exp.compact_in(&ssh_sets);
+    let bgp_compact = exp.compact_in(&bgp_sets);
+    let snmp_compact = exp.compact_in(&snmp_sets);
 
-    let ssh_addrs = exp.responsive_addrs(ServiceProtocol::Ssh, false);
-    let bgp_addrs = exp.responsive_addrs(ServiceProtocol::Bgp, false);
-    let snmp_addrs = exp.responsive_addrs(ServiceProtocol::Snmpv3, false);
+    let ssh_ids = exp.responsive_ids(ServiceProtocol::Ssh, false);
+    let bgp_ids = exp.responsive_ids(ServiceProtocol::Bgp, false);
+    let snmp_ids = exp.responsive_ids(ServiceProtocol::Snmpv3, false);
 
     let mut table = TextTable::new(["Pair", "Sample size", "Agree", "Disagree", "Agreement"]);
-    for (label, a_sets, b_sets, a_addrs, b_addrs) in [
-        ("SSH-BGP", &ssh_sets, &bgp_sets, &ssh_addrs, &bgp_addrs),
-        ("SSH-SNMPv3", &ssh_sets, &snmp_sets, &ssh_addrs, &snmp_addrs),
-        ("BGP-SNMPv3", &bgp_sets, &snmp_sets, &bgp_addrs, &snmp_addrs),
+    for (label, a_sets, b_sets, a_ids, b_ids) in [
+        ("SSH-BGP", &ssh_compact, &bgp_compact, &ssh_ids, &bgp_ids),
+        (
+            "SSH-SNMPv3",
+            &ssh_compact,
+            &snmp_compact,
+            &ssh_ids,
+            &snmp_ids,
+        ),
+        (
+            "BGP-SNMPv3",
+            &bgp_compact,
+            &snmp_compact,
+            &bgp_ids,
+            &snmp_ids,
+        ),
     ] {
-        let common = common_addresses(a_addrs, b_addrs);
+        let common = common_ids(a_ids, b_ids);
         let result = cross_validate(a_sets, b_sets, &common);
         table.row([
             label.to_owned(),
@@ -392,7 +451,24 @@ pub fn table2(exp: &Experiment) -> String {
     // corroborated into a set (per-interface counters, high velocity) leave
     // the sampled set unverified rather than contradicted.
     let positively_grouped: BTreeSet<IpAddr> = midar.alias_sets.iter().flatten().copied().collect();
-    let validation = validate_against_midar(&sample, &midar.alias_sets, &positively_grouped);
+    // MIDAR probing can in principle report addresses the union store never
+    // observed, so the comparison gets its own private id space.
+    let mut space = AddrInterner::new();
+    let sample_compact: Vec<CompactAliasSet> = sample
+        .iter()
+        .map(|set| CompactAliasSet::from_addr_set(set, &mut space))
+        .collect();
+    let midar_compact: Vec<CompactAliasSet> = midar
+        .alias_sets
+        .iter()
+        .map(|set| CompactAliasSet::from_addr_set(set, &mut space))
+        .collect();
+    let mut grouped_ids: Vec<AddrId> = positively_grouped
+        .iter()
+        .map(|&addr| space.intern(addr))
+        .collect();
+    grouped_ids.sort_unstable();
+    let validation = validate_against_midar(&sample_compact, &midar_compact, &grouped_ids);
     table.row([
         "SSH-MIDAR".to_owned(),
         format_count(validation.result.sample_size),
@@ -556,13 +632,13 @@ pub fn table4(exp: &Experiment) -> String {
 
 /// Table 5: top 10 ASes for IPv4 alias sets, per protocol and union.
 pub fn table5(exp: &Experiment) -> String {
-    let asn_map = exp.asn_map();
+    let asns = exp.asn_table();
     let mut columns: Vec<Vec<(u32, usize)>> = Vec::new();
     let mut labeled = Vec::new();
     for protocol in PROTOCOLS {
         let collection = exp.collection(protocol, None);
         let sets = collection.ipv4_sets();
-        columns.push(analysis::top_ases(&sets, &asn_map, 10));
+        columns.push(analysis::top_ases(&exp.compact_in(&sets), &asns, 10));
         labeled.push((protocol.name(), sets));
     }
     let merged: Vec<BTreeSet<IpAddr>> = exp
@@ -575,7 +651,7 @@ pub fn table5(exp: &Experiment) -> String {
         .into_iter()
         .map(|m| m.addrs)
         .collect();
-    columns.push(analysis::top_ases(&merged, &asn_map, 10));
+    columns.push(analysis::top_ases(&exp.compact_in(&merged), &asns, 10));
 
     let mut table = TextTable::new(["Rank", "SSH", "BGP", "SNMPv3", "Union"]);
     for rank in 0..10 {
@@ -600,7 +676,7 @@ pub fn table5(exp: &Experiment) -> String {
 
 /// Table 6: top 10 ASes for IPv6 alias sets and dual-stack sets.
 pub fn table6(exp: &Experiment) -> String {
-    let asn_map = exp.asn_map();
+    let asns = exp.asn_table();
     let mut v6_labeled = Vec::new();
     let mut ds_labeled = Vec::new();
     for protocol in PROTOCOLS {
@@ -642,8 +718,8 @@ pub fn table6(exp: &Experiment) -> String {
         .into_iter()
         .map(|m| m.addrs)
         .collect();
-    let v6_top = analysis::top_ases(&v6_union, &asn_map, 10);
-    let ds_top = analysis::top_ases(&ds_union, &asn_map, 10);
+    let v6_top = analysis::top_ases(&exp.compact_in(&v6_union), &asns, 10);
+    let ds_top = analysis::top_ases(&exp.compact_in(&ds_union), &asns, 10);
 
     let mut table = TextTable::new(["Rank", "IPv6", "Dual-stack"]);
     for rank in 0..10 {
@@ -659,8 +735,8 @@ pub fn table6(exp: &Experiment) -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nIPv6 alias sets spread over {} ASes; dual-stack sets over {} ASes.\n",
-        format_count(analysis::ases_with_sets(&v6_union, &asn_map)),
-        format_count(analysis::ases_with_sets(&ds_union, &asn_map)),
+        format_count(analysis::ases_with_sets(&exp.compact_in(&v6_union), &asns)),
+        format_count(analysis::ases_with_sets(&exp.compact_in(&ds_union), &asns)),
     ));
     out
 }
@@ -751,19 +827,19 @@ pub fn figure4(exp: &Experiment) -> String {
 
 /// Figure 5: ECDF of ASes per IPv4 alias set.
 pub fn figure5(exp: &Experiment) -> String {
-    let asn_map = exp.asn_map();
+    let asns = exp.asn_table();
     let series = PROTOCOLS
         .iter()
         .map(|&protocol| {
             let sets = exp.collection(protocol, None).ipv4_sets();
-            let counts = analysis::asns_per_set(&sets, &asn_map);
+            let counts = analysis::asns_per_set(&exp.compact_in(&sets), &asns);
             (protocol.name(), Ecdf::from_counts(counts))
         })
         .collect::<Vec<_>>();
     let mut out = ecdf_series("Figure 5: ASNs per IPv4 alias set (ECDF)", series);
     for protocol in PROTOCOLS {
         let sets = exp.collection(protocol, None).ipv4_sets();
-        let counts = analysis::asns_per_set(&sets, &asn_map);
+        let counts = analysis::asns_per_set(&exp.compact_in(&sets), &asns);
         let multi = counts.iter().filter(|&&c| c >= 2).count();
         out.push_str(&format!(
             "# {}: {} of sets span 2+ ASes\n",
@@ -776,7 +852,7 @@ pub fn figure5(exp: &Experiment) -> String {
 
 /// Figure 6: ECDF of the number of alias / dual-stack sets per AS.
 pub fn figure6(exp: &Experiment) -> String {
-    let asn_map = exp.asn_map();
+    let asns = exp.asn_table();
     let mut labeled = Vec::new();
     let mut ds_labeled = Vec::new();
     for protocol in PROTOCOLS {
@@ -818,10 +894,10 @@ pub fn figure6(exp: &Experiment) -> String {
         .into_iter()
         .map(|m| m.addrs)
         .collect();
-    let alias_counts: Vec<usize> = analysis::sets_per_as(&alias_union, &asn_map)
+    let alias_counts: Vec<usize> = analysis::sets_per_as(&exp.compact_in(&alias_union), &asns)
         .into_values()
         .collect();
-    let ds_counts: Vec<usize> = analysis::sets_per_as(&ds_union, &asn_map)
+    let ds_counts: Vec<usize> = analysis::sets_per_as(&exp.compact_in(&ds_union), &asns)
         .into_values()
         .collect();
     let ases_with_alias = alias_counts.len();
@@ -877,11 +953,11 @@ pub fn stats(exp: &Experiment) -> String {
 
     // §4.1: single- vs multi-service addresses (IPv4 and IPv6).
     for ipv6 in [false, true] {
-        let per_protocol: Vec<BTreeSet<IpAddr>> = PROTOCOLS
+        let per_protocol: Vec<Vec<AddrId>> = PROTOCOLS
             .iter()
-            .map(|&p| exp.responsive_addrs(p, ipv6))
+            .map(|&p| exp.responsive_ids(p, ipv6))
             .collect();
-        let stats = MultiServiceStats::compute(&per_protocol);
+        let stats = MultiServiceStats::compute(&per_protocol, exp.union.interner().len());
         out.push_str(&format!(
             "{}: {} of addresses answer a single service; {} answer two or three\n",
             if ipv6 { "IPv6" } else { "IPv4" },

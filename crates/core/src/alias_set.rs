@@ -7,12 +7,13 @@
 //! ordered-set rebalancing.  Addresses come back only when a collection or
 //! [`CompactGrouping`] is materialised for reports.
 
+use crate::analysis::AsnTable;
 use crate::extract::IdentifierExtractor;
 use crate::identifier::ProtocolIdentifier;
 use crate::intern::{sort_canonical_compact, AddrId, AddrInterner, CompactAliasSet, IdentInterner};
 use alias_scan::{ObservationSink, ObservationView, ServiceObservation, ServicePayload};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::net::IpAddr;
 
 /// One alias set: the identifier and every address observed with it.
@@ -21,16 +22,19 @@ pub struct AliasSet {
     /// The shared identifier.
     pub identifier: ProtocolIdentifier,
     /// All addresses (IPv4 and IPv6) observed with the identifier.
+    // lint:allow(id-space): report boundary — collections carry resolved addresses
     pub addrs: BTreeSet<IpAddr>,
 }
 
 impl AliasSet {
     /// IPv4 members.
+    // lint:allow(id-space): report boundary — family views are rendered output
     pub fn ipv4_addrs(&self) -> BTreeSet<IpAddr> {
         self.addrs.iter().copied().filter(IpAddr::is_ipv4).collect()
     }
 
     /// IPv6 members.
+    // lint:allow(id-space): report boundary — family views are rendered output
     pub fn ipv6_addrs(&self) -> BTreeSet<IpAddr> {
         self.addrs.iter().copied().filter(IpAddr::is_ipv6).collect()
     }
@@ -51,8 +55,11 @@ impl AliasSet {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AliasSetCollection {
     sets: Vec<AliasSet>,
-    /// Address → origin AS annotation carried over from the observations.
-    asn_of: HashMap<IpAddr, u32>,
+    /// Address → origin AS annotations carried over from the observations,
+    /// sorted by address for binary-search lookup.  Builders key the
+    /// annotations by [`AddrId`] while grouping; the pairs here are the
+    /// resolved rendering of that column.
+    asn_pairs: Vec<(IpAddr, u32)>,
 }
 
 /// Streaming construction of an [`AliasSetCollection`]: push observations
@@ -71,7 +78,7 @@ pub struct AliasSetBuilder {
     /// Member ids per identifier, indexed by [`IdentId`]; may hold
     /// duplicates until [`finish`](Self::finish) deduplicates.
     groups: Vec<Vec<AddrId>>,
-    asn_of: HashMap<IpAddr, u32>,
+    asn_of: AsnTable,
 }
 
 impl AliasSetBuilder {
@@ -82,7 +89,7 @@ impl AliasSetBuilder {
             addrs: AddrInterner::new(),
             idents: IdentInterner::new(),
             groups: Vec::new(),
-            asn_of: HashMap::new(),
+            asn_of: AsnTable::default(),
         }
     }
 
@@ -107,7 +114,7 @@ impl AliasSetBuilder {
         let addr_id = self.addrs.intern(addr);
         self.groups[ident.index()].push(addr_id);
         if let Some(asn) = asn {
-            self.asn_of.insert(addr, asn);
+            self.asn_of.annotate(addr_id, asn);
         }
     }
 
@@ -115,6 +122,16 @@ impl AliasSetBuilder {
     /// biggest sets first, ties broken by members).
     pub fn finish(self) -> AliasSetCollection {
         let addrs = self.addrs;
+        // Resolve the dense ASN column to sorted (address, ASN) pairs —
+        // walking ids in order is deterministic, the final order is by
+        // address for binary-search lookup.
+        let mut asn_pairs: Vec<(IpAddr, u32)> = (0..addrs.len() as u32)
+            .filter_map(|raw| {
+                let id = AddrId(raw);
+                self.asn_of.get(id).map(|asn| (addrs.addr(id), asn))
+            })
+            .collect();
+        asn_pairs.sort_unstable_by_key(|&(addr, _)| addr);
         let mut sets: Vec<AliasSet> = self
             .idents
             .into_keys()
@@ -130,10 +147,7 @@ impl AliasSetBuilder {
                 .cmp(&a.len())
                 .then_with(|| a.addrs.iter().next().cmp(&b.addrs.iter().next()))
         });
-        AliasSetCollection {
-            sets,
-            asn_of: self.asn_of,
-        }
+        AliasSetCollection { sets, asn_pairs }
     }
 }
 
@@ -176,14 +190,18 @@ impl AliasSetCollection {
         &self.sets
     }
 
-    /// The AS annotation map carried over from the observations.
-    pub fn asn_of(&self) -> &HashMap<IpAddr, u32> {
-        &self.asn_of
+    /// The AS annotations carried over from the observations, as
+    /// `(address, ASN)` pairs sorted by address.
+    pub fn asn_pairs(&self) -> &[(IpAddr, u32)] {
+        &self.asn_pairs
     }
 
     /// Origin AS of one address, if known.
     pub fn asn(&self, addr: IpAddr) -> Option<u32> {
-        self.asn_of.get(&addr).copied()
+        self.asn_pairs
+            .binary_search_by_key(&addr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.asn_pairs[i].1)
     }
 
     /// Sets with at least two members — what the paper calls alias sets.
@@ -193,6 +211,7 @@ impl AliasSetCollection {
 
     /// Sets restricted to one address family, keeping only those that remain
     /// non-singleton after the restriction (used for the per-family tables).
+    // lint:allow(id-space): report boundary — family views feed the rendered tables
     pub fn family_sets(&self, ipv6: bool) -> Vec<BTreeSet<IpAddr>> {
         self.sets
             .iter()
@@ -202,11 +221,13 @@ impl AliasSetCollection {
     }
 
     /// Non-singleton IPv4 alias sets.
+    // lint:allow(id-space): report boundary — family views feed the rendered tables
     pub fn ipv4_sets(&self) -> Vec<BTreeSet<IpAddr>> {
         self.family_sets(false)
     }
 
     /// Non-singleton IPv6 alias sets.
+    // lint:allow(id-space): report boundary — family views feed the rendered tables
     pub fn ipv6_sets(&self) -> Vec<BTreeSet<IpAddr>> {
         self.family_sets(true)
     }
@@ -218,6 +239,7 @@ impl AliasSetCollection {
     }
 
     /// All distinct addresses in the collection (any family, any set size).
+    // lint:allow(id-space): report boundary — resolved view over the collection
     pub fn all_addresses(&self) -> BTreeSet<IpAddr> {
         self.sets
             .iter()
@@ -248,6 +270,7 @@ pub struct CompactGrouping {
 
 impl CompactGrouping {
     /// Resolve the testable ids back to addresses (report boundary).
+    // lint:allow(id-space): report boundary — resolves ids for rendering
     pub fn testable_addrs(&self, interner: &AddrInterner) -> BTreeSet<IpAddr> {
         self.testable.iter().map(|&id| interner.addr(id)).collect()
     }
@@ -523,8 +546,8 @@ mod tests {
         let refs: Vec<&ServiceObservation> = obs.iter().collect();
         let interner = AddrInterner::from_addrs(obs.iter().map(|o| o.addr));
         let legacy = AliasSetCollection::from_observations(obs.iter(), &extractor);
-        let legacy_sets: Vec<BTreeSet<IpAddr>> = {
-            let mut sets: Vec<BTreeSet<IpAddr>> = legacy
+        let legacy_sets: Vec<_> = {
+            let mut sets: Vec<_> = legacy
                 .non_singleton_sets()
                 .into_iter()
                 .map(|s| s.addrs.clone())
@@ -536,7 +559,7 @@ mod tests {
         for threads in [1usize, 2, 7] {
             let grouped = group_observations_compact(&refs, &extractor, &interner, threads);
             assert_eq!(grouped, serial, "threads={threads}");
-            let resolved: Vec<BTreeSet<IpAddr>> = grouped
+            let resolved: Vec<_> = grouped
                 .sets
                 .iter()
                 .map(|s| s.to_addr_set(&interner))

@@ -1,18 +1,76 @@
 //! AS-level analysis (Tables 5–6, Figures 5–6).
+//!
+//! Attribution runs in the id space: an [`AsnTable`] is a dense
+//! `AddrId → Option<ASN>` column (the same shape the observation store
+//! keeps), and every statistic takes [`CompactAliasSet`]s.  Lookups are
+//! array indexing instead of map probes, and nothing here keys a container
+//! by address.
 
+use crate::intern::{AddrId, CompactAliasSet};
 use std::collections::{BTreeSet, HashMap};
-use std::net::IpAddr;
+
+/// Dense `AddrId → Option<ASN>` annotation column.
+///
+/// Built once per campaign from the interner's id space; ids beyond the
+/// table's length read as unannotated, so a table built from a prefix of a
+/// later-extended interner stays valid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsnTable {
+    asns: Vec<Option<u32>>,
+}
+
+impl AsnTable {
+    /// An empty table where every id is unannotated.
+    pub fn new(len: usize) -> Self {
+        AsnTable {
+            asns: vec![None; len],
+        }
+    }
+
+    /// Build a table covering `len` ids from `(id, asn)` annotations.
+    /// Later duplicates win, matching map-insert semantics.
+    pub fn from_pairs<I: IntoIterator<Item = (AddrId, u32)>>(len: usize, pairs: I) -> Self {
+        let mut table = AsnTable::new(len);
+        for (id, asn) in pairs {
+            table.annotate(id, asn);
+        }
+        table
+    }
+
+    /// Annotate one id, growing the table if needed.
+    pub fn annotate(&mut self, id: AddrId, asn: u32) {
+        if id.index() >= self.asns.len() {
+            self.asns.resize(id.index() + 1, None);
+        }
+        self.asns[id.index()] = Some(asn);
+    }
+
+    /// The AS annotation of `id`, if any.
+    pub fn get(&self, id: AddrId) -> Option<u32> {
+        self.asns.get(id.index()).copied().flatten()
+    }
+
+    /// Number of id slots (annotated or not).
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// True when the table covers no ids at all.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+}
 
 /// Number of distinct origin ASes per set (Figure 5).
 ///
 /// Addresses without an AS annotation are ignored; sets with no annotated
 /// address contribute a count of zero.
-pub fn asns_per_set(sets: &[BTreeSet<IpAddr>], asn_of: &HashMap<IpAddr, u32>) -> Vec<usize> {
+pub fn asns_per_set(sets: &[CompactAliasSet], asn_of: &AsnTable) -> Vec<usize> {
     sets.iter()
         .map(|set| {
             set.iter()
-                .filter_map(|addr| asn_of.get(addr))
-                .collect::<BTreeSet<_>>()
+                .filter_map(|id| asn_of.get(id))
+                .collect::<BTreeSet<u32>>()
                 .len()
         })
         .collect()
@@ -20,10 +78,7 @@ pub fn asns_per_set(sets: &[BTreeSet<IpAddr>], asn_of: &HashMap<IpAddr, u32>) ->
 
 /// Attribute each set to one AS (the plurality AS of its members; ties break
 /// towards the numerically smallest ASN) and count sets per AS.
-pub fn sets_per_as(
-    sets: &[BTreeSet<IpAddr>],
-    asn_of: &HashMap<IpAddr, u32>,
-) -> HashMap<u32, usize> {
+pub fn sets_per_as(sets: &[CompactAliasSet], asn_of: &AsnTable) -> HashMap<u32, usize> {
     let mut counts: HashMap<u32, usize> = HashMap::new();
     for set in sets {
         if let Some(asn) = plurality_as(set, asn_of) {
@@ -34,10 +89,10 @@ pub fn sets_per_as(
 }
 
 /// The plurality AS of a set's members.
-pub fn plurality_as(set: &BTreeSet<IpAddr>, asn_of: &HashMap<IpAddr, u32>) -> Option<u32> {
+pub fn plurality_as(set: &CompactAliasSet, asn_of: &AsnTable) -> Option<u32> {
     let mut votes: HashMap<u32, usize> = HashMap::new();
-    for addr in set {
-        if let Some(&asn) = asn_of.get(addr) {
+    for id in set.iter() {
+        if let Some(asn) = asn_of.get(id) {
             *votes.entry(asn).or_insert(0) += 1;
         }
     }
@@ -49,11 +104,7 @@ pub fn plurality_as(set: &BTreeSet<IpAddr>, asn_of: &HashMap<IpAddr, u32>) -> Op
 }
 
 /// The `n` ASes with the most sets, as `(asn, set count)` sorted descending.
-pub fn top_ases(
-    sets: &[BTreeSet<IpAddr>],
-    asn_of: &HashMap<IpAddr, u32>,
-    n: usize,
-) -> Vec<(u32, usize)> {
+pub fn top_ases(sets: &[CompactAliasSet], asn_of: &AsnTable, n: usize) -> Vec<(u32, usize)> {
     let mut counts: Vec<(u32, usize)> = sets_per_as(sets, asn_of).into_iter().collect();
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     counts.truncate(n);
@@ -61,7 +112,7 @@ pub fn top_ases(
 }
 
 /// Number of ASes with at least one set.
-pub fn ases_with_sets(sets: &[BTreeSet<IpAddr>], asn_of: &HashMap<IpAddr, u32>) -> usize {
+pub fn ases_with_sets(sets: &[CompactAliasSet], asn_of: &AsnTable) -> usize {
     sets_per_as(sets, asn_of).len()
 }
 
@@ -69,58 +120,46 @@ pub fn ases_with_sets(sets: &[BTreeSet<IpAddr>], asn_of: &HashMap<IpAddr, u32>) 
 mod tests {
     use super::*;
 
-    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
-        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    fn set(raw: &[u32]) -> CompactAliasSet {
+        CompactAliasSet::from_ids(raw.iter().copied().map(AddrId).collect())
     }
 
-    fn asn_map(entries: &[(&str, u32)]) -> HashMap<IpAddr, u32> {
-        entries
-            .iter()
-            .map(|(a, asn)| (a.parse().unwrap(), *asn))
-            .collect()
+    fn table(entries: &[(u32, u32)]) -> AsnTable {
+        let len = entries.iter().map(|&(id, _)| id + 1).max().unwrap_or(0);
+        AsnTable::from_pairs(
+            len as usize,
+            entries.iter().map(|&(id, asn)| (AddrId(id), asn)),
+        )
     }
 
     #[test]
     fn asns_per_set_counts_distinct_ases() {
-        let sets = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),
-            set(&["10.0.0.3", "10.1.0.1", "10.2.0.1"]),
-        ];
-        let asns = asn_map(&[
-            ("10.0.0.1", 100),
-            ("10.0.0.2", 100),
-            ("10.0.0.3", 100),
-            ("10.1.0.1", 200),
-            ("10.2.0.1", 300),
-        ]);
+        let sets = vec![set(&[0, 1]), set(&[2, 3, 4])];
+        let asns = table(&[(0, 100), (1, 100), (2, 100), (3, 200), (4, 300)]);
         assert_eq!(asns_per_set(&sets, &asns), vec![1, 3]);
     }
 
     #[test]
     fn plurality_attribution_breaks_ties_to_smallest_asn() {
-        let s = set(&["10.0.0.1", "10.1.0.1"]);
-        let asns = asn_map(&[("10.0.0.1", 300), ("10.1.0.1", 100)]);
+        let s = set(&[0, 1]);
+        let asns = table(&[(0, 300), (1, 100)]);
         assert_eq!(plurality_as(&s, &asns), Some(100));
-        let s2 = set(&["10.0.0.1", "10.0.0.2", "10.1.0.1"]);
-        let asns2 = asn_map(&[("10.0.0.1", 300), ("10.0.0.2", 300), ("10.1.0.1", 100)]);
+        let s2 = set(&[0, 2, 1]);
+        let asns2 = table(&[(0, 300), (2, 300), (1, 100)]);
         assert_eq!(plurality_as(&s2, &asns2), Some(300));
-        assert_eq!(plurality_as(&set(&["10.9.9.9"]), &asns), None);
+        assert_eq!(plurality_as(&set(&[9]), &asns), None);
     }
 
     #[test]
     fn sets_per_as_and_top_ases() {
-        let sets = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),
-            set(&["10.0.1.1", "10.0.1.2"]),
-            set(&["10.1.0.1", "10.1.0.2"]),
-        ];
-        let asns = asn_map(&[
-            ("10.0.0.1", 14_061),
-            ("10.0.0.2", 14_061),
-            ("10.0.1.1", 14_061),
-            ("10.0.1.2", 14_061),
-            ("10.1.0.1", 701),
-            ("10.1.0.2", 701),
+        let sets = vec![set(&[0, 1]), set(&[2, 3]), set(&[4, 5])];
+        let asns = table(&[
+            (0, 14_061),
+            (1, 14_061),
+            (2, 14_061),
+            (3, 14_061),
+            (4, 701),
+            (5, 701),
         ]);
         let per_as = sets_per_as(&sets, &asns);
         assert_eq!(per_as[&14_061], 2);
@@ -131,10 +170,20 @@ mod tests {
 
     #[test]
     fn unannotated_addresses_are_ignored() {
-        let sets = vec![set(&["10.0.0.1", "10.0.0.2"])];
-        let asns = HashMap::new();
+        let sets = vec![set(&[0, 1])];
+        let asns = AsnTable::new(0);
         assert_eq!(asns_per_set(&sets, &asns), vec![0]);
         assert!(sets_per_as(&sets, &asns).is_empty());
         assert!(top_ases(&sets, &asns, 5).is_empty());
+    }
+
+    #[test]
+    fn annotate_grows_the_table() {
+        let mut asns = AsnTable::new(1);
+        asns.annotate(AddrId(5), 42);
+        assert_eq!(asns.get(AddrId(5)), Some(42));
+        assert_eq!(asns.get(AddrId(3)), None);
+        assert_eq!(asns.get(AddrId(900)), None, "out of range reads as None");
+        assert_eq!(asns.len(), 6);
     }
 }

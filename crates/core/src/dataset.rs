@@ -32,7 +32,9 @@ impl DatasetSummary {
     where
         I: IntoIterator<Item = &'a ServiceObservation>,
     {
-        let mut ips: BTreeSet<IpAddr> = BTreeSet::new();
+        // Collect-then-dedup instead of a tree set: distinctness is the
+        // only thing needed, and the sort happens once at the end.
+        let mut ips: Vec<IpAddr> = Vec::new();
         let mut asns: BTreeSet<u32> = BTreeSet::new();
         for obs in observations {
             if obs.is_ipv6() != filter.ipv6 {
@@ -48,11 +50,13 @@ impl DatasetSummary {
                     continue;
                 }
             }
-            ips.insert(obs.addr);
+            ips.push(obs.addr);
             if let Some(asn) = obs.asn {
                 asns.insert(asn);
             }
         }
+        ips.sort_unstable();
+        ips.dedup();
         DatasetSummary {
             ips: ips.len(),
             asns: asns.len(),

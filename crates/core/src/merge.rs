@@ -6,13 +6,12 @@
 //! each merged set is attributed to the protocols able to identify it
 //! ("40% can only be identified with SNMPv3 and 60% with SSH or BGP").
 //!
-//! The engine runs in id space: [`merge_labeled_compact`] unions
+//! Everything runs in id space: [`merge_labeled_compact`] unions
 //! [`CompactAliasSet`]s straight into a forest indexed by [`AddrId`] — no
 //! per-merge address→index re-keying, no per-set clones, no ordered-set
-//! rebalancing until the final [`MergedSet`]s are materialised.  The
-//! address-set entry points ([`merge_labeled_sets`],
-//! [`merge_labeled_sets_parallel`], [`merge_sets`]) intern their inputs
-//! once and delegate.
+//! rebalancing until the final [`MergedSet`]s are materialised.  Callers
+//! that start from address sets intern them once against a campaign
+//! interner first; the former `BTreeSet<IpAddr>` entry points are gone.
 
 use crate::intern::{AddrId, AddrInterner, CompactAliasSet};
 use crate::union_find::UnionFind;
@@ -23,7 +22,9 @@ use std::net::IpAddr;
 /// A merged set with the labels (protocols / sources) that contributed to it.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MergedSet {
-    /// Member addresses.
+    /// Member addresses.  This is the rendering boundary — merged sets go
+    /// straight into reports, so they carry resolved addresses.
+    // lint:allow(id-space): report boundary — merged sets are the rendered output
     pub addrs: BTreeSet<IpAddr>,
     /// Labels of every input list that contributed at least one input set.
     pub labels: BTreeSet<String>,
@@ -39,15 +40,13 @@ impl MergedSet {
 /// Merge labelled collections of [`CompactAliasSet`]s sharing one id space:
 /// sets sharing at least one address end up in the same merged set.
 ///
-/// This is the engine the address-set entry points delegate to, and what
-/// the resolver calls directly with a campaign's interner — member ids
-/// index straight into the union–find forest, so there is no per-merge
-/// re-keying and no input cloning.  With `threads > 1` the union pass
-/// shards over the input sets (private forests reporting spanning edges to
-/// a boundary pass) and materialisation shards over the merged groups.
-/// The output is in canonical order — merged sets sorted by their smallest
-/// address — and identical for every thread count, because the merged
-/// partition of a set family is independent of union order.
+/// Member ids index straight into the union–find forest, so there is no
+/// per-merge re-keying and no input cloning.  With `threads > 1` the union
+/// pass shards over the input sets (private forests reporting spanning
+/// edges to a boundary pass) and materialisation shards over the merged
+/// groups.  The output is in canonical order — merged sets sorted by their
+/// smallest address — and identical for every thread count, because the
+/// merged partition of a set family is independent of union order.
 pub fn merge_labeled_compact(
     inputs: &[(&str, &[CompactAliasSet])],
     interner: &AddrInterner,
@@ -151,7 +150,10 @@ pub fn merge_labeled_compact(
     }
 
     // Materialise the merged sets at the address boundary, sharded over the
-    // groups (the ordered-set building is the expensive part).
+    // groups (the ordered-set building is the expensive part).  Both tables
+    // are frozen first: the shards below share them read-only.
+    let groups = &groups;
+    let labels = &labels;
     let group_ranges = alias_exec::split_even(
         groups.len() as u64,
         if threads <= 1 {
@@ -182,60 +184,12 @@ pub fn merge_labeled_compact(
     merged
 }
 
-/// Merge labelled collections of sets: sets sharing at least one address end
-/// up in the same merged set.
-///
-/// The address-set entry point: members are interned once into a dense id
-/// space, then [`merge_labeled_compact`] does the actual work.  The output
-/// is in canonical order — merged sets sorted by their smallest address —
-/// so this and [`merge_labeled_sets_parallel`] return identical vectors.
-pub fn merge_labeled_sets(inputs: &[(&str, &[BTreeSet<IpAddr>])]) -> Vec<MergedSet> {
-    merge_labeled_sets_parallel(inputs, 1)
-}
-
-/// [`merge_labeled_sets`] with `threads` shard workers (byte-identical
-/// output for every thread count).
-pub fn merge_labeled_sets_parallel(
-    inputs: &[(&str, &[BTreeSet<IpAddr>])],
-    threads: usize,
-) -> Vec<MergedSet> {
-    // Intern all addresses (serial: id assignment follows input order).
-    let mut interner = AddrInterner::new();
-    let compact: Vec<(&str, Vec<CompactAliasSet>)> = inputs
-        .iter()
-        .map(|(label, sets)| {
-            (
-                *label,
-                sets.iter()
-                    .map(|set| CompactAliasSet::from_addr_set(set, &mut interner))
-                    .collect(),
-            )
-        })
-        .collect();
-    let borrowed: Vec<(&str, &[CompactAliasSet])> = compact
-        .iter()
-        .map(|(label, sets)| (*label, sets.as_slice()))
-        .collect();
-    merge_labeled_compact(&borrowed, &interner, threads)
-}
-
 /// Canonical output order: merged sets sorted by their smallest address.
 /// The sets partition the address space, so smallest members are distinct
 /// and the order is total — and independent of union order, which is what
 /// makes serial and sharded merges comparable byte for byte.
 fn sort_canonical(merged: &mut [MergedSet]) {
     merged.sort_by(|a, b| a.addrs.iter().next().cmp(&b.addrs.iter().next()));
-}
-
-/// Convenience: merge unlabelled set lists (borrowing the inputs — nothing
-/// is cloned on the way to the labelled path).
-pub fn merge_sets(inputs: &[Vec<BTreeSet<IpAddr>>]) -> Vec<BTreeSet<IpAddr>> {
-    let labelled: Vec<(&str, &[BTreeSet<IpAddr>])> =
-        inputs.iter().map(|sets| ("", sets.as_slice())).collect();
-    merge_labeled_sets(&labelled)
-        .into_iter()
-        .map(|m| m.addrs)
-        .collect()
 }
 
 /// How many services each address answers (the 97% / 3% split of §4.1).
@@ -250,18 +204,21 @@ pub struct MultiServiceStats {
 }
 
 impl MultiServiceStats {
-    /// Compute the split from per-protocol responsive address sets.
-    pub fn compute(per_protocol: &[BTreeSet<IpAddr>]) -> Self {
-        let mut counts: HashMap<IpAddr, usize> = HashMap::new();
-        for addrs in per_protocol {
-            for &addr in addrs {
-                *counts.entry(addr).or_insert(0) += 1;
+    /// Compute the split from per-protocol responsive id lists sharing one
+    /// interner of `universe` ids.  Each inner list must hold *distinct*
+    /// ids (one per responsive address, as a responsive-set naturally is);
+    /// order does not matter.
+    pub fn compute(per_protocol: &[Vec<AddrId>], universe: usize) -> Self {
+        let mut counts = vec![0u8; universe];
+        for ids in per_protocol {
+            for id in ids {
+                counts[id.index()] += 1;
             }
         }
         let mut stats = MultiServiceStats::default();
-        // lint:allow(det-hash-iter): commutative counting — only the histogram of counts is kept
-        for (_, n) in counts {
+        for &n in &counts {
             match n {
+                0 => {}
                 1 => stats.single_service += 1,
                 2 => stats.two_services += 1,
                 _ => stats.three_services += 1,
@@ -328,15 +285,40 @@ impl ProtocolAttribution {
 mod tests {
     use super::*;
 
-    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
-        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    /// Intern one dotted-quad family into `interner` as compact sets.
+    fn family(sets: &[&[&str]], interner: &mut AddrInterner) -> Vec<CompactAliasSet> {
+        sets.iter()
+            .map(|addrs| {
+                CompactAliasSet::from_ids(
+                    addrs
+                        .iter()
+                        .map(|a| interner.intern(a.parse().unwrap()))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Serial labelled merge over freshly interned families.
+    fn merge(inputs: &[(&str, &[&[&str]])]) -> Vec<MergedSet> {
+        let mut interner = AddrInterner::new();
+        let compact: Vec<(&str, Vec<CompactAliasSet>)> = inputs
+            .iter()
+            .map(|(label, sets)| (*label, family(sets, &mut interner)))
+            .collect();
+        let borrowed: Vec<(&str, &[CompactAliasSet])> = compact
+            .iter()
+            .map(|(label, sets)| (*label, sets.as_slice()))
+            .collect();
+        merge_labeled_compact(&borrowed, &interner, 1)
     }
 
     #[test]
     fn disjoint_sets_stay_separate() {
-        let ssh = vec![set(&["10.0.0.1", "10.0.0.2"])];
-        let snmp = vec![set(&["10.1.0.1", "10.1.0.2"])];
-        let merged = merge_labeled_sets(&[("ssh", &ssh), ("snmpv3", &snmp)]);
+        let merged = merge(&[
+            ("ssh", &[&["10.0.0.1", "10.0.0.2"]]),
+            ("snmpv3", &[&["10.1.0.1", "10.1.0.2"]]),
+        ]);
         assert_eq!(merged.len(), 2);
         assert!(merged.iter().any(|m| m.only_from("ssh")));
         assert!(merged.iter().any(|m| m.only_from("snmpv3")));
@@ -344,9 +326,10 @@ mod tests {
 
     #[test]
     fn overlapping_sets_merge_and_carry_both_labels() {
-        let ssh = vec![set(&["10.0.0.1", "10.0.0.2"])];
-        let bgp = vec![set(&["10.0.0.2", "10.0.0.3"])];
-        let merged = merge_labeled_sets(&[("ssh", &ssh), ("bgp", &bgp)]);
+        let merged = merge(&[
+            ("ssh", &[&["10.0.0.1", "10.0.0.2"]]),
+            ("bgp", &[&["10.0.0.2", "10.0.0.3"]]),
+        ]);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].addrs.len(), 3);
         assert_eq!(merged[0].labels.len(), 2);
@@ -355,36 +338,39 @@ mod tests {
 
     #[test]
     fn transitive_merging_through_a_chain() {
-        let merged = merge_sets(&[
-            vec![set(&["10.0.0.1", "10.0.0.2"])],
-            vec![set(&["10.0.0.2", "10.0.0.3"])],
-            vec![set(&["10.0.0.3", "10.0.0.4"])],
+        let merged = merge(&[
+            ("a", &[&["10.0.0.1", "10.0.0.2"]]),
+            ("b", &[&["10.0.0.2", "10.0.0.3"]]),
+            ("c", &[&["10.0.0.3", "10.0.0.4"]]),
         ]);
         assert_eq!(merged.len(), 1);
-        assert_eq!(merged[0].len(), 4);
+        assert_eq!(merged[0].addrs.len(), 4);
     }
 
     #[test]
     fn multi_service_stats_split() {
-        let ssh = set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"]);
-        let bgp = set(&["10.0.0.3", "10.0.0.4"]);
-        let snmp = set(&["10.0.0.3", "10.0.0.4", "10.0.0.5"]);
-        let stats = MultiServiceStats::compute(&[ssh, bgp, snmp]);
+        // Five addresses 0‥=4: three SSH-only, one on two services, one on
+        // all three — mirrors the dotted-quad version this replaced.
+        let ssh = vec![AddrId(0), AddrId(1), AddrId(2)];
+        let bgp = vec![AddrId(2), AddrId(3)];
+        let snmp = vec![AddrId(2), AddrId(3), AddrId(4)];
+        let stats = MultiServiceStats::compute(&[ssh, bgp, snmp], 5);
         assert_eq!(stats.total(), 5);
-        assert_eq!(stats.single_service, 3); // .1, .2, .5
-        assert_eq!(stats.two_services, 1); // .4
-        assert_eq!(stats.three_services, 1); // .3
+        assert_eq!(stats.single_service, 3); // 0, 1, 4
+        assert_eq!(stats.two_services, 1); // 3
+        assert_eq!(stats.three_services, 1); // 2
         assert!((stats.single_fraction() - 0.6).abs() < 1e-9);
     }
 
     #[test]
     fn attribution_counts_snmp_only_sets() {
-        let ssh = vec![set(&["10.0.0.1", "10.0.0.2"])];
-        let snmp = vec![
-            set(&["10.1.0.1", "10.1.0.2"]),
-            set(&["10.0.0.1", "10.0.0.9"]),
-        ];
-        let merged = merge_labeled_sets(&[("ssh", &ssh), ("snmpv3", &snmp)]);
+        let merged = merge(&[
+            ("ssh", &[&["10.0.0.1", "10.0.0.2"]]),
+            (
+                "snmpv3",
+                &[&["10.1.0.1", "10.1.0.2"], &["10.0.0.1", "10.0.0.9"]],
+            ),
+        ]);
         let attribution = ProtocolAttribution::compute(&merged);
         assert_eq!(attribution.total, 2);
         assert_eq!(attribution.snmpv3_only, 1);
@@ -394,9 +380,9 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(merge_sets(&[]).is_empty());
-        assert!(merge_labeled_sets(&[("ssh", &[])]).is_empty());
-        let stats = MultiServiceStats::compute(&[]);
+        assert!(merge(&[]).is_empty());
+        assert!(merge(&[("ssh", &[])]).is_empty());
+        let stats = MultiServiceStats::compute(&[], 0);
         assert_eq!(stats.total(), 0);
         assert_eq!(stats.single_fraction(), 0.0);
         let attribution = ProtocolAttribution::compute(&[]);
@@ -404,11 +390,27 @@ mod tests {
     }
 
     #[test]
+    fn interner_may_cover_more_ids_than_the_sets() {
+        // A campaign interner spans addresses the input sets never mention;
+        // absent ids must not materialise as empty merged sets or skew the
+        // service histogram.
+        let mut interner = AddrInterner::new();
+        let sets = family(&[&["10.0.0.1", "10.0.0.2"]], &mut interner);
+        interner.intern("10.9.9.9".parse().unwrap());
+        let merged = merge_labeled_compact(&[("ssh", &sets)], &interner, 1);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].addrs.len(), 2);
+        let stats = MultiServiceStats::compute(&[vec![AddrId(0), AddrId(1)]], interner.len());
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
     fn output_is_sorted_by_smallest_address() {
-        let ssh = vec![set(&["10.9.0.1", "10.9.0.2"])];
-        let bgp = vec![set(&["10.0.0.5", "10.0.0.6"])];
-        let snmp = vec![set(&["10.4.0.1"])];
-        let merged = merge_labeled_sets(&[("ssh", &ssh), ("bgp", &bgp), ("snmpv3", &snmp)]);
+        let merged = merge(&[
+            ("ssh", &[&["10.9.0.1", "10.9.0.2"]]),
+            ("bgp", &[&["10.0.0.5", "10.0.0.6"]]),
+            ("snmpv3", &[&["10.4.0.1"]]),
+        ]);
         let firsts: Vec<IpAddr> = merged
             .iter()
             .map(|m| *m.addrs.iter().next().unwrap())
@@ -420,25 +422,29 @@ mod tests {
 
     #[test]
     fn parallel_merge_matches_serial_for_every_thread_count() {
-        let ssh = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),
-            set(&["10.0.1.1", "10.0.1.2", "10.0.1.3"]),
-            set(&["10.0.2.1"]),
-        ];
-        let bgp = vec![
-            set(&["10.0.0.2", "10.0.0.3"]),
-            set(&["10.0.3.1", "10.0.3.2"]),
-        ];
-        let snmp = vec![
-            set(&["10.0.1.3", "10.0.3.1"]),
-            set(&["10.0.4.1", "10.0.4.2"]),
-        ];
-        let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
+        let mut interner = AddrInterner::new();
+        let ssh = family(
+            &[
+                &["10.0.0.1", "10.0.0.2"],
+                &["10.0.1.1", "10.0.1.2", "10.0.1.3"],
+                &["10.0.2.1"],
+            ],
+            &mut interner,
+        );
+        let bgp = family(
+            &[&["10.0.0.2", "10.0.0.3"], &["10.0.3.1", "10.0.3.2"]],
+            &mut interner,
+        );
+        let snmp = family(
+            &[&["10.0.1.3", "10.0.3.1"], &["10.0.4.1", "10.0.4.2"]],
+            &mut interner,
+        );
+        let inputs: Vec<(&str, &[CompactAliasSet])> =
             vec![("ssh", &ssh), ("bgp", &bgp), ("snmpv3", &snmp)];
-        let serial = merge_labeled_sets(&inputs);
-        for threads in [1usize, 2, 7] {
+        let serial = merge_labeled_compact(&inputs, &interner, 1);
+        for threads in [2usize, 7] {
             assert_eq!(
-                merge_labeled_sets_parallel(&inputs, threads),
+                merge_labeled_compact(&inputs, &interner, threads),
                 serial,
                 "threads={threads}"
             );
@@ -447,8 +453,9 @@ mod tests {
 
     #[test]
     fn parallel_merge_empty_inputs() {
-        assert!(merge_labeled_sets_parallel(&[], 4).is_empty());
-        assert!(merge_labeled_sets_parallel(&[("ssh", &[])], 4).is_empty());
+        let interner = AddrInterner::new();
+        assert!(merge_labeled_compact(&[], &interner, 4).is_empty());
+        assert!(merge_labeled_compact(&[("ssh", &[])], &interner, 4).is_empty());
     }
 
     // The paper-scale regression guarantee in miniature: for random
@@ -466,28 +473,39 @@ mod tests {
             ),
         ) {
             const LABELS: [&str; 4] = ["ssh", "bgp", "snmpv3", "midar"];
-            let families: Vec<Vec<BTreeSet<IpAddr>>> = families
+            let mut interner = AddrInterner::new();
+            let compact: Vec<Vec<CompactAliasSet>> = families
                 .iter()
                 .map(|sets| {
                     sets.iter()
                         .map(|raw| {
-                            raw.iter()
-                                .map(|&v| {
-                                    IpAddr::from([10, 0, (v >> 8) as u8, (v & 0xff) as u8])
-                                })
-                                .collect()
+                            CompactAliasSet::from_ids(
+                                raw.iter()
+                                    .map(|&v| {
+                                        interner.intern(IpAddr::from([
+                                            10,
+                                            0,
+                                            (v >> 8) as u8,
+                                            (v & 0xff) as u8,
+                                        ]))
+                                    })
+                                    .collect(),
+                            )
                         })
                         .collect()
                 })
                 .collect();
-            let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> = families
+            let inputs: Vec<(&str, &[CompactAliasSet])> = compact
                 .iter()
                 .enumerate()
                 .map(|(i, sets)| (LABELS[i % LABELS.len()], sets.as_slice()))
                 .collect();
-            let serial = merge_labeled_sets(&inputs);
+            let serial = merge_labeled_compact(&inputs, &interner, 1);
             for threads in [2usize, 7] {
-                proptest::prop_assert_eq!(merge_labeled_sets_parallel(&inputs, threads), serial.clone());
+                proptest::prop_assert_eq!(
+                    merge_labeled_compact(&inputs, &interner, threads),
+                    serial.clone()
+                );
             }
         }
     }

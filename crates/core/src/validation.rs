@@ -4,10 +4,18 @@
 //! partitions produced by different techniques over the addresses responsive
 //! to *both*: a set "agrees" when the other technique groups exactly the
 //! same addresses together.  The same machinery compares against MIDAR.
+//!
+//! Everything here runs in the id space: inputs are [`CompactAliasSet`]s
+//! plus sorted [`AddrId`] universes interned against one shared
+//! [`AddrInterner`](crate::intern::AddrInterner).  Agreement counting is
+//! invariant under the (bijective) address ↔ id relabeling, so the results
+//! are identical to the former `BTreeSet<IpAddr>` formulation — the parity
+//! suite pins that down — while projection becomes a sorted-slice merge
+//! walk instead of per-address tree probes.
 
+use crate::intern::{AddrId, CompactAliasSet};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-use std::net::IpAddr;
+use std::collections::HashSet;
 
 /// Outcome of one pairwise validation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,46 +39,56 @@ impl ValidationResult {
     }
 }
 
-/// Addresses present in both collections of responsive addresses.
-pub fn common_addresses(a: &BTreeSet<IpAddr>, b: &BTreeSet<IpAddr>) -> BTreeSet<IpAddr> {
-    a.intersection(b).copied().collect()
+/// Ids present in both sorted id slices, as a sorted vector.
+pub fn common_ids(a: &[AddrId], b: &[AddrId]) -> Vec<AddrId> {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b must be sorted");
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
-/// Restrict `sets` to `universe`, dropping sets that no longer have at least
-/// two members.
-pub fn project_sets(
-    sets: &[BTreeSet<IpAddr>],
-    universe: &BTreeSet<IpAddr>,
-) -> Vec<BTreeSet<IpAddr>> {
+/// Restrict `sets` to the sorted id `universe`, dropping sets that no longer
+/// have at least two members.
+pub fn project_compact(sets: &[CompactAliasSet], universe: &[AddrId]) -> Vec<CompactAliasSet> {
     sets.iter()
-        .map(|s| {
-            s.intersection(universe)
-                .copied()
-                .collect::<BTreeSet<IpAddr>>()
-        })
-        .filter(|s| s.len() >= 2)
+        .map(|set| CompactAliasSet::from_ids(common_ids(set.ids(), universe)))
+        .filter(|set| set.len() >= 2)
         .collect()
 }
 
-/// Compare technique A's sets against technique B's sets over the addresses
+/// Compare technique A's sets against technique B's sets over the ids
 /// responsive to both techniques.
 ///
 /// Both set lists are first projected onto `common`; every projected A set
 /// is then checked for an exact membership match among the projected B sets.
+/// Both inputs must share one interner — comparing ids minted by different
+/// interners is meaningless (the resolver translates first).
 pub fn cross_validate(
-    sets_a: &[BTreeSet<IpAddr>],
-    sets_b: &[BTreeSet<IpAddr>],
-    common: &BTreeSet<IpAddr>,
+    sets_a: &[CompactAliasSet],
+    sets_b: &[CompactAliasSet],
+    common: &[AddrId],
 ) -> ValidationResult {
-    let projected_a = project_sets(sets_a, common);
-    let projected_b = project_sets(sets_b, common);
-    let b_lookup: std::collections::HashSet<&BTreeSet<IpAddr>> = projected_b.iter().collect();
+    let projected_a = project_compact(sets_a, common);
+    let projected_b = project_compact(sets_b, common);
+    let b_lookup: HashSet<&[AddrId]> = projected_b.iter().map(|s| s.ids()).collect();
     let mut result = ValidationResult {
         sample_size: projected_a.len(),
         ..Default::default()
     };
     for set in &projected_a {
-        if b_lookup.contains(set) {
+        if b_lookup.contains(set.ids()) {
             result.agree += 1;
         } else {
             result.disagree += 1;
@@ -107,13 +125,14 @@ impl MidarValidation {
     }
 }
 
-/// Compare sampled alias sets against a MIDAR-style partition.
+/// Compare sampled alias sets against a MIDAR-style partition, with
+/// `testable` the sorted ids MIDAR could measure at all.
 pub fn validate_against_midar(
-    sampled_sets: &[BTreeSet<IpAddr>],
-    midar_sets: &[BTreeSet<IpAddr>],
-    testable: &BTreeSet<IpAddr>,
+    sampled_sets: &[CompactAliasSet],
+    midar_sets: &[CompactAliasSet],
+    testable: &[AddrId],
 ) -> MidarValidation {
-    let projected = project_sets(sampled_sets, testable);
+    let projected = project_compact(sampled_sets, testable);
     let unverifiable = sampled_sets.len() - projected.len();
     let result = cross_validate(sampled_sets, midar_sets, testable);
     MidarValidation {
@@ -127,17 +146,18 @@ pub fn validate_against_midar(
 mod tests {
     use super::*;
 
-    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
-        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    fn ids(raw: &[u32]) -> Vec<AddrId> {
+        raw.iter().copied().map(AddrId).collect()
+    }
+
+    fn set(raw: &[u32]) -> CompactAliasSet {
+        CompactAliasSet::from_ids(ids(raw))
     }
 
     #[test]
     fn identical_partitions_agree_fully() {
-        let a = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),
-            set(&["10.1.0.1", "10.1.0.2"]),
-        ];
-        let common: BTreeSet<IpAddr> = a.iter().flatten().copied().collect();
+        let a = vec![set(&[0, 1]), set(&[2, 3])];
+        let common = ids(&[0, 1, 2, 3]);
         let result = cross_validate(&a, &a, &common);
         assert_eq!(result.sample_size, 2);
         assert_eq!(result.agree, 2);
@@ -147,13 +167,10 @@ mod tests {
 
     #[test]
     fn split_sets_disagree() {
-        let a = vec![set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"])];
+        let a = vec![set(&[0, 1, 2])];
         // Technique B splits the set in two.
-        let b = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),
-            set(&["10.0.0.3", "10.0.0.4"]),
-        ];
-        let common = set(&["10.0.0.1", "10.0.0.2", "10.0.0.3"]);
+        let b = vec![set(&[0, 1]), set(&[2, 3])];
+        let common = ids(&[0, 1, 2]);
         let result = cross_validate(&a, &b, &common);
         assert_eq!(result.sample_size, 1);
         assert_eq!(result.disagree, 1);
@@ -162,24 +179,21 @@ mod tests {
 
     #[test]
     fn projection_respects_the_common_universe() {
-        // A's set contains an address B never saw; after projection onto the
+        // A's set contains an id B never saw; after projection onto the
         // common universe they agree.
-        let a = vec![set(&["10.0.0.1", "10.0.0.2", "10.0.0.9"])];
-        let b = vec![set(&["10.0.0.1", "10.0.0.2"])];
-        let common = set(&["10.0.0.1", "10.0.0.2"]);
+        let a = vec![set(&[0, 1, 9])];
+        let b = vec![set(&[0, 1])];
+        let common = ids(&[0, 1]);
         let result = cross_validate(&a, &b, &common);
         assert_eq!(result.agree, 1);
     }
 
     #[test]
     fn sets_that_vanish_after_projection_are_not_counted() {
-        let a = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),
-            set(&["10.5.0.1", "10.5.0.2"]),
-        ];
-        let b = vec![set(&["10.0.0.1", "10.0.0.2"])];
-        // Only the first set intersects the common universe with ≥2 addrs.
-        let common = set(&["10.0.0.1", "10.0.0.2", "10.5.0.1"]);
+        let a = vec![set(&[0, 1]), set(&[5, 6])];
+        let b = vec![set(&[0, 1])];
+        // Only the first set intersects the common universe with ≥2 ids.
+        let common = ids(&[0, 1, 5]);
         let result = cross_validate(&a, &b, &common);
         assert_eq!(result.sample_size, 1);
         assert_eq!(result.agree, 1);
@@ -187,7 +201,7 @@ mod tests {
 
     #[test]
     fn empty_sample_has_full_agreement_by_convention() {
-        let result = cross_validate(&[], &[], &BTreeSet::new());
+        let result = cross_validate(&[], &[], &[]);
         assert_eq!(result.sample_size, 0);
         assert_eq!(result.agreement_rate(), 1.0);
     }
@@ -195,15 +209,12 @@ mod tests {
     #[test]
     fn midar_validation_reports_coverage() {
         let sampled = vec![
-            set(&["10.0.0.1", "10.0.0.2"]), // testable, agrees
-            set(&["10.1.0.1", "10.1.0.2"]), // untestable (random IPIDs)
-            set(&["10.2.0.1", "10.2.0.2"]), // testable, MIDAR splits it
+            set(&[0, 1]), // testable, agrees
+            set(&[2, 3]), // untestable (random IPIDs)
+            set(&[4, 5]), // testable, MIDAR splits it
         ];
-        let midar = vec![
-            set(&["10.0.0.1", "10.0.0.2"]),
-            set(&["10.2.0.1", "10.9.0.9"]),
-        ];
-        let testable = set(&["10.0.0.1", "10.0.0.2", "10.2.0.1", "10.2.0.2"]);
+        let midar = vec![set(&[0, 1]), set(&[4, 9])];
+        let testable = ids(&[0, 1, 4, 5]);
         let validation = validate_against_midar(&sampled, &midar, &testable);
         assert_eq!(validation.sampled, 3);
         assert_eq!(validation.unverifiable, 1);
@@ -213,9 +224,9 @@ mod tests {
     }
 
     #[test]
-    fn common_addresses_is_an_intersection() {
-        let a = set(&["10.0.0.1", "10.0.0.2"]);
-        let b = set(&["10.0.0.2", "10.0.0.3"]);
-        assert_eq!(common_addresses(&a, &b), set(&["10.0.0.2"]));
+    fn common_ids_is_a_sorted_intersection() {
+        assert_eq!(common_ids(&ids(&[0, 1]), &ids(&[1, 2])), ids(&[1]));
+        assert_eq!(common_ids(&ids(&[0, 2, 4]), &ids(&[1, 3, 5])), ids(&[]));
+        assert_eq!(common_ids(&ids(&[0, 1, 2, 3]), &ids(&[1, 3])), ids(&[1, 3]));
     }
 }

@@ -36,12 +36,17 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod index;
 pub mod registry;
 pub mod rules;
 pub mod source;
 pub mod tokenizer;
 
 pub use baseline::Baseline;
-pub use registry::{check_workspace, rule_names, rules, scan_workspace, CheckOutcome, ScanReport};
-pub use rules::{Rule, Violation};
+pub use index::WorkspaceIndex;
+pub use registry::{
+    baselinable_counts, check_workspace, cross_rules, is_hard, rule_names, rules, scan_workspace,
+    CheckOutcome, ScanReport,
+};
+pub use rules::{CrossRule, Rule, Violation};
 pub use source::SourceFile;

@@ -10,11 +10,15 @@
 //! `src/`, applies `lint:allow` suppressions, and compares the surviving
 //! violations against the committed `lint-baseline.json`: any violation
 //! beyond a key's baselined count — or any malformed suppression — fails
-//! with exit code 1 and a per-key table.  `--summary <path>` appends that
-//! table as GitHub-flavoured markdown (pass `$GITHUB_STEP_SUMMARY`).
-//! `--update-baseline` regenerates the baseline from the current scan so
-//! the ratchet can be tightened after paying down debt.  Usage and I/O
-//! errors exit 2.
+//! with exit code 1 and a per-key table.  Hard rules (`id-space` inside
+//! the migrated pipeline crates) fail regardless of the baseline: since
+//! PR 8 the migration is finished, so there is nothing left to
+//! grandfather there.  `--summary <path>` appends a per-rule roll-up and
+//! the per-key table as GitHub-flavoured markdown (pass
+//! `$GITHUB_STEP_SUMMARY`).  `--update-baseline` regenerates the baseline
+//! from the current scan (hard-rule violations are never written) so the
+//! ratchet can be tightened after paying down debt.  Usage and I/O errors
+//! exit 2.
 
 use alias_lint::baseline::Baseline;
 use alias_lint::registry::{self, CheckOutcome};
@@ -32,13 +36,18 @@ fn main() {
     match args.mode {
         Mode::List => {
             for rule in registry::rules() {
-                println!("{:<14} {}", rule.name(), rule.summary());
+                println!("{:<16} {}", rule.name(), rule.summary());
+            }
+            for rule in registry::cross_rules() {
+                println!("{:<16} {}", rule.name(), rule.summary());
             }
         }
         Mode::UpdateBaseline => {
             let report = registry::scan_workspace(&args.root).unwrap_or_else(die);
             fail_on_problems(&report.problems);
-            let baseline = Baseline::from_counts(report.counts());
+            // Hard-rule violations can never be grandfathered, so they
+            // never enter the baseline either.
+            let baseline = Baseline::from_counts(registry::baselinable_counts(&report));
             baseline.store(&baseline_path).unwrap_or_else(die);
             println!(
                 "baseline written to {}: {} grandfathered violation(s) across {} key(s) \
@@ -70,7 +79,7 @@ fn main() {
             }
             fail_on_problems(&outcome.report.problems);
             if !outcome.is_clean() {
-                for violation in outcome.new_violations() {
+                for violation in outcome.failing_violations() {
                     println!(
                         "::error file={},line={}::[{}] {}",
                         violation.file, violation.line, violation.rule, violation.message
@@ -133,9 +142,30 @@ fn outcome_table(outcome: &CheckOutcome) -> String {
     out
 }
 
-/// The markdown table appended to `--summary`.
+/// The markdown tables appended to `--summary`: a per-rule roll-up, then
+/// the per-key detail.
 fn summary_markdown(outcome: &CheckOutcome) -> String {
     let mut out = String::from("\n### alias-lint: determinism & id-space invariants\n\n");
+    let per_rule = outcome.report.counts_per_rule();
+    let _ = writeln!(out, "| Rule | Live | Notes |");
+    let _ = writeln!(out, "|---|---:|---|");
+    for rule in registry::rule_names() {
+        let live = per_rule.get(rule).copied().unwrap_or(0);
+        let hard = outcome
+            .hard_violations()
+            .iter()
+            .filter(|v| v.rule == rule)
+            .count();
+        let note = if hard > 0 {
+            format!("❌ {hard} hard failure(s)")
+        } else if live > 0 {
+            "⏳ ratcheted".to_owned()
+        } else {
+            "✅ clean".to_owned()
+        };
+        let _ = writeln!(out, "| `{rule}` | {live} | {note} |");
+    }
+    let _ = writeln!(out);
     let _ = writeln!(out, "| Rule | File | Found | Baselined | Status |");
     let _ = writeln!(out, "|---|---|---:|---:|---|");
     for key in &outcome.keys {

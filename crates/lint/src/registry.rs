@@ -1,33 +1,48 @@
-//! The rule registry and the workspace check driver.
+//! The rule registry and the two-phase workspace check driver.
 //!
-//! [`rules`] is the single list every entry point shares; the driver in
-//! [`check_workspace`] walks the lintable files, runs every rule, applies
-//! the explicit `lint:allow` suppressions, and compares what remains
-//! against the committed baseline ratchet.
+//! Phase 1 parses every lintable file and builds the
+//! [`WorkspaceIndex`]; phase 2 runs the
+//! per-file [`Rule`]s and the workspace-aware [`CrossRule`]s over it.
+//! The driver applies the explicit `lint:allow` suppressions, then
+//! compares what remains against the committed baseline ratchet — except
+//! for **hard** rules (`id-space` inside the migrated pipeline crates),
+//! whose violations fail the check regardless of any baseline entry.
 
 use crate::baseline::Baseline;
+use crate::index::WorkspaceIndex;
 use crate::rules::{
     crate_hygiene::CrateHygiene, det_hash_iter::DetHashIter, det_rng::DetRng,
-    det_wallclock::DetWallclock, id_space::IdSpace, Rule, Violation,
+    det_wallclock::DetWallclock, id_space, id_space::IdSpace, shard_purity::ShardPurity,
+    variant_coverage::VariantCoverage, CrossRule, Rule, Violation,
 };
 use crate::source::{self, SourceFile};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Every registered rule, in report order.
+/// Every registered per-file rule, in report order.
 pub fn rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(DetHashIter),
         Box::new(DetWallclock),
         Box::new(DetRng),
-        Box::new(IdSpace),
         Box::new(CrateHygiene),
+    ]
+}
+
+/// Every registered cross-file rule (phase 2), in report order.
+pub fn cross_rules() -> Vec<Box<dyn CrossRule>> {
+    vec![
+        Box::new(IdSpace),
+        Box::new(ShardPurity),
+        Box::new(VariantCoverage),
     ]
 }
 
 /// The registered rule names (what `lint:allow` may refer to).
 pub fn rule_names() -> Vec<&'static str> {
-    rules().iter().map(|r| r.name()).collect()
+    let mut names: Vec<&'static str> = rules().iter().map(|r| r.name()).collect();
+    names.extend(cross_rules().iter().map(|r| r.name()));
+    names
 }
 
 /// Everything one check run produced, before baseline comparison.
@@ -50,28 +65,59 @@ impl ScanReport {
         }
         counts
     }
+
+    /// Live violation counts per rule (for the per-rule summary table).
+    pub fn counts_per_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for violation in &self.violations {
+            *counts.entry(violation.rule).or_default() += 1;
+        }
+        counts
+    }
 }
 
 /// Run every rule over every lintable file under `root`.
 pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
     let rules = rules();
+    let cross = cross_rules();
     let names = rule_names();
-    let files = source::workspace_files(root).map_err(|err| err.to_string())?;
-    let mut report = ScanReport::default();
-    for path in files {
-        let rel = source::relative(root, &path);
-        let raw = std::fs::read_to_string(&path)
+    let paths = source::workspace_files(root).map_err(|err| err.to_string())?;
+    // Phase 1: parse everything, then index the workspace symbols.
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let rel = source::relative(root, path);
+        let raw = std::fs::read_to_string(path)
             .map_err(|err| format!("could not read {}: {err}", path.display()))?;
-        let file = SourceFile::parse(&rel, &raw, &names);
+        files.push(SourceFile::parse(&rel, &raw, &names));
+    }
+    let index = WorkspaceIndex::build(&files);
+
+    // Phase 2: per-file rules, then the workspace-aware ones.
+    let mut report = ScanReport {
+        files_scanned: files.len(),
+        ..ScanReport::default()
+    };
+    let by_path: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    for file in &files {
         report.problems.extend(file.problems.iter().cloned());
         for rule in &rules {
-            for violation in rule.check(&file) {
+            for violation in rule.check(file) {
                 if !file.is_allowed(violation.rule, violation.line) {
                     report.violations.push(violation);
                 }
             }
         }
-        report.files_scanned += 1;
+    }
+    for rule in &cross {
+        for violation in rule.check(&files, &index) {
+            let allowed = by_path
+                .get(violation.file.as_str())
+                .is_some_and(|f| f.is_allowed(violation.rule, violation.line));
+            if !allowed {
+                report.violations.push(violation);
+            }
+        }
     }
     report.violations.sort();
     Ok(report)
@@ -99,6 +145,14 @@ impl KeyOutcome {
     pub fn shrank(&self) -> bool {
         self.found < self.baselined
     }
+}
+
+/// Whether a violation is **hard**: it fails the check even when a
+/// baseline entry would cover it.  Currently: `id-space` inside the
+/// migrated pipeline crates (the migration is finished; there is nothing
+/// left to grandfather).
+pub fn is_hard(violation: &Violation) -> bool {
+    violation.rule == "id-space" && id_space::is_hard(&source::crate_of(&violation.file))
 }
 
 /// The verdict of a `--check` run.
@@ -130,9 +184,34 @@ impl CheckOutcome {
         fresh
     }
 
-    /// Whether the check passes: no growth, no malformed suppressions.
+    /// Violations of hard rules — failures regardless of the baseline.
+    pub fn hard_violations(&self) -> Vec<&Violation> {
+        self.report
+            .violations
+            .iter()
+            .filter(|v| is_hard(v))
+            .collect()
+    }
+
+    /// Everything that fails the check: hard violations plus growth
+    /// beyond the baseline, deduplicated, in report order.
+    pub fn failing_violations(&self) -> Vec<&Violation> {
+        let mut failing = self.hard_violations();
+        for violation in self.new_violations() {
+            if !failing.iter().any(|v| std::ptr::eq(*v, violation)) {
+                failing.push(violation);
+            }
+        }
+        failing.sort();
+        failing
+    }
+
+    /// Whether the check passes: no hard violations, no growth, no
+    /// malformed suppressions.
     pub fn is_clean(&self) -> bool {
-        self.report.problems.is_empty() && self.keys.iter().all(|k| !k.grew())
+        self.report.problems.is_empty()
+            && self.hard_violations().is_empty()
+            && self.keys.iter().all(|k| !k.grew())
     }
 
     /// Keys that fell below their baseline (the ratchet can be tightened).
@@ -167,4 +246,16 @@ pub fn check_workspace(root: &Path, baseline: &Baseline) -> Result<CheckOutcome,
         report,
         keys: keys.into_values().collect(),
     })
+}
+
+/// The counts a regenerated baseline may grandfather: everything except
+/// hard-rule violations, which can never be baselined.
+pub fn baselinable_counts(report: &ScanReport) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for violation in &report.violations {
+        if !is_hard(violation) {
+            *counts.entry(violation.key()).or_default() += 1;
+        }
+    }
+    counts
 }

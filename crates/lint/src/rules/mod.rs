@@ -1,17 +1,22 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Rule`] implementation that scans one tokenized
-//! [`SourceFile`] and reports [`Violation`]s.  Rules are registered in
-//! [`crate::registry`]; suppression (`lint:allow`) and baselining are
-//! handled by the driver, not the rules — a rule always reports everything
-//! it sees.
+//! Rules come in two shapes.  A [`Rule`] scans one tokenized
+//! [`SourceFile`] at a time; a [`CrossRule`] runs in phase 2 against the
+//! whole file list plus the [`WorkspaceIndex`], so it can see aliasing
+//! introduced through names and calls (re-exports, type aliases, the call
+//! graph).  Rules are registered in [`crate::registry`]; suppression
+//! (`lint:allow`) and baselining are handled by the driver, not the rules
+//! — a rule always reports everything it sees.
 
 pub mod crate_hygiene;
 pub mod det_hash_iter;
 pub mod det_rng;
 pub mod det_wallclock;
 pub mod id_space;
+pub mod shard_purity;
+pub mod variant_coverage;
 
+use crate::index::WorkspaceIndex;
 use crate::source::SourceFile;
 
 /// One reported rule violation.
@@ -45,4 +50,22 @@ pub trait Rule {
     /// Scan `file`, reporting every violation (the driver applies
     /// suppressions and the baseline afterwards).
     fn check(&self, file: &SourceFile) -> Vec<Violation>;
+}
+
+/// A workspace-aware lint rule: phase 2 of the two-phase analyzer.
+///
+/// Cross rules receive every scanned file plus the symbol index built
+/// over them, so they can resolve names across files — the per-file
+/// [`Rule`] shape cannot express "this container was renamed two crates
+/// away" or "this closure calls a helper that calls `thread_rng`".
+pub trait CrossRule {
+    /// The rule's name — what `lint:allow(...)` and the baseline refer to.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list` and the README table.
+    fn summary(&self) -> &'static str;
+
+    /// Scan the workspace, reporting every violation (the driver applies
+    /// suppressions and the baseline afterwards).
+    fn check(&self, files: &[SourceFile], index: &WorkspaceIndex) -> Vec<Violation>;
 }

@@ -1,0 +1,459 @@
+//! `shard-purity`: impure closures inside the sharded-execution harness.
+//!
+//! The determinism invariant rests on `alias_exec::shard_map` /
+//! `shard_reduce` closures being pure functions of their shard index:
+//! shard-local state created *inside* the closure is fine, but a closure
+//! that mutates state captured from the enclosing scope, or that draws
+//! from an RNG / reads the wall clock — directly or through any chain of
+//! calls — produces different bytes at different thread counts.  That is
+//! exactly the PR 2 `apply_churn` regression (a shared RNG consumed in
+//! shard-dependent order), which shipped because no per-file scan could
+//! see the nondeterminism hiding behind a helper call.
+//!
+//! With phase 1's [`WorkspaceIndex`] the check is workspace-aware: the
+//! rule walks every closure argument of a `shard_map`/`shard_reduce`
+//! call and flags
+//!
+//! * **captured mutable state** — an identifier used in the closure body
+//!   that was declared `let mut` earlier in the enclosing function and is
+//!   neither a closure parameter nor redeclared inside the body.  The
+//!   freeze idiom clears the flag honestly: `let groups = &groups;`
+//!   before the call shadows the mutable binding with a read-only one;
+//! * **direct sinks** — `thread_rng`/`from_entropy`/`from_os_rng`/`OsRng`
+//!   anywhere, `Instant::now`/`SystemTime` outside the designated timing
+//!   sites;
+//! * **transitive sinks** — a free call to any function that reaches a
+//!   sink through the name-level call graph; the message carries the
+//!   call trail (`helper → deep_helper → thread_rng`).
+
+use super::{CrossRule, Violation};
+use crate::index::{matching, WorkspaceIndex, RNG_SINKS};
+use crate::source::SourceFile;
+use crate::tokenizer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// The rule (see the module docs).
+pub struct ShardPurity;
+
+const NAME: &str = "shard-purity";
+
+/// The sharded-execution entry points whose closure arguments must be
+/// pure.
+const HARNESS_FNS: &[&str] = &["shard_map", "shard_reduce"];
+
+impl CrossRule for ShardPurity {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "shard_map/shard_reduce closures capturing mutable state or reaching an RNG/wall-clock \
+         sink (transitively, via the call graph)"
+    }
+
+    fn check(&self, files: &[SourceFile], index: &WorkspaceIndex) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            check_file(file_idx, file, index, &mut violations);
+        }
+        violations.sort();
+        violations.dedup();
+        violations
+    }
+}
+
+fn check_file(
+    file_idx: usize,
+    file: &SourceFile,
+    index: &WorkspaceIndex,
+    violations: &mut Vec<Violation>,
+) {
+    let tokens = &file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || !HARNESS_FNS.contains(&token.text.as_str()) {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|t| t.is_punct("(")) else {
+            continue; // a mention, not a call
+        };
+        let _ = open;
+        let Some(close) = matching(tokens, i + 1, "(", ")") else {
+            continue;
+        };
+        // Mutable bindings of the enclosing function declared before the
+        // call — the candidate captures.
+        let outer_muts = enclosing_let_muts(file_idx, tokens, i, index);
+        for closure in closures_in(tokens, i + 2, close) {
+            check_closure(file, tokens, &closure, &outer_muts, index, violations);
+        }
+    }
+}
+
+/// One closure argument: parameter and body token ranges.
+struct Closure {
+    params: std::ops::Range<usize>,
+    body: std::ops::Range<usize>,
+    line: u32,
+}
+
+/// Every top-level closure in the argument span `start..end`.
+fn closures_in(tokens: &[Token], start: usize, end: usize) -> Vec<Closure> {
+    let mut closures = Vec::new();
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        let token = &tokens[i];
+        match token.text.as_str() {
+            "(" | "[" | "{" if token.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" | "}" if token.kind == TokenKind::Punct => depth -= 1,
+            // `||` is one token (an empty parameter list); `|` opens one.
+            "||" if token.kind == TokenKind::Punct && depth == 0 => {
+                if let Some(closure) = parse_closure(tokens, i, i, end) {
+                    i = closure.body.end;
+                    closures.push(closure);
+                    continue;
+                }
+            }
+            "|" if token.kind == TokenKind::Punct && depth == 0 => {
+                let mut j = i + 1;
+                while j < end && !tokens[j].is_punct("|") {
+                    j += 1;
+                }
+                if j < end {
+                    if let Some(closure) = parse_closure(tokens, i, j, end) {
+                        i = closure.body.end;
+                        closures.push(closure);
+                        continue;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    closures
+}
+
+/// Parse the closure whose parameter list spans `open..=close` pipes; the
+/// body runs to the end of a brace block or to the next `,`/`)` at depth 0.
+fn parse_closure(tokens: &[Token], open: usize, close: usize, end: usize) -> Option<Closure> {
+    let body_start = close + 1;
+    let first = tokens.get(body_start)?;
+    let body_end = if first.is_punct("{") {
+        matching(tokens, body_start, "{", "}")? + 1
+    } else {
+        let mut depth = 0i32;
+        let mut j = body_start;
+        loop {
+            if j >= end {
+                break j;
+            }
+            let token = &tokens[j];
+            match token.text.as_str() {
+                "(" | "[" | "{" if token.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" | "}" if token.kind == TokenKind::Punct => depth -= 1,
+                "," if token.kind == TokenKind::Punct && depth == 0 => break j,
+                _ => {}
+            }
+            j += 1;
+        }
+    };
+    Some(Closure {
+        params: open + 1..close,
+        body: body_start..body_end,
+        line: tokens[open].line,
+    })
+}
+
+/// `let mut` names declared before token `at` in the function whose body
+/// contains it.
+fn enclosing_let_muts(
+    file_idx: usize,
+    tokens: &[Token],
+    at: usize,
+    index: &WorkspaceIndex,
+) -> BTreeSet<String> {
+    let scope = index
+        .functions
+        .iter()
+        .filter(|def| def.file == file_idx && def.body.contains(&at))
+        // The innermost enclosing function (largest body start).
+        .max_by_key(|def| def.body.start);
+    let Some(def) = scope else {
+        return BTreeSet::new();
+    };
+    let mut muts = BTreeSet::new();
+    for j in def.body.start..at {
+        if !tokens[j].is_ident("let") {
+            continue;
+        }
+        // Walk the binding pattern: `mut` marks the next identifier as
+        // mutable; a plain rebinding of a known name is the freeze idiom
+        // (`let groups = &groups;`) and shadows the mutable one away.
+        let mut depth = 0i32;
+        let mut next_is_mut = false;
+        for token in &tokens[j + 1..at] {
+            match token.text.as_str() {
+                "(" | "[" | "{" if token.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" | "}" if token.kind == TokenKind::Punct => depth -= 1,
+                _ => {}
+            }
+            if depth == 0 && (token.is_punct("=") || token.is_punct(";")) {
+                break;
+            }
+            if token.kind != TokenKind::Ident {
+                continue;
+            }
+            if token.text == "mut" {
+                next_is_mut = true;
+            } else {
+                if next_is_mut {
+                    muts.insert(token.text.clone());
+                } else {
+                    muts.remove(&token.text);
+                }
+                next_is_mut = false;
+            }
+        }
+    }
+    muts
+}
+
+fn check_closure(
+    file: &SourceFile,
+    tokens: &[Token],
+    closure: &Closure,
+    outer_muts: &BTreeSet<String>,
+    index: &WorkspaceIndex,
+    violations: &mut Vec<Violation>,
+) {
+    // Names the closure introduces itself: parameters and anything bound
+    // by `let` or `for … in` inside the body.
+    let mut local: BTreeSet<&str> = tokens[closure.params.clone()]
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text != "mut")
+        .map(|t| t.text.as_str())
+        .collect();
+    for j in closure.body.clone() {
+        if tokens[j].is_ident("let") || tokens[j].is_ident("for") {
+            // Bind every identifier in the pattern — tuple and struct
+            // destructuring included (`let (mut bucket, now) = …` shadows
+            // both names).  Idents from a type annotation get swept in
+            // too; that only over-approximates the local set, which can
+            // never produce a false flag.
+            let stop_at_in = tokens[j].is_ident("for");
+            let mut depth = 0i32;
+            for token in &tokens[j + 1..closure.body.end] {
+                match token.text.as_str() {
+                    "(" | "[" | "{" if token.kind == TokenKind::Punct => depth += 1,
+                    ")" | "]" | "}" if token.kind == TokenKind::Punct => depth -= 1,
+                    _ => {}
+                }
+                if depth == 0
+                    && (token.is_punct("=")
+                        || token.is_punct(";")
+                        || (stop_at_in && token.is_ident("in")))
+                {
+                    break;
+                }
+                if token.kind == TokenKind::Ident && token.text != "mut" && token.text != "ref" {
+                    local.insert(token.text.as_str());
+                }
+            }
+        }
+    }
+
+    let mut flagged_captures: BTreeSet<&str> = BTreeSet::new();
+    for j in closure.body.clone() {
+        let token = &tokens[j];
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        // Captured mutable state.
+        if outer_muts.contains(&token.text)
+            && !local.contains(token.text.as_str())
+            && flagged_captures.insert(&token.text)
+        {
+            violations.push(Violation {
+                file: file.rel_path.clone(),
+                line: token.line,
+                rule: NAME,
+                message: format!(
+                    "shard closure captures `{}`, a `let mut` of the enclosing scope — \
+                     shard-order-dependent mutation breaks thread-count determinism",
+                    token.text
+                ),
+            });
+            continue;
+        }
+        // Direct sinks.
+        if RNG_SINKS.contains(&token.text.as_str()) {
+            violations.push(Violation {
+                file: file.rel_path.clone(),
+                line: token.line,
+                rule: NAME,
+                message: format!("shard closure draws OS entropy via `{}`", token.text),
+            });
+            continue;
+        }
+        let wallclock_ok = file.rel_path == "crates/resolve/src/resolver.rs"
+            || file.rel_path.starts_with("crates/bench/");
+        if !wallclock_ok
+            && (token.text == "SystemTime"
+                || (token.text == "Instant"
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct("::"))
+                    && tokens.get(j + 2).is_some_and(|t| t.is_ident("now"))))
+        {
+            violations.push(Violation {
+                file: file.rel_path.clone(),
+                line: token.line,
+                rule: NAME,
+                message: format!("shard closure reads the wall clock via `{}`", token.text),
+            });
+            continue;
+        }
+        // Transitive sinks through the call graph.
+        let is_free_call = tokens.get(j + 1).is_some_and(|t| t.is_punct("("))
+            && !(j > 0 && tokens[j - 1].is_punct("."));
+        if is_free_call && index.sink_reachers.contains(&token.text) {
+            let trail = index
+                .sink_trail(&token.text)
+                .unwrap_or_else(|| token.text.clone());
+            violations.push(Violation {
+                file: file.rel_path.clone(),
+                line: token.line,
+                rule: NAME,
+                message: format!(
+                    "shard closure reaches an RNG/wall-clock sink through `{}` ({trail})",
+                    token.text
+                ),
+            });
+        }
+    }
+    let _ = closure.line;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::WorkspaceIndex;
+    use crate::source::SourceFile;
+
+    fn check(sources: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile::parse(path, src, &[NAME]))
+            .collect();
+        let index = WorkspaceIndex::build(&files);
+        ShardPurity.check(&files, &index)
+    }
+
+    #[test]
+    fn shard_local_state_is_pure() {
+        let src = "fn group(rows: usize, threads: usize) -> Vec<Vec<u32>> {\n\
+                   let ranges = split_even(rows as u64, threads);\n\
+                   alias_exec::shard_map(ranges.len(), threads, |shard| {\n\
+                       let mut groups: Vec<u32> = Vec::new();\n\
+                       groups.push(shard as u32);\n\
+                       groups\n\
+                   })\n\
+                   }";
+        assert!(check(&[("crates/core/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn captured_let_mut_is_flagged() {
+        let src = "fn f(threads: usize) {\n\
+                   let mut total = 0u64;\n\
+                   alias_exec::shard_map(4, threads, |shard| { total += shard as u64; });\n\
+                   }";
+        let violations = check(&[("crates/core/src/x.rs", src)]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("`total`"));
+        assert_eq!(violations[0].line, 3);
+    }
+
+    #[test]
+    fn direct_rng_and_wallclock_in_closures_are_flagged() {
+        let src = "fn f(threads: usize) {\n\
+                   alias_exec::shard_map(4, threads, |shard| {\n\
+                       let jitter = rand::thread_rng().next_u64();\n\
+                       let t = Instant::now();\n\
+                       jitter\n\
+                   });\n\
+                   }";
+        let violations = check(&[("crates/scan/src/x.rs", src)]);
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn transitive_sink_through_the_call_graph_is_flagged() {
+        let helper = "pub fn jitter() -> u64 { deep_jitter() }\n\
+                      fn deep_jitter() -> u64 { rand::thread_rng().next_u64() }";
+        let caller = "fn f(threads: usize) {\n\
+                      alias_exec::shard_map(4, threads, |shard| jitter() + shard as u64);\n\
+                      }";
+        let violations = check(&[
+            ("crates/netsim/src/helpers.rs", helper),
+            ("crates/scan/src/x.rs", caller),
+        ]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].file, "crates/scan/src/x.rs");
+        assert!(violations[0].message.contains("jitter"), "{violations:?}");
+        assert!(
+            violations[0].message.contains("thread_rng"),
+            "trail should name the sink: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn fold_closures_of_shard_reduce_are_checked_too() {
+        let src = "fn f(threads: usize) {\n\
+                   let mut salt = 1u64;\n\
+                   alias_exec::shard_reduce(4, threads, |shard| shard as u64, 0u64,\n\
+                       |acc, part| { salt += 1; acc + part * salt });\n\
+                   }";
+        let violations = check(&[("crates/core/src/x.rs", src)]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("`salt`"));
+    }
+
+    #[test]
+    fn freezing_a_mut_before_the_call_clears_the_flag() {
+        let src = "fn f(threads: usize) -> Vec<u64> {\n\
+                   let mut table: Vec<u64> = Vec::new();\n\
+                   table.push(7);\n\
+                   let table = &table;\n\
+                   alias_exec::shard_map(4, threads, |shard| table[shard])\n\
+                   }";
+        assert!(check(&[("crates/core/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn tuple_destructuring_shadows_the_outer_mut() {
+        // The scanners' pacing pattern: a serial prelude advances `now`
+        // per shard, then each shard re-binds its own copy by tuple
+        // destructuring — no capture of the outer `let mut`.
+        let src = "fn f(threads: usize) -> Vec<u64> {\n\
+                   let mut now = 0u64;\n\
+                   let starts: Vec<(u64, u64)> = (0..4).map(|s| { now += 1; (now, now) }).collect();\n\
+                   alias_exec::shard_map(4, threads, |shard| {\n\
+                       let (mut bucket, now) = starts[shard];\n\
+                       bucket += now;\n\
+                       bucket\n\
+                   })\n\
+                   }";
+        assert!(check(&[("crates/scan/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn later_let_muts_and_result_bindings_are_not_captures() {
+        let src = "fn f(threads: usize) -> Vec<u64> {\n\
+                   let mut out: Vec<u64> = alias_exec::shard_map(4, threads, |shard| shard as u64);\n\
+                   let mut extra = 0u64;\n\
+                   out.push(extra);\n\
+                   out\n\
+                   }";
+        assert!(check(&[("crates/core/src/x.rs", src)]).is_empty());
+    }
+}

@@ -1,0 +1,391 @@
+//! `variant-coverage`: wire-format drift between encode and decode.
+//!
+//! The columnar store round-trips every observation through
+//! `ServicePayload::to_wire_bytes` / `from_wire_bytes`; PR 7's 11-byte
+//! `RateLimit` layout showed how easily a new variant can land in one
+//! direction only (or hide behind a `_` wildcard) and turn into silent
+//! data loss.  This rule pins both directions:
+//!
+//! * every variant of a tracked enum (`ServicePayload`, `ProtocolTag`)
+//!   must be mentioned in the body of **each** wire function that
+//!   references the enum at all — an encoder that knows the enum but not
+//!   one of its variants is exactly the drift being prevented;
+//! * inside the wire functions, a `match` whose arm patterns name a
+//!   tracked enum (or one of its variants) must not carry a bare `_`
+//!   arm — exhaustiveness is the point, and a wildcard silently absorbs
+//!   the next variant.  Matches over *other* types inside the wire
+//!   functions (e.g. a nested parser-result match) keep their wildcards.
+//!
+//! The enum definitions and function bodies come from phase 1's
+//! [`WorkspaceIndex`], so the rule keeps working if the enum, encoder and
+//! decoder drift into different files.
+
+use super::{CrossRule, Violation};
+use crate::index::{matching, WorkspaceIndex};
+use crate::source::SourceFile;
+use crate::tokenizer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// The rule (see the module docs).
+pub struct VariantCoverage;
+
+const NAME: &str = "variant-coverage";
+
+/// The enums whose variants define the wire format.
+const TRACKED_ENUMS: &[&str] = &["ServicePayload", "ProtocolTag"];
+
+/// The encode/decode pair both sides of the format must cover.
+const WIRE_FNS: &[&str] = &["to_wire_bytes", "from_wire_bytes"];
+
+impl CrossRule for VariantCoverage {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "every ServicePayload/ProtocolTag variant in both to_wire_bytes and from_wire_bytes; \
+         no `_` wildcard in wire-layout matches"
+    }
+
+    fn check(&self, files: &[SourceFile], index: &WorkspaceIndex) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let tracked: Vec<(&String, &Vec<String>)> = index
+            .enums
+            .iter()
+            .filter(|(name, _)| TRACKED_ENUMS.contains(&name.as_str()))
+            .collect();
+        if tracked.is_empty() {
+            return violations;
+        }
+        let variant_names: BTreeSet<&str> = tracked
+            .iter()
+            .flat_map(|(_, variants)| variants.iter().map(String::as_str))
+            .collect();
+        for def in &index.functions {
+            if !WIRE_FNS.contains(&def.name.as_str()) {
+                continue;
+            }
+            let file = &files[def.file];
+            let body = &file.tokens[def.body.clone()];
+            let body_idents: BTreeSet<&str> = body
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            for (enum_name, variants) in &tracked {
+                if !body_idents.contains(enum_name.as_str()) {
+                    continue; // this wire fn does not dispatch on the enum
+                }
+                for variant in variants.iter() {
+                    if !body_idents.contains(variant.as_str()) {
+                        violations.push(Violation {
+                            file: file.rel_path.clone(),
+                            line: def.line,
+                            rule: NAME,
+                            message: format!(
+                                "`{}` handles `{enum_name}` but never mentions variant \
+                                 `{variant}` — encode/decode drift",
+                                def.name
+                            ),
+                        });
+                    }
+                }
+            }
+            check_wildcards(
+                file,
+                &file.tokens,
+                def.body.clone(),
+                &variant_names,
+                &mut violations,
+            );
+        }
+        violations.sort();
+        violations.dedup();
+        violations
+    }
+}
+
+/// Flag bare `_` arms in wire-layout matches inside `body`.
+fn check_wildcards(
+    file: &SourceFile,
+    tokens: &[Token],
+    body: std::ops::Range<usize>,
+    variant_names: &BTreeSet<&str>,
+    violations: &mut Vec<Violation>,
+) {
+    let mut i = body.start;
+    while i < body.end {
+        if !tokens[i].is_ident("match") {
+            i += 1;
+            continue;
+        }
+        // Scrutinee runs to the `{` opening the arm block at depth 0.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let arms_open = loop {
+            if j >= body.end {
+                break None;
+            }
+            let token = &tokens[j];
+            match token.text.as_str() {
+                "(" | "[" if token.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" if token.kind == TokenKind::Punct => depth -= 1,
+                "{" if token.kind == TokenKind::Punct && depth == 0 => break Some(j),
+                ";" if token.kind == TokenKind::Punct && depth == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(arms_open) = arms_open else {
+            i += 1;
+            continue;
+        };
+        let Some(arms_close) = matching(tokens, arms_open, "{", "}") else {
+            i += 1;
+            continue;
+        };
+        let arms = parse_arms(tokens, arms_open + 1, arms_close);
+        let wire_layout = arms.iter().any(|arm| {
+            tokens[arm.pattern.clone()]
+                .iter()
+                .enumerate()
+                .any(|(k, t)| {
+                    if t.kind != TokenKind::Ident {
+                        return false;
+                    }
+                    if TRACKED_ENUMS.contains(&t.text.as_str()) {
+                        return true;
+                    }
+                    // A variant name in path position (`…::Ssh`).
+                    variant_names.contains(t.text.as_str())
+                        && arm.pattern.start + k > 0
+                        && tokens[arm.pattern.start + k - 1].is_punct("::")
+                })
+        });
+        if wire_layout {
+            for arm in &arms {
+                let span = &tokens[arm.pattern.clone()];
+                if span.len() == 1 && span[0].is_ident("_") {
+                    violations.push(Violation {
+                        file: file.rel_path.clone(),
+                        line: span[0].line,
+                        rule: NAME,
+                        message: "`_` wildcard in a wire-layout match absorbs the next \
+                                  variant silently — list every variant"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+        i = arms_open + 1;
+    }
+}
+
+/// One match arm: its pattern token span.
+struct Arm {
+    pattern: std::ops::Range<usize>,
+}
+
+/// Split the arm block `start..end` into arms (pattern spans only).
+fn parse_arms(tokens: &[Token], start: usize, end: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = start;
+    while i < end {
+        // Pattern: up to `=>` at depth 0.
+        let mut depth = 0i32;
+        let mut j = i;
+        let arrow = loop {
+            if j >= end {
+                break None;
+            }
+            let token = &tokens[j];
+            match token.text.as_str() {
+                "(" | "[" | "{" if token.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" | "}" if token.kind == TokenKind::Punct => depth -= 1,
+                "=>" if token.kind == TokenKind::Punct && depth == 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(arrow) = arrow else {
+            break;
+        };
+        // Strip a trailing `if` guard from the pattern span.
+        let mut pattern_end = arrow;
+        let mut depth = 0i32;
+        for (k, token) in tokens[i..arrow].iter().enumerate() {
+            match token.text.as_str() {
+                "(" | "[" | "{" if token.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" | "}" if token.kind == TokenKind::Punct => depth -= 1,
+                "if" if token.kind == TokenKind::Ident && depth == 0 => {
+                    pattern_end = i + k;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        arms.push(Arm {
+            pattern: i..pattern_end,
+        });
+        // Arm body: a brace block, or an expression to the `,` at depth 0.
+        let body_start = arrow + 1;
+        if body_start >= end {
+            break;
+        }
+        if tokens[body_start].is_punct("{") {
+            match matching(tokens, body_start, "{", "}") {
+                Some(close) => {
+                    i = close + 1;
+                    if i < end && tokens[i].is_punct(",") {
+                        i += 1;
+                    }
+                }
+                None => break,
+            }
+        } else {
+            let mut depth = 0i32;
+            let mut j = body_start;
+            while j < end {
+                let token = &tokens[j];
+                match token.text.as_str() {
+                    "(" | "[" | "{" if token.kind == TokenKind::Punct => depth += 1,
+                    ")" | "]" | "}" if token.kind == TokenKind::Punct => depth -= 1,
+                    "," if token.kind == TokenKind::Punct && depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::WorkspaceIndex;
+    use crate::source::SourceFile;
+
+    fn check(sources: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile::parse(path, src, &[NAME]))
+            .collect();
+        let index = WorkspaceIndex::build(&files);
+        VariantCoverage.check(&files, &index)
+    }
+
+    const ENUM: &str = "pub enum ServicePayload { Ssh(u8), Bgp { open: u8 }, RateLimit { r: u8 } }";
+
+    #[test]
+    fn complete_coverage_is_clean() {
+        let wire = "impl ServicePayload {\n\
+                    pub fn to_wire_bytes(&self) -> Vec<u8> { match self {\n\
+                        ServicePayload::Ssh(b) => vec![*b],\n\
+                        ServicePayload::Bgp { open } => vec![*open],\n\
+                        ServicePayload::RateLimit { r } => vec![*r],\n\
+                    } }\n\
+                    pub fn from_wire_bytes(bytes: &[u8]) -> Option<ServicePayload> {\n\
+                        match bytes[0] { 0 => Some(ServicePayload::Ssh(1)),\n\
+                        1 => Some(ServicePayload::Bgp { open: 1 }),\n\
+                        2 => Some(ServicePayload::RateLimit { r: 1 }),\n\
+                        _ => None } }\n\
+                    }";
+        let src = format!("{ENUM}\n{wire}");
+        assert!(check(&[("crates/store/src/x.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn a_variant_missing_from_the_decoder_is_flagged() {
+        let wire = "impl ServicePayload {\n\
+                    pub fn to_wire_bytes(&self) -> Vec<u8> { match self {\n\
+                        ServicePayload::Ssh(b) => vec![*b],\n\
+                        ServicePayload::Bgp { open } => vec![*open],\n\
+                        ServicePayload::RateLimit { r } => vec![*r],\n\
+                    } }\n\
+                    pub fn from_wire_bytes(bytes: &[u8]) -> Option<ServicePayload> {\n\
+                        match bytes[0] { 0 => Some(ServicePayload::Ssh(1)),\n\
+                        1 => Some(ServicePayload::Bgp { open: 1 }),\n\
+                        _ => None } }\n\
+                    }";
+        let src = format!("{ENUM}\n{wire}");
+        let violations = check(&[("crates/store/src/x.rs", &src)]);
+        // Missing RateLimit in from_wire_bytes, and nothing else: the
+        // `match bytes[0]` patterns are literals (payloads are built in
+        // arm *bodies*, which does not count), so its `_` arm is legal.
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("RateLimit"));
+        assert!(violations[0].message.contains("from_wire_bytes"));
+    }
+
+    #[test]
+    fn wildcards_in_wire_layout_matches_are_flagged() {
+        let wire = "impl ServicePayload {\n\
+                    pub fn to_wire_bytes(&self) -> Vec<u8> { match self {\n\
+                        ServicePayload::Ssh(b) => vec![*b],\n\
+                        ServicePayload::Bgp { open } => vec![*open],\n\
+                        ServicePayload::RateLimit { r } => vec![*r],\n\
+                        _ => Vec::new(),\n\
+                    } }\n\
+                    pub fn from_wire_bytes(bytes: &[u8]) -> Option<ServicePayload> {\n\
+                        match bytes[0] { 0 => Some(ServicePayload::Ssh(1)),\n\
+                        1 => Some(ServicePayload::Bgp { open: 1 }),\n\
+                        2 => Some(ServicePayload::RateLimit { r: 1 }),\n\
+                        _ => None } }\n\
+                    }";
+        let src = format!("{ENUM}\n{wire}");
+        let violations = check(&[("crates/store/src/x.rs", &src)]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("wildcard"));
+        assert_eq!(violations[0].line, 7);
+    }
+
+    #[test]
+    fn nested_non_wire_matches_keep_their_wildcards() {
+        let wire = "impl ServicePayload {\n\
+                    pub fn from_wire_bytes(bytes: &[u8]) -> Option<ServicePayload> {\n\
+                        match Parser::parse(bytes) {\n\
+                            Ok(Message::Report { usm }) => Some(ServicePayload::Ssh(usm)),\n\
+                            _ => None,\n\
+                        }\n\
+                    }\n\
+                    pub fn to_wire_bytes(&self) -> Vec<u8> {\n\
+                        match self { ServicePayload::Ssh(b) => vec![*b],\n\
+                        ServicePayload::Bgp { open } => vec![*open],\n\
+                        ServicePayload::RateLimit { r } => vec![*r] } }\n\
+                    }";
+        // from_wire_bytes misses Bgp and RateLimit (real drift), but the
+        // nested parser match's `_` must NOT be flagged.
+        let src = format!("{ENUM}\n{wire}");
+        let violations = check(&[("crates/store/src/x.rs", &src)]);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.message.contains("drift")));
+    }
+
+    #[test]
+    fn wire_fns_ignoring_an_enum_entirely_are_not_required_to_cover_it() {
+        let src = "pub enum ProtocolTag { Ssh = 0, Bgp = 1 }\n\
+                   pub enum ServicePayload { Ssh(u8) }\n\
+                   impl ServicePayload {\n\
+                   pub fn to_wire_bytes(&self) -> Vec<u8> { match self {\n\
+                       ServicePayload::Ssh(b) => vec![*b] } }\n\
+                   pub fn from_wire_bytes(bytes: &[u8]) -> Option<ServicePayload> {\n\
+                       Some(ServicePayload::Ssh(bytes[0])) }\n\
+                   }";
+        assert!(check(&[("crates/store/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn enum_in_pattern_position_marks_the_match_wire_layout() {
+        let src = "pub enum ProtocolTag { Ssh = 0, Bgp = 1 }\n\
+                   pub fn from_wire_bytes(tag: ProtocolTag) -> u8 {\n\
+                       match tag { ProtocolTag::Ssh => 0, _ => 1 }\n\
+                   }";
+        let violations = check(&[("crates/store/src/x.rs", src)]);
+        assert!(
+            violations.iter().any(|v| v.message.contains("wildcard")),
+            "{violations:?}"
+        );
+    }
+}

@@ -66,7 +66,7 @@ impl SourceFile {
 }
 
 /// The crate directory name a workspace-relative path belongs to.
-fn crate_of(rel_path: &str) -> String {
+pub fn crate_of(rel_path: &str) -> String {
     let mut parts = rel_path.split('/');
     match parts.next() {
         Some("crates") => parts.next().unwrap_or("").to_owned(),

@@ -1,0 +1,25 @@
+//! Clean twin of the id-space fixture: a hard crate whose state lives in
+//! dense id space — nothing for the rule to flag, with or without a
+//! baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Dense alias-set membership keyed by interned id slot.
+pub struct Membership {
+    /// Set index per `AddrId` slot (`u32::MAX` = unassigned).
+    pub slot_of: Vec<u32>,
+    /// Per-technique set counts, keyed by label.
+    pub per_label: BTreeMap<String, u32>,
+}
+
+/// Point lookup at the report boundary.
+pub fn set_of(membership: &Membership, id: usize) -> Option<u32> {
+    membership
+        .slot_of
+        .get(id)
+        .copied()
+        .filter(|&slot| slot != u32::MAX)
+}

@@ -1,0 +1,22 @@
+//! Clean twin of the shard-purity fixture: shard-local state and the
+//! freeze idiom — pure closures at any thread count.
+
+/// Shard-local accumulation: every binding lives inside the closure.
+pub fn shard_local(shards: usize, threads: usize) -> Vec<Vec<u32>> {
+    alias_exec::shard_map(shards, threads, |shard| {
+        let mut rows: Vec<u32> = Vec::new();
+        rows.push(shard as u32);
+        rows
+    })
+}
+
+/// The freeze idiom: the mutable table is re-bound read-only before the
+/// harness call, so the closure captures an immutable reference.
+pub fn frozen_table(shards: usize, threads: usize) -> Vec<u64> {
+    let mut table: Vec<u64> = Vec::new();
+    for shard in 0..shards {
+        table.push(shard as u64);
+    }
+    let table = &table;
+    alias_exec::shard_map(shards, threads, |shard| table[shard])
+}

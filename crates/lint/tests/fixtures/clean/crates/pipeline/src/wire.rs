@@ -1,0 +1,32 @@
+//! Clean twin of the variant-coverage fixture: both wire functions cover
+//! every tracked variant, and the decoder's wildcard sits over literal
+//! byte tags (not variants), which stays legal.
+
+/// Fixture twin of the store's on-disk payload.
+pub enum ServicePayload {
+    /// SSH banner byte.
+    Ssh(u8),
+    /// BGP router identifier.
+    Bgp(u32),
+    /// ICMP rate-limit round.
+    RateLimit(u8),
+}
+
+/// Encoder: every variant listed, no wildcard.
+pub fn to_wire_bytes(payload: &ServicePayload) -> Vec<u8> {
+    match payload {
+        ServicePayload::Ssh(banner) => vec![1, *banner],
+        ServicePayload::Bgp(ident) => ident.to_be_bytes().to_vec(),
+        ServicePayload::RateLimit(round) => vec![3, *round],
+    }
+}
+
+/// Decoder: complete, with a legal wildcard over unknown tags.
+pub fn from_wire_bytes(bytes: &[u8]) -> Option<ServicePayload> {
+    match bytes.first()? {
+        1 => Some(ServicePayload::Ssh(bytes[1])),
+        2 => Some(ServicePayload::Bgp(7)),
+        3 => Some(ServicePayload::RateLimit(bytes[1])),
+        _ => None,
+    }
+}

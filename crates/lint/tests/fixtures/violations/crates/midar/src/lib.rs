@@ -1,0 +1,9 @@
+//! Fixture: a ratcheted crate laundering the address-set alias through
+//! a `pub use` rename.  The re-export line itself is counted (midar is
+//! ratchet scope), and the new name stays tainted for every downstream
+//! crate — a rename cannot wash the container type clean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use alias_netsim::AddrSet as GroupSet;

@@ -1,0 +1,10 @@
+//! Fixture: the out-of-scope alias definition the dodging crates lean
+//! on.  Defining it here is free — netsim may hold report-boundary
+//! address state — but every *use* inside the pipeline crates is debt
+//! the `id-space` rule must see through the name.
+
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// An address-keyed alias set, by another name.
+pub type AddrSet = BTreeSet<IpAddr>;

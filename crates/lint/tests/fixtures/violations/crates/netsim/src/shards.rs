@@ -1,0 +1,28 @@
+//! Fixture: impure shard closures — one mutates state captured from the
+//! enclosing scope, one reaches OS entropy two calls away.  The second
+//! is the PR 2 blind spot: no per-file scan can see the nondeterminism
+//! hiding behind a helper call.
+
+/// Captures `totals`, a `let mut` of the enclosing scope: shard order
+/// decides the mutation order.
+pub fn capture_mut(shards: usize) -> Vec<u64> {
+    let mut totals = vec![0u64; shards];
+    alias_exec::shard_map(shards, 2, |shard| {
+        totals[shard] += 1;
+        totals[shard]
+    });
+    totals
+}
+
+/// The closure only calls `helper`; the entropy sits in `deep_helper`.
+pub fn transitive_sink(shards: usize) -> Vec<u64> {
+    alias_exec::shard_map(shards, 2, |shard| helper(shard as u64))
+}
+
+fn helper(salt: u64) -> u64 {
+    deep_helper().wrapping_add(salt)
+}
+
+fn deep_helper() -> u64 {
+    rand::thread_rng().next_u64()
+}

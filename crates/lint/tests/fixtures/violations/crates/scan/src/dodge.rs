@@ -1,0 +1,16 @@
+//! Fixture: the alias/re-export dodge inside a hard crate.  Neither name
+//! below says `BTreeSet<IpAddr>`, but both resolve to it through the
+//! workspace index — and inside `scan` that is a hard failure no
+//! baseline entry may grandfather.
+
+use alias_netsim::AddrSet;
+
+/// Alias-dodged debt: `AddrSet` is `BTreeSet<IpAddr>` by another name.
+pub fn pending(sets: &[AddrSet]) -> usize {
+    sets.len()
+}
+
+/// Re-export-dodged debt: `GroupSet` renames the same container again.
+pub fn grouped(group: &alias_midar::GroupSet) -> usize {
+    group.len()
+}

@@ -1,0 +1,36 @@
+//! Fixture: wire-format drift.  The encoder never learned about the
+//! newest variant and a wildcard absorbs it silently; the decoder stays
+//! complete, and its literal-tag wildcard is legal (the patterns are
+//! bytes, not variants).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Fixture twin of the store's on-disk payload.
+pub enum ServicePayload {
+    /// SSH banner byte.
+    Ssh(u8),
+    /// BGP router identifier.
+    Bgp(u32),
+    /// The newest addition the encoder never learned about.
+    RateLimit(u8),
+}
+
+/// Encoder: one variant short, with the gap hidden behind a wildcard.
+pub fn to_wire_bytes(payload: &ServicePayload) -> Vec<u8> {
+    match payload {
+        ServicePayload::Ssh(banner) => vec![1, *banner],
+        ServicePayload::Bgp(ident) => ident.to_be_bytes().to_vec(),
+        _ => Vec::new(),
+    }
+}
+
+/// Decoder: every variant rebuilt, wildcard over literal tags only.
+pub fn from_wire_bytes(bytes: &[u8]) -> Option<ServicePayload> {
+    match bytes.first()? {
+        1 => Some(ServicePayload::Ssh(bytes[1])),
+        2 => Some(ServicePayload::Bgp(7)),
+        3 => Some(ServicePayload::RateLimit(bytes[1])),
+        _ => None,
+    }
+}

@@ -10,6 +10,7 @@
 //! which keeps every output byte-identical for any thread count.
 
 use crate::technique::{DataRequirement, ResolutionTechnique, TechniqueCtx, TechniqueResult};
+use alias_core::intern::{AddrId, AddrInterner, CompactAliasSet};
 use alias_core::union_find::UnionFind;
 use alias_midar::ally::{ally_test, AllyVerdict};
 use alias_midar::iffinder::iffinder_scan;
@@ -18,7 +19,6 @@ use alias_midar::{Midar, MidarConfig};
 use alias_netsim::SimTime;
 use alias_scan::ipid_probe::{IpidProber, IpidProberConfig};
 use alias_scan::CampaignData;
-use std::collections::BTreeSet;
 use std::net::IpAddr;
 
 /// Sorted, deduplicated campaign addresses of one family — the target list
@@ -35,6 +35,25 @@ fn campaign_targets(data: &CampaignData, ipv6: bool) -> Vec<IpAddr> {
         .collect();
     addrs.sort_unstable();
     addrs
+}
+
+/// Intern one probe-derived address set against the campaign interner.
+/// Probing baselines only reason about campaign targets, so every member
+/// is already interned; the panic documents that invariant.
+fn compact_set<'a>(
+    addrs: impl IntoIterator<Item = &'a IpAddr>,
+    interner: &AddrInterner,
+) -> CompactAliasSet {
+    CompactAliasSet::from_ids(
+        addrs
+            .into_iter()
+            .map(|&addr| {
+                interner
+                    .get(addr)
+                    .expect("probing baselines only report campaign addresses")
+            })
+            .collect(),
+    )
 }
 
 /// The MIDAR baseline: estimation → discovery → elimination over the
@@ -71,12 +90,27 @@ impl ResolutionTechnique for MidarTechnique {
         }
         let outcome =
             Midar::new(self.config.clone()).resolve(ctx.internet, &targets, ctx.probe_start);
-        TechniqueResult::from_addr_sets(
+        let interner = data.interner().clone();
+        let sets = outcome
+            .alias_sets
+            .iter()
+            .map(|set| compact_set(set, &interner))
+            .collect();
+        let testable = outcome
+            .testable
+            .iter()
+            .map(|&addr| {
+                interner
+                    .get(addr)
+                    .expect("probing baselines only report campaign addresses")
+            })
+            .collect();
+        TechniqueResult::from_compact(
             self.name().to_owned(),
-            outcome.alias_sets,
-            outcome.testable,
+            sets,
+            testable,
             outcome.finished_at,
-            data.interner().clone(),
+            interner,
         )
     }
 }
@@ -126,8 +160,20 @@ impl ResolutionTechnique for AllyTechnique {
 
     fn resolve(&self, data: &CampaignData, ctx: &TechniqueCtx<'_>) -> TechniqueResult {
         let targets = campaign_targets(data, false);
+        let interner = data.interner().clone();
+        // Targets are campaign addresses, so each has an id already; the
+        // sweep tracks testability per target index and resolves to ids at
+        // the end.
+        let target_ids: Vec<AddrId> = targets
+            .iter()
+            .map(|&addr| {
+                interner
+                    .get(addr)
+                    .expect("probing baselines only report campaign addresses")
+            })
+            .collect();
         let mut uf = UnionFind::new(targets.len());
-        let mut testable: BTreeSet<IpAddr> = BTreeSet::new();
+        let mut testable = vec![false; targets.len()];
         let mut now = ctx.probe_start;
         for i in 0..targets.len() {
             let window_end = (i + 1 + self.window).min(targets.len());
@@ -136,12 +182,12 @@ impl ResolutionTechnique for AllyTechnique {
                 match ally_test(ctx.internet, targets[i], targets[j], ctx.vantage, now) {
                     AllyVerdict::Alias => {
                         uf.union(i, j);
-                        testable.insert(targets[i]);
-                        testable.insert(targets[j]);
+                        testable[i] = true;
+                        testable[j] = true;
                     }
                     AllyVerdict::NotAlias => {
-                        testable.insert(targets[i]);
-                        testable.insert(targets[j]);
+                        testable[i] = true;
+                        testable[j] = true;
                     }
                     AllyVerdict::Unresponsive => {}
                 }
@@ -151,14 +197,20 @@ impl ResolutionTechnique for AllyTechnique {
             .groups()
             .into_iter()
             .filter(|g| g.len() >= 2)
-            .map(|g| g.into_iter().map(|i| targets[i]).collect())
+            .map(|g| CompactAliasSet::from_ids(g.into_iter().map(|i| target_ids[i]).collect()))
             .collect();
-        TechniqueResult::from_addr_sets(
+        let testable_ids = target_ids
+            .iter()
+            .zip(&testable)
+            .filter(|&(_, &t)| t)
+            .map(|(&id, _)| id)
+            .collect();
+        TechniqueResult::from_compact(
             self.name().to_owned(),
             alias_sets,
-            testable,
+            testable_ids,
             now,
-            data.interner().clone(),
+            interner,
         )
     }
 }
@@ -219,17 +271,26 @@ impl ResolutionTechnique for SpeedtrapTechnique {
             .flat_map(|s| s.samples.last().map(|x| x.time))
             .max()
             .unwrap_or(ctx.probe_start);
-        let testable: BTreeSet<IpAddr> = series
+        let interner = data.interner().clone();
+        let testable = series
             .iter()
             .filter(|s| s.is_usable())
-            .map(|s| s.addr)
+            .map(|s| {
+                interner
+                    .get(s.addr)
+                    .expect("probing baselines only report campaign addresses")
+            })
             .collect();
-        TechniqueResult::from_addr_sets(
+        let sets = speedtrap_group(&series, self.max_velocity)
+            .iter()
+            .map(|set| compact_set(set, &interner))
+            .collect();
+        TechniqueResult::from_compact(
             self.name().to_owned(),
-            speedtrap_group(&series, self.max_velocity),
+            sets,
             testable,
             finished_at,
-            data.interner().clone(),
+            interner,
         )
     }
 }
@@ -261,11 +322,17 @@ impl ResolutionTechnique for IffinderTechnique {
         let outcome = iffinder_scan(ctx.internet, &targets, ctx.vantage, ctx.probe_start);
         // Positive alias evidence is the only per-address signal the scan
         // reports, so "testable" is the addresses involved in a discovered
-        // pair.
-        let testable: BTreeSet<IpAddr> = outcome.pairs.iter().flat_map(|(a, b)| [*a, *b]).collect();
+        // pair.  ICMP errors can arrive from interfaces the campaign never
+        // observed, so this goes through the address entry point, which
+        // extends a private interner copy for novel sources.
+        let testable: Vec<IpAddr> = outcome.pairs.iter().flat_map(|(a, b)| [*a, *b]).collect();
         TechniqueResult::from_addr_sets(
             self.name().to_owned(),
-            outcome.alias_sets,
+            outcome
+                .alias_sets
+                .into_iter()
+                .map(|set| set.into_iter().collect())
+                .collect(),
             testable,
             // iffinder_scan advances the clock by one millisecond per
             // probed target.
@@ -277,16 +344,22 @@ impl ResolutionTechnique for IffinderTechnique {
 
 /// Precision of a technique's sets against ground truth: used by tests and
 /// examples to show every baseline keeps its classic "precise but shallow"
-/// behaviour when run through the trait-object path.
-pub fn true_pair_fraction(sets: &[BTreeSet<IpAddr>], truth: &alias_netsim::GroundTruth) -> f64 {
+/// behaviour when run through the trait-object path.  Takes id-space sets
+/// plus the interner they are relative to (a [`TechniqueResult`]'s
+/// `compact_sets()` / `interner()` pair plugs straight in).
+pub fn true_pair_fraction(
+    sets: &[CompactAliasSet],
+    interner: &AddrInterner,
+    truth: &alias_netsim::GroundTruth,
+) -> f64 {
     let mut pairs = 0usize;
     let mut correct = 0usize;
     for set in sets {
-        let members: Vec<IpAddr> = set.iter().copied().collect();
+        let members = set.ids();
         for i in 0..members.len() {
             for j in i + 1..members.len() {
                 pairs += 1;
-                if truth.are_aliases(members[i], members[j]) {
+                if truth.are_aliases(interner.addr(members[i]), interner.addr(members[j])) {
                     correct += 1;
                 }
             }
@@ -334,7 +407,7 @@ mod tests {
             assert!(!technique.is_pure());
             let result = technique.resolve(&data, &ctx);
             assert_eq!(result.technique, technique.name());
-            let precision = true_pair_fraction(&result.alias_sets(), &truth);
+            let precision = true_pair_fraction(result.compact_sets(), result.interner(), &truth);
             assert!(
                 precision > 0.95,
                 "{}: precision {:.3} over {} sets",

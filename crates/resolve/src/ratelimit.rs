@@ -128,37 +128,89 @@ impl ResolutionTechnique for RateLimitTechnique {
             let (_, first_rate, first_sent, _) = signature[0];
             let rate_fl = f64::from(first_rate);
             let count = u32::from(first_sent);
+            // Round-based pair walk: every round deterministically picks
+            // each pending member's next candidate pair against the forest
+            // as of the round start, probes the whole batch (sharded —
+            // the joint burst is a pure function of the substrate, so
+            // probe order cannot change any verdict), then applies the
+            // verdicts serially in batch order.  `ctx.threads` only fans
+            // the probes out; the batches, times and unions are identical
+            // for every thread count.
             let mut uf = UnionFind::new(members.len());
-            for i in 1..members.len() {
-                let mut tested_roots: Vec<usize> = Vec::new();
-                for j in (0..i).rev() {
-                    let root = uf.find(j);
-                    if tested_roots.contains(&root) {
+            let mut tested: Vec<Vec<usize>> = vec![Vec::new(); members.len()];
+            let mut done: Vec<bool> = vec![false; members.len()];
+            loop {
+                let mut batch: Vec<(usize, usize, usize)> = Vec::new();
+                for i in 1..members.len() {
+                    if done[i] {
                         continue;
                     }
-                    tested_roots.push(root);
-                    now += self.pair_spacing;
-                    let probe_ctx = ProbeContext {
-                        vantage: ctx.vantage,
-                        time: now,
-                    };
-                    let a = interner.addr(members[j]);
-                    let b = interner.addr(members[i]);
-                    let Some((replies_a, replies_b)) = ctx
-                        .internet
-                        .icmp_joint_rate_burst(a, b, rate_fl, count, &probe_ctx)
-                    else {
-                        continue;
-                    };
-                    // Any joint loss at `rate_fl` is alias evidence: two
-                    // independent limiters of this signature lose nothing
-                    // at half that rate.
-                    if replies_a + replies_b < 2 * count {
-                        uf.union(j, i);
-                        break;
+                    let my_root = uf.find(i);
+                    let candidate = (0..i).rev().find_map(|j| {
+                        let root = uf.find(j);
+                        (root != my_root && !tested[i].contains(&root)).then_some((j, root))
+                    });
+                    match candidate {
+                        Some((j, root)) => batch.push((i, j, root)),
+                        None => done[i] = true,
                     }
-                    if tested_roots.len() >= self.recovery_roots {
-                        break;
+                }
+                if batch.is_empty() {
+                    break;
+                }
+                // Probe times follow the serial schedule: one
+                // `pair_spacing` step per pair, in batch order.
+                let times: Vec<SimTime> = batch
+                    .iter()
+                    .map(|_| {
+                        now += self.pair_spacing;
+                        now
+                    })
+                    .collect();
+                let batch = &batch;
+                let times = &times;
+                let interner = &interner;
+                let ranges = alias_exec::split_even(
+                    batch.len() as u64,
+                    ctx.threads.max(1) * alias_exec::SHARDS_PER_THREAD,
+                );
+                let shard_replies: Vec<Vec<Option<(u32, u32)>>> =
+                    alias_exec::shard_map(ranges.len(), ctx.threads.max(1), |shard| {
+                        let range = &ranges[shard];
+                        (range.start as usize..range.end as usize)
+                            .map(|k| {
+                                let (i, j, _) = batch[k];
+                                let probe_ctx = ProbeContext {
+                                    vantage: ctx.vantage,
+                                    time: times[k],
+                                };
+                                ctx.internet.icmp_joint_rate_burst(
+                                    interner.addr(members[j]),
+                                    interner.addr(members[i]),
+                                    rate_fl,
+                                    count,
+                                    &probe_ctx,
+                                )
+                            })
+                            .collect()
+                    });
+                for (&(i, j, root), replies) in batch.iter().zip(shard_replies.iter().flatten()) {
+                    tested[i].push(root);
+                    match replies {
+                        // Any joint loss at `rate_fl` is alias evidence:
+                        // two independent limiters of this signature lose
+                        // nothing at half that rate.
+                        Some((replies_a, replies_b)) if replies_a + replies_b < 2 * count => {
+                            uf.union(j, i);
+                            done[i] = true;
+                        }
+                        Some(_) if tested[i].len() >= self.recovery_roots => {
+                            done[i] = true;
+                        }
+                        Some(_) => {}
+                        // Unresponsive pair: the root counts as visited
+                        // but not against the recovery budget.
+                        None => {}
                     }
                 }
             }
@@ -300,6 +352,31 @@ mod tests {
             let data = rate_campaign(&internet, threads);
             assert_eq!(data.store(), serial.store(), "threads={threads}");
             assert_eq!(resolve(&internet, &data), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_verification_is_identical_for_any_ctx_thread_count() {
+        // `ctx.threads` only fans the joint-burst batches out: the batch
+        // schedule, probe times and unions — and therefore the full result
+        // including `finished_at` — must not change.
+        let internet = silent_internet(13);
+        let data = rate_campaign(&internet, 1);
+        let extractor = IdentifierExtractor::new(ExtractionConfig::paper());
+        let resolve_with = |threads: usize| {
+            let ctx = TechniqueCtx {
+                internet: &internet,
+                extractor: &extractor,
+                probe_start: data.finished_at,
+                vantage: VantageKind::SingleVp,
+                threads,
+            };
+            RateLimitTechnique::new().resolve(&data, &ctx)
+        };
+        let baseline = resolve_with(1);
+        assert!(baseline.set_count() > 0);
+        for threads in [2usize, 5, 8] {
+            assert_eq!(resolve_with(threads), baseline, "ctx.threads={threads}");
         }
     }
 

@@ -7,9 +7,9 @@ use crate::report::{
 };
 use crate::technique::{ResolutionTechnique, TechniqueCtx, TechniqueResult};
 use alias_core::extract::{ExtractionConfig, IdentifierExtractor};
-use alias_core::intern::{AddrInterner, CompactAliasSet};
+use alias_core::intern::{AddrId, AddrInterner, CompactAliasSet};
 use alias_core::merge::{merge_labeled_compact, MergedSet};
-use alias_core::validation::{common_addresses, cross_validate};
+use alias_core::validation::{common_ids, cross_validate};
 use alias_netsim::Internet;
 use alias_scan::campaign::{ActiveCampaign, CampaignConfig};
 use alias_scan::CampaignData;
@@ -248,10 +248,12 @@ impl Resolver {
             techniques.push(result);
         }
 
-        // Merge + statistics stage.
+        // Merge + statistics stage.  The unified id space is built once and
+        // shared by the merge and the pairwise agreement statistics.
         let stage = std::time::Instant::now();
-        let merged = self.merge(data, &techniques);
-        let coverage = self.coverage(&techniques, &merged);
+        let unified = UnifiedSpace::build(data, &techniques);
+        let merged = self.merge(&unified, &techniques);
+        let coverage = self.coverage(&unified, &techniques, &merged);
         let merge_ms = stage.elapsed().as_millis() as u64;
 
         ResolutionReport {
@@ -267,51 +269,15 @@ impl Resolver {
         }
     }
 
-    fn merge(&self, data: &CampaignData, techniques: &[TechniqueResult]) -> Vec<MergedSet> {
+    fn merge(&self, unified: &UnifiedSpace, techniques: &[TechniqueResult]) -> Vec<MergedSet> {
         match self.merge_policy {
             MergePolicy::SharedAddress => {
-                // Unify the id spaces.  Techniques normally share the
-                // campaign interner as-is; one that extended it (or used a
-                // foreign interner) has its sets re-interned into a unified
-                // id space — ids of campaign addresses are preserved, so
-                // the common case stays translation-free.
-                let base = data.interner().clone();
-                let mut unified: Arc<AddrInterner> = base.clone();
-                let translated: Vec<Option<Vec<CompactAliasSet>>> = techniques
-                    .iter()
-                    .map(|t| {
-                        // Campaign-interner ids stay valid in `unified`
-                        // (it only ever extends the base), so results that
-                        // share the campaign id space need no translation.
-                        if Arc::ptr_eq(t.interner(), &base) {
-                            return None;
-                        }
-                        let target = Arc::make_mut(&mut unified);
-                        Some(
-                            t.compact_sets()
-                                .iter()
-                                .map(|set| {
-                                    CompactAliasSet::from_ids(
-                                        set.iter()
-                                            .map(|id| target.intern(t.interner().addr(id)))
-                                            .collect(),
-                                    )
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect();
                 let inputs: Vec<(&str, &[CompactAliasSet])> = techniques
                     .iter()
-                    .zip(&translated)
-                    .map(|(t, sets)| {
-                        (
-                            t.technique.as_str(),
-                            sets.as_deref().unwrap_or_else(|| t.compact_sets()),
-                        )
-                    })
+                    .enumerate()
+                    .map(|(i, t)| (t.technique.as_str(), unified.sets_of(i, t)))
                     .collect();
-                merge_labeled_compact(&inputs, &unified, self.threads)
+                merge_labeled_compact(&inputs, &unified.interner, self.threads)
             }
             MergePolicy::KeepSeparate => {
                 let mut merged: Vec<MergedSet> = techniques
@@ -335,7 +301,12 @@ impl Resolver {
         }
     }
 
-    fn coverage(&self, techniques: &[TechniqueResult], merged: &[MergedSet]) -> CoverageStats {
+    fn coverage(
+        &self,
+        unified: &UnifiedSpace,
+        techniques: &[TechniqueResult],
+        merged: &[MergedSet],
+    ) -> CoverageStats {
         let per_technique = techniques
             .iter()
             .map(|t| TechniqueCoverage {
@@ -345,19 +316,19 @@ impl Resolver {
                 testable_addresses: t.testable_count(),
             })
             .collect();
-        // The pairwise agreement statistics run on address sets; each
-        // technique's view is materialised once here, at the boundary.
-        let addr_sets: Vec<_> = techniques.iter().map(|t| t.alias_sets()).collect();
-        let testables: Vec<_> = techniques.iter().map(|t| t.testable()).collect();
+        // The pairwise agreement statistics run entirely in the unified id
+        // space.  Agreement counts only compare memberships, which the
+        // bijective address ↔ id relabeling preserves, so the numbers are
+        // identical to the former address-set formulation.
         let mut agreements = Vec::new();
         for i in 0..techniques.len() {
             for j in i + 1..techniques.len() {
                 let (a, b) = (&techniques[i], &techniques[j]);
-                let common = common_addresses(&testables[i], &testables[j]);
+                let common = common_ids(unified.testable_of(i, a), unified.testable_of(j, b));
                 agreements.push(TechniqueAgreement {
                     a: a.technique.clone(),
                     b: b.technique.clone(),
-                    result: cross_validate(&addr_sets[i], &addr_sets[j], &common),
+                    result: cross_validate(unified.sets_of(i, a), unified.sets_of(j, b), &common),
                 });
             }
         }
@@ -367,6 +338,76 @@ impl Resolver {
             merged_addresses: crate::report::distinct_addresses(merged),
             agreements,
         }
+    }
+}
+
+/// Every technique result brought into one id space.
+///
+/// Techniques normally share the campaign interner as-is; one that
+/// extended it (or used a foreign interner) has its sets and testable ids
+/// re-interned into the unified space — ids of campaign addresses are
+/// preserved, so the common case stays translation-free (`None` entries
+/// borrow straight from the result).
+struct UnifiedSpace {
+    interner: Arc<AddrInterner>,
+    sets: Vec<Option<Vec<CompactAliasSet>>>,
+    testables: Vec<Option<Vec<AddrId>>>,
+}
+
+impl UnifiedSpace {
+    fn build(data: &CampaignData, techniques: &[TechniqueResult]) -> Self {
+        let base = data.interner().clone();
+        let mut interner: Arc<AddrInterner> = base.clone();
+        let mut sets = Vec::with_capacity(techniques.len());
+        let mut testables = Vec::with_capacity(techniques.len());
+        for t in techniques {
+            // Campaign-interner ids stay valid in the unified space (it
+            // only ever extends the base), so results that share the
+            // campaign id space need no translation.
+            if Arc::ptr_eq(t.interner(), &base) {
+                sets.push(None);
+                testables.push(None);
+                continue;
+            }
+            let target = Arc::make_mut(&mut interner);
+            sets.push(Some(
+                t.compact_sets()
+                    .iter()
+                    .map(|set| {
+                        CompactAliasSet::from_ids(
+                            set.iter()
+                                .map(|id| target.intern(t.interner().addr(id)))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ));
+            let mut ids: Vec<AddrId> = t
+                .testable_ids()
+                .iter()
+                .map(|&id| target.intern(t.interner().addr(id)))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            testables.push(Some(ids));
+        }
+        UnifiedSpace {
+            interner,
+            sets,
+            testables,
+        }
+    }
+
+    /// Technique `i`'s sets in the unified space.
+    fn sets_of<'a>(&'a self, i: usize, t: &'a TechniqueResult) -> &'a [CompactAliasSet] {
+        self.sets[i].as_deref().unwrap_or_else(|| t.compact_sets())
+    }
+
+    /// Technique `i`'s sorted distinct testable ids in the unified space.
+    fn testable_of<'a>(&'a self, i: usize, t: &'a TechniqueResult) -> &'a [AddrId] {
+        self.testables[i]
+            .as_deref()
+            .unwrap_or_else(|| t.testable_ids())
     }
 }
 

@@ -98,16 +98,17 @@ impl TechniqueResult {
         }
     }
 
-    /// Assemble a result from address sets, interning the members against
-    /// `interner`.  Addresses the interner has never seen — follow-up
-    /// probing can discover interfaces the campaign did not observe, e.g.
-    /// iffinder's ICMP source addresses — extend a private copy of the id
-    /// space (existing ids stay valid; the campaign interner itself is
-    /// never mutated).
+    /// Assemble a result from address lists, interning the members against
+    /// `interner` (members need not be sorted or distinct —
+    /// [`from_compact`](Self::from_compact) canonicalises).  Addresses the
+    /// interner has never seen — follow-up probing can discover interfaces
+    /// the campaign did not observe, e.g. iffinder's ICMP source addresses
+    /// — extend a private copy of the id space (existing ids stay valid;
+    /// the campaign interner itself is never mutated).
     pub fn from_addr_sets(
         technique: String,
-        sets: Vec<BTreeSet<IpAddr>>,
-        testable: BTreeSet<IpAddr>,
+        sets: Vec<Vec<IpAddr>>,
+        testable: Vec<IpAddr>,
         finished_at: SimTime,
         interner: Arc<AddrInterner>,
     ) -> Self {
@@ -158,6 +159,7 @@ impl TechniqueResult {
 
     /// The inferred alias sets as address sets (materialised on demand —
     /// the report/rendering boundary).
+    // lint:allow(id-space): report boundary — resolves ids for rendering
     pub fn alias_sets(&self) -> Vec<BTreeSet<IpAddr>> {
         self.sets
             .iter()
@@ -169,6 +171,7 @@ impl TechniqueResult {
     /// (identifiable addresses for identifier techniques, usable counters
     /// for the IPID baselines, answering targets for iffinder) —
     /// materialised on demand.
+    // lint:allow(id-space): report boundary — resolves ids for rendering
     pub fn testable(&self) -> BTreeSet<IpAddr> {
         self.testable
             .iter()
@@ -194,10 +197,11 @@ impl TechniqueResult {
 }
 
 /// Sort alias sets into the canonical order every technique reports:
-/// ascending by smallest member address.  Alias sets partition their
-/// address universe, so smallest members are distinct and the order is
-/// total — the same convention `alias-core`'s merge output uses.
-pub fn canonical_sets(mut sets: Vec<BTreeSet<IpAddr>>) -> Vec<BTreeSet<IpAddr>> {
+/// ascending by smallest member.  Alias sets partition their universe, so
+/// smallest members are distinct and the order is total — the same
+/// convention `alias-core`'s merge output uses.  Generic over the member
+/// type: address sets at the report boundary, id sets anywhere else.
+pub fn canonical_sets<T: Ord>(mut sets: Vec<BTreeSet<T>>) -> Vec<BTreeSet<T>> {
     sets.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
     sets
 }
@@ -234,8 +238,13 @@ pub trait ResolutionTechnique: Send + Sync {
 mod tests {
     use super::*;
 
-    fn set(addrs: &[&str]) -> BTreeSet<IpAddr> {
-        addrs.iter().map(|a| a.parse().unwrap()).collect()
+    fn addrs(list: &[&str]) -> Vec<IpAddr> {
+        list.iter().map(|a| a.parse().unwrap()).collect()
+    }
+
+    // lint:allow(id-space): test fixture for the report-boundary accessors
+    fn set(list: &[&str]) -> BTreeSet<IpAddr> {
+        addrs(list).into_iter().collect()
     }
 
     #[test]
@@ -261,10 +270,10 @@ mod tests {
         let result = TechniqueResult::from_addr_sets(
             "test".into(),
             vec![
-                set(&["10.1.0.1", "10.1.0.2"]),
-                set(&["10.0.0.1", "10.0.0.2"]),
+                addrs(&["10.1.0.1", "10.1.0.2"]),
+                addrs(&["10.0.0.1", "10.0.0.2"]),
             ],
-            set(&["10.0.0.1", "10.0.0.2", "10.1.0.1", "10.1.0.2", "10.2.0.1"]),
+            addrs(&["10.0.0.1", "10.0.0.2", "10.1.0.1", "10.1.0.2", "10.2.0.1"]),
             SimTime::ZERO,
             interner.clone(),
         );
@@ -291,8 +300,8 @@ mod tests {
         ));
         let result = TechniqueResult::from_addr_sets(
             "iffinder".into(),
-            vec![set(&["10.0.0.1", "192.0.2.7"])],
-            set(&["10.0.0.1", "192.0.2.7"]),
+            vec![addrs(&["10.0.0.1", "192.0.2.7"])],
+            addrs(&["10.0.0.1", "192.0.2.7"]),
             SimTime::ZERO,
             base.clone(),
         );

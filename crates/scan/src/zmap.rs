@@ -298,14 +298,26 @@ mod tests {
         InternetBuilder::new(InternetConfig::tiny(77)).build()
     }
 
-    fn expected_ssh_addrs(internet: &Internet, vantage: VantageKind) -> HashSet<IpAddr> {
-        internet
+    /// Sorted distinct expected addresses — scan results are compared as
+    /// sorted vectors, no address-keyed sets needed.
+    fn expected_ssh_addrs(internet: &Internet, vantage: VantageKind) -> Vec<IpAddr> {
+        let mut addrs: Vec<IpAddr> = internet
             .devices()
             .iter()
             .filter(|d| vantage == VantageKind::Distributed || d.visible_to_single_vp)
             .flat_map(|d| d.ssh_responding_addrs())
             .filter(|a| a.is_ipv4())
-            .collect()
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
+    /// The responsive list of one port as a sorted vector.
+    fn sorted_found(results: &ZmapResults, port: u16) -> Vec<IpAddr> {
+        let mut found = results.on_port(port).to_vec();
+        found.sort_unstable();
+        found
     }
 
     #[test]
@@ -316,12 +328,12 @@ mod tests {
             ..Default::default()
         });
         let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
-        let found_set: HashSet<IpAddr> = results.on_port(22).iter().copied().collect();
+        let found = sorted_found(&results, 22);
         assert_eq!(
-            found_set,
+            found,
             expected_ssh_addrs(&internet, VantageKind::Distributed)
         );
-        assert!(results.probes_sent > found_set.len() as u64);
+        assert!(results.probes_sent > found.len() as u64);
         assert!(results.finished_at > SimTime::ZERO);
     }
 
@@ -336,7 +348,7 @@ mod tests {
         let distributed = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
         assert!(single.on_port(22).len() < distributed.on_port(22).len());
         assert_eq!(
-            single.on_port(22).iter().copied().collect::<HashSet<_>>(),
+            sorted_found(&single, 22),
             expected_ssh_addrs(&internet, VantageKind::SingleVp)
         );
     }
@@ -361,16 +373,15 @@ mod tests {
             ..Default::default()
         });
         let results = scanner.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO);
-        let expected: HashSet<IpAddr> = internet
+        let mut expected: Vec<IpAddr> = internet
             .devices()
             .iter()
             .flat_map(|d| d.bgp_responding_addrs())
             .filter(|a| a.is_ipv4())
             .collect();
-        assert_eq!(
-            results.on_port(179).iter().copied().collect::<HashSet<_>>(),
-            expected
-        );
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(sorted_found(&results, 179), expected);
     }
 
     #[test]

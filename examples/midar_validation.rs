@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example midar_validation`
 
+use alias_resolution::core::intern::{AddrId, AddrInterner, CompactAliasSet};
 use alias_resolution::core::validation::validate_against_midar;
 use alias_resolution::prelude::*;
 
@@ -49,9 +50,24 @@ fn main() {
     let ssh_sets = ssh.alias_sets();
     let midar_sets = midar.alias_sets();
     let sample: Vec<_> = ssh_sets.iter().filter(|s| s.len() <= 10).cloned().collect();
-    let positively_grouped: std::collections::BTreeSet<std::net::IpAddr> =
-        midar_sets.iter().flatten().copied().collect();
-    let validation = validate_against_midar(&sample, &midar_sets, &positively_grouped);
+    // The validator is id-native: bring both sides into one id space.
+    let mut space = AddrInterner::new();
+    let sample_compact: Vec<CompactAliasSet> = sample
+        .iter()
+        .map(|set| CompactAliasSet::from_addr_set(set, &mut space))
+        .collect();
+    let midar_compact: Vec<CompactAliasSet> = midar_sets
+        .iter()
+        .map(|set| CompactAliasSet::from_addr_set(set, &mut space))
+        .collect();
+    let mut positively_grouped: Vec<AddrId> = midar_compact
+        .iter()
+        .flat_map(|set| set.ids())
+        .copied()
+        .collect();
+    positively_grouped.sort_unstable();
+    positively_grouped.dedup();
+    let validation = validate_against_midar(&sample_compact, &midar_compact, &positively_grouped);
     println!(
         "MIDAR could verify {} of {} sampled SSH sets ({:.0}% coverage); \
          of those, {} agree and {} disagree ({:.0}% agreement)",

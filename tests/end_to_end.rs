@@ -3,11 +3,32 @@
 //! grouping, validation and baselines — checked against ground truth.
 
 use alias_resolution::core::dual_stack::DualStackReport;
-use alias_resolution::core::merge::{merge_labeled_sets, ProtocolAttribution};
-use alias_resolution::core::validation::{common_addresses, cross_validate};
+use alias_resolution::core::intern::{AddrId, AddrInterner, CompactAliasSet};
+use alias_resolution::core::merge::{merge_labeled_compact, MergedSet, ProtocolAttribution};
+use alias_resolution::core::validation::{common_ids, cross_validate};
 use alias_resolution::prelude::*;
 use std::collections::BTreeSet;
 use std::net::IpAddr;
+
+/// Bridge labelled address sets into a fresh id space and run the
+/// id-native merge (the merged partition is independent of intern order).
+fn merge_addr_sets(inputs: &[(&str, &[BTreeSet<IpAddr>])], threads: usize) -> Vec<MergedSet> {
+    let mut interner = AddrInterner::new();
+    let compact: Vec<(&str, Vec<CompactAliasSet>)> = inputs
+        .iter()
+        .map(|&(label, sets)| {
+            (
+                label,
+                sets.iter()
+                    .map(|set| CompactAliasSet::from_addr_set(set, &mut interner))
+                    .collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[CompactAliasSet])> =
+        compact.iter().map(|(l, s)| (*l, s.as_slice())).collect();
+    merge_labeled_compact(&borrowed, &interner, threads)
+}
 
 fn build_and_scan(seed: u64) -> (Internet, Vec<ServiceObservation>) {
     let internet = InternetBuilder::new(InternetConfig::tiny(seed)).build();
@@ -96,7 +117,7 @@ fn union_analysis_attributes_sets_to_protocols() {
     .collect();
     let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
         labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
-    let merged = merge_labeled_sets(&inputs);
+    let merged = merge_addr_sets(&inputs, 1);
     assert!(!merged.is_empty());
     let attribution = ProtocolAttribution::compute(&merged);
     assert_eq!(attribution.total, merged.len());
@@ -119,8 +140,28 @@ fn cross_protocol_validation_agrees_on_shared_devices() {
         .filter(|o| o.protocol() == ServiceProtocol::Snmpv3 && !o.is_ipv6())
         .map(|o| o.addr)
         .collect();
-    let common = common_addresses(&ssh_addrs, &snmp_addrs);
-    let result = cross_validate(&ssh.ipv4_sets(), &snmp.ipv4_sets(), &common);
+    // One shared id space for both sides: the validator is id-native, and
+    // its counts are invariant under the addr↔id relabeling.
+    let mut space = AddrInterner::new();
+    let ssh_compact: Vec<CompactAliasSet> = ssh
+        .ipv4_sets()
+        .iter()
+        .map(|set| CompactAliasSet::from_addr_set(set, &mut space))
+        .collect();
+    let snmp_compact: Vec<CompactAliasSet> = snmp
+        .ipv4_sets()
+        .iter()
+        .map(|set| CompactAliasSet::from_addr_set(set, &mut space))
+        .collect();
+    let intern_sorted = |addrs: &BTreeSet<IpAddr>, space: &mut AddrInterner| -> Vec<AddrId> {
+        let mut ids: Vec<AddrId> = addrs.iter().map(|&a| space.intern(a)).collect();
+        ids.sort_unstable();
+        ids
+    };
+    let ssh_ids = intern_sorted(&ssh_addrs, &mut space);
+    let snmp_ids = intern_sorted(&snmp_addrs, &mut space);
+    let common = common_ids(&ssh_ids, &snmp_ids);
+    let result = cross_validate(&ssh_compact, &snmp_compact, &common);
     // With a single-snapshot scan (no churn between sources) the two exact
     // techniques must agree on essentially every comparable set.
     assert!(
@@ -304,7 +345,7 @@ fn parallel_execution_reproduces_the_serial_pipeline_end_to_end() {
         .collect();
         let inputs: Vec<(&str, &[BTreeSet<IpAddr>])> =
             labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
-        let merged_serial = merge_labeled_sets(&inputs);
+        let merged_serial = merge_addr_sets(&inputs, 1);
         for threads in [2usize, 7] {
             let sharded = ActiveCampaign::with_defaults(&internet)
                 .with_threads(threads)
@@ -315,7 +356,7 @@ fn parallel_execution_reproduces_the_serial_pipeline_end_to_end() {
                 "seed={seed} threads={threads}"
             );
             assert_eq!(
-                alias_resolution::core::merge::merge_labeled_sets_parallel(&inputs, threads),
+                merge_addr_sets(&inputs, threads),
                 merged_serial,
                 "seed={seed} threads={threads}"
             );
