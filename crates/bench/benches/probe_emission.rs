@@ -1,0 +1,68 @@
+//! Probe-emission throughput at paper scale: how many probes per second
+//! the hot scan loops push through the simulator, serial vs sharded.
+//!
+//! Two loops bracket the emission cost spectrum: the ZMap-like SYN sweep
+//! (cheapest per probe — schedule slot, index lookup, port dispatch) and
+//! the ICMP rate-limiting prober (most expensive — screening plus an
+//! escalation ladder of bursts per responsive target).  Each group prints
+//! its per-iteration element count first, so probes/sec is
+//! `elements / (ns-per-iter * 1e-9)` straight off the output — a
+//! regression in per-probe constant cost is visible regardless of
+//! population size.
+
+use alias_netsim::{InternetBuilder, InternetConfig, ScalePreset, SimTime, VantageKind};
+use alias_scan::rate_probe::{RateProbeConfig, RateProber};
+use alias_scan::zmap::{ZmapConfig, ZmapScanner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_probe_emission(c: &mut Criterion) {
+    let internet = InternetBuilder::new(InternetConfig::preset(ScalePreset::PaperShape, 3)).build();
+    let zmap = ZmapScanner::new(ZmapConfig::default());
+    let probes_sent = zmap
+        .scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO)
+        .probes_sent;
+    println!("probe_emission/zmap: {probes_sent} SYN probes per iteration");
+
+    let mut group = c.benchmark_group("probe_emission/zmap");
+    group.bench_function("serial", |b| {
+        b.iter(|| zmap.scan_ipv4(&internet, VantageKind::Distributed, SimTime::ZERO))
+    });
+    group.bench_function("sharded_8t", |b| {
+        b.iter(|| zmap.scan_ipv4_sharded(&internet, VantageKind::Distributed, SimTime::ZERO, 8))
+    });
+    group.finish();
+
+    let prober = RateProber::new(RateProbeConfig::default());
+    let targets = prober.discover_targets(&internet, &[], VantageKind::Distributed, SimTime::ZERO);
+    println!(
+        "probe_emission/rate_probe: {} targets per iteration",
+        targets.len()
+    );
+    let mut group = c.benchmark_group("probe_emission/rate_probe");
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            prober.probe_columns_sharded(
+                &internet,
+                &targets,
+                VantageKind::Distributed,
+                SimTime::ZERO,
+                1,
+            )
+        })
+    });
+    group.bench_function("sharded_8t", |b| {
+        b.iter(|| {
+            prober.probe_columns_sharded(
+                &internet,
+                &targets,
+                VantageKind::Distributed,
+                SimTime::ZERO,
+                8,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_emission);
+criterion_main!(benches);

@@ -23,8 +23,11 @@
 //! whole comparison in the job summary instead of just the regressions.
 //!
 //! Trajectories recorded at different scale presets are not comparable;
-//! the tool says so and skips the comparison rather than emitting
-//! meaningless warnings.
+//! the tool says so and skips the main-run comparison rather than emitting
+//! meaningless warnings.  The `--sweep` matrix is different: its cells
+//! carry their own scale, so cells matched by (scale, threads) are always
+//! diffed — including across reports whose main runs used different
+//! presets — and the same `--gate` stage names apply to them.
 
 use alias_bench::{BenchReport, BenchRun};
 use std::fmt::Write as _;
@@ -61,28 +64,41 @@ fn main() {
         baseline.scale,
         baseline.repeat,
     );
+    let mut compared: Vec<ComparedTiming> = Vec::new();
     if baseline.scale != candidate.scale {
         println!(
-            "note: scale presets differ ({} vs {}); timings are not comparable — skipping",
+            "note: scale presets differ ({} vs {}); the main runs are not \
+             comparable — only matching sweep cells are diffed",
             baseline.scale, candidate.scale
         );
-        return;
+    } else {
+        for candidate_run in &candidate.runs {
+            let Some(baseline_run) = baseline
+                .runs
+                .iter()
+                .find(|r| r.threads == candidate_run.threads)
+            else {
+                println!(
+                    "note: baseline has no run at {} threads — skipping that row",
+                    candidate_run.threads
+                );
+                continue;
+            };
+            compare_runs(baseline_run, candidate_run, &args, &mut compared);
+        }
     }
-
-    let mut compared: Vec<ComparedTiming> = Vec::new();
-    for candidate_run in &candidate.runs {
-        let Some(baseline_run) = baseline
-            .runs
+    // Sweep cells carry their own scale, so they match across reports
+    // regardless of the main runs' preset.  Cells the baseline lacks
+    // (a new scale tier, a new thread count) are simply new data.
+    for candidate_cell in &candidate.sweep {
+        let Some(baseline_cell) = baseline
+            .sweep
             .iter()
-            .find(|r| r.threads == candidate_run.threads)
+            .find(|c| c.scale == candidate_cell.scale && c.threads == candidate_cell.threads)
         else {
-            println!(
-                "note: baseline has no run at {} threads — skipping that row",
-                candidate_run.threads
-            );
             continue;
         };
-        compare_runs(baseline_run, candidate_run, &args, &mut compared);
+        compare_sweep_cells(baseline_cell, candidate_cell, &args, &mut compared);
     }
     let warnings = compared.iter().filter(|c| c.warned).count();
     let failures = compared.iter().filter(|c| c.failed).count();
@@ -182,6 +198,47 @@ fn compare_runs(
             args,
             gated,
         ) {
+            compared.push(timing);
+        }
+    }
+}
+
+/// Compare one matched pair of sweep matrix cells.  The same stage names
+/// gate here as in the main runs: a `--gate campaign_ms` regression in any
+/// matched cell fails the job.
+fn compare_sweep_cells(
+    baseline: &alias_bench::SweepCell,
+    candidate: &alias_bench::SweepCell,
+    args: &Args,
+    compared: &mut Vec<ComparedTiming>,
+) {
+    let cell = format!("sweep {} × {} threads", candidate.scale, candidate.threads);
+    let stage_pairs = [
+        (
+            "build_internet_ms",
+            baseline.stages.build_internet_ms,
+            candidate.stages.build_internet_ms,
+        ),
+        (
+            "censys_ms",
+            baseline.stages.censys_ms,
+            candidate.stages.censys_ms,
+        ),
+        (
+            "campaign_ms",
+            baseline.stages.campaign_ms,
+            candidate.stages.campaign_ms,
+        ),
+        (
+            "merge_ms",
+            baseline.stages.merge_ms,
+            candidate.stages.merge_ms,
+        ),
+    ];
+    for (stage, before, after) in stage_pairs {
+        let gated = args.gates.iter().any(|g| g == stage);
+        if let Some(timing) = check_timing(format!("{stage} @ {cell}"), before, after, args, gated)
+        {
             compared.push(timing);
         }
     }

@@ -15,14 +15,23 @@
 //!   medianed independently).  Wall-clock on shared 1-core runners swings
 //!   run to run; medians make the recorded trajectory trustworthy enough
 //!   to diff.  The written report carries `"repeat": n`.
+//! * `--sweep <scales>:<threads>` — with `--json`, additionally measure a
+//!   scale × threads matrix (e.g. `--sweep tiny,small:1,2,8`) and record
+//!   it in the report's `sweep` field.  Each cell is a full instrumented
+//!   pipeline run (medianed over `--repeat`); within each scale the
+//!   rendered document is checked byte-identical across the swept thread
+//!   counts.  `bench_diff` compares cells matched by (scale, threads).
+//! * `--sweep-summary <path>` — append the sweep matrix as a markdown
+//!   table to `path` (pass `$GITHUB_STEP_SUMMARY` in CI).
 //! * `--ceiling-secs <n>` — exit non-zero if the whole invocation exceeds
 //!   `n` seconds of wall-clock (the CI perf gate).
 
 use alias_bench::{
-    median_run, render_document_with_study, scale_from_env, BenchReport, Experiment,
-    RateLimitStudy, StageTimings, TechniqueTiming,
+    median_run, render_document, render_document_with_study, scale_from_env, scale_from_name,
+    scale_name, BenchReport, Experiment, RateLimitStudy, StageTimings, SweepCell, TechniqueTiming,
 };
 use alias_netsim::ScalePreset;
+use std::io::Write as _;
 
 fn main() {
     let started = std::time::Instant::now();
@@ -45,7 +54,13 @@ fn main() {
         } else {
             serial_doc
         };
-        let report = BenchReport::new("PR8", preset, seed, args.repeat, runs);
+        let mut report = BenchReport::new("PR9", preset, seed, args.repeat, runs);
+        if let Some(sweep) = &args.sweep {
+            report = report.with_sweep(run_sweep(sweep, seed, args.repeat));
+            if let Some(summary) = &args.sweep_summary {
+                append_sweep_summary(summary, &report);
+            }
+        }
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("could not write {path}: {err}");
             std::process::exit(1);
@@ -84,7 +99,7 @@ fn main() {
 /// Each repeat also runs the ICMP rate-limiting study (its own Internet, so
 /// it cannot disturb the main experiment's timings) and appends the new
 /// technique's `resolve_ms` to the run's technique rows — the
-/// `technique:ratelimit` entry in `BENCH_PR8.json`.
+/// `technique:ratelimit` entry in `BENCH_PR9.json`.
 fn measure(
     preset: ScalePreset,
     seed: u64,
@@ -129,10 +144,112 @@ fn measure(
     (doc.expect("repeat >= 1"), median_run(threads, &samples))
 }
 
+/// Measure every (scale, threads) cell of the sweep spec, medianed over
+/// `repeat` runs per cell.  Within each scale the rendered document must
+/// come out byte-identical at every swept thread count — the determinism
+/// contract the scan-stage sharding guarantees.
+fn run_sweep(sweep: &SweepSpec, seed: u64, repeat: usize) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &preset in &sweep.scales {
+        let mut reference: Option<String> = None;
+        for &threads in &sweep.threads {
+            eprintln!(
+                "sweep: scale {} @ {threads} thread(s), median of {repeat}",
+                scale_name(preset)
+            );
+            let mut samples: Vec<(StageTimings, Vec<TechniqueTiming>)> = Vec::with_capacity(repeat);
+            for _ in 0..repeat {
+                let (exp, timings) = Experiment::run_instrumented(preset, seed, threads);
+                let rendered = render_document(&exp, preset);
+                match &reference {
+                    None => reference = Some(rendered),
+                    Some(first) => {
+                        if &rendered != first {
+                            eprintln!(
+                                "determinism violation: scale {} renders differently at \
+                                 {threads} threads",
+                                scale_name(preset)
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                samples.push((timings, Vec::new()));
+            }
+            let run = median_run(threads, &samples);
+            cells.push(SweepCell {
+                scale: scale_name(preset).to_owned(),
+                threads,
+                stages: run.stages,
+                total_ms: run.total_ms,
+            });
+        }
+    }
+    cells
+}
+
+/// Append the sweep matrix as a markdown table (scales down, thread counts
+/// across, `campaign_ms` / `total_ms` per cell) to `path`.
+fn append_sweep_summary(path: &str, report: &BenchReport) {
+    let mut threads: Vec<usize> = report.sweep.iter().map(|c| c.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let mut scales: Vec<&str> = Vec::new();
+    for cell in &report.sweep {
+        if !scales.contains(&cell.scale.as_str()) {
+            scales.push(&cell.scale);
+        }
+    }
+    let mut table = format!(
+        "\n### {} scaling sweep (campaign ms / total ms, median of {})\n\n",
+        report.bench, report.repeat
+    );
+    table.push_str("| Scale |");
+    for t in &threads {
+        table.push_str(&format!(" {t} thread(s) |"));
+    }
+    table.push_str("\n|---|");
+    for _ in &threads {
+        table.push_str("---:|");
+    }
+    table.push('\n');
+    for scale in &scales {
+        table.push_str(&format!("| {scale} |"));
+        for t in &threads {
+            let cell = report
+                .sweep
+                .iter()
+                .find(|c| c.scale == *scale && c.threads == *t);
+            match cell {
+                Some(c) => table.push_str(&format!(" {} / {} |", c.stages.campaign_ms, c.total_ms)),
+                None => table.push_str(" - |"),
+            }
+        }
+        table.push('\n');
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(table.as_bytes()));
+    if let Err(err) = result {
+        eprintln!("could not append the sweep summary to {path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("sweep matrix appended to {path}");
+}
+
+struct SweepSpec {
+    scales: Vec<ScalePreset>,
+    threads: Vec<usize>,
+}
+
 struct Args {
     json_path: Option<String>,
     ceiling_secs: Option<u64>,
     repeat: usize,
+    sweep: Option<SweepSpec>,
+    sweep_summary: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -140,6 +257,8 @@ fn parse_args() -> Args {
         json_path: None,
         ceiling_secs: None,
         repeat: 1,
+        sweep: None,
+        sweep_summary: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -152,6 +271,14 @@ fn parse_args() -> Args {
                 Some(Ok(n)) if n >= 1 => parsed.repeat = n,
                 _ => usage("--repeat requires an integer >= 1"),
             },
+            "--sweep" => match args.next() {
+                Some(spec) => parsed.sweep = Some(parse_sweep(&spec)),
+                None => usage("--sweep requires a <scales>:<threads> spec"),
+            },
+            "--sweep-summary" => match args.next() {
+                Some(path) => parsed.sweep_summary = Some(path),
+                None => usage("--sweep-summary requires a path"),
+            },
             "--ceiling-secs" => match args.next().map(|raw| raw.parse::<u64>()) {
                 Some(Ok(secs)) => parsed.ceiling_secs = Some(secs),
                 _ => usage("--ceiling-secs requires an integer number of seconds"),
@@ -162,11 +289,50 @@ fn parse_args() -> Args {
     if parsed.repeat > 1 && parsed.json_path.is_none() {
         usage("--repeat only applies to the --json trajectory mode");
     }
+    if parsed.sweep.is_some() && parsed.json_path.is_none() {
+        usage("--sweep only applies to the --json trajectory mode");
+    }
+    if parsed.sweep_summary.is_some() && parsed.sweep.is_none() {
+        usage("--sweep-summary requires --sweep");
+    }
     parsed
+}
+
+/// Parse `tiny,small:1,2,8` into scale presets and thread counts.
+fn parse_sweep(spec: &str) -> SweepSpec {
+    let Some((scales_raw, threads_raw)) = spec.split_once(':') else {
+        usage("--sweep spec must be <scales>:<threads>, e.g. tiny,small:1,2,8");
+    };
+    let scales: Vec<ScalePreset> = scales_raw
+        .split(',')
+        .map(|name| {
+            scale_from_name(name).unwrap_or_else(|| {
+                usage(&format!(
+                    "unknown sweep scale {name:?}; valid values are \
+                     tiny, small, paper, large and huge"
+                ))
+            })
+        })
+        .collect();
+    let threads: Vec<usize> = threads_raw
+        .split(',')
+        .map(|raw| match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => usage(&format!("bad sweep thread count {raw:?}")),
+        })
+        .collect();
+    if scales.is_empty() || threads.is_empty() {
+        usage("--sweep needs at least one scale and one thread count");
+    }
+    SweepSpec { scales, threads }
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: run_all [--json <path>] [--repeat <n>] [--ceiling-secs <n>]");
+    eprintln!(
+        "usage: run_all [--json <path>] [--repeat <n>] \
+         [--sweep <scales>:<threads>] [--sweep-summary <path>] \
+         [--ceiling-secs <n>]"
+    );
     std::process::exit(2);
 }

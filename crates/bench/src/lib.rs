@@ -40,7 +40,7 @@ use std::sync::Arc;
 pub use alias_resolve::{StageTimings, TechniqueTiming};
 
 /// Which population size to run the experiments on (`ALIAS_SCALE` env var:
-/// `tiny`, `small` or `paper`).
+/// `tiny`, `small`, `paper`, `large` or `huge`).
 ///
 /// Unset or empty means the default `paper` shape; an unrecognised value
 /// (e.g. a typo like `papr`) warns on stderr, lists the valid values, and
@@ -48,17 +48,28 @@ pub use alias_resolve::{StageTimings, TechniqueTiming};
 /// preset.
 pub fn scale_from_env() -> ScalePreset {
     let raw = std::env::var("ALIAS_SCALE").unwrap_or_default();
-    match raw.to_lowercase().as_str() {
-        "tiny" => ScalePreset::Tiny,
-        "small" => ScalePreset::Small,
-        "" | "paper" => ScalePreset::PaperShape,
-        _ => {
-            eprintln!(
-                "warning: unknown ALIAS_SCALE={raw:?}; valid values are \
-                 \"tiny\", \"small\" and \"paper\" — defaulting to \"paper\""
-            );
-            ScalePreset::PaperShape
-        }
+    if raw.is_empty() {
+        return ScalePreset::PaperShape;
+    }
+    scale_from_name(&raw).unwrap_or_else(|| {
+        eprintln!(
+            "warning: unknown ALIAS_SCALE={raw:?}; valid values are \
+             \"tiny\", \"small\", \"paper\", \"large\" and \"huge\" — \
+             defaulting to \"paper\""
+        );
+        ScalePreset::PaperShape
+    })
+}
+
+/// Parse a scale preset from its `ALIAS_SCALE` spelling (case-insensitive).
+pub fn scale_from_name(name: &str) -> Option<ScalePreset> {
+    match name.to_lowercase().as_str() {
+        "tiny" => Some(ScalePreset::Tiny),
+        "small" => Some(ScalePreset::Small),
+        "paper" => Some(ScalePreset::PaperShape),
+        "large" => Some(ScalePreset::Large),
+        "huge" => Some(ScalePreset::Huge),
+        _ => None,
     }
 }
 
@@ -1028,6 +1039,8 @@ pub fn scale_name(preset: ScalePreset) -> &'static str {
         ScalePreset::Tiny => "tiny",
         ScalePreset::Small => "small",
         ScalePreset::PaperShape => "paper",
+        ScalePreset::Large => "large",
+        ScalePreset::Huge => "huge",
     }
 }
 
@@ -1103,6 +1116,9 @@ impl RateLimitStudy {
             ScalePreset::Tiny => 12,
             ScalePreset::Small => 60,
             ScalePreset::PaperShape => 300,
+            // Scaled with the device populations (10× / 100× paper).
+            ScalePreset::Large => 3_000,
+            ScalePreset::Huge => 30_000,
         }
     }
 
@@ -1245,6 +1261,20 @@ pub struct BenchRun {
     pub technique_ms: Vec<TechniqueTiming>,
 }
 
+/// One cell of the `--sweep` scale × threads matrix: a full instrumented
+/// pipeline run at one (scale preset, thread count) combination.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SweepCell {
+    /// Scale preset of this cell, as `ALIAS_SCALE` spells it.
+    pub scale: String,
+    /// Worker threads the pipeline ran with.
+    pub threads: usize,
+    /// Wall-clock per stage (per-field medians over the repeats).
+    pub stages: StageTimings,
+    /// Total measured wall-clock.
+    pub total_ms: u64,
+}
+
 /// The `BENCH_*.json` document: the perf trajectory a PR records so future
 /// PRs can show their speedup against it.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -1266,11 +1296,16 @@ pub struct BenchReport {
     /// Campaign+merge wall-clock of the first run divided by the last run
     /// (1.0 when only one run was recorded or the last run took no time).
     pub campaign_merge_speedup: f64,
+    /// The `--sweep` scale × threads matrix (empty without `--sweep`).
+    /// A schema superset: trajectories recorded without the field still
+    /// load, and `bench_diff` compares cells matched by (scale, threads).
+    pub sweep: Vec<SweepCell>,
 }
 
 // Hand-written so trajectories recorded before the median-of-N mode (no
-// `repeat` field) still load as baselines: the vendored serde derive has no
-// `#[serde(default)]`, and `bench_diff` must keep reading last PR's file.
+// `repeat` field) or before the sweep matrix (no `sweep` field) still load
+// as baselines: the vendored serde derive has no `#[serde(default)]`, and
+// `bench_diff` must keep reading last PR's file.
 impl serde::Deserialize for BenchReport {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         Ok(BenchReport {
@@ -1284,6 +1319,10 @@ impl serde::Deserialize for BenchReport {
             },
             runs: Vec::from_value(value.field("runs")?)?,
             campaign_merge_speedup: f64::from_value(value.field("campaign_merge_speedup")?)?,
+            sweep: match value.field("sweep") {
+                Ok(field) => Vec::from_value(field)?,
+                Err(_) => Vec::new(),
+            },
         })
     }
 }
@@ -1318,7 +1357,14 @@ impl BenchReport {
             repeat: repeat.max(1),
             runs,
             campaign_merge_speedup: (speedup * 100.0).round() / 100.0,
+            sweep: Vec::new(),
         }
+    }
+
+    /// Attach the `--sweep` scale × threads matrix.
+    pub fn with_sweep(mut self, sweep: Vec<SweepCell>) -> Self {
+        self.sweep = sweep;
+        self
     }
 
     /// Serialise to JSON (the `BENCH_*.json` file format).
@@ -1440,6 +1486,27 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "large-scale (10× paper) identity sweep, minutes of wall-clock; \
+                run with `cargo test --release -p alias-bench -- --ignored` in a \
+                dedicated job — CI keeps the tiny- and paper-scale determinism checks"]
+    fn experiments_are_byte_identical_across_thread_counts_at_large_scale() {
+        // The full-report-level identity check at the `ALIAS_SCALE=large`
+        // tier: every table, figure and narrative stat of the rendered
+        // document matches the serial run byte for byte at 2 and 7 threads.
+        let serial = Experiment::run(ScalePreset::Large, 7);
+        let reference = render_document(&serial, ScalePreset::Large);
+        drop(serial);
+        for threads in [2usize, 7] {
+            let exp = Experiment::run_with_threads(ScalePreset::Large, 7, threads);
+            assert_eq!(
+                render_document(&exp, ScalePreset::Large),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn bench_report_round_trips_through_json() {
         let runs = vec![
             BenchRun {
@@ -1494,6 +1561,54 @@ mod tests {
         let parsed: BenchReport = serde_json::from_str(&legacy_json).unwrap();
         assert_eq!(parsed.repeat, 1);
         assert_eq!(parsed.bench, "PR4");
+    }
+
+    #[test]
+    fn sweep_matrix_round_trips_and_defaults_to_empty() {
+        let cell = SweepCell {
+            scale: "small".to_owned(),
+            threads: 2,
+            stages: StageTimings {
+                build_internet_ms: 10,
+                censys_ms: 5,
+                campaign_ms: 40,
+                merge_ms: 8,
+            },
+            total_ms: 63,
+        };
+        let report = BenchReport::new("PR9", ScalePreset::PaperShape, 7, 1, Vec::new())
+            .with_sweep(vec![cell]);
+        let parsed: BenchReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(parsed.sweep.len(), 1);
+        assert_eq!(parsed.sweep[0].scale, "small");
+        assert_eq!(parsed.sweep[0].threads, 2);
+        assert_eq!(parsed.sweep[0].stages.campaign_ms, 40);
+        // Pre-sweep trajectories (every BENCH_*.json up to PR8) lack the
+        // field entirely and must keep loading as baselines.
+        let legacy_json = report.to_json().replace(
+            &format!(
+                ",\"sweep\":{}",
+                serde_json::to_string(&report.sweep).unwrap()
+            ),
+            "",
+        );
+        assert_ne!(legacy_json, report.to_json(), "the field was removed");
+        let parsed: BenchReport = serde_json::from_str(&legacy_json).unwrap();
+        assert!(parsed.sweep.is_empty());
+    }
+
+    #[test]
+    fn scale_names_round_trip_through_parsing() {
+        for preset in [
+            ScalePreset::Tiny,
+            ScalePreset::Small,
+            ScalePreset::PaperShape,
+            ScalePreset::Large,
+            ScalePreset::Huge,
+        ] {
+            assert_eq!(scale_from_name(scale_name(preset)), Some(preset));
+        }
+        assert_eq!(scale_from_name("papr"), None);
     }
 
     #[test]

@@ -360,7 +360,7 @@ fn group_compact_sharded(
     let shard_count = if threads <= 1 {
         1
     } else {
-        threads * alias_exec::SHARDS_PER_THREAD
+        alias_exec::shards_for(threads)
     };
     let shard_ranges = alias_exec::split_even(rows as u64, shard_count);
     let shards: Vec<(IdentInterner, Vec<Vec<AddrId>>)> =

@@ -87,10 +87,8 @@ pub fn merge_labeled_compact(
     } else {
         let all_sets: Vec<&CompactAliasSet> =
             inputs.iter().flat_map(|(_, sets)| sets.iter()).collect();
-        let set_ranges = alias_exec::split_even(
-            all_sets.len() as u64,
-            threads * alias_exec::SHARDS_PER_THREAD,
-        );
+        let set_ranges =
+            alias_exec::split_even(all_sets.len() as u64, alias_exec::shards_for(threads));
         let shard_edges: Vec<Vec<(AddrId, AddrId)>> =
             alias_exec::shard_map(set_ranges.len(), threads, |shard| {
                 let range = &set_ranges[shard];
@@ -159,7 +157,7 @@ pub fn merge_labeled_compact(
         if threads <= 1 {
             1
         } else {
-            threads * alias_exec::SHARDS_PER_THREAD
+            alias_exec::shards_for(threads)
         },
     );
     let mut merged: Vec<MergedSet> = alias_exec::shard_reduce(

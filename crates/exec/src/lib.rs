@@ -58,6 +58,66 @@ pub fn available_parallelism() -> usize {
 /// affecting the (shard-order-reduced, deterministic) output.
 pub const SHARDS_PER_THREAD: usize = 4;
 
+/// The shard count for a sharded phase run with `threads` workers.
+///
+/// Shards exist to load-balance across *hardware* threads, so the count is
+/// derived from `threads` capped at the available parallelism: requesting
+/// more workers than the machine has cores used to multiply the number of
+/// shards (and with it every per-shard fixed cost — boundary fast-forwards,
+/// chunk allocation, splice bookkeeping) for zero balancing benefit, which
+/// is exactly how an 8-thread run on a 1-core CI box ended up *slower* than
+/// the serial one.  Shard count is a pure performance knob: the shard-reduce
+/// contract makes the output byte-identical for any value, so deriving it
+/// from the machine cannot change results.
+pub fn shards_for(threads: usize) -> usize {
+    let threads = threads.max(1);
+    threads.min(available_parallelism()) * SHARDS_PER_THREAD
+}
+
+/// A pool of reusable scratch buffers shared by shard workers.
+///
+/// Shard jobs that need transient working memory (a probe-response buffer, a
+/// staging vector) would otherwise allocate it once per *shard*; the pool
+/// caps that at once per *worker* by letting each job [`take`](Self::take) a
+/// buffer at shard start and [`put`](Self::put) it back at shard end.
+///
+/// Determinism: a pooled buffer carries no data between shards — `take`
+/// hands out either a fresh `T::default()` or a buffer that a previous shard
+/// explicitly returned, and callers must clear/overwrite it before reading
+/// (the `Vec` idiom: `buf.clear()` then fill).  Which physical buffer a
+/// shard receives affects capacity only, never contents, so shard results
+/// stay pure functions of the shard index.
+pub struct ScratchPool<T> {
+    free: Mutex<Vec<T>>,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take a scratch buffer: a previously returned one if available,
+    /// otherwise `T::default()`.  Contents are unspecified — clear before
+    /// use.
+    pub fn take(&self) -> T {
+        self.free.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool for the next shard to reuse.
+    pub fn put(&self, buffer: T) {
+        self.free.lock().push(buffer);
+    }
+}
+
+impl<T: Default> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Thread count from the `ALIAS_THREADS` environment variable.
 ///
 /// Unset, empty or `0` mean "use [`available_parallelism`]"; anything else
@@ -119,6 +179,13 @@ pub fn split_even(n: u64, shards: usize) -> Vec<Range<u64>> {
 /// the calling thread — the serial reference path.  Workers pull shard
 /// indices from a `parking_lot`-guarded cursor, so shards of uneven cost
 /// balance across the pool, but the returned vector is always positional.
+///
+/// The pool never exceeds the machine's [`available_parallelism`]: the
+/// jobs are CPU-bound, so extra workers only time-slice the same cores —
+/// on a 1-core box an 8-thread request degenerates to the inline serial
+/// path instead of four context-switching workers.  Worker count is
+/// invisible to the output (shard-ordered reduction), so the cap is a pure
+/// performance decision.
 pub fn shard_map<R, F>(shards: usize, threads: usize, job: F) -> Vec<R>
 where
     R: Send,
@@ -127,10 +194,10 @@ where
     if shards == 0 {
         return Vec::new();
     }
-    if threads <= 1 || shards == 1 {
+    let workers = threads.min(shards).min(available_parallelism());
+    if workers <= 1 || shards == 1 {
         return (0..shards).map(job).collect();
     }
-    let workers = threads.min(shards);
     let cursor = Mutex::new(0usize);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..shards).map(|_| None).collect());
     std::thread::scope(|scope| {
@@ -247,6 +314,51 @@ mod tests {
     fn more_threads_than_shards_is_fine() {
         let results = shard_map(3, 64, |shard| shard + 1);
         assert_eq!(results, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shards_for_caps_at_available_parallelism() {
+        let hw = available_parallelism();
+        // Never more shards than the machine can balance across.
+        for threads in [1usize, 2, 7, 8, 64] {
+            let shards = shards_for(threads);
+            assert_eq!(shards, threads.min(hw) * SHARDS_PER_THREAD);
+            assert!(shards >= SHARDS_PER_THREAD);
+        }
+        assert_eq!(shards_for(0), shards_for(1));
+    }
+
+    #[test]
+    fn scratch_pool_reuses_returned_buffers() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        let mut a = pool.take();
+        assert!(a.is_empty());
+        a.extend([1, 2, 3]);
+        let capacity = a.capacity();
+        pool.put(a);
+        // The returned buffer comes back (capacity preserved); callers clear
+        // it before use.
+        let mut b = pool.take();
+        b.clear();
+        assert!(b.capacity() >= capacity);
+        // The pool is empty again, so a second take allocates fresh.
+        let c = pool.take();
+        assert!(c.is_empty() && c.capacity() == 0);
+    }
+
+    #[test]
+    fn scratch_pool_is_safe_from_shard_workers() {
+        let pool: ScratchPool<Vec<usize>> = ScratchPool::new();
+        let results = shard_map(64, 8, |shard| {
+            let mut buf = pool.take();
+            buf.clear();
+            buf.extend(0..shard);
+            let sum: usize = buf.iter().sum();
+            pool.put(buf);
+            sum
+        });
+        let expected: Vec<usize> = (0..64).map(|s| (0..s).sum()).collect();
+        assert_eq!(results, expected);
     }
 
     #[test]

@@ -256,6 +256,12 @@ pub enum ScalePreset {
     /// The default experiment population (~90k devices) reproducing the
     /// paper's shapes at reduced scale.
     PaperShape,
+    /// 10× [`Self::PaperShape`] (~930k devices) — scaling studies.
+    Large,
+    /// 100× [`Self::PaperShape`] (~9.3M devices) — the stress tier; still
+    /// far below the real routed space but large enough that per-probe
+    /// overhead dominates wall-clock.
+    Huge,
 }
 
 /// Complete generation configuration.
@@ -326,6 +332,24 @@ impl InternetConfig {
                 cpe_devices: 42_000,
                 silent_routers: 0,
             },
+            ScalePreset::Large => DeviceCounts {
+                cloud_vms: 400_000,
+                cloud_servers: 24_000,
+                enterprise_servers: 60_000,
+                isp_routers: 20_000,
+                border_routers: 9_000,
+                cpe_devices: 420_000,
+                silent_routers: 0,
+            },
+            ScalePreset::Huge => DeviceCounts {
+                cloud_vms: 4_000_000,
+                cloud_servers: 240_000,
+                enterprise_servers: 600_000,
+                isp_routers: 200_000,
+                border_routers: 90_000,
+                cpe_devices: 4_200_000,
+                silent_routers: 0,
+            },
         };
         let as_counts = match preset {
             ScalePreset::Tiny => AsCounts {
@@ -342,6 +366,20 @@ impl InternetConfig {
                 cloud: 40,
                 isp: 220,
                 enterprise: 120,
+            },
+            // The larger tiers grow the AS population sub-linearly (×4 and
+            // ×10 for ×10 and ×100 devices): real growth densifies networks
+            // more than it mints ASes, and denser ASes are what stress the
+            // routed-space sweep.
+            ScalePreset::Large => AsCounts {
+                cloud: 160,
+                isp: 880,
+                enterprise: 480,
+            },
+            ScalePreset::Huge => AsCounts {
+                cloud: 400,
+                isp: 2_200,
+                enterprise: 1_200,
             },
         };
         InternetConfig {
@@ -572,6 +610,8 @@ mod tests {
             ScalePreset::Tiny,
             ScalePreset::Small,
             ScalePreset::PaperShape,
+            ScalePreset::Large,
+            ScalePreset::Huge,
         ] {
             let config = InternetConfig::preset(preset, 1);
             assert!(
@@ -588,7 +628,12 @@ mod tests {
         let tiny = InternetConfig::tiny(1).total_devices();
         let small = InternetConfig::small(1).total_devices();
         let paper = InternetConfig::paper_shape(1).total_devices();
-        assert!(tiny < small && small < paper);
+        let large = InternetConfig::preset(ScalePreset::Large, 1).total_devices();
+        let huge = InternetConfig::preset(ScalePreset::Huge, 1).total_devices();
+        assert!(tiny < small && small < paper && paper < large && large < huge);
+        // The scaling tiers track their 10×/100× contract on device count.
+        assert_eq!(large, paper * 10);
+        assert_eq!(huge, paper * 100);
     }
 
     #[test]

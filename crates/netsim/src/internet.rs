@@ -186,7 +186,14 @@ impl Internet {
     /// BGP routing table / IP-to-ASN database.
     pub fn ip_to_asn(&self, addr: IpAddr) -> Option<Asn> {
         let (device_id, iface_idx) = self.lookup(addr)?;
-        Some(self.device(device_id).interfaces[iface_idx].asn)
+        Some(self.asn_at(device_id, iface_idx))
+    }
+
+    /// [`Self::ip_to_asn`] for an interface already resolved via
+    /// [`Self::lookup`] — lets a scanner that probes and attributes the same
+    /// address pay the index lookup once.
+    pub fn asn_at(&self, device_id: DeviceId, iface_idx: usize) -> Asn {
+        self.device(device_id).interfaces[iface_idx].asn
     }
 
     /// The routed IPv4 prefixes (what a ZMap-like scanner sweeps).
@@ -237,6 +244,20 @@ impl Internet {
         let Some((device_id, iface_idx)) = self.lookup(dst) else {
             return SynResult::Timeout;
         };
+        self.syn_probe_at(device_id, iface_idx, port, ctx)
+    }
+
+    /// [`Self::syn_probe`] against an interface already resolved via
+    /// [`Self::lookup`].  A sweep over a mostly-unpopulated address space
+    /// resolves each address once, skips the (vast) unrouted majority, and
+    /// probes the hits without re-hashing the address per port.
+    pub fn syn_probe_at(
+        &self,
+        device_id: DeviceId,
+        iface_idx: usize,
+        port: u16,
+        ctx: &ProbeContext,
+    ) -> SynResult {
         let device = self.device(device_id);
         if !self.device_visible(device, ctx) {
             return SynResult::Timeout;
@@ -261,9 +282,40 @@ impl Internet {
     /// data (the silent BGP majority).
     pub fn service_session(&self, dst: IpAddr, port: u16, ctx: &ProbeContext) -> Option<Vec<u8>> {
         let (device_id, iface_idx) = self.lookup(dst)?;
+        self.service_session_at(device_id, iface_idx, port, ctx)
+    }
+
+    /// [`Self::service_session`] against an interface already resolved via
+    /// [`Self::lookup`].
+    pub fn service_session_at(
+        &self,
+        device_id: DeviceId,
+        iface_idx: usize,
+        port: u16,
+        ctx: &ProbeContext,
+    ) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        self.service_session_into(device_id, iface_idx, port, ctx, &mut out)
+            .then_some(out)
+    }
+
+    /// [`Self::service_session_at`], capturing the session bytes into a
+    /// caller-owned buffer (cleared first) so a scan loop can reuse one
+    /// allocation across targets.  Returns whether a service answered at
+    /// all; an accepted-then-silent session (the silent BGP majority)
+    /// returns `true` with an empty buffer, mirroring `Some(vec![])`.
+    pub fn service_session_into(
+        &self,
+        device_id: DeviceId,
+        iface_idx: usize,
+        port: u16,
+        ctx: &ProbeContext,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        out.clear();
         let device = self.device(device_id);
         if !self.device_visible(device, ctx) {
-            return None;
+            return false;
         }
         match port {
             SSH_PORT if device.ssh_responds_on(iface_idx) => {
@@ -278,29 +330,45 @@ impl Internet {
                 let cookie_seed = (device_id.0 as u64) << 32
                     | (iface_idx as u64) << 16
                     | (ctx.time.as_millis() & 0xffff);
-                Some(services::ssh_session_bytes(
+                services::ssh_session_bytes_into(
                     profile,
                     divergent,
                     &ssh.host_key,
                     cookie_seed,
-                ))
+                    out,
+                );
+                true
             }
             BGP_PORT if device.bgp_responds_on(iface_idx) => {
                 let bgp = device.bgp.as_ref().expect("responds implies configured");
                 let profile = &self.bgp_profiles[bgp.profile.0 as usize];
-                Some(services::bgp_session_bytes(
+                out.extend_from_slice(&services::bgp_session_bytes(
                     profile,
                     bgp.bgp_identifier,
                     bgp.asn,
-                ))
+                ));
+                true
             }
-            _ => None,
+            _ => false,
         }
     }
 
     /// Send an SNMPv3 datagram to `dst` and capture the response.
     pub fn snmp_probe(&self, dst: IpAddr, request: &[u8], ctx: &ProbeContext) -> Option<Vec<u8>> {
         let (device_id, iface_idx) = self.lookup(dst)?;
+        self.snmp_probe_at(device_id, iface_idx, request, ctx)
+    }
+
+    /// [`Self::snmp_probe`] against an interface already resolved via
+    /// [`Self::lookup`].  Resolving first lets a routed-space sweep skip
+    /// building the discovery datagram for addresses that cannot answer.
+    pub fn snmp_probe_at(
+        &self,
+        device_id: DeviceId,
+        iface_idx: usize,
+        request: &[u8],
+        ctx: &ProbeContext,
+    ) -> Option<Vec<u8>> {
         let device = self.device(device_id);
         if !self.device_visible(device, ctx) || !device.snmp_responds_on(iface_idx) {
             return None;
@@ -322,6 +390,20 @@ impl Internet {
             return None;
         }
         let (device_id, iface_idx) = self.lookup(dst)?;
+        self.identifier_probe_at(device_id, iface_idx, ctx)
+    }
+
+    /// The identifier sample behind [`Self::icmp_echo`] and
+    /// [`Self::ipv6_fragment_probe`] for an interface already resolved via
+    /// [`Self::lookup`] — both families draw from the same device-wide
+    /// counter, so a time-series collector that probes the same targets
+    /// round after round resolves each one once.
+    pub fn identifier_probe_at(
+        &self,
+        device_id: DeviceId,
+        iface_idx: usize,
+        ctx: &ProbeContext,
+    ) -> Option<EchoObservation> {
         let device = self.device(device_id);
         if !self.device_visible(device, ctx) || !device.responds_to_ping {
             return None;
@@ -346,15 +428,7 @@ impl Internet {
             return None;
         }
         let (device_id, iface_idx) = self.lookup(dst)?;
-        let device = self.device(device_id);
-        if !self.device_visible(device, ctx) || !device.responds_to_ping {
-            return None;
-        }
-        let ipid = device.ipid.lock().next_ipid(ctx.time, iface_idx);
-        Some(EchoObservation {
-            ipid,
-            time: ctx.time,
-        })
+        self.identifier_probe_at(device_id, iface_idx, ctx)
     }
 
     /// Whether `dst` answers ICMP echo at all from this vantage — the
@@ -417,6 +491,20 @@ impl Internet {
         ctx: &ProbeContext,
     ) -> Option<u32> {
         let (device_id, _) = self.lookup(dst)?;
+        self.rate_burst_at(device_id, rate_pps, count, ctx)
+    }
+
+    /// An echo burst against a device already resolved via
+    /// [`Self::lookup`].  The limiter is router-wide, so only the device
+    /// matters — an escalation ladder that bursts the same target several
+    /// times resolves it once.
+    pub fn rate_burst_at(
+        &self,
+        device_id: DeviceId,
+        rate_pps: f64,
+        count: u32,
+        ctx: &ProbeContext,
+    ) -> Option<u32> {
         let device = self.device(device_id);
         if !self.device_visible(device, ctx) || !device.responds_to_ping {
             return None;

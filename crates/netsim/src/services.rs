@@ -26,8 +26,21 @@ pub fn ssh_session_bytes(
     host_key: &HostKey,
     cookie_seed: u64,
 ) -> Vec<u8> {
-    let effective = divergent_profile.unwrap_or(profile);
     let mut out = Vec::with_capacity(1024);
+    ssh_session_bytes_into(profile, divergent_profile, host_key, cookie_seed, &mut out);
+    out
+}
+
+/// [`ssh_session_bytes`], appending to a caller-owned buffer so a scan loop
+/// can reuse one allocation across millions of sessions.
+pub fn ssh_session_bytes_into(
+    profile: &SshProfile,
+    divergent_profile: Option<&SshProfile>,
+    host_key: &HostKey,
+    cookie_seed: u64,
+    out: &mut Vec<u8>,
+) {
+    let effective = divergent_profile.unwrap_or(profile);
     out.extend_from_slice(&effective.banner.to_bytes());
 
     let mut kexinit = effective.kexinit.clone();
@@ -51,7 +64,6 @@ pub fn ssh_session_bytes(
         signature: vec![0xa5; 64],
     };
     out.extend_from_slice(&reply.to_packet().to_bytes());
-    out
 }
 
 /// The server→client byte stream of a BGP service-scan session: an OPEN

@@ -170,10 +170,8 @@ impl ResolutionTechnique for RateLimitTechnique {
                 let batch = &batch;
                 let times = &times;
                 let interner = &interner;
-                let ranges = alias_exec::split_even(
-                    batch.len() as u64,
-                    ctx.threads.max(1) * alias_exec::SHARDS_PER_THREAD,
-                );
+                let ranges =
+                    alias_exec::split_even(batch.len() as u64, alias_exec::shards_for(ctx.threads));
                 let shard_replies: Vec<Vec<Option<(u32, u32)>>> =
                     alias_exec::shard_map(ranges.len(), ctx.threads.max(1), |shard| {
                         let range = &ranges[shard];

@@ -95,6 +95,12 @@ impl IpidProber {
     /// fragment-eliciting probes, both drawing from the same device-wide
     /// counter.  Unresponsive
     /// targets yield series with fewer (possibly zero) samples.
+    ///
+    /// The probe loop cannot use the precomputed bucket schedule — the
+    /// strictly-increasing timestamp forcing feeds back into the bucket's
+    /// refill arithmetic — but the target set is fixed across rounds, so
+    /// each address is resolved against the IP index once up front rather
+    /// than once per sample.
     pub fn collect_round_robin(
         &self,
         internet: &Internet,
@@ -109,6 +115,11 @@ impl IpidProber {
                 samples: Vec::with_capacity(self.config.rounds),
             })
             .collect();
+        // Resolve every target once; the per-round loop probes through the
+        // resolved interface (`None` for addresses that do not exist, which
+        // never answer — exactly as the per-probe lookup would conclude).
+        let resolved: Vec<Option<(alias_netsim::DeviceId, usize)>> =
+            targets.iter().map(|&addr| internet.lookup(addr)).collect();
         let mut bucket = TokenBucket::new(self.config.rate_pps, 16.0, start);
         let mut round_start = start;
         // Probe timestamps are forced to be strictly increasing so that the
@@ -117,14 +128,17 @@ impl IpidProber {
         let mut last_sent = SimTime::ZERO;
         for _ in 0..self.config.rounds {
             let mut now = round_start;
-            for entry in series.iter_mut() {
+            for (entry, target) in series.iter_mut().zip(&resolved) {
                 now = bucket.acquire(now);
                 if now <= last_sent {
                     now = last_sent + SimTime(1);
                 }
                 last_sent = now;
+                let Some((device_id, iface_idx)) = *target else {
+                    continue;
+                };
                 let ctx = ProbeContext { vantage, time: now };
-                if let Some(echo) = Self::probe(internet, entry.addr, &ctx) {
+                if let Some(echo) = internet.identifier_probe_at(device_id, iface_idx, &ctx) {
                     entry.samples.push(IpidSample {
                         time: echo.time,
                         ipid: echo.ipid,

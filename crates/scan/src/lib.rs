@@ -29,6 +29,7 @@ pub mod rate;
 pub mod rate_probe;
 pub mod records;
 pub mod snmp;
+pub mod space;
 pub mod zgrab;
 pub mod zmap;
 

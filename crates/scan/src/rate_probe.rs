@@ -24,6 +24,7 @@
 //! the serial one without any pacing-state hand-off between shards.
 
 use crate::records::{DataSource, ServiceObservation, ServicePayload};
+use crate::space::RoutedSpace;
 use alias_netsim::{Internet, ProbeContext, ServiceProtocol, SimTime, VantageKind};
 use alias_store::ShardColumns;
 use std::net::{IpAddr, Ipv6Addr};
@@ -87,26 +88,9 @@ impl RateProber {
         &self.config
     }
 
-    /// One burst at `rate_pps`, routed by address family.  `None` when the
-    /// address is unresponsive (unrouted, invisible, ping disabled).
-    fn burst(
-        &self,
-        internet: &Internet,
-        addr: IpAddr,
-        rate_pps: f64,
-        ctx: &ProbeContext,
-    ) -> Option<u32> {
-        let count = u32::from(self.config.probes_per_round);
-        match addr {
-            IpAddr::V4(_) => internet.icmp_rate_burst(addr, rate_pps, count, ctx),
-            IpAddr::V6(_) => internet.ipv6_rate_burst(addr, rate_pps, count, ctx),
-        }
-    }
-
     /// Discover the echo-responsive target population: every address of
-    /// the routed IPv4 space plus the IPv6 hitlist that answers ping.
-    /// Serial by construction — a pure membership filter with no
-    /// measurement state, so there is nothing to shard.
+    /// the routed IPv4 space plus the IPv6 hitlist that answers ping.  A
+    /// pure membership filter with no measurement state.
     pub fn discover_targets(
         &self,
         internet: &Internet,
@@ -114,16 +98,42 @@ impl RateProber {
         vantage: VantageKind,
         at: SimTime,
     ) -> Vec<IpAddr> {
+        self.discover_targets_sharded(internet, hitlist_v6, vantage, at, 1)
+    }
+
+    /// [`Self::discover_targets`] with `threads` shard workers over the
+    /// routed IPv4 space.  The filter is stateless, so concatenating the
+    /// per-shard survivors in shard order reproduces the serial sweep
+    /// byte for byte; the (much smaller) IPv6 hitlist stays serial.
+    pub fn discover_targets_sharded(
+        &self,
+        internet: &Internet,
+        hitlist_v6: &[Ipv6Addr],
+        vantage: VantageKind,
+        at: SimTime,
+        threads: usize,
+    ) -> Vec<IpAddr> {
         let ctx = ProbeContext { vantage, time: at };
-        let mut targets = Vec::new();
-        for prefix in internet.routed_v4_prefixes() {
-            targets.extend(
-                prefix
-                    .iter()
-                    .map(IpAddr::V4)
-                    .filter(|&a| internet.ping_responds(a, &ctx)),
-            );
-        }
+        let space = RoutedSpace::of(internet);
+        let mut targets = if threads <= 1 {
+            space
+                .iter_range(0, space.len())
+                .map(IpAddr::V4)
+                .filter(|&a| internet.ping_responds(a, &ctx))
+                .collect()
+        } else {
+            let ranges = alias_exec::split_even(space.len(), alias_exec::shards_for(threads));
+            let per_shard: Vec<Vec<IpAddr>> =
+                alias_exec::shard_map(ranges.len(), threads, |shard| {
+                    let range = &ranges[shard];
+                    space
+                        .iter_range(range.start, range.end)
+                        .map(IpAddr::V4)
+                        .filter(|&a| internet.ping_responds(a, &ctx))
+                        .collect()
+                });
+            per_shard.into_iter().flatten().collect::<Vec<IpAddr>>()
+        };
         targets.extend(
             hitlist_v6
                 .iter()
@@ -149,25 +159,33 @@ impl RateProber {
         let cfg = &self.config;
         let slot = cfg.target_slot().as_millis();
         let sent = cfg.probes_per_round;
+        let count = u32::from(sent);
         for (offset, &addr) in targets.iter().enumerate() {
             let t0 = phase_start + SimTime((global_offset + offset) as u64 * slot);
+            // The limiter is router-wide: resolve the target once and burst
+            // the device through the whole ladder (an unrouted address can
+            // never answer, exactly as an unresolvable one).
+            let Some((device_id, iface_idx)) = internet.lookup(addr) else {
+                continue;
+            };
             // Screening burst at the top rate: no loss there means no loss
             // anywhere on the ladder (monotonicity), so skip the target.
             // Bursts are pure — the limiter is evaluated from a full
             // bucket every time — so the screen costs nothing downstream.
             let top = cfg.rounds - 1;
             let ctx = ProbeContext { vantage, time: t0 };
-            let Some(replies) = self.burst(internet, addr, cfg.round_rate(top), &ctx) else {
+            let Some(replies) = internet.rate_burst_at(device_id, cfg.round_rate(top), count, &ctx)
+            else {
                 continue;
             };
-            if replies == u32::from(sent) {
+            if replies == count {
                 continue;
             }
             for round in 0..cfg.rounds {
                 let time = t0 + SimTime(u64::from(round) * cfg.round_spacing.as_millis());
                 let ctx = ProbeContext { vantage, time };
                 let rate = cfg.round_rate(round);
-                let Some(replies) = self.burst(internet, addr, rate, &ctx) else {
+                let Some(replies) = internet.rate_burst_at(device_id, rate, count, &ctx) else {
                     continue;
                 };
                 let lost = sent - replies as u16;
@@ -179,7 +197,7 @@ impl RateProber {
                     ServiceProtocol::IcmpRateLimit.default_port(),
                     cfg.source,
                     time,
-                    internet.ip_to_asn(addr).map(|a| a.0),
+                    Some(internet.asn_at(device_id, iface_idx).0),
                     ServicePayload::RateLimit {
                         round,
                         rate_pps: rate as u32,
@@ -220,10 +238,7 @@ impl RateProber {
         if threads <= 1 {
             return vec![self.probe_columns(internet, targets, vantage, start)];
         }
-        let ranges = alias_exec::split_even(
-            targets.len() as u64,
-            threads * alias_exec::SHARDS_PER_THREAD,
-        );
+        let ranges = alias_exec::split_even(targets.len() as u64, alias_exec::shards_for(threads));
         alias_exec::shard_map(ranges.len(), threads, |shard| {
             let range = &ranges[shard];
             let mut columns = ShardColumns::new();

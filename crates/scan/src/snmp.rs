@@ -5,8 +5,9 @@
 //! and validation source.  This scanner sends the unauthenticated discovery
 //! GET to each target and records the engine ID from the Report response.
 
-use crate::rate::TokenBucket;
+use crate::rate::ProbeSchedule;
 use crate::records::{DataSource, ServiceObservation, ServicePayload};
+use crate::space::RoutedSpace;
 use alias_netsim::{internet::SNMP_PORT, Internet, ProbeContext, SimTime, VantageKind};
 use alias_store::ShardColumns;
 use alias_wire::snmp::Snmpv3Message;
@@ -63,15 +64,14 @@ impl SnmpScanner {
         vantage: VantageKind,
         start: SimTime,
     ) -> ShardColumns {
-        let mut bucket = TokenBucket::new(self.config.rate_pps, 32.0, start);
+        let mut schedule = ProbeSchedule::new(self.config.rate_pps, 32.0, start);
         let mut columns = ShardColumns::new();
         self.scan_slice(
             internet,
-            targets,
+            targets.iter().copied(),
             0,
             vantage,
-            &mut bucket,
-            start,
+            &mut schedule,
             &mut columns,
         );
         columns
@@ -79,27 +79,34 @@ impl SnmpScanner {
 
     /// The probe loop shared verbatim by the serial and sharded paths: one
     /// paced discovery request per target, with message ids continuing the
-    /// global sequence from `global_offset` and `bucket` resuming its
-    /// pacing schedule from `now`; results are pushed into `columns`.  A
-    /// single copy keeps the byte-identity contract between the two paths
-    /// structural.
-    #[allow(clippy::too_many_arguments)]
+    /// global sequence from `global_offset` and send times drawn from
+    /// `schedule`; results are pushed into `columns`.  A single copy keeps
+    /// the byte-identity contract between the two paths structural.
+    ///
+    /// Targets arrive as an iterator so the routed-space sweep never
+    /// materialises its address list.  Each target is resolved against the
+    /// IP index first: the unrouted majority of a swept space consumes its
+    /// schedule slot (the probe *is* sent) but skips request construction,
+    /// probe dispatch and ASN attribution entirely — none of which can be
+    /// observed for an address that does not exist.
     fn scan_slice(
         &self,
         internet: &Internet,
-        targets: &[IpAddr],
+        targets: impl Iterator<Item = IpAddr>,
         global_offset: usize,
         vantage: VantageKind,
-        bucket: &mut TokenBucket,
-        mut now: SimTime,
+        schedule: &mut ProbeSchedule,
         columns: &mut ShardColumns,
     ) {
-        for (offset, &addr) in targets.iter().enumerate() {
-            now = bucket.acquire(now);
+        for (offset, addr) in targets.enumerate() {
+            let now = schedule.next_send_time();
+            let Some((device_id, iface_idx)) = internet.lookup(addr) else {
+                continue;
+            };
             let msg_id = 0x0101 + (global_offset + offset) as i64;
             let request = Snmpv3Message::DiscoveryRequest { msg_id }.to_bytes();
             let ctx = ProbeContext { vantage, time: now };
-            let Some(reply) = internet.snmp_probe(addr, &request, &ctx) else {
+            let Some(reply) = internet.snmp_probe_at(device_id, iface_idx, &request, &ctx) else {
                 continue;
             };
             let Ok(Snmpv3Message::Report { usm, .. }) = Snmpv3Message::parse(&reply) else {
@@ -110,7 +117,7 @@ impl SnmpScanner {
                 SNMP_PORT,
                 self.config.source,
                 now,
-                internet.ip_to_asn(addr).map(|a| a.0),
+                Some(internet.asn_at(device_id, iface_idx).0),
                 ServicePayload::Snmpv3 {
                     engine_id: usm.engine_id,
                     engine_boots: usm.engine_boots,
@@ -156,35 +163,44 @@ impl SnmpScanner {
         if threads <= 1 {
             return vec![self.scan_columns(internet, targets, vantage, start)];
         }
-        let ranges = alias_exec::split_even(
-            targets.len() as u64,
-            threads * alias_exec::SHARDS_PER_THREAD,
-        );
-        let mut boundary = TokenBucket::new(self.config.rate_pps, 32.0, start);
-        let mut now = start;
-        let starts: Vec<(TokenBucket, SimTime)> = ranges
-            .iter()
-            .map(|range| {
-                let state = (boundary.clone(), now);
-                now = boundary.advance(now, range.end - range.start);
-                state
-            })
-            .collect();
+        let ranges = alias_exec::split_even(targets.len() as u64, alias_exec::shards_for(threads));
+        let starts = self.schedule_starts(&ranges, start);
         alias_exec::shard_map(ranges.len(), threads, |shard| {
             let range = &ranges[shard];
-            let (mut bucket, now) = starts[shard].clone();
+            let mut schedule = starts[shard].clone();
             let mut columns = ShardColumns::new();
             self.scan_slice(
                 internet,
-                &targets[range.start as usize..range.end as usize],
+                targets[range.start as usize..range.end as usize]
+                    .iter()
+                    .copied(),
                 range.start as usize,
                 vantage,
-                &mut bucket,
-                now,
+                &mut schedule,
                 &mut columns,
             );
             columns
         })
+    }
+
+    /// Deal the serial pacing schedule out at the shard boundaries: shard
+    /// `i` receives the schedule state after every probe of shards `0..i`,
+    /// batched per send time so the whole pass is cheap even when the
+    /// sharded space runs to tens of millions of probes.
+    fn schedule_starts(
+        &self,
+        ranges: &[std::ops::Range<u64>],
+        start: SimTime,
+    ) -> Vec<ProbeSchedule> {
+        let mut boundary = ProbeSchedule::new(self.config.rate_pps, 32.0, start);
+        ranges
+            .iter()
+            .map(|range| {
+                let state = boundary.clone();
+                boundary.skip(range.end - range.start);
+                state
+            })
+            .collect()
     }
 
     /// Probe every IPv4 address in the routed prefixes (the paper's
@@ -214,6 +230,10 @@ impl SnmpScanner {
 
     /// [`Self::scan_routed_space_sharded`], returning per-shard column
     /// chunks in shard order.
+    ///
+    /// The routed space is walked through [`RoutedSpace`] rather than
+    /// materialised as an address list — at the larger scale tiers the list
+    /// alone would dwarf the scan's useful output.
     pub fn scan_routed_space_columns_sharded(
         &self,
         internet: &Internet,
@@ -221,11 +241,36 @@ impl SnmpScanner {
         start: SimTime,
         threads: usize,
     ) -> Vec<ShardColumns> {
-        let mut targets = Vec::new();
-        for prefix in internet.routed_v4_prefixes() {
-            targets.extend(prefix.iter().map(IpAddr::V4));
+        let space = RoutedSpace::of(internet);
+        if threads <= 1 {
+            let mut schedule = ProbeSchedule::new(self.config.rate_pps, 32.0, start);
+            let mut columns = ShardColumns::new();
+            self.scan_slice(
+                internet,
+                space.iter_range(0, space.len()).map(IpAddr::V4),
+                0,
+                vantage,
+                &mut schedule,
+                &mut columns,
+            );
+            return vec![columns];
         }
-        self.scan_columns_sharded(internet, &targets, vantage, start, threads)
+        let ranges = alias_exec::split_even(space.len(), alias_exec::shards_for(threads));
+        let starts = self.schedule_starts(&ranges, start);
+        alias_exec::shard_map(ranges.len(), threads, |shard| {
+            let range = &ranges[shard];
+            let mut schedule = starts[shard].clone();
+            let mut columns = ShardColumns::new();
+            self.scan_slice(
+                internet,
+                space.iter_range(range.start, range.end).map(IpAddr::V4),
+                range.start as usize,
+                vantage,
+                &mut schedule,
+                &mut columns,
+            );
+            columns
+        })
     }
 }
 

@@ -1,0 +1,135 @@
+//! The flattened routed IPv4 address space.
+//!
+//! Internet-wide sweeps (ZMap's SYN scan, the SNMPv3 discovery scan, the
+//! rate-probe ping sweep) all iterate the same object: the concatenation of
+//! every routed IPv4 prefix, treated as one index space `[0, total)`.  At
+//! the larger scale tiers that space runs to tens of millions of addresses,
+//! so it is never materialised — [`RoutedSpace`] maps indices to addresses
+//! on the fly, with random access for permuted sweeps and a linear cursor
+//! for in-order range walks.
+
+use alias_netsim::topology::Ipv4Prefix;
+use alias_netsim::Internet;
+use std::net::Ipv4Addr;
+
+/// The routed IPv4 prefixes of an [`Internet`], flattened into a single
+/// index space.
+#[derive(Debug, Clone)]
+pub struct RoutedSpace {
+    prefixes: Vec<Ipv4Prefix>,
+    /// `offsets[i]` is the index of `prefixes[i]`'s first address.
+    offsets: Vec<u64>,
+    total: u64,
+}
+
+impl RoutedSpace {
+    /// Flatten `internet`'s routed IPv4 prefixes.
+    pub fn of(internet: &Internet) -> Self {
+        let prefixes = internet.routed_v4_prefixes();
+        let mut offsets = Vec::with_capacity(prefixes.len());
+        let mut total: u64 = 0;
+        for prefix in &prefixes {
+            offsets.push(total);
+            total += prefix.size();
+        }
+        RoutedSpace {
+            prefixes,
+            offsets,
+            total,
+        }
+    }
+
+    /// Number of addresses in the space.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the space holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The address at `index`, by binary search over the prefix offsets —
+    /// the random-access path used with permuted sweep orders.
+    pub fn addr_at(&self, index: u64) -> Ipv4Addr {
+        let slot = match self.offsets.binary_search(&index) {
+            Ok(exact) => exact,
+            Err(insert) => insert - 1,
+        };
+        let prefix = self.prefixes[slot];
+        Ipv4Addr::from(u32::from(prefix.base) + (index - self.offsets[slot]) as u32)
+    }
+
+    /// Iterate the addresses at indices `[start, end)` in index order: one
+    /// binary search to find the first prefix, then a linear walk — no
+    /// per-address search and no materialised target list.
+    pub fn iter_range(&self, start: u64, end: u64) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let end = end.min(self.total);
+        let mut slot = if start < end {
+            match self.offsets.binary_search(&start) {
+                Ok(exact) => exact,
+                Err(insert) => insert - 1,
+            }
+        } else {
+            0
+        };
+        (start..end).map(move |index| {
+            while index - self.offsets[slot] >= self.prefixes[slot].size() {
+                slot += 1;
+            }
+            Ipv4Addr::from(
+                u32::from(self.prefixes[slot].base) + (index - self.offsets[slot]) as u32,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alias_netsim::{InternetBuilder, InternetConfig};
+
+    fn space() -> RoutedSpace {
+        let internet = InternetBuilder::new(InternetConfig::tiny(3)).build();
+        RoutedSpace::of(&internet)
+    }
+
+    #[test]
+    fn total_matches_prefix_sizes() {
+        let internet = InternetBuilder::new(InternetConfig::tiny(3)).build();
+        let space = RoutedSpace::of(&internet);
+        let expected: u64 = internet.routed_v4_prefixes().iter().map(|p| p.size()).sum();
+        assert_eq!(space.len(), expected);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn range_walk_matches_random_access() {
+        let space = space();
+        let n = space.len();
+        for (start, end) in [(0, n), (1, n - 1), (n / 3, 2 * n / 3), (n - 1, n), (5, 5)] {
+            let walked: Vec<Ipv4Addr> = space.iter_range(start, end).collect();
+            let indexed: Vec<Ipv4Addr> = (start..end).map(|i| space.addr_at(i)).collect();
+            assert_eq!(walked, indexed, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn full_walk_matches_prefix_concatenation() {
+        let internet = InternetBuilder::new(InternetConfig::tiny(3)).build();
+        let space = RoutedSpace::of(&internet);
+        let walked: Vec<Ipv4Addr> = space.iter_range(0, space.len()).collect();
+        let expected: Vec<Ipv4Addr> = internet
+            .routed_v4_prefixes()
+            .iter()
+            .flat_map(|p| p.iter())
+            .collect();
+        assert_eq!(walked, expected);
+    }
+
+    #[test]
+    fn out_of_bounds_end_is_clamped() {
+        let space = space();
+        assert_eq!(space.iter_range(0, u64::MAX).count() as u64, space.len());
+    }
+}

@@ -7,7 +7,7 @@
 //! that usually follows).  The captured bytes are parsed with `alias-wire`
 //! and emitted as [`ServiceObservation`] records.
 
-use crate::rate::TokenBucket;
+use crate::rate::ProbeSchedule;
 use crate::records::{DataSource, ServiceObservation};
 use alias_netsim::{Internet, ProbeContext, ServiceProtocol, SimTime, VantageKind};
 use alias_store::ShardColumns;
@@ -75,27 +75,32 @@ impl ZgrabScanner {
         vantage: VantageKind,
         start: SimTime,
     ) -> ShardColumns {
-        let mut bucket = TokenBucket::new(self.config.rate_pps, 32.0, start);
-        let mut columns = ShardColumns::new();
+        let mut schedule = ProbeSchedule::new(self.config.rate_pps, 32.0, start);
+        let mut columns = ShardColumns::with_capacity(targets.len());
+        let mut scratch = Vec::new();
         self.grab_slice(
             internet,
             targets,
             port,
             protocol,
             vantage,
-            &mut bucket,
-            start,
+            &mut schedule,
+            &mut scratch,
             &mut columns,
         );
         columns
     }
 
     /// The probe loop shared verbatim by the serial and sharded paths: one
-    /// paced session attempt per target, resuming `bucket`'s schedule from
-    /// `now` and pushing results into `columns` (the address is interned
+    /// paced session attempt per target, drawing send times from
+    /// `schedule`, capturing session bytes into the reusable `scratch`
+    /// buffer, and pushing results into `columns` (the address is interned
     /// shard-locally as it is observed).  Keeping a single copy is what
     /// makes the byte-identity contract between the two paths structural
     /// rather than maintained by hand.
+    ///
+    /// Each target is resolved against the IP index exactly once; the probe
+    /// dispatch and the ASN attribution reuse the resolved interface.
     #[allow(clippy::too_many_arguments)]
     fn grab_slice(
         &self,
@@ -104,17 +109,20 @@ impl ZgrabScanner {
         port: u16,
         protocol: ServiceProtocol,
         vantage: VantageKind,
-        bucket: &mut TokenBucket,
-        mut now: SimTime,
+        schedule: &mut ProbeSchedule,
+        scratch: &mut Vec<u8>,
         columns: &mut ShardColumns,
     ) {
         for &addr in targets {
-            now = bucket.acquire(now);
-            let ctx = ProbeContext { vantage, time: now };
-            let Some(bytes) = internet.service_session(addr, port, &ctx) else {
+            let now = schedule.next_send_time();
+            let Some((device_id, iface_idx)) = internet.lookup(addr) else {
                 continue;
             };
-            let Some(payload) = parse_payload(protocol, &bytes) else {
+            let ctx = ProbeContext { vantage, time: now };
+            if !internet.service_session_into(device_id, iface_idx, port, &ctx, scratch) {
+                continue;
+            }
+            let Some(payload) = parse_payload(protocol, scratch) else {
                 continue;
             };
             columns.push(
@@ -122,7 +130,7 @@ impl ZgrabScanner {
                 port,
                 self.config.source,
                 now,
-                internet.ip_to_asn(addr).map(|a| a.0),
+                Some(internet.asn_at(device_id, iface_idx).0),
                 payload,
             );
         }
@@ -171,36 +179,38 @@ impl ZgrabScanner {
         if threads <= 1 {
             return vec![self.grab_columns(internet, targets, port, protocol, vantage, start)];
         }
-        let ranges = alias_exec::split_even(
-            targets.len() as u64,
-            threads * alias_exec::SHARDS_PER_THREAD,
-        );
-        // Fast-forward a bucket through the shard boundaries so each worker
-        // resumes the pacing schedule exactly where the serial loop would be.
-        let mut boundary = TokenBucket::new(self.config.rate_pps, 32.0, start);
-        let mut now = start;
-        let starts: Vec<(TokenBucket, SimTime)> = ranges
+        let ranges = alias_exec::split_even(targets.len() as u64, alias_exec::shards_for(threads));
+        // Fast-forward the schedule through the shard boundaries so each
+        // worker resumes the pacing exactly where the serial loop would be.
+        // The skip is batched per send time, so dealing out all boundaries
+        // costs one serial pass over the schedule's *groups*, not its probes.
+        let mut boundary = ProbeSchedule::new(self.config.rate_pps, 32.0, start);
+        let starts: Vec<ProbeSchedule> = ranges
             .iter()
             .map(|range| {
-                let state = (boundary.clone(), now);
-                now = boundary.advance(now, range.end - range.start);
+                let state = boundary.clone();
+                boundary.skip(range.end - range.start);
                 state
             })
             .collect();
+        let scratch_pool = alias_exec::ScratchPool::<Vec<u8>>::new();
+        let scratch_pool = &scratch_pool;
         alias_exec::shard_map(ranges.len(), threads, |shard| {
             let range = &ranges[shard];
-            let (mut bucket, now) = starts[shard].clone();
-            let mut columns = ShardColumns::new();
+            let mut schedule = starts[shard].clone();
+            let mut columns = ShardColumns::with_capacity((range.end - range.start) as usize);
+            let mut scratch = scratch_pool.take();
             self.grab_slice(
                 internet,
                 &targets[range.start as usize..range.end as usize],
                 port,
                 protocol,
                 vantage,
-                &mut bucket,
-                now,
+                &mut schedule,
+                &mut scratch,
                 &mut columns,
             );
+            scratch_pool.put(scratch);
             columns
         })
     }

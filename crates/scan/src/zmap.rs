@@ -8,9 +8,10 @@
 
 use crate::permute::IndexPermutation;
 use crate::rate::TokenBucket;
+use crate::space::RoutedSpace;
 use alias_netsim::{Internet, ProbeContext, SimTime, SynResult, VantageKind};
 use std::collections::HashMap;
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::net::{IpAddr, Ipv6Addr};
 
 /// Configuration of a SYN scan.
 #[derive(Debug, Clone)]
@@ -63,6 +64,75 @@ impl ZmapScanner {
         ZmapScanner { config }
     }
 
+    /// Probe one raw-step slice of the permuted index space; the shard body
+    /// shared by the serial and sharded IPv4 sweeps.
+    ///
+    /// The inner loop carries no pacing state: a SYN result does not depend
+    /// on the probe's send time (the bucket schedule is replayed separately
+    /// to date the results), and each address is resolved against the IP
+    /// index once — the unrouted majority of the swept space is skipped
+    /// without per-port probe dispatch.
+    fn syn_slice(
+        &self,
+        internet: &Internet,
+        vantage: VantageKind,
+        start: SimTime,
+        space: &RoutedSpace,
+        permutation: &IndexPermutation,
+        range: &std::ops::Range<u64>,
+    ) -> Vec<Vec<IpAddr>> {
+        let ports = &self.config.ports;
+        let mut found: Vec<Vec<IpAddr>> = vec![Vec::new(); ports.len()];
+        let ctx = ProbeContext {
+            vantage,
+            time: start,
+        };
+        for index in permutation.iter_raw_range(range.start, range.end) {
+            let addr = IpAddr::V4(space.addr_at(index));
+            // Absent addresses time out on every port; resolve once and move
+            // on instead of hashing the address once per port.
+            let Some((device_id, iface_idx)) = internet.lookup(addr) else {
+                continue;
+            };
+            for (slot, &port) in ports.iter().enumerate() {
+                if internet.syn_probe_at(device_id, iface_idx, port, &ctx) == SynResult::SynAck {
+                    found[slot].push(addr);
+                }
+            }
+        }
+        found
+    }
+
+    /// Assemble per-shard (or whole-scan) port hit lists into results, with
+    /// the finish time from the replayed serial pacing schedule.
+    fn assemble_results(
+        &self,
+        per_shard: Vec<Vec<Vec<IpAddr>>>,
+        probes_sent: u64,
+        start: SimTime,
+    ) -> ZmapResults {
+        let ports = &self.config.ports;
+        let mut results = ZmapResults::default();
+        for &port in ports {
+            results.responsive.insert(port, Vec::new());
+        }
+        for found in per_shard {
+            for (slot, addrs) in found.into_iter().enumerate() {
+                results
+                    .responsive
+                    .get_mut(&ports[slot])
+                    .expect("port pre-registered")
+                    .extend(addrs);
+            }
+        }
+        results.probes_sent = probes_sent;
+        // Replay the serial pacing schedule to land on the identical finish
+        // time (the bucket is a pure function of the probe count).
+        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
+        results.finished_at = bucket.advance(start, probes_sent);
+        results
+    }
+
     /// Sweep every routed IPv4 prefix of `internet` on a single thread.
     pub fn scan_ipv4(
         &self,
@@ -72,32 +142,21 @@ impl ZmapScanner {
     ) -> ZmapResults {
         // Flatten the routed prefixes into a single index space so the
         // permutation spreads probes across all networks.
-        let (prefixes, offsets, total) = flatten_prefixes(internet);
-
-        let mut results = ZmapResults::default();
-        for &port in &self.config.ports {
-            results.responsive.insert(port, Vec::new());
-        }
-        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
-        let permutation = IndexPermutation::new(total, self.config.seed);
-        let mut now = start;
-        for index in permutation.iter() {
-            let addr = IpAddr::V4(index_to_addr(&prefixes, &offsets, index));
-            for &port in &self.config.ports {
-                now = bucket.acquire(now);
-                results.probes_sent += 1;
-                let ctx = ProbeContext { vantage, time: now };
-                if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
-                    results
-                        .responsive
-                        .get_mut(&port)
-                        .expect("port pre-registered")
-                        .push(addr);
-                }
-            }
-        }
-        results.finished_at = now;
-        results
+        let space = RoutedSpace::of(internet);
+        let permutation = IndexPermutation::new(space.len(), self.config.seed);
+        let found = self.syn_slice(
+            internet,
+            vantage,
+            start,
+            &space,
+            &permutation,
+            &(0..permutation.raw_len()),
+        );
+        self.assemble_results(
+            vec![found],
+            space.len() * self.config.ports.len() as u64,
+            start,
+        )
     }
 
     /// Sweep every routed IPv4 prefix with `threads` shard workers over
@@ -118,54 +177,57 @@ impl ZmapScanner {
         if threads <= 1 {
             return self.scan_ipv4(internet, vantage, start);
         }
-        let (prefixes, offsets, total) = flatten_prefixes(internet);
-        let permutation = IndexPermutation::new(total, self.config.seed);
-        let ports = &self.config.ports;
+        let space = RoutedSpace::of(internet);
+        let permutation = IndexPermutation::new(space.len(), self.config.seed);
 
         // Shard the raw LCG step range: concatenating the in-range values of
         // contiguous raw-step slices reproduces the serial permutation order.
-        let ranges = alias_exec::split_even(
-            permutation.raw_len(),
-            threads * alias_exec::SHARDS_PER_THREAD,
-        );
+        let ranges = alias_exec::split_even(permutation.raw_len(), alias_exec::shards_for(threads));
         let per_shard: Vec<Vec<Vec<IpAddr>>> =
             alias_exec::shard_map(ranges.len(), threads, |shard| {
-                let mut found: Vec<Vec<IpAddr>> = vec![Vec::new(); ports.len()];
-                let range = &ranges[shard];
-                for index in permutation.iter_raw_range(range.start, range.end) {
-                    let addr = IpAddr::V4(index_to_addr(&prefixes, &offsets, index));
-                    for (slot, &port) in ports.iter().enumerate() {
-                        let ctx = ProbeContext {
-                            vantage,
-                            time: start,
-                        };
-                        if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
-                            found[slot].push(addr);
-                        }
-                    }
-                }
-                found
+                self.syn_slice(
+                    internet,
+                    vantage,
+                    start,
+                    &space,
+                    &permutation,
+                    &ranges[shard],
+                )
             });
+        self.assemble_results(
+            per_shard,
+            space.len() * self.config.ports.len() as u64,
+            start,
+        )
+    }
 
-        let mut results = ZmapResults::default();
-        for &port in ports {
-            results.responsive.insert(port, Vec::new());
-        }
-        for found in per_shard {
-            for (slot, addrs) in found.into_iter().enumerate() {
-                results
-                    .responsive
-                    .get_mut(&ports[slot])
-                    .expect("port pre-registered")
-                    .extend(addrs);
+    /// Probe one slice of an IPv6 target list; shared by the serial and
+    /// sharded hitlist scans.  Same loop shape as [`Self::syn_slice`].
+    fn syn_v6_slice(
+        &self,
+        internet: &Internet,
+        targets: &[Ipv6Addr],
+        vantage: VantageKind,
+        start: SimTime,
+    ) -> Vec<Vec<IpAddr>> {
+        let ports = &self.config.ports;
+        let mut found: Vec<Vec<IpAddr>> = vec![Vec::new(); ports.len()];
+        let ctx = ProbeContext {
+            vantage,
+            time: start,
+        };
+        for &addr in targets {
+            let addr = IpAddr::V6(addr);
+            let Some((device_id, iface_idx)) = internet.lookup(addr) else {
+                continue;
+            };
+            for (slot, &port) in ports.iter().enumerate() {
+                if internet.syn_probe_at(device_id, iface_idx, port, &ctx) == SynResult::SynAck {
+                    found[slot].push(addr);
+                }
             }
         }
-        results.probes_sent = total * ports.len() as u64;
-        // Replay the serial pacing schedule to land on the identical finish
-        // time (the bucket is a pure function of the probe count).
-        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
-        results.finished_at = bucket.advance(start, results.probes_sent);
-        results
+        found
     }
 
     /// Probe an explicit IPv6 target list (hitlist-driven, since sweeping
@@ -177,29 +239,12 @@ impl ZmapScanner {
         vantage: VantageKind,
         start: SimTime,
     ) -> ZmapResults {
-        let mut results = ZmapResults::default();
-        for &port in &self.config.ports {
-            results.responsive.insert(port, Vec::new());
-        }
-        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
-        let mut now = start;
-        for &addr in targets {
-            let addr = IpAddr::V6(addr);
-            for &port in &self.config.ports {
-                now = bucket.acquire(now);
-                results.probes_sent += 1;
-                let ctx = ProbeContext { vantage, time: now };
-                if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
-                    results
-                        .responsive
-                        .get_mut(&port)
-                        .expect("port pre-registered")
-                        .push(addr);
-                }
-            }
-        }
-        results.finished_at = now;
-        results
+        let found = self.syn_v6_slice(internet, targets, vantage, start);
+        self.assemble_results(
+            vec![found],
+            targets.len() as u64 * self.config.ports.len() as u64,
+            start,
+        )
     }
 
     /// [`Self::scan_ipv6_list`] with `threads` shard workers over disjoint
@@ -216,76 +261,23 @@ impl ZmapScanner {
         if threads <= 1 {
             return self.scan_ipv6_list(internet, targets, vantage, start);
         }
-        let ports = &self.config.ports;
-        let ranges = alias_exec::split_even(
-            targets.len() as u64,
-            threads * alias_exec::SHARDS_PER_THREAD,
-        );
+        let ranges = alias_exec::split_even(targets.len() as u64, alias_exec::shards_for(threads));
         let per_shard: Vec<Vec<Vec<IpAddr>>> =
             alias_exec::shard_map(ranges.len(), threads, |shard| {
-                let mut found: Vec<Vec<IpAddr>> = vec![Vec::new(); ports.len()];
                 let range = &ranges[shard];
-                for &addr in &targets[range.start as usize..range.end as usize] {
-                    let addr = IpAddr::V6(addr);
-                    for (slot, &port) in ports.iter().enumerate() {
-                        let ctx = ProbeContext {
-                            vantage,
-                            time: start,
-                        };
-                        if internet.syn_probe(addr, port, &ctx) == SynResult::SynAck {
-                            found[slot].push(addr);
-                        }
-                    }
-                }
-                found
+                self.syn_v6_slice(
+                    internet,
+                    &targets[range.start as usize..range.end as usize],
+                    vantage,
+                    start,
+                )
             });
-        let mut results = ZmapResults::default();
-        for &port in ports {
-            results.responsive.insert(port, Vec::new());
-        }
-        for found in per_shard {
-            for (slot, addrs) in found.into_iter().enumerate() {
-                results
-                    .responsive
-                    .get_mut(&ports[slot])
-                    .expect("port pre-registered")
-                    .extend(addrs);
-            }
-        }
-        results.probes_sent = targets.len() as u64 * ports.len() as u64;
-        let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
-        results.finished_at = bucket.advance(start, results.probes_sent);
-        results
+        self.assemble_results(
+            per_shard,
+            targets.len() as u64 * self.config.ports.len() as u64,
+            start,
+        )
     }
-}
-
-/// Flatten the routed prefixes into a single index space `[0, total)`.
-fn flatten_prefixes(
-    internet: &Internet,
-) -> (Vec<alias_netsim::topology::Ipv4Prefix>, Vec<u64>, u64) {
-    let prefixes = internet.routed_v4_prefixes();
-    let mut offsets = Vec::with_capacity(prefixes.len());
-    let mut total: u64 = 0;
-    for prefix in &prefixes {
-        offsets.push(total);
-        total += prefix.size();
-    }
-    (prefixes, offsets, total)
-}
-
-/// Map a flattened index back to the concrete IPv4 address.
-fn index_to_addr(
-    prefixes: &[alias_netsim::topology::Ipv4Prefix],
-    offsets: &[u64],
-    index: u64,
-) -> Ipv4Addr {
-    // Binary search for the prefix containing this index.
-    let slot = match offsets.binary_search(&index) {
-        Ok(exact) => exact,
-        Err(insert) => insert - 1,
-    };
-    let prefix = prefixes[slot];
-    Ipv4Addr::from(u32::from(prefix.base) + (index - offsets[slot]) as u32)
 }
 
 #[cfg(test)]

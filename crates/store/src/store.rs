@@ -384,6 +384,22 @@ impl ShardColumns {
         Self::default()
     }
 
+    /// An empty shard builder with room for `rows` observations, so a scan
+    /// loop that knows its target count pays one allocation per column
+    /// instead of the doubling ladder.
+    pub fn with_capacity(rows: usize) -> Self {
+        ShardColumns {
+            interner: AddrInterner::default(),
+            addrs: Vec::with_capacity(rows),
+            protocols: Vec::with_capacity(rows),
+            sources: Vec::with_capacity(rows),
+            ports: Vec::with_capacity(rows),
+            timestamps: Vec::with_capacity(rows),
+            asns: Vec::with_capacity(rows),
+            payloads: Vec::with_capacity(rows),
+        }
+    }
+
     /// Append one observation from its fields, interning the address
     /// shard-locally.
     pub fn push(
