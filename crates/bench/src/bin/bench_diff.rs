@@ -28,8 +28,16 @@
 //! carry their own scale, so cells matched by (scale, threads) are always
 //! diffed — including across reports whose main runs used different
 //! presets — and the same `--gate` stage names apply to them.
+//!
+//! `--metrics <path>` loads the `--metrics` artifact run_all wrote and
+//! `--metrics-invariant <name>` (repeatable) asserts that the named
+//! deterministic counter holds the *same value in every recorded run* —
+//! the thread-count-invariance contract of the alias-obs deterministic
+//! subset.  `<name>` matches a full metric name (`scan.probes_emitted`)
+//! or its final dot-separated segment (`probes_emitted`).  Drift, or an
+//! invariant matching nothing, prints an `::error::` and exits 1.
 
-use alias_bench::{BenchReport, BenchRun};
+use alias_bench::{BenchReport, BenchRun, MetricsReport};
 use std::fmt::Write as _;
 use std::io::Write as _;
 
@@ -101,7 +109,7 @@ fn main() {
         compare_sweep_cells(baseline_cell, candidate_cell, &args, &mut compared);
     }
     let warnings = compared.iter().filter(|c| c.warned).count();
-    let failures = compared.iter().filter(|c| c.failed).count();
+    let mut failures = compared.iter().filter(|c| c.failed).count();
     println!(
         "{} timings compared, {warnings} regression warning(s) (threshold: {}%), \
          {failures} gate failure(s) (gated: {}, threshold: {}%)",
@@ -115,8 +123,25 @@ fn main() {
         args.gate_threshold_pct,
     );
 
+    let mut invariant_rows: Vec<InvariantRow> = Vec::new();
+    if let Some(path) = &args.metrics_path {
+        let metrics = load_metrics(path);
+        invariant_rows = check_metrics_invariants(&metrics, &args.metrics_invariants);
+        let invariant_failures = invariant_rows.iter().filter(|r| r.failed).count();
+        println!(
+            "{} metric invariant row(s) checked across {} run(s), {} drift failure(s)",
+            invariant_rows.len(),
+            metrics.runs.len(),
+            invariant_failures,
+        );
+        failures += invariant_failures;
+    }
+
     if let Some(path) = &args.summary_path {
-        let table = summary_table(&baseline, &candidate, &compared, args.threshold_pct);
+        let mut table = summary_table(&baseline, &candidate, &compared, args.threshold_pct);
+        if !invariant_rows.is_empty() {
+            table.push_str(&metrics_table(&invariant_rows));
+        }
         let result = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -131,6 +156,121 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// One checked metric invariant: a deterministic counter's value in every
+/// recorded run of the `--metrics` artifact.
+struct InvariantRow {
+    name: String,
+    /// `(threads, value)` per run, in the artifact's run order; `None`
+    /// marks a run the metric is missing from.
+    values: Vec<(usize, Option<u64>)>,
+    failed: bool,
+}
+
+/// Check every `--metrics-invariant` name against the metrics report:
+/// each matched deterministic metric must carry the same value in every
+/// recorded run.  An invariant matching nothing is itself a failure — a
+/// renamed counter must not silently disarm the CI check.
+fn check_metrics_invariants(metrics: &MetricsReport, invariants: &[String]) -> Vec<InvariantRow> {
+    let mut rows: Vec<InvariantRow> = Vec::new();
+    for invariant in invariants {
+        // The full metric names this invariant matches in any run.
+        let mut names: Vec<String> = Vec::new();
+        for run in &metrics.runs {
+            for matched in run.matching_rows(invariant) {
+                if !names.contains(&matched.name) {
+                    names.push(matched.name.clone());
+                }
+            }
+        }
+        if names.is_empty() {
+            println!(
+                "::error::metrics invariant {invariant:?} matches no deterministic \
+                 metric in any recorded run"
+            );
+            rows.push(InvariantRow {
+                name: invariant.clone(),
+                values: Vec::new(),
+                failed: true,
+            });
+            continue;
+        }
+        names.sort();
+        for name in names {
+            let values: Vec<(usize, Option<u64>)> = metrics
+                .runs
+                .iter()
+                .map(|run| {
+                    let value = run
+                        .matching_rows(invariant)
+                        .iter()
+                        .find(|row| row.name == name)
+                        .map(|row| row.value);
+                    (run.threads, value)
+                })
+                .collect();
+            let mut distinct: Vec<Option<u64>> = values.iter().map(|(_, v)| *v).collect();
+            distinct.sort();
+            distinct.dedup();
+            let failed = distinct.len() > 1;
+            if failed {
+                let rendered: Vec<String> = values
+                    .iter()
+                    .map(|(threads, value)| match value {
+                        Some(v) => format!("{v} @ {threads} thread(s)"),
+                        None => format!("missing @ {threads} thread(s)"),
+                    })
+                    .collect();
+                println!(
+                    "::error::metrics invariant violated: {name} drifts across thread \
+                     counts ({}) — a deterministic counter must not depend on the \
+                     shard decomposition",
+                    rendered.join(", ")
+                );
+            }
+            rows.push(InvariantRow {
+                name,
+                values,
+                failed,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the checked invariants as a markdown table for the job summary.
+fn metrics_table(rows: &[InvariantRow]) -> String {
+    let mut out = String::new();
+    writeln!(out, "\n### Deterministic metric invariants\n").expect("write to String");
+    writeln!(out, "| Metric | Values per run | |\n|---|---|---|").expect("write to String");
+    for row in rows {
+        let values = if row.values.is_empty() {
+            "matched nothing".to_owned()
+        } else {
+            row.values
+                .iter()
+                .map(|(threads, value)| match value {
+                    Some(v) => format!("{v} @ {threads}t"),
+                    None => format!("missing @ {threads}t"),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(
+            out,
+            "| {} | {} | {} |",
+            row.name,
+            values,
+            if row.failed {
+                "❌ drift"
+            } else {
+                "✅ invariant"
+            },
+        )
+        .expect("write to String");
+    }
+    out
 }
 
 /// Compare one pair of same-thread-count runs, appending every checked
@@ -346,6 +486,17 @@ fn load(path: &str) -> BenchReport {
     })
 }
 
+fn load_metrics(path: &str) -> MetricsReport {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("error: could not read {path}: {err}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&raw).unwrap_or_else(|err| {
+        eprintln!("error: {path} is not a --metrics artifact: {err}");
+        std::process::exit(2);
+    })
+}
+
 struct Args {
     baseline: String,
     candidate: String,
@@ -353,6 +504,8 @@ struct Args {
     gates: Vec<String>,
     gate_threshold_pct: u64,
     summary_path: Option<String>,
+    metrics_path: Option<String>,
+    metrics_invariants: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -361,6 +514,8 @@ fn parse_args() -> Args {
     let mut gates = Vec::new();
     let mut gate_threshold = 25u64;
     let mut summary_path = None;
+    let mut metrics_path = None;
+    let mut metrics_invariants = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -380,12 +535,23 @@ fn parse_args() -> Args {
                 Some(path) => summary_path = Some(path),
                 None => usage("--summary requires a path"),
             },
+            "--metrics" => match args.next() {
+                Some(path) => metrics_path = Some(path),
+                None => usage("--metrics requires a path"),
+            },
+            "--metrics-invariant" => match args.next() {
+                Some(name) => metrics_invariants.push(name),
+                None => usage("--metrics-invariant requires a metric name"),
+            },
             other if !other.starts_with('-') => positional.push(other.to_owned()),
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
     if positional.len() != 2 {
         usage("expected exactly two trajectory paths");
+    }
+    if !metrics_invariants.is_empty() && metrics_path.is_none() {
+        usage("--metrics-invariant requires --metrics");
     }
     let candidate = positional.pop().expect("checked length");
     let baseline = positional.pop().expect("checked length");
@@ -396,6 +562,8 @@ fn parse_args() -> Args {
         gates,
         gate_threshold_pct: gate_threshold,
         summary_path,
+        metrics_path,
+        metrics_invariants,
     }
 }
 
@@ -404,7 +572,7 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "usage: bench_diff <baseline.json> <candidate.json> \
          [--warn-threshold <pct>] [--gate <timing>]… [--gate-threshold <pct>] \
-         [--summary <path>]"
+         [--summary <path>] [--metrics <path>] [--metrics-invariant <name>]…"
     );
     std::process::exit(2);
 }

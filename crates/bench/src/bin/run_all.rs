@@ -23,38 +23,64 @@
 //!   counts.  `bench_diff` compares cells matched by (scale, threads).
 //! * `--sweep-summary <path>` — append the sweep matrix as a markdown
 //!   table to `path` (pass `$GITHUB_STEP_SUMMARY` in CI).
+//! * `--metrics <path>` — record the alias-obs metrics registry alongside
+//!   the run: `<path>` gets the deterministic counter/gauge/event subset
+//!   per measured configuration (the file `bench_diff --metrics-invariant`
+//!   reads), `<path>.full.json` the complete final snapshot including
+//!   timing-class metrics, histograms and spans, and `<path>.prom` the
+//!   Prometheus text render.  Emits a `::warning::` when the scan-stage
+//!   shard imbalance gauge exceeds 4x.
 //! * `--ceiling-secs <n>` — exit non-zero if the whole invocation exceeds
 //!   `n` seconds of wall-clock (the CI perf gate).
 
 use alias_bench::{
     median_run, render_document, render_document_with_study, scale_from_env, scale_from_name,
-    scale_name, BenchReport, Experiment, RateLimitStudy, StageTimings, SweepCell, TechniqueTiming,
+    scale_name, BenchReport, Experiment, MetricsReport, MetricsRunRecord, RateLimitStudy,
+    StageTimings, SweepCell, TechniqueTiming,
 };
 use alias_netsim::ScalePreset;
 use std::io::Write as _;
 
 fn main() {
-    let started = std::time::Instant::now();
+    let started = alias_obs::Stopwatch::start();
     let args = parse_args();
 
     let preset = scale_from_env();
     let seed = 20230418;
     let threads = alias_exec::threads_from_env();
 
+    // One metrics snapshot per measured configuration: the registry is reset
+    // before each configuration and sampled after it, so every record holds
+    // exactly that configuration's counters (scaled equally by `--repeat`
+    // across configurations, which keeps cross-thread comparison valid).
+    let mut metric_runs: Vec<MetricsRunRecord> = Vec::new();
+    let mut final_snapshot: Option<alias_obs::MetricsSnapshot> = None;
+    let mut sample_metrics = |threads: usize| {
+        if args.metrics_path.is_some() {
+            let snapshot = alias_obs::registry().snapshot();
+            metric_runs.push(MetricsRunRecord::from_snapshot(threads, &snapshot));
+            final_snapshot = Some(snapshot);
+            alias_obs::registry().reset();
+        }
+    };
+
+    alias_obs::registry().reset();
     let doc = if let Some(path) = &args.json_path {
         // Bench trajectory: serial runs first, then the threaded runs; each
         // configuration measured `repeat` times and recorded as medians.
         let (serial_doc, serial_run) = measure(preset, seed, 1, args.repeat, None);
+        sample_metrics(1);
         let mut runs = vec![serial_run];
         let doc = if threads > 1 {
             let (threaded_doc, threaded_run) =
                 measure(preset, seed, threads, args.repeat, Some(&serial_doc));
+            sample_metrics(threads);
             runs.push(threaded_run);
             threaded_doc
         } else {
             serial_doc
         };
-        let mut report = BenchReport::new("PR9", preset, seed, args.repeat, runs);
+        let mut report = BenchReport::new("PR10", preset, seed, args.repeat, runs);
         if let Some(sweep) = &args.sweep {
             report = report.with_sweep(run_sweep(sweep, seed, args.repeat));
             if let Some(summary) = &args.sweep_summary {
@@ -73,8 +99,14 @@ fn main() {
     } else {
         let experiment = Experiment::run_with_threads(preset, seed, threads);
         let study = RateLimitStudy::run(preset, seed, threads);
-        render_document_with_study(&experiment, preset, &study)
+        let doc = render_document_with_study(&experiment, preset, &study);
+        sample_metrics(threads);
+        doc
     };
+
+    if let Some(path) = &args.metrics_path {
+        write_metrics(path, preset, metric_runs, final_snapshot);
+    }
 
     println!("{doc}");
     if let Err(err) = std::fs::write("EXPERIMENTS_MEASURED.md", &doc) {
@@ -188,6 +220,51 @@ fn run_sweep(sweep: &SweepSpec, seed: u64, repeat: usize) -> Vec<SweepCell> {
     cells
 }
 
+/// Write the three `--metrics` artifacts: the deterministic-subset report
+/// at `path`, the complete final snapshot at `<path>.full.json`, and the
+/// Prometheus text render at `<path>.prom`.  Warns (in GitHub annotation
+/// form) when the scan-stage shard imbalance gauge exceeds 4x — the
+/// sharding contract says work should spread near-evenly.
+fn write_metrics(
+    path: &str,
+    preset: ScalePreset,
+    runs: Vec<MetricsRunRecord>,
+    final_snapshot: Option<alias_obs::MetricsSnapshot>,
+) {
+    let report = MetricsReport::new("PR10", preset, runs);
+    if let Err(err) = std::fs::write(path, report.to_json()) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    let snapshot = final_snapshot.unwrap_or_default();
+    if let Err(err) = std::fs::write(format!("{path}.full.json"), snapshot.to_json()) {
+        eprintln!("could not write {path}.full.json: {err}");
+        std::process::exit(1);
+    }
+    if let Err(err) = std::fs::write(format!("{path}.prom"), snapshot.to_prometheus()) {
+        eprintln!("could not write {path}.prom: {err}");
+        std::process::exit(1);
+    }
+    if let Some(imbalance) = snapshot
+        .gauges
+        .iter()
+        .find(|g| g.name == "exec.shard_imbalance_x1000")
+    {
+        if imbalance.value > 4_000 {
+            println!(
+                "::warning::shard imbalance is {:.2}x (> 4x): the slowest shard \
+                 carried that multiple of the mean per-shard work",
+                imbalance.value as f64 / 1_000.0
+            );
+        }
+    }
+    eprintln!(
+        "metrics written to {path} ({} run(s)), full snapshot to {path}.full.json, \
+         prometheus render to {path}.prom",
+        report.runs.len()
+    );
+}
+
 /// Append the sweep matrix as a markdown table (scales down, thread counts
 /// across, `campaign_ms` / `total_ms` per cell) to `path`.
 fn append_sweep_summary(path: &str, report: &BenchReport) {
@@ -246,6 +323,7 @@ struct SweepSpec {
 
 struct Args {
     json_path: Option<String>,
+    metrics_path: Option<String>,
     ceiling_secs: Option<u64>,
     repeat: usize,
     sweep: Option<SweepSpec>,
@@ -255,6 +333,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut parsed = Args {
         json_path: None,
+        metrics_path: None,
         ceiling_secs: None,
         repeat: 1,
         sweep: None,
@@ -266,6 +345,10 @@ fn parse_args() -> Args {
             "--json" => match args.next() {
                 Some(path) => parsed.json_path = Some(path),
                 None => usage("--json requires a path"),
+            },
+            "--metrics" => match args.next() {
+                Some(path) => parsed.metrics_path = Some(path),
+                None => usage("--metrics requires a path"),
             },
             "--repeat" => match args.next().map(|raw| raw.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => parsed.repeat = n,
@@ -330,7 +413,7 @@ fn parse_sweep(spec: &str) -> SweepSpec {
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: run_all [--json <path>] [--repeat <n>] \
+        "usage: run_all [--json <path>] [--metrics <path>] [--repeat <n>] \
          [--sweep <scales>:<threads>] [--sweep-summary <path>] \
          [--ceiling-secs <n>]"
     );

@@ -134,7 +134,7 @@ impl Experiment {
         let (experiment, mut timings) = Self::run_pipeline(preset, seed, threads);
         // The merge stage the headline numbers come from: consolidate the
         // per-protocol alias sets of both families into union sets.
-        let stage = std::time::Instant::now();
+        let stage = alias_obs::span("bench/merge");
         for ipv6 in [false, true] {
             let labeled: Vec<(&str, Vec<BTreeSet<IpAddr>>)> = PROTOCOLS
                 .iter()
@@ -144,7 +144,7 @@ impl Experiment {
                 labeled.iter().map(|(l, s)| (*l, s.as_slice())).collect();
             let _ = experiment.merge_labeled(&inputs);
         }
-        timings.merge_ms = stage.elapsed().as_millis() as u64;
+        timings.merge_ms = stage.finish().as_millis() as u64;
         (experiment, timings)
     }
 
@@ -155,12 +155,12 @@ impl Experiment {
         let config = InternetConfig::preset(preset, seed);
         let hitlist_coverage = config.visibility.hitlist_coverage;
 
-        let stage = std::time::Instant::now();
+        let stage = alias_obs::span("bench/build_internet");
         let mut internet = InternetBuilder::new(config).build();
-        timings.build_internet_ms = stage.elapsed().as_millis() as u64;
+        timings.build_internet_ms = stage.finish().as_millis() as u64;
 
         // Censys snapshot at day 0.
-        let stage = std::time::Instant::now();
+        let stage = alias_obs::span("bench/censys");
         let snapshot = CensysSnapshot::collect(
             &internet,
             CensysConfig {
@@ -171,7 +171,7 @@ impl Experiment {
         );
         let censys = ObservationStore::from_observations(snapshot.default_port_observations());
         let censys_nonstandard = snapshot.nonstandard_port_observations().len();
-        timings.censys_ms = stage.elapsed().as_millis() as u64;
+        timings.censys_ms = stage.finish().as_millis() as u64;
 
         // Three weeks pass before the active measurement (the paper's
         // snapshot is dated March 28, the active scan April 18).
@@ -1370,6 +1370,113 @@ impl BenchReport {
     /// Serialise to JSON (the `BENCH_*.json` file format).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("bench report serialises")
+    }
+}
+
+/// One deterministic metric row of a [`MetricsRunRecord`]: a counter or
+/// gauge from the thread-count-invariant subset of an
+/// [`alias_obs::MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsRow {
+    /// Dot-separated metric name, e.g. `scan.probes_emitted`.
+    pub name: String,
+    /// Unit label.
+    pub unit: String,
+    /// Emitting stage.
+    pub stage: String,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// The deterministic subset of one run's metrics snapshot, as recorded in
+/// the `--metrics` artifact: these values must be identical for every
+/// thread count over the same campaign, which is what `bench_diff
+/// --metrics-invariant` checks across the recorded runs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MetricsRunRecord {
+    /// Worker threads the pipeline ran with.
+    pub threads: usize,
+    /// Deterministic-class counters, name-sorted.
+    pub counters: Vec<MetricsRow>,
+    /// Deterministic-class gauges, name-sorted.
+    pub gauges: Vec<MetricsRow>,
+    /// The event log, in sequence order.
+    pub events: Vec<String>,
+}
+
+impl MetricsRunRecord {
+    /// Extract the deterministic subset of `snapshot` for a run at
+    /// `threads` workers.
+    pub fn from_snapshot(threads: usize, snapshot: &alias_obs::MetricsSnapshot) -> Self {
+        use alias_obs::DeterminismClass;
+        MetricsRunRecord {
+            threads,
+            counters: snapshot
+                .counters
+                .iter()
+                .filter(|c| c.class == DeterminismClass::Deterministic)
+                .map(|c| MetricsRow {
+                    name: c.name.to_owned(),
+                    unit: c.unit.to_owned(),
+                    stage: c.stage.to_owned(),
+                    value: c.value,
+                })
+                .collect(),
+            gauges: snapshot
+                .gauges
+                .iter()
+                .filter(|g| g.class == DeterminismClass::Deterministic)
+                .map(|g| MetricsRow {
+                    name: g.name.to_owned(),
+                    unit: g.unit.to_owned(),
+                    stage: g.stage.to_owned(),
+                    value: g.value,
+                })
+                .collect(),
+            events: snapshot.events.clone(),
+        }
+    }
+
+    /// The rows whose metric name matches `invariant` — either exactly or
+    /// as the final dot-separated segment (CI passes `probes_emitted` to
+    /// match `scan.probes_emitted`).
+    pub fn matching_rows(&self, invariant: &str) -> Vec<&MetricsRow> {
+        self.counters
+            .iter()
+            .chain(&self.gauges)
+            .filter(|row| row.name == invariant || row.name.ends_with(&format!(".{invariant}")))
+            .collect()
+    }
+}
+
+/// The `--metrics` artifact run_all writes next to the bench trajectory:
+/// one deterministic-subset record per measured run.  The full snapshot
+/// (timing metrics, histograms, spans) and the Prometheus render are
+/// written as sibling files — timing values stay out of the record the
+/// invariant check reads.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MetricsReport {
+    /// Which bench emitted this (e.g. `"PR10"`).
+    pub bench: String,
+    /// Scale preset the runs used.
+    pub scale: String,
+    /// One record per measured run, serial first.
+    pub runs: Vec<MetricsRunRecord>,
+}
+
+impl MetricsReport {
+    /// Assemble a report from per-run records (serial run first).
+    pub fn new(bench: &str, preset: ScalePreset, runs: Vec<MetricsRunRecord>) -> Self {
+        MetricsReport {
+            bench: bench.to_owned(),
+            scale: scale_name(preset).to_owned(),
+            runs,
+        }
+    }
+
+    /// Serialise to JSON (the `--metrics` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics report serialises")
     }
 }
 

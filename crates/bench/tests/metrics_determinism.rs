@@ -1,0 +1,95 @@
+//! The alias-obs acceptance properties, end to end through the real
+//! pipeline: the deterministic snapshot subset is byte-identical at any
+//! `ALIAS_THREADS`, and registering metrics leaves the rendered
+//! experiment document untouched — no metric name or timing value may
+//! leak into `EXPERIMENTS_MEASURED.md`.
+
+use alias_bench::{render_document_with_study, Experiment, RateLimitStudy};
+use alias_netsim::ScalePreset;
+use std::sync::Mutex;
+
+/// The metrics registry is process-global; every test that resets and
+/// samples it must hold this lock so parallel test threads cannot
+/// interleave their campaigns' counters.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 20230418;
+
+/// Run the full pipeline (experiment + rate-limit study) on a fresh
+/// registry and return the deterministic snapshot render, the full
+/// snapshot, and the rendered experiment document.
+fn run_once(preset: ScalePreset, threads: usize) -> (String, alias_obs::MetricsSnapshot, String) {
+    alias_obs::registry().reset();
+    let experiment = Experiment::run_with_threads(preset, SEED, threads);
+    let study = RateLimitStudy::run(preset, SEED, threads);
+    let doc = render_document_with_study(&experiment, preset, &study);
+    let snapshot = alias_obs::registry().snapshot();
+    (snapshot.deterministic_json(), snapshot, doc)
+}
+
+/// The byte-identity contract over a serial run, an even split, and a
+/// deliberately ragged 7-way split.
+fn assert_thread_invariant(preset: ScalePreset) {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (reference, snapshot, reference_doc) = run_once(preset, 1);
+    assert!(
+        snapshot
+            .counters
+            .iter()
+            .any(|c| c.class == alias_obs::DeterminismClass::Deterministic && c.value > 0),
+        "the pipeline must register non-zero deterministic counters"
+    );
+    assert!(
+        !snapshot.events.is_empty(),
+        "the campaign driver must log phase events"
+    );
+    for threads in [2, 7] {
+        let (rendered, _, doc) = run_once(preset, threads);
+        assert_eq!(
+            reference, rendered,
+            "deterministic snapshot subset drifted between 1 and {threads} threads"
+        );
+        assert_eq!(
+            reference_doc, doc,
+            "rendered document drifted between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn deterministic_subset_is_thread_invariant_at_tiny() {
+    assert_thread_invariant(ScalePreset::Tiny);
+}
+
+#[test]
+#[ignore = "paper scale: minutes in debug builds — run explicitly"]
+fn deterministic_subset_is_thread_invariant_at_paper() {
+    assert_thread_invariant(ScalePreset::PaperShape);
+}
+
+#[test]
+fn metric_registration_stays_out_of_the_rendered_document() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_, snapshot, doc) = run_once(ScalePreset::Tiny, 2);
+    for counter in &snapshot.counters {
+        assert!(
+            !doc.contains(counter.name),
+            "metric name {} leaked into the rendered document",
+            counter.name
+        );
+    }
+    for gauge in &snapshot.gauges {
+        assert!(
+            !doc.contains(gauge.name),
+            "gauge name {} leaked into the rendered document",
+            gauge.name
+        );
+    }
+    for span in &snapshot.spans {
+        assert!(
+            !doc.contains(span.path.as_str()),
+            "span path {} leaked into the rendered document",
+            span.path
+        );
+    }
+}

@@ -15,9 +15,57 @@
 
 use crate::intern::{AddrId, AddrInterner, CompactAliasSet};
 use crate::union_find::UnionFind;
+use alias_obs::{DeterminismClass, LazyCounter};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::net::IpAddr;
+
+/// Merged sets produced by labelled merges.  The merged partition is
+/// independent of union order and thread count.
+static MERGED_SETS: LazyCounter = LazyCounter::new(
+    "merge.merged_sets",
+    DeterminismClass::Deterministic,
+    "sets",
+    "merge",
+);
+
+/// Member addresses across all produced merged sets.
+static MERGED_ADDRS: LazyCounter = LazyCounter::new(
+    "merge.merged_addrs",
+    DeterminismClass::Deterministic,
+    "addrs",
+    "merge",
+);
+
+/// Unions on the global forest that joined two distinct sets.  Each one
+/// shrinks the component count by exactly one, so the total is a pure
+/// function of the merged partition (present addresses minus groups) —
+/// deterministic even though the sharded path routes spanning edges
+/// instead of raw in-set unions.
+static EFFECTIVE_UNIONS: LazyCounter = LazyCounter::new(
+    "merge.effective_unions",
+    DeterminismClass::Deterministic,
+    "unions",
+    "merge",
+);
+
+/// Raw `find` calls on the global forest.  The sharded path screens
+/// redundant unions in private per-shard forests, so the count depends on
+/// the shard decomposition: timing class.
+static UF_FINDS: LazyCounter =
+    LazyCounter::new("merge.uf_finds", DeterminismClass::Timing, "ops", "merge");
+
+/// Raw `union` calls on the global forest (effective or not).
+static UF_UNIONS: LazyCounter =
+    LazyCounter::new("merge.uf_unions", DeterminismClass::Timing, "ops", "merge");
+
+/// Parent links rewritten by path compression on the global forest.
+static UF_PATH_COMPRESSIONS: LazyCounter = LazyCounter::new(
+    "merge.uf_path_compressions",
+    DeterminismClass::Timing,
+    "links",
+    "merge",
+);
 
 /// A merged set with the labels (protocols / sources) that contributed to it.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -179,6 +227,17 @@ pub fn merge_labeled_compact(
         },
     );
     sort_canonical(&mut merged);
+
+    // Flush the forest tallies from this serial tail — raw op counts as
+    // timing metrics, the partition-derived ones as deterministic.
+    let stats = uf.stats();
+    UF_FINDS.add(stats.finds);
+    UF_UNIONS.add(stats.unions);
+    UF_PATH_COMPRESSIONS.add(stats.path_compressions);
+    EFFECTIVE_UNIONS.add(stats.effective_unions);
+    MERGED_SETS.add(merged.len() as u64);
+    MERGED_ADDRS.add(merged.iter().map(|m| m.addrs.len() as u64).sum());
+
     merged
 }
 

@@ -1,12 +1,34 @@
 //! A small disjoint-set (union–find) structure used when merging alias sets
 //! across protocols and data sources.
 
+/// Operation tallies of one [`UnionFind`] forest, kept as plain integers
+/// on the forest itself (no atomics in the hot loops) and flushed to the
+/// observability layer by serial callers via [`UnionFind::stats`].
+///
+/// `effective_unions` is a pure function of the merged partition
+/// (each one reduces the component count by exactly one); the raw
+/// `finds` / `unions` / `path_compressions` counts depend on union order
+/// and the shard decomposition, so consumers must report them as
+/// timing-class metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnionFindStats {
+    /// Calls to [`UnionFind::find`] (including the two inside each union).
+    pub finds: u64,
+    /// Calls to [`UnionFind::union`].
+    pub unions: u64,
+    /// Unions that actually joined two distinct sets.
+    pub effective_unions: u64,
+    /// Parent links rewritten by path compression.
+    pub path_compressions: u64,
+}
+
 /// Disjoint-set forest over `usize` elements with path compression and union
 /// by size.
 #[derive(Debug, Clone)]
 pub struct UnionFind {
     parent: Vec<usize>,
     size: Vec<usize>,
+    stats: UnionFindStats,
 }
 
 impl UnionFind {
@@ -15,7 +37,13 @@ impl UnionFind {
         UnionFind {
             parent: (0..n).collect(),
             size: vec![1; n],
+            stats: UnionFindStats::default(),
         }
+    }
+
+    /// The forest's operation tallies so far.
+    pub fn stats(&self) -> UnionFindStats {
+        self.stats
     }
 
     /// Number of elements.
@@ -39,6 +67,7 @@ impl UnionFind {
 
     /// Find the representative of `x`'s set.
     pub fn find(&mut self, x: usize) -> usize {
+        self.stats.finds += 1;
         let mut root = x;
         while self.parent[root] != root {
             root = self.parent[root];
@@ -48,6 +77,7 @@ impl UnionFind {
         while self.parent[cursor] != root {
             let next = self.parent[cursor];
             self.parent[cursor] = root;
+            self.stats.path_compressions += 1;
             cursor = next;
         }
         root
@@ -56,10 +86,12 @@ impl UnionFind {
     /// Merge the sets containing `a` and `b`; returns `true` if they were
     /// previously distinct.
     pub fn union(&mut self, a: usize, b: usize) -> bool {
+        self.stats.unions += 1;
         let (mut ra, mut rb) = (self.find(a), self.find(b));
         if ra == rb {
             return false;
         }
+        self.stats.effective_unions += 1;
         if self.size[ra] < self.size[rb] {
             std::mem::swap(&mut ra, &mut rb);
         }

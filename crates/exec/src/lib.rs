@@ -43,8 +43,61 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use alias_obs::{DeterminismClass, LazyCounter, LazyGauge, LazyHistogram, DURATION_US_BOUNDARIES};
 use parking_lot::Mutex;
 use std::ops::Range;
+
+/// Parallel `shard_map` invocations (the inline serial path is not
+/// counted — it exists precisely because no pool ran).
+static SHARD_MAP_CALLS: LazyCounter = LazyCounter::new(
+    "exec.shard_map_calls",
+    DeterminismClass::Timing,
+    "calls",
+    "exec",
+);
+
+/// Shards executed by parallel `shard_map` pools.
+static SHARDS_EXECUTED: LazyCounter = LazyCounter::new(
+    "exec.shards_executed",
+    DeterminismClass::Timing,
+    "shards",
+    "exec",
+);
+
+/// Wall-clock duration of each shard body, microseconds.
+static SHARD_DURATION_US: LazyHistogram = LazyHistogram::new(
+    "exec.shard_duration_us",
+    DeterminismClass::Timing,
+    "us",
+    "exec",
+    DURATION_US_BOUNDARIES,
+);
+
+/// Worst slowest/fastest shard ratio observed in any one `shard_map`
+/// call, ×1000 (4000 = the slowest shard took 4× the fastest; the CI
+/// perf-smoke job warns above that).
+static SHARD_IMBALANCE: LazyGauge = LazyGauge::new(
+    "exec.shard_imbalance_x1000",
+    DeterminismClass::Timing,
+    "x1000",
+    "exec",
+);
+
+/// `ScratchPool::take` calls served from a returned buffer.
+static SCRATCH_HITS: LazyCounter = LazyCounter::new(
+    "exec.scratch_pool_hits",
+    DeterminismClass::Timing,
+    "takes",
+    "exec",
+);
+
+/// `ScratchPool::take` calls that had to allocate a fresh buffer.
+static SCRATCH_MISSES: LazyCounter = LazyCounter::new(
+    "exec.scratch_pool_misses",
+    DeterminismClass::Timing,
+    "takes",
+    "exec",
+);
 
 /// The number of hardware threads available, with a safe fallback of 1.
 pub fn available_parallelism() -> usize {
@@ -103,7 +156,16 @@ impl<T: Default> ScratchPool<T> {
     /// otherwise `T::default()`.  Contents are unspecified — clear before
     /// use.
     pub fn take(&self) -> T {
-        self.free.lock().pop().unwrap_or_default()
+        match self.free.lock().pop() {
+            Some(buffer) => {
+                SCRATCH_HITS.incr();
+                buffer
+            }
+            None => {
+                SCRATCH_MISSES.incr();
+                T::default()
+            }
+        }
     }
 
     /// Return a buffer to the pool for the next shard to reuse.
@@ -200,6 +262,7 @@ where
     }
     let cursor = Mutex::new(0usize);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..shards).map(|_| None).collect());
+    let durations_ns: Mutex<Vec<u64>> = Mutex::new(vec![0; shards]);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -212,16 +275,36 @@ where
                     *next += 1;
                     shard
                 };
+                let watch = alias_obs::Stopwatch::start();
                 let result = job(shard);
+                let elapsed_ns = u64::try_from(watch.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 slots.lock()[shard] = Some(result);
+                durations_ns.lock()[shard] = elapsed_ns;
             });
         }
     });
+    record_shard_timings(&durations_ns.into_inner());
     slots
         .into_inner()
         .into_iter()
         .map(|slot| slot.expect("every shard ran"))
         .collect()
+}
+
+/// Feed one parallel `shard_map` call's per-shard wall-clock durations
+/// into the obs layer: the duration histogram, the call/shard counters,
+/// and the slowest/fastest imbalance gauge (all Timing class —
+/// out-of-band of every rendered experiment output).
+fn record_shard_timings(durations_ns: &[u64]) {
+    SHARD_MAP_CALLS.incr();
+    SHARDS_EXECUTED.add(durations_ns.len() as u64);
+    for &ns in durations_ns {
+        SHARD_DURATION_US.observe(ns / 1_000);
+    }
+    if let (Some(&min), Some(&max)) = (durations_ns.iter().min(), durations_ns.iter().max()) {
+        let imbalance_x1000 = max.saturating_mul(1_000) / min.max(1);
+        SHARD_IMBALANCE.max(imbalance_x1000);
+    }
 }
 
 /// [`shard_map`] followed by a fold over the results **in shard order**.
@@ -359,6 +442,44 @@ mod tests {
         });
         let expected: Vec<usize> = (0..64).map(|s| (0..s).sum()).collect();
         assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn parallel_shard_maps_feed_the_obs_timing_metrics() {
+        if available_parallelism() < 2 {
+            // The inline serial path records nothing — there is no pool
+            // whose balance could be measured.
+            return;
+        }
+        let _ = shard_map(8, 2, |shard| {
+            std::thread::sleep(std::time::Duration::from_micros(200 * (shard as u64 + 1)));
+            shard
+        });
+        let snapshot = alias_obs::registry().snapshot();
+        let calls = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == "exec.shard_map_calls")
+            .expect("call counter registered");
+        assert!(calls.value >= 1);
+        let imbalance = snapshot
+            .gauges
+            .iter()
+            .find(|g| g.name == "exec.shard_imbalance_x1000")
+            .expect("imbalance gauge registered");
+        // A ratio is always >= 1.0 (i.e. >= 1000 in x1000 fixed point).
+        assert!(imbalance.value >= 1_000, "imbalance {}", imbalance.value);
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        let fresh = pool.take();
+        pool.put(fresh);
+        let _reused = pool.take();
+        let snapshot = alias_obs::registry().snapshot();
+        let hits = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == "exec.scratch_pool_hits")
+            .expect("hit counter registered");
+        assert!(hits.value >= 1);
     }
 
     #[test]

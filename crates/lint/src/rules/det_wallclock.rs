@@ -1,15 +1,17 @@
-//! `det-wallclock`: real-clock reads outside the designated timing sites.
+//! `det-wallclock`: real-clock reads outside the observability layer.
 //!
 //! The pipeline is simulated-time end to end (`SimTime`/`SimClock`), so the
-//! only legitimate wall-clock reads are the stage timers: the resolver's
-//! instrumentation (`crates/resolve/src/resolver.rs`) and the bench
-//! harness (`crates/bench/**`), whose measured milliseconds feed
-//! `BENCH_*.json` — never the rendered experiment output.  A wall-clock
-//! read anywhere else either leaks nondeterminism into results or is dead
-//! weight; both are bugs.
+//! only crate allowed to read the real clock is `alias-obs`
+//! (`crates/obs/**`): spans, stopwatches and timing-class metrics all
+//! funnel through it, and its snapshot renderer keeps wall-clock values
+//! out of the deterministic subset — never the rendered experiment
+//! output.  Pipeline and bench code that needs a duration takes a
+//! `SpanGuard`/`Stopwatch` from alias-obs instead of touching `Instant`.
+//! A wall-clock read anywhere else either leaks nondeterminism into
+//! results or is dead weight; both are bugs.
 //!
-//! Flags `Instant::now` and any mention of `SystemTime` outside the
-//! designated files.
+//! Flags `Instant::now` and any mention of `SystemTime` outside
+//! `crates/obs/`.
 
 use super::{Rule, Violation};
 use crate::source::SourceFile;
@@ -20,11 +22,9 @@ pub struct DetWallclock;
 
 const NAME: &str = "det-wallclock";
 
-/// Files where wall-clock reads are the point: stage timing.
-const DESIGNATED: &[&str] = &["crates/resolve/src/resolver.rs"];
-
-/// Crate-wide designation: the bench harness measures wall-clock.
-const DESIGNATED_PREFIXES: &[&str] = &["crates/bench/"];
+/// The one crate where wall-clock reads are the point: the metrics and
+/// tracing layer owns every `Instant::now` in the workspace.
+const DESIGNATED_PREFIXES: &[&str] = &["crates/obs/"];
 
 impl Rule for DetWallclock {
     fn name(&self) -> &'static str {
@@ -32,14 +32,13 @@ impl Rule for DetWallclock {
     }
 
     fn summary(&self) -> &'static str {
-        "Instant::now/SystemTime outside the designated timing sites"
+        "Instant::now/SystemTime outside the alias-obs observability layer"
     }
 
     fn check(&self, file: &SourceFile) -> Vec<Violation> {
-        if DESIGNATED.contains(&file.rel_path.as_str())
-            || DESIGNATED_PREFIXES
-                .iter()
-                .any(|p| file.rel_path.starts_with(p))
+        if DESIGNATED_PREFIXES
+            .iter()
+            .any(|p| file.rel_path.starts_with(p))
         {
             return Vec::new();
         }
@@ -53,7 +52,8 @@ impl Rule for DetWallclock {
                     file: file.rel_path.clone(),
                     line: token.line,
                     rule: NAME,
-                    message: "`SystemTime` read outside the designated timing sites".to_owned(),
+                    message: "`SystemTime` read outside the alias-obs observability layer"
+                        .to_owned(),
                 });
             } else if token.text == "Instant"
                 && file.tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
@@ -63,7 +63,7 @@ impl Rule for DetWallclock {
                     file: file.rel_path.clone(),
                     line: token.line,
                     rule: NAME,
-                    message: "`Instant::now` outside the designated timing sites".to_owned(),
+                    message: "`Instant::now` outside the alias-obs observability layer".to_owned(),
                 });
             }
         }
@@ -88,13 +88,23 @@ mod tests {
     }
 
     #[test]
-    fn designated_timing_sites_are_exempt() {
+    fn the_observability_layer_is_exempt() {
+        for path in ["crates/obs/src/span.rs", "crates/obs/src/registry.rs"] {
+            let file = SourceFile::parse(path, "let t = std::time::Instant::now();", &[NAME]);
+            assert!(DetWallclock.check(&file).is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn formerly_designated_timing_sites_are_now_flagged() {
+        // PR10 moved every wall-clock read behind alias-obs spans and
+        // stopwatches; the old per-file carve-outs are gone.
         for path in [
             "crates/resolve/src/resolver.rs",
             "crates/bench/src/bin/run_all.rs",
         ] {
             let file = SourceFile::parse(path, "let t = std::time::Instant::now();", &[NAME]);
-            assert!(DetWallclock.check(&file).is_empty(), "{path}");
+            assert_eq!(DetWallclock.check(&file).len(), 1, "{path}");
         }
     }
 

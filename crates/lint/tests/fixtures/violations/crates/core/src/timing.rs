@@ -1,4 +1,4 @@
-//! Fixture: wall-clock reads outside the designated timing sites.
+//! Fixture: wall-clock reads outside the alias-obs observability layer.
 
 /// Wall-clock in a pipeline crate — det-wallclock flags both reads.
 pub fn stamp() -> (std::time::Instant, u64) {

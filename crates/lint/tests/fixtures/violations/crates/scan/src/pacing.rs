@@ -1,0 +1,10 @@
+//! Fixture: a raw wall-clock read in scan-stage pacing code.  PR10 moved
+//! every timing read behind alias-obs; a bare `Instant::now` here is the
+//! regression shape det-wallclock must catch.
+
+/// Paces a probe burst off the real clock instead of an alias-obs
+/// stopwatch — nondeterministic under load, flagged by det-wallclock.
+pub fn pace_burst() -> std::time::Duration {
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

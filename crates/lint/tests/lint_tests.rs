@@ -24,7 +24,7 @@ fn every_rule_catches_its_seeded_fixture_violation() {
         ("crates/core/src/lib.rs::crate-hygiene", 2),
         // IpAddr-keyed containers spelled out in scoped crates.
         ("crates/core/src/lib.rs::id-space", 2),
-        // Wall-clock reads outside the designated timing sites.
+        // Wall-clock reads outside the alias-obs observability layer.
         ("crates/core/src/timing.rs::det-wallclock", 2),
         // The laundering re-export: `pub use … AddrSet as GroupSet`
         // counts in midar (ratchet scope) and keeps the taint flowing.
@@ -41,6 +41,9 @@ fn every_rule_catches_its_seeded_fixture_violation() {
         // The alias dodge inside a hard crate: the import line plus one
         // use of `AddrSet`, one use of the re-exported `GroupSet`.
         ("crates/scan/src/dodge.rs::id-space", 3),
+        // A raw Instant::now in scan pacing — the post-PR10 regression
+        // shape, now that resolver/bench carve-outs are gone.
+        ("crates/scan/src/pacing.rs::det-wallclock", 1),
         // Ambient entropy: thread_rng / from_entropy / from_os_rng.
         ("crates/scan/src/lib.rs::det-rng", 3),
         // Encoder drift: a missing variant and the wildcard hiding it.

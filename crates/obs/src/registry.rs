@@ -1,0 +1,277 @@
+//! The global metric registry, span-stats store and event log.
+
+use crate::metric::{Counter, Gauge, Histogram, MetricDesc};
+use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Append `label` to the sequence-ordered event log.
+///
+/// The log records *order*, not time; call it only from serial
+/// orchestration points (campaign phase boundaries, stage hand-offs) so
+/// the sequence stays part of the deterministic subset.
+pub fn event(label: impl Into<String>) {
+    registry().push_event(label.into());
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpanStats {
+    pub count: u64,
+    pub total_ns: u64,
+    pub child_ns: u64,
+}
+
+/// One registered metric: its descriptor plus the live instrument.
+struct Registered<T: 'static> {
+    desc: MetricDesc,
+    instrument: &'static T,
+}
+
+/// The metric registry: name-keyed `BTreeMap`s (deterministic iteration
+/// order) guarded by plain mutexes.  The mutexes are touched only at
+/// registration, reset and snapshot time — the hot path goes through
+/// `&'static` instrument handles and never takes a lock.
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Registered<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Registered<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Registered<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+    events: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The counter registered under `desc.name`, registering it on first
+    /// use.  The first registration's descriptor wins; re-registering
+    /// the same name with a different descriptor is a bug
+    /// (`debug_assert`ed).
+    pub fn counter(&self, desc: MetricDesc) -> &'static Counter {
+        let mut counters = self.counters.lock().expect("counter registry poisoned");
+        let entry = counters.entry(desc.name).or_insert_with(|| Registered {
+            desc,
+            instrument: Box::leak(Box::new(Counter::new())),
+        });
+        debug_assert_eq!(
+            entry.desc, desc,
+            "metric re-registered with a new descriptor"
+        );
+        entry.instrument
+    }
+
+    /// The gauge registered under `desc.name` (see [`Self::counter`]).
+    pub fn gauge(&self, desc: MetricDesc) -> &'static Gauge {
+        let mut gauges = self.gauges.lock().expect("gauge registry poisoned");
+        let entry = gauges.entry(desc.name).or_insert_with(|| Registered {
+            desc,
+            instrument: Box::leak(Box::new(Gauge::new())),
+        });
+        debug_assert_eq!(
+            entry.desc, desc,
+            "metric re-registered with a new descriptor"
+        );
+        entry.instrument
+    }
+
+    /// The histogram registered under `desc.name` (see
+    /// [`Self::counter`]); `boundaries` apply only at first
+    /// registration.
+    pub fn histogram(&self, desc: MetricDesc, boundaries: &'static [u64]) -> &'static Histogram {
+        let mut histograms = self.histograms.lock().expect("histogram registry poisoned");
+        let entry = histograms.entry(desc.name).or_insert_with(|| Registered {
+            desc,
+            instrument: Box::leak(Box::new(Histogram::new(boundaries))),
+        });
+        debug_assert_eq!(
+            entry.desc, desc,
+            "metric re-registered with a new descriptor"
+        );
+        entry.instrument
+    }
+
+    pub(crate) fn record_span(&self, path: &str, elapsed_ns: u64, child_ns: u64) {
+        let mut spans = self.spans.lock().expect("span registry poisoned");
+        let stats = match spans.get_mut(path) {
+            Some(stats) => stats,
+            None => spans.entry(path.to_owned()).or_default(),
+        };
+        stats.count += 1;
+        stats.total_ns += elapsed_ns;
+        stats.child_ns += child_ns;
+    }
+
+    fn push_event(&self, label: String) {
+        self.events.lock().expect("event log poisoned").push(label);
+    }
+
+    /// Zero every registered instrument and clear the span stats and the
+    /// event log.  Descriptors stay registered — `&'static` handles held
+    /// by hot loops remain valid.  Call at run boundaries (the bench
+    /// harness resets before each measured configuration).
+    pub fn reset(&self) {
+        for entry in self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .values()
+        {
+            entry.instrument.reset();
+        }
+        for entry in self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .values()
+        {
+            entry.instrument.reset();
+        }
+        for entry in self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .values()
+        {
+            entry.instrument.reset();
+        }
+        self.spans.lock().expect("span registry poisoned").clear();
+        self.events.lock().expect("event log poisoned").clear();
+    }
+
+    /// A point-in-time copy of every registered metric, span path and
+    /// event, each family sorted by name/path (sequence order for
+    /// events).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .values()
+            .map(|entry| CounterSample {
+                name: entry.desc.name,
+                class: entry.desc.class,
+                unit: entry.desc.unit,
+                stage: entry.desc.stage,
+                value: entry.instrument.value(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .values()
+            .map(|entry| GaugeSample {
+                name: entry.desc.name,
+                class: entry.desc.class,
+                unit: entry.desc.unit,
+                stage: entry.desc.stage,
+                value: entry.instrument.value(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .values()
+            .map(|entry| HistogramSample {
+                name: entry.desc.name,
+                class: entry.desc.class,
+                unit: entry.desc.unit,
+                stage: entry.desc.stage,
+                boundaries: entry.instrument.boundaries(),
+                buckets: entry.instrument.bucket_counts(),
+                count: entry.instrument.count(),
+                sum: entry.instrument.sum(),
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|(path, stats)| SpanSample {
+                path: path.clone(),
+                count: stats.count,
+                total_ns: stats.total_ns,
+                self_ns: stats.total_ns.saturating_sub(stats.child_ns),
+            })
+            .collect();
+        let events = self.events.lock().expect("event log poisoned").clone();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::DeterminismClass;
+
+    #[test]
+    fn registration_is_idempotent_and_snapshot_sorted() {
+        let desc = MetricDesc::new(
+            "test.registry.alpha",
+            DeterminismClass::Deterministic,
+            "items",
+            "test",
+        );
+        let first = registry().counter(desc);
+        let second = registry().counter(desc);
+        assert!(std::ptr::eq(first, second));
+        first.add(2);
+        let beta = registry().counter(MetricDesc::new(
+            "test.registry.beta",
+            DeterminismClass::Timing,
+            "items",
+            "test",
+        ));
+        beta.incr();
+        let snapshot = registry().snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|c| c.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert!(snapshot
+            .counters
+            .iter()
+            .any(|c| c.name == "test.registry.alpha" && c.value >= 2));
+    }
+
+    #[test]
+    fn events_keep_sequence_order() {
+        // The registry is global and tests run concurrently, so assert
+        // on relative order of this test's own events only.
+        event("test.order.first");
+        event("test.order.second");
+        let snapshot = registry().snapshot();
+        let first = snapshot.events.iter().position(|e| e == "test.order.first");
+        let second = snapshot
+            .events
+            .iter()
+            .position(|e| e == "test.order.second");
+        // Another test may have reset the registry between the two pushes
+        // and the snapshot; order is only asserted when both survived.
+        if let (Some(a), Some(b)) = (first, second) {
+            assert!(a < b);
+        }
+    }
+}

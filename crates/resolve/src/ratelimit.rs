@@ -28,8 +28,35 @@ use crate::technique::{DataRequirement, ResolutionTechnique, TechniqueCtx, Techn
 use alias_core::intern::{AddrId, CompactAliasSet};
 use alias_core::union_find::UnionFind;
 use alias_netsim::{ProbeContext, ServiceProtocol, SimTime};
+use alias_obs::{DeterminismClass, LazyCounter};
 use alias_scan::{CampaignData, ServicePayload};
 use std::collections::BTreeMap;
+
+/// Signature clusters of two or more members selected for verification.
+/// The pair walk is serial — `ctx.threads` only fans the probes out — so
+/// all three counters below are pure functions of the campaign inputs.
+static CANDIDATE_CLUSTERS: LazyCounter = LazyCounter::new(
+    "resolve.rate_candidate_clusters",
+    DeterminismClass::Deterministic,
+    "clusters",
+    "resolve",
+);
+
+/// Candidate pairs batched for joint-burst verification.
+static CANDIDATE_PAIRS: LazyCounter = LazyCounter::new(
+    "resolve.rate_candidate_pairs",
+    DeterminismClass::Deterministic,
+    "pairs",
+    "resolve",
+);
+
+/// Joint bursts whose verdict was alias evidence (a union was applied).
+static JOINT_ALIAS_VERDICTS: LazyCounter = LazyCounter::new(
+    "resolve.rate_joint_alias_verdicts",
+    DeterminismClass::Deterministic,
+    "verdicts",
+    "resolve",
+);
 
 /// One recorded lossy round: (round, rate_pps, sent, lost).  Sorted per
 /// address, the vector of these is the device-wide loss signature.
@@ -120,6 +147,7 @@ impl ResolutionTechnique for RateLimitTechnique {
             if members.len() < 2 {
                 continue;
             }
+            CANDIDATE_CLUSTERS.incr();
             members.sort_unstable();
             // The joint test runs at the cluster's lowest lossy rate: a
             // shared limiter stays lossy there, while two independent
@@ -158,6 +186,7 @@ impl ResolutionTechnique for RateLimitTechnique {
                 if batch.is_empty() {
                     break;
                 }
+                CANDIDATE_PAIRS.add(batch.len() as u64);
                 // Probe times follow the serial schedule: one
                 // `pair_spacing` step per pair, in batch order.
                 let times: Vec<SimTime> = batch
@@ -199,6 +228,7 @@ impl ResolutionTechnique for RateLimitTechnique {
                         // two independent limiters of this signature lose
                         // nothing at half that rate.
                         Some((replies_a, replies_b)) if replies_a + replies_b < 2 * count => {
+                            JOINT_ALIAS_VERDICTS.incr();
                             uf.union(j, i);
                             done[i] = true;
                         }

@@ -207,9 +207,9 @@ impl Resolver {
     pub fn resolve(&self, internet: &Internet) -> ResolutionReport {
         let mut campaign_config = self.campaign.clone();
         campaign_config.threads = self.threads;
-        let stage = std::time::Instant::now();
+        let stage = alias_obs::span("resolve/campaign");
         let data = ActiveCampaign::new(campaign_config).run(internet);
-        let campaign_ms = stage.elapsed().as_millis() as u64;
+        let campaign_ms = stage.finish().as_millis() as u64;
         let mut report = self.resolve_data(internet, &data);
         report.timings.campaign_ms = campaign_ms;
         report.campaign = Some(data);
@@ -239,22 +239,22 @@ impl Resolver {
         let mut techniques = Vec::with_capacity(self.techniques.len());
         let mut technique_timings = Vec::with_capacity(self.techniques.len());
         for technique in &self.techniques {
-            let started = std::time::Instant::now();
+            let span = alias_obs::span!("resolve/technique/{}", technique.name());
             let result = technique.resolve(data, &ctx);
             technique_timings.push(TechniqueTiming {
                 technique: result.technique.clone(),
-                resolve_ms: started.elapsed().as_millis() as u64,
+                resolve_ms: span.finish().as_millis() as u64,
             });
             techniques.push(result);
         }
 
         // Merge + statistics stage.  The unified id space is built once and
         // shared by the merge and the pairwise agreement statistics.
-        let stage = std::time::Instant::now();
+        let stage = alias_obs::span("resolve/merge");
         let unified = UnifiedSpace::build(data, &techniques);
         let merged = self.merge(&unified, &techniques);
         let coverage = self.coverage(&unified, &techniques, &merged);
-        let merge_ms = stage.elapsed().as_millis() as u64;
+        let merge_ms = stage.finish().as_millis() as u64;
 
         ResolutionReport {
             campaign: None,

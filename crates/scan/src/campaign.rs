@@ -265,103 +265,127 @@ impl ActiveCampaign {
             now
         }
 
+        // The campaign driver is serial (only the scan loops inside each
+        // phase shard out), so the phase events land in a fixed order and
+        // stay inside the deterministic snapshot subset.
+        let _campaign_span = alias_obs::span("campaign");
+
         // Phase 1: IPv4 SYN discovery on ports 22 and 179.
+        alias_obs::event("campaign:syn_v4");
         let zmap = ZmapScanner::new(ZmapConfig {
             ports: vec![22, 179],
             rate_pps: cfg.syn_rate_pps,
             seed: cfg.seed,
         });
-        let syn = zmap.scan_ipv4_sharded(internet, vantage, cfg.start, threads);
+        let syn = {
+            let _span = alias_obs::span("campaign/syn_v4");
+            zmap.scan_ipv4_sharded(internet, vantage, cfg.start, threads)
+        };
         let mut now = syn.finished_at;
 
         // Phase 2: service scans of the responsive addresses.
+        alias_obs::event("campaign:grab_v4");
         let zgrab = ZgrabScanner::new(ZgrabConfig {
             rate_pps: cfg.grab_rate_pps,
             source: DataSource::Active,
         });
-        now = absorb_phase(
-            &mut store,
-            zgrab.grab_columns_sharded(
-                internet,
-                syn.on_port(22),
-                22,
-                ServiceProtocol::Ssh,
-                vantage,
+        {
+            let _span = alias_obs::span("campaign/grab_v4");
+            now = absorb_phase(
+                &mut store,
+                zgrab.grab_columns_sharded(
+                    internet,
+                    syn.on_port(22),
+                    22,
+                    ServiceProtocol::Ssh,
+                    vantage,
+                    now,
+                    threads,
+                ),
                 now,
-                threads,
-            ),
-            now,
-        );
-        now = absorb_phase(
-            &mut store,
-            zgrab.grab_columns_sharded(
-                internet,
-                syn.on_port(179),
-                179,
-                ServiceProtocol::Bgp,
-                vantage,
+            );
+            now = absorb_phase(
+                &mut store,
+                zgrab.grab_columns_sharded(
+                    internet,
+                    syn.on_port(179),
+                    179,
+                    ServiceProtocol::Bgp,
+                    vantage,
+                    now,
+                    threads,
+                ),
                 now,
-                threads,
-            ),
-            now,
-        );
+            );
+        }
 
         // Phase 3: Internet-wide SNMPv3 engine discovery.
+        alias_obs::event("campaign:snmp_v4");
         let snmp = SnmpScanner::new(SnmpScanConfig {
             rate_pps: cfg.syn_rate_pps,
             source: DataSource::Active,
         });
-        now = absorb_phase(
-            &mut store,
-            snmp.scan_routed_space_columns_sharded(internet, vantage, now, threads),
-            now,
-        );
+        {
+            let _span = alias_obs::span("campaign/snmp_v4");
+            now = absorb_phase(
+                &mut store,
+                snmp.scan_routed_space_columns_sharded(internet, vantage, now, threads),
+                now,
+            );
+        }
 
         // Phase 4: IPv6 — hitlist-driven discovery and service scans.
+        alias_obs::event("campaign:ipv6");
         let hitlist = Ipv6Hitlist::generate(
             internet,
             cfg.hitlist_coverage,
             cfg.hitlist_stale_fraction,
             cfg.seed,
         );
-        let v6_syn = zmap.scan_ipv6_list_sharded(internet, &hitlist.addrs, vantage, now, threads);
-        now = v6_syn.finished_at;
-        now = absorb_phase(
-            &mut store,
-            zgrab.grab_columns_sharded(
-                internet,
-                v6_syn.on_port(22),
-                22,
-                ServiceProtocol::Ssh,
-                vantage,
+        let v6_syn;
+        {
+            let _span = alias_obs::span("campaign/ipv6");
+            v6_syn = zmap.scan_ipv6_list_sharded(internet, &hitlist.addrs, vantage, now, threads);
+            now = v6_syn.finished_at;
+            now = absorb_phase(
+                &mut store,
+                zgrab.grab_columns_sharded(
+                    internet,
+                    v6_syn.on_port(22),
+                    22,
+                    ServiceProtocol::Ssh,
+                    vantage,
+                    now,
+                    threads,
+                ),
                 now,
-                threads,
-            ),
-            now,
-        );
-        now = absorb_phase(
-            &mut store,
-            zgrab.grab_columns_sharded(
-                internet,
-                v6_syn.on_port(179),
-                179,
-                ServiceProtocol::Bgp,
-                vantage,
+            );
+            now = absorb_phase(
+                &mut store,
+                zgrab.grab_columns_sharded(
+                    internet,
+                    v6_syn.on_port(179),
+                    179,
+                    ServiceProtocol::Bgp,
+                    vantage,
+                    now,
+                    threads,
+                ),
                 now,
-                threads,
-            ),
-            now,
-        );
-        let v6_targets: Vec<IpAddr> = hitlist.addrs.iter().map(|&a| IpAddr::V6(a)).collect();
-        now = absorb_phase(
-            &mut store,
-            snmp.scan_columns_sharded(internet, &v6_targets, vantage, now, threads),
-            now,
-        );
+            );
+            let v6_targets: Vec<IpAddr> = hitlist.addrs.iter().map(|&a| IpAddr::V6(a)).collect();
+            now = absorb_phase(
+                &mut store,
+                snmp.scan_columns_sharded(internet, &v6_targets, vantage, now, threads),
+                now,
+            );
+        }
 
         // Phase 5 (opt-in): ICMP rate-limiting escalation bursts against
         // the echo-responsive population.
         if let Some(rate_cfg) = &cfg.rate_probe {
+            alias_obs::event("campaign:rate_probe");
+            let _span = alias_obs::span("campaign/rate_probe");
             let prober = RateProber::new(rate_cfg.clone());
             let targets =
                 prober.discover_targets_sharded(internet, &hitlist.addrs, vantage, now, threads);

@@ -26,8 +26,27 @@
 use crate::records::{DataSource, ServiceObservation, ServicePayload};
 use crate::space::RoutedSpace;
 use alias_netsim::{Internet, ProbeContext, ServiceProtocol, SimTime, VantageKind};
+use alias_obs::{DeterminismClass, LazyCounter};
 use alias_store::ShardColumns;
 use std::net::{IpAddr, Ipv6Addr};
+
+/// Targets skipped by the screening burst (zero loss at the top rate).
+/// Bursts are pure per target, so the total is shard-independent even
+/// though the counter is bumped from inside shard workers.
+static SCREENED_TARGETS: LazyCounter = LazyCounter::new(
+    "scan.rate_probe_screened",
+    DeterminismClass::Deterministic,
+    "targets",
+    "scan",
+);
+
+/// Lossy escalation rounds recorded as `RateLimit` observations.
+static LOSSY_ROUNDS: LazyCounter = LazyCounter::new(
+    "scan.rate_probe_lossy_rounds",
+    DeterminismClass::Deterministic,
+    "rounds",
+    "scan",
+);
 
 /// Configuration of the rate-limiting prober.
 #[derive(Debug, Clone)]
@@ -179,6 +198,7 @@ impl RateProber {
                 continue;
             };
             if replies == count {
+                SCREENED_TARGETS.incr();
                 continue;
             }
             for round in 0..cfg.rounds {
@@ -192,6 +212,7 @@ impl RateProber {
                 if lost == 0 {
                     continue;
                 }
+                LOSSY_ROUNDS.incr();
                 columns.push(
                     addr,
                     ServiceProtocol::IcmpRateLimit.default_port(),

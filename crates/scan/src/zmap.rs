@@ -10,8 +10,35 @@ use crate::permute::IndexPermutation;
 use crate::rate::TokenBucket;
 use crate::space::RoutedSpace;
 use alias_netsim::{Internet, ProbeContext, SimTime, SynResult, VantageKind};
+use alias_obs::{DeterminismClass, LazyCounter};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv6Addr};
+
+/// SYN probes dispatched by ZMap sweeps.  A pure function of the routed
+/// space and port list, accumulated at the serial assembly point.
+static PROBES_EMITTED: LazyCounter = LazyCounter::new(
+    "scan.probes_emitted",
+    DeterminismClass::Deterministic,
+    "probes",
+    "scan",
+);
+
+/// Responsive (addr, port) pairs discovered by ZMap sweeps.
+static RESPONSIVE_PAIRS: LazyCounter = LazyCounter::new(
+    "scan.responsive_pairs",
+    DeterminismClass::Deterministic,
+    "pairs",
+    "scan",
+);
+
+/// Simulated milliseconds the token bucket spent pacing ZMap sweeps —
+/// sim-clock time, replayed from the serial schedule, not wall time.
+static PACING_SIM_MS: LazyCounter = LazyCounter::new(
+    "scan.pacing_sim_ms",
+    DeterminismClass::Deterministic,
+    "sim_ms",
+    "scan",
+);
 
 /// Configuration of a SYN scan.
 #[derive(Debug, Clone)]
@@ -130,6 +157,16 @@ impl ZmapScanner {
         // time (the bucket is a pure function of the probe count).
         let mut bucket = TokenBucket::new(self.config.rate_pps, 64.0, start);
         results.finished_at = bucket.advance(start, probes_sent);
+        PROBES_EMITTED.add(probes_sent);
+        RESPONSIVE_PAIRS.add(
+            results
+                .responsive
+                // lint:allow(det-hash-iter): summing lengths — commutative over visit order
+                .values()
+                .map(|addrs| addrs.len() as u64)
+                .sum(),
+        );
+        PACING_SIM_MS.add(results.finished_at.since(start).as_millis());
         results
     }
 

@@ -7,7 +7,18 @@
 //! arena bytes; consumers that do need a payload get a zero-copy `&[u8]`
 //! slice back.
 
+use alias_obs::{DeterminismClass, LazyCounter};
 use serde::{Deserialize, Serialize};
+
+/// Payload bytes appended to arenas.  Each payload contributes its exact
+/// wire length no matter which arena or shard received it, so the total
+/// is thread-count-invariant.
+static ARENA_BYTES: LazyCounter = LazyCounter::new(
+    "store.arena_bytes",
+    DeterminismClass::Deterministic,
+    "bytes",
+    "store",
+);
 
 /// An `(offset, len)` window into a [`PayloadArena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -66,6 +77,7 @@ impl PayloadArena {
         let end = offset.checked_add(len);
         assert!(end.is_some(), "payload arena exceeds u32 offsets");
         self.bytes.extend_from_slice(bytes);
+        ARENA_BYTES.add(u64::from(len));
         Span { offset, len }
     }
 
@@ -77,6 +89,7 @@ impl PayloadArena {
         write(&mut self.bytes);
         let len =
             u32::try_from(self.bytes.len() - offset as usize).expect("payload exceeds u32 length");
+        ARENA_BYTES.add(u64::from(len));
         Span { offset, len }
     }
 

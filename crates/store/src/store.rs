@@ -25,8 +25,29 @@ use crate::records::{DataSource, ObservationSink, ServiceObservation, ServicePay
 use crate::tags::{ProtocolTag, SourceTag};
 use alias_intern::{AddrId, AddrInterner};
 use alias_netsim::{ServiceProtocol, SimTime};
+use alias_obs::{DeterminismClass, LazyCounter};
 use std::net::IpAddr;
 use std::sync::Arc;
+
+/// Rows spliced onto campaign stores by [`ObservationStore::absorb_shard`].
+/// Every scanned row is absorbed exactly once no matter how the campaign
+/// was sharded, so the total is thread-count-invariant.
+static ROWS_ABSORBED: LazyCounter = LazyCounter::new(
+    "store.rows_absorbed",
+    DeterminismClass::Deterministic,
+    "rows",
+    "store",
+);
+
+/// Distinct-address remap lookups performed while absorbing shards.  An
+/// address observed by k shards is remapped k times, so the total depends
+/// on the shard decomposition: timing class.
+static ADDR_REMAPS: LazyCounter = LazyCounter::new(
+    "store.addr_remaps",
+    DeterminismClass::Timing,
+    "lookups",
+    "store",
+);
 
 /// Columnar storage for a batch of observations, with every observed
 /// address interned to a dense [`AddrId`] in first-observation order.
@@ -127,6 +148,8 @@ impl ObservationStore {
         } = shard;
         let global = Arc::make_mut(&mut self.interner);
         let remap: Vec<AddrId> = local.addrs().iter().map(|&a| global.intern(a)).collect();
+        ROWS_ABSORBED.add(addrs.len() as u64);
+        ADDR_REMAPS.add(remap.len() as u64);
         self.addrs
             .extend(addrs.into_iter().map(|id| remap[id.index()]));
         self.protocols.extend(protocols);
